@@ -1,0 +1,97 @@
+// Command s3gen generates a synthetic S3 instance specification — the
+// stand-ins for the paper's I1 (Twitter), I2 (Vodkaster) and I3 (Yelp)
+// datasets — optionally writes it to disk, and prints its Figure 4
+// statistics.
+//
+// Usage:
+//
+//	s3gen -dataset twitter -scale 1 -seed 1 -out i1.spec
+//	s3gen -dataset yelp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"s3/internal/datagen"
+	"s3/internal/graph"
+	"s3/internal/text"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("s3gen: ")
+	var (
+		dataset = flag.String("dataset", "twitter", "dataset to generate: twitter | vodkaster | yelp")
+		scale   = flag.Float64("scale", 1, "size multiplier over the laptop-scale defaults")
+		seed    = flag.Int64("seed", 0, "random seed (0 = dataset default)")
+		out     = flag.String("out", "", "write the generated spec (gob) to this file")
+	)
+	flag.Parse()
+
+	spec, extra, err := Generate(*dataset, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := graph.BuildSpec(spec, text.Analyzer{Lang: text.None})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s (scale %.2g)\n\n%s", *dataset, *scale, in.Stats())
+	if extra != "" {
+		fmt.Println(extra)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := spec.Encode(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nspec written to %s\n", *out)
+	}
+}
+
+// Generate builds the requested dataset spec at the given scale.
+func Generate(dataset string, scale float64, seed int64) (graph.Spec, string, error) {
+	mul := func(n int) int {
+		m := int(float64(n) * scale)
+		if m < 10 {
+			m = 10
+		}
+		return m
+	}
+	switch dataset {
+	case "twitter":
+		o := datagen.DefaultTwitterOptions()
+		o.Users, o.Tweets = mul(o.Users), mul(o.Tweets)
+		if seed != 0 {
+			o.Seed = seed
+		}
+		spec, rep := datagen.Twitter(o)
+		extra := fmt.Sprintf("\nTweets %d\nRetweets %.1f%%\nReplies %.1f%%",
+			rep.Tweets, 100*rep.RetweetFrac, 100*rep.ReplyFrac)
+		return spec, extra, nil
+	case "vodkaster":
+		o := datagen.DefaultVodkasterOptions()
+		o.Users, o.Movies = mul(o.Users), mul(o.Movies)
+		if seed != 0 {
+			o.Seed = seed
+		}
+		return datagen.Vodkaster(o), "", nil
+	case "yelp":
+		o := datagen.DefaultYelpOptions()
+		o.Users, o.Businesses = mul(o.Users), mul(o.Businesses)
+		if seed != 0 {
+			o.Seed = seed
+		}
+		return datagen.Yelp(o), "", nil
+	default:
+		return graph.Spec{}, "", fmt.Errorf("unknown dataset %q (want twitter, vodkaster or yelp)", dataset)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"s3/internal/graph"
+	"s3/internal/text"
+)
+
+func TestGenerateAllDatasets(t *testing.T) {
+	for _, ds := range []string{"twitter", "vodkaster", "yelp"} {
+		spec, _, err := Generate(ds, 0.05, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		in, err := graph.BuildSpec(spec, text.Analyzer{Lang: text.None})
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		if in.Stats().Documents == 0 || in.Stats().Users == 0 {
+			t.Fatalf("%s: empty instance %+v", ds, in.Stats())
+		}
+	}
+}
+
+func TestGenerateTwitterReport(t *testing.T) {
+	_, extra, err := Generate("twitter", 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra == "" {
+		t.Fatal("twitter generation must report tweet statistics")
+	}
+}
+
+func TestGenerateUnknownDataset(t *testing.T) {
+	if _, _, err := Generate("friendster", 1, 0); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}

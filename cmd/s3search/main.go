@@ -1,0 +1,148 @@
+// Command s3search runs S3k keyword queries against a generated or saved
+// instance and prints the ranked fragments, alongside the TopkS baseline
+// answer for comparison.
+//
+// Usage:
+//
+//	s3search -dataset twitter -query "class-retoka" -k 5
+//	s3search -spec i1.spec -seeker tw:u17 -query "#h3" -k 10 -gamma 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"s3/internal/core"
+	"s3/internal/datagen"
+	"s3/internal/dict"
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/score"
+	"s3/internal/text"
+	"s3/internal/topks"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("s3search: ")
+	var (
+		specPath = flag.String("spec", "", "load the instance spec (gob) from this file")
+		dataset  = flag.String("dataset", "twitter", "generate this dataset when -spec is not given")
+		seeker   = flag.String("seeker", "", "seeker user URI (default: first connected user)")
+		query    = flag.String("query", "", "space-separated query keywords (required)")
+		k        = flag.Int("k", 5, "number of results")
+		gamma    = flag.Float64("gamma", 1.5, "social damping γ > 1")
+		eta      = flag.Float64("eta", 0.8, "structural damping η ∈ (0,1)")
+		workers  = flag.Int("workers", 0, "parallel scoring workers (0 = sequential)")
+		baseline = flag.Bool("baseline", true, "also run the TopkS baseline (α = 0.5)")
+	)
+	flag.Parse()
+	if *query == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var spec graph.Spec
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := graph.DecodeSpec(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = *s
+	} else {
+		switch *dataset {
+		case "twitter":
+			spec, _ = datagen.Twitter(datagen.DefaultTwitterOptions())
+		case "vodkaster":
+			spec = datagen.Vodkaster(datagen.DefaultVodkasterOptions())
+		case "yelp":
+			spec = datagen.Yelp(datagen.DefaultYelpOptions())
+		default:
+			log.Fatalf("unknown dataset %q", *dataset)
+		}
+	}
+	in, err := graph.BuildSpec(spec, text.Analyzer{Lang: text.None})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix := index.Build(in)
+	eng := core.NewEngine(in, ix)
+
+	var seekerNID graph.NID
+	if *seeker == "" {
+		for _, u := range in.Users() {
+			if len(in.OutEdges(u)) > 0 {
+				seekerNID = u
+				break
+			}
+		}
+		fmt.Printf("seeker: %s (auto-selected)\n", in.URIOf(seekerNID))
+	} else {
+		n, ok := in.NIDOf(*seeker)
+		if !ok {
+			log.Fatalf("unknown seeker %q", *seeker)
+		}
+		seekerNID = n
+	}
+
+	keywords := strings.Fields(*query)
+	opts := core.Options{
+		K:       *k,
+		Params:  score.Params{Gamma: *gamma, Eta: *eta},
+		Workers: *workers,
+	}
+	results, stats, err := eng.Search(seekerNID, keywords, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nS3k answer for %v (γ=%.4g, η=%.4g, k=%d) — %s, %d iterations, %v:\n",
+		keywords, *gamma, *eta, *k, stats.Reason, stats.Iterations, stats.Elapsed)
+	if len(results) == 0 {
+		fmt.Println("  (no results)")
+	}
+	for i, r := range results {
+		fmt.Printf("  %2d. %-24s score ∈ [%.3e, %.3e]\n", i+1, r.URI, r.Lower, r.Upper)
+	}
+
+	if *baseline {
+		uit := topks.Convert(in)
+		teng := topks.NewEngine(uit)
+		tkws := resolveKeywords(in, keywords)
+		tres, tstats, err := teng.Search(seekerNID, tkws, topks.Options{K: *k, Alpha: 0.5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nTopkS baseline (α=0.5) — %d users visited, %v:\n", tstats.UsersVisited, tstats.Elapsed)
+		if len(tres) == 0 {
+			fmt.Println("  (no results)")
+		}
+		for i, r := range tres {
+			fmt.Printf("  %2d. %-24s score ∈ [%.3e, %.3e]\n", i+1, r.URI, r.Lower, r.Upper)
+		}
+	}
+}
+
+// resolveKeywords stems query keywords and resolves them to dictionary
+// ids for the UIT baseline (which takes no semantic extension).
+func resolveKeywords(in *graph.Instance, kws []string) []dict.ID {
+	var out []dict.ID
+	an := in.Analyzer()
+	for _, kw := range kws {
+		stems := an.Keywords(kw)
+		if len(stems) == 0 {
+			continue
+		}
+		if id, ok := in.Dict().Lookup(stems[0]); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+// Annotations: the higher-level-tag machinery of requirement R4 — an NLP
+// tool annotates a corpus, a curator annotates (and endorses) the tool's
+// annotations, and queries exploit both levels. Tag classes subclass
+// S3:relatedTo, so the semantics layer knows tool annotations *are* tags.
+//
+// Run with: go run ./examples/annotations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	s3 "s3"
+)
+
+func main() {
+	b := s3.NewBuilder(s3.English)
+
+	must(b.AddUser("nlp-tool")) // software agents are users too
+	must(b.AddUser("curator"))
+	must(b.AddUser("reader"))
+	must(b.AddSocialAs("reader", "curator", 0.9, "trusts"))
+	must(b.AddSocialAs("curator", "nlp-tool", 0.6, "operates"))
+
+	// A small annotated corpus.
+	must(b.AddDocument(&s3.DocNode{URI: "doc1", Name: "article", Children: []*s3.DocNode{
+		{Name: "par", Text: "The spacecraft entered orbit around Europa last night"},
+		{Name: "par", Text: "Mission control confirmed the instruments are nominal"},
+	}}))
+	must(b.AddDocumentText("doc2", "article", "Farmers in the valley report an early harvest"))
+	must(b.AddPost("doc1", "curator"))
+	must(b.AddPost("doc2", "curator"))
+
+	// Level-1: the NLP tool recognises an entity in doc1's first
+	// paragraph.
+	must(b.AddTagAs("ann1", "doc1.1", "nlp-tool", "astronomy", "NLP:recognize"))
+	// Level-2 (R4): the curator annotates the *annotation* with a
+	// provenance/quality judgement — its keyword still reaches doc1.
+	must(b.AddTagAs("ann2", "ann1", "curator", "verified", "curation"))
+	// The curator also endorses the tool's annotation (keyword-less):
+	// the endorsement inherits ann1's connections with the curator as
+	// source, boosting doc1 for readers close to the curator.
+	must(b.AddEndorsement("ann3", "ann1", "curator"))
+
+	inst, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(inst.Stats())
+
+	// The RDF side-door: ask the instance itself which tool-produced
+	// annotations were curated, SPARQL-style.
+	rows, err := inst.QueryRDF(
+		"?ann rdf:type NLP:recognize",
+		"?ann S3:hasSubject ?frag",
+		"?meta S3:hasSubject ?ann",
+		"?meta S3:hasAuthor ?curator",
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("annotation %s on %s was reviewed by %s (via %s)\n", r["ann"], r["frag"], r["curator"], r["meta"])
+	}
+	fmt.Println()
+
+	for _, query := range [][]string{{"astronomy"}, {"verified"}, {"orbit"}} {
+		results, err := inst.Search("reader", query, s3.WithK(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reader searches %v:\n", query)
+		if len(results) == 0 {
+			fmt.Println("  (no results)")
+		}
+		for i, r := range results {
+			fmt.Printf("  %d. fragment %-7s of %-5s score ∈ [%.4f, %.4f]\n",
+				i+1, r.URI, r.Document, r.Lower, r.Upper)
+		}
+		fmt.Println()
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Microblog: a Twitter-like scenario (the paper's I1 shape) exercised
+// through the public API — XML tweets with text/date/geo structure,
+// retweets as endorsements, hashtag tags, replies as comments, and
+// DBpedia-style entity semantics.
+//
+// Run with: go run ./examples/microblog
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	s3 "s3"
+)
+
+type tweet struct {
+	uri     string
+	author  string
+	text    string
+	city    string
+	replyTo string // URI of the tweet this replies to ("" = original)
+}
+
+func main() {
+	b := s3.NewBuilder(s3.English)
+
+	users := []string{"ana", "bob", "cam", "dee", "eli"}
+	for _, u := range users {
+		must(b.AddUser(u))
+	}
+	// Follower graph (directed, weighted by interaction strength).
+	must(b.AddSocialAs("ana", "bob", 0.9, "follows"))
+	must(b.AddSocialAs("ana", "cam", 0.4, "follows"))
+	must(b.AddSocialAs("bob", "dee", 0.7, "follows"))
+	must(b.AddSocialAs("cam", "dee", 0.6, "follows"))
+	must(b.AddSocialAs("dee", "eli", 0.8, "follows"))
+
+	// A mini knowledge base: espresso and latte are coffee drinks.
+	b.AddTriple(b.Stem("espresso"), "rdfs:subClassOf", b.Stem("coffee"))
+	b.AddTriple(b.Stem("latte"), "rdfs:subClassOf", b.Stem("coffee"))
+	b.AddTriple(b.Stem("coffee"), "rdfs:subClassOf", b.Stem("beverage"))
+
+	tweets := []tweet{
+		{uri: "t1", author: "dee", text: "Best espresso in town, hands down", city: "Lyon"},
+		{uri: "t2", author: "eli", text: "The latte art at the new place is unreal", city: "Lyon"},
+		{uri: "t3", author: "cam", text: "Morning run along the river", city: "Lyon"},
+		{uri: "t4", author: "bob", text: "Agreed, their roast is exceptional", city: "Paris", replyTo: "t1"},
+	}
+	for _, t := range tweets {
+		xml := fmt.Sprintf(
+			`<tweet><text>%s</text><date>2026-06-10</date><geo>%s</geo></tweet>`,
+			t.text, t.city)
+		must(b.AddDocumentXML(t.uri, strings.NewReader(xml)))
+		must(b.AddPost(t.uri, t.author))
+		if t.replyTo != "" {
+			must(b.AddCommentAs(t.uri, t.replyTo, "repliesTo"))
+		}
+	}
+
+	// Retweets: bob retweets t1 introducing a hashtag; ana plainly
+	// endorses t2 (no keyword).
+	must(b.AddTagAs("rt1", "t1", "bob", "#coffeetime", "retweet"))
+	must(b.AddEndorsement("rt2", "t2", "ana"))
+
+	inst, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ana searches for coffee: t1 (espresso) and t2 (latte) match only
+	// through the ontology; t1 is additionally boosted by bob's retweet
+	// and reply (ana follows bob closely).
+	for _, query := range [][]string{{"coffee"}, {"#coffeetime"}, {"espresso"}} {
+		results, err := inst.Search("ana", query, s3.WithK(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ana searches %v:\n", query)
+		for i, r := range results {
+			fmt.Printf("  %d. %-6s (tweet %s) score ∈ [%.4f, %.4f]\n",
+				i+1, r.URI, r.Document, r.Lower, r.Upper)
+		}
+		fmt.Println()
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

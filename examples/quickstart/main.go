@@ -1,0 +1,90 @@
+// Quickstart: the paper's Figure 1 scenario through the public API.
+//
+// Five users exchange around an article d0: u2 replies with a post
+// mentioning an "M.S.", u3 comments on a specific paragraph, u4 tags
+// another paragraph with "university". A knowledge base states that an
+// M.S. is a degree. The seeker u1 (a friend of the article's author)
+// searches for "degree" — and finds u2's reply even though it never says
+// "degree", thanks to the ontology and the reply link.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	s3 "s3"
+)
+
+func main() {
+	b := s3.NewBuilder(s3.English)
+
+	for _, u := range []string{"u0", "u1", "u2", "u3", "u4"} {
+		must(b.AddUser(u))
+	}
+	must(b.AddSocialAs("u1", "u0", 0.9, "friendOf")) // u1 is u0's friend
+
+	// Knowledge base: an M.S. is a degree; a degree is a qualification.
+	// Ontology keywords are written in stemmed form (Stem) so they line
+	// up with the indexed content vocabulary.
+	b.AddTriple(b.Stem("m.s"), "rdfs:subClassOf", b.Stem("degree"))
+	b.AddTriple(b.Stem("degree"), "rdfs:subClassOf", b.Stem("qualification"))
+
+	// d0: a structured article by u0.
+	must(b.AddDocument(&s3.DocNode{URI: "d0", Name: "article", Children: []*s3.DocNode{
+		{Name: "sec", Text: "introduction to higher education"},
+		{Name: "sec", Text: "methodology"},
+		{Name: "sec", Children: []*s3.DocNode{
+			{Name: "par", Text: "context of the debate"},
+			{Name: "par", Text: "a heated debate on the value of studying"}, // d0.3.2
+		}},
+		{Name: "sec", Text: "data"},
+		{Name: "sec", Children: []*s3.DocNode{
+			{Name: "par", Text: "a degree does give more opportunities"}, // d0.5.1
+		}},
+	}}))
+	must(b.AddPost("d0", "u0"))
+
+	// d1: u2's reply — mentions an M.S. but never the word "degree".
+	must(b.AddDocumentText("d1", "reply", "When I got my M.S. at UAlberta in 2012"))
+	must(b.AddPost("d1", "u2"))
+	must(b.AddCommentAs("d1", "d0", "repliesTo"))
+
+	// d2: u3 comments on the exact paragraph d0.3.2.
+	must(b.AddDocumentText("d2", "comment", "universities matter in this debate"))
+	must(b.AddPost("d2", "u3"))
+	must(b.AddComment("d2", "d0.3.2"))
+
+	// u4 tags paragraph d0.5.1.
+	must(b.AddTag("a", "d0.5.1", "u4", "university"))
+
+	inst, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Instance:")
+	fmt.Println(inst.Stats())
+	fmt.Printf("Ext(degree) = %v\n\n", inst.Extension("degree"))
+
+	for _, query := range [][]string{{"degree"}, {"university"}, {"university", "debate"}} {
+		results, info, err := inst.SearchInfoed("u1", query, s3.WithK(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("u1 searches %v (exact=%v, %d iterations, %v):\n",
+			query, info.Exact, info.Iterations, info.Elapsed)
+		for i, r := range results {
+			fmt.Printf("  %d. fragment %-8s (document %-4s) score ∈ [%.4f, %.4f]\n",
+				i+1, r.URI, r.Document, r.Lower, r.Upper)
+		}
+		fmt.Println()
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Reviews: a Yelp-like scenario (the paper's I3 shape) — JSON review
+// documents, symmetric friendships, review chains as comments, and
+// fragment-grain results: searching returns the *paragraph* of a long
+// review that matches, not just the review.
+//
+// Run with: go run ./examples/reviews
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	s3 "s3"
+)
+
+func main() {
+	b := s3.NewBuilder(s3.English)
+
+	for _, u := range []string{"maya", "noor", "otis", "pia"} {
+		must(b.AddUser(u))
+	}
+	friends := [][2]string{{"maya", "noor"}, {"noor", "otis"}, {"maya", "pia"}}
+	for _, f := range friends {
+		must(b.AddSocialAs(f[0], f[1], 1, "friend"))
+		must(b.AddSocialAs(f[1], f[0], 1, "friend"))
+	}
+
+	// First review of "Luigi's" — a structured document; later reviews
+	// comment on it, forming the per-business chain of §5.1.
+	must(b.AddDocumentJSON("r1", strings.NewReader(`{
+		"stars": 4,
+		"summary": "Hidden gem for pasta lovers",
+		"food": "The carbonara is silky and generous, truly handmade pasta",
+		"service": "Waiters are attentive even on busy nights",
+		"price": "Fair prices for the quality"
+	}`)))
+	must(b.AddPost("r1", "noor"))
+
+	must(b.AddDocumentJSON("r2", strings.NewReader(`{
+		"stars": 5,
+		"text": "Came for the pasta after reading this, stayed for the tiramisu"
+	}`)))
+	must(b.AddPost("r2", "otis"))
+	must(b.AddCommentAs("r2", "r1", "reviews"))
+
+	// Pia disagrees with the service paragraph specifically: a comment on
+	// a fragment, not on the whole review.
+	must(b.AddDocumentJSON("r3", strings.NewReader(`{
+		"text": "Service was slow when we went, though the pasta made up for it"
+	}`)))
+	must(b.AddPost("r3", "pia"))
+
+	// JSON keys are visited in sorted order, so r1's children are
+	// food (r1.1), price (r1.2), service (r1.3), stars (r1.4),
+	// summary (r1.5) — the service paragraph is r1.3.
+	must(b.AddComment("r3", "r1.3"))
+
+	inst, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, query := range [][]string{{"pasta"}, {"service"}, {"pasta", "service"}} {
+		results, err := inst.Search("maya", query, s3.WithK(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("maya searches %v:\n", query)
+		for i, r := range results {
+			fmt.Printf("  %d. fragment %-5s of review %-3s score ∈ [%.4f, %.4f]\n",
+				i+1, r.URI, r.Document, r.Lower, r.Upper)
+		}
+		fmt.Println()
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

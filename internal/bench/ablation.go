@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+
+	"s3/internal/core"
+	"s3/internal/graph"
+	"s3/internal/score"
+)
+
+// ProximityAblationResult compares S3k's all-paths answers with the same
+// scoring pipeline under a best-single-path proximity (everything else
+// fixed). Low overlap supports the paper's claim that aggregating all
+// paths — not just structure or semantics — changes the answers.
+type ProximityAblationResult struct {
+	Intersection float64 // fraction of all-paths answers kept by best-path
+	L1           float64 // normalised Spearman foot rule
+	Queries      int
+}
+
+// ProximityAblation evaluates the ablation over a workload.
+func ProximityAblation(d *Dataset, w Workload, params score.Params) (ProximityAblationResult, error) {
+	var out ProximityAblationResult
+	for _, q := range w.Queries {
+		allPaths, err := d.Core.Exhaustive(q.Seeker, q.Keywords, w.ID.K, params)
+		if err != nil {
+			return out, err
+		}
+		bp := score.BestPathProximity(d.In, params, q.Seeker)
+		bestPath, err := d.Core.TopKWithProximity(q.Keywords, w.ID.K, params, bp)
+		if err != nil {
+			return out, err
+		}
+		out.Intersection += Intersection(resultDocs(allPaths), resultDocs(bestPath))
+		out.L1 += SpearmanL1(resultDocs(allPaths), resultDocs(bestPath))
+		out.Queries++
+	}
+	if out.Queries > 0 {
+		out.Intersection /= float64(out.Queries)
+		out.L1 /= float64(out.Queries)
+	}
+	return out, nil
+}
+
+// StructureAblationResult compares full S3k answers with the social-blind
+// degenerate mode (prox ≡ 1, LCA-style XML search) on the same queries.
+type StructureAblationResult struct {
+	Intersection float64
+	Queries      int
+}
+
+// SocialAblation evaluates how much the social dimension changes answers.
+func SocialAblation(d *Dataset, w Workload, params score.Params) (StructureAblationResult, error) {
+	var out StructureAblationResult
+	for _, q := range w.Queries {
+		social, err := d.Core.Exhaustive(q.Seeker, q.Keywords, w.ID.K, params)
+		if err != nil {
+			return out, err
+		}
+		blind, err := d.Core.SearchContentOnly(q.Keywords, w.ID.K, params)
+		if err != nil {
+			return out, err
+		}
+		out.Intersection += Intersection(resultDocs(social), resultDocs(blind))
+		out.Queries++
+	}
+	if out.Queries > 0 {
+		out.Intersection /= float64(out.Queries)
+	}
+	return out, nil
+}
+
+// AnytimeCurve measures the quality-versus-budget trade-off of Theorem
+// 4.3: for each iteration cap, the average fraction of the exact top-k
+// that the budget-capped answer recovers.
+func AnytimeCurve(d *Dataset, w Workload, params score.Params, caps []int) ([]float64, error) {
+	out := make([]float64, len(caps))
+	for _, q := range w.Queries {
+		exact, err := d.Core.Exhaustive(q.Seeker, q.Keywords, w.ID.K, params)
+		if err != nil {
+			return nil, err
+		}
+		if len(exact) == 0 {
+			continue
+		}
+		for ci, budget := range caps {
+			res, _, err := d.Core.Search(q.Seeker, q.Keywords, core.Options{
+				K: w.ID.K, Params: params, MaxIterations: budget,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out[ci] += Intersection(resultDocs(exact), resultDocs(res))
+		}
+	}
+	n := float64(len(w.Queries))
+	for i := range out {
+		out[i] /= n
+	}
+	return out, nil
+}
+
+func resultDocs(rs []core.Result) []graph.NID {
+	out := make([]graph.NID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Doc
+	}
+	return out
+}
+
+// FigAblations renders the ablation study: all-paths vs best-path
+// proximity, social vs social-blind ranking, and the any-time curve.
+func FigAblations(d *Dataset, cfg FigureConfig) (string, error) {
+	params := score.Params{Gamma: 1.5, Eta: cfg.Eta}
+	id := WorkloadID{Freq: Common, L: 1, K: 10}
+	w, err := BuildWorkload(d.In, id, cfg.QueriesPerWorkload, cfg.Seed+300)
+	if err != nil {
+		return "", err
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Ablations on %s (workload %s, γ=1.5)", d.Name, id),
+		Header: []string{"ablation", "value"},
+	}
+	prox, err := ProximityAblation(d, w, params)
+	if err != nil {
+		return "", err
+	}
+	t.AddRow("all-paths vs best-path: answer intersection", pct(prox.Intersection))
+	t.AddRow("all-paths vs best-path: L1 distance", pct(prox.L1))
+
+	soc, err := SocialAblation(d, w, params)
+	if err != nil {
+		return "", err
+	}
+	t.AddRow("social vs social-blind (LCA): answer intersection", pct(soc.Intersection))
+
+	caps := []int{1, 2, 4, 8}
+	curve, err := AnytimeCurve(d, w, params, caps)
+	if err != nil {
+		return "", err
+	}
+	for i, c := range caps {
+		t.AddRow(fmt.Sprintf("any-time recall at %d iterations", c), pct(curve[i]))
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"s3/internal/core"
+	"s3/internal/datagen"
+	"s3/internal/graph"
+	"s3/internal/score"
+	"s3/internal/text"
+)
+
+func tinyTwitter(t *testing.T) *Dataset {
+	t.Helper()
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets = 150, 600
+	o.Vocab = 400
+	spec, _ := datagen.Twitter(o)
+	in, err := graph.BuildSpec(spec, text.Analyzer{Lang: text.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDataset("I1-tiny", in)
+}
+
+func TestSpearmanL1(t *testing.T) {
+	a := []graph.NID{1, 2, 3}
+	cases := []struct {
+		name string
+		b    []graph.NID
+		want float64
+	}{
+		{"identical", []graph.NID{1, 2, 3}, 0},
+		{"disjoint", []graph.NID{4, 5, 6}, 1},
+		{"swap first two", []graph.NID{2, 1, 3}, 2.0 / 12},
+		{"empty other", nil, 1},
+	}
+	for _, c := range cases {
+		if got := SpearmanL1(a, c.b); !approx(got, c.want) {
+			t.Errorf("%s: L1 = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if got := SpearmanL1(nil, nil); got != 0 {
+		t.Errorf("L1(∅,∅) = %v, want 0", got)
+	}
+	// Symmetry.
+	b := []graph.NID{3, 7, 1}
+	if !approx(SpearmanL1(a, b), SpearmanL1(b, a)) {
+		t.Error("L1 not symmetric")
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestIntersection(t *testing.T) {
+	a := []graph.NID{1, 2, 3, 4}
+	if got := Intersection(a, []graph.NID{2, 4, 9}); !approx(got, 0.5) {
+		t.Fatalf("Intersection = %v, want 0.5", got)
+	}
+	if got := Intersection(nil, a); got != 0 {
+		t.Fatalf("Intersection(∅, a) = %v, want 0", got)
+	}
+	if got := Intersection(a, nil); got != 0 {
+		t.Fatalf("Intersection(a, ∅) = %v, want 0", got)
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	ds := []time.Duration{5, 1, 3, 2, 4}
+	q := Quartiles(ds)
+	if q.Min != 1 || q.Max != 5 || q.Median != 3 || q.Q1 != 2 || q.Q3 != 4 {
+		t.Fatalf("quartiles = %+v", q)
+	}
+	if q.Mean != 3 {
+		t.Fatalf("mean = %v", q.Mean)
+	}
+	if z := Quartiles(nil); z.Max != 0 {
+		t.Fatalf("empty quartiles = %+v", z)
+	}
+}
+
+func TestBuildWorkloadBands(t *testing.T) {
+	d := tinyTwitter(t)
+	rare, err := BuildWorkload(d.In, WorkloadID{Freq: Rare, L: 1, K: 5}, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	common, err := BuildWorkload(d.In, WorkloadID{Freq: Common, L: 1, K: 5}, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgFreq := func(w Workload) float64 {
+		total, n := 0, 0
+		for _, q := range w.Queries {
+			for _, kw := range q.Keywords {
+				id, ok := d.In.Dict().Lookup(kw)
+				if !ok {
+					t.Fatalf("workload keyword %q unknown", kw)
+				}
+				total += d.In.KeywordFrequency(id)
+				n++
+			}
+		}
+		return float64(total) / float64(n)
+	}
+	if avgFreq(rare) >= avgFreq(common) {
+		t.Fatalf("rare band (%v) not rarer than common band (%v)", avgFreq(rare), avgFreq(common))
+	}
+	// Multi-keyword queries have distinct keywords.
+	multi, err := BuildWorkload(d.In, WorkloadID{Freq: Common, L: 5, K: 5}, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range multi.Queries {
+		seen := map[string]bool{}
+		for _, kw := range q.Keywords {
+			if seen[kw] {
+				t.Fatalf("duplicate keyword in query: %v", q.Keywords)
+			}
+			seen[kw] = true
+		}
+	}
+}
+
+func TestWorkloadIDStrings(t *testing.T) {
+	id := WorkloadID{Freq: Common, L: 1, K: 5}
+	if id.String() != "+,1,5" {
+		t.Fatalf("id = %q", id.String())
+	}
+	id = WorkloadID{Freq: Rare, L: 5, K: 10}
+	if id.String() != "-,5,10" {
+		t.Fatalf("id = %q", id.String())
+	}
+	if len(PaperWorkloads()) != 8 {
+		t.Fatalf("paper workloads = %d, want 8", len(PaperWorkloads()))
+	}
+	if len(KSweepWorkloads()) != 8 {
+		t.Fatalf("k-sweep workloads = %d, want 8", len(KSweepWorkloads()))
+	}
+}
+
+func TestTimingAndFigures(t *testing.T) {
+	d := tinyTwitter(t)
+	cfg := DefaultFigureConfig()
+	cfg.QueriesPerWorkload = 3
+	cfg.Gammas = []float64{1.5}
+	cfg.Alphas = []float64{0.5}
+
+	out, err := Fig5(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "S3k γ=1.5") || !strings.Contains(out, "TopkS α=0.5") {
+		t.Fatalf("Fig5 output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "+,1,5") || !strings.Contains(out, "-,5,10") {
+		t.Fatalf("Fig5 workloads missing:\n%s", out)
+	}
+
+	out, err = Fig7(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "median") || !strings.Contains(out, "+,1,50") {
+		t.Fatalf("Fig7 output malformed:\n%s", out)
+	}
+
+	out, err = Fig8(cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"Graph reachability", "Semantic reachability", "L1", "Intersection size"} {
+		if !strings.Contains(out, label) {
+			t.Fatalf("Fig8 missing %q:\n%s", label, out)
+		}
+	}
+
+	if got := Fig4(d); !strings.Contains(got, "I1-tiny") || !strings.Contains(got, "Users") {
+		t.Fatalf("Fig4 output malformed:\n%s", got)
+	}
+}
+
+func TestCompareQueryMeasuresInRange(t *testing.T) {
+	d := tinyTwitter(t)
+	w, err := BuildWorkload(d.In, WorkloadID{Freq: Common, L: 1, K: 5}, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Params: score.Params{Gamma: 1.5, Eta: 0.8}}
+	q, err := CompareWorkload(d, w, opts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"GraphReach": q.GraphReach, "SemReach": q.SemReach,
+		"L1": q.L1, "Intersection": q.Intersection,
+	} {
+		if v < 0 || v > 1 {
+			t.Fatalf("%s = %v outside [0,1]", name, v)
+		}
+	}
+	if q.Queries != 10 {
+		t.Fatalf("averaged %d queries, want 10", q.Queries)
+	}
+}

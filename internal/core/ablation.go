@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"s3/internal/graph"
+	"s3/internal/score"
+)
+
+// This file hosts the degenerate and ablated search modes the paper
+// discusses around the main algorithm:
+//
+//   - §3.4 notes that with prox ≡ 1 the score reduces to classical
+//     XML-IR: "⊕gen gives the best score to the lowest common ancestor
+//     (LCA) of the nodes containing the query keywords" —
+//     SearchContentOnly implements that degenerate mode;
+//   - §5.3/§5.4 attribute S3k's qualitative edge over TopkS to the
+//     all-paths proximity; TopKWithProximity lets benchmarks swap the
+//     proximity (e.g. for the best-single-path ablation) while keeping
+//     everything else fixed.
+
+// TopKWithProximity computes the exact top-k answer under an arbitrary
+// proximity vector (indexed by NID). It scores every candidate of every
+// matching component and applies the greedy vertical-neighbour-free
+// selection of Definition 3.2. Documents with vanishing scores are not
+// returned.
+func (e *Engine) TopKWithProximity(keywords []string, k int, params score.Params, prox []float64) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if len(prox) != e.in.NumNodes() {
+		return nil, fmt.Errorf("core: proximity vector has %d entries, want %d", len(prox), e.in.NumNodes())
+	}
+	groups, possible, err := e.KeywordGroups(keywords)
+	if err != nil {
+		return nil, err
+	}
+	if !possible {
+		return nil, nil
+	}
+	sc, err := score.NewScorer(e.in, e.ix, params, groups)
+	if err != nil {
+		return nil, err
+	}
+	type scored struct {
+		d graph.NID
+		s float64
+	}
+	var all []scored
+	for _, comp := range e.ix.CompsForGroups(groups) {
+		for _, d := range e.ix.CandidatesInComp(comp, groups) {
+			if s := sc.Exact(d, prox); s > 1e-12 {
+				all = append(all, scored{d: d, s: s})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].d < all[j].d
+	})
+	var out []Result
+	for _, c := range all {
+		excluded := false
+		for _, r := range out {
+			if e.in.VerticalNeighbors(r.Doc, c.d) {
+				excluded = true
+				break
+			}
+		}
+		if excluded {
+			continue
+		}
+		out = append(out, Result{Doc: c.d, URI: e.in.URIOf(c.d), Lower: c.s, Upper: c.s})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// SearchContentOnly runs the social-blind degenerate mode: every node has
+// proximity 1, so ranking depends only on document structure and keyword
+// semantics — classical LCA-flavoured XML keyword search.
+func (e *Engine) SearchContentOnly(keywords []string, k int, params score.Params) ([]Result, error) {
+	prox := make([]float64, e.in.NumNodes())
+	for i := range prox {
+		prox[i] = 1
+	}
+	return e.TopKWithProximity(keywords, k, params, prox)
+}

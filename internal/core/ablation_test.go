@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"s3/internal/doc"
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/score"
+	"s3/internal/text"
+)
+
+// In the social-blind degenerate mode the best answer for a two-keyword
+// query is the lowest common ancestor of the containing nodes — the
+// classical XML-IR behaviour §3.4 reduces to when prox ≡ 1.
+func TestContentOnlyPrefersLCA(t *testing.T) {
+	b := graph.NewBuilder(text.Analyzer{Lang: text.None})
+	must(t, b.AddUser("u"))
+	// doc: root → sec1( parA("x"), parB("y") ), sec2("z")
+	root := &doc.Node{URI: "d", Name: "doc", Children: []*doc.Node{
+		{Name: "sec", Children: []*doc.Node{
+			{Name: "par", Keywords: []string{"x"}},
+			{Name: "par", Keywords: []string{"y"}},
+		}},
+		{Name: "sec", Keywords: []string{"z"}},
+	}}
+	must(t, b.AddDocument(root))
+	must(t, b.AddPost("d", "u"))
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(in, index.Build(in))
+	params := score.Params{Gamma: 1.5, Eta: 0.5}
+
+	res, err := e.SearchContentOnly([]string{"x", "y"}, 1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The LCA of the two keyword nodes is d.1, not the root and not a
+	// leaf (leaves lack one keyword; the root pays an extra η).
+	if len(res) != 1 || res[0].URI != "d.1" {
+		t.Fatalf("content-only answer = %+v, want the LCA d.1", res)
+	}
+
+	// Single-keyword query: the containing leaf itself wins (η < 1
+	// penalises every ancestor).
+	res, err = e.SearchContentOnly([]string{"x"}, 1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].URI != "d.1.1" {
+		t.Fatalf("content-only answer = %+v, want the leaf d.1.1", res)
+	}
+}
+
+// Best-path proximity never exceeds the all-paths proximity (the sum over
+// all paths includes the best one).
+func TestBestPathBoundedByAllPaths(t *testing.T) {
+	for seed := int64(800); seed < 812; seed++ {
+		e := buildRandomEngine(t, seed)
+		in := e.Instance()
+		params := score.Params{Gamma: 1.5, Eta: 0.5}
+		seeker := in.Users()[0]
+		all := score.ExactProximity(in, params, seeker, 1e-13)
+		best := score.BestPathProximity(in, params, seeker)
+		for v := range best {
+			if best[v] > all[v]+1e-9 {
+				t.Fatalf("seed %d: best-path prox %v exceeds all-paths %v at %s",
+					seed, best[v], all[v], in.URIOf(graph.NID(v)))
+			}
+			if best[v] < 0 {
+				t.Fatalf("negative proximity at %v", v)
+			}
+			// Reachability agreement: a node has a best path iff it has
+			// any path.
+			if (best[v] == 0) != (all[v] == 0) {
+				t.Fatalf("seed %d: reachability mismatch at %s", seed, in.URIOf(graph.NID(v)))
+			}
+		}
+	}
+}
+
+func TestTopKWithProximityValidation(t *testing.T) {
+	e := buildRandomEngine(t, 820)
+	params := score.DefaultParams()
+	if _, err := e.TopKWithProximity([]string{"kw0"}, 0, params, make([]float64, e.Instance().NumNodes())); err == nil {
+		t.Fatal("expected error for k = 0")
+	}
+	if _, err := e.TopKWithProximity([]string{"kw0"}, 3, params, make([]float64, 1)); err == nil {
+		t.Fatal("expected error for wrong-sized proximity vector")
+	}
+}
+
+// With the exact proximity vector, TopKWithProximity must agree with
+// Exhaustive (it is the same computation, factored differently).
+func TestTopKWithProximityMatchesExhaustive(t *testing.T) {
+	e := buildRandomEngine(t, 830)
+	in := e.Instance()
+	params := score.Params{Gamma: 1.5, Eta: 0.6}
+	seeker := in.Users()[0]
+	prox := score.ExactProximity(in, params, seeker, 1e-14)
+
+	a, err := e.Exhaustive(seeker, []string{"kw0"}, 5, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.TopKWithProximity([]string{"kw0"}, 5, params, prox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Doc != b[i].Doc {
+			t.Fatalf("rank %d: %s vs %s", i, a[i].URI, b[i].URI)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"fmt"
+
+	"s3/internal/graph"
+	"s3/internal/score"
+)
+
+// Exhaustive computes a top-k answer by brute force: near-exact social
+// proximity for every node, exact scores for every candidate in every
+// matching component, then the greedy selection of Definition 3.2
+// (repeatedly take the best-scoring document that is not a vertical
+// neighbour of an earlier pick). Documents whose score vanishes (no
+// reachable connection source) are not considered answers.
+//
+// It is the testing oracle for Search and the reference scorer for the
+// quality measures of §5.4.
+func (e *Engine) Exhaustive(seeker graph.NID, keywords []string, k int, params score.Params) ([]Result, error) {
+	if int(seeker) < 0 || int(seeker) >= e.in.NumNodes() || e.in.KindOf(seeker) != graph.KindUser {
+		return nil, fmt.Errorf("core: seeker must be a user node")
+	}
+	prox := score.ExactProximity(e.in, params, seeker, 1e-14)
+	return e.TopKWithProximity(keywords, k, params, prox)
+}

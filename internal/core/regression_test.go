@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"s3/internal/doc"
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/score"
+	"s3/internal/text"
+)
+
+// Regression: a matched component that is unreachable from the seeker,
+// combined with fewer than k reachable candidates and a cyclic social
+// graph (so the exploration border never empties), used to spin the
+// search forever — the uncertainty/insufficient-candidates paths skipped
+// the precision-floor stop. The search must terminate and return the
+// reachable answer.
+func TestUnreachableComponentTerminates(t *testing.T) {
+	b := graph.NewBuilder(text.Analyzer{Lang: text.None})
+	// Seeker island: a 2-cycle keeps the border alive forever.
+	must(t, b.AddUser("seeker"))
+	must(t, b.AddUser("friend"))
+	must(t, b.AddSocial("seeker", "friend", 1, ""))
+	must(t, b.AddSocial("friend", "seeker", 1, ""))
+	must(t, b.AddDocument(&doc.Node{URI: "near", Keywords: []string{"kw"}}))
+	must(t, b.AddPost("near", "friend"))
+
+	// Far island: a matched component authored by a user nobody reaches.
+	must(t, b.AddUser("hermit"))
+	must(t, b.AddDocument(&doc.Node{URI: "far", Keywords: []string{"kw"}}))
+	must(t, b.AddPost("far", "hermit"))
+
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(in, index.Build(in))
+	seeker, _ := in.NIDOf("seeker")
+
+	done := make(chan struct{})
+	var res []Result
+	var stats Stats
+	go func() {
+		defer close(done)
+		res, stats, err = e.Search(seeker, []string{"kw"}, Options{
+			K: 5, Params: score.Params{Gamma: 1.5, Eta: 0.8},
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("search did not terminate on an unreachable matched component")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].URI != "near" {
+		t.Fatalf("results = %+v (stats %+v), want just the reachable document", res, stats)
+	}
+}
+
+// The same shape at a larger k and with several unreachable components.
+func TestManyUnreachableComponentsTerminate(t *testing.T) {
+	b := graph.NewBuilder(text.Analyzer{Lang: text.None})
+	must(t, b.AddUser("seeker"))
+	must(t, b.AddUser("friend"))
+	must(t, b.AddSocial("seeker", "friend", 1, ""))
+	must(t, b.AddSocial("friend", "seeker", 0.5, ""))
+	must(t, b.AddDocument(&doc.Node{URI: "reachable", Keywords: []string{"kw"}}))
+	must(t, b.AddPost("reachable", "friend"))
+	for i := 0; i < 5; i++ {
+		u := "hermit" + string(rune('0'+i))
+		d := "island" + string(rune('0'+i))
+		must(t, b.AddUser(u))
+		must(t, b.AddDocument(&doc.Node{URI: d, Keywords: []string{"kw"}}))
+		must(t, b.AddPost(d, u))
+	}
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(in, index.Build(in))
+	seeker, _ := in.NIDOf("seeker")
+
+	start := time.Now()
+	res, stats, err := e.Search(seeker, []string{"kw"}, Options{
+		K: 10, Params: score.Params{Gamma: 1.25, Eta: 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("search took %v", time.Since(start))
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %+v (stats %+v)", res, stats)
+	}
+}

@@ -1,0 +1,512 @@
+// Package core implements S3k, the top-k keyword-search algorithm of the
+// paper (§4), over an S3 instance and its connection index.
+//
+// The engine follows Algorithm 1 with the optimisations of §5.2:
+//
+//   - the graph is explored breadth-first from the seeker through the
+//     normalised transition matrix (borderProx vectors instead of the
+//     borderPath table);
+//   - candidate documents are discovered at component grain: when the
+//     border first touches a node of a component matching every query
+//     keyword, all documents of that component satisfying the conjunctive
+//     keyword condition become candidates (GetDocuments);
+//   - every candidate carries a [lower, upper] score interval, refined each
+//     iteration from the bounded social proximity (ComputeCandidateBounds);
+//   - a threshold bounds the best possible score of documents in components
+//     not yet reached;
+//   - the search stops when a provably correct top-k exists (Algorithm 2)
+//     or, in any-time mode, when the iteration/time budget is exhausted
+//     (Theorem 4.3).
+//
+// One deliberate deviation from the paper's presentation: instead of
+// physically deleting dominated candidates (CleanCandidatesList), the
+// engine recomputes a greedy "kept" selection every iteration. Permanent
+// deletion based on a dominating vertical neighbour is unsound while score
+// intervals still overlap — the dominator can itself be excluded later by
+// an even better neighbour, resurrecting the dominated document (see
+// TestSiblingResurrection in the tests). Recomputing the selection each
+// round preserves the paper's pruning effect on the stop condition while
+// remaining provably safe.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"s3/internal/dict"
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/score"
+)
+
+// Options configure one search.
+type Options struct {
+	// K is the number of results (top-k).
+	K int
+	// Params are the score damping factors (γ, η).
+	Params score.Params
+	// MaxIterations caps exploration depth; 0 means unlimited. When the
+	// cap is hit the engine returns the current best answer (any-time
+	// termination).
+	MaxIterations int
+	// Budget caps wall-clock time; 0 means unlimited (any-time
+	// termination as well).
+	Budget time.Duration
+	// Workers parallelises candidate bound computation (§5.2 runs eight
+	// threads; we size by GOMAXPROCS). 0 or 1 disables parallelism.
+	Workers int
+	// Epsilon is the finite-precision tie-breaking margin of Theorem 4.2.
+	// 0 defaults to 1e-12.
+	Epsilon float64
+}
+
+// DefaultOptions returns a top-10 search with default damping.
+func DefaultOptions() Options {
+	return Options{K: 10, Params: score.DefaultParams()}
+}
+
+// Result is one answer document with its score interval. After a
+// non-any-time stop, Lower and Upper bracket the exact score tightly
+// enough that the answer set is provably a top-k answer.
+type Result struct {
+	Doc   graph.NID
+	URI   string
+	Lower float64
+	Upper float64
+}
+
+// StopReason explains why the search ended.
+type StopReason string
+
+const (
+	// StopThreshold: the Algorithm 2 condition held — the answer is exact.
+	StopThreshold StopReason = "threshold"
+	// StopExhausted: the whole reachable graph was explored — the answer
+	// is exact.
+	StopExhausted StopReason = "exhausted"
+	// StopBudget: any-time termination by time or iteration budget.
+	StopBudget StopReason = "budget"
+	// StopNoMatch: no component matches every query keyword.
+	StopNoMatch StopReason = "nomatch"
+	// StopPrecision: score intervals shrank below the floating-point
+	// precision floor; remaining ties are unbreakable (Theorem 4.2's
+	// finite-precision tie breaking).
+	StopPrecision StopReason = "precision"
+)
+
+// Stats reports the work performed by one search.
+type Stats struct {
+	Iterations        int
+	NodesReached      int
+	ComponentsMatched int
+	ComponentsReached int
+	Candidates        int
+	Reason            StopReason
+	Elapsed           time.Duration
+}
+
+// Engine answers queries over one instance. It is immutable and safe for
+// concurrent Search calls.
+type Engine struct {
+	in *graph.Instance
+	ix *index.Index
+}
+
+// NewEngine pairs an instance with its connection index.
+func NewEngine(in *graph.Instance, ix *index.Index) *Engine {
+	return &Engine{in: in, ix: ix}
+}
+
+// Instance returns the engine's instance.
+func (e *Engine) Instance() *graph.Instance { return e.in }
+
+// Index returns the engine's connection index.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// term is one connection of a candidate: η^|pos| times the proximity of
+// src.
+type term struct {
+	eta float64
+	src graph.NID
+}
+
+// cand is a candidate document with its per-group connection terms.
+type cand struct {
+	d     graph.NID
+	terms [][]term
+	lower float64
+	upper float64
+}
+
+// KeywordGroups resolves raw query keywords to their stemmed semantic
+// extensions (Definition 2.1). The keyword space K of the model contains
+// "all the URIs, plus the stemmed version of all literals" (§2): a query
+// keyword matching the vocabulary verbatim (a URI, hashtag, entity
+// mention...) is used as-is; otherwise it runs through the text pipeline.
+// The boolean is false when some keyword can never match (it does not
+// occur in the instance vocabulary at all), which makes the conjunctive
+// query empty.
+func (e *Engine) KeywordGroups(keywords []string) ([][]dict.ID, bool, error) {
+	an := e.in.Analyzer()
+	var groups [][]dict.ID
+	for _, kw := range keywords {
+		id, ok := e.in.Dict().Lookup(kw)
+		if !ok {
+			stems := an.Keywords(kw)
+			if len(stems) == 0 {
+				continue
+			}
+			id, ok = e.in.Dict().Lookup(stems[0])
+			if !ok {
+				return nil, false, nil
+			}
+		}
+		groups = append(groups, e.in.Ontology().Ext(id))
+	}
+	if len(groups) == 0 {
+		return nil, false, fmt.Errorf("core: query has no usable keywords")
+	}
+	return groups, true, nil
+}
+
+// Search runs S3k for the query (seeker, keywords) and returns the top-k
+// answer (Definition 3.2): the k best-scoring documents such that no
+// result is a vertical neighbour of a better one.
+func (e *Engine) Search(seeker graph.NID, keywords []string, opts Options) ([]Result, Stats, error) {
+	start := time.Now()
+	var stats Stats
+	if opts.K <= 0 {
+		return nil, stats, fmt.Errorf("core: k must be positive, got %d", opts.K)
+	}
+	if int(seeker) < 0 || int(seeker) >= e.in.NumNodes() || e.in.KindOf(seeker) != graph.KindUser {
+		return nil, stats, fmt.Errorf("core: seeker must be a user node")
+	}
+	eps := opts.Epsilon
+	if eps == 0 {
+		eps = 1e-12
+	}
+
+	groups, possible, err := e.KeywordGroups(keywords)
+	if err != nil {
+		return nil, stats, err
+	}
+	if !possible {
+		stats.Reason = StopNoMatch
+		stats.Elapsed = time.Since(start)
+		return nil, stats, nil
+	}
+	sc, err := score.NewScorer(e.in, e.ix, opts.Params, groups)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	matched := make(map[int32]struct{})
+	for _, c := range e.ix.CompsForGroups(groups) {
+		matched[c] = struct{}{}
+	}
+	stats.ComponentsMatched = len(matched)
+	if len(matched) == 0 {
+		stats.Reason = StopNoMatch
+		stats.Elapsed = time.Since(start)
+		return nil, stats, nil
+	}
+
+	st := &searchState{
+		e:        e,
+		sc:       sc,
+		groups:   groups,
+		opts:     opts,
+		eps:      eps,
+		matched:  matched,
+		it:       score.NewIterator(e.in, opts.Params, seeker),
+		admitted: make(map[int32]struct{}),
+	}
+
+	reason := st.run(start, &stats)
+	stats.Reason = reason
+	stats.Iterations = st.it.N()
+	stats.Candidates = len(st.cands)
+	stats.Elapsed = time.Since(start)
+
+	return st.results(), stats, nil
+}
+
+// searchState carries the mutable state of one search.
+type searchState struct {
+	e        *Engine
+	sc       *score.Scorer
+	groups   [][]dict.ID
+	opts     Options
+	eps      float64
+	matched  map[int32]struct{}
+	admitted map[int32]struct{}
+	it       *score.Iterator
+
+	cands   []*cand
+	reached int
+
+	selection []*cand // current greedy top-k (by upper bound)
+}
+
+func (st *searchState) run(start time.Time, stats *Stats) StopReason {
+	for {
+		if st.it.Done() {
+			st.computeBounds(0)
+			st.selection, _ = st.greedySelect()
+			return StopExhausted
+		}
+		if st.opts.MaxIterations > 0 && st.it.N() >= st.opts.MaxIterations {
+			st.computeBounds(st.it.TailBound())
+			st.selection, _ = st.greedySelect()
+			return StopBudget
+		}
+		if st.opts.Budget > 0 && time.Since(start) > st.opts.Budget {
+			st.computeBounds(st.it.TailBound())
+			st.selection, _ = st.greedySelect()
+			return StopBudget
+		}
+
+		discovered := st.it.Step()
+		st.reached += len(discovered)
+		stats.NodesReached = st.reached
+		for _, nd := range discovered {
+			comp := st.e.in.CompOf(nd)
+			if comp < 0 {
+				continue
+			}
+			if _, ok := st.matched[comp]; !ok {
+				continue
+			}
+			if _, dup := st.admitted[comp]; dup {
+				continue
+			}
+			st.admitted[comp] = struct{}{}
+			st.admitComponent(comp)
+		}
+		stats.ComponentsReached = len(st.admitted)
+
+		tail := st.it.TailBound()
+		st.computeBounds(tail)
+
+		// Once every matching component has been discovered, no document
+		// outside the candidate set can ever match the query.
+		threshold := 0.0
+		if len(st.admitted) < len(st.matched) {
+			threshold = st.sc.Threshold(st.it.SourceTailBound())
+		}
+		selection, certain := st.greedySelect()
+		st.selection = selection
+
+		// The answer is final when the selection is trustworthy, cannot
+		// grow from still-undiscovered components (which can only matter
+		// while the threshold is non-negligible), and provably dominates
+		// every other candidate as well as anything undiscovered.
+		mayGrow := len(selection) < st.opts.K && threshold > st.eps
+		if certain && !mayGrow {
+			if len(selection) > 0 {
+				minLower := math.Inf(1)
+				for _, c := range selection {
+					minLower = math.Min(minLower, c.lower)
+				}
+				maxOther := st.maxOtherUpper(selection)
+				if maxOther <= minLower+st.eps && threshold <= minLower+st.eps {
+					return StopThreshold
+				}
+			} else if threshold <= st.eps {
+				// Nothing can ever score above zero.
+				return StopThreshold
+			}
+		}
+
+		// Finite-precision tie breaking (Theorem 4.2): when the remaining
+		// uncertainty is below the floating-point noise floor, further
+		// exploration cannot separate candidates or surface new ones.
+		// This guard must be reachable on *every* iteration — matched
+		// components disconnected from the seeker would otherwise keep
+		// the search spinning forever (the border cycles and never
+		// empties on cyclic graphs).
+		if st.it.TailBound() < 1e-15 {
+			st.computeBounds(st.it.TailBound())
+			st.selection, _ = st.greedySelect()
+			return StopPrecision
+		}
+	}
+}
+
+// admitComponent implements GetDocuments: all documents of the component
+// satisfying the conjunctive keyword condition become candidates, with
+// their connection terms resolved once.
+func (st *searchState) admitComponent(comp int32) {
+	in := st.e.in
+	for _, d := range st.e.ix.CandidatesInComp(comp, st.groups) {
+		c := &cand{d: d, terms: make([][]term, len(st.groups))}
+		for gi := range st.groups {
+			for _, ev := range st.sc.GroupEvents(comp, gi) {
+				rel, ok := in.PosLen(d, ev.Frag)
+				if !ok {
+					continue
+				}
+				src := ev.Src
+				if ev.Type == index.Contains {
+					src = d
+				}
+				c.terms[gi] = append(c.terms[gi], term{
+					eta: math.Pow(st.opts.Params.Eta, float64(rel)),
+					src: src,
+				})
+			}
+		}
+		st.cands = append(st.cands, c)
+	}
+}
+
+// computeBounds refreshes every candidate's score interval from the
+// current bounded proximity (ComputeCandidateBounds).
+func (st *searchState) computeBounds(tail float64) {
+	workers := st.opts.Workers
+	if workers <= 1 || len(st.cands) < 64 {
+		st.boundRange(0, len(st.cands), tail)
+		return
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(st.cands) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(st.cands))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			st.boundRange(lo, hi, tail)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (st *searchState) boundRange(lo, hi int, tail float64) {
+	all := st.it.AllProx()
+	for _, c := range st.cands[lo:hi] {
+		c.lower, c.upper = 1, 1
+		for _, terms := range c.terms {
+			var mLo, mHi float64
+			for _, t := range terms {
+				p := all[t.src]
+				mLo += t.eta * p
+				mHi += t.eta * math.Min(1, p+tail)
+			}
+			c.lower *= mLo
+			c.upper *= mHi
+		}
+	}
+}
+
+// greedySelect computes the current best-possible answer: candidates are
+// visited by decreasing upper bound (ties by node id) and greedily
+// selected, skipping any candidate that is certainly dominated by an
+// already-selected vertical neighbour. If a candidate meets a selected
+// neighbour whose relative order is still uncertain, the selection is not
+// yet trustworthy and the search must continue.
+func (st *searchState) greedySelect() ([]*cand, bool) {
+	order := make([]*cand, len(st.cands))
+	copy(order, st.cands)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].upper != order[j].upper {
+			return order[i].upper > order[j].upper
+		}
+		return order[i].d < order[j].d
+	})
+	var sel []*cand
+	for _, c := range order {
+		if c.upper <= st.eps {
+			// A document none of whose connection sources is socially
+			// reachable scores zero and is not a meaningful answer.
+			break
+		}
+		dominated := false
+		uncertain := false
+		for _, t := range sel {
+			if !st.e.in.VerticalNeighbors(t.d, c.d) {
+				continue
+			}
+			if t.lower >= c.upper-st.eps {
+				// t certainly at least as good (or an unbreakable tie,
+				// resolved deterministically in t's favour by the sort).
+				dominated = true
+				break
+			}
+			uncertain = true
+			break
+		}
+		if uncertain {
+			return sel, false
+		}
+		if dominated {
+			continue
+		}
+		sel = append(sel, c)
+		if len(sel) == st.opts.K {
+			break
+		}
+	}
+	return sel, true
+}
+
+// maxOtherUpper returns the best upper bound among candidates outside the
+// selection that are not certainly dominated by a selected neighbour.
+func (st *searchState) maxOtherUpper(sel []*cand) float64 {
+	inSel := make(map[graph.NID]struct{}, len(sel))
+	for _, c := range sel {
+		inSel[c.d] = struct{}{}
+	}
+	maxOther := 0.0
+	for _, c := range st.cands {
+		if _, ok := inSel[c.d]; ok {
+			continue
+		}
+		dominated := false
+		for _, t := range sel {
+			if st.e.in.VerticalNeighbors(t.d, c.d) && t.lower >= c.upper-st.eps {
+				dominated = true
+				break
+			}
+		}
+		if !dominated && c.upper > maxOther {
+			maxOther = c.upper
+		}
+	}
+	return maxOther
+}
+
+func (st *searchState) results() []Result {
+	out := make([]Result, 0, len(st.selection))
+	for _, c := range st.selection {
+		out = append(out, Result{
+			Doc:   c.d,
+			URI:   st.e.in.URIOf(c.d),
+			Lower: c.lower,
+			Upper: c.upper,
+		})
+	}
+	return out
+}
+
+// CandidateCount returns how many distinct documents satisfy the
+// conjunctive keyword condition of the given groups, across all matching
+// components — the "candidates examined" notion used by the §5.4
+// semantic-reachability measure.
+func (e *Engine) CandidateCount(groups [][]dict.ID) int {
+	n := 0
+	for _, comp := range e.ix.CompsForGroups(groups) {
+		n += len(e.ix.CandidatesInComp(comp, groups))
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"s3/internal/doc"
+	"s3/internal/graph"
+)
+
+// VodkasterOptions size the synthetic stand-in for I2 (§5.1): a French
+// movie-centred social network — follower edges, per-movie comment
+// threads, sentence-level fragments, no ontology and no tags.
+type VodkasterOptions struct {
+	Seed   int64
+	Users  int
+	Movies int
+	// CommentsPerMovie is the expected thread length (heavy-tailed).
+	CommentsPerMovie float64
+	Vocab            int
+	AvgFollowDegree  float64
+	// IsolatedFrac is the fraction of users with no follow edges at all;
+	// content they author is unreachable through the social graph alone
+	// (the paper's graph-reachability measure hinges on such users).
+	IsolatedFrac float64
+}
+
+// DefaultVodkasterOptions is the laptop-scale default (the paper: 5.3k
+// users, 330k comments over 20k movies).
+func DefaultVodkasterOptions() VodkasterOptions {
+	return VodkasterOptions{
+		Seed:             2,
+		Users:            800,
+		Movies:           600,
+		CommentsPerMovie: 5,
+		Vocab:            3000,
+		AvgFollowDegree:  10,
+		IsolatedFrac:     0.3,
+	}
+}
+
+// Vodkaster generates the I2 stand-in. Following the paper's construction:
+// the first comment of each movie becomes a document whose stemmed
+// sentences are its fragments; every later comment is a document too and
+// comments on the first (sometimes on one of its sentence fragments —
+// fragment-grain interaction is the point of requirement R2). Follower
+// links become weight-1 vdk:follow edges, a sub-property of S3:social.
+func Vodkaster(o VodkasterOptions) graph.Spec {
+	rng := rand.New(rand.NewSource(o.Seed))
+	var spec graph.Spec
+
+	users := make([]string, o.Users)
+	for i := range users {
+		users[i] = fmt.Sprintf("vdk:u%d", i)
+	}
+	spec.Users = users
+
+	isolated := make([]bool, o.Users)
+	for i := range isolated {
+		isolated[i] = rng.Float64() < o.IsolatedFrac
+	}
+	degrees := PowerLawDegrees(rng, o.Users, o.AvgFollowDegree, o.Users/4+1)
+	seen := make(map[[2]int]bool)
+	for u, deg := range degrees {
+		if isolated[u] {
+			continue
+		}
+		for d := 0; d < deg; d++ {
+			v := rng.Intn(o.Users)
+			if v == u || isolated[v] || seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			spec.Social = append(spec.Social, graph.SocialSpec{
+				From: users[u], To: users[v], W: 1, Prop: "vdk:follow",
+			})
+		}
+	}
+
+	zipfWord := NewZipf(rng, 1.4, o.Vocab)
+	zipfThread := NewZipf(rng, 1.2, int(o.CommentsPerMovie*4)+2)
+	zipfAuthor := NewZipf(rng, 1.3, o.Users)
+
+	sentence := func() []string {
+		n := 4 + rng.Intn(5)
+		kws := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			kws = append(kws, FrenchWord(zipfWord.Draw()))
+		}
+		return kws
+	}
+	makeComment := func(uri string) *doc.Node {
+		root := &doc.Node{URI: uri, Name: "comment"}
+		for s := 0; s < 1+rng.Intn(3); s++ {
+			root.Children = append(root.Children, &doc.Node{
+				Name: "sentence", Keywords: sentence(),
+			})
+		}
+		return root
+	}
+
+	cid := 0
+	for m := 0; m < o.Movies; m++ {
+		thread := 1 + zipfThread.Draw()
+		firstURI := fmt.Sprintf("vdk:m%d-c0", m)
+		first := makeComment(firstURI)
+		spec.Docs = append(spec.Docs, first)
+		spec.Posts = append(spec.Posts, graph.PostSpec{Doc: firstURI, User: users[zipfAuthor.Draw()]})
+		cid++
+		for c := 1; c < thread; c++ {
+			uri := fmt.Sprintf("vdk:m%d-c%d", m, c)
+			spec.Docs = append(spec.Docs, makeComment(uri))
+			spec.Posts = append(spec.Posts, graph.PostSpec{Doc: uri, User: users[zipfAuthor.Draw()]})
+			target := firstURI
+			if len(first.Children) > 0 && rng.Float64() < 0.4 {
+				// Comment on a specific sentence of the first comment.
+				target = fmt.Sprintf("%s.%d", firstURI, 1+rng.Intn(len(first.Children)))
+			}
+			spec.Comments = append(spec.Comments, graph.CommentSpec{Comment: uri, Target: target})
+			cid++
+		}
+	}
+	return spec
+}

@@ -1,0 +1,133 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"s3/internal/doc"
+	"s3/internal/graph"
+)
+
+// YelpOptions size the synthetic stand-in for I3 (§5.1): crowd-sourced
+// business reviews with friend lists — weight-1 yelp:friend edges,
+// per-business review chains, DBpedia-style enrichment, no tags.
+type YelpOptions struct {
+	Seed       int64
+	Users      int
+	Businesses int
+	// ReviewsPerBusiness is the expected chain length (heavy-tailed).
+	ReviewsPerBusiness float64
+	Vocab              int
+	AvgFriendDegree    float64
+	// IsolatedFrac is the fraction of users with no friends at all (very
+	// common on review sites; drives the paper's 41% graph-reachability
+	// figure for I3).
+	IsolatedFrac float64
+	Ontology     OntologyOptions
+}
+
+// DefaultYelpOptions is the laptop-scale default (the paper: 367k users,
+// 2.06M reviews over 61k businesses).
+func DefaultYelpOptions() YelpOptions {
+	return YelpOptions{
+		Seed:               3,
+		Users:              1500,
+		Businesses:         900,
+		ReviewsPerBusiness: 4,
+		Vocab:              5000,
+		AvgFriendDegree:    10,
+		IsolatedFrac:       0.45,
+		Ontology:           DefaultOntologyOptions(),
+	}
+}
+
+// Yelp generates the I3 stand-in: the first review of a business is a
+// document, each later review comments on it (as the paper prescribes);
+// review text is entity-enriched; friendships are symmetric weight-1
+// edges under the yelp:friend sub-property.
+func Yelp(o YelpOptions) graph.Spec {
+	rng := rand.New(rand.NewSource(o.Seed))
+	var spec graph.Spec
+
+	ont := GenOntology(rng, o.Ontology)
+	spec.Ontology = ont.Triples
+
+	users := make([]string, o.Users)
+	for i := range users {
+		users[i] = fmt.Sprintf("yelp:u%d", i)
+	}
+	spec.Users = users
+
+	isolated := make([]bool, o.Users)
+	for i := range isolated {
+		isolated[i] = rng.Float64() < o.IsolatedFrac
+	}
+	degrees := PowerLawDegrees(rng, o.Users, o.AvgFriendDegree, o.Users/4+1)
+	seen := make(map[[2]int]bool)
+	for u, deg := range degrees {
+		if isolated[u] {
+			continue
+		}
+		for d := 0; d < deg; d++ {
+			v := rng.Intn(o.Users)
+			if v == u || isolated[v] || seen[[2]int{u, v}] {
+				continue
+			}
+			// Friendship is symmetric: add both directions.
+			seen[[2]int{u, v}] = true
+			seen[[2]int{v, u}] = true
+			spec.Social = append(spec.Social,
+				graph.SocialSpec{From: users[u], To: users[v], W: 1, Prop: "yelp:friend"},
+				graph.SocialSpec{From: users[v], To: users[u], W: 1, Prop: "yelp:friend"},
+			)
+		}
+	}
+
+	zipfWord := NewZipf(rng, 1.4, o.Vocab)
+	zipfChain := NewZipf(rng, 1.2, int(o.ReviewsPerBusiness*4)+2)
+	zipfAuthor := NewZipf(rng, 1.3, o.Users)
+	zipfClass := NewZipf(rng, 1.3, len(ont.ClassNames))
+
+	paragraph := func() []string {
+		n := 6 + rng.Intn(8)
+		kws := make([]string, 0, n+2)
+		for i := 0; i < n; i++ {
+			kws = append(kws, Word(zipfWord.Draw()))
+		}
+		if rng.Float64() < 0.3 {
+			kws = append(kws, ont.EntityTokens[rng.Intn(len(ont.EntityTokens))])
+		}
+		if rng.Float64() < 0.15 {
+			kws = append(kws, ont.ClassNames[zipfClass.Draw()])
+		}
+		return kws
+	}
+	makeReview := func(uri string, stars int) *doc.Node {
+		root := &doc.Node{URI: uri, Name: "review", Children: []*doc.Node{
+			{Name: "stars", Keywords: []string{fmt.Sprintf("stars%d", stars)}},
+		}}
+		for p := 0; p < 1+rng.Intn(3); p++ {
+			root.Children = append(root.Children, &doc.Node{Name: "par", Keywords: paragraph()})
+		}
+		return root
+	}
+
+	for b := 0; b < o.Businesses; b++ {
+		chain := 1 + zipfChain.Draw()
+		firstURI := fmt.Sprintf("yelp:b%d-r0", b)
+		first := makeReview(firstURI, 1+rng.Intn(5))
+		spec.Docs = append(spec.Docs, first)
+		spec.Posts = append(spec.Posts, graph.PostSpec{Doc: firstURI, User: users[zipfAuthor.Draw()]})
+		for c := 1; c < chain; c++ {
+			uri := fmt.Sprintf("yelp:b%d-r%d", b, c)
+			spec.Docs = append(spec.Docs, makeReview(uri, 1+rng.Intn(5)))
+			spec.Posts = append(spec.Posts, graph.PostSpec{Doc: uri, User: users[zipfAuthor.Draw()]})
+			target := firstURI
+			if rng.Float64() < 0.3 && len(first.Children) > 1 {
+				target = fmt.Sprintf("%s.%d", firstURI, 2+rng.Intn(len(first.Children)-1))
+			}
+			spec.Comments = append(spec.Comments, graph.CommentSpec{Comment: uri, Target: target})
+		}
+	}
+	return spec
+}

@@ -1,0 +1,73 @@
+// Package dict provides string interning: a bidirectional mapping between
+// strings (URIs, literals, keywords) and dense integer identifiers.
+//
+// Every layer of the S3 instance (RDF triples, document nodes, tags, the
+// network matrix) speaks in dict.ID values instead of strings, which keeps
+// the hot paths allocation-free and makes node identity a single integer
+// comparison. A Dict is safe for concurrent readers once no more writers
+// call Intern; interleaving Intern with readers requires external locking
+// (the instance builder interns everything before queries start).
+package dict
+
+import "fmt"
+
+// ID is a dense identifier for an interned string. IDs are assigned
+// consecutively from 0 in insertion order.
+type ID uint32
+
+// NoID is a sentinel that is never returned by Intern.
+const NoID ID = ^ID(0)
+
+// Dict interns strings into dense IDs and resolves IDs back to strings.
+// The zero value is not usable; call New.
+type Dict struct {
+	byStr map[string]ID
+	strs  []string
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{byStr: make(map[string]ID)}
+}
+
+// Intern returns the ID for s, assigning a fresh one if s was never seen.
+func (d *Dict) Intern(s string) ID {
+	if id, ok := d.byStr[s]; ok {
+		return id
+	}
+	id := ID(len(d.strs))
+	if id == NoID {
+		panic("dict: identifier space exhausted")
+	}
+	d.byStr[s] = id
+	d.strs = append(d.strs, s)
+	return id
+}
+
+// Lookup returns the ID for s if it was interned.
+func (d *Dict) Lookup(s string) (ID, bool) {
+	id, ok := d.byStr[s]
+	return id, ok
+}
+
+// Has reports whether s was interned.
+func (d *Dict) Has(s string) bool {
+	_, ok := d.byStr[s]
+	return ok
+}
+
+// String resolves an ID back to the interned string. It panics on an ID
+// that was never issued, which always indicates a programming error.
+func (d *Dict) String(id ID) string {
+	if int(id) >= len(d.strs) {
+		panic(fmt.Sprintf("dict: unknown id %d (size %d)", id, len(d.strs)))
+	}
+	return d.strs[id]
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// Strings returns all interned strings in ID order. The returned slice is
+// shared with the dictionary and must not be modified.
+func (d *Dict) Strings() []string { return d.strs }

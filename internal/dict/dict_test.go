@@ -1,0 +1,119 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	d := New()
+	a := d.Intern("a")
+	b := d.Intern("b")
+	c := d.Intern("c")
+	if a != 0 || b != 1 || c != 2 {
+		t.Fatalf("expected dense ids 0,1,2, got %d,%d,%d", a, b, c)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestInternIsIdempotent(t *testing.T) {
+	d := New()
+	first := d.Intern("x")
+	second := d.Intern("x")
+	if first != second {
+		t.Fatalf("re-interning returned %d, want %d", second, first)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	d := New()
+	d.Intern("present")
+	if _, ok := d.Lookup("absent"); ok {
+		t.Fatal("Lookup returned ok for a string that was never interned")
+	}
+	if d.Has("absent") {
+		t.Fatal("Has returned true for a string that was never interned")
+	}
+	if !d.Has("present") {
+		t.Fatal("Has returned false for an interned string")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	d := New()
+	inputs := []string{"", "a", "université", "M.S.", "http://example.org/x"}
+	for _, s := range inputs {
+		id := d.Intern(s)
+		if got := d.String(id); got != s {
+			t.Fatalf("String(Intern(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestStringPanicsOnUnknownID(t *testing.T) {
+	d := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("String on an unknown ID did not panic")
+		}
+	}()
+	d.String(42)
+}
+
+func TestStringsSliceOrder(t *testing.T) {
+	d := New()
+	want := []string{"z", "y", "x"}
+	for _, s := range want {
+		d.Intern(s)
+	}
+	got := d.Strings()
+	if len(got) != len(want) {
+		t.Fatalf("Strings() has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Strings()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: for any sequence of strings, interning is a bijection between
+// the set of distinct strings and [0, Len).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(inputs []string) bool {
+		d := New()
+		seen := make(map[string]ID)
+		for _, s := range inputs {
+			id := d.Intern(s)
+			if prev, ok := seen[s]; ok && prev != id {
+				return false
+			}
+			seen[s] = id
+			if d.String(id) != s {
+				return false
+			}
+		}
+		return d.Len() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntern(b *testing.B) {
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	d := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Intern(keys[i%len(keys)])
+	}
+}

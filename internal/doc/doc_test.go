@@ -1,0 +1,223 @@
+package doc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildPaperDoc builds the motivating example's d0 with fragments d0.3.2
+// and d0.5.1 at the paper's positions.
+func buildPaperDoc(t *testing.T) *Document {
+	t.Helper()
+	root := &Node{URI: "d0", Name: "article", Children: []*Node{
+		{Name: "sec"}, {Name: "sec"},
+		{Name: "sec", Children: []*Node{
+			{Name: "par"},
+			{Name: "par", Text: "some disputed paragraph"},
+		}},
+		{Name: "sec"},
+		{Name: "sec", Children: []*Node{
+			{Name: "par", Text: "graduation text"},
+		}},
+	}}
+	d, err := New(root)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func TestDeweyURIsAndPositions(t *testing.T) {
+	d := buildPaperDoc(t)
+	n, ok := d.Node("d0.3.2")
+	if !ok {
+		t.Fatal("node d0.3.2 not found")
+	}
+	if got := n.Pos(); !reflect.DeepEqual(got, []int{3, 2}) {
+		t.Fatalf("pos(d0.3.2) = %v, want [3 2]", got)
+	}
+	if n.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", n.Depth())
+	}
+	if _, ok := d.Node("d0.5.1"); !ok {
+		t.Fatal("node d0.5.1 not found")
+	}
+	if d.Root().Depth() != 0 || len(d.Root().Pos()) != 0 {
+		t.Fatal("root must have empty position")
+	}
+}
+
+func TestExplicitURIsPreserved(t *testing.T) {
+	root := &Node{URI: "doc", Children: []*Node{{URI: "custom-uri", Name: "x"}}}
+	d, err := New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Node("custom-uri"); !ok {
+		t.Fatal("explicit child URI was not preserved")
+	}
+}
+
+func TestNewRejectsDuplicateURIs(t *testing.T) {
+	root := &Node{URI: "d", Children: []*Node{{URI: "x"}, {URI: "x"}}}
+	if _, err := New(root); err == nil {
+		t.Fatal("expected error on duplicate URIs")
+	}
+}
+
+func TestNewRejectsMissingRootURI(t *testing.T) {
+	if _, err := New(&Node{Name: "a"}); err == nil {
+		t.Fatal("expected error on missing root URI")
+	}
+}
+
+func TestNewRejectsNilRootAndNilChild(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("expected error on nil root")
+	}
+	if _, err := New(&Node{URI: "d", Children: []*Node{nil}}); err == nil {
+		t.Fatal("expected error on nil child")
+	}
+}
+
+func TestAncestryAndVerticalNeighbors(t *testing.T) {
+	d := buildPaperDoc(t)
+	root := d.Root()
+	d032, _ := d.Node("d0.3.2")
+	d051, _ := d.Node("d0.5.1")
+	d03, _ := d.Node("d0.3")
+
+	if !IsAncestorOrSelf(root, d032) || !IsAncestorOrSelf(d03, d032) {
+		t.Fatal("ancestor tests failed")
+	}
+	if IsAncestorOrSelf(d032, d03) {
+		t.Fatal("descendant misreported as ancestor")
+	}
+	if !IsAncestorOrSelf(d032, d032) {
+		t.Fatal("self must count as ancestor-or-self")
+	}
+	// The paper's u3/u4 situation: d0.3.2 and d0.5.1 are NOT vertical
+	// neighbours (disjoint subtrees), but each is a neighbour of d0.
+	if VerticalNeighbors(d032, d051) {
+		t.Fatal("disjoint fragments must not be vertical neighbours")
+	}
+	if !VerticalNeighbors(root, d032) || !VerticalNeighbors(d051, root) {
+		t.Fatal("fragment and its document must be vertical neighbours")
+	}
+}
+
+func TestPosLen(t *testing.T) {
+	d := buildPaperDoc(t)
+	root := d.Root()
+	d032, _ := d.Node("d0.3.2")
+	d03, _ := d.Node("d0.3")
+
+	if l, ok := PosLen(root, d032); !ok || l != 2 {
+		t.Fatalf("PosLen(root, d0.3.2) = %d,%v, want 2,true", l, ok)
+	}
+	if l, ok := PosLen(d03, d032); !ok || l != 1 {
+		t.Fatalf("PosLen(d0.3, d0.3.2) = %d,%v, want 1,true", l, ok)
+	}
+	if l, ok := PosLen(root, root); !ok || l != 0 {
+		t.Fatalf("PosLen(root, root) = %d,%v, want 0,true", l, ok)
+	}
+	if _, ok := PosLen(d032, d03); ok {
+		t.Fatal("PosLen must fail when f is not in Frag(d)")
+	}
+}
+
+func TestNodesPreOrder(t *testing.T) {
+	d := buildPaperDoc(t)
+	var uris []string
+	for _, n := range d.Nodes() {
+		uris = append(uris, n.URI)
+	}
+	want := []string{"d0", "d0.1", "d0.2", "d0.3", "d0.3.1", "d0.3.2", "d0.4", "d0.5", "d0.5.1"}
+	if !reflect.DeepEqual(uris, want) {
+		t.Fatalf("pre-order = %v, want %v", uris, want)
+	}
+	if d.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(want))
+	}
+}
+
+func TestParseXML(t *testing.T) {
+	const src = `<tweet lang="en"><text>When I got my M.S. in 2012</text><date>2014-05-02</date><geo>Edmonton</geo></tweet>`
+	d, err := ParseXML("t1", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.URI() != "t1" || d.Root().Name != "tweet" {
+		t.Fatalf("root = %q/%q", d.URI(), d.Root().Name)
+	}
+	// Attribute becomes the first child, then text/date/geo.
+	if got := d.Root().Children[0].Name; got != "@lang" {
+		t.Fatalf("first child = %q, want @lang", got)
+	}
+	txt, ok := d.Node("t1.2")
+	if !ok || txt.Name != "text" || !strings.Contains(txt.Text, "M.S.") {
+		t.Fatalf("text node wrong: %+v (ok=%v)", txt, ok)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	if _, err := ParseXML("x", strings.NewReader("")); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := ParseXML("x", strings.NewReader("<a><b></a></b>")); err == nil {
+		t.Fatal("expected error on malformed XML")
+	}
+}
+
+func TestParseXMLCoalescesText(t *testing.T) {
+	d, err := ParseXML("x", strings.NewReader("<a>one <b>two</b> three</a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Root().Text; got != "one three" {
+		t.Fatalf("root text = %q, want %q", got, "one three")
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	const src = `{"text": "a review", "stars": 4, "flags": [true, false], "nested": {"k": null}}`
+	d, err := ParseJSON("r1", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys sorted: flags, nested, stars, text.
+	names := make([]string, 0)
+	for _, c := range d.Root().Children {
+		names = append(names, c.Name)
+	}
+	want := []string{"flags", "nested", "stars", "text"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("child names = %v, want %v", names, want)
+	}
+	stars, _ := d.Node("r1.3")
+	if stars.Text != "4" {
+		t.Fatalf("stars text = %q, want 4", stars.Text)
+	}
+	flags, _ := d.Node("r1.1")
+	if len(flags.Children) != 2 || flags.Children[0].Name != "item" {
+		t.Fatalf("array children wrong: %+v", flags.Children)
+	}
+}
+
+func TestParseJSONError(t *testing.T) {
+	if _, err := ParseJSON("x", strings.NewReader("{nope")); err == nil {
+		t.Fatal("expected error on malformed JSON")
+	}
+}
+
+func TestFragmentText(t *testing.T) {
+	d := buildPaperDoc(t)
+	if got := FragmentText(d.Root()); got != "some disputed paragraph graduation text" {
+		t.Fatalf("FragmentText = %q", got)
+	}
+	d051, _ := d.Node("d0.5.1")
+	if got := FragmentText(d051); got != "graduation text" {
+		t.Fatalf("FragmentText(d0.5.1) = %q", got)
+	}
+}

@@ -1,0 +1,54 @@
+package doc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteXML serialises a document back to XML, inverting ParseXML:
+// "@attr" children become attributes, node text becomes character data.
+// Keyword sets are derived data and are not serialised. The output parses
+// back to a structurally identical document (URIs are regenerated in
+// Dewey form from the root URI).
+func (d *Document) WriteXML(w io.Writer) error {
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := writeNode(enc, d.root); err != nil {
+		return fmt.Errorf("doc: writing XML for %q: %w", d.URI(), err)
+	}
+	if err := enc.Flush(); err != nil {
+		return fmt.Errorf("doc: writing XML for %q: %w", d.URI(), err)
+	}
+	return nil
+}
+
+func writeNode(enc *xml.Encoder, n *Node) error {
+	start := xml.StartElement{Name: xml.Name{Local: n.Name}}
+	var elementChildren []*Node
+	for _, c := range n.Children {
+		if strings.HasPrefix(c.Name, "@") && len(c.Children) == 0 {
+			start.Attr = append(start.Attr, xml.Attr{
+				Name:  xml.Name{Local: c.Name[1:]},
+				Value: c.Text,
+			})
+			continue
+		}
+		elementChildren = append(elementChildren, c)
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if n.Text != "" {
+		if err := enc.EncodeToken(xml.CharData(n.Text)); err != nil {
+			return err
+		}
+	}
+	for _, c := range elementChildren {
+		if err := writeNode(enc, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(xml.EndElement{Name: start.Name})
+}

@@ -1,0 +1,56 @@
+package doc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	const src = `<tweet lang="en"><text>hello world</text><geo>Lyon</geo></tweet>`
+	d, err := ParseXML("t1", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseXML("t1", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parsing serialised XML: %v\n%s", err, buf.String())
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("round-trip changed node count: %d vs %d\n%s", d2.Len(), d.Len(), buf.String())
+	}
+	for i, n := range d.Nodes() {
+		m := d2.Nodes()[i]
+		if n.Name != m.Name || n.Text != m.Text || n.URI != m.URI {
+			t.Fatalf("node %d differs: %+v vs %+v", i, n, m)
+		}
+	}
+}
+
+func TestWriteXMLEscaping(t *testing.T) {
+	root := &Node{URI: "d", Name: "post", Text: `a < b & "c"`, Children: []*Node{
+		{Name: "@lang", Text: "en<fr"},
+	}}
+	d, err := New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseXML("d", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("escaped XML does not re-parse: %v\n%s", err, buf.String())
+	}
+	if got := d2.Root().Text; got != `a < b & "c"` {
+		t.Fatalf("text lost in escaping: %q", got)
+	}
+	if got := d2.Root().Children[0].Text; got != "en<fr" {
+		t.Fatalf("attribute lost in escaping: %q", got)
+	}
+}

@@ -1,0 +1,537 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"s3/internal/dict"
+	"s3/internal/doc"
+	"s3/internal/rdf"
+	"s3/internal/sparse"
+	"s3/internal/text"
+)
+
+// Spec is a declarative, serialisable description of an S3 instance: the
+// exact content a social application would feed the system. Dataset
+// generators produce Specs; Build turns a Spec into a queryable Instance.
+type Spec struct {
+	// Ontology lists weight-1 RDF triples (schema and entity facts).
+	Ontology [][3]string
+	Users    []string
+	Social   []SocialSpec
+	// Docs holds document trees; each is finalised with doc.New at build
+	// time, so only URI/Name/Text/Children need to be populated.
+	Docs     []*doc.Node
+	Posts    []PostSpec
+	Comments []CommentSpec
+	Tags     []TagSpec
+}
+
+// SocialSpec is one weighted social edge. Prop may name a sub-property of
+// S3:social (e.g. "vdk:follow", "yelp:friend"); empty means S3:social.
+type SocialSpec struct {
+	From, To string
+	W        float64
+	Prop     string
+}
+
+// PostSpec states that document node Doc was posted by User.
+type PostSpec struct{ Doc, User string }
+
+// CommentSpec states that document Comment comments on node Target. Prop
+// may name a sub-property of S3:commentsOn (e.g. "tw:repliesTo").
+type CommentSpec struct{ Comment, Target, Prop string }
+
+// TagSpec declares a tag resource. Keyword == "" makes it a keyword-less
+// endorsement. Type may name a subclass of S3:relatedTo (e.g.
+// "NLP:recognize").
+type TagSpec struct{ URI, Subject, Author, Keyword, Type string }
+
+// Builder incrementally assembles and validates a Spec, then freezes it
+// into an Instance. Builders are single-goroutine objects.
+type Builder struct {
+	spec     Spec
+	analyzer text.Analyzer
+
+	userSet map[string]struct{}
+	nodeURI map[string]NodeKind // all instance node URIs
+	docSet  map[string]int      // doc root URI → index in spec.Docs
+	docs    []*doc.Document     // finalised trees, same order as spec.Docs
+}
+
+// NewBuilder returns a builder using the given text analyzer for document
+// content and tag keywords.
+func NewBuilder(analyzer text.Analyzer) *Builder {
+	return &Builder{
+		analyzer: analyzer,
+		userSet:  make(map[string]struct{}),
+		nodeURI:  make(map[string]NodeKind),
+		docSet:   make(map[string]int),
+	}
+}
+
+// AddOntologyTriple records a weight-1 RDF statement (schema or fact).
+func (b *Builder) AddOntologyTriple(s, p, o string) {
+	b.spec.Ontology = append(b.spec.Ontology, [3]string{s, p, o})
+}
+
+// AddUser registers a user URI. Adding the same user twice is a no-op.
+func (b *Builder) AddUser(uri string) error {
+	if uri == "" {
+		return fmt.Errorf("graph: empty user URI")
+	}
+	if _, dup := b.userSet[uri]; dup {
+		return nil
+	}
+	if k, taken := b.nodeURI[uri]; taken {
+		return fmt.Errorf("graph: URI %q already used by a %s", uri, k)
+	}
+	b.userSet[uri] = struct{}{}
+	b.nodeURI[uri] = KindUser
+	b.spec.Users = append(b.spec.Users, uri)
+	return nil
+}
+
+// AddSocial records a weighted social edge between two existing users,
+// optionally through a named sub-property of S3:social (the sub-property
+// fact is added to the ontology automatically).
+func (b *Builder) AddSocial(from, to string, w float64, prop string) error {
+	if _, ok := b.userSet[from]; !ok {
+		return fmt.Errorf("graph: social edge from unknown user %q", from)
+	}
+	if _, ok := b.userSet[to]; !ok {
+		return fmt.Errorf("graph: social edge to unknown user %q", to)
+	}
+	if from == to {
+		return fmt.Errorf("graph: self social edge on %q", from)
+	}
+	if w <= 0 || w > 1 {
+		return fmt.Errorf("graph: social weight %v outside (0,1]", w)
+	}
+	if prop != "" && prop != PropSocial {
+		b.AddOntologyTriple(prop, rdf.SubPropertyOfURI, PropSocial)
+	}
+	b.spec.Social = append(b.spec.Social, SocialSpec{From: from, To: to, W: w, Prop: prop})
+	return nil
+}
+
+// AddDocument finalises and registers a document tree. Node keyword sets
+// are computed from Text with the builder's analyzer unless already set.
+func (b *Builder) AddDocument(root *doc.Node) error {
+	d, err := doc.New(root)
+	if err != nil {
+		return err
+	}
+	if _, dup := b.docSet[d.URI()]; dup {
+		return fmt.Errorf("graph: duplicate document %q", d.URI())
+	}
+	for _, n := range d.Nodes() {
+		if k, taken := b.nodeURI[n.URI]; taken {
+			return fmt.Errorf("graph: node URI %q already used by a %s", n.URI, k)
+		}
+	}
+	for _, n := range d.Nodes() {
+		b.nodeURI[n.URI] = KindDocNode
+		if n.Keywords == nil && n.Text != "" {
+			n.Keywords = b.analyzer.Keywords(n.Text)
+		}
+	}
+	b.docSet[d.URI()] = len(b.spec.Docs)
+	b.spec.Docs = append(b.spec.Docs, root)
+	b.docs = append(b.docs, d)
+	return nil
+}
+
+// AddPost records that an existing document node was posted by an existing
+// user.
+func (b *Builder) AddPost(docNode, user string) error {
+	if b.nodeURI[docNode] != KindDocNode {
+		return fmt.Errorf("graph: post of unknown document node %q", docNode)
+	}
+	if _, ok := b.userSet[user]; !ok {
+		return fmt.Errorf("graph: post by unknown user %q", user)
+	}
+	b.spec.Posts = append(b.spec.Posts, PostSpec{Doc: docNode, User: user})
+	return nil
+}
+
+// AddComment records that document comment comments on node target,
+// optionally through a sub-property of S3:commentsOn.
+func (b *Builder) AddComment(comment, target, prop string) error {
+	ci, ok := b.docSet[comment]
+	if !ok {
+		return fmt.Errorf("graph: comment %q is not a registered document root", comment)
+	}
+	if b.nodeURI[target] != KindDocNode {
+		return fmt.Errorf("graph: comment target %q is not a document node", target)
+	}
+	if _, inSelf := b.docs[ci].Node(target); inSelf {
+		return fmt.Errorf("graph: document %q cannot comment on its own node %q", comment, target)
+	}
+	if prop != "" && prop != PropCommentsOn {
+		b.AddOntologyTriple(prop, rdf.SubPropertyOfURI, PropCommentsOn)
+	}
+	b.spec.Comments = append(b.spec.Comments, CommentSpec{Comment: comment, Target: target, Prop: prop})
+	return nil
+}
+
+// AddTag declares a tag by author on subject (a document node or an
+// earlier tag — the latter gives the higher-level annotations of R4).
+// keyword == "" declares an endorsement. typ may name a subclass of
+// S3:relatedTo.
+func (b *Builder) AddTag(uri, subject, author, keyword, typ string) error {
+	if uri == "" {
+		return fmt.Errorf("graph: empty tag URI")
+	}
+	if k, taken := b.nodeURI[uri]; taken {
+		return fmt.Errorf("graph: URI %q already used by a %s", uri, k)
+	}
+	if k, ok := b.nodeURI[subject]; !ok || (k != KindDocNode && k != KindTag) {
+		return fmt.Errorf("graph: tag subject %q is not a document node or tag", subject)
+	}
+	if _, ok := b.userSet[author]; !ok {
+		return fmt.Errorf("graph: tag author %q is not a user", author)
+	}
+	if typ != "" && typ != ClassRelatedTo {
+		b.AddOntologyTriple(typ, rdf.SubClassOfURI, ClassRelatedTo)
+	}
+	b.nodeURI[uri] = KindTag
+	b.spec.Tags = append(b.spec.Tags, TagSpec{URI: uri, Subject: subject, Author: author, Keyword: keyword, Type: typ})
+	return nil
+}
+
+// Spec returns a copy of the accumulated specification.
+func (b *Builder) Spec() Spec { return b.spec }
+
+// BuildSpec validates and freezes a Spec into an Instance in one call.
+func BuildSpec(spec Spec, analyzer text.Analyzer) (*Instance, error) {
+	b := NewBuilder(analyzer)
+	for _, t := range spec.Ontology {
+		b.AddOntologyTriple(t[0], t[1], t[2])
+	}
+	for _, u := range spec.Users {
+		if err := b.AddUser(u); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range spec.Social {
+		if err := b.AddSocial(s.From, s.To, s.W, s.Prop); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range spec.Docs {
+		if err := b.AddDocument(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range spec.Posts {
+		if err := b.AddPost(p.Doc, p.User); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range spec.Comments {
+		if err := b.AddComment(c.Comment, c.Target, c.Prop); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range spec.Tags {
+		if err := b.AddTag(t.URI, t.Subject, t.Author, t.Keyword, t.Type); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// Build freezes the builder into an immutable Instance: it saturates the
+// ontology, assigns dense node ids, materialises network edges with their
+// inverses, the normalised transition matrix, the component partition and
+// the instance statistics.
+func (b *Builder) Build() (*Instance, error) {
+	d := dict.New()
+	ont := rdf.New(d)
+	for _, t := range b.spec.Ontology {
+		ont.Add(t[0], t[1], t[2])
+	}
+	// The schema of the S3 namespace itself (§2.3).
+	ont.Add(PropPartOf, rdf.DomainURI, ClassDoc)
+	ont.Add(PropPartOf, rdf.RangeURI, ClassDoc)
+	ont.Add(PropContains, rdf.DomainURI, ClassDoc)
+	ont.Add(PropNodeName, rdf.DomainURI, ClassDoc)
+	ont.Saturate()
+
+	in := &Instance{
+		dict:     d,
+		ont:      ont,
+		analyzer: b.analyzer,
+		nidOf:    make(map[dict.ID]NID),
+		tagInfo:  make(map[NID]TagInfo),
+		kwFreq:   make(map[dict.ID]int),
+	}
+
+	addNode := func(uri string, kind NodeKind) NID {
+		id := d.Intern(uri)
+		n := NID(len(in.dictID))
+		in.nidOf[id] = n
+		in.dictID = append(in.dictID, id)
+		in.kind = append(in.kind, kind)
+		in.parent = append(in.parent, NoNID)
+		in.depth = append(in.depth, 0)
+		in.docOf = append(in.docOf, -1)
+		in.children = append(in.children, nil)
+		in.keywords = append(in.keywords, nil)
+		in.nodeName = append(in.nodeName, dict.NoID)
+		return n
+	}
+
+	for _, uri := range b.spec.Users {
+		in.users = append(in.users, addNode(uri, KindUser))
+	}
+	for docIdx, dd := range b.docs {
+		for _, node := range dd.Nodes() {
+			n := addNode(node.URI, KindDocNode)
+			in.docOf[n] = int32(docIdx)
+			in.depth[n] = int32(node.Depth())
+			in.nodeName[n] = d.Intern(node.Name)
+			for _, kw := range node.Keywords {
+				in.keywords[n] = append(in.keywords[n], d.Intern(kw))
+			}
+			if p := node.Parent(); p != nil {
+				pn := in.nidOf[mustLookup(d, p.URI)]
+				in.parent[n] = pn
+				in.children[pn] = append(in.children[pn], n)
+			} else {
+				in.docRoots = append(in.docRoots, n)
+			}
+		}
+	}
+	for _, t := range b.spec.Tags {
+		n := addNode(t.URI, KindTag)
+		subj := in.nidOf[mustLookup(d, t.Subject)]
+		auth := in.nidOf[mustLookup(d, t.Author)]
+		kw := dict.NoID
+		if t.Keyword != "" {
+			kw = d.Intern(stemKeyword(b.analyzer, t.Keyword))
+		}
+		typ := ClassRelatedTo
+		if t.Type != "" {
+			typ = t.Type
+		}
+		in.tagList = append(in.tagList, n)
+		in.tagInfo[n] = TagInfo{Subject: subj, Author: auth, Keyword: kw, Type: d.Intern(typ)}
+	}
+
+	// Keyword document frequencies (used by workload generators and the
+	// semantic-reachability measure).
+	for _, root := range in.docRoots {
+		var stack []NID
+		stack = in.SubtreeOf(root, stack)
+		for _, n := range stack {
+			seen := make(map[dict.ID]struct{}, len(in.keywords[n]))
+			for _, k := range in.keywords[n] {
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				in.kwFreq[k]++
+			}
+		}
+	}
+
+	// Network edges (§2.5): social, postedBy, commentsOn, hasSubject,
+	// hasAuthor — plus the inverse of each non-social edge.
+	in.out = make([][]Edge, len(in.dictID))
+	addEdge := func(from, to NID, w float64, prop string) {
+		in.out[from] = append(in.out[from], Edge{To: to, W: w, Prop: d.Intern(prop)})
+	}
+	for _, s := range b.spec.Social {
+		prop := s.Prop
+		if prop == "" {
+			prop = PropSocial
+		}
+		from := in.nidOf[mustLookup(d, s.From)]
+		to := in.nidOf[mustLookup(d, s.To)]
+		addEdge(from, to, s.W, prop)
+	}
+	for _, p := range b.spec.Posts {
+		dn := in.nidOf[mustLookup(d, p.Doc)]
+		un := in.nidOf[mustLookup(d, p.User)]
+		addEdge(dn, un, 1, PropPostedBy)
+		addEdge(un, dn, 1, PropPostedByInv)
+		in.posts = append(in.posts, PostEdge{Doc: dn, User: un})
+	}
+	for _, c := range b.spec.Comments {
+		prop := c.Prop
+		if prop == "" {
+			prop = PropCommentsOn
+		}
+		cn := in.nidOf[mustLookup(d, c.Comment)]
+		tn := in.nidOf[mustLookup(d, c.Target)]
+		addEdge(cn, tn, 1, prop)
+		addEdge(tn, cn, 1, PropCommentsOnInv)
+		in.comments = append(in.comments, CommentEdge{Comment: cn, Target: tn, Prop: d.Intern(prop)})
+	}
+	for _, n := range in.tagList {
+		ti := in.tagInfo[n]
+		addEdge(n, ti.Subject, 1, PropHasSubject)
+		addEdge(ti.Subject, n, 1, PropHasSubjectInv)
+		addEdge(n, ti.Author, 1, PropHasAuthor)
+		addEdge(ti.Author, n, 1, PropHasAuthorInv)
+	}
+
+	in.buildMatrix()
+	in.buildComponents()
+	in.computeStats(b)
+	return in, nil
+}
+
+func mustLookup(d *dict.Dict, uri string) dict.ID {
+	id, ok := d.Lookup(uri)
+	if !ok {
+		panic(fmt.Sprintf("graph: internal error: URI %q not interned", uri))
+	}
+	return id
+}
+
+// stemKeyword runs a tag keyword through the same pipeline as document
+// content so that tag and content keywords live in one vocabulary.
+func stemKeyword(a text.Analyzer, kw string) string {
+	if ks := a.Keywords(kw); len(ks) > 0 {
+		return ks[0]
+	}
+	return kw
+}
+
+// buildMatrix materialises the normalised transition matrix (§2.5). For a
+// node v, the walk may leave from any vertical neighbour m of v; the edge
+// (m → t, w) contributes w / W(v) to M[v][t], with W(v) the total
+// out-weight of the neighbourhood.
+func (in *Instance) buildMatrix() {
+	n := len(in.dictID)
+	in.totalW = make([]float64, n)
+
+	ownW := make([]float64, n)
+	for v, edges := range in.out {
+		for _, e := range edges {
+			ownW[v] += e.W
+		}
+	}
+	// subW[v] = Σ ownW over v's subtree (doc nodes; ownW for the rest).
+	subW := make([]float64, n)
+	var subtreeWeight func(v NID) float64
+	subtreeWeight = func(v NID) float64 {
+		w := ownW[v]
+		for _, c := range in.children[v] {
+			w += subtreeWeight(c)
+		}
+		subW[v] = w
+		return w
+	}
+	for v := 0; v < n; v++ {
+		if in.kind[v] == KindDocNode && in.parent[v] == NoNID {
+			subtreeWeight(NID(v))
+		} else if in.kind[v] != KindDocNode {
+			subW[v] = ownW[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		w := subW[v]
+		for p := in.parent[v]; p != NoNID; p = in.parent[p] {
+			w += ownW[p]
+		}
+		in.totalW[v] = w
+	}
+
+	bld := sparse.NewBuilder(n)
+	var members []NID
+	for v := 0; v < n; v++ {
+		if in.totalW[v] == 0 {
+			continue
+		}
+		members = members[:0]
+		if in.kind[v] == KindDocNode {
+			members = in.SubtreeOf(NID(v), members)
+			for p := in.parent[v]; p != NoNID; p = in.parent[p] {
+				members = append(members, p)
+			}
+		} else {
+			members = append(members, NID(v))
+		}
+		for _, m := range members {
+			for _, e := range in.out[m] {
+				bld.Add(v, int(e.To), e.W/in.totalW[v])
+			}
+		}
+	}
+	in.matrix = bld.Build()
+}
+
+// buildComponents partitions document nodes and tags into the §5.2
+// components: the connected components over partOf (the document trees),
+// commentsOn and hasSubject edges.
+func (in *Instance) buildComponents() {
+	n := len(in.dictID)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b NID) {
+		ra, rb := find(int32(a)), find(int32(b))
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for v := 0; v < n; v++ {
+		if in.parent[v] != NoNID {
+			union(NID(v), in.parent[v])
+		}
+	}
+	for _, c := range in.comments {
+		union(c.Comment, c.Target)
+	}
+	for _, t := range in.tagList {
+		union(t, in.tagInfo[t].Subject)
+	}
+
+	in.comp = make([]int32, n)
+	rootToComp := make(map[int32]int32)
+	for v := 0; v < n; v++ {
+		if in.kind[v] == KindUser {
+			in.comp[v] = -1
+			continue
+		}
+		r := find(int32(v))
+		c, ok := rootToComp[r]
+		if !ok {
+			c = int32(len(rootToComp))
+			rootToComp[r] = c
+		}
+		in.comp[v] = c
+	}
+	in.nComp = len(rootToComp)
+}
+
+// SortedKeywordsByFrequency returns all content keywords sorted by
+// ascending document frequency (ties broken by keyword string for
+// determinism). Used to build rare/common query workloads (§5.1).
+func (in *Instance) SortedKeywordsByFrequency() []dict.ID {
+	kws := make([]dict.ID, 0, len(in.kwFreq))
+	for k := range in.kwFreq {
+		kws = append(kws, k)
+	}
+	sort.Slice(kws, func(i, j int) bool {
+		fi, fj := in.kwFreq[kws[i]], in.kwFreq[kws[j]]
+		if fi != fj {
+			return fi < fj
+		}
+		return in.dict.String(kws[i]) < in.dict.String(kws[j])
+	})
+	return kws
+}

@@ -1,0 +1,308 @@
+// Package graph assembles the full S3 instance of the paper (§2): users,
+// structured documents, tags and the semantic layer, woven into a single
+// weighted graph. It materialises the network edges (§2.5), the
+// vertical-neighbourhood-aware normalised transition matrix used for social
+// paths, and the connected components over partOf / commentsOn / hasSubject
+// edges that the implementation section (§5.2) uses for pruning.
+package graph
+
+import (
+	"fmt"
+
+	"s3/internal/dict"
+	"s3/internal/rdf"
+	"s3/internal/sparse"
+	"s3/internal/text"
+)
+
+// The S3 namespace (Table 2 of the paper).
+const (
+	ClassUser      = "S3:user"
+	ClassDoc       = "S3:doc"
+	ClassRelatedTo = "S3:relatedTo"
+
+	PropSocial     = "S3:social"
+	PropPostedBy   = "S3:postedBy"
+	PropCommentsOn = "S3:commentsOn"
+	PropPartOf     = "S3:partOf"
+	PropContains   = "S3:contains"
+	PropNodeName   = "S3:nodeName"
+	PropHasSubject = "S3:hasSubject"
+	PropHasKeyword = "S3:hasKeyword"
+	PropHasAuthor  = "S3:hasAuthor"
+)
+
+// Inverse properties (the paper's syntactic sugar p̄: s p̄ o ∈ I iff o p s ∈ I).
+const (
+	PropPostedByInv   = "S3:inv:postedBy"
+	PropCommentsOnInv = "S3:inv:commentsOn"
+	PropHasSubjectInv = "S3:inv:hasSubject"
+	PropHasAuthorInv  = "S3:inv:hasAuthor"
+)
+
+// NID is a dense index for instance nodes (users, document nodes, tags).
+// It is distinct from dict.ID, which also numbers keywords and properties.
+type NID int32
+
+// NoNID marks "no node" (e.g. the parent of a root).
+const NoNID NID = -1
+
+// NodeKind discriminates instance nodes.
+type NodeKind uint8
+
+const (
+	// KindUser is a social-network user (class S3:user).
+	KindUser NodeKind = iota
+	// KindDocNode is a document node; the fragment it roots is a potential
+	// query answer (class S3:doc).
+	KindDocNode
+	// KindTag is a tag/annotation resource (class S3:relatedTo).
+	KindTag
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindUser:
+		return "user"
+	case KindDocNode:
+		return "doc"
+	case KindTag:
+		return "tag"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// Edge is one directed network edge with its raw (un-normalised) weight.
+type Edge struct {
+	To   NID
+	W    float64
+	Prop dict.ID
+}
+
+// TagInfo describes a tag resource.
+type TagInfo struct {
+	Subject NID
+	Author  NID
+	// Keyword is the stemmed tag keyword, or dict.NoID for a keyword-less
+	// endorsement (like / retweet / +1, §2.4).
+	Keyword dict.ID
+	// Type is the tag's RDF class (ClassRelatedTo or a subclass).
+	Type dict.ID
+}
+
+// CommentEdge records that document Comment comments on node Target
+// (possibly through a sub-property of S3:commentsOn).
+type CommentEdge struct {
+	Comment NID
+	Target  NID
+	Prop    dict.ID
+}
+
+// PostEdge records that document node Doc was posted by User.
+type PostEdge struct {
+	Doc  NID
+	User NID
+}
+
+// Instance is a frozen, queryable S3 instance. It is immutable after Build
+// and safe for concurrent readers.
+type Instance struct {
+	dict     *dict.Dict
+	ont      *rdf.Graph
+	analyzer text.Analyzer
+
+	// Node tables, indexed by NID.
+	dictID   []dict.ID
+	kind     []NodeKind
+	parent   []NID
+	depth    []int32
+	docOf    []int32 // document index for doc nodes, -1 otherwise
+	children [][]NID
+	keywords [][]dict.ID // stemmed content keywords (doc nodes)
+	nodeName []dict.ID   // node name (doc nodes), dict.NoID otherwise
+
+	nidOf map[dict.ID]NID
+
+	out    [][]Edge // direct network out-edges
+	totalW []float64
+	matrix *sparse.Matrix
+
+	comp  []int32
+	nComp int
+
+	users    []NID
+	docRoots []NID
+	tagList  []NID
+	tagInfo  map[NID]TagInfo
+	comments []CommentEdge
+	posts    []PostEdge
+
+	// kwFreq counts, per stemmed keyword, the number of document nodes
+	// containing it (document frequency at node grain).
+	kwFreq map[dict.ID]int
+
+	stats Stats
+}
+
+// Dict returns the shared dictionary.
+func (in *Instance) Dict() *dict.Dict { return in.dict }
+
+// Ontology returns the saturated RDF layer (schema + entity triples).
+func (in *Instance) Ontology() *rdf.Graph { return in.ont }
+
+// Analyzer returns the text analyzer the instance was built with.
+func (in *Instance) Analyzer() text.Analyzer { return in.analyzer }
+
+// NumNodes returns the number of instance nodes (users + doc nodes + tags).
+func (in *Instance) NumNodes() int { return len(in.dictID) }
+
+// NIDOf resolves a URI to its node.
+func (in *Instance) NIDOf(uri string) (NID, bool) {
+	id, ok := in.dict.Lookup(uri)
+	if !ok {
+		return NoNID, false
+	}
+	n, ok := in.nidOf[id]
+	return n, ok
+}
+
+// URIOf returns the URI of a node.
+func (in *Instance) URIOf(n NID) string { return in.dict.String(in.dictID[n]) }
+
+// DictIDOf returns the dictionary id of a node's URI.
+func (in *Instance) DictIDOf(n NID) dict.ID { return in.dictID[n] }
+
+// KindOf returns the node kind.
+func (in *Instance) KindOf(n NID) NodeKind { return in.kind[n] }
+
+// ParentOf returns the tree parent of a document node (NoNID for roots and
+// non-document nodes).
+func (in *Instance) ParentOf(n NID) NID { return in.parent[n] }
+
+// DepthOf returns the tree depth of a document node (0 for roots, users
+// and tags).
+func (in *Instance) DepthOf(n NID) int32 { return in.depth[n] }
+
+// ChildrenOf returns the tree children of a document node.
+func (in *Instance) ChildrenOf(n NID) []NID { return in.children[n] }
+
+// DocRootOf returns the root of the document a node belongs to, or NoNID
+// for users and tags.
+func (in *Instance) DocRootOf(n NID) NID {
+	if in.docOf[n] < 0 {
+		return NoNID
+	}
+	return in.docRoots[in.docOf[n]]
+}
+
+// KeywordsOf returns the stemmed content keywords of a document node.
+func (in *Instance) KeywordsOf(n NID) []dict.ID { return in.keywords[n] }
+
+// NodeNameOf returns the node name of a document node.
+func (in *Instance) NodeNameOf(n NID) dict.ID { return in.nodeName[n] }
+
+// Users returns all user nodes.
+func (in *Instance) Users() []NID { return in.users }
+
+// DocRoots returns the roots of all documents.
+func (in *Instance) DocRoots() []NID { return in.docRoots }
+
+// Tags returns all tag nodes.
+func (in *Instance) Tags() []NID { return in.tagList }
+
+// TagInfoOf returns the description of a tag node.
+func (in *Instance) TagInfoOf(n NID) (TagInfo, bool) {
+	ti, ok := in.tagInfo[n]
+	return ti, ok
+}
+
+// Comments returns all comment edges.
+func (in *Instance) Comments() []CommentEdge { return in.comments }
+
+// Posts returns all authorship edges.
+func (in *Instance) Posts() []PostEdge { return in.posts }
+
+// OutEdges returns the direct network out-edges of a node (without the
+// vertical-neighbourhood extension).
+func (in *Instance) OutEdges(n NID) []Edge { return in.out[n] }
+
+// Matrix returns the normalised transition matrix M over nodes:
+// M[v][t] = Σ e.w / W(v) over network edges e = (m → t) with m a vertical
+// neighbour of v, where W(v) is the total out-weight of v's vertical
+// neighbourhood (§2.5 path normalisation).
+func (in *Instance) Matrix() *sparse.Matrix { return in.matrix }
+
+// NeighborhoodOutWeight returns W(v).
+func (in *Instance) NeighborhoodOutWeight(n NID) float64 { return in.totalW[n] }
+
+// CompOf returns the component id of a document node or tag (-1 for
+// users). Components are the equivalence classes of the reachability
+// relation over partOf, commentsOn and hasSubject edges (§5.2).
+func (in *Instance) CompOf(n NID) int32 { return in.comp[n] }
+
+// NumComponents returns the number of components.
+func (in *Instance) NumComponents() int { return in.nComp }
+
+// KeywordFrequency returns, for a stemmed keyword, the number of document
+// nodes whose content contains it.
+func (in *Instance) KeywordFrequency(k dict.ID) int { return in.kwFreq[k] }
+
+// KeywordFrequencies exposes the whole frequency table (read-only).
+func (in *Instance) KeywordFrequencies() map[dict.ID]int { return in.kwFreq }
+
+// IsAncestorOrSelf reports whether a is an ancestor of b or equal to it,
+// within the same document tree.
+func (in *Instance) IsAncestorOrSelf(a, b NID) bool {
+	if in.kind[a] != KindDocNode || in.kind[b] != KindDocNode {
+		return a == b
+	}
+	if in.docOf[a] != in.docOf[b] {
+		return false
+	}
+	da, db := in.depth[a], in.depth[b]
+	if da > db {
+		return false
+	}
+	for b != NoNID && db > da {
+		b = in.parent[b]
+		db--
+	}
+	return a == b
+}
+
+// VerticalNeighbors reports whether a and b are vertical neighbours or
+// equal (Definition 2.2: one is a fragment of the other).
+func (in *Instance) VerticalNeighbors(a, b NID) bool {
+	return in.IsAncestorOrSelf(a, b) || in.IsAncestorOrSelf(b, a)
+}
+
+// PosLen returns |pos(d, f)| = depth(f) − depth(d) if f ∈ Frag(d).
+func (in *Instance) PosLen(d, f NID) (int32, bool) {
+	if !in.IsAncestorOrSelf(d, f) {
+		return 0, false
+	}
+	return in.depth[f] - in.depth[d], true
+}
+
+// AncestorsOrSelf returns f and its ancestors, innermost first.
+func (in *Instance) AncestorsOrSelf(f NID) []NID {
+	out := []NID{f}
+	for p := in.parent[f]; p != NoNID; p = in.parent[p] {
+		out = append(out, p)
+	}
+	return out
+}
+
+// SubtreeOf appends to buf all nodes of the fragment rooted at n
+// (pre-order) and returns the extended slice.
+func (in *Instance) SubtreeOf(n NID, buf []NID) []NID {
+	buf = append(buf, n)
+	for _, c := range in.children[n] {
+		buf = in.SubtreeOf(c, buf)
+	}
+	return buf
+}
+
+// Stats returns the instance statistics (Figure 4).
+func (in *Instance) Stats() Stats { return in.stats }

@@ -1,0 +1,26 @@
+package graph
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Encode serialises the Spec with encoding/gob. Document trees are encoded
+// structurally (URIs, names, texts, keywords, children); derived state is
+// rebuilt on load by BuildSpec.
+func (s *Spec) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("graph: encoding spec: %w", err)
+	}
+	return nil
+}
+
+// DecodeSpec reads a Spec previously written by Encode.
+func DecodeSpec(r io.Reader) (*Spec, error) {
+	var s Spec
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("graph: decoding spec: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarises an instance the way Figure 4 of the paper does.
+type Stats struct {
+	Users       int
+	SocialEdges int
+	// Documents counts document roots; Fragments the non-root nodes
+	// (Figure 4's "Fragments (non-root)").
+	Documents int
+	Fragments int
+	Tags      int
+	// KeywordOccurrences counts node-keyword containment pairs (the
+	// paper's "Keywords" row); DistinctKeywords the vocabulary size.
+	KeywordOccurrences int
+	DistinctKeywords   int
+	Comments           int
+	Posts              int
+	// Nodes and Edges match Figure 4's "Nodes (without keywords)" and
+	// "Edges (without keywords)": instance nodes, and network edges
+	// (inverses included) plus tree edges.
+	Nodes int
+	Edges int
+	// AvgSocialDegree averages outgoing social edges over users having
+	// at least one (Figure 4's "S3:social edges per user having any").
+	AvgSocialDegree float64
+	OntologyTriples int
+	Components      int
+}
+
+func (in *Instance) computeStats(b *Builder) {
+	s := Stats{
+		Users:           len(in.users),
+		SocialEdges:     len(b.spec.Social),
+		Documents:       len(in.docRoots),
+		Tags:            len(in.tagList),
+		Comments:        len(in.comments),
+		Posts:           len(in.posts),
+		Nodes:           len(in.dictID),
+		OntologyTriples: in.ont.Len(),
+		Components:      in.nComp,
+	}
+	for v := range in.dictID {
+		if in.kind[v] == KindDocNode && in.parent[v] != NoNID {
+			s.Fragments++
+		}
+		s.KeywordOccurrences += len(in.keywords[v])
+		s.Edges += len(in.out[v])
+	}
+	// Tree edges count once per non-root document node.
+	s.Edges += s.Fragments
+	s.DistinctKeywords = len(in.kwFreq)
+
+	usersWithEdges, social := 0, 0
+	for _, u := range in.users {
+		n := 0
+		for _, e := range in.out[u] {
+			if in.kind[e.To] == KindUser {
+				n++
+			}
+		}
+		if n > 0 {
+			usersWithEdges++
+			social += n
+		}
+	}
+	if usersWithEdges > 0 {
+		s.AvgSocialDegree = float64(social) / float64(usersWithEdges)
+	}
+	in.stats = s
+}
+
+// String renders the statistics as an aligned two-column table in the
+// style of Figure 4.
+func (s Stats) String() string {
+	rows := []struct {
+		label string
+		value string
+	}{
+		{"Users", fmt.Sprint(s.Users)},
+		{"S3:social edges", fmt.Sprint(s.SocialEdges)},
+		{"Documents", fmt.Sprint(s.Documents)},
+		{"Fragments (non-root)", fmt.Sprint(s.Fragments)},
+		{"Tags", fmt.Sprint(s.Tags)},
+		{"Keywords (occurrences)", fmt.Sprint(s.KeywordOccurrences)},
+		{"Distinct keywords", fmt.Sprint(s.DistinctKeywords)},
+		{"Comment edges", fmt.Sprint(s.Comments)},
+		{"Post edges", fmt.Sprint(s.Posts)},
+		{"Ontology triples (saturated)", fmt.Sprint(s.OntologyTriples)},
+		{"S3:social edges per user having any (average)", fmt.Sprintf("%.1f", s.AvgSocialDegree)},
+		{"Nodes (without keywords)", fmt.Sprint(s.Nodes)},
+		{"Edges (without keywords)", fmt.Sprint(s.Edges)},
+		{"Components", fmt.Sprint(s.Components)},
+	}
+	width := 0
+	for _, r := range rows {
+		if len(r.label) > width {
+			width = len(r.label)
+		}
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-*s  %s\n", width, r.label, r.value)
+	}
+	return sb.String()
+}

@@ -1,0 +1,437 @@
+// Package index precomputes the connection sets con(d, k) of the paper
+// (§3.2). A connection of document d to keyword k is a tuple
+// (type, f, src) with f ∈ Frag(d); the index stores each connection once as
+// an *event* anchored at its fragment f — the tuple then applies to every
+// ancestor-or-self d of f, with structural damping η^|pos(d,f)| applied by
+// the scorer.
+//
+// Events arise from four rules, computed to a set-inclusion fixpoint:
+//
+//  1. containment — fragment f contains k: (S3:contains, f, d) ∈ con(d,k);
+//     the source of a containment connection is the candidate d itself and
+//     is therefore resolved dynamically by the scorer (Src = NoNID here);
+//  2. tags — a tag by src carrying keyword k on fragment f yields
+//     (S3:relatedTo, f, src); connections of higher-level tags (tags on
+//     tags, R4) flow down the subject chain to the tagged fragment;
+//  3. endorsements — a keyword-less tag by src on x inherits x's
+//     connections with src as the new source (keeping the original
+//     fragment, as in the paper's u5 example);
+//  4. comments — if comment c on fragment f has a connection (t, f', src')
+//     to k, every ancestor of f gains (S3:commentsOn, f, src'); for
+//     containment connections of c the carried source is c's root (the
+//     paper's d2 example). Comment chains propagate transitively; cycles
+//     are tolerated (the fixpoint terminates because events form a set).
+package index
+
+import (
+	"sort"
+
+	"s3/internal/dict"
+	"s3/internal/graph"
+)
+
+// ConnType is the type component of a connection tuple.
+type ConnType uint8
+
+const (
+	// Contains connections come from rule 1; their source is the candidate
+	// document itself.
+	Contains ConnType = iota
+	// RelatedTo connections come from tags and endorsements (rules 2-3).
+	RelatedTo
+	// CommentsOn connections come from comment propagation (rule 4).
+	CommentsOn
+)
+
+func (t ConnType) String() string {
+	switch t {
+	case Contains:
+		return "S3:contains"
+	case RelatedTo:
+		return "S3:relatedTo"
+	case CommentsOn:
+		return "S3:commentsOn"
+	default:
+		return "ConnType(?)"
+	}
+}
+
+// Event is one connection anchored at fragment Frag: the tuple
+// (Type, Frag, Src) belongs to con(d, k) for every d with Frag ∈ Frag(d).
+// Src is graph.NoNID for Contains events (the source is d itself).
+type Event struct {
+	Frag graph.NID
+	Src  graph.NID
+	Type ConnType
+}
+
+// kwList holds the events of one keyword sorted by component id, with the
+// aligned comps slice enabling binary-searched per-component slicing.
+type kwList struct {
+	evs   []Event
+	comps []int32
+}
+
+// Index is the frozen connection index of an instance. It is immutable
+// and safe for concurrent readers.
+type Index struct {
+	in        *graph.Instance
+	byKw      map[dict.ID]*kwList
+	compsByKw map[dict.ID][]int32
+	// maxCompEvents[k] = max over components of the number of events of k
+	// in that component; since every connection of a single candidate d
+	// lives in d's component and η ≤ 1, this bounds the connection mass
+	// Σ η^|pos| of any candidate for k (used for the §4 threshold).
+	maxCompEvents map[dict.ID]int
+}
+
+type eventKey struct {
+	kw   dict.ID
+	frag graph.NID
+	src  graph.NID
+	typ  ConnType
+}
+
+type tagEntry struct {
+	kw   dict.ID
+	frag graph.NID
+	src  graph.NID
+}
+
+type kwEvent struct {
+	kw dict.ID
+	ev Event
+}
+
+// Build computes the connection fixpoint for an instance.
+func Build(in *graph.Instance) *Index {
+	b := &ixBuilder{
+		in:          in,
+		seen:        make(map[eventKey]struct{}),
+		byKw:        make(map[dict.ID][]Event),
+		perDoc:      make(map[graph.NID][]kwEvent),
+		tagCon:      make(map[graph.NID][]tagEntry),
+		tagSeenFull: make(map[tagEntryKey]struct{}),
+	}
+	b.run()
+	return b.freeze()
+}
+
+type ixBuilder struct {
+	in     *graph.Instance
+	seen   map[eventKey]struct{}
+	byKw   map[dict.ID][]Event
+	perDoc map[graph.NID][]kwEvent // doc root → events anchored in that doc
+
+	tagCon      map[graph.NID][]tagEntry
+	tagSeenFull map[tagEntryKey]struct{}
+
+	// cursors for incremental pulls during the fixpoint
+	commentCursor map[int]int       // comment edge index → perDoc offset
+	endorseCursor map[graph.NID]int // endorsement tag → offset (perDoc or subject tagCon)
+	flowCursor    map[graph.NID]int // tag → offset into its own tagCon already flowed out
+	changed       bool
+}
+
+func (b *ixBuilder) addEvent(kw dict.ID, ev Event) {
+	k := eventKey{kw: kw, frag: ev.Frag, src: ev.Src, typ: ev.Type}
+	if _, dup := b.seen[k]; dup {
+		return
+	}
+	b.seen[k] = struct{}{}
+	b.byKw[kw] = append(b.byKw[kw], ev)
+	root := b.in.DocRootOf(ev.Frag)
+	b.perDoc[root] = append(b.perDoc[root], kwEvent{kw: kw, ev: ev})
+	b.changed = true
+}
+
+// tagEntryKey dedups (tag, connection entry) pairs during the fixpoint.
+type tagEntryKey struct {
+	tag  graph.NID
+	kw   dict.ID
+	frag graph.NID
+	src  graph.NID
+}
+
+func (b *ixBuilder) addTagEntry(tag graph.NID, e tagEntry) {
+	key := tagEntryKey{tag: tag, kw: e.kw, frag: e.frag, src: e.src}
+	if _, dup := b.tagSeenFull[key]; dup {
+		return
+	}
+	b.tagSeenFull[key] = struct{}{}
+	b.tagCon[tag] = append(b.tagCon[tag], e)
+	b.changed = true
+}
+
+func (b *ixBuilder) run() {
+	in := b.in
+
+	// Rule 1: containment events.
+	for _, root := range in.DocRoots() {
+		var nodes []graph.NID
+		nodes = in.SubtreeOf(root, nodes)
+		for _, n := range nodes {
+			for _, kw := range dedupe(in.KeywordsOf(n)) {
+				b.addEvent(kw, Event{Frag: n, Src: graph.NoNID, Type: Contains})
+			}
+		}
+	}
+
+	// Rule 2 base: keyword tags contribute (kw, φ(tag), author) where
+	// φ(tag) is the document node at the bottom of the subject chain.
+	for _, tag := range in.Tags() {
+		ti, _ := in.TagInfoOf(tag)
+		if ti.Keyword == dict.NoID {
+			continue
+		}
+		b.addTagEntry(tag, tagEntry{kw: ti.Keyword, frag: b.bottomFragment(tag), src: ti.Author})
+	}
+
+	b.commentCursor = make(map[int]int)
+	b.endorseCursor = make(map[graph.NID]int)
+	b.flowCursor = make(map[graph.NID]int)
+
+	// Fixpoint: endorsement inheritance, tag-chain flow and comment
+	// propagation feed each other.
+	for {
+		b.changed = false
+		b.stepTags()
+		b.stepComments()
+		if !b.changed {
+			break
+		}
+	}
+}
+
+// bottomFragment walks the subject chain of a tag down to a document node.
+func (b *ixBuilder) bottomFragment(tag graph.NID) graph.NID {
+	cur := tag
+	for b.in.KindOf(cur) == graph.KindTag {
+		ti, _ := b.in.TagInfoOf(cur)
+		cur = ti.Subject
+	}
+	return cur
+}
+
+func (b *ixBuilder) stepTags() {
+	in := b.in
+	for _, tag := range in.Tags() {
+		ti, _ := in.TagInfoOf(tag)
+
+		// Rule 3: endorsements inherit the subject's connections with the
+		// endorser as source.
+		if ti.Keyword == dict.NoID {
+			if in.KindOf(ti.Subject) == graph.KindDocNode {
+				root := in.DocRootOf(ti.Subject)
+				list := b.perDoc[root]
+				for i := b.endorseCursor[tag]; i < len(list); i++ {
+					ke := list[i]
+					if !in.IsAncestorOrSelf(ti.Subject, ke.ev.Frag) {
+						continue
+					}
+					b.addTagEntry(tag, tagEntry{kw: ke.kw, frag: ke.ev.Frag, src: ti.Author})
+				}
+				b.endorseCursor[tag] = len(list)
+			} else { // endorsement of a tag
+				list := b.tagCon[ti.Subject]
+				for i := b.endorseCursor[tag]; i < len(list); i++ {
+					e := list[i]
+					b.addTagEntry(tag, tagEntry{kw: e.kw, frag: e.frag, src: ti.Author})
+				}
+				b.endorseCursor[tag] = len(list)
+			}
+		}
+
+		// Flow this tag's connections outwards: to the tagged fragment's
+		// ancestors (as events) if the subject is a document node, or into
+		// the subject tag (higher-level tags add their connections to the
+		// thing they annotate).
+		list := b.tagCon[tag]
+		for i := b.flowCursor[tag]; i < len(list); i++ {
+			e := list[i]
+			if in.KindOf(ti.Subject) == graph.KindDocNode {
+				b.addEvent(e.kw, Event{Frag: e.frag, Src: e.src, Type: RelatedTo})
+			} else {
+				b.addTagEntry(ti.Subject, e)
+			}
+		}
+		b.flowCursor[tag] = len(list)
+	}
+}
+
+func (b *ixBuilder) stepComments() {
+	in := b.in
+	for ci, ce := range in.Comments() {
+		list := b.perDoc[ce.Comment] // the comment is a document root
+		for i := b.commentCursor[ci]; i < len(list); i++ {
+			ke := list[i]
+			src := ke.ev.Src
+			if ke.ev.Type == Contains {
+				// The source of a containment connection of the comment is
+				// the comment document itself.
+				src = ce.Comment
+			}
+			b.addEvent(ke.kw, Event{Frag: ce.Target, Src: src, Type: CommentsOn})
+		}
+		b.commentCursor[ci] = len(list)
+	}
+}
+
+func (b *ixBuilder) freeze() *Index {
+	in := b.in
+	ix := &Index{
+		in:            in,
+		byKw:          make(map[dict.ID]*kwList, len(b.byKw)),
+		compsByKw:     make(map[dict.ID][]int32, len(b.byKw)),
+		maxCompEvents: make(map[dict.ID]int, len(b.byKw)),
+	}
+	for kw, evs := range b.byKw {
+		sort.Slice(evs, func(i, j int) bool {
+			ci, cj := in.CompOf(evs[i].Frag), in.CompOf(evs[j].Frag)
+			if ci != cj {
+				return ci < cj
+			}
+			if evs[i].Frag != evs[j].Frag {
+				return evs[i].Frag < evs[j].Frag
+			}
+			if evs[i].Type != evs[j].Type {
+				return evs[i].Type < evs[j].Type
+			}
+			return evs[i].Src < evs[j].Src
+		})
+		comps := make([]int32, len(evs))
+		var uniq []int32
+		maxRun, run := 0, 0
+		for i, e := range evs {
+			comps[i] = in.CompOf(e.Frag)
+			if i == 0 || comps[i] != comps[i-1] {
+				uniq = append(uniq, comps[i])
+				run = 0
+			}
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		}
+		ix.byKw[kw] = &kwList{evs: evs, comps: comps}
+		ix.compsByKw[kw] = uniq
+		ix.maxCompEvents[kw] = maxRun
+	}
+	return ix
+}
+
+func dedupe(ids []dict.ID) []dict.ID {
+	if len(ids) < 2 {
+		return ids
+	}
+	seen := make(map[dict.ID]struct{}, len(ids))
+	out := ids[:0:0]
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Events returns all events of an explicit keyword, sorted by component.
+func (ix *Index) Events(k dict.ID) []Event {
+	if l := ix.byKw[k]; l != nil {
+		return l.evs
+	}
+	return nil
+}
+
+// EventsInComp returns the events of keyword k anchored in the given
+// component.
+func (ix *Index) EventsInComp(k dict.ID, comp int32) []Event {
+	l := ix.byKw[k]
+	if l == nil {
+		return nil
+	}
+	lo := sort.Search(len(l.comps), func(i int) bool { return l.comps[i] >= comp })
+	hi := sort.Search(len(l.comps), func(i int) bool { return l.comps[i] > comp })
+	return l.evs[lo:hi]
+}
+
+// Comps returns the sorted component ids containing at least one event of
+// keyword k.
+func (ix *Index) Comps(k dict.ID) []int32 { return ix.compsByKw[k] }
+
+// MaxCompEvents returns the maximum number of events of k within a single
+// component — an upper bound on |con(d, k)| for any candidate d.
+func (ix *Index) MaxCompEvents(k dict.ID) int { return ix.maxCompEvents[k] }
+
+// CompsForGroups intersects, across keyword groups (each group being the
+// semantic extension of one query keyword), the unions of components
+// matching the group. A returned component contains at least one event for
+// every query keyword — the §5.2 pruning grain.
+func (ix *Index) CompsForGroups(groups [][]dict.ID) []int32 {
+	if len(groups) == 0 {
+		return nil
+	}
+	counts := make(map[int32]int)
+	for _, group := range groups {
+		inGroup := make(map[int32]struct{})
+		for _, k := range group {
+			for _, c := range ix.Comps(k) {
+				inGroup[c] = struct{}{}
+			}
+		}
+		for c := range inGroup {
+			counts[c]++
+		}
+	}
+	var out []int32
+	for c, n := range counts {
+		if n == len(groups) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CandidatesInComp returns the document nodes d of the component such that
+// con(d, k) is non-empty for every query keyword (groups are extensions,
+// as in CompsForGroups): for every group some event's fragment lies in d's
+// subtree. Result is sorted.
+func (ix *Index) CandidatesInComp(comp int32, groups [][]dict.ID) []graph.NID {
+	counts := make(map[graph.NID]int)
+	for _, group := range groups {
+		covered := make(map[graph.NID]struct{})
+		for _, k := range group {
+			for _, ev := range ix.EventsInComp(k, comp) {
+				for _, d := range ix.in.AncestorsOrSelf(ev.Frag) {
+					covered[d] = struct{}{}
+				}
+			}
+		}
+		for d := range covered {
+			counts[d]++
+		}
+	}
+	var out []graph.NID
+	for d, n := range counts {
+		if n == len(groups) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConOf reconstructs con(d, k') for one explicit keyword (diagnostics and
+// tests; the scorer works from events directly).
+func (ix *Index) ConOf(d graph.NID, k dict.ID) []Event {
+	comp := ix.in.CompOf(d)
+	var out []Event
+	for _, ev := range ix.EventsInComp(k, comp) {
+		if ix.in.IsAncestorOrSelf(d, ev.Frag) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

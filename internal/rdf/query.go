@@ -1,0 +1,310 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"s3/internal/dict"
+)
+
+// This file implements basic-graph-pattern (BGP) matching over a Graph —
+// the conjunctive core of SPARQL. The paper uses such queries in two
+// places: §1 notes that an S3 instance can be exploited "through
+// structured XML and/or RDF queries", and §2.2's extensibility mechanism
+// derives new social edges from query results ("if two people worked the
+// same year for a company of less than 10 employees ... a query retrieves
+// all such user pairs").
+
+// Term is one position of a triple pattern: either a constant or a
+// variable.
+type Term struct {
+	// Var is the variable name (without '?'); empty for constants.
+	Var string
+	// Value is the constant (ignored when Var != "").
+	Value string
+}
+
+// V makes a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C makes a constant term.
+func C(value string) Term { return Term{Value: value} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// Pattern is one triple pattern.
+type Pattern struct {
+	S, P, O Term
+}
+
+// ParsePattern parses "?s rdf:type S3:user"-style patterns: three
+// whitespace-separated terms, '?'-prefixed terms being variables. Constant
+// terms may be quoted to include spaces.
+func ParsePattern(s string) (Pattern, error) {
+	fields, err := splitTerms(s)
+	if err != nil {
+		return Pattern{}, err
+	}
+	if len(fields) != 3 {
+		return Pattern{}, fmt.Errorf("rdf: pattern %q must have 3 terms, has %d", s, len(fields))
+	}
+	mk := func(f string) Term {
+		if strings.HasPrefix(f, "?") {
+			return V(f[1:])
+		}
+		return C(f)
+	}
+	return Pattern{S: mk(fields[0]), P: mk(fields[1]), O: mk(fields[2])}, nil
+}
+
+func splitTerms(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] == '"' {
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("rdf: unterminated quote in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+			continue
+		}
+		sp := strings.IndexAny(s, " \t")
+		if sp < 0 {
+			out = append(out, s)
+			break
+		}
+		out = append(out, s[:sp])
+		s = strings.TrimSpace(s[sp:])
+	}
+	return out, nil
+}
+
+// Binding maps variable names to dictionary ids.
+type Binding map[string]ID
+
+// Resolve returns the string bound to a variable.
+func (b Binding) Resolve(d *dict.Dict, name string) (string, bool) {
+	id, ok := b[name]
+	if !ok {
+		return "", false
+	}
+	return d.String(id), true
+}
+
+// Query evaluates the conjunction of patterns and returns all variable
+// bindings, in a deterministic order. Matching considers every statement
+// regardless of weight (weights qualify certainty, not existence).
+//
+// Evaluation is by backtracking joins with a greedy most-selective-first
+// pattern order — ample for the instance-scale schemas S3 uses; it is not
+// a full SPARQL engine.
+func (g *Graph) Query(patterns []Pattern) ([]Binding, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("rdf: empty query")
+	}
+	// Pre-resolve constants; a constant never interned cannot match.
+	cpats := make([]cpat, 0, len(patterns))
+	for _, pat := range patterns {
+		var cp cpat
+		ok := true
+		set := func(t Term, id *ID, v *string) {
+			if t.IsVar() {
+				*v = t.Var
+				return
+			}
+			got, found := g.dict.Lookup(t.Value)
+			if !found {
+				ok = false
+				return
+			}
+			*id = got
+		}
+		set(pat.S, &cp.s, &cp.sv)
+		set(pat.P, &cp.p, &cp.pv)
+		set(pat.O, &cp.o, &cp.ov)
+		if !ok {
+			return nil, nil
+		}
+		cpats = append(cpats, cp)
+	}
+
+	var results []Binding
+	binding := make(Binding)
+
+	var match func(i int, order []int)
+	candidates := func(cp cpat, b Binding) []Triple {
+		s, sBound := constOrBound(cp.s, cp.sv, b)
+		p, pBound := constOrBound(cp.p, cp.pv, b)
+		o, oBound := constOrBound(cp.o, cp.ov, b)
+		switch {
+		case sBound && pBound:
+			var out []Triple
+			for _, obj := range g.Objects(s, p) {
+				if !oBound || obj == o {
+					out = append(out, Triple{S: s, P: p, O: obj})
+				}
+			}
+			return out
+		case pBound && oBound:
+			var out []Triple
+			for _, sub := range g.Subjects(p, o) {
+				out = append(out, Triple{S: sub, P: p, O: o})
+			}
+			return out
+		case pBound:
+			var out []Triple
+			for _, pr := range g.PropertyPairs(p) {
+				if sBound && pr.S != s {
+					continue
+				}
+				if oBound && pr.O != o {
+					continue
+				}
+				out = append(out, Triple{S: pr.S, P: p, O: pr.O})
+			}
+			// PropertyPairs only indexes weight-1 statements; scan the
+			// weighted remainder.
+			for _, t := range g.triples {
+				if t.W == 1 || t.P != p {
+					continue
+				}
+				if sBound && t.S != s {
+					continue
+				}
+				if oBound && t.O != o {
+					continue
+				}
+				out = append(out, t)
+			}
+			return out
+		default:
+			var out []Triple
+			for _, t := range g.triples {
+				if sBound && t.S != s {
+					continue
+				}
+				if oBound && t.O != o {
+					continue
+				}
+				out = append(out, t)
+			}
+			return out
+		}
+	}
+
+	order := selectivityOrder(cpats)
+	match = func(i int, order []int) {
+		if i == len(order) {
+			out := make(Binding, len(binding))
+			for k, v := range binding {
+				out[k] = v
+			}
+			results = append(results, out)
+			return
+		}
+		cp := cpats[order[i]]
+		for _, t := range candidates(cp, binding) {
+			var bound []string
+			ok := true
+			tryBind := func(v string, id ID) {
+				if !ok || v == "" {
+					return
+				}
+				if prev, exists := binding[v]; exists {
+					if prev != id {
+						ok = false
+					}
+					return
+				}
+				binding[v] = id
+				bound = append(bound, v)
+			}
+			tryBind(cp.sv, t.S)
+			tryBind(cp.pv, t.P)
+			tryBind(cp.ov, t.O)
+			if ok {
+				match(i+1, order)
+			}
+			for _, v := range bound {
+				delete(binding, v)
+			}
+		}
+	}
+	match(0, order)
+	sortBindings(g.dict, results)
+	return results, nil
+}
+
+func constOrBound(c ID, v string, b Binding) (ID, bool) {
+	if v == "" {
+		return c, true
+	}
+	if id, ok := b[v]; ok {
+		return id, true
+	}
+	return 0, false
+}
+
+// cpat is a compiled pattern: resolved constants plus variable names
+// ("" marks a constant position).
+type cpat struct {
+	s, p, o    ID
+	sv, pv, ov string
+}
+
+// selectivityOrder orders patterns so the most constrained run first
+// (more constants = earlier). Variables bound by earlier patterns make
+// later ones effectively constrained too, but this static heuristic is
+// enough at schema scale.
+func selectivityOrder(cpats []cpat) []int {
+	order := make([]int, len(cpats))
+	for i := range order {
+		order[i] = i
+	}
+	consts := func(i int) int {
+		n := 0
+		if cpats[i].sv == "" {
+			n++
+		}
+		if cpats[i].pv == "" {
+			n++
+		}
+		if cpats[i].ov == "" {
+			n++
+		}
+		return n
+	}
+	sort.SliceStable(order, func(a, b int) bool { return consts(order[a]) > consts(order[b]) })
+	return order
+}
+
+// sortBindings orders results deterministically by their sorted
+// variable/value pairs.
+func sortBindings(d *dict.Dict, bs []Binding) {
+	key := func(b Binding) string {
+		var parts []string
+		for k, v := range b {
+			parts = append(parts, k+"="+d.String(v))
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ";")
+	}
+	sort.Slice(bs, func(i, j int) bool { return key(bs[i]) < key(bs[j]) })
+}
+
+// QueryStrings is Query over "?s p o" pattern strings.
+func (g *Graph) QueryStrings(patterns ...string) ([]Binding, error) {
+	ps := make([]Pattern, 0, len(patterns))
+	for _, s := range patterns {
+		p, err := ParsePattern(s)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return g.Query(ps)
+}

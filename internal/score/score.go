@@ -1,0 +1,307 @@
+// Package score implements the scoring model of the paper: the generic
+// score abstraction of §3.3 with its four feasibility properties, and the
+// concrete S3k score of §3.4 (Definition 3.5):
+//
+//	score(d, (u,φ)) = Π_{k∈φ} Σ_{(type,f,src) ∈ con(d,k)} η^|pos(d,f)| · prox(u,src)
+//
+// with the Katz-style all-paths social proximity
+//
+//	prox(a,b) = Cγ · Σ_{p ∈ a⇝b} prox→(p) / γ^|p| ,  Cγ = (γ−1)/γ ,
+//
+// where prox→(p) is the product of the normalised edge weights along p.
+//
+// The feasibility properties materialise as:
+//
+//   - iterability (property 1): prox≤n = prox≤n−1 + Cγ·borderProx(·,n),
+//     implemented by Iterator.Step;
+//   - long-path attenuation (property 2): prox − prox≤n ≤ B>n = γ^−(n+1)
+//     (Params.TailBound), because normalised out-weights make the path
+//     mass of each length at most 1;
+//   - soundness (property 3): the score is monotone and continuous in the
+//     proximity values (it is a polynomial with non-negative
+//     coefficients);
+//   - convergence (property 4): Scorer.Threshold implements Bscore — with
+//     every source proximity below B, score(d) ≤ Π_k maxMass(k)·B → 0.
+package score
+
+import (
+	"fmt"
+	"math"
+
+	"s3/internal/dict"
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/sparse"
+)
+
+// Params collects the two damping factors of the concrete score.
+type Params struct {
+	// Gamma (γ > 1) damps long social paths (§3.4). Smaller values focus
+	// the search near the seeker; the paper evaluates 1.25, 1.5, 2 and 4.
+	Gamma float64
+	// Eta (η < 1) damps fragments that sit deep inside a candidate
+	// document: a connection due to fragment f counts η^|pos(d,f)|.
+	Eta float64
+}
+
+// DefaultParams returns the defaults used throughout the benchmarks:
+// γ = 1.5 (the paper's middle setting) and η = 0.8.
+func DefaultParams() Params { return Params{Gamma: 1.5, Eta: 0.8} }
+
+// Validate checks the damping constraints of §3.4.
+func (p Params) Validate() error {
+	if !(p.Gamma > 1) {
+		return fmt.Errorf("score: gamma must be > 1, got %v", p.Gamma)
+	}
+	if !(p.Eta > 0 && p.Eta < 1) {
+		return fmt.Errorf("score: eta must be in (0,1), got %v", p.Eta)
+	}
+	return nil
+}
+
+// CGamma returns Cγ = (γ−1)/γ, the constant that normalises prox into
+// [0, 1].
+func (p Params) CGamma() float64 { return (p.Gamma - 1) / p.Gamma }
+
+// TailBound returns B>n = γ^−(n+1): an upper bound on prox − prox≤n
+// (feasibility property 2). It tends to 0 as n grows.
+func (p Params) TailBound(n int) float64 { return math.Pow(p.Gamma, -float64(n+1)) }
+
+// Iterator computes the bounded social proximity prox≤n(u, ·) for growing
+// n, one matrix step at a time — the §5.2 borderProx optimisation. It owns
+// dense work vectors sized to the instance and must not be shared across
+// goroutines.
+type Iterator struct {
+	in     *graph.Instance
+	params Params
+
+	// border[v] = Σ_{p ∈ u⇝v, |p|=n} prox→(p) / γⁿ  (borderProx of §5.2).
+	border  []float64
+	active  []int32
+	next    []float64
+	scratch []bool
+
+	// all[v] = prox≤n(u, v).
+	all []float64
+	n   int
+}
+
+// NewIterator starts an exploration at the seeker. The initial state is
+// n = 0: only the empty path is known, so prox≤0(u,u) = Cγ and the border
+// is {u}.
+func NewIterator(in *graph.Instance, params Params, seeker graph.NID) *Iterator {
+	nn := in.NumNodes()
+	it := &Iterator{
+		in:      in,
+		params:  params,
+		border:  make([]float64, nn),
+		next:    make([]float64, nn),
+		scratch: make([]bool, nn),
+		all:     make([]float64, nn),
+	}
+	it.border[seeker] = 1
+	it.active = []int32{int32(seeker)}
+	it.all[seeker] = params.CGamma()
+	return it
+}
+
+// N returns the current exploration depth n.
+func (it *Iterator) N() int { return it.n }
+
+// AllProx returns the prox≤n vector. The slice is owned by the iterator
+// and changes on every Step.
+func (it *Iterator) AllProx() []float64 { return it.all }
+
+// Border returns the indices of the current exploration border (nodes
+// reached by at least one path of length exactly n).
+func (it *Iterator) Border() []int32 { return it.active }
+
+// Done reports whether the border is empty — the entire reachable graph
+// has been accounted for and prox≤n is exact.
+func (it *Iterator) Done() bool { return len(it.active) == 0 }
+
+// TailBound returns B>n for the current n (0 when Done, since exploration
+// is exact then).
+func (it *Iterator) TailBound() float64 {
+	if it.Done() {
+		return 0
+	}
+	return it.params.TailBound(it.n)
+}
+
+// SourceTailBound bounds prox(u, src) for every source src belonging to —
+// or adjacent to — a component not yet reached at depth n. A connection
+// source is at most two network edges away from some node of its
+// component (author → tag → subject); hence if no component node was
+// reached within n steps, no path of length ≤ n−1 reaches the source:
+// prox(u, src) ≤ B>(n−1) = γ^−n. Used for the unexplored-document
+// threshold of §4.
+func (it *Iterator) SourceTailBound() float64 {
+	if it.Done() {
+		return 0
+	}
+	return math.Pow(it.params.Gamma, -float64(it.n))
+}
+
+// Step advances the exploration to depth n+1 and folds the new border into
+// prox≤n (feasibility property 1: prox≤n = prox≤n−1 + Uprox). It returns
+// the nodes whose proximity became non-zero for the first time — exactly
+// the nodes "discovered" at this depth.
+func (it *Iterator) Step() []graph.NID {
+	if it.Done() {
+		return nil
+	}
+	m := it.in.Matrix()
+	nz := m.PropagateT(it.border, it.active, it.next, it.scratch)
+	invGamma := 1 / it.params.Gamma
+	cg := it.params.CGamma()
+
+	var discovered []graph.NID
+	for _, c := range nz {
+		v := it.next[c] * invGamma
+		it.next[c] = v
+		if it.all[c] == 0 && v > 0 {
+			discovered = append(discovered, graph.NID(c))
+		}
+		it.all[c] += cg * v
+	}
+	sparse.ZeroVec(it.border, it.active)
+	it.border, it.next = it.next, it.border
+	it.active = append(it.active[:0], nz...)
+	it.n++
+	return discovered
+}
+
+// ExactProximity iterates until the tail bound falls below eps (or the
+// graph is exhausted) and returns prox(u, ·) within eps. It is the
+// reference implementation used by oracles and quality measures.
+func ExactProximity(in *graph.Instance, params Params, seeker graph.NID, eps float64) []float64 {
+	it := NewIterator(in, params, seeker)
+	for !it.Done() && it.TailBound() > eps {
+		it.Step()
+	}
+	out := make([]float64, len(it.all))
+	copy(out, it.all)
+	return out
+}
+
+// Scorer evaluates the concrete S3k score of one query over one instance.
+// The query is fixed by its keyword groups: groups[i] is the semantic
+// extension Ext(k_i) of the i-th query keyword (Definition 2.1). A Scorer
+// caches merged per-component event lists and is safe for single-goroutine
+// use.
+type Scorer struct {
+	in     *graph.Instance
+	ix     *index.Index
+	params Params
+	groups [][]dict.ID
+
+	cache map[compGroup][]index.Event
+}
+
+type compGroup struct {
+	comp  int32
+	group int
+}
+
+// NewScorer validates the parameters and builds a scorer for the given
+// keyword groups.
+func NewScorer(in *graph.Instance, ix *index.Index, params Params, groups [][]dict.ID) (*Scorer, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("score: empty query")
+	}
+	return &Scorer{
+		in:     in,
+		ix:     ix,
+		params: params,
+		groups: groups,
+		cache:  make(map[compGroup][]index.Event),
+	}, nil
+}
+
+// Groups returns the keyword groups of the query.
+func (s *Scorer) Groups() [][]dict.ID { return s.groups }
+
+// GroupEvents returns the deduplicated union, over the keywords of group
+// gi, of the events anchored in the component — i.e. the materialised
+// con(·, k_gi) tuples of that component. con is a set of (type, f, src)
+// tuples, so an identical tuple contributed by two extension keywords
+// counts once (Definition 2.1 keeps extensions lossless).
+func (s *Scorer) GroupEvents(comp int32, gi int) []index.Event {
+	key := compGroup{comp: comp, group: gi}
+	if evs, ok := s.cache[key]; ok {
+		return evs
+	}
+	var merged []index.Event
+	seen := make(map[index.Event]struct{})
+	for _, k := range s.groups[gi] {
+		for _, ev := range s.ix.EventsInComp(k, comp) {
+			if _, dup := seen[ev]; dup {
+				continue
+			}
+			seen[ev] = struct{}{}
+			merged = append(merged, ev)
+		}
+	}
+	s.cache[key] = merged
+	return merged
+}
+
+// Bounds computes the lower and upper score bounds of candidate d given
+// the current bounded proximity vector and the tail bound (§4,
+// ComputeCandidateBounds):
+//
+//	lower uses prox≤n(u,src);  upper uses min(1, prox≤n(u,src) + tail).
+//
+// Containment connections resolve their source to d itself.
+func (s *Scorer) Bounds(d graph.NID, allProx []float64, tail float64) (lo, hi float64) {
+	lo, hi = 1, 1
+	comp := s.in.CompOf(d)
+	for gi := range s.groups {
+		var mLo, mHi float64
+		for _, ev := range s.GroupEvents(comp, gi) {
+			rel, ok := s.in.PosLen(d, ev.Frag)
+			if !ok {
+				continue
+			}
+			eta := math.Pow(s.params.Eta, float64(rel))
+			src := ev.Src
+			if ev.Type == index.Contains {
+				src = d
+			}
+			p := allProx[src]
+			mLo += eta * p
+			mHi += eta * math.Min(1, p+tail)
+		}
+		lo *= mLo
+		hi *= mHi
+	}
+	return lo, hi
+}
+
+// Exact computes the score of d under a given (exact) proximity vector.
+func (s *Scorer) Exact(d graph.NID, prox []float64) float64 {
+	lo, _ := s.Bounds(d, prox, 0)
+	return lo
+}
+
+// Threshold implements Bscore(q, B) (feasibility property 4): an upper
+// bound on the score of any document all of whose connection sources have
+// proximity at most B. Per group, the connection mass of a single
+// candidate is bounded by the largest per-component event count of the
+// group's keywords (every connection of a candidate lives in its own
+// component, and η ≤ 1).
+func (s *Scorer) Threshold(B float64) float64 {
+	t := 1.0
+	for _, group := range s.groups {
+		mass := 0
+		for _, k := range group {
+			mass += s.ix.MaxCompEvents(k)
+		}
+		t *= float64(mass) * B
+	}
+	return t
+}

@@ -1,0 +1,194 @@
+// Package sparse provides the compressed-sparse-row matrix and the
+// vector-propagation kernel used to explore the social graph. The paper's
+// implementation section (§5.2) replaces the borderPath table by the vector
+//
+//	borderProx(v, n) = Σ_{p ∈ u⇝v, |p|=n} prox→(p) / γⁿ
+//
+// computed by repeated multiplication of a "distance" matrix with the
+// previous border vector; this package supplies exactly that primitive.
+package sparse
+
+import "fmt"
+
+// Matrix is an immutable square sparse matrix in CSR layout.
+type Matrix struct {
+	n      int
+	rowPtr []int32
+	col    []int32
+	val    []float64
+}
+
+// Builder accumulates (row, col, value) entries; duplicate coordinates are
+// summed.
+type Builder struct {
+	n       int
+	rows    [][]entry
+	entries int
+}
+
+type entry struct {
+	col int32
+	val float64
+}
+
+// NewBuilder returns a builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, rows: make([][]entry, n)}
+}
+
+// Add accumulates val at (row, col).
+func (b *Builder) Add(row, col int, val float64) {
+	if row < 0 || row >= b.n || col < 0 || col >= b.n {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %d×%d matrix", row, col, b.n, b.n))
+	}
+	b.rows[row] = append(b.rows[row], entry{col: int32(col), val: val})
+	b.entries++
+}
+
+// Build produces the CSR matrix. Duplicate coordinates are summed;
+// explicit zeros are dropped.
+func (b *Builder) Build() *Matrix {
+	m := &Matrix{
+		n:      b.n,
+		rowPtr: make([]int32, b.n+1),
+		col:    make([]int32, 0, b.entries),
+		val:    make([]float64, 0, b.entries),
+	}
+	// Per-row merge via a scratch accumulator indexed by column.
+	acc := make(map[int32]float64)
+	for r, row := range b.rows {
+		clear(acc)
+		for _, e := range row {
+			acc[e.col] += e.val
+		}
+		cols := make([]int32, 0, len(acc))
+		for c, v := range acc {
+			if v != 0 {
+				cols = append(cols, c)
+			}
+		}
+		// Sort columns for cache-friendly access and determinism.
+		sortInt32(cols)
+		for _, c := range cols {
+			m.col = append(m.col, c)
+			m.val = append(m.val, acc[c])
+		}
+		m.rowPtr[r+1] = int32(len(m.col))
+	}
+	return m
+}
+
+// N returns the dimension.
+func (m *Matrix) N() int { return m.n }
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int { return len(m.col) }
+
+// Row calls f for every stored entry of the given row.
+func (m *Matrix) Row(r int, f func(col int, val float64)) {
+	for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+		f(int(m.col[i]), m.val[i])
+	}
+}
+
+// RowSum returns the sum of the entries of a row.
+func (m *Matrix) RowSum(r int) float64 {
+	var s float64
+	for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+		s += m.val[i]
+	}
+	return s
+}
+
+// PropagateT computes out = xᵀ·M restricted to the rows listed in active
+// (the indices where x is non-zero): out[c] = Σ_r x[r]·M[r][c].
+//
+// out must be zeroed by the caller (ZeroVec) and have length N. The return
+// value lists the indices of the non-zero entries of out, in no particular
+// order; scratch (a []bool of length N, all false) is used to deduplicate
+// and is reset before returning.
+func (m *Matrix) PropagateT(x []float64, active []int32, out []float64, scratch []bool) []int32 {
+	var next []int32
+	for _, r := range active {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			c := m.col[i]
+			out[c] += xr * m.val[i]
+			if !scratch[c] {
+				scratch[c] = true
+				next = append(next, c)
+			}
+		}
+	}
+	for _, c := range next {
+		scratch[c] = false
+	}
+	return next
+}
+
+// PropagateTRange is PropagateT over active[lo:hi] without deduplication
+// bookkeeping; used by the parallel exploration where each worker owns a
+// private output vector. Returns the columns touched (with duplicates).
+func (m *Matrix) PropagateTRange(x []float64, active []int32, lo, hi int, out []float64) []int32 {
+	var touched []int32
+	for _, r := range active[lo:hi] {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			c := m.col[i]
+			out[c] += xr * m.val[i]
+			touched = append(touched, c)
+		}
+	}
+	return touched
+}
+
+// MulVec computes out = M·x densely (used by tests as an oracle).
+func (m *Matrix) MulVec(x []float64) []float64 {
+	out := make([]float64, m.n)
+	for r := 0; r < m.n; r++ {
+		var s float64
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			s += m.val[i] * x[m.col[i]]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// Dense materialises the matrix (tests only; O(n²) memory).
+func (m *Matrix) Dense() [][]float64 {
+	d := make([][]float64, m.n)
+	for r := range d {
+		d[r] = make([]float64, m.n)
+		m.Row(r, func(c int, v float64) { d[r][c] = v })
+	}
+	return d
+}
+
+// ZeroVec zeroes exactly the listed indices of x (cheaper than clearing
+// the whole vector between sparse iterations).
+func ZeroVec(x []float64, idx []int32) {
+	for _, i := range idx {
+		x[i] = 0
+	}
+}
+
+func sortInt32(a []int32) {
+	// Insertion sort: rows are short (node out-degrees); avoids the
+	// interface overhead of sort.Slice on the hot build path.
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

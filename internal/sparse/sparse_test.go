@@ -1,0 +1,206 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildSumsDuplicatesAndDropsZeros(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 1, 0.5)
+	b.Add(0, 1, 0.25)
+	b.Add(1, 2, 1)
+	b.Add(2, 0, 0.5)
+	b.Add(2, 0, -0.5) // cancels to zero → dropped
+	m := b.Build()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	d := m.Dense()
+	if d[0][1] != 0.75 || d[1][2] != 1 || d[2][0] != 0 {
+		t.Fatalf("dense = %v", d)
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	b := NewBuilder(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range entry")
+		}
+	}()
+	b.Add(0, 2, 1)
+}
+
+func TestRowIterationSortedColumns(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add(1, 3, 0.3)
+	b.Add(1, 0, 0.1)
+	b.Add(1, 2, 0.2)
+	m := b.Build()
+	var cols []int
+	m.Row(1, func(c int, v float64) { cols = append(cols, c) })
+	for i := 1; i < len(cols); i++ {
+		if cols[i-1] >= cols[i] {
+			t.Fatalf("columns not sorted: %v", cols)
+		}
+	}
+	if got := m.RowSum(1); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("RowSum = %v, want 0.6", got)
+	}
+}
+
+func TestPropagateTMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		b := NewBuilder(n)
+		for e := 0; e < n*2; e++ {
+			b.Add(rng.Intn(n), rng.Intn(n), rng.Float64())
+		}
+		m := b.Build()
+		dense := m.Dense()
+
+		x := make([]float64, n)
+		var active []int32
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				x[i] = rng.Float64()
+				active = append(active, int32(i))
+			}
+		}
+		out := make([]float64, n)
+		scratch := make([]bool, n)
+		nz := m.PropagateT(x, active, out, scratch)
+
+		want := make([]float64, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				want[c] += x[r] * dense[r][c]
+			}
+		}
+		for c := 0; c < n; c++ {
+			if math.Abs(out[c]-want[c]) > 1e-12 {
+				t.Fatalf("trial %d: out[%d] = %v, want %v", trial, c, out[c], want[c])
+			}
+		}
+		// Every reported non-zero must actually be potentially non-zero,
+		// and every truly non-zero entry must be reported.
+		reported := make(map[int32]bool, len(nz))
+		for _, c := range nz {
+			if reported[c] {
+				t.Fatalf("trial %d: duplicate index %d in result", trial, c)
+			}
+			reported[c] = true
+		}
+		for c := 0; c < n; c++ {
+			if want[c] != 0 && !reported[int32(c)] {
+				t.Fatalf("trial %d: non-zero column %d not reported", trial, c)
+			}
+		}
+		// Scratch must be fully reset.
+		for i, s := range scratch {
+			if s {
+				t.Fatalf("trial %d: scratch[%d] not reset", trial, i)
+			}
+		}
+	}
+}
+
+func TestPropagateTRangeCoversSameMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	b := NewBuilder(n)
+	for e := 0; e < 120; e++ {
+		b.Add(rng.Intn(n), rng.Intn(n), rng.Float64())
+	}
+	m := b.Build()
+
+	x := make([]float64, n)
+	var active []int32
+	for i := 0; i < n; i += 2 {
+		x[i] = rng.Float64()
+		active = append(active, int32(i))
+	}
+
+	whole := make([]float64, n)
+	scratch := make([]bool, n)
+	m.PropagateT(x, active, whole, scratch)
+
+	// Split the active set across two "workers" and sum their outputs.
+	mid := len(active) / 2
+	part1 := make([]float64, n)
+	part2 := make([]float64, n)
+	m.PropagateTRange(x, active, 0, mid, part1)
+	m.PropagateTRange(x, active, mid, len(active), part2)
+	for c := 0; c < n; c++ {
+		if math.Abs(part1[c]+part2[c]-whole[c]) > 1e-12 {
+			t.Fatalf("column %d: split %v+%v != whole %v", c, part1[c], part2[c], whole[c])
+		}
+	}
+}
+
+func TestZeroVec(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	ZeroVec(x, []int32{0, 2})
+	if x[0] != 0 || x[1] != 2 || x[2] != 0 || x[3] != 4 {
+		t.Fatalf("ZeroVec result = %v", x)
+	}
+}
+
+// Property: MulVec against a straightforward dense implementation.
+func TestQuickMulVec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		b := NewBuilder(n)
+		for e := 0; e < n+rng.Intn(3*n); e++ {
+			b.Add(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+		}
+		m := b.Build()
+		dense := m.Dense()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := m.MulVec(x)
+		for r := 0; r < n; r++ {
+			var want float64
+			for c := 0; c < n; c++ {
+				want += dense[r][c] * x[c]
+			}
+			if math.Abs(got[r]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPropagateT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	bd := NewBuilder(n)
+	for e := 0; e < n*8; e++ {
+		bd.Add(rng.Intn(n), rng.Intn(n), rng.Float64())
+	}
+	m := bd.Build()
+	x := make([]float64, n)
+	var active []int32
+	for i := 0; i < n; i += 10 {
+		x[i] = rng.Float64()
+		active = append(active, int32(i))
+	}
+	out := make([]float64, n)
+	scratch := make([]bool, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nz := m.PropagateT(x, active, out, scratch)
+		ZeroVec(out, nz)
+	}
+}

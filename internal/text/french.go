@@ -1,0 +1,61 @@
+package text
+
+import "strings"
+
+// FrenchStem implements a light French stemmer in the spirit of Savoy's
+// "light" stemmers: plural/feminine normalisation followed by a single pass
+// of derivational suffix stripping. The paper's I2 (Vodkaster) instance is
+// French and was stemmed with a comparable off-the-shelf tool; since our I2
+// stand-in is synthetic, a light stemmer that merges inflectional variants
+// is sufficient and keeps behaviour easy to reason about.
+//
+// The function is idempotent: FrenchStem(FrenchStem(w)) == FrenchStem(w).
+func FrenchStem(word string) string {
+	r := []rune(word)
+	if len(r) <= 3 {
+		return word
+	}
+
+	// Plural normalisation.
+	switch {
+	case hasRuneSuffix(r, "eaux"):
+		r = r[:len(r)-1] // châteaux → château
+	case hasRuneSuffix(r, "aux") && len(r) > 4:
+		r = append(r[:len(r)-2], 'l') // chevaux → cheval
+	case r[len(r)-1] == 'x' || r[len(r)-1] == 's':
+		r = r[:len(r)-1]
+	}
+	if len(r) <= 3 {
+		return string(r)
+	}
+
+	// Derivational suffixes, longest first; the remaining stem must keep at
+	// least three runes.
+	suffixes := []struct{ suf, repl string }{
+		{"issement", ""}, {"issant", ""}, {"atrice", ""}, {"ateur", ""},
+		{"logie", "log"}, {"emment", "ent"}, {"amment", "ant"},
+		{"ement", ""}, {"euse", "eu"}, {"ance", ""}, {"ence", ""},
+		{"ité", ""}, {"ive", ""}, {"ion", ""}, {"eur", ""}, {"ère", "er"},
+	}
+	for _, c := range suffixes {
+		suf := []rune(c.suf)
+		if len(r)-len(suf) >= 3 && hasRuneSuffix(r, c.suf) {
+			r = append(r[:len(r)-len(suf)], []rune(c.repl)...)
+			break
+		}
+	}
+
+	// Final mute 'e' / 'é', then squeeze a trailing double letter
+	// (bonnes → bonne → bonn → bon).
+	if len(r) > 3 && (r[len(r)-1] == 'e' || r[len(r)-1] == 'é') {
+		r = r[:len(r)-1]
+	}
+	if len(r) > 3 && r[len(r)-1] == r[len(r)-2] {
+		r = r[:len(r)-1]
+	}
+	return string(r)
+}
+
+func hasRuneSuffix(r []rune, suffix string) bool {
+	return strings.HasSuffix(string(r), suffix)
+}

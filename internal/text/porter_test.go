@@ -1,0 +1,176 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The expected outputs below are the published examples from Porter's 1980
+// paper, adjusted where the reference implementation's two departures
+// (bli→ble, logi→log) apply.
+func TestPorterClassicVectors(t *testing.T) {
+	cases := map[string]string{
+		// step 1a
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// step 1b
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// step 1c
+		"happy": "happi",
+		"sky":   "sky",
+		// step 2
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// step 3
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// step 4
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologi":    "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// step 5
+		"probate": "probat",
+		"rate":    "rate",
+		"cease":   "ceas",
+		"control": "control",
+		"roll":    "roll",
+		// words the paper's motivating example relies on
+		"graduation": "graduat",
+		"graduate":   "graduat",
+		"university": "univers",
+		"degree":     "degre",
+	}
+	for in, want := range cases {
+		if got := PorterStem(in); got != want {
+			t.Errorf("PorterStem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPorterLeavesShortAndNonASCIIAlone(t *testing.T) {
+	for _, w := range []string{"", "a", "of", "m.s.", "été", "web2", "#tag"} {
+		if got := PorterStem(w); got != w {
+			t.Errorf("PorterStem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// Porter stemming is idempotent on its own output for ordinary vocabulary.
+// (This is not a theorem for arbitrary letter strings, so we check it on a
+// realistic word list rather than random bytes.)
+func TestPorterIdempotentOnVocabulary(t *testing.T) {
+	// Note: Porter stemming is not idempotent in general ("universities" →
+	// "univers" → "univ" is the canonical counter-example), so this checks a
+	// list of words whose stems are fixed points.
+	words := []string{
+		"running", "nationalization", "happiness", "abilities",
+		"connected", "connections", "organizer", "traditional",
+		"probabilistic", "engineering", "searches", "semantically",
+		"structural", "graduates", "friendliness",
+	}
+	for _, w := range words {
+		once := PorterStem(w)
+		twice := PorterStem(once)
+		if once != twice {
+			t.Errorf("not idempotent: %q -> %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestFrenchStemMergesInflections(t *testing.T) {
+	groups := [][]string{
+		{"films", "film"},
+		{"chevaux", "cheval"},
+		{"châteaux", "château"},
+		{"acteurs", "acteur"}, // plural only; "eur" needs 3-rune stem: "act" ok
+		{"nations", "nation"},
+		{"grandes", "grande", "grand"},
+	}
+	for _, g := range groups {
+		base := FrenchStem(g[0])
+		for _, w := range g[1:] {
+			if got := FrenchStem(w); got != base {
+				t.Errorf("FrenchStem(%q) = %q, FrenchStem(%q) = %q; want equal", g[0], base, w, got)
+			}
+		}
+	}
+}
+
+func TestFrenchStemIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := FrenchStem(once2(s))
+		return FrenchStem(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// once2 pre-stems so that the property tested is idempotence on outputs.
+func once2(s string) string { return FrenchStem(s) }
+
+func BenchmarkPorterStem(b *testing.B) {
+	words := []string{"nationalization", "running", "connected", "universities"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PorterStem(words[i%len(words)])
+	}
+}

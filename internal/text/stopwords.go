@@ -1,0 +1,42 @@
+package text
+
+// englishStopwords is a compact English stop-word list (function words that
+// carry no retrieval value). It intentionally stays small: over-aggressive
+// lists hurt recall on short social posts.
+var englishStopwords = makeSet(
+	"a", "about", "above", "after", "again", "all", "am", "an", "and",
+	"any", "are", "as", "at", "be", "because", "been", "before", "being",
+	"below", "between", "both", "but", "by", "can", "could", "did", "do",
+	"does", "doing", "down", "during", "each", "few", "for", "from",
+	"further", "had", "has", "have", "having", "he", "her", "here", "hers",
+	"him", "his", "how", "i", "if", "in", "into", "is", "it", "its",
+	"itself", "just", "me", "more", "most", "my", "myself", "no", "nor",
+	"not", "now", "of", "off", "on", "once", "only", "or", "other", "our",
+	"ours", "out", "over", "own", "s", "same", "she", "should", "so",
+	"some", "such", "t", "than", "that", "the", "their", "theirs", "them",
+	"then", "there", "these", "they", "this", "those", "through", "to",
+	"too", "under", "until", "up", "very", "was", "we", "were", "what",
+	"when", "where", "which", "while", "who", "whom", "why", "will",
+	"with", "would", "you", "your", "yours", "yourself",
+)
+
+// frenchStopwords is a compact French stop-word list for the Vodkaster-like
+// instance.
+var frenchStopwords = makeSet(
+	"au", "aux", "avec", "ce", "ces", "cet", "cette", "dans", "de", "des",
+	"du", "elle", "elles", "en", "et", "eux", "il", "ils", "je", "la",
+	"le", "les", "leur", "leurs", "lui", "ma", "mais", "me", "mes", "moi",
+	"mon", "ne", "nos", "notre", "nous", "on", "ou", "où", "par", "pas",
+	"plus", "pour", "qu", "que", "qui", "sa", "se", "ses", "son", "sur",
+	"ta", "te", "tes", "toi", "ton", "tu", "un", "une", "vos", "votre",
+	"vous", "y", "a", "à", "est", "sont", "être", "avoir", "comme", "si",
+	"tout", "tous", "toute", "toutes", "très", "sans", "fait",
+)
+
+func makeSet(words ...string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}

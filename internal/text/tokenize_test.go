@@ -1,0 +1,88 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"When I got my M.S. @UAlberta in 2012 ...", []string{"when", "i", "got", "my", "m.s", "@ualberta", "in", "2012"}},
+		{"#graduation day!!", []string{"#graduation", "day"}},
+		{"state-of-the-art systems", []string{"state-of-the-art", "systems"}},
+		{"", nil},
+		{"   \t\n ", nil},
+		{"...---...", nil},
+		{"l'état, c'est moi", []string{"l'état", "c'est", "moi"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeStripsDanglingMarkers(t *testing.T) {
+	got := Tokenize("# @ #. -x-")
+	want := []string{"x"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerKeywordsEnglish(t *testing.T) {
+	a := Analyzer{Lang: English}
+	got := a.Keywords("The universities of the graduates")
+	want := []string{"univers", "graduat"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Keywords = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerKeywordsDeduplicates(t *testing.T) {
+	a := Analyzer{Lang: English}
+	got := a.Keywords("running runs run")
+	if len(got) != 1 || got[0] != "run" {
+		t.Errorf("Keywords = %v, want [run]", got)
+	}
+}
+
+func TestAnalyzerKeywordsFrench(t *testing.T) {
+	a := Analyzer{Lang: French}
+	got := a.Keywords("les films et le cinéma")
+	want := []string{"film", "cinéma"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Keywords = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerKeepsHashtags(t *testing.T) {
+	a := Analyzer{Lang: English}
+	got := a.Keywords("#universities are great")
+	want := []string{"#universities", "great"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Keywords = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerNoneLangPassthrough(t *testing.T) {
+	a := Analyzer{Lang: None}
+	got := a.Keywords("The Universities OF k42")
+	want := []string{"the", "universities", "of", "k42"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Keywords = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerKeepStopwords(t *testing.T) {
+	a := Analyzer{Lang: English, KeepStopwords: true}
+	got := a.Keywords("the graduate")
+	want := []string{"the", "graduat"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Keywords = %v, want %v", got, want)
+	}
+}

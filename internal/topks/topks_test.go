@@ -1,0 +1,268 @@
+package topks
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"s3/internal/datagen"
+	"s3/internal/dict"
+	"s3/internal/doc"
+	"s3/internal/graph"
+	"s3/internal/text"
+)
+
+func buildRandomUIT(t *testing.T, seed int64) (*graph.Instance, *UIT) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	spec := datagen.RandomSpec(rng, datagen.DefaultRandomOptions())
+	in, err := graph.BuildSpec(spec, text.Analyzer{Lang: text.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, Convert(in)
+}
+
+func kwIDs(t *testing.T, in *graph.Instance, kws ...string) []dict.ID {
+	t.Helper()
+	var out []dict.ID
+	for _, k := range kws {
+		if id, ok := in.Dict().Lookup(k); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Reply/comment chains merge into the base item (the paper's I′
+// construction: a tweet and its retweets/replies are one item; a movie's
+// comments are one item).
+func TestConvertMergesCommentChains(t *testing.T) {
+	b := graph.NewBuilder(text.Analyzer{Lang: text.None})
+	for _, u := range []string{"u0", "u1", "u2"} {
+		if err := b.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(t, b.AddDocument(&doc.Node{URI: "base", Keywords: []string{"k1"}}))
+	must(t, b.AddDocument(&doc.Node{URI: "reply", Keywords: []string{"k2"}}))
+	must(t, b.AddDocument(&doc.Node{URI: "reply2", Keywords: []string{"k3"}}))
+	must(t, b.AddDocument(&doc.Node{URI: "other", Keywords: []string{"k1"}}))
+	must(t, b.AddPost("base", "u0"))
+	must(t, b.AddPost("reply", "u1"))
+	must(t, b.AddPost("reply2", "u2"))
+	must(t, b.AddPost("other", "u2"))
+	must(t, b.AddComment("reply", "base", ""))
+	must(t, b.AddComment("reply2", "reply", ""))
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Convert(in)
+
+	if len(u.Items()) != 2 {
+		t.Fatalf("items = %d, want 2 (base + other)", len(u.Items()))
+	}
+	baseN, _ := in.NIDOf("base")
+	replyN, _ := in.NIDOf("reply2")
+	if item, _ := u.ItemOf(replyN); item != baseN {
+		t.Fatalf("reply2's item = %s, want base", in.URIOf(item))
+	}
+	// u2's reply keyword k3 became a triple on the base item.
+	k3 := kwIDs(t, in, "k3")[0]
+	if u.Taggers(baseN, k3) != 1 {
+		t.Fatalf("taggers(base, k3) = %d, want 1", u.Taggers(baseN, k3))
+	}
+	// u2 tagged both the base item (via reply2) and its own doc "other".
+	u2, _ := in.NIDOf("u2")
+	if len(u.TriplesOf(u2)) != 2 {
+		t.Fatalf("u2 triples = %v", u.TriplesOf(u2))
+	}
+}
+
+// Keyword tags become UIT triples; endorsements are invisible.
+func TestConvertTags(t *testing.T) {
+	b := graph.NewBuilder(text.Analyzer{Lang: text.None})
+	must(t, b.AddUser("author"))
+	must(t, b.AddUser("tagger"))
+	must(t, b.AddDocument(&doc.Node{URI: "d", Children: []*doc.Node{{Name: "s"}}}))
+	must(t, b.AddPost("d", "author"))
+	must(t, b.AddTag("a1", "d.1", "tagger", "topic", ""))
+	must(t, b.AddTag("a2", "d", "tagger", "", "")) // endorsement
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Convert(in)
+	taggerN, _ := in.NIDOf("tagger")
+	dN, _ := in.NIDOf("d")
+	triples := u.TriplesOf(taggerN)
+	if len(triples) != 1 {
+		t.Fatalf("tagger triples = %v, want exactly the keyword tag", triples)
+	}
+	if triples[0].Item != dN {
+		t.Fatalf("tag item = %s, want d", in.URIOf(triples[0].Item))
+	}
+}
+
+// A comment cycle must not hang the converter.
+func TestConvertCommentCycle(t *testing.T) {
+	b := graph.NewBuilder(text.Analyzer{Lang: text.None})
+	must(t, b.AddDocument(&doc.Node{URI: "a", Keywords: []string{"k"}}))
+	must(t, b.AddDocument(&doc.Node{URI: "b", Keywords: []string{"k"}}))
+	must(t, b.AddComment("a", "b", ""))
+	must(t, b.AddComment("b", "a", ""))
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Convert(in)
+	if len(u.Items()) == 0 {
+		t.Fatal("cycle collapsed to no items")
+	}
+}
+
+// TopkS with early termination must return the same answer as ranking the
+// exact scores (modulo exact ties).
+func TestTopkSMatchesExactRanking(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		in, u := buildRandomUIT(t, seed)
+		e := NewEngine(u)
+		seeker := in.Users()[int(seed)%len(in.Users())]
+		kws := kwIDs(t, in, "kw0", "kw1")
+		if len(kws) == 0 {
+			continue
+		}
+		for _, alpha := range []float64{0.25, 0.5, 0.75} {
+			for _, k := range []int{1, 3, 5} {
+				got, _, err := e.Search(seeker, kws, Options{K: k, Alpha: alpha})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				exact := e.ExactScores(seeker, kws, alpha)
+				want := rankExact(exact, k)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d α=%v k=%d: got %d results, want %d", seed, alpha, k, len(got), len(want))
+				}
+				// The answer is a set: compare the sorted exact-score
+				// sequences (early termination fixes the set, not the
+				// internal order).
+				gotScores := make([]float64, len(got))
+				for i := range got {
+					gs := exact[got[i].Item]
+					gotScores[i] = gs
+					if gs < got[i].Lower-1e-9 || gs > got[i].Upper+1e-9 {
+						t.Fatalf("seed %d: exact score %v outside [%v, %v]", seed, gs, got[i].Lower, got[i].Upper)
+					}
+				}
+				sort.Sort(sort.Reverse(sort.Float64Slice(gotScores)))
+				for i := range gotScores {
+					if math.Abs(gotScores[i]-want[i]) > 1e-9 {
+						t.Fatalf("seed %d α=%v k=%d rank %d: score %v, want %v\n(set %v)",
+							seed, alpha, k, i, gotScores[i], want[i], got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// rankExact returns the k best exact scores, descending.
+func rankExact(scores map[graph.NID]float64, k int) []float64 {
+	all := make([]float64, 0, len(scores))
+	for _, s := range scores {
+		all = append(all, s)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// α = 0 ranks purely by content; the social graph must not matter.
+func TestAlphaZeroIgnoresSocial(t *testing.T) {
+	in, u := buildRandomUIT(t, 100)
+	e := NewEngine(u)
+	kws := kwIDs(t, in, "kw0")
+	if len(kws) == 0 {
+		t.Skip("kw0 absent")
+	}
+	var prev []Result
+	for _, seeker := range in.Users() {
+		got, _, err := e.Search(seeker, kws, Options{K: 3, Alpha: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if len(got) != len(prev) {
+				t.Fatal("content-only ranking depends on seeker")
+			}
+			for i := range got {
+				if got[i].Item != prev[i].Item {
+					t.Fatalf("content-only ranking depends on seeker: %v vs %v", got[i], prev[i])
+				}
+			}
+		}
+		prev = got
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	in, u := buildRandomUIT(t, 200)
+	e := NewEngine(u)
+	seeker := in.Users()[0]
+	if _, _, err := e.Search(seeker, nil, Options{K: 0, Alpha: 0.5}); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, _, err := e.Search(seeker, nil, Options{K: 1, Alpha: 2}); err == nil {
+		t.Fatal("expected error for alpha out of range")
+	}
+	if _, _, err := e.Search(in.DocRoots()[0], nil, Options{K: 1, Alpha: 0.5}); err == nil {
+		t.Fatal("expected error for non-user seeker")
+	}
+}
+
+func TestNoKeywordMatches(t *testing.T) {
+	in, u := buildRandomUIT(t, 300)
+	e := NewEngine(u)
+	seeker := in.Users()[0]
+	fresh := in.Dict().Intern("never-used-keyword")
+	got, stats, err := e.Search(seeker, []dict.ID{fresh}, Options{K: 3, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || stats.Candidates != 0 {
+		t.Fatalf("got %v with %d candidates, want none", got, stats.Candidates)
+	}
+}
+
+func TestBestPathProx(t *testing.T) {
+	b := graph.NewBuilder(text.Analyzer{Lang: text.None})
+	for _, u := range []string{"a", "b", "c"} {
+		must(t, b.AddUser(u))
+	}
+	must(t, b.AddSocial("a", "b", 0.5, ""))
+	must(t, b.AddSocial("b", "c", 0.5, ""))
+	must(t, b.AddSocial("a", "c", 0.2, ""))
+	in, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Convert(in))
+	a, _ := in.NIDOf("a")
+	c, _ := in.NIDOf("c")
+	prox := e.BestPathProx(a)
+	// Best path a→b→c has product 0.25, beating the direct 0.2.
+	if math.Abs(prox[c]-0.25) > 1e-12 {
+		t.Fatalf("prox(a,c) = %v, want 0.25", prox[c])
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

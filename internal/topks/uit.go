@@ -1,0 +1,173 @@
+// Package topks implements the baseline the paper compares against (§5.1):
+// TopkS, the network-aware top-k search of Maniu & Cautis [18] over the
+// user-item-tag (UIT) model.
+//
+// The UIT model is deliberately poorer than S3: items are atomic (no
+// fragments), tags carry no semantics (no keyword extension), and the
+// social score follows the single best path between seeker and tagger
+// rather than aggregating all paths. The conversion from an S3 instance
+// follows §5.1: every document that (transitively) comments on another —
+// a retweet, reply or later review — is merged into the base item it
+// comments on; every keyword of the merged content becomes a
+// (author, item, keyword) triple, and keyword tags contribute triples too.
+package topks
+
+import (
+	"sort"
+
+	"s3/internal/dict"
+	"s3/internal/graph"
+)
+
+// UIT is the converted user-item-tag instance. Users and items are
+// identified by their S3 node ids (items by the base document's root).
+type UIT struct {
+	in *graph.Instance
+
+	// itemOf maps every document root to its base item (itself, unless it
+	// transitively comments on another document).
+	itemOf map[graph.NID]graph.NID
+	items  []graph.NID
+
+	// triples per user: the (item, keyword) pairs the user "tagged".
+	byUser map[graph.NID][]ItemKw
+	// count of distinct taggers per (item, keyword).
+	taggers map[itemKwKey]int
+	// items per keyword (inverted index).
+	byKw map[dict.ID][]graph.NID
+	// maximum tagger count per keyword (normalises the content score).
+	maxTaggers map[dict.ID]int
+}
+
+// ItemKw is one (item, keyword) tag of a user.
+type ItemKw struct {
+	Item graph.NID
+	Kw   dict.ID
+}
+
+type itemKwKey struct {
+	item graph.NID
+	kw   dict.ID
+}
+
+// Convert builds the UIT view of an S3 instance (the paper's I′1/I′2/I′3
+// constructions).
+func Convert(in *graph.Instance) *UIT {
+	u := &UIT{
+		in:         in,
+		itemOf:     make(map[graph.NID]graph.NID),
+		byUser:     make(map[graph.NID][]ItemKw),
+		taggers:    make(map[itemKwKey]int),
+		byKw:       make(map[dict.ID][]graph.NID),
+		maxTaggers: make(map[dict.ID]int),
+	}
+
+	// Comment edges at document-root grain: root of comment → root of
+	// target.
+	commentTarget := make(map[graph.NID]graph.NID)
+	for _, ce := range in.Comments() {
+		commentTarget[ce.Comment] = in.DocRootOf(ce.Target)
+	}
+	var base func(root graph.NID, seen map[graph.NID]bool) graph.NID
+	base = func(root graph.NID, seen map[graph.NID]bool) graph.NID {
+		t, ok := commentTarget[root]
+		if !ok || seen[root] {
+			return root
+		}
+		seen[root] = true
+		return base(t, seen)
+	}
+	itemSet := make(map[graph.NID]struct{})
+	for _, root := range in.DocRoots() {
+		b := base(root, make(map[graph.NID]bool))
+		u.itemOf[root] = b
+		itemSet[b] = struct{}{}
+	}
+	for it := range itemSet {
+		u.items = append(u.items, it)
+	}
+	sort.Slice(u.items, func(i, j int) bool { return u.items[i] < u.items[j] })
+
+	// Document content: every keyword of a document becomes a triple
+	// (author, item, keyword) for each author of the document.
+	authors := make(map[graph.NID][]graph.NID) // doc root → posting users
+	for _, p := range in.Posts() {
+		root := in.DocRootOf(p.Doc)
+		authors[root] = append(authors[root], p.User)
+	}
+	seenTriple := make(map[[3]int64]struct{})
+	addTriple := func(user, item graph.NID, kw dict.ID) {
+		key := [3]int64{int64(user), int64(item), int64(kw)}
+		if _, dup := seenTriple[key]; dup {
+			return
+		}
+		seenTriple[key] = struct{}{}
+		u.byUser[user] = append(u.byUser[user], ItemKw{Item: item, Kw: kw})
+		ik := itemKwKey{item: item, kw: kw}
+		if u.taggers[ik] == 0 {
+			u.byKw[kw] = append(u.byKw[kw], item)
+		}
+		u.taggers[ik]++
+		if u.taggers[ik] > u.maxTaggers[kw] {
+			u.maxTaggers[kw] = u.taggers[ik]
+		}
+	}
+	for _, root := range in.DocRoots() {
+		item := u.itemOf[root]
+		var nodes []graph.NID
+		nodes = in.SubtreeOf(root, nodes)
+		for _, auth := range authors[root] {
+			for _, n := range nodes {
+				for _, kw := range in.KeywordsOf(n) {
+					addTriple(auth, item, kw)
+				}
+			}
+		}
+	}
+	// Keyword tags: the tag author tagged the base item of the tagged
+	// fragment. Endorsements carry no keyword and are invisible to UIT.
+	for _, tag := range in.Tags() {
+		ti, _ := in.TagInfoOf(tag)
+		if ti.Keyword == dict.NoID {
+			continue
+		}
+		frag := tag
+		for in.KindOf(frag) == graph.KindTag {
+			info, _ := in.TagInfoOf(frag)
+			frag = info.Subject
+		}
+		item := u.itemOf[in.DocRootOf(frag)]
+		addTriple(ti.Author, item, ti.Keyword)
+	}
+	return u
+}
+
+// Instance returns the underlying S3 instance.
+func (u *UIT) Instance() *graph.Instance { return u.in }
+
+// Items returns the item ids (base document roots), sorted.
+func (u *UIT) Items() []graph.NID { return u.items }
+
+// ItemOf maps any S3 document node to its UIT item.
+func (u *UIT) ItemOf(n graph.NID) (graph.NID, bool) {
+	root := u.in.DocRootOf(n)
+	if root == graph.NoNID {
+		return graph.NoNID, false
+	}
+	item, ok := u.itemOf[root]
+	return item, ok
+}
+
+// TriplesOf returns the (item, keyword) tags of a user.
+func (u *UIT) TriplesOf(user graph.NID) []ItemKw { return u.byUser[user] }
+
+// Taggers returns the number of distinct users that tagged item with kw.
+func (u *UIT) Taggers(item graph.NID, kw dict.ID) int {
+	return u.taggers[itemKwKey{item: item, kw: kw}]
+}
+
+// ItemsWithKw returns the items carrying at least one triple for kw.
+func (u *UIT) ItemsWithKw(kw dict.ID) []graph.NID { return u.byKw[kw] }
+
+// MaxTaggers returns the largest tagger count for kw over all items.
+func (u *UIT) MaxTaggers(kw dict.ID) int { return u.maxTaggers[kw] }

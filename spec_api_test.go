@@ -1,0 +1,72 @@
+package s3
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// A spec written by one builder rebuilds into an equivalent instance:
+// same statistics, same search answers.
+func TestSpecRoundTripThroughFacade(t *testing.T) {
+	b := NewBuilder(English)
+	if err := b.AddUser("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddUser("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddSocial("alice", "bob", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	b.AddTriple(b.Stem("m.s"), "rdfs:subClassOf", b.Stem("degree"))
+	if err := b.AddDocumentText("post1", "post", "I finished my M.S. thesis"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPost("post1", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTag("t1", "post1", "bob", "milestone"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := b.EncodeSpec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	original, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := BuildFromSpec(&buf, English)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if original.Stats() != rebuilt.Stats() {
+		t.Fatalf("stats differ:\n%v\nvs\n%v", original.Stats(), rebuilt.Stats())
+	}
+	q := []string{"degree"}
+	r1, err := original.Search("alice", q, WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := rebuilt.Search("alice", q, WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("answers differ in size: %v vs %v", r1, r2)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("answers differ at %d: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestBuildFromSpecErrors(t *testing.T) {
+	if _, err := BuildFromSpec(strings.NewReader("not a gob stream"), English); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
