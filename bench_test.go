@@ -7,6 +7,7 @@
 package s3
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -269,6 +270,96 @@ func BenchmarkAblation_IndexBuild(b *testing.B) {
 		if ix := index.Build(in); ix == nil {
 			b.Fatal("nil index")
 		}
+	}
+}
+
+// --- Serving-path benches (the s3serve subsystem) ---
+
+// BenchmarkSpecRebuild measures the legacy cold-start path: decoding a
+// spec and re-running the entire build pipeline (validation, ontology
+// saturation, matrix normalisation, component partition) plus the
+// connection-index fixpoint — everything a process must repeat today
+// before it can answer its first query.
+func BenchmarkSpecRebuild(b *testing.B) {
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets = 300, 1200
+	spec, _ := datagen.Twitter(o)
+	var buf bytes.Buffer
+	if err := spec.Encode(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := BuildFromSpec(bytes.NewReader(data), Raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if inst.Stats().Users != 300 {
+			b.Fatal("bad rebuild")
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures the snapshot cold-start path over the
+// same instance: reading the frozen tables back from the binary format.
+// Compare with BenchmarkSpecRebuild — the gap is what a serving process
+// saves on every restart and every hot reload.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets = 300, 1200
+	spec, _ := datagen.Twitter(o)
+	var specBuf bytes.Buffer
+	if err := spec.Encode(&specBuf); err != nil {
+		b.Fatal(err)
+	}
+	inst, err := BuildFromSpec(&specBuf, Raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := inst.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restored, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if restored.Stats().Users != 300 {
+			b.Fatal("bad load")
+		}
+	}
+}
+
+// BenchmarkSnapshotWrite measures serialisation cost (the price paid once
+// per build or reload cycle).
+func BenchmarkSnapshotWrite(b *testing.B) {
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets = 300, 1200
+	spec, _ := datagen.Twitter(o)
+	var specBuf bytes.Buffer
+	if err := spec.Encode(&specBuf); err != nil {
+		b.Fatal(err)
+	}
+	inst, err := BuildFromSpec(&specBuf, Raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := inst.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
 	}
 }
 

@@ -1,11 +1,13 @@
 // Command s3gen generates a synthetic S3 instance specification — the
 // stand-ins for the paper's I1 (Twitter), I2 (Vodkaster) and I3 (Yelp)
 // datasets — optionally writes it to disk, and prints its Figure 4
-// statistics.
+// statistics. With -snap it also freezes the built instance (graph,
+// ontology and connection index) into a binary snapshot that s3serve and
+// s3search cold-start from without rebuilding.
 //
 // Usage:
 //
-//	s3gen -dataset twitter -scale 1 -seed 1 -out i1.spec
+//	s3gen -dataset twitter -scale 1 -seed 1 -out i1.spec -snap i1.snap
 //	s3gen -dataset yelp
 package main
 
@@ -17,6 +19,8 @@ import (
 
 	"s3/internal/datagen"
 	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/snap"
 	"s3/internal/text"
 )
 
@@ -28,6 +32,7 @@ func main() {
 		scale   = flag.Float64("scale", 1, "size multiplier over the laptop-scale defaults")
 		seed    = flag.Int64("seed", 0, "random seed (0 = dataset default)")
 		out     = flag.String("out", "", "write the generated spec (gob) to this file")
+		snapOut = flag.String("snap", "", "write a frozen instance snapshot (binary) to this file")
 	)
 	flag.Parse()
 
@@ -54,6 +59,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nspec written to %s\n", *out)
+	}
+	if *snapOut != "" {
+		f, err := os.Create(*snapOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := snap.Write(f, in, index.Build(in)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapOut)
 	}
 }
 

@@ -6,11 +6,13 @@
 //
 //	s3search -dataset twitter -query "class-retoka" -k 5
 //	s3search -spec i1.spec -seeker tw:u17 -query "#h3" -k 10 -gamma 2
+//	s3search -snapshot i1.snap -query "#h3"   # cold-start from a snapshot
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -21,44 +23,143 @@ import (
 	"s3/internal/graph"
 	"s3/internal/index"
 	"s3/internal/score"
+	"s3/internal/snap"
 	"s3/internal/text"
 	"s3/internal/topks"
 )
 
+// options carries the parsed command line.
+type options struct {
+	specPath string
+	snapPath string
+	dataset  string
+	seeker   string
+	query    string
+	k        int
+	gamma    float64
+	eta      float64
+	workers  int
+	baseline bool
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("s3search: ")
-	var (
-		specPath = flag.String("spec", "", "load the instance spec (gob) from this file")
-		dataset  = flag.String("dataset", "twitter", "generate this dataset when -spec is not given")
-		seeker   = flag.String("seeker", "", "seeker user URI (default: first connected user)")
-		query    = flag.String("query", "", "space-separated query keywords (required)")
-		k        = flag.Int("k", 5, "number of results")
-		gamma    = flag.Float64("gamma", 1.5, "social damping γ > 1")
-		eta      = flag.Float64("eta", 0.8, "structural damping η ∈ (0,1)")
-		workers  = flag.Int("workers", 0, "parallel scoring workers (0 = sequential)")
-		baseline = flag.Bool("baseline", true, "also run the TopkS baseline (α = 0.5)")
-	)
+	var o options
+	flag.StringVar(&o.specPath, "spec", "", "load the instance spec (gob) from this file")
+	flag.StringVar(&o.snapPath, "snapshot", "", "load a frozen instance snapshot (skips rebuild and indexing)")
+	flag.StringVar(&o.dataset, "dataset", "twitter", "generate this dataset when -spec/-snapshot are not given")
+	flag.StringVar(&o.seeker, "seeker", "", "seeker user URI (default: first connected user)")
+	flag.StringVar(&o.query, "query", "", "space-separated query keywords (required)")
+	flag.IntVar(&o.k, "k", 5, "number of results")
+	flag.Float64Var(&o.gamma, "gamma", 1.5, "social damping γ > 1")
+	flag.Float64Var(&o.eta, "eta", 0.8, "structural damping η ∈ (0,1)")
+	flag.IntVar(&o.workers, "workers", 0, "parallel scoring workers (0 = sequential)")
+	flag.BoolVar(&o.baseline, "baseline", true, "also run the TopkS baseline (α = 0.5)")
 	flag.Parse()
-	if *query == "" {
+	if o.query == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := run(o, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	var spec graph.Spec
-	if *specPath != "" {
-		f, err := os.Open(*specPath)
+// run loads the instance, executes the query and prints the answer.
+func run(o options, w io.Writer) error {
+	in, ix, err := load(o)
+	if err != nil {
+		return err
+	}
+	eng := core.NewEngine(in, ix)
+
+	seekerNID := graph.NoNID
+	if o.seeker == "" {
+		for _, u := range in.Users() {
+			if len(in.OutEdges(u)) > 0 {
+				seekerNID = u
+				break
+			}
+		}
+		if seekerNID == graph.NoNID {
+			return fmt.Errorf("no connected user to auto-select as seeker; pass -seeker")
+		}
+		fmt.Fprintf(w, "seeker: %s (auto-selected)\n", in.URIOf(seekerNID))
+	} else {
+		n, ok := in.NIDOf(o.seeker)
+		if !ok {
+			return fmt.Errorf("unknown seeker %q", o.seeker)
+		}
+		seekerNID = n
+	}
+
+	keywords := strings.Fields(o.query)
+	opts := core.Options{
+		K:       o.k,
+		Params:  score.Params{Gamma: o.gamma, Eta: o.eta},
+		Workers: o.workers,
+	}
+	results, stats, err := eng.Search(seekerNID, keywords, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nS3k answer for %v (γ=%.4g, η=%.4g, k=%d) — %s, %d iterations, %v:\n",
+		keywords, o.gamma, o.eta, o.k, stats.Reason, stats.Iterations, stats.Elapsed)
+	if len(results) == 0 {
+		fmt.Fprintln(w, "  (no results)")
+	}
+	for i, r := range results {
+		fmt.Fprintf(w, "  %2d. %-24s score ∈ [%.3e, %.3e]\n", i+1, r.URI, r.Lower, r.Upper)
+	}
+
+	if o.baseline {
+		uit := topks.Convert(in)
+		teng := topks.NewEngine(uit)
+		tkws := resolveKeywords(in, keywords)
+		tres, tstats, err := teng.Search(seekerNID, tkws, topks.Options{K: o.k, Alpha: 0.5})
 		if err != nil {
-			log.Fatal(err)
+			return err
+		}
+		fmt.Fprintf(w, "\nTopkS baseline (α=0.5) — %d users visited, %v:\n", tstats.UsersVisited, tstats.Elapsed)
+		if len(tres) == 0 {
+			fmt.Fprintln(w, "  (no results)")
+		}
+		for i, r := range tres {
+			fmt.Fprintf(w, "  %2d. %-24s score ∈ [%.3e, %.3e]\n", i+1, r.URI, r.Lower, r.Upper)
+		}
+	}
+	return nil
+}
+
+// load resolves the instance source: a binary snapshot (frozen instance +
+// index, no rebuild), a spec file, or a generated dataset.
+func load(o options) (*graph.Instance, *index.Index, error) {
+	if o.snapPath != "" && o.specPath != "" {
+		return nil, nil, fmt.Errorf("-snapshot and -spec are mutually exclusive")
+	}
+	if o.snapPath != "" {
+		f, err := os.Open(o.snapPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		return snap.Read(f)
+	}
+	var spec graph.Spec
+	if o.specPath != "" {
+		f, err := os.Open(o.specPath)
+		if err != nil {
+			return nil, nil, err
 		}
 		s, err := graph.DecodeSpec(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return nil, nil, err
 		}
 		spec = *s
 	} else {
-		switch *dataset {
+		switch o.dataset {
 		case "twitter":
 			spec, _ = datagen.Twitter(datagen.DefaultTwitterOptions())
 		case "vodkaster":
@@ -66,68 +167,14 @@ func main() {
 		case "yelp":
 			spec = datagen.Yelp(datagen.DefaultYelpOptions())
 		default:
-			log.Fatalf("unknown dataset %q", *dataset)
+			return nil, nil, fmt.Errorf("unknown dataset %q", o.dataset)
 		}
 	}
 	in, err := graph.BuildSpec(spec, text.Analyzer{Lang: text.None})
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, err
 	}
-	ix := index.Build(in)
-	eng := core.NewEngine(in, ix)
-
-	var seekerNID graph.NID
-	if *seeker == "" {
-		for _, u := range in.Users() {
-			if len(in.OutEdges(u)) > 0 {
-				seekerNID = u
-				break
-			}
-		}
-		fmt.Printf("seeker: %s (auto-selected)\n", in.URIOf(seekerNID))
-	} else {
-		n, ok := in.NIDOf(*seeker)
-		if !ok {
-			log.Fatalf("unknown seeker %q", *seeker)
-		}
-		seekerNID = n
-	}
-
-	keywords := strings.Fields(*query)
-	opts := core.Options{
-		K:       *k,
-		Params:  score.Params{Gamma: *gamma, Eta: *eta},
-		Workers: *workers,
-	}
-	results, stats, err := eng.Search(seekerNID, keywords, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nS3k answer for %v (γ=%.4g, η=%.4g, k=%d) — %s, %d iterations, %v:\n",
-		keywords, *gamma, *eta, *k, stats.Reason, stats.Iterations, stats.Elapsed)
-	if len(results) == 0 {
-		fmt.Println("  (no results)")
-	}
-	for i, r := range results {
-		fmt.Printf("  %2d. %-24s score ∈ [%.3e, %.3e]\n", i+1, r.URI, r.Lower, r.Upper)
-	}
-
-	if *baseline {
-		uit := topks.Convert(in)
-		teng := topks.NewEngine(uit)
-		tkws := resolveKeywords(in, keywords)
-		tres, tstats, err := teng.Search(seekerNID, tkws, topks.Options{K: *k, Alpha: 0.5})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nTopkS baseline (α=0.5) — %d users visited, %v:\n", tstats.UsersVisited, tstats.Elapsed)
-		if len(tres) == 0 {
-			fmt.Println("  (no results)")
-		}
-		for i, r := range tres {
-			fmt.Printf("  %2d. %-24s score ∈ [%.3e, %.3e]\n", i+1, r.URI, r.Lower, r.Upper)
-		}
-	}
+	return in, index.Build(in), nil
 }
 
 // resolveKeywords stems query keywords and resolves them to dictionary

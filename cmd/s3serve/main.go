@@ -1,0 +1,139 @@
+// Command s3serve runs the long-lived S3 query server: it loads a frozen
+// instance from a binary snapshot (or rebuilds one from a spec) and
+// serves S3k searches over an HTTP JSON API with result caching,
+// concurrent-query coalescing, a bounded search worker pool and atomic
+// hot reload.
+//
+// Usage:
+//
+//	s3gen -dataset twitter -out i1.spec -snap i1.snap
+//	s3serve -snapshot i1.snap -addr :8080
+//	curl -s localhost:8080/search -d '{"seeker":"tw:u17","keywords":["#h3"],"k":5}'
+//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/reload   # after regenerating i1.snap
+//
+// Endpoints: POST /search, GET /extension, GET /stats, GET /healthz,
+// POST /reload. See internal/server for the request and response bodies.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"s3"
+	"s3/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("s3serve: ")
+	var (
+		snapPath  = flag.String("snapshot", "", "serve the instance from this binary snapshot (fast cold start)")
+		specPath  = flag.String("spec", "", "rebuild the instance from this spec (gob) when -snapshot is not given")
+		lang      = flag.String("lang", "raw", "text pipeline for -spec builds: english | french | raw")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
+		workers   = flag.Int("workers", 0, "max concurrently executing searches (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	loader, err := makeLoader(*snapPath, *specPath, *lang)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	inst, err := loader()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("instance ready in %v (%d users, %d documents, %d components)",
+		time.Since(start).Round(time.Millisecond),
+		inst.Stats().Users, inst.Stats().Documents, inst.Stats().Components)
+
+	srv, err := server.New(server.Config{
+		Instance:  inst,
+		Loader:    loader,
+		CacheSize: *cacheSize,
+		Workers:   *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	log.Printf("serving on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// Shutdown to finish draining in-flight requests before exiting.
+	<-drained
+}
+
+// makeLoader builds the instance-loading closure used both for the
+// initial load and for POST /reload. Snapshot loading needs no language:
+// the snapshot embeds the text-pipeline configuration.
+func makeLoader(snapPath, specPath, lang string) (func() (*s3.Instance, error), error) {
+	switch {
+	case snapPath != "" && specPath != "":
+		return nil, fmt.Errorf("-snapshot and -spec are mutually exclusive")
+	case snapPath != "":
+		return func() (*s3.Instance, error) {
+			f, err := os.Open(snapPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return s3.ReadSnapshot(f)
+		}, nil
+	case specPath != "":
+		l, err := parseLang(lang)
+		if err != nil {
+			return nil, err
+		}
+		return func() (*s3.Instance, error) {
+			f, err := os.Open(specPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return s3.BuildFromSpec(f, l)
+		}, nil
+	default:
+		return nil, fmt.Errorf("one of -snapshot or -spec is required")
+	}
+}
+
+func parseLang(s string) (s3.Lang, error) {
+	switch s {
+	case "english":
+		return s3.English, nil
+	case "french":
+		return s3.French, nil
+	case "raw":
+		return s3.Raw, nil
+	default:
+		return 0, fmt.Errorf("unknown -lang %q (want english, french or raw)", s)
+	}
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"s3"
+	"s3/internal/datagen"
+	"s3/internal/server"
+)
+
+// writeSnapshotFile generates a small instance and persists it the way
+// the quickstart does (gen → snapshot), returning the file path and the
+// in-memory instance for direct comparison.
+func writeSnapshotFile(t *testing.T) (string, *s3.Instance) {
+	t.Helper()
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets, o.Seed = 60, 240, 11
+	spec, _ := datagen.Twitter(o)
+	var specBuf bytes.Buffer
+	if err := spec.Encode(&specBuf); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s3.BuildFromSpec(&specBuf, s3.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "i1.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, inst
+}
+
+// TestServeFromSnapshotEndToEnd exercises the full serving pipeline:
+// snapshot on disk → loader → HTTP server on a random port → /search
+// responses identical to direct Instance.Search calls.
+func TestServeFromSnapshotEndToEnd(t *testing.T) {
+	path, built := writeSnapshotFile(t)
+
+	loader, err := makeLoader(path, "", "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := loader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Instance: inst, Loader: loader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	checked := 0
+	for u := 0; u < 60 && checked < 3; u++ {
+		seeker := fmt.Sprintf("tw:u%d", u)
+		if !built.HasUser(seeker) {
+			continue
+		}
+		for _, kw := range []string{"#h1", "#h2", "#h3", "#h5"} {
+			want, err := built.Search(seeker, []string{kw}, s3.WithK(5))
+			if err != nil || len(want) == 0 {
+				continue
+			}
+			body := fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5}`, seeker, kw)
+			resp, err := http.Post(ts.URL+"/search", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST /search = %d", resp.StatusCode)
+			}
+			var got struct {
+				Results []struct {
+					URI      string  `json:"uri"`
+					Document string  `json:"document"`
+					Lower    float64 `json:"lower"`
+					Upper    float64 `json:"upper"`
+				} `json:"results"`
+				Exact bool `json:"exact"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&got)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Results) != len(want) {
+				t.Fatalf("%s/%s: served %d results, direct search %d", seeker, kw, len(got.Results), len(want))
+			}
+			for i, w := range want {
+				g := got.Results[i]
+				if g.URI != w.URI || g.Document != w.Document || g.Lower != w.Lower || g.Upper != w.Upper {
+					t.Errorf("%s/%s result %d: served %+v, direct %+v", seeker, kw, i, g, w)
+				}
+			}
+			checked++
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no query produced results; test instance too sparse")
+	}
+
+	// Liveness and stats must reflect the snapshot-backed instance.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Instance s3.Stats `json:"instance"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instance != built.Stats() {
+		t.Errorf("served stats %+v, built %+v", stats.Instance, built.Stats())
+	}
+
+	// Hot reload re-reads the snapshot file.
+	resp, err = http.Post(ts.URL+"/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST /reload = %d", resp.StatusCode)
+	}
+}
+
+func TestMakeLoaderValidation(t *testing.T) {
+	if _, err := makeLoader("", "", "raw"); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := makeLoader("a.snap", "b.spec", "raw"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := makeLoader("", "b.spec", "klingon"); err == nil {
+		t.Error("unknown language accepted")
+	}
+	loader, err := makeLoader(filepath.Join(t.TempDir(), "missing.snap"), "", "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader(); err == nil {
+		t.Error("missing snapshot file loaded")
+	}
+}

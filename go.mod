@@ -1,0 +1,3 @@
+module s3
+
+go 1.24

@@ -65,6 +65,20 @@ func (d *Dict) String(id ID) string {
 	return d.strs[id]
 }
 
+// FromStrings reconstructs a dictionary from a slice of strings in ID
+// order, as returned by Strings. The slice is retained. It fails on
+// duplicates, which would silently re-map IDs.
+func FromStrings(strs []string) (*Dict, error) {
+	d := &Dict{byStr: make(map[string]ID, len(strs)), strs: strs}
+	for i, s := range strs {
+		if _, dup := d.byStr[s]; dup {
+			return nil, fmt.Errorf("dict: duplicate string %q at id %d", s, i)
+		}
+		d.byStr[s] = ID(i)
+	}
+	return d, nil
+}
+
 // Len returns the number of interned strings.
 func (d *Dict) Len() int { return len(d.strs) }
 

@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"s3/internal/dict"
+	"s3/internal/rdf"
+	"s3/internal/sparse"
+	"s3/internal/text"
+)
+
+// Raw is the flat, exported view of a frozen Instance: every table needed
+// to reconstruct it without re-running the build pipeline (no ontology
+// saturation, no matrix normalisation, no component union-find). It is the
+// contract between the graph package and the snapshot serialiser
+// (internal/snap).
+//
+// Children lists and the URI→node map are intentionally absent — both are
+// derived deterministically from Parent and DictID on import.
+type Raw struct {
+	// Strings is the dictionary content in ID order.
+	Strings []string
+	// Lang / KeepStopwords describe the text analyzer the instance was
+	// built with (queries stem keywords through it).
+	Lang          text.Lang
+	KeepStopwords bool
+	// Triples is the saturated ontology in insertion order.
+	Triples []rdf.Triple
+
+	// Node tables, indexed by NID.
+	DictID   []dict.ID
+	Kind     []NodeKind
+	Parent   []NID
+	Depth    []int32
+	DocOf    []int32
+	Keywords [][]dict.ID
+	NodeName []dict.ID
+
+	// Network layer.
+	Out          [][]Edge
+	TotalW       []float64
+	MatrixRowPtr []int32
+	MatrixCol    []int32
+	MatrixVal    []float64
+
+	// Component partition.
+	Comp  []int32
+	NComp int
+
+	// Entity lists. TagInfos is aligned with TagList.
+	Users    []NID
+	DocRoots []NID
+	TagList  []NID
+	TagInfos []TagInfo
+	Comments []CommentEdge
+	Posts    []PostEdge
+
+	// Keyword document frequencies, sorted by keyword id (canonical order
+	// so serialising a Raw is deterministic).
+	KwFreqKeys   []dict.ID
+	KwFreqCounts []int32
+
+	Stats Stats
+}
+
+// Raw flattens the instance. The returned struct shares slices with the
+// instance wherever possible; callers must treat it as read-only.
+func (in *Instance) Raw() *Raw {
+	r := &Raw{
+		Strings:       in.dict.Strings(),
+		Lang:          in.analyzer.Lang,
+		KeepStopwords: in.analyzer.KeepStopwords,
+		Triples:       in.ont.Triples(),
+		DictID:        in.dictID,
+		Kind:          in.kind,
+		Parent:        in.parent,
+		Depth:         in.depth,
+		DocOf:         in.docOf,
+		Keywords:      in.keywords,
+		NodeName:      in.nodeName,
+		Out:           in.out,
+		TotalW:        in.totalW,
+		Comp:          in.comp,
+		NComp:         in.nComp,
+		Users:         in.users,
+		DocRoots:      in.docRoots,
+		TagList:       in.tagList,
+		Comments:      in.comments,
+		Posts:         in.posts,
+		Stats:         in.stats,
+	}
+	_, r.MatrixRowPtr, r.MatrixCol, r.MatrixVal = in.matrix.Raw()
+	r.TagInfos = make([]TagInfo, len(in.tagList))
+	for i, t := range in.tagList {
+		r.TagInfos[i] = in.tagInfo[t]
+	}
+	r.KwFreqKeys = make([]dict.ID, 0, len(in.kwFreq))
+	for k := range in.kwFreq {
+		r.KwFreqKeys = append(r.KwFreqKeys, k)
+	}
+	sort.Slice(r.KwFreqKeys, func(i, j int) bool { return r.KwFreqKeys[i] < r.KwFreqKeys[j] })
+	r.KwFreqCounts = make([]int32, len(r.KwFreqKeys))
+	for i, k := range r.KwFreqKeys {
+		r.KwFreqCounts[i] = int32(in.kwFreq[k])
+	}
+	return r
+}
+
+// FromRaw reconstructs a frozen Instance from its flat view, validating
+// cross-references so a corrupt or truncated serialisation is rejected
+// instead of panicking at query time. The Raw's slices are retained.
+func FromRaw(r *Raw) (*Instance, error) {
+	n := len(r.DictID)
+	for name, l := range map[string]int{
+		"Kind": len(r.Kind), "Parent": len(r.Parent), "Depth": len(r.Depth),
+		"DocOf": len(r.DocOf), "Keywords": len(r.Keywords), "NodeName": len(r.NodeName),
+		"Out": len(r.Out), "TotalW": len(r.TotalW), "Comp": len(r.Comp),
+	} {
+		if l != n {
+			return nil, fmt.Errorf("graph: raw table %s has %d entries for %d nodes", name, l, n)
+		}
+	}
+	if len(r.TagInfos) != len(r.TagList) {
+		return nil, fmt.Errorf("graph: %d tag infos for %d tags", len(r.TagInfos), len(r.TagList))
+	}
+	if len(r.KwFreqCounts) != len(r.KwFreqKeys) {
+		return nil, fmt.Errorf("graph: %d keyword counts for %d keywords", len(r.KwFreqCounts), len(r.KwFreqKeys))
+	}
+
+	d, err := dict.FromStrings(r.Strings)
+	if err != nil {
+		return nil, err
+	}
+	nd := dict.ID(d.Len())
+	checkID := func(id dict.ID, what string) error {
+		if id >= nd && id != dict.NoID {
+			return fmt.Errorf("graph: %s id %d outside dictionary of %d", what, id, nd)
+		}
+		return nil
+	}
+	checkNID := func(v NID, what string) error {
+		if (v < 0 || int(v) >= n) && v != NoNID {
+			return fmt.Errorf("graph: %s node %d outside instance of %d nodes", what, v, n)
+		}
+		return nil
+	}
+	for _, t := range r.Triples {
+		if err := checkID(t.S, "triple subject"); err != nil {
+			return nil, err
+		}
+		if err := checkID(t.P, "triple property"); err != nil {
+			return nil, err
+		}
+		if err := checkID(t.O, "triple object"); err != nil {
+			return nil, err
+		}
+	}
+
+	in := &Instance{
+		dict:     d,
+		ont:      rdf.FromTriples(d, r.Triples, true),
+		analyzer: text.Analyzer{Lang: r.Lang, KeepStopwords: r.KeepStopwords},
+		dictID:   r.DictID,
+		kind:     r.Kind,
+		parent:   r.Parent,
+		depth:    r.Depth,
+		docOf:    r.DocOf,
+		keywords: r.Keywords,
+		nodeName: r.NodeName,
+		nidOf:    make(map[dict.ID]NID, n),
+		out:      r.Out,
+		totalW:   r.TotalW,
+		comp:     r.Comp,
+		nComp:    r.NComp,
+		users:    r.Users,
+		docRoots: r.DocRoots,
+		tagList:  r.TagList,
+		tagInfo:  make(map[NID]TagInfo, len(r.TagList)),
+		comments: r.Comments,
+		posts:    r.Posts,
+		kwFreq:   make(map[dict.ID]int, len(r.KwFreqKeys)),
+		stats:    r.Stats,
+	}
+	in.children = make([][]NID, n)
+	for v := 0; v < n; v++ {
+		id := r.DictID[v]
+		if id == dict.NoID {
+			return nil, fmt.Errorf("graph: node %d has no URI", v)
+		}
+		if err := checkID(id, "node URI"); err != nil {
+			return nil, err
+		}
+		if _, dup := in.nidOf[id]; dup {
+			return nil, fmt.Errorf("graph: URI id %d names two nodes", id)
+		}
+		if err := checkID(r.NodeName[v], "node name"); err != nil {
+			return nil, err
+		}
+		for _, k := range r.Keywords[v] {
+			if err := checkID(k, "content keyword"); err != nil {
+				return nil, err
+			}
+		}
+		p := r.Parent[v]
+		if err := checkNID(p, "parent"); err != nil {
+			return nil, err
+		}
+		if p != NoNID {
+			// Nodes are numbered in document pre-order, so a parent always
+			// precedes its children; enforcing that rules out parent cycles
+			// (which would hang the ancestor walks at query time) and makes
+			// appending in NID order reproduce the original child ordering
+			// exactly.
+			if p >= NID(v) {
+				return nil, fmt.Errorf("graph: node %d has parent %d out of pre-order", v, p)
+			}
+			in.children[p] = append(in.children[p], NID(v))
+		}
+		if r.DocOf[v] >= 0 && int(r.DocOf[v]) >= len(r.DocRoots) {
+			return nil, fmt.Errorf("graph: node %d in document %d of %d", v, r.DocOf[v], len(r.DocRoots))
+		}
+		in.nidOf[id] = NID(v)
+		for _, e := range r.Out[v] {
+			if err := checkNID(e.To, "edge target"); err != nil {
+				return nil, err
+			}
+			if err := checkID(e.Prop, "edge property"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, lst := range [][]NID{r.Users, r.DocRoots, r.TagList} {
+		for _, v := range lst {
+			if err := checkNID(v, "entity list"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, t := range r.TagList {
+		ti := r.TagInfos[i]
+		if err := checkNID(ti.Subject, "tag subject"); err != nil {
+			return nil, err
+		}
+		if err := checkNID(ti.Author, "tag author"); err != nil {
+			return nil, err
+		}
+		if err := checkID(ti.Keyword, "tag keyword"); err != nil {
+			return nil, err
+		}
+		if err := checkID(ti.Type, "tag type"); err != nil {
+			return nil, err
+		}
+		in.tagInfo[t] = ti
+	}
+	for _, c := range r.Comments {
+		if err := checkNID(c.Comment, "comment"); err != nil {
+			return nil, err
+		}
+		if err := checkNID(c.Target, "comment target"); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range r.Posts {
+		if err := checkNID(p.Doc, "post doc"); err != nil {
+			return nil, err
+		}
+		if err := checkNID(p.User, "post user"); err != nil {
+			return nil, err
+		}
+	}
+	for i, k := range r.KwFreqKeys {
+		if err := checkID(k, "frequency keyword"); err != nil {
+			return nil, err
+		}
+		in.kwFreq[k] = int(r.KwFreqCounts[i])
+	}
+	in.matrix, err = sparse.FromRaw(n, r.MatrixRowPtr, r.MatrixCol, r.MatrixVal)
+	if err != nil {
+		return nil, err
+	}
+	return in, nil
+}

@@ -1,0 +1,94 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"s3/internal/dict"
+	"s3/internal/graph"
+)
+
+// RawPosting is the event list of one keyword, the serialisable unit of
+// the connection index.
+type RawPosting struct {
+	Kw     dict.ID
+	Events []Event
+}
+
+// Raw flattens the index into postings sorted by keyword id (canonical
+// order, so serialising is deterministic). Event slices are shared with
+// the index and must not be modified.
+func (ix *Index) Raw() []RawPosting {
+	out := make([]RawPosting, 0, len(ix.byKw))
+	for kw, l := range ix.byKw {
+		out = append(out, RawPosting{Kw: kw, Events: l.evs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kw < out[j].Kw })
+	return out
+}
+
+// FromRaw reconstructs an index over a frozen instance from its postings.
+// The per-keyword component tables and bounds are re-derived (they are
+// cheap linear scans); events are re-sorted with the canonical freeze
+// order, so postings may arrive in any order. Cross-references are
+// validated against the instance.
+func FromRaw(in *graph.Instance, postings []RawPosting) (*Index, error) {
+	n := graph.NID(in.NumNodes())
+	ix := &Index{
+		in:            in,
+		byKw:          make(map[dict.ID]*kwList, len(postings)),
+		compsByKw:     make(map[dict.ID][]int32, len(postings)),
+		maxCompEvents: make(map[dict.ID]int, len(postings)),
+	}
+	for _, p := range postings {
+		if _, dup := ix.byKw[p.Kw]; dup {
+			return nil, fmt.Errorf("index: duplicate posting for keyword %d", p.Kw)
+		}
+		// Copy before sorting: postings may share backing arrays with a
+		// live index (Raw documents them as read-only).
+		evs := make([]Event, len(p.Events))
+		copy(evs, p.Events)
+		for _, e := range evs {
+			if e.Frag < 0 || e.Frag >= n {
+				return nil, fmt.Errorf("index: event fragment %d outside instance of %d nodes", e.Frag, n)
+			}
+			if e.Src != graph.NoNID && (e.Src < 0 || e.Src >= n) {
+				return nil, fmt.Errorf("index: event source %d outside instance of %d nodes", e.Src, n)
+			}
+			if e.Type > CommentsOn {
+				return nil, fmt.Errorf("index: unknown connection type %d", e.Type)
+			}
+		}
+		sort.Slice(evs, func(i, j int) bool {
+			ci, cj := in.CompOf(evs[i].Frag), in.CompOf(evs[j].Frag)
+			if ci != cj {
+				return ci < cj
+			}
+			if evs[i].Frag != evs[j].Frag {
+				return evs[i].Frag < evs[j].Frag
+			}
+			if evs[i].Type != evs[j].Type {
+				return evs[i].Type < evs[j].Type
+			}
+			return evs[i].Src < evs[j].Src
+		})
+		comps := make([]int32, len(evs))
+		var uniq []int32
+		maxRun, run := 0, 0
+		for i, e := range evs {
+			comps[i] = in.CompOf(e.Frag)
+			if i == 0 || comps[i] != comps[i-1] {
+				uniq = append(uniq, comps[i])
+				run = 0
+			}
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		}
+		ix.byKw[p.Kw] = &kwList{evs: evs, comps: comps}
+		ix.compsByKw[p.Kw] = uniq
+		ix.maxCompEvents[p.Kw] = maxRun
+	}
+	return ix, nil
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"s3"
+)
+
+// benchServer builds a benchmark-scale instance and returns its handler
+// plus a working query body.
+func benchServer(b *testing.B, cacheSize int) (http.Handler, string) {
+	b.Helper()
+	inst := testInstance(b, 200, 800, 42)
+	seeker, kw := pickQuery(inst)
+	if seeker == "" {
+		b.Fatal("no usable query on benchmark instance")
+	}
+	s, err := New(Config{Instance: inst, CacheSize: cacheSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s.Handler(), fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5}`, seeker, kw)
+}
+
+func doSearch(b *testing.B, h http.Handler, body string) {
+	req := httptest.NewRequest("POST", "/search", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("search failed: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServerSearch contrasts the cold serving path (cache bypassed,
+// full engine search per request) with cached repeats of the same query —
+// the headline number for the result cache.
+func BenchmarkServerSearch(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		h, body := benchServer(b, DefaultCacheSize)
+		cold := strings.TrimSuffix(body, "}") + `,"no_cache":true}`
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			doSearch(b, h, cold)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		h, body := benchServer(b, DefaultCacheSize)
+		doSearch(b, h, body) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			doSearch(b, h, body)
+		}
+	})
+}
+
+// BenchmarkServerThroughput drives the handler from parallel clients over
+// a mixed query set — the served-QPS baseline for future scaling PRs.
+func BenchmarkServerThroughput(b *testing.B) {
+	inst := testInstance(b, 200, 800, 42)
+	s, err := New(Config{Instance: inst})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+
+	var bodies []string
+	for u := 0; u < 200 && len(bodies) < 16; u++ {
+		seeker := fmt.Sprintf("tw:u%d", u)
+		if !inst.HasUser(seeker) {
+			continue
+		}
+		for _, kw := range []string{"#h1", "#h2", "#h3", "#h5"} {
+			if rs, err := inst.Search(seeker, []string{kw}, s3.WithK(5)); err == nil && len(rs) > 0 {
+				bodies = append(bodies, fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5}`, seeker, kw))
+				break
+			}
+		}
+	}
+	if len(bodies) == 0 {
+		b.Fatal("no usable queries")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			body := bodies[i%len(bodies)]
+			i++
+			req := httptest.NewRequest("POST", "/search", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("search failed: %d", rec.Code)
+			}
+			var resp searchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package server
+
+import "container/list"
+
+// lruCache is a fixed-capacity least-recently-used map from query keys to
+// finished search responses. It is not safe for concurrent use; the
+// Server guards it with its mutex.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type lruEntry struct {
+	key string
+	val *searchResponse
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached response and promotes the entry.
+func (c *lruCache) get(key string) (*searchResponse, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes an entry, evicting the least recently used one
+// when over capacity.
+func (c *lruCache) put(key string, val *searchResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// purge drops every entry (hot reload invalidates all cached answers) but
+// keeps the lifetime counters.
+func (c *lruCache) purge() {
+	c.order.Init()
+	clear(c.items)
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,454 @@
+// Package server implements the s3serve query-serving subsystem: a
+// long-lived HTTP front-end over a frozen S3 instance. The instance is
+// held behind an atomic pointer so it can be hot-swapped (POST /reload)
+// while searches are in flight; finished answers go through an LRU result
+// cache; identical concurrent queries are coalesced into a single engine
+// call; and a bounded worker pool caps the number of searches executing
+// at once regardless of how many connections the HTTP layer accepts.
+//
+// Endpoints:
+//
+//	POST /search    run an S3k top-k query (JSON body, see searchRequest)
+//	GET  /extension semantic extension of a keyword (?keyword=...)
+//	GET  /stats     instance statistics plus serving counters
+//	GET  /healthz   liveness probe
+//	POST /reload    re-load the instance from its source and swap it in
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s3"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Instance is the initially served instance.
+	Instance *s3.Instance
+	// Loader re-loads the instance for POST /reload (typically re-reading
+	// a snapshot file). nil disables reloading.
+	Loader func() (*s3.Instance, error)
+	// CacheSize is the result-cache capacity in entries; 0 picks the
+	// default (1024), negative disables caching.
+	CacheSize int
+	// Workers bounds concurrently executing searches; 0 picks
+	// GOMAXPROCS.
+	Workers int
+}
+
+// DefaultCacheSize is the result-cache capacity when Config leaves it 0.
+const DefaultCacheSize = 1024
+
+// instanceState is the unit of atomic hot-swap: an instance plus its
+// load generation.
+type instanceState struct {
+	inst     *s3.Instance
+	version  uint64
+	loadedAt time.Time
+}
+
+// call is one in-flight search other identical requests can wait on.
+type call struct {
+	done chan struct{}
+	resp *searchResponse
+	err  *httpError
+}
+
+// Server serves S3k queries over HTTP. Create with New.
+type Server struct {
+	cfg   Config
+	cur   atomic.Pointer[instanceState]
+	sem   chan struct{}
+	start time.Time
+
+	mu       sync.Mutex
+	cache    *lruCache
+	inflight map[string]*call
+
+	// reloadMu serialises reloads so two concurrent POST /reload cannot
+	// install different instances under the same version number.
+	reloadMu sync.Mutex
+
+	// lifetime counters (atomics; mu not required)
+	searches  atomic.Uint64
+	coalesced atomic.Uint64
+	reloads   atomic.Uint64
+}
+
+// New wires a server around an instance.
+func New(cfg Config) (*Server, error) {
+	if cfg.Instance == nil {
+		return nil, fmt.Errorf("server: nil instance")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	if cacheSize < 0 {
+		cacheSize = 0
+	}
+	s := &Server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, workers),
+		start:    time.Now(),
+		cache:    newLRUCache(cacheSize),
+		inflight: make(map[string]*call),
+	}
+	s.cur.Store(&instanceState{inst: cfg.Instance, version: 1, loadedAt: time.Now()})
+	return s, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("GET /extension", s.handleExtension)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	return mux
+}
+
+// httpError pairs a status code with a client-facing message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *httpError) {
+	writeJSON(w, e.status, map[string]string{"error": e.msg})
+}
+
+// searchRequest is the POST /search body.
+type searchRequest struct {
+	// Seeker is the querying user's URI.
+	Seeker string `json:"seeker"`
+	// Keywords are the conjunctive query keywords.
+	Keywords []string `json:"keywords"`
+	// K is the number of results (default 10).
+	K int `json:"k,omitempty"`
+	// Gamma is the social damping factor γ > 1 (default 1.5).
+	Gamma float64 `json:"gamma,omitempty"`
+	// Eta is the structural damping factor η ∈ (0,1) (default 0.8).
+	Eta float64 `json:"eta,omitempty"`
+	// BudgetMS caps wall-clock search time (any-time mode; uncached).
+	BudgetMS int `json:"budget_ms,omitempty"`
+	// MaxIterations caps exploration depth (any-time mode; uncached).
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// NoCache bypasses the result cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+type searchResult struct {
+	URI      string  `json:"uri"`
+	Document string  `json:"document"`
+	Lower    float64 `json:"lower"`
+	Upper    float64 `json:"upper"`
+}
+
+type searchResponse struct {
+	Results    []searchResult `json:"results"`
+	Exact      bool           `json:"exact"`
+	Iterations int            `json:"iterations"`
+	ElapsedMS  float64        `json:"elapsed_ms"`
+	Cached     bool           `json:"cached"`
+	Version    uint64         `json:"version"`
+}
+
+// cacheKey canonicalises a request; the instance version makes stale
+// entries unreachable even before the reload purge completes. Seeker and
+// keywords are client-controlled strings, so each is length-prefixed —
+// plain concatenation would let crafted values collide with a different
+// user's personalized results.
+func (r *searchRequest) cacheKey(version uint64) string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatUint(version, 10))
+	fmt.Fprintf(&b, "|%d:%s", len(r.Seeker), r.Seeker)
+	for _, kw := range r.Keywords {
+		fmt.Fprintf(&b, "|%d:%s", len(kw), kw)
+	}
+	fmt.Fprintf(&b, "|%d|%g|%g|%d|%d", r.K, r.Gamma, r.Eta, r.BudgetMS, r.MaxIterations)
+	return b.String()
+}
+
+// cacheable reports whether the answer is safe to reuse: any-time
+// requests stop on wall-clock or iteration budgets, so their answers are
+// not reproducible and never enter the cache.
+func (r *searchRequest) cacheable() bool {
+	return !r.NoCache && r.BudgetMS == 0 && r.MaxIterations == 0
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
+	var sr searchRequest
+	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, "invalid JSON body: " + err.Error()})
+		return
+	}
+	if sr.Seeker == "" {
+		writeError(w, &httpError{http.StatusBadRequest, "missing seeker"})
+		return
+	}
+	if len(sr.Keywords) == 0 {
+		writeError(w, &httpError{http.StatusBadRequest, "missing keywords"})
+		return
+	}
+	if sr.K == 0 {
+		sr.K = 10
+	}
+	if sr.K < 0 {
+		writeError(w, &httpError{http.StatusBadRequest, "k must be positive"})
+		return
+	}
+	// Normalize omitted parameters to their engine defaults before keying,
+	// so "gamma omitted" and "gamma":1.5 share one cache entry and
+	// coalesce with each other.
+	if sr.Gamma == 0 {
+		sr.Gamma = 1.5
+	}
+	if sr.Eta == 0 {
+		sr.Eta = 0.8
+	}
+
+	state := s.cur.Load()
+	if !state.inst.HasUser(sr.Seeker) {
+		writeError(w, &httpError{http.StatusNotFound, fmt.Sprintf("unknown seeker %q", sr.Seeker)})
+		return
+	}
+
+	key := sr.cacheKey(state.version)
+	if sr.cacheable() {
+		s.mu.Lock()
+		if resp, ok := s.cache.get(key); ok {
+			s.mu.Unlock()
+			cached := *resp
+			cached.Cached = true
+			writeJSON(w, http.StatusOK, &cached)
+			return
+		}
+		// Not cached: join an identical in-flight search if one exists,
+		// otherwise become the leader for this key.
+		if c, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			s.coalesced.Add(1)
+			select {
+			case <-c.done:
+			case <-req.Context().Done():
+				writeError(w, &httpError{http.StatusServiceUnavailable, "client went away"})
+				return
+			}
+			if c.err != nil {
+				// The leader may have failed for reasons private to it —
+				// typically its client disconnecting while queued. This
+				// request's client is still here, so fall back to an
+				// uncoalesced search instead of inheriting the failure.
+				if c.err.status == http.StatusServiceUnavailable {
+					resp, herr := s.runSearch(req, state, &sr)
+					if herr != nil {
+						writeError(w, herr)
+						return
+					}
+					writeJSON(w, http.StatusOK, resp)
+					return
+				}
+				writeError(w, c.err)
+				return
+			}
+			resp := *c.resp
+			resp.Cached = true
+			writeJSON(w, http.StatusOK, &resp)
+			return
+		}
+		c := &call{done: make(chan struct{})}
+		s.inflight[key] = c
+		s.mu.Unlock()
+
+		resp, herr := s.runSearch(req, state, &sr)
+		c.resp, c.err = resp, herr
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if herr == nil && resp.Exact {
+			s.cache.put(key, resp)
+		}
+		s.mu.Unlock()
+		close(c.done)
+
+		if herr != nil {
+			writeError(w, herr)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	resp, herr := s.runSearch(req, state, &sr)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSearch executes one engine call under the worker-pool bound.
+func (s *Server) runSearch(req *http.Request, state *instanceState, sr *searchRequest) (*searchResponse, *httpError) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-req.Context().Done():
+		return nil, &httpError{http.StatusServiceUnavailable, "request cancelled while queued"}
+	}
+
+	opts := []s3.Option{s3.WithK(sr.K)}
+	if sr.Gamma != 0 {
+		if sr.Gamma <= 1 {
+			return nil, &httpError{http.StatusBadRequest, "gamma must be > 1"}
+		}
+		opts = append(opts, s3.WithGamma(sr.Gamma))
+	}
+	if sr.Eta != 0 {
+		if sr.Eta <= 0 || sr.Eta >= 1 {
+			return nil, &httpError{http.StatusBadRequest, "eta must be in (0,1)"}
+		}
+		opts = append(opts, s3.WithEta(sr.Eta))
+	}
+	if sr.BudgetMS > 0 {
+		opts = append(opts, s3.WithBudget(time.Duration(sr.BudgetMS)*time.Millisecond))
+	}
+	if sr.MaxIterations > 0 {
+		opts = append(opts, s3.WithMaxIterations(sr.MaxIterations))
+	}
+
+	s.searches.Add(1)
+	results, info, err := state.inst.SearchInfoed(sr.Seeker, sr.Keywords, opts...)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	resp := &searchResponse{
+		Results:    make([]searchResult, 0, len(results)),
+		Exact:      info.Exact,
+		Iterations: info.Iterations,
+		ElapsedMS:  float64(info.Elapsed.Microseconds()) / 1000,
+		Version:    state.version,
+	}
+	for _, r := range results {
+		resp.Results = append(resp.Results, searchResult{
+			URI: r.URI, Document: r.Document, Lower: r.Lower, Upper: r.Upper,
+		})
+	}
+	return resp, nil
+}
+
+func (s *Server) handleExtension(w http.ResponseWriter, req *http.Request) {
+	kw := req.URL.Query().Get("keyword")
+	if kw == "" {
+		writeError(w, &httpError{http.StatusBadRequest, "missing keyword parameter"})
+		return
+	}
+	ext := s.cur.Load().inst.Extension(kw)
+	if ext == nil {
+		ext = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"keyword": kw, "extension": ext})
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	Instance s3.Stats   `json:"instance"`
+	Version  uint64     `json:"version"`
+	LoadedAt time.Time  `json:"loaded_at"`
+	UptimeMS int64      `json:"uptime_ms"`
+	Workers  int        `json:"workers"`
+	Searches uint64     `json:"searches"`
+	Reloads  uint64     `json:"reloads"`
+	Cache    cacheStats `json:"cache"`
+}
+
+type cacheStats struct {
+	Capacity  int    `json:"capacity"`
+	Size      int    `json:"size"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	state := s.cur.Load()
+	s.mu.Lock()
+	cs := cacheStats{
+		Capacity:  s.cache.cap,
+		Size:      s.cache.len(),
+		Hits:      s.cache.hits,
+		Misses:    s.cache.misses,
+		Evictions: s.cache.evictions,
+		Coalesced: s.coalesced.Load(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, &statsResponse{
+		Instance: state.inst.Stats(),
+		Version:  state.version,
+		LoadedAt: state.loadedAt,
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Workers:  cap(s.sem),
+		Searches: s.searches.Load(),
+		Reloads:  s.reloads.Load(),
+		Cache:    cs,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": s.cur.Load().version,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Loader == nil {
+		writeError(w, &httpError{http.StatusNotImplemented, "server has no reload source"})
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	inst, err := s.cfg.Loader()
+	if err != nil {
+		// The old instance keeps serving: a failed reload is not fatal.
+		writeError(w, &httpError{http.StatusInternalServerError, "reload failed: " + err.Error()})
+		return
+	}
+	old := s.cur.Load()
+	next := &instanceState{inst: inst, version: old.version + 1, loadedAt: time.Now()}
+	s.cur.Store(next)
+	s.reloads.Add(1)
+	s.mu.Lock()
+	s.cache.purge()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "reloaded",
+		"version":  next.version,
+		"instance": inst.Stats(),
+	})
+}
+
+// Instance returns the currently served instance (tests and diagnostics).
+func (s *Server) Instance() *s3.Instance { return s.cur.Load().inst }
+
+// Version returns the current instance generation.
+func (s *Server) Version() uint64 { return s.cur.Load().version }

@@ -1,0 +1,677 @@
+// Package snap implements the versioned binary snapshot format for frozen
+// S3 instances. A snapshot stores every derived structure of an instance —
+// the interned dictionary, node tables, network adjacency with weights,
+// the normalised transition matrix, the component partition, the saturated
+// ontology and the connection-index postings — so a query engine
+// cold-starts by reading flat arrays from disk instead of re-running
+// ontology saturation, matrix normalisation and the index fixpoint.
+//
+// # Format
+//
+// A snapshot is a magic header, a section table and the section payloads:
+//
+//	"S3SNAP"  magic (6 bytes)
+//	uint16    format version, little-endian (currently 1)
+//	uvarint   section count
+//	repeated  section id (1 byte) + uvarint payload length
+//	payloads  concatenated in table order
+//
+// Integers are unsigned varints (encoding/binary); optional references
+// (parents, tag keywords, event sources) are biased by one so the zero
+// varint means "none"; floats are IEEE-754 bits in little-endian order.
+// Strings are length-prefixed raw bytes. Readers skip sections with
+// unknown ids, so future versions can append sections without breaking
+// old readers; the required sections must all be present.
+//
+// Write emits sections in canonical order with map-backed tables sorted
+// by key, so the same instance always serialises to the same bytes
+// (snapshots can be content-addressed and diffed).
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"s3/internal/dict"
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/rdf"
+	"s3/internal/text"
+)
+
+// Magic starts every snapshot file.
+const Magic = "S3SNAP"
+
+// Version is the current format version.
+const Version = 1
+
+// Section ids. Values are part of the on-disk format; never renumber.
+const (
+	secDict     byte = 1
+	secMeta     byte = 2
+	secNodes    byte = 3
+	secGraph    byte = 4
+	secMatrix   byte = 5
+	secEntities byte = 6
+	secOntology byte = 7
+	secIndex    byte = 8
+)
+
+// requiredSections lists the ids a version-1 reader refuses to run
+// without.
+var requiredSections = []byte{secDict, secMeta, secNodes, secGraph, secMatrix, secEntities, secOntology, secIndex}
+
+// Write serialises the instance and its connection index.
+func Write(w io.Writer, in *graph.Instance, ix *index.Index) error {
+	raw := in.Raw()
+	sections := []struct {
+		id  byte
+		buf *bytes.Buffer
+	}{
+		{secDict, encodeDict(raw)},
+		{secMeta, encodeMeta(raw)},
+		{secNodes, encodeNodes(raw)},
+		{secGraph, encodeGraph(raw)},
+		{secMatrix, encodeMatrix(raw)},
+		{secEntities, encodeEntities(raw)},
+		{secOntology, encodeOntology(raw)},
+		{secIndex, encodeIndex(ix.Raw())},
+	}
+
+	var head bytes.Buffer
+	head.WriteString(Magic)
+	var v [2]byte
+	binary.LittleEndian.PutUint16(v[:], Version)
+	head.Write(v[:])
+	head.Write(binary.AppendUvarint(nil, uint64(len(sections))))
+	for _, s := range sections {
+		head.WriteByte(s.id)
+		head.Write(binary.AppendUvarint(nil, uint64(s.buf.Len())))
+	}
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return fmt.Errorf("snap: writing header: %w", err)
+	}
+	for _, s := range sections {
+		if _, err := w.Write(s.buf.Bytes()); err != nil {
+			return fmt.Errorf("snap: writing section %d: %w", s.id, err)
+		}
+	}
+	return nil
+}
+
+// Read deserialises a snapshot written by Write and reconstructs the
+// frozen instance and its index.
+func Read(r io.Reader) (*graph.Instance, *index.Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: reading snapshot: %w", err)
+	}
+	if len(data) < len(Magic)+2 || string(data[:len(Magic)]) != Magic {
+		return nil, nil, fmt.Errorf("snap: not a snapshot (bad magic)")
+	}
+	ver := binary.LittleEndian.Uint16(data[len(Magic):])
+	if ver != Version {
+		return nil, nil, fmt.Errorf("snap: unsupported format version %d (want %d)", ver, Version)
+	}
+	d := &decoder{data: data, pos: len(Magic) + 2}
+	nSec := int(d.uint())
+	type entry struct {
+		id  byte
+		len uint64
+	}
+	table := make([]entry, 0, nSec)
+	for i := 0; i < nSec && d.err == nil; i++ {
+		id := d.byte()
+		table = append(table, entry{id: id, len: d.uint()})
+	}
+	if d.err != nil {
+		return nil, nil, fmt.Errorf("snap: corrupt section table: %w", d.err)
+	}
+	payloads := make(map[byte][]byte, nSec)
+	off := d.pos
+	for _, e := range table {
+		end := off + int(e.len)
+		if end < off || end > len(data) {
+			return nil, nil, fmt.Errorf("snap: section %d overruns snapshot (%d bytes past %d)", e.id, end, len(data))
+		}
+		if _, dup := payloads[e.id]; dup {
+			return nil, nil, fmt.Errorf("snap: duplicate section %d", e.id)
+		}
+		payloads[e.id] = data[off:end]
+		off = end
+	}
+	for _, id := range requiredSections {
+		if _, ok := payloads[id]; !ok {
+			return nil, nil, fmt.Errorf("snap: missing required section %d", id)
+		}
+	}
+
+	raw := &graph.Raw{}
+	if err := decodeDict(payloads[secDict], raw); err != nil {
+		return nil, nil, err
+	}
+	numNodes, err := decodeMeta(payloads[secMeta], raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := decodeNodes(payloads[secNodes], numNodes, raw); err != nil {
+		return nil, nil, err
+	}
+	if err := decodeGraph(payloads[secGraph], numNodes, raw); err != nil {
+		return nil, nil, err
+	}
+	if err := decodeMatrix(payloads[secMatrix], numNodes, raw); err != nil {
+		return nil, nil, err
+	}
+	if err := decodeEntities(payloads[secEntities], raw); err != nil {
+		return nil, nil, err
+	}
+	if err := decodeOntology(payloads[secOntology], raw); err != nil {
+		return nil, nil, err
+	}
+	in, err := graph.FromRaw(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: %w", err)
+	}
+	postings, err := decodeIndex(payloads[secIndex])
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := index.FromRaw(in, postings)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: %w", err)
+	}
+	return in, ix, nil
+}
+
+// --- encoding ---
+
+type encoder struct{ bytes.Buffer }
+
+func (e *encoder) uint(v uint64) { e.Write(binary.AppendUvarint(nil, v)) }
+func (e *encoder) int(v int)     { e.uint(uint64(v)) }
+func (e *encoder) byte1(b byte)  { e.WriteByte(b) }
+func (e *encoder) bool(b bool) {
+	if b {
+		e.WriteByte(1)
+	} else {
+		e.WriteByte(0)
+	}
+}
+func (e *encoder) str(s string) { e.uint(uint64(len(s))); e.WriteString(s) }
+func (e *encoder) f64(f float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+	e.Write(b[:])
+}
+func (e *encoder) nid(v graph.NID) {
+	// NoNID (-1) → 0; valid nodes are biased by one.
+	e.uint(uint64(int64(v) + 1))
+}
+func (e *encoder) id(v dict.ID) {
+	if v == dict.NoID {
+		e.uint(0)
+		return
+	}
+	e.uint(uint64(v) + 1)
+}
+
+func encodeDict(r *graph.Raw) *bytes.Buffer {
+	var e encoder
+	e.int(len(r.Strings))
+	for _, s := range r.Strings {
+		e.str(s)
+	}
+	return &e.Buffer
+}
+
+func encodeMeta(r *graph.Raw) *bytes.Buffer {
+	var e encoder
+	e.byte1(byte(r.Lang))
+	e.bool(r.KeepStopwords)
+	e.int(len(r.DictID))
+	e.int(r.NComp)
+	s := r.Stats
+	for _, v := range []int{
+		s.Users, s.SocialEdges, s.Documents, s.Fragments, s.Tags,
+		s.KeywordOccurrences, s.DistinctKeywords, s.Comments, s.Posts,
+		s.Nodes, s.Edges, s.OntologyTriples, s.Components,
+	} {
+		e.int(v)
+	}
+	e.f64(s.AvgSocialDegree)
+	return &e.Buffer
+}
+
+func encodeNodes(r *graph.Raw) *bytes.Buffer {
+	var e encoder
+	for v := range r.DictID {
+		e.id(r.DictID[v])
+		e.byte1(byte(r.Kind[v]))
+		e.nid(r.Parent[v])
+		e.uint(uint64(r.Depth[v]))
+		e.uint(uint64(int64(r.DocOf[v]) + 1)) // -1 → 0
+		e.id(r.NodeName[v])
+		e.uint(uint64(int64(r.Comp[v]) + 1)) // -1 → 0
+		e.int(len(r.Keywords[v]))
+		for _, k := range r.Keywords[v] {
+			e.id(k)
+		}
+	}
+	return &e.Buffer
+}
+
+func encodeGraph(r *graph.Raw) *bytes.Buffer {
+	var e encoder
+	for v := range r.Out {
+		e.int(len(r.Out[v]))
+		for _, edge := range r.Out[v] {
+			e.nid(edge.To)
+			e.id(edge.Prop)
+			e.f64(edge.W)
+		}
+	}
+	for _, w := range r.TotalW {
+		e.f64(w)
+	}
+	return &e.Buffer
+}
+
+func encodeMatrix(r *graph.Raw) *bytes.Buffer {
+	var e encoder
+	for _, p := range r.MatrixRowPtr {
+		e.uint(uint64(p))
+	}
+	e.int(len(r.MatrixCol))
+	for _, c := range r.MatrixCol {
+		e.uint(uint64(c))
+	}
+	for _, v := range r.MatrixVal {
+		e.f64(v)
+	}
+	return &e.Buffer
+}
+
+func encodeEntities(r *graph.Raw) *bytes.Buffer {
+	var e encoder
+	for _, lst := range [][]graph.NID{r.Users, r.DocRoots, r.TagList} {
+		e.int(len(lst))
+		for _, v := range lst {
+			e.nid(v)
+		}
+	}
+	for _, ti := range r.TagInfos {
+		e.nid(ti.Subject)
+		e.nid(ti.Author)
+		e.id(ti.Keyword)
+		e.id(ti.Type)
+	}
+	e.int(len(r.Comments))
+	for _, c := range r.Comments {
+		e.nid(c.Comment)
+		e.nid(c.Target)
+		e.id(c.Prop)
+	}
+	e.int(len(r.Posts))
+	for _, p := range r.Posts {
+		e.nid(p.Doc)
+		e.nid(p.User)
+	}
+	e.int(len(r.KwFreqKeys))
+	for i, k := range r.KwFreqKeys {
+		e.id(k)
+		e.uint(uint64(r.KwFreqCounts[i]))
+	}
+	return &e.Buffer
+}
+
+func encodeOntology(r *graph.Raw) *bytes.Buffer {
+	var e encoder
+	e.int(len(r.Triples))
+	for _, t := range r.Triples {
+		e.id(t.S)
+		e.id(t.P)
+		e.id(t.O)
+		if t.W == 1 {
+			e.byte1(1)
+		} else {
+			e.byte1(0)
+			e.f64(t.W)
+		}
+	}
+	return &e.Buffer
+}
+
+func encodeIndex(postings []index.RawPosting) *bytes.Buffer {
+	var e encoder
+	e.int(len(postings))
+	for _, p := range postings {
+		e.id(p.Kw)
+		e.int(len(p.Events))
+		for _, ev := range p.Events {
+			e.nid(ev.Frag)
+			e.nid(ev.Src)
+			e.byte1(byte(ev.Type))
+		}
+	}
+	return &e.Buffer
+}
+
+// --- decoding ---
+
+// decoder reads the primitive encodings with a sticky error and hard
+// bounds checks, so truncated or corrupt payloads surface as errors.
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// count reads a length prefix and guards it against the remaining bytes
+// (each element takes at least min bytes), preventing huge allocations
+// from corrupt headers.
+func (d *decoder) count(min int) int {
+	v := d.uint()
+	if d.err != nil {
+		return 0
+	}
+	if remaining := len(d.data) - d.pos; v > uint64(remaining/min+1) {
+		d.fail("implausible count %d at offset %d (%d bytes left)", v, d.pos, remaining)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.data) {
+		d.fail("truncated byte at offset %d", d.pos)
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.data) {
+		d.fail("truncated float at offset %d", d.pos)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.count(1)
+	if d.err != nil {
+		return ""
+	}
+	if d.pos+n > len(d.data) {
+		d.fail("truncated string at offset %d", d.pos)
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *decoder) nid() graph.NID {
+	v := d.uint()
+	if v == 0 {
+		return graph.NoNID
+	}
+	if v > uint64(math.MaxInt32) {
+		d.fail("node id %d overflows", v)
+		return graph.NoNID
+	}
+	return graph.NID(v - 1)
+}
+
+func (d *decoder) id() dict.ID {
+	v := d.uint()
+	if v == 0 {
+		return dict.NoID
+	}
+	if v > uint64(math.MaxUint32) {
+		d.fail("dictionary id %d overflows", v)
+		return dict.NoID
+	}
+	return dict.ID(v - 1)
+}
+
+func decodeDict(data []byte, r *graph.Raw) error {
+	d := &decoder{data: data}
+	n := d.count(1)
+	r.Strings = make([]string, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		r.Strings = append(r.Strings, d.str())
+	}
+	if d.err != nil {
+		return fmt.Errorf("snap: dict section: %w", d.err)
+	}
+	return nil
+}
+
+func decodeMeta(data []byte, r *graph.Raw) (int, error) {
+	d := &decoder{data: data}
+	r.Lang = text.Lang(d.byte())
+	r.KeepStopwords = d.bool()
+	numNodes := int(d.uint())
+	r.NComp = int(d.uint())
+	for _, p := range []*int{
+		&r.Stats.Users, &r.Stats.SocialEdges, &r.Stats.Documents,
+		&r.Stats.Fragments, &r.Stats.Tags, &r.Stats.KeywordOccurrences,
+		&r.Stats.DistinctKeywords, &r.Stats.Comments, &r.Stats.Posts,
+		&r.Stats.Nodes, &r.Stats.Edges, &r.Stats.OntologyTriples,
+		&r.Stats.Components,
+	} {
+		*p = int(d.uint())
+	}
+	r.Stats.AvgSocialDegree = d.f64()
+	if d.err != nil {
+		return 0, fmt.Errorf("snap: meta section: %w", d.err)
+	}
+	if r.Lang > text.None {
+		return 0, fmt.Errorf("snap: meta section: unknown analyzer language %d", r.Lang)
+	}
+	return numNodes, nil
+}
+
+func decodeNodes(data []byte, numNodes int, r *graph.Raw) error {
+	d := &decoder{data: data}
+	// Every node occupies at least 8 bytes (seven varints and a kind
+	// byte), bounding the allocation a corrupt node count can cause.
+	if numNodes < 0 || numNodes > len(data)/8+1 {
+		return fmt.Errorf("snap: nodes section: %d nodes but %d bytes", numNodes, len(data))
+	}
+	r.DictID = make([]dict.ID, numNodes)
+	r.Kind = make([]graph.NodeKind, numNodes)
+	r.Parent = make([]graph.NID, numNodes)
+	r.Depth = make([]int32, numNodes)
+	r.DocOf = make([]int32, numNodes)
+	r.NodeName = make([]dict.ID, numNodes)
+	r.Comp = make([]int32, numNodes)
+	r.Keywords = make([][]dict.ID, numNodes)
+	for v := 0; v < numNodes && d.err == nil; v++ {
+		r.DictID[v] = d.id()
+		r.Kind[v] = graph.NodeKind(d.byte())
+		r.Parent[v] = d.nid()
+		r.Depth[v] = int32(d.uint())
+		r.DocOf[v] = int32(d.uint()) - 1
+		r.NodeName[v] = d.id()
+		r.Comp[v] = int32(d.uint()) - 1
+		nk := d.count(1)
+		if nk > 0 {
+			r.Keywords[v] = make([]dict.ID, 0, nk)
+			for i := 0; i < nk && d.err == nil; i++ {
+				r.Keywords[v] = append(r.Keywords[v], d.id())
+			}
+		}
+		if r.Kind[v] > graph.KindTag {
+			d.fail("unknown node kind %d", r.Kind[v])
+		}
+	}
+	if d.err != nil {
+		return fmt.Errorf("snap: nodes section: %w", d.err)
+	}
+	return nil
+}
+
+func decodeGraph(data []byte, numNodes int, r *graph.Raw) error {
+	d := &decoder{data: data}
+	r.Out = make([][]graph.Edge, numNodes)
+	for v := 0; v < numNodes && d.err == nil; v++ {
+		deg := d.count(1)
+		if deg > 0 {
+			r.Out[v] = make([]graph.Edge, 0, deg)
+			for i := 0; i < deg && d.err == nil; i++ {
+				to := d.nid()
+				prop := d.id()
+				w := d.f64()
+				r.Out[v] = append(r.Out[v], graph.Edge{To: to, Prop: prop, W: w})
+			}
+		}
+	}
+	r.TotalW = make([]float64, numNodes)
+	for v := 0; v < numNodes && d.err == nil; v++ {
+		r.TotalW[v] = d.f64()
+	}
+	if d.err != nil {
+		return fmt.Errorf("snap: graph section: %w", d.err)
+	}
+	return nil
+}
+
+func decodeMatrix(data []byte, numNodes int, r *graph.Raw) error {
+	d := &decoder{data: data}
+	r.MatrixRowPtr = make([]int32, numNodes+1)
+	for i := range r.MatrixRowPtr {
+		r.MatrixRowPtr[i] = int32(d.uint())
+	}
+	nnz := d.count(1)
+	r.MatrixCol = make([]int32, nnz)
+	for i := 0; i < nnz && d.err == nil; i++ {
+		r.MatrixCol[i] = int32(d.uint())
+	}
+	r.MatrixVal = make([]float64, nnz)
+	for i := 0; i < nnz && d.err == nil; i++ {
+		r.MatrixVal[i] = d.f64()
+	}
+	if d.err != nil {
+		return fmt.Errorf("snap: matrix section: %w", d.err)
+	}
+	return nil
+}
+
+func decodeEntities(data []byte, r *graph.Raw) error {
+	d := &decoder{data: data}
+	readNIDs := func() []graph.NID {
+		n := d.count(1)
+		out := make([]graph.NID, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			out = append(out, d.nid())
+		}
+		return out
+	}
+	r.Users = readNIDs()
+	r.DocRoots = readNIDs()
+	r.TagList = readNIDs()
+	r.TagInfos = make([]graph.TagInfo, len(r.TagList))
+	for i := range r.TagInfos {
+		r.TagInfos[i] = graph.TagInfo{
+			Subject: d.nid(), Author: d.nid(), Keyword: d.id(), Type: d.id(),
+		}
+	}
+	nc := d.count(3)
+	r.Comments = make([]graph.CommentEdge, 0, nc)
+	for i := 0; i < nc && d.err == nil; i++ {
+		r.Comments = append(r.Comments, graph.CommentEdge{Comment: d.nid(), Target: d.nid(), Prop: d.id()})
+	}
+	np := d.count(2)
+	r.Posts = make([]graph.PostEdge, 0, np)
+	for i := 0; i < np && d.err == nil; i++ {
+		r.Posts = append(r.Posts, graph.PostEdge{Doc: d.nid(), User: d.nid()})
+	}
+	nf := d.count(2)
+	r.KwFreqKeys = make([]dict.ID, 0, nf)
+	r.KwFreqCounts = make([]int32, 0, nf)
+	for i := 0; i < nf && d.err == nil; i++ {
+		r.KwFreqKeys = append(r.KwFreqKeys, d.id())
+		r.KwFreqCounts = append(r.KwFreqCounts, int32(d.uint()))
+	}
+	if d.err != nil {
+		return fmt.Errorf("snap: entities section: %w", d.err)
+	}
+	return nil
+}
+
+func decodeOntology(data []byte, r *graph.Raw) error {
+	d := &decoder{data: data}
+	n := d.count(4)
+	r.Triples = make([]rdf.Triple, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		t := rdf.Triple{S: d.id(), P: d.id(), O: d.id()}
+		if d.byte() == 1 {
+			t.W = 1
+		} else {
+			t.W = d.f64()
+		}
+		r.Triples = append(r.Triples, t)
+	}
+	if d.err != nil {
+		return fmt.Errorf("snap: ontology section: %w", d.err)
+	}
+	return nil
+}
+
+func decodeIndex(data []byte) ([]index.RawPosting, error) {
+	d := &decoder{data: data}
+	n := d.count(2)
+	postings := make([]index.RawPosting, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		p := index.RawPosting{Kw: d.id()}
+		ne := d.count(3)
+		p.Events = make([]index.Event, 0, ne)
+		for j := 0; j < ne && d.err == nil; j++ {
+			p.Events = append(p.Events, index.Event{
+				Frag: d.nid(), Src: d.nid(), Type: index.ConnType(d.byte()),
+			})
+		}
+		postings = append(postings, p)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("snap: index section: %w", d.err)
+	}
+	return postings, nil
+}

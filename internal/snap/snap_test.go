@@ -1,0 +1,223 @@
+package snap
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"s3/internal/core"
+	"s3/internal/datagen"
+	"s3/internal/doc"
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/score"
+	"s3/internal/text"
+)
+
+// build freezes a spec and its index the way the public API does.
+func build(t testing.TB, spec graph.Spec, an text.Analyzer) (*graph.Instance, *index.Index) {
+	t.Helper()
+	in, err := graph.BuildSpec(spec, an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, index.Build(in)
+}
+
+// roundTrip writes and re-reads a snapshot.
+func roundTrip(t testing.TB, in *graph.Instance, ix *index.Index) (*graph.Instance, *index.Index, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, in, ix); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	in2, ix2, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return in2, ix2, buf.Bytes()
+}
+
+// searchAll runs a small query battery and returns a printable transcript
+// of every result (URIs and exact score-interval bits), so two instances
+// can be compared for byte-for-byte equal search behaviour.
+func searchAll(t testing.TB, in *graph.Instance, ix *index.Index) string {
+	t.Helper()
+	eng := core.NewEngine(in, ix)
+	var out bytes.Buffer
+	kws := in.SortedKeywordsByFrequency()
+	// A rare, a mid-frequency and a common keyword.
+	var picks []string
+	for _, i := range []int{0, len(kws) / 2, len(kws) - 1} {
+		if len(kws) > 0 {
+			picks = append(picks, in.Dict().String(kws[i]))
+		}
+	}
+	users := in.Users()
+	for s := 0; s < len(users) && s < 4; s++ {
+		for _, kw := range picks {
+			rs, _, err := eng.Search(users[s], []string{kw}, core.Options{
+				K: 5, Params: score.Params{Gamma: 1.5, Eta: 0.8},
+			})
+			if err != nil {
+				t.Fatalf("search(%s, %q): %v", in.URIOf(users[s]), kw, err)
+			}
+			for _, r := range rs {
+				fmt.Fprintf(&out, "%s %q %s %d %x %x\n",
+					in.URIOf(users[s]), kw, r.URI, r.Doc,
+					math.Float64bits(r.Lower), math.Float64bits(r.Upper))
+			}
+		}
+	}
+	return out.String()
+}
+
+// handSpec exercises every construct the snapshot must carry: ontology
+// triples, sub-relationships, nested documents, comments, tags on tags
+// and keyword-less endorsements.
+func handSpec() graph.Spec {
+	return graph.Spec{
+		Ontology: [][3]string{
+			{"m.s", "rdfs:subClassOf", "degre"},
+			{"phd", "rdfs:subClassOf", "degre"},
+		},
+		Users: []string{"u:alice", "u:bob", "u:carol"},
+		Social: []graph.SocialSpec{
+			{From: "u:alice", To: "u:bob", W: 0.8},
+			{From: "u:bob", To: "u:alice", W: 0.5},
+			{From: "u:bob", To: "u:carol", W: 0.9, Prop: "app:follows"},
+		},
+		Docs: []*doc.Node{
+			{URI: "d:post", Name: "post", Children: []*doc.Node{
+				{Name: "title", Text: "My M.S. graduation"},
+				{Name: "body", Text: "Running towards a degree at the university"},
+			}},
+			{URI: "d:reply", Name: "reply", Text: "Congrats on the degree, a PhD is next"},
+		},
+		Posts:    []graph.PostSpec{{Doc: "d:post", User: "u:bob"}},
+		Comments: []graph.CommentSpec{{Comment: "d:reply", Target: "d:post.1", Prop: "app:repliesTo"}},
+		Tags: []graph.TagSpec{
+			{URI: "t:1", Subject: "d:post.1", Author: "u:carol", Keyword: "degree"},
+			{URI: "t:2", Subject: "t:1", Author: "u:alice", Keyword: "academia"},
+			{URI: "t:3", Subject: "t:1", Author: "u:bob"}, // endorsement
+		},
+	}
+}
+
+func TestRoundTripHandInstance(t *testing.T) {
+	in, ix := build(t, handSpec(), text.Analyzer{Lang: text.English})
+	in2, ix2, raw := roundTrip(t, in, ix)
+
+	if in.Stats() != in2.Stats() {
+		t.Errorf("stats changed:\noriginal: %+v\nrestored: %+v", in.Stats(), in2.Stats())
+	}
+	if got, want := searchAll(t, in2, ix2), searchAll(t, in, ix); got != want {
+		t.Errorf("search results changed after round-trip:\noriginal:\n%s\nrestored:\n%s", want, got)
+	}
+
+	// The restored instance must re-serialise to the identical bytes:
+	// the format is canonical.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, in2, ix2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf2.Bytes()) {
+		t.Errorf("snapshot is not canonical: %d bytes vs %d after round-trip", len(raw), buf2.Len())
+	}
+
+	// Semantic layer must survive: the extension of "degree" includes the
+	// stemmed subclasses.
+	ext := in2.Ontology().ExtStr("degre")
+	if len(ext) < 2 {
+		t.Errorf("ontology lost: Ext(degre) = %d entries", len(ext))
+	}
+	// The analyzer must survive: English stemming maps "running" → "run".
+	if got := in2.Analyzer().Keywords("running"); len(got) != 1 || got[0] != "run" {
+		t.Errorf("analyzer lost: Keywords(running) = %v", got)
+	}
+}
+
+func TestRoundTripGeneratedInstances(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("twitter/seed=%d", seed), func(t *testing.T) {
+			o := datagen.DefaultTwitterOptions()
+			o.Users, o.Tweets, o.Seed = 80, 300, seed
+			spec, _ := datagen.Twitter(o)
+			checkRoundTrip(t, spec, text.Analyzer{Lang: text.None})
+		})
+	}
+	t.Run("vodkaster", func(t *testing.T) {
+		o := datagen.DefaultVodkasterOptions()
+		o.Users, o.Movies = 60, 40
+		checkRoundTrip(t, datagen.Vodkaster(o), text.Analyzer{Lang: text.None})
+	})
+	t.Run("yelp", func(t *testing.T) {
+		o := datagen.DefaultYelpOptions()
+		o.Users, o.Businesses = 60, 40
+		checkRoundTrip(t, datagen.Yelp(o), text.Analyzer{Lang: text.None})
+	})
+}
+
+func checkRoundTrip(t *testing.T, spec graph.Spec, an text.Analyzer) {
+	t.Helper()
+	in, ix := build(t, spec, an)
+	in2, ix2, raw := roundTrip(t, in, ix)
+	if in.Stats() != in2.Stats() {
+		t.Errorf("stats changed:\noriginal: %+v\nrestored: %+v", in.Stats(), in2.Stats())
+	}
+	if got, want := searchAll(t, in2, ix2), searchAll(t, in, ix); got != want {
+		t.Error("search results changed after round-trip")
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, in2, ix2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf2.Bytes()) {
+		t.Error("snapshot is not canonical after round-trip")
+	}
+}
+
+func TestReadRejectsCorruptSnapshots(t *testing.T) {
+	in, ix := build(t, handSpec(), text.Analyzer{Lang: text.English})
+	var buf bytes.Buffer
+	if err := Write(&buf, in, ix); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("X3SNAP"), good[6:]...),
+		"bad version": func() []byte {
+			b := bytes.Clone(good)
+			b[6], b[7] = 0xff, 0xff
+			return b
+		}(),
+		"truncated header": good[:8],
+		"truncated body":   good[:len(good)/2],
+	}
+	for name, data := range cases {
+		if _, _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Read accepted a corrupt snapshot", name)
+		}
+	}
+
+	// Flipping a count byte deep in the body must yield an error, not a
+	// panic or a silently wrong instance.
+	for i := 10; i < len(good); i += 97 {
+		b := bytes.Clone(good)
+		b[i] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("byte %d: Read panicked: %v", i, r)
+				}
+			}()
+			in2, ix2, err := Read(bytes.NewReader(b))
+			if err == nil && (in2 == nil || ix2 == nil) {
+				t.Errorf("byte %d: nil result without error", i)
+			}
+		}()
+	}
+}

@@ -78,6 +78,39 @@ func (b *Builder) Build() *Matrix {
 	return m
 }
 
+// Raw exposes the CSR arrays (dimension, row pointers, column indices,
+// values) for serialisation. The slices are shared with the matrix and
+// must not be modified.
+func (m *Matrix) Raw() (n int, rowPtr, col []int32, val []float64) {
+	return m.n, m.rowPtr, m.col, m.val
+}
+
+// FromRaw reconstructs a matrix from CSR arrays as returned by Raw. The
+// slices are retained. It validates the CSR invariants so a corrupt
+// serialisation cannot produce out-of-bounds panics later.
+func FromRaw(n int, rowPtr, col []int32, val []float64) (*Matrix, error) {
+	if n < 0 || len(rowPtr) != n+1 {
+		return nil, fmt.Errorf("sparse: rowPtr length %d for dimension %d", len(rowPtr), n)
+	}
+	if len(col) != len(val) {
+		return nil, fmt.Errorf("sparse: %d columns but %d values", len(col), len(val))
+	}
+	if rowPtr[0] != 0 || int(rowPtr[n]) != len(col) {
+		return nil, fmt.Errorf("sparse: rowPtr endpoints [%d, %d] for %d entries", rowPtr[0], rowPtr[n], len(col))
+	}
+	for r := 0; r < n; r++ {
+		if rowPtr[r] > rowPtr[r+1] {
+			return nil, fmt.Errorf("sparse: decreasing rowPtr at row %d", r)
+		}
+	}
+	for _, c := range col {
+		if c < 0 || int(c) >= n {
+			return nil, fmt.Errorf("sparse: column %d outside %d×%d matrix", c, n, n)
+		}
+	}
+	return &Matrix{n: n, rowPtr: rowPtr, col: col, val: val}, nil
+}
+
 // N returns the dimension.
 func (m *Matrix) N() int { return m.n }
 

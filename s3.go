@@ -30,6 +30,16 @@
 //	b.AddTriple("m.s", "rdfs:subClassOf", "degre") // stemmed "degree"
 //	inst, _ := b.Build()
 //	results, _ := inst.Search("alice", []string{"degree"}, s3.WithK(3))
+//
+// # Persistence and serving
+//
+// An instance persists two ways. EncodeSpec stores the declarative
+// content (users, documents, tags, ontology); BuildFromSpec re-runs the
+// whole build pipeline on load. WriteSnapshot stores the frozen derived
+// state — dictionary, graph tables, normalised matrix, saturated ontology
+// and connection index — in a versioned binary format; ReadSnapshot
+// cold-starts from it in milliseconds, which is what the long-lived query
+// server (cmd/s3serve, internal/server) uses to boot and hot-reload.
 package s3
 
 import (
@@ -232,6 +242,13 @@ type Instance struct {
 
 // Stats returns instance statistics.
 func (i *Instance) Stats() Stats { return i.in.Stats() }
+
+// HasUser reports whether uri names a user of the instance (and may
+// therefore act as a seeker).
+func (i *Instance) HasUser(uri string) bool {
+	n, ok := i.in.NIDOf(uri)
+	return ok && i.in.KindOf(n) == graph.KindUser
+}
 
 // Result is one search answer: a document fragment with its score
 // interval (after a complete search, the interval tightly brackets the

@@ -1,0 +1,34 @@
+package s3
+
+import (
+	"io"
+
+	"s3/internal/core"
+	"s3/internal/snap"
+)
+
+// WriteSnapshot serialises the frozen instance — dictionary, graph
+// tables, normalised transition matrix, saturated ontology and the
+// connection index — in the versioned binary snapshot format of
+// internal/snap. Unlike EncodeSpec, which stores the declarative content
+// and re-runs the whole build pipeline on load, a snapshot stores every
+// derived structure, so ReadSnapshot cold-starts in the time it takes to
+// read flat arrays from disk.
+//
+// The format is canonical: the same instance always produces the same
+// bytes, so snapshots can be content-addressed, cached and diffed.
+func (i *Instance) WriteSnapshot(w io.Writer) error {
+	return snap.Write(w, i.in, i.ix)
+}
+
+// ReadSnapshot reconstructs an instance from a snapshot written by
+// WriteSnapshot. The snapshot embeds the text-pipeline configuration, so
+// no language parameter is needed. Corrupt or truncated snapshots are
+// rejected with an error.
+func ReadSnapshot(r io.Reader) (*Instance, error) {
+	in, ix, err := snap.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{in: in, ix: ix, eng: core.NewEngine(in, ix)}, nil
+}

@@ -1,0 +1,96 @@
+package s3
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildSample assembles a small instance exercising the social, document,
+// tag and semantic layers through the public facade.
+func buildSample(t *testing.T) *Instance {
+	t.Helper()
+	b := NewBuilder(English)
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if err := b.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddSocial("alice", "bob", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddSocialAs("bob", "carol", 0.6, "follows"); err != nil {
+		t.Fatal(err)
+	}
+	b.AddTriple(b.Stem("m.s"), "rdfs:subClassOf", b.Stem("degree"))
+	if err := b.AddDocument(&DocNode{URI: "post1", Name: "post", Children: []*DocNode{
+		{Name: "title", Text: "My M.S. graduation"},
+		{Name: "body", Text: "Celebrating at the university with friends"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPost("post1", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddDocumentText("reply1", "reply", "Congrats on the degree"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddComment("reply1", "post1.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTag("t1", "post1.1", "carol", "milestone"); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// A snapshot restores an instance with identical statistics, search
+// answers and semantic extensions — without re-running the build.
+func TestSnapshotRoundTripThroughFacade(t *testing.T) {
+	inst := buildSample(t)
+
+	var buf bytes.Buffer
+	if err := inst.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if inst.Stats() != restored.Stats() {
+		t.Errorf("stats changed:\noriginal: %+v\nrestored: %+v", inst.Stats(), restored.Stats())
+	}
+	want, err := inst.Search("alice", []string{"degree"}, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Search("alice", []string{"degree"}, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("sample search returned no results")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("restored search returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result %d changed: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+	if gotExt, wantExt := restored.Extension("degree"), inst.Extension("degree"); strings.Join(gotExt, ",") != strings.Join(wantExt, ",") {
+		t.Errorf("extension changed: %v vs %v", gotExt, wantExt)
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("ReadSnapshot accepted garbage")
+	}
+}
