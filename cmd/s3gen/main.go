@@ -3,11 +3,15 @@
 // datasets — optionally writes it to disk, and prints its Figure 4
 // statistics. With -snap it also freezes the built instance (graph,
 // ontology and connection index) into a binary snapshot that s3serve and
-// s3search cold-start from without rebuilding.
+// s3search cold-start from without rebuilding; with -shards N (N > 1) the
+// frozen instance is written as a component-sharded shard set instead —
+// the manifest at the -snap path plus one "<name>.shard-i" file per shard
+// — which s3serve -shardset fans queries out over.
 //
 // Usage:
 //
 //	s3gen -dataset twitter -scale 1 -seed 1 -out i1.spec -snap i1.snap
+//	s3gen -dataset twitter -shards 4 -snap i1.set
 //	s3gen -dataset yelp
 package main
 
@@ -33,8 +37,16 @@ func main() {
 		seed    = flag.Int64("seed", 0, "random seed (0 = dataset default)")
 		out     = flag.String("out", "", "write the generated spec (gob) to this file")
 		snapOut = flag.String("snap", "", "write a frozen instance snapshot (binary) to this file")
+		shards  = flag.Int("shards", 1, "with -snap: partition the instance into this many component shards (manifest + shard files)")
 	)
 	flag.Parse()
+
+	if *shards < 1 {
+		log.Fatal("-shards must be at least 1")
+	}
+	if *shards > 1 && *snapOut == "" {
+		log.Fatal("-shards needs -snap (the shard-set manifest path)")
+	}
 
 	spec, extra, err := Generate(*dataset, *scale, *seed)
 	if err != nil {
@@ -60,7 +72,12 @@ func main() {
 		}
 		fmt.Printf("\nspec written to %s\n", *out)
 	}
-	if *snapOut != "" {
+	switch {
+	case *snapOut != "" && *shards > 1:
+		if err := writeShardSet(in, *snapOut, *shards); err != nil {
+			log.Fatal(err)
+		}
+	case *snapOut != "":
 		f, err := os.Create(*snapOut)
 		if err != nil {
 			log.Fatal(err)
@@ -71,6 +88,34 @@ func main() {
 		}
 		fmt.Printf("snapshot written to %s\n", *snapOut)
 	}
+}
+
+// writeShardSet persists the instance as a shard-set manifest plus one
+// file per component shard, and prints the layout.
+func writeShardSet(in *graph.Instance, manifestPath string, n int) error {
+	parts, err := graph.PartitionComponents(in, n)
+	if err != nil {
+		return err
+	}
+	paths, err := snap.WriteShardSetFiles(manifestPath, in, index.Build(in), parts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nshard set written: manifest %s, %d shards\n", manifestPath, n)
+	compShard := make(map[int32]int)
+	for s, comps := range parts {
+		for _, c := range comps {
+			compShard[c] = s
+		}
+	}
+	docs := make([]int, n)
+	for _, r := range in.DocRoots() {
+		docs[compShard[in.CompOf(r)]]++
+	}
+	for s, comps := range parts {
+		fmt.Printf("  %s: %d components, %d documents\n", paths[s], len(comps), docs[s])
+	}
+	return nil
 }
 
 // Generate builds the requested dataset spec at the given scale.

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"path/filepath"
 	"testing"
 
+	"s3"
 	"s3/internal/graph"
 	"s3/internal/text"
 )
@@ -36,5 +38,32 @@ func TestGenerateTwitterReport(t *testing.T) {
 func TestGenerateUnknownDataset(t *testing.T) {
 	if _, _, err := Generate("friendster", 1, 0); err == nil {
 		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+// TestWriteShardSetFiles drives the -shards path end to end: generate,
+// partition, persist, and reload through the serving loader.
+func TestWriteShardSetFiles(t *testing.T) {
+	spec, _, err := Generate("twitter", 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := graph.BuildSpec(spec, text.Analyzer{Lang: text.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(t.TempDir(), "i1.set")
+	if err := writeShardSet(in, manifest, 3); err != nil {
+		t.Fatal(err)
+	}
+	si, err := s3.OpenShardSet(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.NumShards() != 3 {
+		t.Fatalf("loaded %d shards, want 3", si.NumShards())
+	}
+	if si.Stats() != in.Stats() {
+		t.Errorf("shard set stats %+v, generated instance %+v", si.Stats(), in.Stats())
 	}
 }

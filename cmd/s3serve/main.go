@@ -1,8 +1,8 @@
 // Command s3serve runs the long-lived S3 query server: it loads a frozen
-// instance from a binary snapshot (or rebuilds one from a spec) and
-// serves S3k searches over an HTTP JSON API with result caching,
-// concurrent-query coalescing, a bounded search worker pool and atomic
-// hot reload.
+// instance from a binary snapshot, a component-sharded shard set, or a
+// spec rebuild, and serves S3k searches over an HTTP JSON API with result
+// caching, concurrent-query coalescing, a bounded search worker pool and
+// atomic hot reload (with cache re-warming).
 //
 // Usage:
 //
@@ -11,6 +11,14 @@
 //	curl -s localhost:8080/search -d '{"seeker":"tw:u17","keywords":["#h3"],"k":5}'
 //	curl -s localhost:8080/stats
 //	curl -s -X POST localhost:8080/reload   # after regenerating i1.snap
+//
+// Sharded serving — generate a shard set and point -shardset at the
+// manifest; each query fans out across the shard engines in parallel and
+// merges per-shard answers (identical to unsharded answers, often faster
+// on multi-component instances):
+//
+//	s3gen -dataset twitter -shards 4 -snap i1.set
+//	s3serve -shardset i1.set -addr :8080
 //
 // Endpoints: POST /search, GET /extension, GET /stats, GET /healthz,
 // POST /reload. See internal/server for the request and response bodies.
@@ -37,6 +45,7 @@ func main() {
 	log.SetPrefix("s3serve: ")
 	var (
 		snapPath  = flag.String("snapshot", "", "serve the instance from this binary snapshot (fast cold start)")
+		setPath   = flag.String("shardset", "", "serve a sharded instance from this shard-set manifest (s3gen -shards)")
 		specPath  = flag.String("spec", "", "rebuild the instance from this spec (gob) when -snapshot is not given")
 		lang      = flag.String("lang", "raw", "text pipeline for -spec builds: english | french | raw")
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -45,7 +54,7 @@ func main() {
 	)
 	flag.Parse()
 
-	loader, err := makeLoader(*snapPath, *specPath, *lang)
+	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,6 +66,7 @@ func main() {
 	log.Printf("instance ready in %v (%d users, %d documents, %d components)",
 		time.Since(start).Round(time.Millisecond),
 		inst.Stats().Users, inst.Stats().Documents, inst.Stats().Components)
+	logShardLayout(inst)
 
 	srv, err := server.New(server.Config{
 		Instance:  inst,
@@ -91,15 +101,34 @@ func main() {
 	<-drained
 }
 
+// logShardLayout prints the per-shard layout when serving a shard set.
+func logShardLayout(inst s3.Queryable) {
+	si, ok := inst.(*s3.ShardedInstance)
+	if !ok {
+		return
+	}
+	log.Printf("sharded: %d shards", si.NumShards())
+	for i, sh := range si.Shards() {
+		log.Printf("  shard %d: %d documents, %d components, %d tags", i, sh.Documents, sh.Components, sh.Tags)
+	}
+}
+
 // makeLoader builds the instance-loading closure used both for the
-// initial load and for POST /reload. Snapshot loading needs no language:
-// the snapshot embeds the text-pipeline configuration.
-func makeLoader(snapPath, specPath, lang string) (func() (*s3.Instance, error), error) {
+// initial load and for POST /reload. Snapshot and shard-set loading need
+// no language: both embed the text-pipeline configuration.
+func makeLoader(snapPath, setPath, specPath, lang string) (func() (s3.Queryable, error), error) {
+	sources := 0
+	for _, p := range []string{snapPath, setPath, specPath} {
+		if p != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("-snapshot, -shardset and -spec are mutually exclusive")
+	}
 	switch {
-	case snapPath != "" && specPath != "":
-		return nil, fmt.Errorf("-snapshot and -spec are mutually exclusive")
 	case snapPath != "":
-		return func() (*s3.Instance, error) {
+		return func() (s3.Queryable, error) {
 			f, err := os.Open(snapPath)
 			if err != nil {
 				return nil, err
@@ -107,12 +136,16 @@ func makeLoader(snapPath, specPath, lang string) (func() (*s3.Instance, error), 
 			defer f.Close()
 			return s3.ReadSnapshot(f)
 		}, nil
+	case setPath != "":
+		return func() (s3.Queryable, error) {
+			return s3.OpenShardSet(setPath)
+		}, nil
 	case specPath != "":
 		l, err := parseLang(lang)
 		if err != nil {
 			return nil, err
 		}
-		return func() (*s3.Instance, error) {
+		return func() (s3.Queryable, error) {
 			f, err := os.Open(specPath)
 			if err != nil {
 				return nil, err
@@ -121,7 +154,7 @@ func makeLoader(snapPath, specPath, lang string) (func() (*s3.Instance, error), 
 			return s3.BuildFromSpec(f, l)
 		}, nil
 	default:
-		return nil, fmt.Errorf("one of -snapshot or -spec is required")
+		return nil, fmt.Errorf("one of -snapshot, -shardset or -spec is required")
 	}
 }
 

@@ -52,7 +52,7 @@ func writeSnapshotFile(t *testing.T) (string, *s3.Instance) {
 func TestServeFromSnapshotEndToEnd(t *testing.T) {
 	path, built := writeSnapshotFile(t)
 
-	loader, err := makeLoader(path, "", "raw")
+	loader, err := makeLoader(path, "", "", "raw")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,20 +154,172 @@ func TestServeFromSnapshotEndToEnd(t *testing.T) {
 }
 
 func TestMakeLoaderValidation(t *testing.T) {
-	if _, err := makeLoader("", "", "raw"); err == nil {
+	if _, err := makeLoader("", "", "", "raw"); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, err := makeLoader("a.snap", "b.spec", "raw"); err == nil {
-		t.Error("both sources accepted")
+	if _, err := makeLoader("a.snap", "", "b.spec", "raw"); err == nil {
+		t.Error("snapshot+spec accepted")
 	}
-	if _, err := makeLoader("", "b.spec", "klingon"); err == nil {
+	if _, err := makeLoader("a.snap", "a.set", "", "raw"); err == nil {
+		t.Error("snapshot+shardset accepted")
+	}
+	if _, err := makeLoader("", "", "b.spec", "klingon"); err == nil {
 		t.Error("unknown language accepted")
 	}
-	loader, err := makeLoader(filepath.Join(t.TempDir(), "missing.snap"), "", "raw")
+	loader, err := makeLoader(filepath.Join(t.TempDir(), "missing.snap"), "", "", "raw")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := loader(); err == nil {
 		t.Error("missing snapshot file loaded")
+	}
+	loader, err = makeLoader("", filepath.Join(t.TempDir(), "missing.set"), "", "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader(); err == nil {
+		t.Error("missing shard set loaded")
+	}
+}
+
+// TestServeFromShardSetEndToEnd exercises the sharded serving pipeline:
+// s3gen-style shard-set files on disk → -shardset loader → fan-out/merge
+// answers identical to the unsharded instance, with per-shard stats.
+func TestServeFromShardSetEndToEnd(t *testing.T) {
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets, o.Seed = 60, 240, 11
+	spec, _ := datagen.Twitter(o)
+	var specBuf bytes.Buffer
+	if err := spec.Encode(&specBuf); err != nil {
+		t.Fatal(err)
+	}
+	built, err := s3.BuildFromSpec(&specBuf, s3.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(t.TempDir(), "i1.set")
+	if _, err := built.WriteShardSetFiles(manifest, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	loader, err := makeLoader("", manifest, "", "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := loader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, ok := inst.(*s3.ShardedInstance)
+	if !ok {
+		t.Fatalf("shard-set loader returned %T", inst)
+	}
+	if si.NumShards() != 3 {
+		t.Fatalf("loaded %d shards, want 3", si.NumShards())
+	}
+	srv, err := server.New(server.Config{Instance: inst, Loader: loader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	checked := 0
+	for u := 0; u < 60 && checked < 3; u++ {
+		seeker := fmt.Sprintf("tw:u%d", u)
+		if !built.HasUser(seeker) {
+			continue
+		}
+		for _, kw := range []string{"#h1", "#h2", "#h3", "#h5"} {
+			want, err := built.Search(seeker, []string{kw}, s3.WithK(5))
+			if err != nil || len(want) == 0 {
+				continue
+			}
+			body := fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5}`, seeker, kw)
+			resp, err := http.Post(ts.URL+"/search", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST /search = %d", resp.StatusCode)
+			}
+			var got struct {
+				Results []struct {
+					URI      string  `json:"uri"`
+					Document string  `json:"document"`
+					Lower    float64 `json:"lower"`
+					Upper    float64 `json:"upper"`
+				} `json:"results"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&got)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Results) != len(want) {
+				t.Fatalf("%s/%s: served %d results, direct search %d", seeker, kw, len(got.Results), len(want))
+			}
+			for i, w := range want {
+				g := got.Results[i]
+				if g.URI != w.URI || g.Document != w.Document || g.Lower != w.Lower || g.Upper != w.Upper {
+					t.Errorf("%s/%s result %d: sharded serve %+v, direct %+v", seeker, kw, i, g, w)
+				}
+			}
+			checked++
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no query produced results; test instance too sparse")
+	}
+
+	// /stats reports the shard layout, and the whole-instance stats match
+	// the unsharded build.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Instance   s3.Stats `json:"instance"`
+		ShardCount int      `json:"shard_count"`
+		Shards     []struct {
+			Documents  int    `json:"documents"`
+			Components int    `json:"components"`
+			Searches   uint64 `json:"searches"`
+		} `json:"shards"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instance != built.Stats() {
+		t.Errorf("served stats %+v, built %+v", stats.Instance, built.Stats())
+	}
+	if stats.ShardCount != 3 || len(stats.Shards) != 3 {
+		t.Fatalf("stats report %d shards (%d rows), want 3", stats.ShardCount, len(stats.Shards))
+	}
+	docs, comps, searches := 0, 0, uint64(0)
+	for _, sh := range stats.Shards {
+		docs += sh.Documents
+		comps += sh.Components
+		searches += sh.Searches
+	}
+	if docs != built.Stats().Documents || comps != built.Stats().Components {
+		t.Errorf("shard rows sum to %d docs / %d comps, instance has %d / %d",
+			docs, comps, built.Stats().Documents, built.Stats().Components)
+	}
+	if searches == 0 {
+		t.Error("no shard reports any fanned-out search")
+	}
+
+	// Hot reload re-reads the shard set.
+	resp, err = http.Post(ts.URL+"/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST /reload = %d", resp.StatusCode)
 	}
 }

@@ -216,14 +216,16 @@ func (e *Engine) Search(seeker graph.NID, keywords []string, opts Options) ([]Re
 	}
 
 	st := &searchState{
-		e:        e,
-		sc:       sc,
-		groups:   groups,
-		opts:     opts,
-		eps:      eps,
-		matched:  matched,
-		it:       score.NewIterator(e.in, opts.Params, seeker),
-		admitted: make(map[int32]struct{}),
+		shardState: shardState{
+			e:        e,
+			sc:       sc,
+			groups:   groups,
+			opts:     opts,
+			eps:      eps,
+			matched:  matched,
+			admitted: make(map[int32]struct{}),
+		},
+		it: score.NewIterator(e.in, opts.Params, seeker),
 	}
 
 	reason := st.run(start, &stats)
@@ -235,8 +237,11 @@ func (e *Engine) Search(seeker graph.NID, keywords []string, opts Options) ([]Re
 	return st.results(), stats, nil
 }
 
-// searchState carries the mutable state of one search.
-type searchState struct {
+// shardState carries the per-shard portion of a search's mutable state:
+// matched and admitted components and the candidate list with its score
+// intervals. A single-engine search owns exactly one; a sharded search
+// (ShardedEngine) drives one per shard off a shared proximity iterator.
+type shardState struct {
 	e        *Engine
 	sc       *score.Scorer
 	groups   [][]dict.ID
@@ -244,9 +249,23 @@ type searchState struct {
 	eps      float64
 	matched  map[int32]struct{}
 	admitted map[int32]struct{}
-	it       *score.Iterator
 
-	cands   []*cand
+	cands []*cand
+
+	// Sharded-search scratch, refreshed every lockstep round: components
+	// discovered this round but not yet admitted, the shard-local greedy
+	// selection, and the first candidate whose relative order is still
+	// uncertain (nil when the local selection is trustworthy).
+	pending   []int32
+	kept      []*cand
+	uncertain *cand
+}
+
+// searchState carries the mutable state of one single-engine search.
+type searchState struct {
+	shardState
+	it *score.Iterator
+
 	reached int
 
 	selection []*cand // current greedy top-k (by upper bound)
@@ -255,17 +274,17 @@ type searchState struct {
 func (st *searchState) run(start time.Time, stats *Stats) StopReason {
 	for {
 		if st.it.Done() {
-			st.computeBounds(0)
+			st.computeBounds(0, st.it.AllProx())
 			st.selection, _ = st.greedySelect()
 			return StopExhausted
 		}
 		if st.opts.MaxIterations > 0 && st.it.N() >= st.opts.MaxIterations {
-			st.computeBounds(st.it.TailBound())
+			st.computeBounds(st.it.TailBound(), st.it.AllProx())
 			st.selection, _ = st.greedySelect()
 			return StopBudget
 		}
 		if st.opts.Budget > 0 && time.Since(start) > st.opts.Budget {
-			st.computeBounds(st.it.TailBound())
+			st.computeBounds(st.it.TailBound(), st.it.AllProx())
 			st.selection, _ = st.greedySelect()
 			return StopBudget
 		}
@@ -290,7 +309,7 @@ func (st *searchState) run(start time.Time, stats *Stats) StopReason {
 		stats.ComponentsReached = len(st.admitted)
 
 		tail := st.it.TailBound()
-		st.computeBounds(tail)
+		st.computeBounds(tail, st.it.AllProx())
 
 		// Once every matching component has been discovered, no document
 		// outside the candidate set can ever match the query.
@@ -298,7 +317,8 @@ func (st *searchState) run(start time.Time, stats *Stats) StopReason {
 		if len(st.admitted) < len(st.matched) {
 			threshold = st.sc.Threshold(st.it.SourceTailBound())
 		}
-		selection, certain := st.greedySelect()
+		selection, uncertain := st.greedySelect()
+		certain := uncertain == nil
 		st.selection = selection
 
 		// The answer is final when the selection is trustworthy, cannot
@@ -330,7 +350,7 @@ func (st *searchState) run(start time.Time, stats *Stats) StopReason {
 		// the search spinning forever (the border cycles and never
 		// empties on cyclic graphs).
 		if st.it.TailBound() < 1e-15 {
-			st.computeBounds(st.it.TailBound())
+			st.computeBounds(st.it.TailBound(), st.it.AllProx())
 			st.selection, _ = st.greedySelect()
 			return StopPrecision
 		}
@@ -340,7 +360,7 @@ func (st *searchState) run(start time.Time, stats *Stats) StopReason {
 // admitComponent implements GetDocuments: all documents of the component
 // satisfying the conjunctive keyword condition become candidates, with
 // their connection terms resolved once.
-func (st *searchState) admitComponent(comp int32) {
+func (st *shardState) admitComponent(comp int32) {
 	in := st.e.in
 	for _, d := range st.e.ix.CandidatesInComp(comp, st.groups) {
 		c := &cand{d: d, terms: make([][]term, len(st.groups))}
@@ -365,11 +385,11 @@ func (st *searchState) admitComponent(comp int32) {
 }
 
 // computeBounds refreshes every candidate's score interval from the
-// current bounded proximity (ComputeCandidateBounds).
-func (st *searchState) computeBounds(tail float64) {
+// given bounded proximity vector (ComputeCandidateBounds).
+func (st *shardState) computeBounds(tail float64, all []float64) {
 	workers := st.opts.Workers
 	if workers <= 1 || len(st.cands) < 64 {
-		st.boundRange(0, len(st.cands), tail)
+		st.boundRange(0, len(st.cands), tail, all)
 		return
 	}
 	if workers > runtime.GOMAXPROCS(0) {
@@ -386,14 +406,13 @@ func (st *searchState) computeBounds(tail float64) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			st.boundRange(lo, hi, tail)
+			st.boundRange(lo, hi, tail, all)
 		}(lo, hi)
 	}
 	wg.Wait()
 }
 
-func (st *searchState) boundRange(lo, hi int, tail float64) {
-	all := st.it.AllProx()
+func (st *shardState) boundRange(lo, hi int, tail float64, all []float64) {
 	for _, c := range st.cands[lo:hi] {
 		c.lower, c.upper = 1, 1
 		for _, terms := range c.terms {
@@ -409,21 +428,29 @@ func (st *searchState) boundRange(lo, hi int, tail float64) {
 	}
 }
 
+// candBefore is the canonical candidate order: upper bound descending,
+// ties by node id. Node ids are global across every projection of an
+// instance, so the order is identical whether candidates are walked by
+// one engine or merged across shards.
+func candBefore(a, b *cand) bool {
+	if a.upper != b.upper {
+		return a.upper > b.upper
+	}
+	return a.d < b.d
+}
+
 // greedySelect computes the current best-possible answer: candidates are
 // visited by decreasing upper bound (ties by node id) and greedily
 // selected, skipping any candidate that is certainly dominated by an
 // already-selected vertical neighbour. If a candidate meets a selected
-// neighbour whose relative order is still uncertain, the selection is not
-// yet trustworthy and the search must continue.
-func (st *searchState) greedySelect() ([]*cand, bool) {
+// neighbour whose relative order is still uncertain, the walk stops and
+// returns that candidate (nil when the selection is trustworthy): the
+// selection so far is valid but must not be extended, and the search must
+// continue.
+func (st *shardState) greedySelect() ([]*cand, *cand) {
 	order := make([]*cand, len(st.cands))
 	copy(order, st.cands)
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].upper != order[j].upper {
-			return order[i].upper > order[j].upper
-		}
-		return order[i].d < order[j].d
-	})
+	sort.Slice(order, func(i, j int) bool { return candBefore(order[i], order[j]) })
 	var sel []*cand
 	for _, c := range order {
 		if c.upper <= st.eps {
@@ -447,7 +474,7 @@ func (st *searchState) greedySelect() ([]*cand, bool) {
 			break
 		}
 		if uncertain {
-			return sel, false
+			return sel, c
 		}
 		if dominated {
 			continue
@@ -457,12 +484,12 @@ func (st *searchState) greedySelect() ([]*cand, bool) {
 			break
 		}
 	}
-	return sel, true
+	return sel, nil
 }
 
 // maxOtherUpper returns the best upper bound among candidates outside the
 // selection that are not certainly dominated by a selected neighbour.
-func (st *searchState) maxOtherUpper(sel []*cand) float64 {
+func (st *shardState) maxOtherUpper(sel []*cand) float64 {
 	inSel := make(map[graph.NID]struct{}, len(sel))
 	for _, c := range sel {
 		inSel[c.d] = struct{}{}

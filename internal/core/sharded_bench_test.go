@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"s3/internal/datagen"
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/score"
+	"s3/internal/text"
+)
+
+// benchInstance builds a benchmark-scale multi-component instance and
+// picks the most candidate-heavy queries (common keywords).
+func benchInstance(b *testing.B) (*graph.Instance, *index.Index, []graph.NID, []string) {
+	b.Helper()
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets, o.Seed = 300, 2400, 42
+	spec, _ := datagen.Twitter(o)
+	in, err := graph.BuildSpec(spec, text.Analyzer{Lang: text.None})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := index.Build(in)
+	kws := in.SortedKeywordsByFrequency()
+	if len(kws) == 0 {
+		b.Fatal("no keywords")
+	}
+	// The most frequent keywords carry the most candidates.
+	var picks []string
+	for i := len(kws) - 1; i >= 0 && len(picks) < 3; i-- {
+		picks = append(picks, in.Dict().String(kws[i]))
+	}
+	users := in.Users()[:4]
+	return in, ix, users, picks
+}
+
+// BenchmarkShardedEngine measures the raw engine-level cost of the
+// lockstep fan-out/merge search at 1/2/4 shards against the single
+// engine, on candidate-heavy queries (the regime sharding targets).
+func BenchmarkShardedEngine(b *testing.B) {
+	in, ix, users, picks := benchInstance(b)
+	opts := Options{K: 10, Params: score.Params{Gamma: 1.5, Eta: 0.8}}
+
+	single := NewEngine(in, ix)
+	run := func(b *testing.B, search func(graph.NID, []string) error) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := search(users[i%len(users)], []string{picks[i%len(picks)]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("single", func(b *testing.B) {
+		run(b, func(u graph.NID, kws []string) error {
+			_, _, err := single.Search(u, kws, opts)
+			return err
+		})
+	})
+	for _, n := range []int{1, 2, 4} {
+		se := buildSharded(b, in, ix, n)
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			run(b, func(u graph.NID, kws []string) error {
+				_, _, err := se.Search(u, kws, opts)
+				return err
+			})
+		})
+	}
+}

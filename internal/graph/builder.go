@@ -522,12 +522,13 @@ func (in *Instance) buildComponents() {
 // ascending document frequency (ties broken by keyword string for
 // determinism). Used to build rare/common query workloads (§5.1).
 func (in *Instance) SortedKeywordsByFrequency() []dict.ID {
-	kws := make([]dict.ID, 0, len(in.kwFreq))
-	for k := range in.kwFreq {
+	freq := in.KeywordFrequencies()
+	kws := make([]dict.ID, 0, len(freq))
+	for k := range freq {
 		kws = append(kws, k)
 	}
 	sort.Slice(kws, func(i, j int) bool {
-		fi, fj := in.kwFreq[kws[i]], in.kwFreq[kws[j]]
+		fi, fj := freq[kws[i]], freq[kws[j]]
 		if fi != fj {
 			return fi < fj
 		}

@@ -143,6 +143,11 @@ type Instance struct {
 	kwFreq map[dict.ID]int
 
 	stats Stats
+
+	// proj, when non-nil, restricts the content layer to a subset of
+	// components (see ProjectComponents). The substrate tables above are
+	// shared with the base instance.
+	proj *projection
 }
 
 // Dict returns the shared dictionary.
@@ -202,14 +207,26 @@ func (in *Instance) KeywordsOf(n NID) []dict.ID { return in.keywords[n] }
 // NodeNameOf returns the node name of a document node.
 func (in *Instance) NodeNameOf(n NID) dict.ID { return in.nodeName[n] }
 
-// Users returns all user nodes.
+// Users returns all user nodes. Users are shared substrate: projections
+// return the full list.
 func (in *Instance) Users() []NID { return in.users }
 
-// DocRoots returns the roots of all documents.
-func (in *Instance) DocRoots() []NID { return in.docRoots }
+// DocRoots returns the roots of all owned documents (all documents for an
+// unprojected instance).
+func (in *Instance) DocRoots() []NID {
+	if in.proj != nil {
+		return in.proj.docRoots
+	}
+	return in.docRoots
+}
 
-// Tags returns all tag nodes.
-func (in *Instance) Tags() []NID { return in.tagList }
+// Tags returns all owned tag nodes.
+func (in *Instance) Tags() []NID {
+	if in.proj != nil {
+		return in.proj.tags
+	}
+	return in.tagList
+}
 
 // TagInfoOf returns the description of a tag node.
 func (in *Instance) TagInfoOf(n NID) (TagInfo, bool) {
@@ -217,11 +234,21 @@ func (in *Instance) TagInfoOf(n NID) (TagInfo, bool) {
 	return ti, ok
 }
 
-// Comments returns all comment edges.
-func (in *Instance) Comments() []CommentEdge { return in.comments }
+// Comments returns all owned comment edges.
+func (in *Instance) Comments() []CommentEdge {
+	if in.proj != nil {
+		return in.proj.comments
+	}
+	return in.comments
+}
 
-// Posts returns all authorship edges.
-func (in *Instance) Posts() []PostEdge { return in.posts }
+// Posts returns all owned authorship edges.
+func (in *Instance) Posts() []PostEdge {
+	if in.proj != nil {
+		return in.proj.posts
+	}
+	return in.posts
+}
 
 // OutEdges returns the direct network out-edges of a node (without the
 // vertical-neighbourhood extension).
@@ -244,12 +271,22 @@ func (in *Instance) CompOf(n NID) int32 { return in.comp[n] }
 // NumComponents returns the number of components.
 func (in *Instance) NumComponents() int { return in.nComp }
 
-// KeywordFrequency returns, for a stemmed keyword, the number of document
-// nodes whose content contains it.
-func (in *Instance) KeywordFrequency(k dict.ID) int { return in.kwFreq[k] }
+// KeywordFrequency returns, for a stemmed keyword, the number of owned
+// document nodes whose content contains it.
+func (in *Instance) KeywordFrequency(k dict.ID) int {
+	if in.proj != nil {
+		return in.proj.kwFreq[k]
+	}
+	return in.kwFreq[k]
+}
 
 // KeywordFrequencies exposes the whole frequency table (read-only).
-func (in *Instance) KeywordFrequencies() map[dict.ID]int { return in.kwFreq }
+func (in *Instance) KeywordFrequencies() map[dict.ID]int {
+	if in.proj != nil {
+		return in.proj.kwFreq
+	}
+	return in.kwFreq
+}
 
 // IsAncestorOrSelf reports whether a is an ancestor of b or equal to it,
 // within the same document tree.
@@ -304,5 +341,11 @@ func (in *Instance) SubtreeOf(n NID, buf []NID) []NID {
 	return buf
 }
 
-// Stats returns the instance statistics (Figure 4).
-func (in *Instance) Stats() Stats { return in.stats }
+// Stats returns the instance statistics (Figure 4), restricted to the
+// owned components for a projection.
+func (in *Instance) Stats() Stats {
+	if in.proj != nil {
+		return in.proj.stats
+	}
+	return in.stats
+}

@@ -1,0 +1,42 @@
+package index
+
+import (
+	"fmt"
+
+	"s3/internal/graph"
+)
+
+// Project returns the connection index restricted to the components the
+// projected instance owns: per keyword, only the events anchored in an
+// owned component are kept (keywords with no surviving event are
+// dropped). Every connection of a candidate document lives in the
+// candidate's own component, so a projected index contains exactly the
+// information needed to score that shard's candidates — and its events,
+// component tables and per-component bounds are identical to the
+// corresponding slices of the full index, which is what makes sharded
+// search answer-equivalent to unsharded search.
+//
+// The projected instance must be a projection of the index's instance
+// (same node numbering); an unprojected instance yields a full copy.
+func (ix *Index) Project(proj *graph.Instance) (*Index, error) {
+	if proj.NumNodes() != ix.in.NumNodes() {
+		return nil, fmt.Errorf("index: projection has %d nodes, index instance %d", proj.NumNodes(), ix.in.NumNodes())
+	}
+	var postings []RawPosting
+	for _, p := range ix.Raw() {
+		var evs []Event
+		for _, ev := range p.Events {
+			if proj.OwnsComponent(ix.in.CompOf(ev.Frag)) {
+				evs = append(evs, ev)
+			}
+		}
+		if len(evs) > 0 {
+			postings = append(postings, RawPosting{Kw: p.Kw, Events: evs})
+		}
+	}
+	out, err := FromRaw(proj, postings)
+	if err != nil {
+		return nil, fmt.Errorf("index: projecting: %w", err)
+	}
+	return out, nil
+}

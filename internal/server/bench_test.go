@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 
@@ -58,6 +59,101 @@ func BenchmarkServerSearch(b *testing.B) {
 			doSearch(b, h, body)
 		}
 	})
+}
+
+// benchQueries collects candidate-heavy (seeker, keyword) pairs: the
+// hashtags that reach the most documents, paired with a few seekers.
+func benchQueries(b *testing.B, inst *s3.Instance, max int) [][2]string {
+	b.Helper()
+	// Rank hashtags by how many results they can produce (a proxy for
+	// candidate volume — the regime component sharding targets).
+	type load struct {
+		kw string
+		n  int
+	}
+	var seekers []string
+	for u := 0; u < 300 && len(seekers) < 4; u++ {
+		s := fmt.Sprintf("tw:u%d", u)
+		if inst.HasUser(s) {
+			seekers = append(seekers, s)
+		}
+	}
+	if len(seekers) == 0 {
+		b.Fatal("no seekers")
+	}
+	var loads []load
+	for h := 0; h < 12; h++ {
+		kw := fmt.Sprintf("#h%d", h)
+		if rs, err := inst.Search(seekers[0], []string{kw}, s3.WithK(500)); err == nil {
+			loads = append(loads, load{kw, len(rs)})
+		}
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].n > loads[j].n })
+	if len(loads) == 0 || loads[0].n == 0 {
+		b.Fatal("no usable hashtags")
+	}
+	var out [][2]string
+	for i := 0; len(out) < max; i++ {
+		out = append(out, [2]string{seekers[i%len(seekers)], loads[i%min(3, len(loads))].kw})
+	}
+	return out
+}
+
+// BenchmarkShardedSearch compares cold (uncached) search latency and QPS
+// of the component-sharded fan-out/merge path at 1, 2 and 4 shards
+// against the single-engine baseline, on the same multi-component
+// instance with candidate-heavy queries. The N=1 rows measure the
+// shard-set abstraction's overhead on its short-circuited path (expected:
+// none); N=2/4 measure the fan-out: per-shard admission, candidate
+// scoring and selection run in parallel goroutines per exploration round
+// (the parallel path activates when GOMAXPROCS > 1 and the round carries
+// enough work; on a single-core box the shards run serially and the
+// numbers record the abstraction's overhead instead).
+func BenchmarkShardedSearch(b *testing.B) {
+	inst := testInstance(b, 300, 2400, 42)
+	queries := benchQueries(b, inst, 8)
+
+	targets := []struct {
+		name string
+		q    s3.Queryable
+	}{{"single", inst}}
+	for _, n := range []int{1, 2, 4} {
+		si, err := inst.ShardBy(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets = append(targets, struct {
+			name string
+			q    s3.Queryable
+		}{fmt.Sprintf("shards=%d", n), si})
+	}
+
+	for _, tgt := range targets {
+		b.Run("cold/"+tgt.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := tgt.q.Search(q[0], []string{q[1]}, s3.WithK(10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, tgt := range targets {
+		b.Run("qps/"+tgt.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := queries[i%len(queries)]
+					i++
+					if _, err := tgt.q.Search(q[0], []string{q[1]}, s3.WithK(10)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkServerThroughput drives the handler from parallel clients over

@@ -15,6 +15,9 @@ type lruCache struct {
 
 type lruEntry struct {
 	key string
+	// req is the normalized request that produced val; /reload replays
+	// these against the new instance to re-warm the cache.
+	req searchRequest
 	val *searchResponse
 }
 
@@ -40,7 +43,7 @@ func (c *lruCache) get(key string) (*searchResponse, bool) {
 
 // put inserts or refreshes an entry, evicting the least recently used one
 // when over capacity.
-func (c *lruCache) put(key string, val *searchResponse) {
+func (c *lruCache) put(key string, req searchRequest, val *searchResponse) {
 	if c.cap <= 0 {
 		return
 	}
@@ -49,13 +52,23 @@ func (c *lruCache) put(key string, val *searchResponse) {
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, req: req, val: val})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
 		c.evictions++
 	}
+}
+
+// requests returns the cached requests in recency order (most recently
+// used first) — the hot query set a reload replays.
+func (c *lruCache) requests() []searchRequest {
+	out := make([]searchRequest, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).req)
+	}
+	return out
 }
 
 // purge drops every entry (hot reload invalidates all cached answers) but

@@ -1,21 +1,27 @@
 // Package server implements the s3serve query-serving subsystem: a
-// long-lived HTTP front-end over a frozen S3 instance. The instance is
-// held behind an atomic pointer so it can be hot-swapped (POST /reload)
-// while searches are in flight; finished answers go through an LRU result
-// cache; identical concurrent queries are coalesced into a single engine
-// call; and a bounded worker pool caps the number of searches executing
-// at once regardless of how many connections the HTTP layer accepts.
+// long-lived HTTP front-end over a frozen S3 instance — a single
+// snapshot-backed instance or a component-sharded shard set, both served
+// through the s3.Queryable abstraction (a plain instance is the
+// degenerate one-shard case, with no behavioural difference). The
+// instance is held behind an atomic pointer so it can be hot-swapped
+// (POST /reload) while searches are in flight; finished answers go
+// through an LRU result cache, which is re-warmed after a reload by
+// replaying the cached queries against the new instance; identical
+// concurrent queries are coalesced into a single engine call; and a
+// bounded worker pool caps the number of searches executing at once
+// regardless of how many connections the HTTP layer accepts.
 //
 // Endpoints:
 //
 //	POST /search    run an S3k top-k query (JSON body, see searchRequest)
 //	GET  /extension semantic extension of a keyword (?keyword=...)
-//	GET  /stats     instance statistics plus serving counters
+//	GET  /stats     instance statistics, per-shard stats, serving counters
 //	GET  /healthz   liveness probe
 //	POST /reload    re-load the instance from its source and swap it in
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -31,11 +37,12 @@ import (
 
 // Config assembles a Server.
 type Config struct {
-	// Instance is the initially served instance.
-	Instance *s3.Instance
+	// Instance is the initially served instance: a *s3.Instance or a
+	// *s3.ShardedInstance.
+	Instance s3.Queryable
 	// Loader re-loads the instance for POST /reload (typically re-reading
-	// a snapshot file). nil disables reloading.
-	Loader func() (*s3.Instance, error)
+	// a snapshot file or shard set). nil disables reloading.
+	Loader func() (s3.Queryable, error)
 	// CacheSize is the result-cache capacity in entries; 0 picks the
 	// default (1024), negative disables caching.
 	CacheSize int
@@ -47,10 +54,10 @@ type Config struct {
 // DefaultCacheSize is the result-cache capacity when Config leaves it 0.
 const DefaultCacheSize = 1024
 
-// instanceState is the unit of atomic hot-swap: an instance plus its
-// load generation.
+// instanceState is the unit of atomic hot-swap: an instance (single or
+// sharded) plus its load generation.
 type instanceState struct {
-	inst     *s3.Instance
+	inst     s3.Queryable
 	version  uint64
 	loadedAt time.Time
 }
@@ -81,6 +88,7 @@ type Server struct {
 	searches  atomic.Uint64
 	coalesced atomic.Uint64
 	reloads   atomic.Uint64
+	warmed    atomic.Uint64
 }
 
 // New wires a server around an instance.
@@ -260,7 +268,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 				// request's client is still here, so fall back to an
 				// uncoalesced search instead of inheriting the failure.
 				if c.err.status == http.StatusServiceUnavailable {
-					resp, herr := s.runSearch(req, state, &sr)
+					resp, herr := s.runSearch(req.Context(), state, &sr)
 					if herr != nil {
 						writeError(w, herr)
 						return
@@ -280,12 +288,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 		s.inflight[key] = c
 		s.mu.Unlock()
 
-		resp, herr := s.runSearch(req, state, &sr)
+		resp, herr := s.runSearch(req.Context(), state, &sr)
 		c.resp, c.err = resp, herr
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if herr == nil && resp.Exact {
-			s.cache.put(key, resp)
+			s.cache.put(key, sr, resp)
 		}
 		s.mu.Unlock()
 		close(c.done)
@@ -298,7 +306,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	resp, herr := s.runSearch(req, state, &sr)
+	resp, herr := s.runSearch(req.Context(), state, &sr)
 	if herr != nil {
 		writeError(w, herr)
 		return
@@ -307,11 +315,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 }
 
 // runSearch executes one engine call under the worker-pool bound.
-func (s *Server) runSearch(req *http.Request, state *instanceState, sr *searchRequest) (*searchResponse, *httpError) {
+func (s *Server) runSearch(ctx context.Context, state *instanceState, sr *searchRequest) (*searchResponse, *httpError) {
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
-	case <-req.Context().Done():
+	case <-ctx.Done():
 		return nil, &httpError{http.StatusServiceUnavailable, "request cancelled while queued"}
 	}
 
@@ -370,14 +378,25 @@ func (s *Server) handleExtension(w http.ResponseWriter, req *http.Request) {
 
 // statsResponse is the GET /stats body.
 type statsResponse struct {
-	Instance s3.Stats   `json:"instance"`
-	Version  uint64     `json:"version"`
-	LoadedAt time.Time  `json:"loaded_at"`
-	UptimeMS int64      `json:"uptime_ms"`
-	Workers  int        `json:"workers"`
-	Searches uint64     `json:"searches"`
-	Reloads  uint64     `json:"reloads"`
-	Cache    cacheStats `json:"cache"`
+	Instance   s3.Stats         `json:"instance"`
+	Version    uint64           `json:"version"`
+	LoadedAt   time.Time        `json:"loaded_at"`
+	UptimeMS   int64            `json:"uptime_ms"`
+	Workers    int              `json:"workers"`
+	Searches   uint64           `json:"searches"`
+	Reloads    uint64           `json:"reloads"`
+	ShardCount int              `json:"shard_count"`
+	Shards     []shardStatsJSON `json:"shards"`
+	Cache      cacheStats       `json:"cache"`
+}
+
+// shardStatsJSON is one shard's row in /stats: its content counts and how
+// many searches fanned out to it.
+type shardStatsJSON struct {
+	Documents  int    `json:"documents"`
+	Components int    `json:"components"`
+	Tags       int    `json:"tags"`
+	Searches   uint64 `json:"searches"`
 }
 
 type cacheStats struct {
@@ -387,6 +406,7 @@ type cacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Coalesced uint64 `json:"coalesced"`
+	Warmed    uint64 `json:"warmed"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -399,17 +419,30 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Misses:    s.cache.misses,
 		Evictions: s.cache.evictions,
 		Coalesced: s.coalesced.Load(),
+		Warmed:    s.warmed.Load(),
 	}
 	s.mu.Unlock()
+	shards := state.inst.Shards()
+	rows := make([]shardStatsJSON, len(shards))
+	for i, sh := range shards {
+		rows[i] = shardStatsJSON{
+			Documents:  sh.Documents,
+			Components: sh.Components,
+			Tags:       sh.Tags,
+			Searches:   sh.Searches,
+		}
+	}
 	writeJSON(w, http.StatusOK, &statsResponse{
-		Instance: state.inst.Stats(),
-		Version:  state.version,
-		LoadedAt: state.loadedAt,
-		UptimeMS: time.Since(s.start).Milliseconds(),
-		Workers:  cap(s.sem),
-		Searches: s.searches.Load(),
-		Reloads:  s.reloads.Load(),
-		Cache:    cs,
+		Instance:   state.inst.Stats(),
+		Version:    state.version,
+		LoadedAt:   state.loadedAt,
+		UptimeMS:   time.Since(s.start).Milliseconds(),
+		Workers:    cap(s.sem),
+		Searches:   s.searches.Load(),
+		Reloads:    s.reloads.Load(),
+		ShardCount: len(shards),
+		Shards:     rows,
+		Cache:      cs,
 	})
 }
 
@@ -435,20 +468,63 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 	}
 	old := s.cur.Load()
 	next := &instanceState{inst: inst, version: old.version + 1, loadedAt: time.Now()}
+	// Remember what the cache held before the swap invalidates it: those
+	// keys are the hot query set, worth paying for again up front.
+	s.mu.Lock()
+	hot := s.cache.requests()
+	s.mu.Unlock()
 	s.cur.Store(next)
 	s.reloads.Add(1)
 	s.mu.Lock()
 	s.cache.purge()
 	s.mu.Unlock()
+	warmed := s.warmCache(next, hot)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "reloaded",
 		"version":  next.version,
+		"warmed":   warmed,
 		"instance": inst.Stats(),
 	})
 }
 
+// maxWarmReplay bounds how many cached queries a reload re-executes:
+// replaying an entire large cache serially would hold up the /reload
+// response (and reloadMu) for minutes, so only the hottest entries are
+// paid for up front — the rest refill organically.
+const maxWarmReplay = 256
+
+// warmCache replays the pre-reload hot query set against the freshly
+// swapped-in instance so the first clients after a reload keep hitting
+// the cache. At most maxWarmReplay most-recently-used entries are
+// replayed, oldest-first so the new cache ends up with the same recency
+// order the old one had; queries whose seeker vanished from the new
+// instance are skipped. Returns how many entries were warmed (also
+// accumulated in the cache.warmed counter).
+func (s *Server) warmCache(state *instanceState, hot []searchRequest) int {
+	if len(hot) > maxWarmReplay {
+		hot = hot[:maxWarmReplay]
+	}
+	warmed := 0
+	for i := len(hot) - 1; i >= 0; i-- {
+		sr := hot[i]
+		if !state.inst.HasUser(sr.Seeker) {
+			continue
+		}
+		resp, herr := s.runSearch(context.Background(), state, &sr)
+		if herr != nil || !resp.Exact {
+			continue
+		}
+		s.mu.Lock()
+		s.cache.put(sr.cacheKey(state.version), sr, resp)
+		s.mu.Unlock()
+		warmed++
+	}
+	s.warmed.Add(uint64(warmed))
+	return warmed
+}
+
 // Instance returns the currently served instance (tests and diagnostics).
-func (s *Server) Instance() *s3.Instance { return s.cur.Load().inst }
+func (s *Server) Instance() s3.Queryable { return s.cur.Load().inst }
 
 // Version returns the current instance generation.
 func (s *Server) Version() uint64 { return s.cur.Load().version }

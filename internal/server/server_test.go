@@ -347,13 +347,13 @@ func TestConcurrentSearchesAreCorrect(t *testing.T) {
 	}
 }
 
-func TestReloadSwapsInstanceAndPurgesCache(t *testing.T) {
+func TestReloadSwapsInstanceAndWarmsCache(t *testing.T) {
 	small := testInstance(t, 40, 150, 3)
 	big := testInstance(t, 60, 240, 4)
 	loads, fail := 0, false
 	s := newTestServer(t, Config{
 		Instance: small,
-		Loader: func() (*s3.Instance, error) {
+		Loader: func() (s3.Queryable, error) {
 			if fail {
 				return nil, fmt.Errorf("boom")
 			}
@@ -381,11 +381,32 @@ func TestReloadSwapsInstanceAndPurgesCache(t *testing.T) {
 	if got := s.Instance().Stats(); got != big.Stats() {
 		t.Error("reload did not swap the instance")
 	}
+
+	// The hot query set was replayed against the new instance: the old
+	// version's entries are gone, but the same request is warm again (the
+	// seeker exists in both instances) and must hit the cache without a
+	// fresh engine search under the new version.
+	var reloaded struct {
+		Warmed int `json:"warmed"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reloaded); err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Warmed != 1 {
+		t.Errorf("reload warmed %d entries, want 1", reloaded.Warmed)
+	}
+	if s.warmed.Load() != 1 {
+		t.Errorf("warmed counter = %d, want 1", s.warmed.Load())
+	}
 	s.mu.Lock()
 	cached := s.cache.len()
 	s.mu.Unlock()
-	if cached != 0 {
-		t.Errorf("cache holds %d entries after reload, want 0", cached)
+	if cached != 1 {
+		t.Errorf("cache holds %d entries after warmed reload, want 1", cached)
+	}
+	if _, resp := postSearch(t, h, body); !resp.Cached || resp.Version != 2 {
+		t.Errorf("post-reload repeat was not served from the warmed cache (cached=%v version=%d)",
+			resp.Cached, resp.Version)
 	}
 
 	// A failed reload keeps the current instance serving.

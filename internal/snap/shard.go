@@ -1,0 +1,437 @@
+// Shard-set persistence: a component-partitioned instance stored as one
+// shared manifest plus one small snapshot per shard.
+//
+// The manifest carries the substrate every shard needs verbatim — the
+// dictionary, node tables, network adjacency, normalised transition
+// matrix, entity lists and the saturated ontology (all the sections of a
+// plain snapshot except the connection index) — plus a layout table
+// describing the shard files. The substrate must be shared because the
+// §3.4 all-paths social proximity is defined over the whole network
+// graph: per-shard proximity over a trimmed graph would change scores.
+// What scales with content and partitions cleanly by the §5.2 component
+// grain is the connection index, so each shard file carries exactly its
+// components' index slice.
+//
+// Every shard file embeds the manifest's set id (a digest of the
+// substrate payloads) and its ordinal, and the manifest records each
+// shard file's digest, so a mixed-up, stale or corrupted set is rejected
+// on read instead of silently serving wrong answers.
+//
+//	manifest:  "S3SHMF" + version + sections {dict, meta, nodes, graph,
+//	           matrix, entities, ontology, layout}
+//	shard i:   "S3SHRD" + version + sections {shard header, index slice}
+package snap
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"s3/internal/graph"
+	"s3/internal/index"
+)
+
+// ManifestMagic starts a shard-set manifest file.
+const ManifestMagic = "S3SHMF"
+
+// ShardMagic starts a per-shard snapshot file.
+const ShardMagic = "S3SHRD"
+
+// ShardSetVersion is the current shard-set format version (manifest and
+// shard files move in lockstep).
+const ShardSetVersion = 1
+
+// manifestSections lists the ids a manifest reader requires.
+var manifestSections = []byte{secDict, secMeta, secNodes, secGraph, secMatrix, secEntities, secOntology, secLayout}
+
+// ShardDesc describes one shard file from the manifest's point of view.
+type ShardDesc struct {
+	// Name is the shard file's name, relative to the manifest (no
+	// directory components).
+	Name string
+	// Comps is the sorted set of component ids the shard owns.
+	Comps []int32
+	// Docs and Events record the shard's document count and index event
+	// count, cross-checked against the shard payload on read.
+	Docs   int
+	Events int
+	// Sum is the FNV-64a digest of the shard file's bytes.
+	Sum uint64
+}
+
+// Layout is the manifest's shard table.
+type Layout struct {
+	// SetID is the FNV-64a digest of the substrate section payloads; every
+	// shard file of the set embeds it.
+	SetID  uint64
+	Shards []ShardDesc
+}
+
+// ShardSet is a fully loaded and validated shard set: the base instance
+// plus, per shard, its component projection and index slice.
+type ShardSet struct {
+	Base    *graph.Instance
+	Layout  *Layout
+	Shards  []*graph.Instance
+	Indexes []*index.Index
+}
+
+// WriteShardSet partitions the instance's connection index by the given
+// component groups and writes the manifest plus one file per shard.
+// names[i] is recorded in the layout as the file name of shard i (it must
+// be a bare file name; readers resolve it relative to the manifest).
+// The groups must cover every component exactly once.
+func WriteShardSet(manifest io.Writer, shards []io.Writer, names []string, in *graph.Instance, ix *index.Index, parts [][]int32) error {
+	if len(shards) != len(parts) || len(names) != len(parts) {
+		return fmt.Errorf("snap: %d shard writers / %d names for %d component groups", len(shards), len(names), len(parts))
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("snap: shard set needs at least one shard")
+	}
+	owner := make([]int, in.NumComponents())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for s, comps := range parts {
+		for _, c := range comps {
+			if c < 0 || int(c) >= len(owner) {
+				return fmt.Errorf("snap: component %d outside instance of %d components", c, len(owner))
+			}
+			if owner[c] != -1 {
+				return fmt.Errorf("snap: component %d assigned to shards %d and %d", c, owner[c], s)
+			}
+			owner[c] = s
+		}
+	}
+	for c, s := range owner {
+		if s == -1 {
+			return fmt.Errorf("snap: component %d assigned to no shard", c)
+		}
+	}
+
+	subs := instanceSections(in.Raw())
+	setID := fnv.New64a()
+	for _, s := range subs {
+		setID.Write(s.buf.Bytes())
+	}
+
+	layout := Layout{SetID: setID.Sum64()}
+	raw := ix.Raw()
+	for s, comps := range parts {
+		if err := validateShardName(names[s]); err != nil {
+			return err
+		}
+		desc := ShardDesc{Name: names[s], Comps: append([]int32(nil), comps...)}
+		ownedComp := make(map[int32]struct{}, len(comps))
+		for _, c := range comps {
+			ownedComp[c] = struct{}{}
+		}
+		for _, r := range in.DocRoots() {
+			if _, ok := ownedComp[in.CompOf(r)]; ok {
+				desc.Docs++
+			}
+		}
+		var postings []index.RawPosting
+		for _, p := range raw {
+			var evs []index.Event
+			for _, ev := range p.Events {
+				if _, ok := ownedComp[in.CompOf(ev.Frag)]; ok {
+					evs = append(evs, ev)
+				}
+			}
+			if len(evs) > 0 {
+				postings = append(postings, index.RawPosting{Kw: p.Kw, Events: evs})
+				desc.Events += len(evs)
+			}
+		}
+
+		var hdr encoder
+		hdr.uint(layout.SetID)
+		hdr.int(s)
+		hdr.int(len(parts))
+		hdr.int(len(desc.Comps))
+		for _, c := range desc.Comps {
+			e := uint64(c)
+			hdr.uint(e)
+		}
+		hdr.int(desc.Docs)
+		hdr.int(desc.Events)
+
+		var file bytes.Buffer
+		err := writeSections(&file, ShardMagic, ShardSetVersion, []section{
+			{secShardHeader, &hdr.Buffer},
+			{secIndex, encodeIndex(postings)},
+		})
+		if err != nil {
+			return err
+		}
+		sum := fnv.New64a()
+		sum.Write(file.Bytes())
+		desc.Sum = sum.Sum64()
+		if _, err := shards[s].Write(file.Bytes()); err != nil {
+			return fmt.Errorf("snap: writing shard %d: %w", s, err)
+		}
+		layout.Shards = append(layout.Shards, desc)
+	}
+
+	var lay encoder
+	lay.uint(layout.SetID)
+	lay.int(len(layout.Shards))
+	for _, d := range layout.Shards {
+		lay.str(d.Name)
+		lay.int(len(d.Comps))
+		for _, c := range d.Comps {
+			lay.uint(uint64(c))
+		}
+		lay.int(d.Docs)
+		lay.int(d.Events)
+		lay.uint(d.Sum)
+	}
+	return writeSections(manifest, ManifestMagic, ShardSetVersion, append(subs, section{secLayout, &lay.Buffer}))
+}
+
+// WriteShardSetFiles persists a shard set to disk: the manifest at
+// manifestPath plus one "<manifest base name>.shard-<i>" file per
+// component group next to it (the names readers resolve relative to the
+// manifest). Close errors are surfaced — a shard set is only reported
+// written once every file has been flushed. Returns the shard file
+// paths.
+func WriteShardSetFiles(manifestPath string, in *graph.Instance, ix *index.Index, parts [][]int32) ([]string, error) {
+	dir, base := filepath.Dir(manifestPath), filepath.Base(manifestPath)
+	names := make([]string, len(parts))
+	paths := make([]string, len(parts))
+	writers := make([]io.Writer, len(parts))
+	var files []*os.File
+	closeAll := func() error {
+		var first error
+		for _, f := range files {
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("snap: closing %s: %w", f.Name(), err)
+			}
+		}
+		files = nil
+		return first
+	}
+	for s := range parts {
+		names[s] = fmt.Sprintf("%s.shard-%d", base, s)
+		paths[s] = filepath.Join(dir, names[s])
+		f, err := os.Create(paths[s])
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		files = append(files, f)
+		writers[s] = f
+	}
+	mf, err := os.Create(manifestPath)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	files = append(files, mf)
+	if err := WriteShardSet(mf, writers, names, in, ix, parts); err != nil {
+		closeAll()
+		return nil, err
+	}
+	if err := closeAll(); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+// validateShardName rejects names a reader could be tricked into
+// resolving outside the manifest's directory.
+func validateShardName(name string) error {
+	if name == "" || name == "." || name == ".." {
+		return fmt.Errorf("snap: invalid shard file name %q", name)
+	}
+	for _, r := range name {
+		if r == '/' || r == '\\' {
+			return fmt.Errorf("snap: shard file name %q contains a path separator", name)
+		}
+	}
+	return nil
+}
+
+// ReadManifest parses a shard-set manifest: the shared base instance and
+// the shard layout.
+func ReadManifest(r io.Reader) (*graph.Instance, *Layout, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: reading manifest: %w", err)
+	}
+	payloads, err := readSections(data, ManifestMagic, ShardSetVersion, "shard-set manifest")
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, id := range manifestSections {
+		if _, ok := payloads[id]; !ok {
+			return nil, nil, fmt.Errorf("snap: manifest missing required section %d", id)
+		}
+	}
+	in, err := decodeInstance(payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	d := &decoder{data: payloads[secLayout]}
+	layout := &Layout{SetID: d.uint()}
+	n := d.count(2)
+	seen := make(map[int32]int)
+	for s := 0; s < n && d.err == nil; s++ {
+		desc := ShardDesc{Name: d.str()}
+		nc := d.count(1)
+		for i := 0; i < nc && d.err == nil; i++ {
+			c := d.uint()
+			if c > uint64(math.MaxInt32) {
+				d.fail("component id %d overflows", c)
+				break
+			}
+			desc.Comps = append(desc.Comps, int32(c))
+		}
+		desc.Docs = int(d.uint())
+		desc.Events = int(d.uint())
+		desc.Sum = d.uint()
+		layout.Shards = append(layout.Shards, desc)
+		if d.err == nil {
+			if err := validateShardName(desc.Name); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, c := range desc.Comps {
+			if c < 0 || int(c) >= in.NumComponents() {
+				return nil, nil, fmt.Errorf("snap: manifest assigns unknown component %d to shard %d", c, s)
+			}
+			if prev, dup := seen[c]; dup {
+				return nil, nil, fmt.Errorf("snap: manifest assigns component %d to shards %d and %d", c, prev, s)
+			}
+			seen[c] = s
+		}
+	}
+	if d.err != nil {
+		return nil, nil, fmt.Errorf("snap: layout section: %w", d.err)
+	}
+	if len(layout.Shards) == 0 {
+		return nil, nil, fmt.Errorf("snap: manifest describes no shards")
+	}
+	if len(seen) != in.NumComponents() {
+		return nil, nil, fmt.Errorf("snap: manifest covers %d of %d components", len(seen), in.NumComponents())
+	}
+	return in, layout, nil
+}
+
+// ReadShard parses and validates shard i of a set against its manifest:
+// digest, set id, ordinal, component assignment and counts must all line
+// up. It returns the shard's component projection of the base instance
+// and its index slice.
+func ReadShard(r io.Reader, base *graph.Instance, layout *Layout, i int) (*graph.Instance, *index.Index, error) {
+	if i < 0 || i >= len(layout.Shards) {
+		return nil, nil, fmt.Errorf("snap: shard %d outside layout of %d shards", i, len(layout.Shards))
+	}
+	desc := layout.Shards[i]
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: reading shard %d: %w", i, err)
+	}
+	sum := fnv.New64a()
+	sum.Write(data)
+	if sum.Sum64() != desc.Sum {
+		return nil, nil, fmt.Errorf("snap: shard %d (%s) digest mismatch: file does not match manifest", i, desc.Name)
+	}
+	payloads, err := readSections(data, ShardMagic, ShardSetVersion, "shard snapshot")
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, id := range []byte{secShardHeader, secIndex} {
+		if _, ok := payloads[id]; !ok {
+			return nil, nil, fmt.Errorf("snap: shard %d missing required section %d", i, id)
+		}
+	}
+
+	d := &decoder{data: payloads[secShardHeader]}
+	setID := d.uint()
+	ordinal := int(d.uint())
+	count := int(d.uint())
+	nc := d.count(1)
+	comps := make([]int32, 0, nc)
+	for j := 0; j < nc && d.err == nil; j++ {
+		comps = append(comps, int32(d.uint()))
+	}
+	docs := int(d.uint())
+	events := int(d.uint())
+	if d.err != nil {
+		return nil, nil, fmt.Errorf("snap: shard %d header: %w", i, d.err)
+	}
+	if setID != layout.SetID {
+		return nil, nil, fmt.Errorf("snap: shard %d belongs to set %016x, manifest is %016x", i, setID, layout.SetID)
+	}
+	if ordinal != i || count != len(layout.Shards) {
+		return nil, nil, fmt.Errorf("snap: file is shard %d of %d, expected shard %d of %d", ordinal, count, i, len(layout.Shards))
+	}
+	if len(comps) != len(desc.Comps) {
+		return nil, nil, fmt.Errorf("snap: shard %d owns %d components, manifest says %d", i, len(comps), len(desc.Comps))
+	}
+	for j, c := range comps {
+		if c != desc.Comps[j] {
+			return nil, nil, fmt.Errorf("snap: shard %d component list diverges from manifest at %d", i, j)
+		}
+	}
+
+	proj, err := base.ProjectComponents(comps)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: shard %d: %w", i, err)
+	}
+	if got := len(proj.DocRoots()); got != docs || docs != desc.Docs {
+		return nil, nil, fmt.Errorf("snap: shard %d has %d documents, header says %d, manifest %d", i, got, docs, desc.Docs)
+	}
+	postings, err := decodeIndex(payloads[secIndex])
+	if err != nil {
+		return nil, nil, err
+	}
+	got := 0
+	for _, p := range postings {
+		for _, ev := range p.Events {
+			if ev.Frag < 0 || int(ev.Frag) >= base.NumNodes() {
+				return nil, nil, fmt.Errorf("snap: shard %d event fragment %d outside instance", i, ev.Frag)
+			}
+			if !proj.OwnsComponent(base.CompOf(ev.Frag)) {
+				return nil, nil, fmt.Errorf("snap: shard %d carries an event of foreign component %d", i, base.CompOf(ev.Frag))
+			}
+			got++
+		}
+	}
+	if got != events || events != desc.Events {
+		return nil, nil, fmt.Errorf("snap: shard %d has %d events, header says %d, manifest %d", i, got, events, desc.Events)
+	}
+	ix, err := index.FromRaw(proj, postings)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: shard %d: %w", i, err)
+	}
+	return proj, ix, nil
+}
+
+// ReadShardSet loads a complete shard set: the manifest and every shard
+// file, in layout order, fully validated.
+func ReadShardSet(manifest io.Reader, shards []io.Reader) (*ShardSet, error) {
+	base, layout, err := ReadManifest(manifest)
+	if err != nil {
+		return nil, err
+	}
+	if len(shards) != len(layout.Shards) {
+		return nil, fmt.Errorf("snap: %d shard readers for a %d-shard set", len(shards), len(layout.Shards))
+	}
+	set := &ShardSet{Base: base, Layout: layout}
+	for i, r := range shards {
+		proj, ix, err := ReadShard(r, base, layout, i)
+		if err != nil {
+			return nil, err
+		}
+		set.Shards = append(set.Shards, proj)
+		set.Indexes = append(set.Indexes, ix)
+	}
+	return set, nil
+}

@@ -58,19 +58,26 @@ const (
 	secEntities byte = 6
 	secOntology byte = 7
 	secIndex    byte = 8
+	// Shard-set sections (see shard.go): the layout table of a shard-set
+	// manifest and the linking header of a per-shard file.
+	secLayout      byte = 9
+	secShardHeader byte = 10
 )
 
 // requiredSections lists the ids a version-1 reader refuses to run
 // without.
 var requiredSections = []byte{secDict, secMeta, secNodes, secGraph, secMatrix, secEntities, secOntology, secIndex}
 
-// Write serialises the instance and its connection index.
-func Write(w io.Writer, in *graph.Instance, ix *index.Index) error {
-	raw := in.Raw()
-	sections := []struct {
-		id  byte
-		buf *bytes.Buffer
-	}{
+// section is one encoded payload with its table id.
+type section struct {
+	id  byte
+	buf *bytes.Buffer
+}
+
+// instanceSections encodes the substrate of an instance — every section
+// except the connection index — in canonical order.
+func instanceSections(raw *graph.Raw) []section {
+	return []section{
 		{secDict, encodeDict(raw)},
 		{secMeta, encodeMeta(raw)},
 		{secNodes, encodeNodes(raw)},
@@ -78,13 +85,16 @@ func Write(w io.Writer, in *graph.Instance, ix *index.Index) error {
 		{secMatrix, encodeMatrix(raw)},
 		{secEntities, encodeEntities(raw)},
 		{secOntology, encodeOntology(raw)},
-		{secIndex, encodeIndex(ix.Raw())},
 	}
+}
 
+// writeSections emits a snapshot-family file: magic, version, section
+// table, payloads.
+func writeSections(w io.Writer, magic string, version uint16, sections []section) error {
 	var head bytes.Buffer
-	head.WriteString(Magic)
+	head.WriteString(magic)
 	var v [2]byte
-	binary.LittleEndian.PutUint16(v[:], Version)
+	binary.LittleEndian.PutUint16(v[:], version)
 	head.Write(v[:])
 	head.Write(binary.AppendUvarint(nil, uint64(len(sections))))
 	for _, s := range sections {
@@ -102,21 +112,24 @@ func Write(w io.Writer, in *graph.Instance, ix *index.Index) error {
 	return nil
 }
 
-// Read deserialises a snapshot written by Write and reconstructs the
-// frozen instance and its index.
-func Read(r io.Reader) (*graph.Instance, *index.Index, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, nil, fmt.Errorf("snap: reading snapshot: %w", err)
+// Write serialises the instance and its connection index.
+func Write(w io.Writer, in *graph.Instance, ix *index.Index) error {
+	sections := append(instanceSections(in.Raw()), section{secIndex, encodeIndex(ix.Raw())})
+	return writeSections(w, Magic, Version, sections)
+}
+
+// readSections parses a snapshot-family file: it verifies magic and
+// version, walks the section table and returns the per-section payloads.
+// what names the file kind in error messages.
+func readSections(data []byte, magic string, version uint16, what string) (map[byte][]byte, error) {
+	if len(data) < len(magic)+2 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("snap: not a %s (bad magic)", what)
 	}
-	if len(data) < len(Magic)+2 || string(data[:len(Magic)]) != Magic {
-		return nil, nil, fmt.Errorf("snap: not a snapshot (bad magic)")
+	ver := binary.LittleEndian.Uint16(data[len(magic):])
+	if ver != version {
+		return nil, fmt.Errorf("snap: unsupported %s format version %d (want %d)", what, ver, version)
 	}
-	ver := binary.LittleEndian.Uint16(data[len(Magic):])
-	if ver != Version {
-		return nil, nil, fmt.Errorf("snap: unsupported format version %d (want %d)", ver, Version)
-	}
-	d := &decoder{data: data, pos: len(Magic) + 2}
+	d := &decoder{data: data, pos: len(magic) + 2}
 	nSec := int(d.uint())
 	type entry struct {
 		id  byte
@@ -128,53 +141,76 @@ func Read(r io.Reader) (*graph.Instance, *index.Index, error) {
 		table = append(table, entry{id: id, len: d.uint()})
 	}
 	if d.err != nil {
-		return nil, nil, fmt.Errorf("snap: corrupt section table: %w", d.err)
+		return nil, fmt.Errorf("snap: corrupt section table: %w", d.err)
 	}
 	payloads := make(map[byte][]byte, nSec)
 	off := d.pos
 	for _, e := range table {
 		end := off + int(e.len)
 		if end < off || end > len(data) {
-			return nil, nil, fmt.Errorf("snap: section %d overruns snapshot (%d bytes past %d)", e.id, end, len(data))
+			return nil, fmt.Errorf("snap: section %d overruns %s (%d bytes past %d)", e.id, what, end, len(data))
 		}
 		if _, dup := payloads[e.id]; dup {
-			return nil, nil, fmt.Errorf("snap: duplicate section %d", e.id)
+			return nil, fmt.Errorf("snap: duplicate section %d", e.id)
 		}
 		payloads[e.id] = data[off:end]
 		off = end
+	}
+	return payloads, nil
+}
+
+// decodeInstance rebuilds the frozen instance from the substrate section
+// payloads (everything but the connection index).
+func decodeInstance(payloads map[byte][]byte) (*graph.Instance, error) {
+	raw := &graph.Raw{}
+	if err := decodeDict(payloads[secDict], raw); err != nil {
+		return nil, err
+	}
+	numNodes, err := decodeMeta(payloads[secMeta], raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeNodes(payloads[secNodes], numNodes, raw); err != nil {
+		return nil, err
+	}
+	if err := decodeGraph(payloads[secGraph], numNodes, raw); err != nil {
+		return nil, err
+	}
+	if err := decodeMatrix(payloads[secMatrix], numNodes, raw); err != nil {
+		return nil, err
+	}
+	if err := decodeEntities(payloads[secEntities], raw); err != nil {
+		return nil, err
+	}
+	if err := decodeOntology(payloads[secOntology], raw); err != nil {
+		return nil, err
+	}
+	in, err := graph.FromRaw(raw)
+	if err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	return in, nil
+}
+
+// Read deserialises a snapshot written by Write and reconstructs the
+// frozen instance and its index.
+func Read(r io.Reader) (*graph.Instance, *index.Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: reading snapshot: %w", err)
+	}
+	payloads, err := readSections(data, Magic, Version, "snapshot")
+	if err != nil {
+		return nil, nil, err
 	}
 	for _, id := range requiredSections {
 		if _, ok := payloads[id]; !ok {
 			return nil, nil, fmt.Errorf("snap: missing required section %d", id)
 		}
 	}
-
-	raw := &graph.Raw{}
-	if err := decodeDict(payloads[secDict], raw); err != nil {
-		return nil, nil, err
-	}
-	numNodes, err := decodeMeta(payloads[secMeta], raw)
+	in, err := decodeInstance(payloads)
 	if err != nil {
 		return nil, nil, err
-	}
-	if err := decodeNodes(payloads[secNodes], numNodes, raw); err != nil {
-		return nil, nil, err
-	}
-	if err := decodeGraph(payloads[secGraph], numNodes, raw); err != nil {
-		return nil, nil, err
-	}
-	if err := decodeMatrix(payloads[secMatrix], numNodes, raw); err != nil {
-		return nil, nil, err
-	}
-	if err := decodeEntities(payloads[secEntities], raw); err != nil {
-		return nil, nil, err
-	}
-	if err := decodeOntology(payloads[secOntology], raw); err != nil {
-		return nil, nil, err
-	}
-	in, err := graph.FromRaw(raw)
-	if err != nil {
-		return nil, nil, fmt.Errorf("snap: %w", err)
 	}
 	postings, err := decodeIndex(payloads[secIndex])
 	if err != nil {

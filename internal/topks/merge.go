@@ -1,0 +1,82 @@
+package topks
+
+import "container/heap"
+
+// MergeTopK combines per-shard top-k lists into the global top-k. Each
+// input list must already be sorted best-first under less (a strict
+// total order, e.g. score-interval upper bound descending with ties
+// broken by item id); the output is the k best elements of the union in
+// that same order.
+//
+// The merge is the fan-in half of partition-and-merge retrieval: when
+// every shard contributes its own k best answers, the k best answers of
+// the union are guaranteed to be among the k·N merged inputs, so the
+// merged top-k provably equals the top-k a single engine would compute
+// over the unpartitioned collection (given the same per-item scores and
+// the same tie-breaking order).
+func MergeTopK[T any](k int, lists [][]T, less func(a, b T) bool) []T {
+	if k <= 0 {
+		return nil
+	}
+	h := &mergeHeap[T]{less: less}
+	for _, l := range lists {
+		if len(l) > 0 {
+			h.entries = append(h.entries, mergeCursor[T]{list: l})
+		}
+	}
+	heap.Init(h)
+	var out []T
+	for h.Len() > 0 && len(out) < k {
+		c := &h.entries[0]
+		out = append(out, c.list[c.pos])
+		c.pos++
+		if c.pos == len(c.list) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+// mergeCursor walks one sorted input list.
+type mergeCursor[T any] struct {
+	list []T
+	pos  int
+}
+
+type mergeHeap[T any] struct {
+	entries []mergeCursor[T]
+	less    func(a, b T) bool
+}
+
+func (h *mergeHeap[T]) Len() int { return len(h.entries) }
+func (h *mergeHeap[T]) Less(i, j int) bool {
+	return h.less(h.entries[i].list[h.entries[i].pos], h.entries[j].list[h.entries[j].pos])
+}
+func (h *mergeHeap[T]) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mergeHeap[T]) Push(x any)    { h.entries = append(h.entries, x.(mergeCursor[T])) }
+func (h *mergeHeap[T]) Pop() any {
+	old := h.entries
+	n := len(old)
+	x := old[n-1]
+	h.entries = old[:n-1]
+	return x
+}
+
+// ResultBefore is the canonical merge order for Result lists: score
+// interval upper bound descending, ties by item id ascending — the same
+// order collect uses, so merged sharded answers line up with unsharded
+// ones.
+func ResultBefore(a, b Result) bool {
+	if a.Upper != b.Upper {
+		return a.Upper > b.Upper
+	}
+	return a.Item < b.Item
+}
+
+// MergeResults merges per-shard TopkS answers into the global top-k by
+// score interval.
+func MergeResults(k int, lists [][]Result) []Result {
+	return MergeTopK(k, lists, ResultBefore)
+}

@@ -45,6 +45,7 @@ package s3
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"s3/internal/core"
@@ -231,13 +232,17 @@ func newInstance(in *graph.Instance) *Instance {
 // Stats summarises an instance (Figure 4 of the paper).
 type Stats = graph.Stats
 
-// Instance is a frozen, queryable S3 instance. It is immutable and safe
-// for concurrent searches.
+// Instance is a frozen, queryable S3 instance. It is immutable (a search
+// counter aside) and safe for concurrent searches.
 type Instance struct {
 	in   *graph.Instance
 	ix   *index.Index
 	eng  *core.Engine
 	rdfv rdfView
+
+	// searches counts SearchInfoed calls over the instance's lifetime
+	// (surfaced per shard by Shards).
+	searches atomic.Uint64
 }
 
 // Stats returns instance statistics.
@@ -328,41 +333,55 @@ func (i *Instance) SearchInfoed(seekerURI string, keywords []string, opts ...Opt
 	if !ok {
 		return nil, SearchInfo{}, fmt.Errorf("s3: unknown seeker %q", seekerURI)
 	}
+	i.searches.Add(1)
 	rs, stats, err := i.eng.Search(seeker, keywords, cfg.opts)
 	if err != nil {
 		return nil, SearchInfo{}, err
 	}
+	return mapResults(i.in, rs), mapSearchInfo(stats), nil
+}
+
+// mapResults converts engine results to the public form, resolving each
+// fragment's containing document.
+func mapResults(in *graph.Instance, rs []core.Result) []Result {
 	out := make([]Result, 0, len(rs))
 	for _, r := range rs {
 		docURI := r.URI
-		if root := i.in.DocRootOf(r.Doc); root != graph.NoNID {
-			docURI = i.in.URIOf(root)
+		if root := in.DocRootOf(r.Doc); root != graph.NoNID {
+			docURI = in.URIOf(root)
 		}
 		out = append(out, Result{URI: r.URI, Document: docURI, Lower: r.Lower, Upper: r.Upper})
 	}
-	info := SearchInfo{
+	return out
+}
+
+func mapSearchInfo(stats core.Stats) SearchInfo {
+	return SearchInfo{
 		Exact:      stats.Reason == core.StopThreshold || stats.Reason == core.StopExhausted || stats.Reason == core.StopNoMatch,
 		Iterations: stats.Iterations,
 		Elapsed:    stats.Elapsed,
 	}
-	return out, info, nil
 }
 
 // Extension returns the semantic extension of a keyword in this instance's
 // ontology: the keyword's stemmed form plus every sub-class, sub-property
 // and instance of it (Definition 2.1 of the paper).
 func (i *Instance) Extension(keyword string) []string {
-	ks := i.in.Analyzer().Keywords(keyword)
+	return extension(i.in, keyword)
+}
+
+func extension(in *graph.Instance, keyword string) []string {
+	ks := in.Analyzer().Keywords(keyword)
 	if len(ks) == 0 {
 		return nil
 	}
-	id, ok := i.in.Dict().Lookup(ks[0])
+	id, ok := in.Dict().Lookup(ks[0])
 	if !ok {
 		return []string{ks[0]}
 	}
 	var out []string
-	for _, e := range i.in.Ontology().Ext(id) {
-		out = append(out, i.in.Dict().String(e))
+	for _, e := range in.Ontology().Ext(id) {
+		out = append(out, in.Dict().String(e))
 	}
 	return out
 }
