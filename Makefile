@@ -1,0 +1,24 @@
+# Developer entry points. The repository is plain `go build ./...` /
+# `go test ./...`; the targets here only add the benchmark-to-JSON
+# pipeline used to track performance across PRs.
+
+# BENCHTIME=1x turns the bench target into the CI smoke run (compile and
+# execute every benchmark once, no timing fidelity).
+BENCHTIME ?= 200ms
+BENCH_OUT ?= BENCH_3.json
+
+.PHONY: build test race bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench runs the engine + serving benchmark suite and writes the results
+# (name, ns/op, allocs/op per benchmark) to $(BENCH_OUT) as JSON.
+bench:
+	go run ./cmd/benchjson -out $(BENCH_OUT) -benchtime $(BENCHTIME) ./...

@@ -1,0 +1,112 @@
+// Command benchjson runs the repository's benchmarks and writes the
+// results as machine-readable JSON, so the performance trajectory can be
+// tracked across PRs (BENCH_<n>.json files at the repo root) and checked
+// by CI without scraping test output.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_3.json -benchtime 200ms ./...
+//
+// It shells out to `go test -run ^$ -bench <pattern> -benchmem`, echoes
+// the raw output, and parses the standard benchmark result lines into
+// entries of the form {pkg, name, iterations, ns_per_op, bytes_per_op,
+// allocs_per_op}.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches `BenchmarkName-8  123  4567 ns/op  89 B/op  2 allocs/op`
+// (the -benchmem columns are optional: a benchmark may not report allocs).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		out       = flag.String("out", "BENCH.json", "output file for the parsed results")
+		benchtime = flag.String("benchtime", "200ms", "go test -benchtime value (e.g. 1x for a smoke run)")
+		pattern   = flag.String("bench", ".", "go test -bench pattern")
+	)
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	args := append([]string{"test", "-run", "^$", "-bench", *pattern, "-benchmem", "-benchtime", *benchtime}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = io.MultiWriter(os.Stdout, &buf)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		log.Fatalf("go %s: %v", strings.Join(args, " "), err)
+	}
+
+	results := parse(&buf)
+	if len(results) == 0 {
+		log.Fatal("no benchmark results parsed")
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d results to %s", len(results), *out)
+}
+
+func parse(r io.Reader) []result {
+	var (
+		results []result
+		pkg     string
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := result{Pkg: pkg, Name: m[1]}
+		res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	return results
+}

@@ -50,6 +50,7 @@ func main() {
 		lang      = flag.String("lang", "raw", "text pipeline for -spec builds: english | french | raw")
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
+		proxMB    = flag.Int("proxcache-mb", int(server.DefaultProxCacheBytes>>20), "seeker-proximity checkpoint cache budget in MiB (<= 0 disables)")
 		workers   = flag.Int("workers", 0, "max concurrently executing searches (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -68,11 +69,16 @@ func main() {
 		inst.Stats().Users, inst.Stats().Documents, inst.Stats().Components)
 	logShardLayout(inst)
 
+	proxBytes := int64(*proxMB) << 20
+	if *proxMB <= 0 {
+		proxBytes = -1
+	}
 	srv, err := server.New(server.Config{
-		Instance:  inst,
-		Loader:    loader,
-		CacheSize: *cacheSize,
-		Workers:   *workers,
+		Instance:       inst,
+		Loader:         loader,
+		CacheSize:      *cacheSize,
+		ProxCacheBytes: proxBytes,
+		Workers:        *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

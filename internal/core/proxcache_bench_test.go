@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"s3/internal/datagen"
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/proxcache"
+	"s3/internal/score"
+	"s3/internal/text"
+)
+
+// repeatedSeekerInstance builds the seeker-skewed benchmark workload: a
+// large social graph (border propagation dominates the per-query cost)
+// with a mid-frequency keyword (a real but not enormous candidate set).
+func repeatedSeekerInstance(b *testing.B) (*Engine, graph.NID, []string) {
+	b.Helper()
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets, o.Seed = 1500, 3000, 42
+	spec, _ := datagen.Twitter(o)
+	in, err := graph.BuildSpec(spec, text.Analyzer{Lang: text.None})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := index.Build(in)
+	kws := in.SortedKeywordsByFrequency()
+	if len(kws) == 0 {
+		b.Fatal("no keywords")
+	}
+	kw := in.Dict().String(kws[len(kws)/2])
+	return NewEngine(in, ix), in.Users()[0], []string{kw}
+}
+
+// BenchmarkRepeatedSeeker measures the proximity checkpoint cache on its
+// target workload — the same seeker querying repeatedly. cold runs every
+// search uncached; warm runs every search against a cache holding the
+// seeker's full exploration frontier, so the border propagation is
+// replayed instead of recomputed.
+func BenchmarkRepeatedSeeker(b *testing.B) {
+	eng, seeker, kws := repeatedSeekerInstance(b)
+	opts := Options{K: 10, Params: score.DefaultParams()}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Search(seeker, kws, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		pc := proxcache.New(256 << 20)
+		warm := opts
+		warm.ProxCache = pc
+		// Populate the checkpoint once, then measure checkpoint-hit
+		// searches only.
+		if _, _, err := eng.Search(seeker, kws, warm); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Search(seeker, kws, warm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -40,6 +40,7 @@ import (
 	"s3/internal/dict"
 	"s3/internal/graph"
 	"s3/internal/index"
+	"s3/internal/proxcache"
 	"s3/internal/score"
 )
 
@@ -62,6 +63,14 @@ type Options struct {
 	// Epsilon is the finite-precision tie-breaking margin of Theorem 4.2.
 	// 0 defaults to 1e-12.
 	Epsilon float64
+	// ProxCache, when non-nil, caches seeker-proximity checkpoints across
+	// searches: exploration resumes from the deepest cached frontier for
+	// (seeker, Params) and the final frontier is published back after the
+	// stop condition fires. Cached replay performs the identical
+	// floating-point operations of a cold exploration, so answers —
+	// documents, order and score intervals — are byte-identical with and
+	// without the cache.
+	ProxCache *proxcache.Cache
 }
 
 // DefaultOptions returns a top-10 search with default damping.
@@ -215,6 +224,7 @@ func (e *Engine) Search(seeker graph.NID, keywords []string, opts Options) ([]Re
 		return nil, stats, nil
 	}
 
+	it, ckey, resumedN := openIterator(e.in, seeker, opts)
 	st := &searchState{
 		shardState: shardState{
 			e:        e,
@@ -225,16 +235,84 @@ func (e *Engine) Search(seeker graph.NID, keywords []string, opts Options) ([]Re
 			matched:  matched,
 			admitted: make(map[int32]struct{}),
 		},
-		it: score.NewIterator(e.in, opts.Params, seeker),
+		it: it,
 	}
 
 	reason := st.run(start, &stats)
+	if opts.ProxCache != nil && it.RecordedDepth() > resumedN {
+		// Publish only explorations that deepened the cached frontier: a
+		// warm search that stopped within the resumed depth would copy the
+		// layers just to lose the deepen-only race against itself.
+		opts.ProxCache.Put(ckey, it.Checkpoint())
+	}
 	stats.Reason = reason
 	stats.Iterations = st.it.N()
 	stats.Candidates = len(st.cands)
 	stats.Elapsed = time.Since(start)
 
 	return st.results(), stats, nil
+}
+
+// openIterator builds the search's proximity iterator: resumed from the
+// deepest cached checkpoint when the options carry a cache (recording
+// either way, so the search can publish its final frontier back), plain
+// otherwise. Resuming is transparent to the search loop — replayed Steps
+// yield bit-identical state and discovery order, they just skip the
+// matrix propagation. The returned depth is what the cache already
+// covers (0 on a cold start); publication is worthwhile only beyond it.
+func openIterator(in *graph.Instance, seeker graph.NID, opts Options) (*score.Iterator, proxcache.Key, int) {
+	if opts.ProxCache == nil {
+		return score.NewIterator(in, opts.Params, seeker), proxcache.Key{}, 0
+	}
+	ckey := proxcache.Key{Seeker: seeker, Params: opts.Params}
+	if cp := opts.ProxCache.Get(ckey, in); cp != nil {
+		if it, err := score.ResumeIterator(in, cp); err == nil {
+			return it, ckey, cp.N()
+		}
+	}
+	return score.NewRecordingIterator(in, opts.Params, seeker), ckey, 0
+}
+
+// WarmProximity pre-explores a seeker's social neighbourhood to the given
+// depth (bounded by graph exhaustion and the precision floor) and
+// publishes the frontier into the cache, deepening any existing
+// checkpoint. The next search for (seeker, params) replays the recorded
+// layers instead of propagating the matrix. It returns the depth now
+// covered by the cache for the key (0 when warming is not possible) and
+// whether this call actually deepened it — a no-op on an already-covered
+// key reports seeded == false.
+func (e *Engine) WarmProximity(pc *proxcache.Cache, seeker graph.NID, params score.Params, maxDepth int) (depth int, seeded bool) {
+	if pc == nil || maxDepth <= 0 {
+		return 0, false
+	}
+	if int(seeker) < 0 || int(seeker) >= e.in.NumNodes() || e.in.KindOf(seeker) != graph.KindUser {
+		return 0, false
+	}
+	if err := params.Validate(); err != nil {
+		return 0, false
+	}
+	key := proxcache.Key{Seeker: seeker, Params: params}
+	var it *score.Iterator
+	covered := 0
+	if cp := pc.Get(key, e.in); cp != nil {
+		if cp.N() >= maxDepth {
+			return cp.N(), false
+		}
+		covered = cp.N()
+		it, _ = score.ResumeIterator(e.in, cp)
+	}
+	if it == nil {
+		it = score.NewRecordingIterator(e.in, params, seeker)
+	}
+	for !it.Done() && it.N() < maxDepth && it.TailBound() >= 1e-15 {
+		it.Step()
+	}
+	if it.RecordedDepth() <= covered {
+		// The graph was exhausted within the covered depth: nothing new.
+		return covered, false
+	}
+	pc.Put(key, it.Checkpoint())
+	return it.N(), true
 }
 
 // shardState carries the per-shard portion of a search's mutable state:
@@ -259,6 +337,11 @@ type shardState struct {
 	pending   []int32
 	kept      []*cand
 	uncertain *cand
+
+	// order is greedySelect's persistent sort scratch: cands is append-only,
+	// so the copy is refreshed only on rounds that admitted new candidates
+	// and merely re-sorted (by the freshly computed bounds) otherwise.
+	order []*cand
 }
 
 // searchState carries the mutable state of one single-engine search.
@@ -375,7 +458,7 @@ func (st *shardState) admitComponent(comp int32) {
 					src = d
 				}
 				c.terms[gi] = append(c.terms[gi], term{
-					eta: math.Pow(st.opts.Params.Eta, float64(rel)),
+					eta: st.sc.EtaPow(int(rel)),
 					src: src,
 				})
 			}
@@ -448,8 +531,13 @@ func candBefore(a, b *cand) bool {
 // selection so far is valid but must not be extended, and the search must
 // continue.
 func (st *shardState) greedySelect() ([]*cand, *cand) {
-	order := make([]*cand, len(st.cands))
-	copy(order, st.cands)
+	if len(st.order) != len(st.cands) {
+		st.order = append(st.order[:0], st.cands...)
+	}
+	order := st.order
+	// The comparator is a total order (ties broken by unique node id), so
+	// re-sorting the previous round's permutation under the new bounds
+	// yields the same slice a fresh copy would.
 	sort.Slice(order, func(i, j int) bool { return candBefore(order[i], order[j]) })
 	var sel []*cand
 	for _, c := range order {

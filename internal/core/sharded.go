@@ -35,6 +35,7 @@ import (
 
 	"s3/internal/dict"
 	"s3/internal/graph"
+	"s3/internal/proxcache"
 	"s3/internal/score"
 	"s3/internal/topks"
 )
@@ -116,6 +117,15 @@ func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
 // ShardTouches the single source of truth.
 func (se *ShardedEngine) CountTouch(i int) { se.touched[i].Add(1) }
 
+// WarmProximity pre-explores a seeker's neighbourhood into the cache over
+// the shard set's shared substrate; see Engine.WarmProximity. Warming goes
+// through shard 0's engine because sharded searches run their iterator
+// over shard 0's projection — the cached checkpoints must be bound to the
+// same instance pointer the searches will resume them on.
+func (se *ShardedEngine) WarmProximity(pc *proxcache.Cache, seeker graph.NID, params score.Params, maxDepth int) (depth int, seeded bool) {
+	return se.shards[0].WarmProximity(pc, seeker, params, maxDepth)
+}
+
 // ShardTouches returns, per shard, how many searches fanned out to it
 // (had at least one matching component there) over the engine's lifetime.
 func (se *ShardedEngine) ShardTouches() []uint64 {
@@ -189,9 +199,17 @@ func (se *ShardedEngine) Search(seeker graph.NID, keywords []string, opts Option
 	}
 
 	threshold := se.thresholdFunc(groups)
-	it := score.NewIterator(in, opts.Params, seeker)
+	// The iterator runs over shard 0's projection; projections share the
+	// substrate (node numbering and matrix), so its checkpoints serve every
+	// fan-out of this shard set. Cache wiring matches the single engine:
+	// resume from the deepest cached frontier, publish the final one back
+	// when the search deepened it.
+	it, ckey, resumedN := openIterator(in, seeker, opts)
 
 	finish := func(sel []*cand, reason StopReason) ([]Result, Stats, error) {
+		if opts.ProxCache != nil && it.RecordedDepth() > resumedN {
+			opts.ProxCache.Put(ckey, it.Checkpoint())
+		}
 		stats.Reason = reason
 		stats.Iterations = it.N()
 		for _, ss := range sts {

@@ -1,0 +1,205 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"s3/internal/graph"
+)
+
+// iterState is a bit-exact snapshot of an iterator's observable state.
+type iterState struct {
+	n      int
+	active []int32
+	all    []uint64
+	border []uint64
+	disc   []graph.NID
+}
+
+func captureState(it *Iterator, disc []graph.NID) iterState {
+	s := iterState{
+		n:      it.N(),
+		active: append([]int32(nil), it.Border()...),
+		disc:   append([]graph.NID(nil), disc...),
+	}
+	for _, v := range it.AllProx() {
+		s.all = append(s.all, math.Float64bits(v))
+	}
+	for _, v := range it.BorderProx() {
+		s.border = append(s.border, math.Float64bits(v))
+	}
+	return s
+}
+
+func statesEqual(a, b iterState) bool {
+	if a.n != b.n || len(a.active) != len(b.active) || len(a.disc) != len(b.disc) {
+		return false
+	}
+	for i := range a.active {
+		if a.active[i] != b.active[i] {
+			return false
+		}
+	}
+	for i := range a.disc {
+		if a.disc[i] != b.disc[i] {
+			return false
+		}
+	}
+	for i := range a.all {
+		if a.all[i] != b.all[i] {
+			return false
+		}
+	}
+	for i := range a.border {
+		if a.border[i] != b.border[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestResumeStateIdentical is the checkpoint property test: for every
+// recorded depth m, ResumeIterator(Checkpoint at m) stepped d times must
+// be state-identical — all, border, active (order included), n and the
+// discovered list, bit for bit — to a fresh iterator stepped d times, for
+// every d, including depths beyond m (replay hand-off to real
+// propagation).
+func TestResumeStateIdentical(t *testing.T) {
+	const maxDepth = 18
+	for _, seed := range []int64{3, 17} {
+		in, _ := buildRandom(t, seed)
+		users := in.Users()
+		if len(users) > 3 {
+			users = users[:3]
+		}
+		for _, params := range []Params{DefaultParams(), {Gamma: 2, Eta: 0.5}} {
+			for _, u := range users {
+				// Reference trajectory from a fresh recording iterator,
+				// checkpointing at every depth along the way.
+				ref := NewRecordingIterator(in, params, u)
+				snaps := []iterState{captureState(ref, nil)}
+				cps := []*ProxCheckpoint{ref.Checkpoint()}
+				for !ref.Done() && ref.N() < maxDepth {
+					disc := ref.Step()
+					snaps = append(snaps, captureState(ref, disc))
+					cps = append(cps, ref.Checkpoint())
+				}
+				total := ref.N()
+
+				// A plain iterator must walk the same trajectory (recording
+				// must not perturb the numbers).
+				plain := NewIterator(in, params, u)
+				for d := 1; d <= total; d++ {
+					disc := plain.Step()
+					if !statesEqual(captureState(plain, disc), snaps[d]) {
+						t.Fatalf("seed=%d u=%d d=%d: plain iterator diverges from recording one", seed, u, d)
+					}
+				}
+
+				for m, cp := range cps {
+					if cp.N() != m {
+						t.Fatalf("checkpoint at depth %d reports N=%d", m, cp.N())
+					}
+					if cp.Seeker() != u || cp.Params() != params {
+						t.Fatalf("checkpoint identity mangled: %v %v", cp.Seeker(), cp.Params())
+					}
+					it, err := ResumeIterator(in, cp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !statesEqual(captureState(it, nil), snaps[0]) {
+						t.Fatalf("seed=%d u=%d m=%d: resumed initial state differs", seed, u, m)
+					}
+					for d := 1; d <= total; d++ {
+						disc := it.Step()
+						if !statesEqual(captureState(it, disc), snaps[d]) {
+							t.Fatalf("seed=%d u=%d m=%d d=%d: resumed state differs (replay boundary at %d)",
+								seed, u, m, d, m)
+						}
+					}
+					if it.Done() != ref.Done() {
+						t.Fatalf("seed=%d u=%d m=%d: Done mismatch", seed, u, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointMisuse covers the guard rails: non-recording iterators
+// yield no checkpoint, resumption is bound to the instance, and the
+// deepen-only Supersedes relation behaves.
+func TestCheckpointMisuse(t *testing.T) {
+	in, _ := buildRandom(t, 7)
+	in2, _ := buildRandom(t, 7)
+	u := in.Users()[0]
+	params := DefaultParams()
+
+	if cp := NewIterator(in, params, u).Checkpoint(); cp != nil {
+		t.Fatal("non-recording iterator produced a checkpoint")
+	}
+	if _, err := ResumeIterator(in, nil); err == nil {
+		t.Fatal("nil checkpoint resumed")
+	}
+
+	it := NewRecordingIterator(in, params, u)
+	it.Step()
+	shallow := it.Checkpoint()
+	it.Step()
+	deep := it.Checkpoint()
+	if _, err := ResumeIterator(in2, deep); err == nil {
+		t.Fatal("checkpoint resumed on a different instance")
+	}
+	if !deep.Supersedes(shallow) || shallow.Supersedes(deep) {
+		t.Fatal("Supersedes is not deepen-only")
+	}
+	if shallow.Supersedes(shallow) {
+		t.Fatal("checkpoint supersedes itself")
+	}
+	if !deep.Supersedes(nil) {
+		t.Fatal("checkpoint must supersede nil")
+	}
+	// A stale-instance entry is always superseded, even by a shallower one.
+	it2 := NewRecordingIterator(in2, params, in2.Users()[0])
+	it2.Step()
+	other := it2.Checkpoint()
+	if !shallow.Supersedes(other) {
+		t.Fatal("cross-instance checkpoint not superseded")
+	}
+	if deep.Bytes() <= shallow.Bytes() {
+		t.Fatalf("deeper checkpoint not bigger: %d vs %d", deep.Bytes(), shallow.Bytes())
+	}
+}
+
+// TestCheckpointImmutableUnderExtension: extending a resumed iterator past
+// its inherited depth must not disturb the checkpoint another resume reads.
+func TestCheckpointImmutableUnderExtension(t *testing.T) {
+	in, _ := buildRandom(t, 11)
+	u := in.Users()[0]
+	params := DefaultParams()
+
+	base := NewRecordingIterator(in, params, u)
+	base.Step()
+	cp := base.Checkpoint()
+
+	a, err := ResumeIterator(in, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 5 && !a.Done(); d++ {
+		a.Step() // replays 1 layer, then extends past the checkpoint
+	}
+	if cp.N() != 1 {
+		t.Fatalf("checkpoint depth changed to %d", cp.N())
+	}
+	b, err := ResumeIterator(in, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Step()
+	want := NewIterator(in, params, u)
+	want.Step()
+	if !statesEqual(captureState(b, nil), captureState(want, nil)) {
+		t.Fatal("checkpoint state disturbed by an extended sibling iterator")
+	}
+}

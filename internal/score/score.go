@@ -74,6 +74,7 @@ func (p Params) TailBound(n int) float64 { return math.Pow(p.Gamma, -float64(n+1
 type Iterator struct {
 	in     *graph.Instance
 	params Params
+	seeker graph.NID
 
 	// border[v] = Σ_{p ∈ u⇝v, |p|=n} prox→(p) / γⁿ  (borderProx of §5.2).
 	border  []float64
@@ -84,6 +85,31 @@ type Iterator struct {
 	// all[v] = prox≤n(u, v).
 	all []float64
 	n   int
+
+	// disc is the scratch buffer behind Step's return value (borrow
+	// semantics, like AllProx).
+	disc []graph.NID
+
+	// Checkpoint support. When rec is true every step records the border it
+	// produced (node list in propagation order plus values) into layers;
+	// layers[d-1] is the border at depth d. A resumed iterator starts with
+	// the layers of its checkpoint already filled in and replays them —
+	// identical floating-point operations in identical order, without the
+	// matrix propagation — before falling back to real propagation past the
+	// recorded depth. n ≤ len(layers) always; n < len(layers) only while a
+	// resumed iterator still has recorded depths ahead of it.
+	rec    bool
+	layers []proxLayer
+}
+
+// proxLayer is one recorded exploration border: the nodes reached by paths
+// of length exactly d, in the order the propagation emitted them (the
+// order fixes the floating-point summation sequence, which is what makes
+// replay bit-identical), with their borderProx values. Layers are
+// immutable once recorded and may be shared between checkpoints.
+type proxLayer struct {
+	nodes []int32
+	vals  []float64
 }
 
 // NewIterator starts an exploration at the seeker. The initial state is
@@ -94,6 +120,7 @@ func NewIterator(in *graph.Instance, params Params, seeker graph.NID) *Iterator 
 	it := &Iterator{
 		in:      in,
 		params:  params,
+		seeker:  seeker,
 		border:  make([]float64, nn),
 		next:    make([]float64, nn),
 		scratch: make([]bool, nn),
@@ -105,6 +132,21 @@ func NewIterator(in *graph.Instance, params Params, seeker graph.NID) *Iterator 
 	return it
 }
 
+// NewRecordingIterator is NewIterator with checkpoint recording enabled:
+// every Step keeps its border layer so the exploration can later be
+// published as a ProxCheckpoint and resumed by another search.
+func NewRecordingIterator(in *graph.Instance, params Params, seeker graph.NID) *Iterator {
+	it := NewIterator(in, params, seeker)
+	it.rec = true
+	return it
+}
+
+// Seeker returns the node the exploration started from.
+func (it *Iterator) Seeker() graph.NID { return it.seeker }
+
+// Params returns the damping factors the exploration uses.
+func (it *Iterator) Params() Params { return it.params }
+
 // N returns the current exploration depth n.
 func (it *Iterator) N() int { return it.n }
 
@@ -115,6 +157,15 @@ func (it *Iterator) AllProx() []float64 { return it.all }
 // Border returns the indices of the current exploration border (nodes
 // reached by at least one path of length exactly n).
 func (it *Iterator) Border() []int32 { return it.active }
+
+// BorderProx returns the dense borderProx vector, non-zero exactly on
+// Border(). The slice is owned by the iterator and changes on every Step.
+func (it *Iterator) BorderProx() []float64 { return it.border }
+
+// RecordedDepth returns the depth a recording iterator has layers for:
+// max(N(), inherited checkpoint depth). Callers use it to publish only
+// explorations that actually deepened what the cache already held.
+func (it *Iterator) RecordedDepth() int { return len(it.layers) }
 
 // Done reports whether the border is empty — the entire reachable graph
 // has been accounted for and prox≤n is exact.
@@ -146,22 +197,33 @@ func (it *Iterator) SourceTailBound() float64 {
 // Step advances the exploration to depth n+1 and folds the new border into
 // prox≤n (feasibility property 1: prox≤n = prox≤n−1 + Uprox). It returns
 // the nodes whose proximity became non-zero for the first time — exactly
-// the nodes "discovered" at this depth.
+// the nodes "discovered" at this depth. Like AllProx, the returned slice
+// is owned by the iterator and is only valid until the next Step.
 func (it *Iterator) Step() []graph.NID {
 	if it.Done() {
 		return nil
+	}
+	if it.rec && it.n < len(it.layers) {
+		return it.replayStep()
 	}
 	m := it.in.Matrix()
 	nz := m.PropagateT(it.border, it.active, it.next, it.scratch)
 	invGamma := 1 / it.params.Gamma
 	cg := it.params.CGamma()
 
-	var discovered []graph.NID
-	for _, c := range nz {
+	var rl proxLayer
+	if it.rec {
+		rl = proxLayer{nodes: make([]int32, len(nz)), vals: make([]float64, len(nz))}
+	}
+	disc := it.disc[:0]
+	for i, c := range nz {
 		v := it.next[c] * invGamma
 		it.next[c] = v
+		if it.rec {
+			rl.nodes[i], rl.vals[i] = c, v
+		}
 		if it.all[c] == 0 && v > 0 {
-			discovered = append(discovered, graph.NID(c))
+			disc = append(disc, graph.NID(c))
 		}
 		it.all[c] += cg * v
 	}
@@ -169,7 +231,36 @@ func (it *Iterator) Step() []graph.NID {
 	it.border, it.next = it.next, it.border
 	it.active = append(it.active[:0], nz...)
 	it.n++
-	return discovered
+	if it.rec {
+		it.layers = append(it.layers, rl)
+	}
+	it.disc = disc
+	return disc
+}
+
+// replayStep advances a resumed iterator through one recorded layer: the
+// same per-node operations as a real Step, in the same order, minus the
+// matrix propagation. The resulting (all, border, active, n) state — and
+// the discovered list — are bit-identical to a fresh iterator stepped to
+// the same depth.
+func (it *Iterator) replayStep() []graph.NID {
+	l := it.layers[it.n]
+	cg := it.params.CGamma()
+	disc := it.disc[:0]
+	for i, c := range l.nodes {
+		v := l.vals[i]
+		it.next[c] = v
+		if it.all[c] == 0 && v > 0 {
+			disc = append(disc, graph.NID(c))
+		}
+		it.all[c] += cg * v
+	}
+	sparse.ZeroVec(it.border, it.active)
+	it.border, it.next = it.next, it.border
+	it.active = append(it.active[:0], l.nodes...)
+	it.n++
+	it.disc = disc
+	return disc
 }
 
 // ExactProximity iterates until the tail bound falls below eps (or the
@@ -197,6 +288,13 @@ type Scorer struct {
 	groups [][]dict.ID
 
 	cache map[compGroup][]index.Event
+
+	// etaPow memoises η^rel by relative fragment depth: the per-term hot
+	// paths (Bounds, candidate admission) look fragment-depth powers up
+	// here instead of calling math.Pow per term. Entries are computed with
+	// math.Pow once, so the cached values are bit-identical to direct
+	// calls.
+	etaPow []float64
 }
 
 type compGroup struct {
@@ -219,7 +317,17 @@ func NewScorer(in *graph.Instance, ix *index.Index, params Params, groups [][]di
 		params: params,
 		groups: groups,
 		cache:  make(map[compGroup][]index.Event),
+		etaPow: []float64{1},
 	}, nil
+}
+
+// EtaPow returns η^rel for a relative fragment depth, growing the memo
+// table on demand. Like the event cache it is for single-goroutine use.
+func (s *Scorer) EtaPow(rel int) float64 {
+	for len(s.etaPow) <= rel {
+		s.etaPow = append(s.etaPow, math.Pow(s.params.Eta, float64(len(s.etaPow))))
+	}
+	return s.etaPow[rel]
 }
 
 // Groups returns the keyword groups of the query.
@@ -267,7 +375,7 @@ func (s *Scorer) Bounds(d graph.NID, allProx []float64, tail float64) (lo, hi fl
 			if !ok {
 				continue
 			}
-			eta := math.Pow(s.params.Eta, float64(rel))
+			eta := s.EtaPow(int(rel))
 			src := ev.Src
 			if ev.Type == index.Contains {
 				src = d

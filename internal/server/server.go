@@ -46,6 +46,12 @@ type Config struct {
 	// CacheSize is the result-cache capacity in entries; 0 picks the
 	// default (1024), negative disables caching.
 	CacheSize int
+	// ProxCacheBytes budgets the seeker-proximity checkpoint cache that
+	// serves the warm path under the result cache: a result-cache miss
+	// whose seeker has a cached exploration frontier resumes it instead of
+	// re-propagating the social graph. 0 picks the default (64 MiB),
+	// negative disables it.
+	ProxCacheBytes int64
 	// Workers bounds concurrently executing searches; 0 picks
 	// GOMAXPROCS.
 	Workers int
@@ -53,6 +59,10 @@ type Config struct {
 
 // DefaultCacheSize is the result-cache capacity when Config leaves it 0.
 const DefaultCacheSize = 1024
+
+// DefaultProxCacheBytes is the proximity-cache budget when Config leaves
+// it 0.
+const DefaultProxCacheBytes int64 = 64 << 20
 
 // instanceState is the unit of atomic hot-swap: an instance (single or
 // sharded) plus its load generation.
@@ -79,6 +89,11 @@ type Server struct {
 	mu       sync.Mutex
 	cache    *lruCache
 	inflight map[string]*call
+
+	// prox is the seeker-proximity checkpoint cache, attached to every
+	// served instance generation and purged across reloads. nil when
+	// disabled.
+	prox *s3.ProxCache
 
 	// reloadMu serialises reloads so two concurrent POST /reload cannot
 	// install different instances under the same version number.
@@ -107,12 +122,20 @@ func New(cfg Config) (*Server, error) {
 	if cacheSize < 0 {
 		cacheSize = 0
 	}
+	proxBytes := cfg.ProxCacheBytes
+	if proxBytes == 0 {
+		proxBytes = DefaultProxCacheBytes
+	}
 	s := &Server{
 		cfg:      cfg,
 		sem:      make(chan struct{}, workers),
 		start:    time.Now(),
 		cache:    newLRUCache(cacheSize),
 		inflight: make(map[string]*call),
+	}
+	if proxBytes > 0 {
+		s.prox = s3.NewProxCache(proxBytes)
+		cfg.Instance.SetProxCache(s.prox)
 	}
 	s.cur.Store(&instanceState{inst: cfg.Instance, version: 1, loadedAt: time.Now()})
 	return s, nil
@@ -388,6 +411,22 @@ type statsResponse struct {
 	ShardCount int              `json:"shard_count"`
 	Shards     []shardStatsJSON `json:"shards"`
 	Cache      cacheStats       `json:"cache"`
+	ProxCache  proxCacheStats   `json:"prox_cache"`
+}
+
+// proxCacheStats is the /stats view of the seeker-proximity checkpoint
+// cache (the warm path under the result cache).
+type proxCacheStats struct {
+	Enabled   bool   `json:"enabled"`
+	MaxBytes  int64  `json:"max_bytes"`
+	Bytes     int64  `json:"bytes"`
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Stores    uint64 `json:"stores"`
+	Rejected  uint64 `json:"rejected"`
+	Warmed    uint64 `json:"warmed"`
 }
 
 // shardStatsJSON is one shard's row in /stats: its content counts and how
@@ -432,6 +471,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Searches:   sh.Searches,
 		}
 	}
+	var ps proxCacheStats
+	if s.prox != nil {
+		st := s.prox.Stats()
+		ps = proxCacheStats{
+			Enabled:   true,
+			MaxBytes:  st.MaxBytes,
+			Bytes:     st.Bytes,
+			Entries:   st.Entries,
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Evictions: st.Evictions,
+			Stores:    st.Stores,
+			Rejected:  st.Rejected,
+			Warmed:    st.Warmed,
+		}
+	}
 	writeJSON(w, http.StatusOK, &statsResponse{
 		Instance:   state.inst.Stats(),
 		Version:    state.version,
@@ -443,6 +498,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ShardCount: len(shards),
 		Shards:     rows,
 		Cache:      cs,
+		ProxCache:  ps,
 	})
 }
 
@@ -473,17 +529,25 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	hot := s.cache.requests()
 	s.mu.Unlock()
+	if s.prox != nil {
+		// Proximity checkpoints are bound to the outgoing instance; drop
+		// them and attach the cache to the incoming one before it serves.
+		s.prox.Purge()
+		inst.SetProxCache(s.prox)
+	}
 	s.cur.Store(next)
 	s.reloads.Add(1)
 	s.mu.Lock()
 	s.cache.purge()
 	s.mu.Unlock()
 	warmed := s.warmCache(next, hot)
+	proxWarmed := s.warmProximity(next, hot)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "reloaded",
-		"version":  next.version,
-		"warmed":   warmed,
-		"instance": inst.Stats(),
+		"status":      "reloaded",
+		"version":     next.version,
+		"warmed":      warmed,
+		"prox_warmed": proxWarmed,
+		"instance":    inst.Stats(),
 	})
 }
 
@@ -520,6 +584,48 @@ func (s *Server) warmCache(state *instanceState, hot []searchRequest) int {
 		warmed++
 	}
 	s.warmed.Add(uint64(warmed))
+	return warmed
+}
+
+// warmProxDepth is how deep a post-reload proximity seed explores: deep
+// enough to cover the expensive early frontier growth of a typical search,
+// shallow enough that warming many seekers stays cheap. Searches needing
+// more depth continue from the seeded frontier.
+const warmProxDepth = 8
+
+// maxWarmSeekers bounds how many distinct seekers a reload pre-explores.
+const maxWarmSeekers = 128
+
+// warmProximity re-seeds the proximity cache after a reload for the
+// hottest seekers (in result-cache recency order): queries the bounded
+// result-cache replay re-executed have already re-published their
+// frontiers, and this covers the remaining (seeker, γ, η) combinations —
+// including the tail the replay cap skipped — so a result-cache miss
+// right after a reload still starts from a warm frontier. Returns how
+// many seeds were performed.
+func (s *Server) warmProximity(state *instanceState, hot []searchRequest) int {
+	if s.prox == nil {
+		return 0
+	}
+	type proxTriple struct {
+		seeker     string
+		gamma, eta float64
+	}
+	seen := make(map[proxTriple]struct{})
+	warmed := 0
+	for _, sr := range hot {
+		if len(seen) >= maxWarmSeekers {
+			break
+		}
+		t := proxTriple{seeker: sr.Seeker, gamma: sr.Gamma, eta: sr.Eta}
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		if _, seeded := state.inst.WarmProximity(sr.Seeker, sr.Gamma, sr.Eta, warmProxDepth); seeded {
+			warmed++
+		}
+	}
 	return warmed
 }
 

@@ -243,6 +243,10 @@ type Instance struct {
 	// searches counts SearchInfoed calls over the instance's lifetime
 	// (surfaced per shard by Shards).
 	searches atomic.Uint64
+
+	// prox is the optional seeker-proximity checkpoint cache (atomic so it
+	// can be attached or swapped while searches are in flight).
+	prox atomic.Pointer[ProxCache]
 }
 
 // Stats returns instance statistics.
@@ -332,6 +336,9 @@ func (i *Instance) SearchInfoed(seekerURI string, keywords []string, opts ...Opt
 	seeker, ok := i.in.NIDOf(seekerURI)
 	if !ok {
 		return nil, SearchInfo{}, fmt.Errorf("s3: unknown seeker %q", seekerURI)
+	}
+	if pc := i.prox.Load(); pc != nil {
+		cfg.opts.ProxCache = pc.c
 	}
 	i.searches.Add(1)
 	rs, stats, err := i.eng.Search(seeker, keywords, cfg.opts)

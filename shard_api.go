@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"s3/internal/core"
 	"s3/internal/graph"
@@ -30,6 +31,13 @@ type Queryable interface {
 	// Shards describes the shard layout: one entry per shard with its
 	// content counts and lifetime search count.
 	Shards() []ShardStat
+	// SetProxCache attaches a seeker-proximity checkpoint cache consulted
+	// and fed by subsequent searches (nil detaches).
+	SetProxCache(*ProxCache)
+	// WarmProximity pre-explores a seeker to maxDepth under (gamma, eta)
+	// and seeds the attached proximity cache, returning the covered depth
+	// and whether this call actually performed a seed.
+	WarmProximity(seekerURI string, gamma, eta float64, maxDepth int) (int, bool)
 }
 
 var (
@@ -76,6 +84,10 @@ type ShardedInstance struct {
 	// engine, making an N=1 shard set behaviorally identical to serving
 	// the equivalent single snapshot.
 	single *core.Engine
+
+	// prox is the optional seeker-proximity checkpoint cache shared by the
+	// fan-out searches.
+	prox atomic.Pointer[ProxCache]
 }
 
 // ShardBy partitions the instance into n component shards in memory
@@ -175,6 +187,9 @@ func (si *ShardedInstance) SearchInfoed(seekerURI string, keywords []string, opt
 	seeker, ok := si.base.NIDOf(seekerURI)
 	if !ok {
 		return nil, SearchInfo{}, fmt.Errorf("s3: unknown seeker %q", seekerURI)
+	}
+	if pc := si.prox.Load(); pc != nil {
+		cfg.opts.ProxCache = pc.c
 	}
 	var (
 		rs    []core.Result
