@@ -56,7 +56,7 @@ func TestWriteShardSetFiles(t *testing.T) {
 	if err := writeShardSet(in, manifest, 3); err != nil {
 		t.Fatal(err)
 	}
-	si, err := s3.OpenShardSet(manifest)
+	si, err := s3.OpenShardSet(manifest, s3.LoadCopy)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,15 @@
 //	s3gen -dataset twitter -shards 4 -snap i1.set
 //	s3serve -shardset i1.set -addr :8080
 //
+// With -mmap the snapshot (or shard set) is memory-mapped and served
+// through zero-copy views: cold start and /reload cost page faults plus
+// checksum validation instead of a full decode, and replicas of one
+// snapshot on a host share physical pages. The old mapping is unmapped
+// only after the last in-flight search on it finishes, so snapshots are
+// replaced by writing a temp file and renaming it over the served path:
+//
+//	s3serve -mmap -snapshot i1.snap -addr :8080
+//
 // Endpoints: POST /search, GET /extension, GET /stats, GET /healthz,
 // POST /reload. See internal/server for the request and response bodies.
 package main
@@ -48,6 +57,7 @@ func main() {
 		setPath   = flag.String("shardset", "", "serve a sharded instance from this shard-set manifest (s3gen -shards)")
 		specPath  = flag.String("spec", "", "rebuild the instance from this spec (gob) when -snapshot is not given")
 		lang      = flag.String("lang", "raw", "text pipeline for -spec builds: english | french | raw")
+		mmap      = flag.Bool("mmap", false, "memory-map -snapshot / -shardset files and serve zero-copy views (O(page-fault) cold start and reload; legacy v1 files fall back to copying)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
 		proxMB    = flag.Int("proxcache-mb", int(server.DefaultProxCacheBytes>>20), "seeker-proximity checkpoint cache budget in MiB (<= 0 disables)")
@@ -55,7 +65,11 @@ func main() {
 	)
 	flag.Parse()
 
-	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang)
+	mode := s3.LoadCopy
+	if *mmap {
+		mode = s3.LoadMmap
+	}
+	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang, mode)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,8 +78,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("instance ready in %v (%d users, %d documents, %d components)",
-		time.Since(start).Round(time.Millisecond),
+	loadMS := time.Since(start)
+	how := "copied"
+	if mb := inst.MappedBytes(); mb > 0 {
+		how = fmt.Sprintf("mapped %d bytes", mb)
+	}
+	log.Printf("instance ready in %v, %s (%d users, %d documents, %d components)",
+		loadMS.Round(time.Millisecond), how,
 		inst.Stats().Users, inst.Stats().Documents, inst.Stats().Components)
 	logShardLayout(inst)
 
@@ -79,6 +98,7 @@ func main() {
 		CacheSize:      *cacheSize,
 		ProxCacheBytes: proxBytes,
 		Workers:        *workers,
+		LoadMS:         loadMS.Milliseconds(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -122,7 +142,7 @@ func logShardLayout(inst s3.Queryable) {
 // makeLoader builds the instance-loading closure used both for the
 // initial load and for POST /reload. Snapshot and shard-set loading need
 // no language: both embed the text-pipeline configuration.
-func makeLoader(snapPath, setPath, specPath, lang string) (func() (s3.Queryable, error), error) {
+func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode) (func() (s3.Queryable, error), error) {
 	sources := 0
 	for _, p := range []string{snapPath, setPath, specPath} {
 		if p != "" {
@@ -135,16 +155,11 @@ func makeLoader(snapPath, setPath, specPath, lang string) (func() (s3.Queryable,
 	switch {
 	case snapPath != "":
 		return func() (s3.Queryable, error) {
-			f, err := os.Open(snapPath)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			return s3.ReadSnapshot(f)
+			return s3.OpenSnapshot(snapPath, mode)
 		}, nil
 	case setPath != "":
 		return func() (s3.Queryable, error) {
-			return s3.OpenShardSet(setPath)
+			return s3.OpenShardSet(setPath, mode)
 		}, nil
 	case specPath != "":
 		l, err := parseLang(lang)

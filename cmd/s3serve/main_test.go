@@ -52,7 +52,7 @@ func writeSnapshotFile(t *testing.T) (string, *s3.Instance) {
 func TestServeFromSnapshotEndToEnd(t *testing.T) {
 	path, built := writeSnapshotFile(t)
 
-	loader, err := makeLoader(path, "", "", "raw")
+	loader, err := makeLoader(path, "", "", "raw", s3.LoadCopy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,26 +154,26 @@ func TestServeFromSnapshotEndToEnd(t *testing.T) {
 }
 
 func TestMakeLoaderValidation(t *testing.T) {
-	if _, err := makeLoader("", "", "", "raw"); err == nil {
+	if _, err := makeLoader("", "", "", "raw", s3.LoadCopy); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, err := makeLoader("a.snap", "", "b.spec", "raw"); err == nil {
+	if _, err := makeLoader("a.snap", "", "b.spec", "raw", s3.LoadCopy); err == nil {
 		t.Error("snapshot+spec accepted")
 	}
-	if _, err := makeLoader("a.snap", "a.set", "", "raw"); err == nil {
+	if _, err := makeLoader("a.snap", "a.set", "", "raw", s3.LoadCopy); err == nil {
 		t.Error("snapshot+shardset accepted")
 	}
-	if _, err := makeLoader("", "", "b.spec", "klingon"); err == nil {
+	if _, err := makeLoader("", "", "b.spec", "klingon", s3.LoadCopy); err == nil {
 		t.Error("unknown language accepted")
 	}
-	loader, err := makeLoader(filepath.Join(t.TempDir(), "missing.snap"), "", "", "raw")
+	loader, err := makeLoader(filepath.Join(t.TempDir(), "missing.snap"), "", "", "raw", s3.LoadCopy)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := loader(); err == nil {
 		t.Error("missing snapshot file loaded")
 	}
-	loader, err = makeLoader("", filepath.Join(t.TempDir(), "missing.set"), "", "raw")
+	loader, err = makeLoader("", filepath.Join(t.TempDir(), "missing.set"), "", "raw", s3.LoadCopy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestServeFromShardSetEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loader, err := makeLoader("", manifest, "", "raw")
+	loader, err := makeLoader("", manifest, "", "raw", s3.LoadCopy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,5 +321,56 @@ func TestServeFromShardSetEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("POST /reload = %d", resp.StatusCode)
+	}
+}
+
+// TestMmapLoaderEndToEnd exercises the -mmap serving path: the loader
+// memory-maps the snapshot, reports its size, and answers searches
+// identically to the in-memory instance.
+func TestMmapLoaderEndToEnd(t *testing.T) {
+	path, built := writeSnapshotFile(t)
+	loader, err := makeLoader(path, "", "", "raw", s3.LoadMmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := loader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.MappedBytes() == 0 {
+		t.Fatal("mmap loader produced an unmapped instance")
+	}
+	seeker, kw := "", ""
+	for u := 0; u < 50 && seeker == ""; u++ {
+		s := fmt.Sprintf("tw:u%d", u)
+		if !built.HasUser(s) {
+			continue
+		}
+		for _, k := range []string{"#h1", "#h2", "#h3", "#h5", "#h8"} {
+			if rs, err := built.Search(s, []string{k}, s3.WithK(3)); err == nil && len(rs) > 0 {
+				seeker, kw = s, k
+				break
+			}
+		}
+	}
+	if seeker == "" {
+		t.Fatal("no usable query")
+	}
+	want, err := built.Search(seeker, []string{kw}, s3.WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Search(seeker, []string{kw}, s3.WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("mapped instance returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("result %d diverges: %+v vs %+v", i, want[i], got[i])
+		}
 	}
 }

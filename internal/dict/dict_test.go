@@ -2,6 +2,7 @@ package dict
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -115,5 +116,98 @@ func BenchmarkIntern(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Intern(keys[i%len(keys)])
+	}
+}
+
+// arenaOf flattens strings into the FromArena input form.
+func arenaOf(strs []string) (arena []byte, offs []int64, perm []int32) {
+	offs = make([]int64, 1, len(strs)+1)
+	for _, s := range strs {
+		arena = append(arena, s...)
+		offs = append(offs, int64(len(arena)))
+	}
+	perm = make([]int32, len(strs))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(i, j int) bool { return strs[perm[i]] < strs[perm[j]] })
+	return arena, offs, perm
+}
+
+func TestFromArenaLookups(t *testing.T) {
+	strs := []string{"urn:b", "urn:a", "", "kw:zeta", "kw:alpha"}
+	arena, offs, perm := arenaOf(strs)
+	d, err := FromArena(arena, offs, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != len(strs) {
+		t.Fatalf("Len() = %d, want %d", d.Len(), len(strs))
+	}
+	for i, s := range strs {
+		if got := d.String(ID(i)); got != s {
+			t.Errorf("String(%d) = %q, want %q", i, got, s)
+		}
+		id, ok := d.Lookup(s)
+		if !ok || id != ID(i) {
+			t.Errorf("Lookup(%q) = %d/%v, want %d", s, id, ok, i)
+		}
+		if !d.Has(s) {
+			t.Errorf("Has(%q) = false", s)
+		}
+	}
+	if _, ok := d.Lookup("urn:missing"); ok {
+		t.Error("Lookup found a string that was never interned")
+	}
+	got := d.Strings()
+	for i := range strs {
+		if got[i] != strs[i] {
+			t.Errorf("Strings()[%d] = %q, want %q", i, got[i], strs[i])
+		}
+	}
+}
+
+// TestFromArenaOverflowIntern checks the post-freeze overflow layer: new
+// strings intern into fresh ids, existing ones resolve to the base.
+func TestFromArenaOverflowIntern(t *testing.T) {
+	arena, offs, perm := arenaOf([]string{"a", "b"})
+	d, err := FromArena(arena, offs, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := d.Intern("a"); id != 0 {
+		t.Fatalf("Intern(existing) = %d, want 0", id)
+	}
+	id := d.Intern("c")
+	if id != 2 {
+		t.Fatalf("Intern(new) = %d, want 2", id)
+	}
+	if again := d.Intern("c"); again != id {
+		t.Fatalf("re-Intern = %d, want %d", again, id)
+	}
+	if got := d.String(id); got != "c" {
+		t.Fatalf("String(%d) = %q", id, got)
+	}
+	if got, ok := d.Lookup("c"); !ok || got != id {
+		t.Fatalf("Lookup(c) = %d/%v", got, ok)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", d.Len())
+	}
+}
+
+func TestFromArenaRejectsBadStructure(t *testing.T) {
+	arena, offs, perm := arenaOf([]string{"a", "b"})
+	if _, err := FromArena(arena, []int64{0, 1}, perm); err == nil {
+		t.Error("offsets not spanning the arena accepted")
+	}
+	if _, err := FromArena(arena, []int64{0, 2, 1, int64(len(arena))}, []int32{0, 1, 2}); err == nil {
+		t.Error("decreasing offsets accepted")
+	}
+	if _, err := FromArena(arena, offs, []int32{0}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := FromArena(arena, offs, []int32{0, 9}); err == nil {
+		t.Error("out-of-range permutation accepted")
 	}
 }

@@ -47,7 +47,7 @@ func (in *Instance) ExportRDF() *rdf.Graph {
 			if p := in.parent[v]; p != NoNID {
 				g.AddT(in.dictID[v], partOf, in.dictID[p], 1)
 			}
-			for _, kw := range in.keywords[v] {
+			for _, kw := range in.KeywordsOf(NID(v)) {
 				g.AddT(in.dictID[v], contains, kw, 1)
 			}
 			if in.nodeName[v] != dict.NoID {
@@ -79,7 +79,7 @@ func (in *Instance) ExportRDF() *rdf.Graph {
 	// Social edges carry their quantitative weight and therefore do not
 	// participate in entailment (weighted-graph semantics, §2.1).
 	for _, u := range in.users {
-		for _, e := range in.out[u] {
+		for _, e := range in.OutEdges(u) {
 			if in.kind[e.To] == KindUser {
 				g.AddT(in.dictID[u], e.Prop, in.dictID[e.To], e.W)
 			}

@@ -8,6 +8,8 @@ package graph
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"s3/internal/dict"
 	"s3/internal/rdf"
@@ -74,10 +76,13 @@ func (k NodeKind) String() string {
 }
 
 // Edge is one directed network edge with its raw (un-normalised) weight.
+// Field order is part of the v3 snapshot ABI: (To, Prop, W) packs into 16
+// bytes with no padding, so an aligned on-disk edge array can be
+// reinterpreted as []Edge without copying (internal/snap).
 type Edge struct {
 	To   NID
-	W    float64
 	Prop dict.ID
+	W    float64
 }
 
 // TagInfo describes a tag resource.
@@ -119,12 +124,24 @@ type Instance struct {
 	depth    []int32
 	docOf    []int32 // document index for doc nodes, -1 otherwise
 	children [][]NID
-	keywords [][]dict.ID // stemmed content keywords (doc nodes)
-	nodeName []dict.ID   // node name (doc nodes), dict.NoID otherwise
+	keywords [][]dict.ID       // stemmed content keywords (doc nodes)
+	kwLazy   *lazyCSR[dict.ID] // trusted imports: flat form, materialised on demand
+	nodeName []dict.ID         // node name (doc nodes), dict.NoID otherwise
 
-	nidOf map[dict.ID]NID
+	// URI → node resolution: frozen instances use the dense nidByID table
+	// (indexed by dict.ID, NoNID where the id names no node); the builder
+	// grows nidOf incrementally. Exactly one of the two is set.
+	nidOf   map[dict.ID]NID
+	nidByID []NID
 
-	out    [][]Edge // direct network out-edges
+	// Direct network out-edges. The builder and the classic import fill
+	// the per-node slices; trusted (mapped) imports keep the flat CSR
+	// form behind a shared lazy holder (a pointer, so projections — which
+	// copy the Instance struct — share the materialisation) — neither
+	// this nor keywords is on the search hot path.
+	out     [][]Edge
+	outLazy *lazyCSR[Edge]
+
 	totalW []float64
 	matrix *sparse.Matrix
 
@@ -134,13 +151,22 @@ type Instance struct {
 	users    []NID
 	docRoots []NID
 	tagList  []NID
+	// Tag descriptions: frozen instances keep tagInfos aligned with the
+	// (ascending) tagList and binary-search it; the builder fills the
+	// tagInfo map. Exactly one of the two is set.
 	tagInfo  map[NID]TagInfo
+	tagInfos []TagInfo
 	comments []CommentEdge
 	posts    []PostEdge
 
-	// kwFreq counts, per stemmed keyword, the number of document nodes
-	// containing it (document frequency at node grain).
-	kwFreq map[dict.ID]int
+	// Per-keyword document frequency (number of document nodes whose
+	// content contains the stemmed keyword). The builder fills the map;
+	// frozen instances keep the two sorted parallel slices and
+	// binary-search them, so loading builds no map at all. Exactly one
+	// representation is set.
+	kwFreq       map[dict.ID]int
+	kwFreqKeys   []dict.ID
+	kwFreqCounts []int32
 
 	stats Stats
 
@@ -167,6 +193,13 @@ func (in *Instance) NIDOf(uri string) (NID, bool) {
 	id, ok := in.dict.Lookup(uri)
 	if !ok {
 		return NoNID, false
+	}
+	if in.nidByID != nil {
+		if int(id) >= len(in.nidByID) {
+			return NoNID, false // interned after the freeze (e.g. RDF export)
+		}
+		n := in.nidByID[id]
+		return n, n != NoNID
 	}
 	n, ok := in.nidOf[id]
 	return n, ok
@@ -202,7 +235,16 @@ func (in *Instance) DocRootOf(n NID) NID {
 }
 
 // KeywordsOf returns the stemmed content keywords of a document node.
-func (in *Instance) KeywordsOf(n NID) []dict.ID { return in.keywords[n] }
+func (in *Instance) KeywordsOf(n NID) []dict.ID { return in.kwTable()[n] }
+
+// kwTable returns the per-node keyword lists, materialising the slice
+// headers from the flat CSR arrays on first use for trusted imports.
+func (in *Instance) kwTable() [][]dict.ID {
+	if in.keywords != nil {
+		return in.keywords
+	}
+	return in.kwLazy.table(len(in.dictID))
+}
 
 // NodeNameOf returns the node name of a document node.
 func (in *Instance) NodeNameOf(n NID) dict.ID { return in.nodeName[n] }
@@ -230,6 +272,13 @@ func (in *Instance) Tags() []NID {
 
 // TagInfoOf returns the description of a tag node.
 func (in *Instance) TagInfoOf(n NID) (TagInfo, bool) {
+	if in.tagInfos != nil {
+		i, ok := slices.BinarySearch(in.tagList, n)
+		if !ok {
+			return TagInfo{}, false
+		}
+		return in.tagInfos[i], true
+	}
 	ti, ok := in.tagInfo[n]
 	return ti, ok
 }
@@ -252,7 +301,40 @@ func (in *Instance) Posts() []PostEdge {
 
 // OutEdges returns the direct network out-edges of a node (without the
 // vertical-neighbourhood extension).
-func (in *Instance) OutEdges(n NID) []Edge { return in.out[n] }
+func (in *Instance) OutEdges(n NID) []Edge { return in.outTable()[n] }
+
+// outTable returns the per-node out-edge lists, materialising the slice
+// headers from the flat CSR arrays on first use for trusted imports.
+func (in *Instance) outTable() [][]Edge {
+	if in.out != nil {
+		return in.out
+	}
+	return in.outLazy.table(len(in.dictID))
+}
+
+// lazyCSR defers the per-row slice-header materialisation of a flat CSR
+// list until first use. It is held by pointer so projections (which copy
+// the Instance struct) share one materialisation; the sync.Once makes
+// that materialisation safe under concurrent readers.
+type lazyCSR[T any] struct {
+	once sync.Once
+	off  []int64
+	list []T
+	rows [][]T
+}
+
+func (l *lazyCSR[T]) table(n int) [][]T {
+	l.once.Do(func() {
+		rows := make([][]T, n)
+		for v := 0; v < n; v++ {
+			if lo, hi := l.off[v], l.off[v+1]; lo < hi {
+				rows[v] = l.list[lo:hi:hi]
+			}
+		}
+		l.rows = rows
+	})
+	return l.rows
+}
 
 // Matrix returns the normalised transition matrix M over nodes:
 // M[v][t] = Σ e.w / W(v) over network edges e = (m → t) with m a vertical
@@ -268,6 +350,10 @@ func (in *Instance) NeighborhoodOutWeight(n NID) float64 { return in.totalW[n] }
 // relation over partOf, commentsOn and hasSubject edges (§5.2).
 func (in *Instance) CompOf(n NID) int32 { return in.comp[n] }
 
+// CompTable exposes the whole node→component table for tight validation
+// loops (read-only, indexed by NID).
+func (in *Instance) CompTable() []int32 { return in.comp }
+
 // NumComponents returns the number of components.
 func (in *Instance) NumComponents() int { return in.nComp }
 
@@ -277,13 +363,28 @@ func (in *Instance) KeywordFrequency(k dict.ID) int {
 	if in.proj != nil {
 		return in.proj.kwFreq[k]
 	}
+	if in.kwFreqKeys != nil {
+		if i, ok := slices.BinarySearch(in.kwFreqKeys, k); ok {
+			return int(in.kwFreqCounts[i])
+		}
+		return 0
+	}
 	return in.kwFreq[k]
 }
 
-// KeywordFrequencies exposes the whole frequency table (read-only).
+// KeywordFrequencies exposes the whole frequency table (read-only). A
+// frozen instance materialises it per call; prefer KeywordFrequency for
+// point lookups.
 func (in *Instance) KeywordFrequencies() map[dict.ID]int {
 	if in.proj != nil {
 		return in.proj.kwFreq
+	}
+	if in.kwFreqKeys != nil {
+		m := make(map[dict.ID]int, len(in.kwFreqKeys))
+		for i, k := range in.kwFreqKeys {
+			m[k] = int(in.kwFreqCounts[i])
+		}
+		return m
 	}
 	return in.kwFreq
 }

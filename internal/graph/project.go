@@ -86,8 +86,8 @@ func (in *Instance) ProjectComponents(comps []int32) (*Instance, error) {
 	for _, root := range p.docRoots {
 		stack = in.SubtreeOf(root, stack[:0])
 		for _, n := range stack {
-			seen := make(map[dict.ID]struct{}, len(in.keywords[n]))
-			for _, k := range in.keywords[n] {
+			seen := make(map[dict.ID]struct{}, len(in.KeywordsOf(n)))
+			for _, k := range in.KeywordsOf(n) {
 				if _, dup := seen[k]; dup {
 					continue
 				}
@@ -124,11 +124,11 @@ func (in *Instance) projectedStats(p *projection) Stats {
 			continue
 		}
 		s.Nodes++
-		s.Edges += len(in.out[v])
+		s.Edges += len(in.OutEdges(NID(v)))
 		if in.kind[v] == KindDocNode && in.parent[v] != NoNID {
 			s.Fragments++
 		}
-		s.KeywordOccurrences += len(in.keywords[v])
+		s.KeywordOccurrences += len(in.KeywordsOf(NID(v)))
 	}
 	s.Edges += s.Fragments // tree edges, as in computeStats
 	return s

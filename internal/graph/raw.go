@@ -16,8 +16,20 @@ import (
 // contract between the graph package and the snapshot serialiser
 // (internal/snap).
 //
-// Children lists and the URI→node map are intentionally absent — both are
-// derived deterministically from Parent and DictID on import.
+// Children lists and the URI→node table are intentionally absent — both
+// are derived deterministically from Parent and DictID on import (or
+// supplied precomputed through an Accel).
+//
+// # Immutability contract
+//
+// FromRaw retains every slice it is handed and Raw() shares the
+// instance's own slices: a Raw is a *view*, never a copy. Whoever
+// produces the backing arrays owns their lifetime and must keep them
+// readable and unmodified for as long as the instance lives — this is
+// precisely what lets a memory-mapped snapshot serve queries without
+// materialising anything, and it is why mutating a Raw (or the file
+// behind a mapping) while an instance built over it is in use is
+// undefined behaviour.
 type Raw struct {
 	// Strings is the dictionary content in ID order.
 	Strings []string
@@ -64,6 +76,38 @@ type Raw struct {
 	Stats Stats
 }
 
+// Accel carries structures that FromRaw would otherwise derive from the
+// Raw tables, prebuilt so a zero-copy load does no per-entry work: the
+// dictionary and frozen ontology are constructed by the caller (over
+// mapped arenas and permutations), and the children / URI→node tables
+// arrive as flat arrays pointing into the same mapping. FromRaw
+// cross-validates each table against the Raw it claims to accelerate —
+// cheap, allocation-free linear scans — so a corrupt serialisation is
+// still rejected rather than trusted.
+type Accel struct {
+	// Dict is the prebuilt dictionary whose content equals Raw.Strings.
+	Dict *dict.Dict
+	// Ont is the prebuilt (frozen) ontology over Dict.
+	Ont *rdf.Graph
+	// NIDByID maps every dictionary id to its node, NoNID where the id
+	// names no node. Length must equal Dict.Len().
+	NIDByID []NID
+	// ChildOff / ChildList are the children lists in CSR form: the
+	// children of node v are ChildList[ChildOff[v]:ChildOff[v+1]], in
+	// ascending NID order (= original document order, by pre-order
+	// numbering).
+	ChildOff  []int64
+	ChildList []NID
+	// EdgeOff / EdgeList and KwOff / KwList are the out-edges and content
+	// keywords in CSR form; they substitute for Raw.Out and Raw.Keywords
+	// (which an accelerated import leaves nil), and the per-node headers
+	// are materialised lazily on first use.
+	EdgeOff  []int64
+	EdgeList []Edge
+	KwOff    []int64
+	KwList   []dict.ID
+}
+
 // Raw flattens the instance. The returned struct shares slices with the
 // instance wherever possible; callers must treat it as read-only.
 // Projections flatten their *base* tables: the snapshot format always
@@ -79,9 +123,9 @@ func (in *Instance) Raw() *Raw {
 		Parent:        in.parent,
 		Depth:         in.depth,
 		DocOf:         in.docOf,
-		Keywords:      in.keywords,
+		Keywords:      in.kwTable(),
 		NodeName:      in.nodeName,
-		Out:           in.out,
+		Out:           in.outTable(),
 		TotalW:        in.totalW,
 		Comp:          in.comp,
 		NComp:         in.nComp,
@@ -93,31 +137,54 @@ func (in *Instance) Raw() *Raw {
 		Stats:         in.stats,
 	}
 	_, r.MatrixRowPtr, r.MatrixCol, r.MatrixVal = in.matrix.Raw()
-	r.TagInfos = make([]TagInfo, len(in.tagList))
-	for i, t := range in.tagList {
-		r.TagInfos[i] = in.tagInfo[t]
+	if in.tagInfos != nil {
+		r.TagInfos = in.tagInfos
+	} else {
+		r.TagInfos = make([]TagInfo, len(in.tagList))
+		for i, t := range in.tagList {
+			r.TagInfos[i] = in.tagInfo[t]
+		}
 	}
-	r.KwFreqKeys = make([]dict.ID, 0, len(in.kwFreq))
-	for k := range in.kwFreq {
-		r.KwFreqKeys = append(r.KwFreqKeys, k)
-	}
-	sort.Slice(r.KwFreqKeys, func(i, j int) bool { return r.KwFreqKeys[i] < r.KwFreqKeys[j] })
-	r.KwFreqCounts = make([]int32, len(r.KwFreqKeys))
-	for i, k := range r.KwFreqKeys {
-		r.KwFreqCounts[i] = int32(in.kwFreq[k])
+	if in.kwFreqKeys != nil {
+		r.KwFreqKeys, r.KwFreqCounts = in.kwFreqKeys, in.kwFreqCounts
+	} else {
+		r.KwFreqKeys = make([]dict.ID, 0, len(in.kwFreq))
+		for k := range in.kwFreq {
+			r.KwFreqKeys = append(r.KwFreqKeys, k)
+		}
+		sort.Slice(r.KwFreqKeys, func(i, j int) bool { return r.KwFreqKeys[i] < r.KwFreqKeys[j] })
+		r.KwFreqCounts = make([]int32, len(r.KwFreqKeys))
+		for i, k := range r.KwFreqKeys {
+			r.KwFreqCounts[i] = int32(in.kwFreq[k])
+		}
 	}
 	return r
 }
 
 // FromRaw reconstructs a frozen Instance from its flat view, validating
 // cross-references so a corrupt or truncated serialisation is rejected
-// instead of panicking at query time. The Raw's slices are retained.
-func FromRaw(r *Raw) (*Instance, error) {
+// instead of panicking at query time. The Raw's slices are retained (see
+// the immutability contract above).
+func FromRaw(r *Raw) (*Instance, error) { return FromRawAccel(r, nil) }
+
+// FromRawAccel is FromRaw with optional prebuilt acceleration structures
+// (acc may be nil).
+//
+// With an Accel the load takes the *trusted* path: the per-section
+// checksums of the aligned snapshot vouch for integrity, so the
+// per-entry cross-validation of the classic path is replaced by the
+// structural checks that keep slicing and tree walks panic-free —
+// offset-table monotonicity, index bounds and parent pre-order, all
+// sequential integer scans. Content invariants (sort orders, component
+// ids, cross-references) are trusted the way a process trusts a shared
+// library it maps; loaders of unchecksummed or foreign bytes must use
+// the classic path, which validates everything.
+func FromRawAccel(r *Raw, acc *Accel) (*Instance, error) {
 	n := len(r.DictID)
 	for name, l := range map[string]int{
 		"Kind": len(r.Kind), "Parent": len(r.Parent), "Depth": len(r.Depth),
-		"DocOf": len(r.DocOf), "Keywords": len(r.Keywords), "NodeName": len(r.NodeName),
-		"Out": len(r.Out), "TotalW": len(r.TotalW), "Comp": len(r.Comp),
+		"DocOf": len(r.DocOf), "NodeName": len(r.NodeName),
+		"TotalW": len(r.TotalW), "Comp": len(r.Comp),
 	} {
 		if l != n {
 			return nil, fmt.Errorf("graph: raw table %s has %d entries for %d nodes", name, l, n)
@@ -129,11 +196,18 @@ func FromRaw(r *Raw) (*Instance, error) {
 	if len(r.KwFreqCounts) != len(r.KwFreqKeys) {
 		return nil, fmt.Errorf("graph: %d keyword counts for %d keywords", len(r.KwFreqCounts), len(r.KwFreqKeys))
 	}
+	if acc != nil {
+		return fromRawTrusted(r, acc, n)
+	}
+	if len(r.Keywords) != n || len(r.Out) != n {
+		return nil, fmt.Errorf("graph: raw node tables have %d/%d entries for %d nodes", len(r.Keywords), len(r.Out), n)
+	}
 
 	d, err := dict.FromStrings(r.Strings)
 	if err != nil {
 		return nil, err
 	}
+	ont := rdf.FromTriples(d, r.Triples, true)
 	nd := dict.ID(d.Len())
 	checkID := func(id dict.ID, what string) error {
 		if id >= nd && id != dict.NoID {
@@ -161,7 +235,7 @@ func FromRaw(r *Raw) (*Instance, error) {
 
 	in := &Instance{
 		dict:     d,
-		ont:      rdf.FromTriples(d, r.Triples, true),
+		ont:      ont,
 		analyzer: text.Analyzer{Lang: r.Lang, KeepStopwords: r.KeepStopwords},
 		dictID:   r.DictID,
 		kind:     r.Kind,
@@ -170,7 +244,6 @@ func FromRaw(r *Raw) (*Instance, error) {
 		docOf:    r.DocOf,
 		keywords: r.Keywords,
 		nodeName: r.NodeName,
-		nidOf:    make(map[dict.ID]NID, n),
 		out:      r.Out,
 		totalW:   r.TotalW,
 		comp:     r.Comp,
@@ -178,13 +251,16 @@ func FromRaw(r *Raw) (*Instance, error) {
 		users:    r.Users,
 		docRoots: r.DocRoots,
 		tagList:  r.TagList,
-		tagInfo:  make(map[NID]TagInfo, len(r.TagList)),
 		comments: r.Comments,
 		posts:    r.Posts,
-		kwFreq:   make(map[dict.ID]int, len(r.KwFreqKeys)),
 		stats:    r.Stats,
 	}
+	in.nidByID = make([]NID, nd)
+	for i := range in.nidByID {
+		in.nidByID[i] = NoNID
+	}
 	in.children = make([][]NID, n)
+
 	for v := 0; v < n; v++ {
 		id := r.DictID[v]
 		if id == dict.NoID {
@@ -192,9 +268,6 @@ func FromRaw(r *Raw) (*Instance, error) {
 		}
 		if err := checkID(id, "node URI"); err != nil {
 			return nil, err
-		}
-		if _, dup := in.nidOf[id]; dup {
-			return nil, fmt.Errorf("graph: URI id %d names two nodes", id)
 		}
 		if err := checkID(r.NodeName[v], "node name"); err != nil {
 			return nil, err
@@ -222,7 +295,10 @@ func FromRaw(r *Raw) (*Instance, error) {
 		if r.DocOf[v] >= 0 && int(r.DocOf[v]) >= len(r.DocRoots) {
 			return nil, fmt.Errorf("graph: node %d in document %d of %d", v, r.DocOf[v], len(r.DocRoots))
 		}
-		in.nidOf[id] = NID(v)
+		if in.nidByID[id] != NoNID {
+			return nil, fmt.Errorf("graph: URI id %d names two nodes", id)
+		}
+		in.nidByID[id] = NID(v)
 		for _, e := range r.Out[v] {
 			if err := checkNID(e.To, "edge target"); err != nil {
 				return nil, err
@@ -253,7 +329,21 @@ func FromRaw(r *Raw) (*Instance, error) {
 		if err := checkID(ti.Type, "tag type"); err != nil {
 			return nil, err
 		}
-		in.tagInfo[t] = ti
+		// The builder registers tags in node-creation order, so TagList is
+		// ascending and TagInfoOf can binary-search it; a serialisation
+		// that lost that order falls back to the map.
+		if in.tagInfo == nil && in.tagInfos == nil && i > 0 && r.TagList[i-1] >= t {
+			in.tagInfo = make(map[NID]TagInfo, len(r.TagList))
+			for j := 0; j < i; j++ {
+				in.tagInfo[r.TagList[j]] = r.TagInfos[j]
+			}
+		}
+		if in.tagInfo != nil {
+			in.tagInfo[t] = ti
+		}
+	}
+	if in.tagInfo == nil {
+		in.tagInfos = r.TagInfos
 	}
 	for _, c := range r.Comments {
 		if err := checkNID(c.Comment, "comment"); err != nil {
@@ -275,6 +365,14 @@ func FromRaw(r *Raw) (*Instance, error) {
 		if err := checkID(k, "frequency keyword"); err != nil {
 			return nil, err
 		}
+		// Ascending keys are what the frozen binary search relies on (and
+		// the canonical serialisation order).
+		if i > 0 && r.KwFreqKeys[i-1] >= k {
+			return nil, fmt.Errorf("graph: frequency keywords out of order at %d", i)
+		}
+	}
+	in.kwFreq = make(map[dict.ID]int, len(r.KwFreqKeys))
+	for i, k := range r.KwFreqKeys {
 		in.kwFreq[k] = int(r.KwFreqCounts[i])
 	}
 	in.matrix, err = sparse.FromRaw(n, r.MatrixRowPtr, r.MatrixCol, r.MatrixVal)
@@ -282,4 +380,203 @@ func FromRaw(r *Raw) (*Instance, error) {
 		return nil, err
 	}
 	return in, nil
+}
+
+// fromRawTrusted assembles an instance over checksummed, writer-trusted
+// arrays: structural checks only (see FromRawAccel).
+func fromRawTrusted(r *Raw, acc *Accel, n int) (*Instance, error) {
+	d, ont := acc.Dict, acc.Ont
+	if d == nil || ont == nil {
+		return nil, fmt.Errorf("graph: accel without dictionary or ontology")
+	}
+	nd := dict.ID(d.Len())
+	in := &Instance{
+		dict:         d,
+		ont:          ont,
+		analyzer:     text.Analyzer{Lang: r.Lang, KeepStopwords: r.KeepStopwords},
+		dictID:       r.DictID,
+		kind:         r.Kind,
+		parent:       r.Parent,
+		depth:        r.Depth,
+		docOf:        r.DocOf,
+		kwLazy:       &lazyCSR[dict.ID]{off: acc.KwOff, list: acc.KwList},
+		nodeName:     r.NodeName,
+		outLazy:      &lazyCSR[Edge]{off: acc.EdgeOff, list: acc.EdgeList},
+		totalW:       r.TotalW,
+		comp:         r.Comp,
+		nComp:        r.NComp,
+		users:        r.Users,
+		docRoots:     r.DocRoots,
+		tagList:      r.TagList,
+		tagInfos:     r.TagInfos,
+		comments:     r.Comments,
+		posts:        r.Posts,
+		kwFreqKeys:   r.KwFreqKeys,
+		kwFreqCounts: r.KwFreqCounts,
+		stats:        r.Stats,
+	}
+	if err := checkCSR(acc.KwOff, n, len(acc.KwList), "content keyword"); err != nil {
+		return nil, err
+	}
+	if err := checkCSR(acc.EdgeOff, n, len(acc.EdgeList), "edge"); err != nil {
+		return nil, err
+	}
+	// Panic-safety scans: everything a query can use as an index is
+	// bounds-checked with sequential compare-only passes (parent
+	// pre-order additionally keeps the ancestor walks cycle-free).
+	// Semantic cross-checks stay trusted; these scans only guarantee that
+	// no lookup can panic or hang.
+	nDocs := len(r.DocRoots)
+	for v := 0; v < n; v++ {
+		// Parent pre-order is per-index (p < v), so it stays a branchy
+		// scan; uint32 folds the negative case in.
+		if p := r.Parent[v]; p != NoNID && uint32(p) >= uint32(v) {
+			return nil, fmt.Errorf("graph: node %d has parent %d out of pre-order", v, p)
+		}
+	}
+	var maxURI, maxName1, maxDoc1, maxComp1 uint32
+	for v := 0; v < n; v++ {
+		if x := uint32(r.DictID[v]); x > maxURI {
+			maxURI = x
+		}
+		if x := uint32(r.NodeName[v]) + 1; x > maxName1 {
+			maxName1 = x
+		}
+		if x := uint32(r.DocOf[v]) + 1; x > maxDoc1 {
+			maxDoc1 = x
+		}
+		if x := uint32(r.Comp[v]) + 1; x > maxComp1 {
+			maxComp1 = x
+		}
+	}
+	if n > 0 {
+		if maxURI >= uint32(nd) || maxName1 > uint32(nd) {
+			return nil, fmt.Errorf("graph: node URI or name outside dictionary of %d", nd)
+		}
+		if maxDoc1 > uint32(nDocs) {
+			return nil, fmt.Errorf("graph: node document ordinal outside %d documents", nDocs)
+		}
+		if r.NComp < 0 || maxComp1 > uint32(r.NComp) {
+			return nil, fmt.Errorf("graph: node component outside %d components", r.NComp)
+		}
+	}
+	// Branch-free max reductions over the flat lists: uint32(x) folds
+	// negatives in, and the +1 bias maps the NoID/NoNID sentinels (-1) to
+	// 0, which every bound accepts.
+	var maxKw1 uint32
+	for _, k := range acc.KwList {
+		if v := uint32(k) + 1; v > maxKw1 {
+			maxKw1 = v
+		}
+	}
+	if maxKw1 > uint32(nd) {
+		return nil, fmt.Errorf("graph: content keyword outside dictionary of %d", nd)
+	}
+	var maxTo, maxProp1 uint32
+	for i := range acc.EdgeList {
+		if v := uint32(acc.EdgeList[i].To); v > maxTo {
+			maxTo = v
+		}
+		if v := uint32(acc.EdgeList[i].Prop) + 1; v > maxProp1 {
+			maxProp1 = v
+		}
+	}
+	if len(acc.EdgeList) > 0 && (maxTo >= uint32(n) || maxProp1 > uint32(nd)) {
+		return nil, fmt.Errorf("graph: edge outside instance of %d nodes / dictionary of %d", n, nd)
+	}
+	checkNIDs := func(vs []NID, what string) error {
+		for _, v := range vs {
+			if uint32(v) >= uint32(n) {
+				return fmt.Errorf("graph: %s node outside instance of %d nodes", what, n)
+			}
+		}
+		return nil
+	}
+	if err := checkNIDs(r.Users, "user"); err != nil {
+		return nil, err
+	}
+	if err := checkNIDs(r.DocRoots, "document root"); err != nil {
+		return nil, err
+	}
+	if err := checkNIDs(r.TagList, "tag"); err != nil {
+		return nil, err
+	}
+	for _, ti := range r.TagInfos {
+		if ti.Subject < 0 || int(ti.Subject) >= n || ti.Author < 0 || int(ti.Author) >= n {
+			return nil, fmt.Errorf("graph: tag info outside instance of %d nodes", n)
+		}
+		if (ti.Keyword >= nd && ti.Keyword != dict.NoID) || (ti.Type >= nd && ti.Type != dict.NoID) {
+			return nil, fmt.Errorf("graph: tag info outside dictionary of %d", nd)
+		}
+	}
+	for _, c := range r.Comments {
+		if c.Comment < 0 || int(c.Comment) >= n || c.Target < 0 || int(c.Target) >= n {
+			return nil, fmt.Errorf("graph: comment edge outside instance of %d nodes", n)
+		}
+	}
+	for _, p := range r.Posts {
+		if p.Doc < 0 || int(p.Doc) >= n || p.User < 0 || int(p.User) >= n {
+			return nil, fmt.Errorf("graph: post edge outside instance of %d nodes", n)
+		}
+	}
+	for _, k := range r.KwFreqKeys {
+		if k >= nd && k != dict.NoID {
+			return nil, fmt.Errorf("graph: frequency keyword outside dictionary of %d", nd)
+		}
+	}
+	if len(acc.NIDByID) != int(nd) {
+		return nil, fmt.Errorf("graph: URI→node table has %d entries for %d dictionary ids", len(acc.NIDByID), nd)
+	}
+	for _, v := range acc.NIDByID {
+		if v != NoNID && (v < 0 || int(v) >= n) {
+			return nil, fmt.Errorf("graph: URI→node table points outside instance of %d nodes", n)
+		}
+	}
+	if err := checkCSR(acc.ChildOff, n, len(acc.ChildList), "children"); err != nil {
+		return nil, err
+	}
+	for _, c := range acc.ChildList {
+		if c < 0 || int(c) >= n {
+			return nil, fmt.Errorf("graph: children list points outside instance of %d nodes", n)
+		}
+	}
+	in.nidByID = acc.NIDByID
+	in.children = childrenFromCSR(acc, n)
+
+	var err error
+	in.matrix, err = sparse.FromRaw(n, r.MatrixRowPtr, r.MatrixCol, r.MatrixVal)
+	if err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// checkCSR validates an n+1-entry offset table spanning [0, total]
+// monotonically — the structural invariant behind every flattened list.
+func checkCSR(off []int64, n, total int, what string) error {
+	if len(off) != n+1 {
+		return fmt.Errorf("graph: %s offsets have %d entries for %d nodes", what, len(off), n)
+	}
+	if off[0] != 0 || off[n] != int64(total) {
+		return fmt.Errorf("graph: %s offsets span [%d, %d] for %d entries", what, off[0], off[n], total)
+	}
+	for i := 0; i < n; i++ {
+		if off[i] > off[i+1] {
+			return fmt.Errorf("graph: decreasing %s offset at node %d", what, i)
+		}
+	}
+	return nil
+}
+
+// childrenFromCSR builds the per-node child slice headers over the shared
+// CSR list — one allocation for the headers, zero copies of the data.
+func childrenFromCSR(acc *Accel, n int) [][]NID {
+	children := make([][]NID, n)
+	for v := 0; v < n; v++ {
+		lo, hi := acc.ChildOff[v], acc.ChildOff[v+1]
+		if lo < hi {
+			children[v] = acc.ChildList[lo:hi:hi]
+		}
+	}
+	return children
 }

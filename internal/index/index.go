@@ -336,6 +336,16 @@ func dedupe(ids []dict.ID) []dict.ID {
 	return out
 }
 
+// Keywords returns the indexed keywords in ascending id order.
+func (ix *Index) Keywords() []dict.ID {
+	out := make([]dict.ID, 0, len(ix.byKw))
+	for kw := range ix.byKw {
+		out = append(out, kw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Events returns all events of an explicit keyword, sorted by component.
 func (ix *Index) Events(k dict.ID) []Event {
 	if l := ix.byKw[k]; l != nil {
@@ -434,4 +444,13 @@ func (ix *Index) ConOf(d graph.NID, k dict.ID) []Event {
 		}
 	}
 	return out
+}
+
+// NumEvents returns the total number of indexed events.
+func (ix *Index) NumEvents() int {
+	total := 0
+	for _, l := range ix.byKw {
+		total += len(l.evs)
+	}
+	return total
 }

@@ -27,6 +27,103 @@ func (ix *Index) Raw() []RawPosting {
 	return out
 }
 
+// Flat is the zero-copy import form of an index: the canonically-ordered
+// flat arrays of a v3 snapshot, including the precomputed per-posting
+// component summaries (CompOff/CompIDs list each posting's distinct
+// components in event order; MaxRuns bounds its longest single-component
+// run — the §4 threshold input).
+type Flat struct {
+	Kws     []dict.ID
+	EvOff   []int64
+	Events  []Event
+	Comps   []int32
+	CompOff []int64
+	CompIDs []int32
+	MaxRuns []int32
+}
+
+// FromFlat reconstructs an index over a frozen instance from its flat
+// form without copying: every per-keyword list is a sub-slice of the
+// supplied arrays (which typically point into a memory mapping — see
+// graph.Raw's immutability contract).
+//
+// FromFlat validates whatever could panic or hang — array lengths,
+// offset monotonicity, keyword order, event index bounds — with cheap
+// sequential scans, but trusts the *semantic* content of the arrays
+// (canonical event order, component summaries): integrity comes from the
+// caller's per-section checksums, correctness from the writer. Loaders
+// that cannot extend that trust (foreign files, no checksums) should
+// rebuild through FromRaw, which re-derives and validates everything.
+func FromFlat(in *graph.Instance, f Flat) (*Index, error) {
+	nkw := len(f.Kws)
+	if err := checkOff(f.EvOff, nkw, len(f.Events), "event"); err != nil {
+		return nil, err
+	}
+	if err := checkOff(f.CompOff, nkw, len(f.CompIDs), "component summary"); err != nil {
+		return nil, err
+	}
+	if len(f.Comps) != len(f.Events) {
+		return nil, fmt.Errorf("index: %d component ids for %d events", len(f.Comps), len(f.Events))
+	}
+	if len(f.MaxRuns) != nkw {
+		return nil, fmt.Errorf("index: %d run bounds for %d keywords", len(f.MaxRuns), nkw)
+	}
+	// Panic-safety scan: fragments and sources are used as node indices
+	// by the scorer, so they are bounds-checked. The pass is a branch-free
+	// max reduction — uint32(x) folds the negative cases in, and the +1
+	// bias maps the NoNID source sentinel (-1) to 0, which every bound
+	// accepts; the canonical order and component labels stay trusted.
+	var maxFrag, maxSrc1 uint32
+	for i := range f.Events {
+		if v := uint32(f.Events[i].Frag); v > maxFrag {
+			maxFrag = v
+		}
+		if v := uint32(f.Events[i].Src) + 1; v > maxSrc1 {
+			maxSrc1 = v
+		}
+	}
+	n := uint32(in.NumNodes())
+	if len(f.Events) > 0 && (maxFrag >= n || maxSrc1 > n) {
+		return nil, fmt.Errorf("index: event fragment or source outside instance of %d nodes", n)
+	}
+	ix := &Index{
+		in:            in,
+		byKw:          make(map[dict.ID]*kwList, nkw),
+		compsByKw:     make(map[dict.ID][]int32, nkw),
+		maxCompEvents: make(map[dict.ID]int, nkw),
+	}
+	lists := make([]kwList, nkw)
+	for i, kw := range f.Kws {
+		if i > 0 && f.Kws[i-1] >= kw {
+			return nil, fmt.Errorf("index: posting keywords out of order at %d", i)
+		}
+		lo, hi := f.EvOff[i], f.EvOff[i+1]
+		lists[i] = kwList{evs: f.Events[lo:hi:hi], comps: f.Comps[lo:hi:hi]}
+		ix.byKw[kw] = &lists[i]
+		clo, chi := f.CompOff[i], f.CompOff[i+1]
+		ix.compsByKw[kw] = f.CompIDs[clo:chi:chi]
+		ix.maxCompEvents[kw] = int(f.MaxRuns[i])
+	}
+	return ix, nil
+}
+
+// checkOff validates an n+1-entry offset table spanning [0, total]
+// monotonically, which is what makes the sub-slicing above panic-free.
+func checkOff(off []int64, n, total int, what string) error {
+	if len(off) != n+1 {
+		return fmt.Errorf("index: %s offsets have %d entries for %d postings", what, len(off), n)
+	}
+	if off[0] != 0 || off[n] != int64(total) {
+		return fmt.Errorf("index: %s offsets span [%d, %d] for %d entries", what, off[0], off[n], total)
+	}
+	for i := 0; i < n; i++ {
+		if off[i] > off[i+1] {
+			return fmt.Errorf("index: decreasing %s offset at posting %d", what, i)
+		}
+	}
+	return nil
+}
+
 // FromRaw reconstructs an index over a frozen instance from its postings.
 // The per-keyword component tables and bounds are re-derived (they are
 // cheap linear scans); events are re-sorted with the canonical freeze

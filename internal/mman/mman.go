@@ -1,0 +1,101 @@
+// Package mman owns the memory-mapped file handles behind zero-copy
+// snapshot loading. A Mapping is a read-only byte view of a whole file
+// obtained from mmap(2); higher layers reinterpret aligned spans of it as
+// typed slices and therefore must keep the Mapping alive for as long as
+// any such slice may be read.
+//
+// Lifetime is reference-counted, not GC-driven: the opener holds the
+// first reference, every long-lived structure built over the bytes takes
+// its own via Retain, and the pages are unmapped exactly when the last
+// holder calls Release. This is what lets a serving process hot-swap
+// instances: the old snapshot's mapping stays valid while in-flight
+// searches still read it and disappears deterministically when the last
+// one finishes — even if the file has been unlinked or rewritten on disk
+// in the meantime (the mapping pins the old inode).
+package mman
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Mapping is a read-only memory-mapped file. Use Open, share with Retain,
+// drop with Release.
+type Mapping struct {
+	data []byte
+	path string
+	// refs counts live holders; the pages are unmapped when it reaches
+	// zero. A zero or negative count means the mapping is dead.
+	refs atomic.Int64
+}
+
+// Open maps the whole file read-only and returns a Mapping holding one
+// reference. On platforms without mmap support the file is read into
+// private memory instead; the Mapping API is identical either way.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("mman: %s: %d bytes exceed the address space", path, size)
+	}
+	data, err := mapFile(f, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("mman: mapping %s: %w", path, err)
+	}
+	m := &Mapping{data: data, path: path}
+	m.refs.Store(1)
+	return m, nil
+}
+
+// Data returns the mapped bytes. The slice (and anything reinterpreted
+// from it) is valid only while the caller holds a reference.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Size returns the mapped length in bytes.
+func (m *Mapping) Size() int64 { return int64(len(m.data)) }
+
+// Path returns the file path the mapping was opened from (diagnostics;
+// the file may have been unlinked or replaced since).
+func (m *Mapping) Path() string { return m.path }
+
+// Retain adds a reference. It must be called while at least one
+// reference is still held (a dead mapping cannot be revived).
+func (m *Mapping) Retain() {
+	if m == nil {
+		return
+	}
+	if m.refs.Add(1) <= 1 {
+		panic("mman: Retain on a released mapping")
+	}
+}
+
+// Release drops one reference and unmaps the file when it was the last.
+// Releasing more times than retaining panics: it would mean some holder
+// can still read pages that are about to vanish.
+func (m *Mapping) Release() error {
+	if m == nil {
+		return nil
+	}
+	n := m.refs.Add(-1)
+	if n > 0 {
+		return nil
+	}
+	if n < 0 {
+		panic("mman: Release without a matching reference")
+	}
+	data := m.data
+	m.data = nil
+	if data == nil {
+		return nil
+	}
+	return unmapFile(data)
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package mman
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without mmap(2) reads the file into private
+// memory. Load is then O(bytes) instead of O(page faults), but the
+// Mapping lifetime contract (and everything layered on it) is unchanged.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func unmapFile([]byte) error { return nil }

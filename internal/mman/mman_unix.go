@@ -1,0 +1,22 @@
+//go:build unix
+
+package mman
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared, so replicas serving
+// the same snapshot on one host share physical pages through the page
+// cache. A zero-length file maps to nil (mmap rejects length 0).
+func mapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -343,6 +343,14 @@ func (s *Scorer) GroupEvents(comp int32, gi int) []index.Event {
 	if evs, ok := s.cache[key]; ok {
 		return evs
 	}
+	if group := s.groups[gi]; len(group) == 1 {
+		// One keyword means one event list and nothing to deduplicate
+		// (the index stores each (type, f, src) once per keyword) — the
+		// common no-extension case skips the map entirely.
+		evs := s.ix.EventsInComp(group[0], comp)
+		s.cache[key] = evs
+		return evs
+	}
 	var merged []index.Event
 	seen := make(map[index.Event]struct{})
 	for _, k := range s.groups[gi] {

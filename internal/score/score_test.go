@@ -315,3 +315,37 @@ func mustOK(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+// TestGroupEventsSingleKeyword pins the no-extension fast path: a
+// one-keyword group must return exactly the component's event list (the
+// index slice itself — nothing to deduplicate, no map, no copy).
+func TestGroupEventsSingleKeyword(t *testing.T) {
+	in, ix := buildRandom(t, 11)
+	kw, ok := in.Dict().Lookup("kw0")
+	if !ok {
+		t.Fatal("keyword kw0 not interned")
+	}
+	s, err := NewScorer(in, ix, Params{Gamma: 1.5, Eta: 0.8}, [][]dict.ID{{kw}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Comps(kw)) == 0 {
+		t.Fatal("keyword kw0 matches no components")
+	}
+	for _, comp := range ix.Comps(kw) {
+		want := ix.EventsInComp(kw, comp)
+		got := s.GroupEvents(comp, 0)
+		if len(got) != len(want) {
+			t.Fatalf("component %d: %d events, want %d", comp, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("component %d event %d diverges", comp, i)
+			}
+		}
+		// The cache must serve repeats.
+		if again := s.GroupEvents(comp, 0); len(again) != len(want) {
+			t.Fatalf("cached repeat diverges for component %d", comp)
+		}
+	}
+}

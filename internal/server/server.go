@@ -55,6 +55,9 @@ type Config struct {
 	// Workers bounds concurrently executing searches; 0 picks
 	// GOMAXPROCS.
 	Workers int
+	// LoadMS records how long the initial Instance load took (surfaced in
+	// /stats; reload times are measured by the server itself).
+	LoadMS int64
 }
 
 // DefaultCacheSize is the result-cache capacity when Config leaves it 0.
@@ -65,11 +68,61 @@ const DefaultCacheSize = 1024
 const DefaultProxCacheBytes int64 = 64 << 20
 
 // instanceState is the unit of atomic hot-swap: an instance (single or
-// sharded) plus its load generation.
+// sharded) plus its load generation, reference-counted so a mapped
+// instance is closed (unmapped) only after the swap drops the server's
+// reference and the last in-flight request finishes with it.
 type instanceState struct {
 	inst     s3.Queryable
 	version  uint64
 	loadedAt time.Time
+	loadMS   int64
+
+	// refs starts at 1 (the server's own reference, dropped when a reload
+	// swaps the state out); every request holds one while it reads the
+	// instance.
+	refs atomic.Int64
+}
+
+func newInstanceState(inst s3.Queryable, version uint64, loadMS int64) *instanceState {
+	st := &instanceState{inst: inst, version: version, loadedAt: time.Now(), loadMS: loadMS}
+	st.refs.Store(1)
+	return st
+}
+
+// retain takes a reference; it fails only on a state that already hit
+// zero (retired with no readers), which the acquire loop handles by
+// re-reading the current pointer.
+func (st *instanceState) retain() bool {
+	for {
+		r := st.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if st.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// release drops a reference and closes the instance at zero. Close is
+// what unmaps a LoadMmap instance, so it must happen exactly when the
+// last reader is done — not at swap time.
+func (st *instanceState) release() {
+	if st.refs.Add(-1) == 0 {
+		_ = st.inst.Close()
+	}
+}
+
+// acquire returns the current state with a reference held. The loop
+// covers the race where a reload retires the state between the load and
+// the retain.
+func (s *Server) acquire() *instanceState {
+	for {
+		st := s.cur.Load()
+		if st.retain() {
+			return st
+		}
+	}
 }
 
 // call is one in-flight search other identical requests can wait on.
@@ -137,7 +190,7 @@ func New(cfg Config) (*Server, error) {
 		s.prox = s3.NewProxCache(proxBytes)
 		cfg.Instance.SetProxCache(s.prox)
 	}
-	s.cur.Store(&instanceState{inst: cfg.Instance, version: 1, loadedAt: time.Now()})
+	s.cur.Store(newInstanceState(cfg.Instance, 1, cfg.LoadMS))
 	return s, nil
 }
 
@@ -258,7 +311,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 		sr.Eta = 0.8
 	}
 
-	state := s.cur.Load()
+	state := s.acquire()
+	defer state.release()
 	if !state.inst.HasUser(sr.Seeker) {
 		writeError(w, &httpError{http.StatusNotFound, fmt.Sprintf("unknown seeker %q", sr.Seeker)})
 		return
@@ -392,7 +446,9 @@ func (s *Server) handleExtension(w http.ResponseWriter, req *http.Request) {
 		writeError(w, &httpError{http.StatusBadRequest, "missing keyword parameter"})
 		return
 	}
-	ext := s.cur.Load().inst.Extension(kw)
+	state := s.acquire()
+	ext := state.inst.Extension(kw)
+	state.release()
 	if ext == nil {
 		ext = []string{}
 	}
@@ -401,17 +457,23 @@ func (s *Server) handleExtension(w http.ResponseWriter, req *http.Request) {
 
 // statsResponse is the GET /stats body.
 type statsResponse struct {
-	Instance   s3.Stats         `json:"instance"`
-	Version    uint64           `json:"version"`
-	LoadedAt   time.Time        `json:"loaded_at"`
-	UptimeMS   int64            `json:"uptime_ms"`
-	Workers    int              `json:"workers"`
-	Searches   uint64           `json:"searches"`
-	Reloads    uint64           `json:"reloads"`
-	ShardCount int              `json:"shard_count"`
-	Shards     []shardStatsJSON `json:"shards"`
-	Cache      cacheStats       `json:"cache"`
-	ProxCache  proxCacheStats   `json:"prox_cache"`
+	Instance s3.Stats  `json:"instance"`
+	Version  uint64    `json:"version"`
+	LoadedAt time.Time `json:"loaded_at"`
+	// LoadMS is how long loading the served instance took (initial load
+	// or the reload that produced it); MappedBytes is the size of the
+	// memory mappings backing it (0 in copy mode). Together they are the
+	// cold-start story of the serving generation.
+	LoadMS      int64            `json:"load_ms"`
+	MappedBytes int64            `json:"mapped_bytes"`
+	UptimeMS    int64            `json:"uptime_ms"`
+	Workers     int              `json:"workers"`
+	Searches    uint64           `json:"searches"`
+	Reloads     uint64           `json:"reloads"`
+	ShardCount  int              `json:"shard_count"`
+	Shards      []shardStatsJSON `json:"shards"`
+	Cache       cacheStats       `json:"cache"`
+	ProxCache   proxCacheStats   `json:"prox_cache"`
 }
 
 // proxCacheStats is the /stats view of the seeker-proximity checkpoint
@@ -449,7 +511,8 @@ type cacheStats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	state := s.cur.Load()
+	state := s.acquire()
+	defer state.release()
 	s.mu.Lock()
 	cs := cacheStats{
 		Capacity:  s.cache.cap,
@@ -488,17 +551,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, &statsResponse{
-		Instance:   state.inst.Stats(),
-		Version:    state.version,
-		LoadedAt:   state.loadedAt,
-		UptimeMS:   time.Since(s.start).Milliseconds(),
-		Workers:    cap(s.sem),
-		Searches:   s.searches.Load(),
-		Reloads:    s.reloads.Load(),
-		ShardCount: len(shards),
-		Shards:     rows,
-		Cache:      cs,
-		ProxCache:  ps,
+		Instance:    state.inst.Stats(),
+		Version:     state.version,
+		LoadedAt:    state.loadedAt,
+		LoadMS:      state.loadMS,
+		MappedBytes: state.inst.MappedBytes(),
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+		Workers:     cap(s.sem),
+		Searches:    s.searches.Load(),
+		Reloads:     s.reloads.Load(),
+		ShardCount:  len(shards),
+		Shards:      rows,
+		Cache:       cs,
+		ProxCache:   ps,
 	})
 }
 
@@ -516,6 +581,7 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	loadStart := time.Now()
 	inst, err := s.cfg.Loader()
 	if err != nil {
 		// The old instance keeps serving: a failed reload is not fatal.
@@ -523,7 +589,7 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	old := s.cur.Load()
-	next := &instanceState{inst: inst, version: old.version + 1, loadedAt: time.Now()}
+	next := newInstanceState(inst, old.version+1, time.Since(loadStart).Milliseconds())
 	// Remember what the cache held before the swap invalidates it: those
 	// keys are the hot query set, worth paying for again up front.
 	s.mu.Lock()
@@ -537,6 +603,11 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.cur.Store(next)
 	s.reloads.Add(1)
+	// Drop the server's reference to the outgoing state: in-flight
+	// requests still hold theirs, and the last one out closes (unmaps)
+	// the old instance — the swapped-out snapshot file can be unlinked or
+	// rewritten immediately.
+	old.release()
 	s.mu.Lock()
 	s.cache.purge()
 	s.mu.Unlock()

@@ -1,0 +1,207 @@
+// Path-based snapshot opening with a load mode: the seam between the
+// on-disk formats and the two ways of getting an instance into memory.
+//
+// LoadCopy builds a fully private, GC-owned instance — hash-map
+// dictionary, indexed ontology, materialised strings — by decoding the
+// file (either version). It is portable, needs nothing kept open, and the
+// file can be rewritten or unlinked freely afterwards.
+//
+// LoadMmap maps the file and builds the instance as typed views into the
+// mapping: slices point at the page cache, lookups go through the stored
+// binary-search structures, and open time is dominated by the per-section
+// checksum pass plus allocation-free validation scans. The returned
+// Mapping owns the pages; whoever holds the instance must hold a mapping
+// reference and Release it when the instance is retired. Version-1 files
+// and non-mappable platforms fall back to LoadCopy transparently (the
+// result reports the mode that actually happened).
+package snap
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/mman"
+)
+
+// LoadMode selects how a snapshot file becomes an instance.
+type LoadMode int
+
+const (
+	// LoadCopy decodes into private memory (the writer-compatible
+	// default).
+	LoadCopy LoadMode = iota
+	// LoadMmap maps the file and serves queries from zero-copy views.
+	LoadMmap
+)
+
+func (m LoadMode) String() string {
+	if m == LoadMmap {
+		return "mmap"
+	}
+	return "copy"
+}
+
+// Snapshot is an opened snapshot: the instance, its index, and — in
+// mapped mode — the mapping that owns their backing pages.
+type Snapshot struct {
+	Instance *graph.Instance
+	Index    *index.Index
+	// Mapping is non-nil exactly when Mode is LoadMmap; the holder of the
+	// snapshot owns one reference and must Release it when done.
+	Mapping *mman.Mapping
+	// Mode is the load mode that actually happened (LoadMmap requests
+	// fall back to LoadCopy for version-1 files and on platforms whose
+	// struct layout cannot alias the on-disk encoding).
+	Mode LoadMode
+}
+
+// MappedBytes returns the size of the backing mapping, 0 for a copied
+// snapshot.
+func (s *Snapshot) MappedBytes() int64 {
+	if s.Mapping == nil {
+		return 0
+	}
+	return s.Mapping.Size()
+}
+
+// Close releases the mapping reference held by the snapshot (a no-op for
+// copied snapshots). The instance and index must not be used afterwards.
+func (s *Snapshot) Close() error {
+	m := s.Mapping
+	s.Mapping = nil
+	return m.Release()
+}
+
+// ShardSetSnapshot is an opened shard set: the fully validated set plus
+// the mappings (manifest first, then shards in layout order) that own the
+// backing pages of whatever was mapped.
+type ShardSetSnapshot struct {
+	Set *ShardSet
+	// Mappings holds one entry per mapped file; files that fell back to
+	// the copying decoder contribute nothing.
+	Mappings []*mman.Mapping
+	// Mode is LoadMmap when at least one file is mapped.
+	Mode LoadMode
+}
+
+// MappedBytes sums the sizes of the backing mappings.
+func (s *ShardSetSnapshot) MappedBytes() int64 {
+	var total int64
+	for _, m := range s.Mappings {
+		total += m.Size()
+	}
+	return total
+}
+
+// Close releases every mapping reference held by the shard set.
+func (s *ShardSetSnapshot) Close() error {
+	var first error
+	for _, m := range s.Mappings {
+		if err := m.Release(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.Mappings = nil
+	return first
+}
+
+// OpenShardSet loads a shard set from disk in the requested mode: the
+// manifest at manifestPath plus the shard files it names (resolved in the
+// manifest's directory), fully validated. In LoadMmap mode each file is
+// mapped independently; legacy files fall back to copying per file.
+func OpenShardSet(manifestPath string, mode LoadMode) (*ShardSetSnapshot, error) {
+	out := &ShardSetSnapshot{Set: &ShardSet{}}
+	// loadFile maps or reads one file, appending any mapping to out;
+	// zeroCopy reports whether the returned bytes outlive the call.
+	loadFile := func(path string, magic string) (data []byte, zeroCopy bool, err error) {
+		if mode != LoadMmap {
+			data, err = os.ReadFile(path)
+			return data, false, err
+		}
+		m, err := mman.Open(path)
+		if err != nil {
+			return nil, false, err
+		}
+		ver, err := fileVersion(m.Data(), magic)
+		if err == nil && ver == VersionAligned && layoutMappable() {
+			out.Mappings = append(out.Mappings, m)
+			out.Mode = LoadMmap
+			return m.Data(), true, nil
+		}
+		// Nothing mappable in this file: decode a private copy and drop
+		// the mapping (a bad magic surfaces as a decode error below).
+		data = append([]byte(nil), m.Data()...)
+		m.Release()
+		return data, false, nil
+	}
+	fail := func(err error) (*ShardSetSnapshot, error) {
+		out.Close()
+		return nil, err
+	}
+
+	mdata, mz, err := loadFile(manifestPath, ManifestMagic)
+	if err != nil {
+		return fail(err)
+	}
+	base, layout, err := decodeManifest(mdata, mz)
+	if err != nil {
+		return fail(err)
+	}
+	out.Set.Base, out.Set.Layout = base, layout
+	dir := filepath.Dir(manifestPath)
+	for i, desc := range layout.Shards {
+		sdata, sz, err := loadFile(filepath.Join(dir, desc.Name), ShardMagic)
+		if err != nil {
+			return fail(fmt.Errorf("snap: opening shard %d: %w", i, err))
+		}
+		proj, ix, err := decodeShard(sdata, base, layout, i, sz)
+		if err != nil {
+			return fail(err)
+		}
+		out.Set.Shards = append(out.Set.Shards, proj)
+		out.Set.Indexes = append(out.Set.Indexes, ix)
+	}
+	return out, nil
+}
+
+// Open loads a snapshot file in the requested mode.
+func Open(path string, mode LoadMode) (*Snapshot, error) {
+	if mode != LoadMmap {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		in, ix, err := decodeSnapshot(data, false)
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{Instance: in, Index: ix, Mode: LoadCopy}, nil
+	}
+	m, err := mman.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ver, err := fileVersion(m.Data(), Magic)
+	if err != nil {
+		m.Release()
+		return nil, fmt.Errorf("snap: not a snapshot (bad magic)")
+	}
+	if ver != VersionAligned || !layoutMappable() {
+		// Nothing to map: decode out of the mapping, then drop it.
+		in, ix, err := decodeSnapshot(m.Data(), false)
+		m.Release()
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{Instance: in, Index: ix, Mode: LoadCopy}, nil
+	}
+	in, ix, err := decodeSnapshot(m.Data(), true)
+	if err != nil {
+		m.Release()
+		return nil, err
+	}
+	return &Snapshot{Instance: in, Index: ix, Mapping: m, Mode: LoadMmap}, nil
+}

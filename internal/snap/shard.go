@@ -25,6 +25,7 @@ package snap
 import (
 	"bytes"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"math"
@@ -41,9 +42,15 @@ const ManifestMagic = "S3SHMF"
 // ShardMagic starts a per-shard snapshot file.
 const ShardMagic = "S3SHRD"
 
+// ShardSetVersionVarint is the legacy varint shard-set format version
+// (readable, no longer written).
+const ShardSetVersionVarint = 1
+
 // ShardSetVersion is the current shard-set format version (manifest and
-// shard files move in lockstep).
-const ShardSetVersion = 1
+// shard files move in lockstep): the aligned layout of the snapshot's
+// version 3, so shard-set substrates and index slices can be
+// memory-mapped exactly like single snapshots.
+const ShardSetVersion = VersionAligned
 
 // manifestSections lists the ids a manifest reader requires.
 var manifestSections = []byte{secDict, secMeta, secNodes, secGraph, secMatrix, secEntities, secOntology, secLayout}
@@ -59,7 +66,11 @@ type ShardDesc struct {
 	// count, cross-checked against the shard payload on read.
 	Docs   int
 	Events int
-	// Sum is the FNV-64a digest of the shard file's bytes.
+	// Sum is the digest of the shard file's bytes: CRC-32C (in the low 32
+	// bits) for aligned sets, FNV-64a for legacy v1 sets — the same
+	// hardware-accelerated checksum the aligned container uses per
+	// section, so validating a mapped shard costs one memory-bandwidth
+	// pass.
 	Sum uint64
 }
 
@@ -113,10 +124,11 @@ func WriteShardSet(manifest io.Writer, shards []io.Writer, names []string, in *g
 		}
 	}
 
-	subs := instanceSections(in.Raw())
+	rawIn := in.Raw()
+	subs := alignedInstanceSections(rawIn)
 	setID := fnv.New64a()
 	for _, s := range subs {
-		setID.Write(s.buf.Bytes())
+		setID.Write(s.data)
 	}
 
 	layout := Layout{SetID: setID.Sum64()}
@@ -162,16 +174,11 @@ func WriteShardSet(manifest io.Writer, shards []io.Writer, names []string, in *g
 		hdr.int(desc.Events)
 
 		var file bytes.Buffer
-		err := writeSections(&file, ShardMagic, ShardSetVersion, []section{
-			{secShardHeader, &hdr.Buffer},
-			{secIndex, encodeIndex(postings)},
-		})
-		if err != nil {
+		secs := append([]asec{{secShardHeader, false, hdr.Bytes()}}, alignedIndexSections(rawIn.Comp, postings)...)
+		if err := writeAligned(&file, ShardMagic, ShardSetVersion, secs); err != nil {
 			return err
 		}
-		sum := fnv.New64a()
-		sum.Write(file.Bytes())
-		desc.Sum = sum.Sum64()
+		desc.Sum = uint64(crc32.Checksum(file.Bytes(), castagnoli))
 		if _, err := shards[s].Write(file.Bytes()); err != nil {
 			return fmt.Errorf("snap: writing shard %d: %w", s, err)
 		}
@@ -191,7 +198,10 @@ func WriteShardSet(manifest io.Writer, shards []io.Writer, names []string, in *g
 		lay.int(d.Events)
 		lay.uint(d.Sum)
 	}
-	return writeSections(manifest, ManifestMagic, ShardSetVersion, append(subs, section{secLayout, &lay.Buffer}))
+	// secLayout (9) sorts before the raw substrate ids (32+), secMeta (2)
+	// before both; splice it into canonical id order.
+	msecs := append([]asec{subs[0], {secLayout, false, lay.Bytes()}}, subs[1:]...)
+	return writeAligned(manifest, ManifestMagic, ShardSetVersion, msecs)
 }
 
 // WriteShardSetFiles persists a shard set to disk: the manifest at
@@ -258,27 +268,72 @@ func validateShardName(name string) error {
 }
 
 // ReadManifest parses a shard-set manifest: the shared base instance and
-// the shard layout.
+// the shard layout. The instance is decoded into private memory; for the
+// zero-copy mapped variant see OpenShardSet.
 func ReadManifest(r io.Reader) (*graph.Instance, *Layout, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, nil, fmt.Errorf("snap: reading manifest: %w", err)
 	}
-	payloads, err := readSections(data, ManifestMagic, ShardSetVersion, "shard-set manifest")
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, id := range manifestSections {
-		if _, ok := payloads[id]; !ok {
-			return nil, nil, fmt.Errorf("snap: manifest missing required section %d", id)
-		}
-	}
-	in, err := decodeInstance(payloads)
-	if err != nil {
-		return nil, nil, err
-	}
+	return decodeManifest(data, false)
+}
 
-	d := &decoder{data: payloads[secLayout]}
+// decodeManifest dispatches on the manifest's container version. With
+// zeroCopy (aligned manifests only) the instance views the payload bytes.
+func decodeManifest(data []byte, zeroCopy bool) (*graph.Instance, *Layout, error) {
+	ver, err := fileVersion(data, ManifestMagic)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: not a shard-set manifest (bad magic)")
+	}
+	var (
+		in  *graph.Instance
+		lay []byte
+	)
+	switch ver {
+	case ShardSetVersionVarint:
+		payloads, err := readSections(data, ManifestMagic, ShardSetVersionVarint, "shard-set manifest")
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, id := range manifestSections {
+			if _, ok := payloads[id]; !ok {
+				return nil, nil, fmt.Errorf("snap: manifest missing required section %d", id)
+			}
+		}
+		if in, err = decodeInstance(payloads); err != nil {
+			return nil, nil, err
+		}
+		lay = payloads[secLayout]
+	case ShardSetVersion:
+		payloads, err := readAligned(data, ManifestMagic, "shard-set manifest")
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, ok := payloads[secLayout]; !ok {
+			return nil, nil, fmt.Errorf("snap: manifest missing required section %d", secLayout)
+		}
+		s, err := substrateFromPayloads(payloads, "shard-set manifest", zeroCopy)
+		if err != nil {
+			return nil, nil, err
+		}
+		if in, err = instanceFromV3(s, zeroCopy); err != nil {
+			return nil, nil, err
+		}
+		lay = payloads[secLayout]
+	default:
+		return nil, nil, fmt.Errorf("snap: unsupported shard-set manifest format version %d (want %d or %d)", ver, ShardSetVersionVarint, ShardSetVersion)
+	}
+	layout, err := decodeLayout(lay, in)
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, layout, nil
+}
+
+// decodeLayout parses and fully validates the layout section against the
+// base instance.
+func decodeLayout(data []byte, in *graph.Instance) (*Layout, error) {
+	d := &decoder{data: data}
 	layout := &Layout{SetID: d.uint()}
 	n := d.count(2)
 	seen := make(map[int32]int)
@@ -299,29 +354,29 @@ func ReadManifest(r io.Reader) (*graph.Instance, *Layout, error) {
 		layout.Shards = append(layout.Shards, desc)
 		if d.err == nil {
 			if err := validateShardName(desc.Name); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		}
 		for _, c := range desc.Comps {
 			if c < 0 || int(c) >= in.NumComponents() {
-				return nil, nil, fmt.Errorf("snap: manifest assigns unknown component %d to shard %d", c, s)
+				return nil, fmt.Errorf("snap: manifest assigns unknown component %d to shard %d", c, s)
 			}
 			if prev, dup := seen[c]; dup {
-				return nil, nil, fmt.Errorf("snap: manifest assigns component %d to shards %d and %d", c, prev, s)
+				return nil, fmt.Errorf("snap: manifest assigns component %d to shards %d and %d", c, prev, s)
 			}
 			seen[c] = s
 		}
 	}
 	if d.err != nil {
-		return nil, nil, fmt.Errorf("snap: layout section: %w", d.err)
+		return nil, fmt.Errorf("snap: layout section: %w", d.err)
 	}
 	if len(layout.Shards) == 0 {
-		return nil, nil, fmt.Errorf("snap: manifest describes no shards")
+		return nil, fmt.Errorf("snap: manifest describes no shards")
 	}
 	if len(seen) != in.NumComponents() {
-		return nil, nil, fmt.Errorf("snap: manifest covers %d of %d components", len(seen), in.NumComponents())
+		return nil, fmt.Errorf("snap: manifest covers %d of %d components", len(seen), in.NumComponents())
 	}
-	return in, layout, nil
+	return layout, nil
 }
 
 // ReadShard parses and validates shard i of a set against its manifest:
@@ -329,27 +384,55 @@ func ReadManifest(r io.Reader) (*graph.Instance, *Layout, error) {
 // up. It returns the shard's component projection of the base instance
 // and its index slice.
 func ReadShard(r io.Reader, base *graph.Instance, layout *Layout, i int) (*graph.Instance, *index.Index, error) {
-	if i < 0 || i >= len(layout.Shards) {
-		return nil, nil, fmt.Errorf("snap: shard %d outside layout of %d shards", i, len(layout.Shards))
-	}
-	desc := layout.Shards[i]
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, nil, fmt.Errorf("snap: reading shard %d: %w", i, err)
 	}
-	sum := fnv.New64a()
-	sum.Write(data)
-	if sum.Sum64() != desc.Sum {
+	return decodeShard(data, base, layout, i, false)
+}
+
+// decodeShard dispatches on the shard file's container version. With
+// zeroCopy (aligned shards only) the index slice views the payload bytes.
+func decodeShard(data []byte, base *graph.Instance, layout *Layout, i int, zeroCopy bool) (*graph.Instance, *index.Index, error) {
+	if i < 0 || i >= len(layout.Shards) {
+		return nil, nil, fmt.Errorf("snap: shard %d outside layout of %d shards", i, len(layout.Shards))
+	}
+	desc := layout.Shards[i]
+	ver, err := fileVersion(data, ShardMagic)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: not a shard snapshot (bad magic)")
+	}
+	var sum uint64
+	if ver == ShardSetVersionVarint {
+		h := fnv.New64a()
+		h.Write(data)
+		sum = h.Sum64()
+	} else {
+		sum = uint64(crc32.Checksum(data, castagnoli))
+	}
+	if sum != desc.Sum {
 		return nil, nil, fmt.Errorf("snap: shard %d (%s) digest mismatch: file does not match manifest", i, desc.Name)
 	}
-	payloads, err := readSections(data, ShardMagic, ShardSetVersion, "shard snapshot")
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, id := range []byte{secShardHeader, secIndex} {
-		if _, ok := payloads[id]; !ok {
-			return nil, nil, fmt.Errorf("snap: shard %d missing required section %d", i, id)
+	var payloads map[byte][]byte
+	switch ver {
+	case ShardSetVersionVarint:
+		if payloads, err = readSections(data, ShardMagic, ShardSetVersionVarint, "shard snapshot"); err != nil {
+			return nil, nil, err
 		}
+		for _, id := range []byte{secShardHeader, secIndex} {
+			if _, ok := payloads[id]; !ok {
+				return nil, nil, fmt.Errorf("snap: shard %d missing required section %d", i, id)
+			}
+		}
+	case ShardSetVersion:
+		if payloads, err = readAligned(data, ShardMagic, "shard snapshot"); err != nil {
+			return nil, nil, err
+		}
+		if _, ok := payloads[secShardHeader]; !ok {
+			return nil, nil, fmt.Errorf("snap: shard %d missing required section %d", i, secShardHeader)
+		}
+	default:
+		return nil, nil, fmt.Errorf("snap: unsupported shard format version %d (want %d or %d)", ver, ShardSetVersionVarint, ShardSetVersion)
 	}
 
 	d := &decoder{data: payloads[secShardHeader]}
@@ -388,16 +471,47 @@ func ReadShard(r io.Reader, base *graph.Instance, layout *Layout, i int) (*graph
 	if got := len(proj.DocRoots()); got != docs || docs != desc.Docs {
 		return nil, nil, fmt.Errorf("snap: shard %d has %d documents, header says %d, manifest %d", i, got, docs, desc.Docs)
 	}
-	postings, err := decodeIndex(payloads[secIndex])
-	if err != nil {
-		return nil, nil, err
-	}
-	got := 0
-	for _, p := range postings {
-		for _, ev := range p.Events {
-			if ev.Frag < 0 || int(ev.Frag) >= base.NumNodes() {
-				return nil, nil, fmt.Errorf("snap: shard %d event fragment %d outside instance", i, ev.Frag)
+	var ix *index.Index
+	if ver == ShardSetVersionVarint {
+		postings, err := decodeIndex(payloads[secIndex])
+		if err != nil {
+			return nil, nil, err
+		}
+		got := 0
+		for _, p := range postings {
+			for _, ev := range p.Events {
+				if ev.Frag < 0 || int(ev.Frag) >= base.NumNodes() {
+					return nil, nil, fmt.Errorf("snap: shard %d event fragment %d outside instance", i, ev.Frag)
+				}
+				got++
 			}
+		}
+		if got != events {
+			return nil, nil, fmt.Errorf("snap: shard %d has %d events, header says %d", i, got, events)
+		}
+		if ix, err = index.FromRaw(proj, postings); err != nil {
+			return nil, nil, fmt.Errorf("snap: shard %d: %w", i, err)
+		}
+	} else {
+		if ix, err = indexFromPayloads(proj, payloads, "shard snapshot", zeroCopy); err != nil {
+			return nil, nil, err
+		}
+	}
+	if zeroCopy {
+		// Trusted path: the shard digest binds the file to its manifest,
+		// so component ownership is the writer's responsibility; only the
+		// counts are cross-checked.
+		if got := ix.NumEvents(); got != events || events != desc.Events {
+			return nil, nil, fmt.Errorf("snap: shard %d has %d events, header says %d, manifest %d", i, got, events, desc.Events)
+		}
+		return proj, ix, nil
+	}
+	// Copying path: every event must live in an owned component, and the
+	// total must match the header and manifest (FromRaw already bounded
+	// the fragments).
+	got := 0
+	for _, kw := range ix.Keywords() {
+		for _, ev := range ix.Events(kw) {
 			if !proj.OwnsComponent(base.CompOf(ev.Frag)) {
 				return nil, nil, fmt.Errorf("snap: shard %d carries an event of foreign component %d", i, base.CompOf(ev.Frag))
 			}
@@ -406,10 +520,6 @@ func ReadShard(r io.Reader, base *graph.Instance, layout *Layout, i int) (*graph
 	}
 	if got != events || events != desc.Events {
 		return nil, nil, fmt.Errorf("snap: shard %d has %d events, header says %d, manifest %d", i, got, events, desc.Events)
-	}
-	ix, err := index.FromRaw(proj, postings)
-	if err != nil {
-		return nil, nil, fmt.Errorf("snap: shard %d: %w", i, err)
 	}
 	return proj, ix, nil
 }

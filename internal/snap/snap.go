@@ -6,12 +6,23 @@
 // cold-starts by reading flat arrays from disk instead of re-running
 // ontology saturation, matrix normalisation and the index fixpoint.
 //
-// # Format
+// # Formats
 //
-// A snapshot is a magic header, a section table and the section payloads:
+// Two container layouts coexist. The current version-3 format stores the
+// heavy tables as page-aligned raw little-endian arrays behind a
+// fixed-width, checksummed section table (see aligned.go and v3.go): it
+// is what Write emits and what the zero-copy mapped loader consumes, and
+// it additionally persists the derived lookup structures (sorted
+// dictionary permutation, triple permutations, children CSR, URI→node
+// table, per-event components) so loading does validation scans instead
+// of rebuilds. Version 2 is intentionally skipped so the snapshot and
+// shard-set formats share one current version number.
+//
+// The legacy version-1 layout is a magic header, a varint section table
+// and varint payloads:
 //
 //	"S3SNAP"  magic (6 bytes)
-//	uint16    format version, little-endian (currently 1)
+//	uint16    format version, little-endian (1)
 //	uvarint   section count
 //	repeated  section id (1 byte) + uvarint payload length
 //	payloads  concatenated in table order
@@ -19,13 +30,13 @@
 // Integers are unsigned varints (encoding/binary); optional references
 // (parents, tag keywords, event sources) are biased by one so the zero
 // varint means "none"; floats are IEEE-754 bits in little-endian order.
-// Strings are length-prefixed raw bytes. Readers skip sections with
-// unknown ids, so future versions can append sections without breaking
-// old readers; the required sections must all be present.
+// Strings are length-prefixed raw bytes. Version-1 files remain fully
+// readable (through the copying decoder only — there is nothing aligned
+// to map); WriteLegacy still produces them for downgrade paths.
 //
-// Write emits sections in canonical order with map-backed tables sorted
-// by key, so the same instance always serialises to the same bytes
-// (snapshots can be content-addressed and diffed).
+// Both writers emit sections in canonical order with map-backed tables
+// sorted by key, so the same instance always serialises to the same
+// bytes (snapshots can be content-addressed and diffed).
 package snap
 
 import (
@@ -45,8 +56,16 @@ import (
 // Magic starts every snapshot file.
 const Magic = "S3SNAP"
 
-// Version is the current format version.
-const Version = 1
+// VersionVarint is the legacy varint-only format version (readable, no
+// longer written).
+const VersionVarint = 1
+
+// VersionAligned is the page-aligned raw-section format version. Version
+// 2 is deliberately unused.
+const VersionAligned = 3
+
+// Version is the current write version.
+const Version = VersionAligned
 
 // Section ids. Values are part of the on-disk format; never renumber.
 const (
@@ -112,10 +131,19 @@ func writeSections(w io.Writer, magic string, version uint16, sections []section
 	return nil
 }
 
-// Write serialises the instance and its connection index.
+// Write serialises the instance and its connection index in the current
+// (version-3, aligned) format.
 func Write(w io.Writer, in *graph.Instance, ix *index.Index) error {
+	raw := in.Raw()
+	secs := append(alignedInstanceSections(raw), alignedIndexSections(raw.Comp, ix.Raw())...)
+	return writeAligned(w, Magic, VersionAligned, secs)
+}
+
+// WriteLegacy serialises in the version-1 varint format, for readers that
+// predate the aligned layout.
+func WriteLegacy(w io.Writer, in *graph.Instance, ix *index.Index) error {
 	sections := append(instanceSections(in.Raw()), section{secIndex, encodeIndex(ix.Raw())})
-	return writeSections(w, Magic, Version, sections)
+	return writeSections(w, Magic, VersionVarint, sections)
 }
 
 // readSections parses a snapshot-family file: it verifies magic and
@@ -192,14 +220,42 @@ func decodeInstance(payloads map[byte][]byte) (*graph.Instance, error) {
 	return in, nil
 }
 
-// Read deserialises a snapshot written by Write and reconstructs the
-// frozen instance and its index.
+// Read deserialises a snapshot written by Write (either format version)
+// and reconstructs the frozen instance and its index in private memory.
+// For the zero-copy mapped load, see Open.
 func Read(r io.Reader) (*graph.Instance, *index.Index, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, nil, fmt.Errorf("snap: reading snapshot: %w", err)
 	}
-	payloads, err := readSections(data, Magic, Version, "snapshot")
+	return decodeSnapshot(data, false)
+}
+
+// decodeSnapshot dispatches on the container version. zeroCopy selects
+// the view-based decode of the aligned format (the caller then owns the
+// lifetime of data); version-1 files ignore it and always copy.
+func decodeSnapshot(data []byte, zeroCopy bool) (*graph.Instance, *index.Index, error) {
+	ver, err := fileVersion(data, Magic)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: not a snapshot (bad magic)")
+	}
+	switch ver {
+	case VersionVarint:
+		return decodeSnapshotV1(data)
+	case VersionAligned:
+		payloads, err := readAligned(data, Magic, "snapshot")
+		if err != nil {
+			return nil, nil, err
+		}
+		return decodeV3(payloads, zeroCopy)
+	default:
+		return nil, nil, fmt.Errorf("snap: unsupported snapshot format version %d (want %d or %d)", ver, VersionVarint, VersionAligned)
+	}
+}
+
+// decodeSnapshotV1 is the legacy varint decoder.
+func decodeSnapshotV1(data []byte) (*graph.Instance, *index.Index, error) {
+	payloads, err := readSections(data, Magic, VersionVarint, "snapshot")
 	if err != nil {
 		return nil, nil, err
 	}

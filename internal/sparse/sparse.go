@@ -8,7 +8,10 @@
 // previous border vector; this package supplies exactly that primitive.
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Matrix is an immutable square sparse matrix in CSR layout.
 type Matrix struct {
@@ -212,9 +215,18 @@ func ZeroVec(x []float64, idx []int32) {
 	}
 }
 
+// sortInsertionMax bounds the insertion sort in sortInt32: above it the
+// O(n²) cost on high-degree hub rows overtakes slices.Sort's overhead.
+const sortInsertionMax = 32
+
 func sortInt32(a []int32) {
-	// Insertion sort: rows are short (node out-degrees); avoids the
-	// interface overhead of sort.Slice on the hot build path.
+	// Insertion sort for typical short rows (node out-degrees); avoids
+	// the generic-sort overhead on the hot build path. Hub rows fall back
+	// to the O(n log n) standard sort.
+	if len(a) > sortInsertionMax {
+		slices.Sort(a)
+		return
+	}
 	for i := 1; i < len(a); i++ {
 		v := a[i]
 		j := i - 1

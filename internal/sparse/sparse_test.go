@@ -204,3 +204,40 @@ func BenchmarkPropagateT(b *testing.B) {
 		ZeroVec(out, nz)
 	}
 }
+
+// TestBuildHubRow pins the hub-row sort fallback: rows longer than the
+// insertion-sort threshold must still come out with strictly ascending,
+// duplicate-summed columns.
+func TestBuildHubRow(t *testing.T) {
+	const n = 4 * sortInsertionMax
+	b := NewBuilder(n)
+	// A hub row touching every column in reverse order, with duplicates
+	// to exercise the accumulator.
+	for c := n - 1; c >= 0; c-- {
+		b.Add(0, c, float64(c))
+		if c%3 == 0 {
+			b.Add(0, c, 1)
+		}
+	}
+	b.Add(1, 5, 2) // a short row keeps the insertion-sort path covered
+	m := b.Build()
+	var prev int = -1
+	got := 0
+	m.Row(0, func(col int, val float64) {
+		if col <= prev {
+			t.Fatalf("hub row columns out of order: %d after %d", col, prev)
+		}
+		want := float64(col)
+		if col%3 == 0 {
+			want++
+		}
+		if val != want {
+			t.Fatalf("hub row value at %d = %v, want %v", col, val, want)
+		}
+		prev = col
+		got++
+	})
+	if got != n {
+		t.Fatalf("hub row has %d entries, want %d", got, n)
+	}
+}

@@ -240,6 +240,10 @@ type Instance struct {
 	eng  *core.Engine
 	rdfv rdfView
 
+	// lifecycle owns the memory mapping behind a LoadMmap instance
+	// (Close / MappedBytes); zero for built and copy-loaded instances.
+	lifecycle
+
 	// searches counts SearchInfoed calls over the instance's lifetime
 	// (surfaced per shard by Shards).
 	searches atomic.Uint64

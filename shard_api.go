@@ -3,8 +3,6 @@ package s3
 import (
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"sync/atomic"
 
 	"s3/internal/core"
@@ -38,6 +36,13 @@ type Queryable interface {
 	// and seeds the attached proximity cache, returning the covered depth
 	// and whether this call actually performed a seed.
 	WarmProximity(seekerURI string, gamma, eta float64, maxDepth int) (int, bool)
+	// MappedBytes reports how many snapshot bytes back the instance
+	// through memory mappings (0 when copy-loaded).
+	MappedBytes() int64
+	// Close releases the instance's memory mappings, if any. Only call it
+	// once no search is executing; idempotent, and a no-op for
+	// copy-loaded instances.
+	Close() error
 }
 
 var (
@@ -80,6 +85,9 @@ type ShardedInstance struct {
 	shards []*graph.Instance
 	ixs    []*index.Index
 	seng   *core.ShardedEngine
+
+	// lifecycle owns the memory mappings behind a LoadMmap shard set.
+	lifecycle
 	// single short-circuits the one-shard case straight to the plain
 	// engine, making an N=1 shard set behaviorally identical to serving
 	// the equivalent single snapshot.
@@ -230,7 +238,7 @@ func (i *Instance) WriteShardSetFiles(manifestPath string, n int) ([]string, err
 
 // ReadShardSet loads a shard set from readers (manifest first, then the
 // shard files in layout order), fully validating the set, and returns the
-// fan-out/merge instance.
+// fan-out/merge instance (LoadCopy semantics).
 func ReadShardSet(manifest io.Reader, shards []io.Reader) (*ShardedInstance, error) {
 	set, err := snap.ReadShardSet(manifest, shards)
 	if err != nil {
@@ -239,31 +247,21 @@ func ReadShardSet(manifest io.Reader, shards []io.Reader) (*ShardedInstance, err
 	return newShardedInstance(set.Base, set.Shards, set.Indexes)
 }
 
-// OpenShardSet loads a shard set from disk: the manifest plus the shard
-// files it names (resolved in the manifest's directory).
-func OpenShardSet(manifestPath string) (*ShardedInstance, error) {
-	mf, err := os.Open(manifestPath)
+// OpenShardSet loads a shard set from disk in the given mode: the
+// manifest plus the shard files it names (resolved in the manifest's
+// directory). With LoadMmap the shared substrate and every per-shard
+// index slice are views into the mapped files; call Close when the
+// instance is retired (after in-flight searches finish) to unmap them.
+func OpenShardSet(manifestPath string, mode LoadMode) (*ShardedInstance, error) {
+	s, err := snap.OpenShardSet(manifestPath, snap.LoadMode(mode))
 	if err != nil {
 		return nil, err
 	}
-	defer mf.Close()
-	base, layout, err := snap.ReadManifest(mf)
+	si, err := newShardedInstance(s.Set.Base, s.Set.Shards, s.Set.Indexes)
 	if err != nil {
+		s.Close()
 		return nil, err
 	}
-	dir := filepath.Dir(manifestPath)
-	shards := make([]*graph.Instance, len(layout.Shards))
-	ixs := make([]*index.Index, len(layout.Shards))
-	for s, desc := range layout.Shards {
-		sf, err := os.Open(filepath.Join(dir, desc.Name))
-		if err != nil {
-			return nil, fmt.Errorf("s3: opening shard %d: %w", s, err)
-		}
-		shards[s], ixs[s], err = snap.ReadShard(sf, base, layout, s)
-		sf.Close()
-		if err != nil {
-			return nil, err
-		}
-	}
-	return newShardedInstance(base, shards, ixs)
+	si.setMapped(s.MappedBytes(), s.Close)
+	return si, nil
 }

@@ -183,7 +183,7 @@ func TestShardByMoreShardsThanComponents(t *testing.T) {
 	if _, err := inst.WriteShardSetFiles(manifest, 5); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := s3.OpenShardSet(manifest)
+	loaded, err := s3.OpenShardSet(manifest, s3.LoadCopy)
 	if err != nil {
 		t.Fatalf("over-partitioned shard set did not load back: %v", err)
 	}
@@ -217,7 +217,7 @@ func TestShardSetFilesRoundTrip(t *testing.T) {
 		}
 	}
 
-	si, err := s3.OpenShardSet(manifest)
+	si, err := s3.OpenShardSet(manifest, s3.LoadCopy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestShardSetFilesRoundTrip(t *testing.T) {
 	if err := os.Remove(paths[2]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s3.OpenShardSet(manifest); err == nil {
+	if _, err := s3.OpenShardSet(manifest, s3.LoadCopy); err == nil {
 		t.Error("shard set opened with a missing shard file")
 	}
 }
