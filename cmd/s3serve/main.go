@@ -20,17 +20,29 @@
 //	s3gen -dataset twitter -shards 4 -snap i1.set
 //	s3serve -shardset i1.set -addr :8080
 //
+// Distributed serving — one worker process per shard plus a coordinator
+// that scatter/gathers the lockstep search rounds over a compact binary
+// protocol. Each worker maps only the manifest's search substrate plus
+// its own shard (sliced node tables); answers are byte-identical to the
+// single-process shard set:
+//
+//	s3serve -shardset i1.set -shard-of 0 -mmap -addr :8081
+//	s3serve -shardset i1.set -shard-of 1 -mmap -addr :8082
+//	s3serve -shardset i1.set -coordinator \
+//	        -worker-urls http://localhost:8081,http://localhost:8082 -addr :8080
+//
 // With -mmap the snapshot (or shard set) is memory-mapped and served
 // through zero-copy views: cold start and /reload cost page faults plus
 // checksum validation instead of a full decode, and replicas of one
 // snapshot on a host share physical pages. The old mapping is unmapped
 // only after the last in-flight search on it finishes, so snapshots are
-// replaced by writing a temp file and renaming it over the served path:
+// replaced by writing a temp file and renaming it over the served path.
 //
-//	s3serve -mmap -snapshot i1.snap -addr :8080
-//
-// Endpoints: POST /search, GET /extension, GET /stats, GET /healthz,
-// POST /reload. See internal/server for the request and response bodies.
+// Endpoints: POST /search, GET /extension, GET /stats, GET /healthz
+// (readiness; 503 while loading or draining), GET /livez (liveness),
+// POST /reload. Workers speak POST /shard/v1/{begin,round,finalize,end}
+// instead of /search. See internal/server and internal/dshard for the
+// request and response bodies.
 package main
 
 import (
@@ -42,11 +54,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"s3"
+	"s3/internal/dshard"
 	"s3/internal/server"
+	"s3/internal/snap"
 )
 
 func main() {
@@ -58,6 +73,9 @@ func main() {
 		specPath  = flag.String("spec", "", "rebuild the instance from this spec (gob) when -snapshot is not given")
 		lang      = flag.String("lang", "raw", "text pipeline for -spec builds: english | french | raw")
 		mmap      = flag.Bool("mmap", false, "memory-map -snapshot / -shardset files and serve zero-copy views (O(page-fault) cold start and reload; legacy v1 files fall back to copying)")
+		shardOf   = flag.Int("shard-of", -1, "worker mode: serve only this shard of -shardset over the distributed round protocol")
+		coord     = flag.Bool("coordinator", false, "coordinator mode: scatter/gather searches for -shardset across -worker-urls")
+		workerURL = flag.String("worker-urls", "", "comma-separated worker base URLs for -coordinator (e.g. http://h1:8081,http://h2:8082)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
 		proxMB    = flag.Int("proxcache-mb", int(server.DefaultProxCacheBytes>>20), "seeker-proximity checkpoint cache budget in MiB (<= 0 disables)")
@@ -69,7 +87,15 @@ func main() {
 	if *mmap {
 		mode = s3.LoadMmap
 	}
-	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang, mode)
+	if *shardOf >= 0 {
+		if *setPath == "" || *snapPath != "" || *specPath != "" || *coord {
+			log.Fatal("-shard-of requires -shardset (and excludes -snapshot, -spec and -coordinator)")
+		}
+		runWorker(*setPath, *shardOf, mode, *addr)
+		return
+	}
+
+	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang, mode, *coord, *workerURL)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,6 +113,13 @@ func main() {
 		loadMS.Round(time.Millisecond), how,
 		inst.Stats().Users, inst.Stats().Documents, inst.Stats().Components)
 	logShardLayout(inst)
+	if di, ok := inst.(*s3.DistributedInstance); ok {
+		if err := di.Probe(context.Background()); err != nil {
+			log.Printf("warning: worker fleet incomplete: %v (searches fail until every shard has a live worker)", err)
+		} else {
+			log.Printf("coordinator: every shard covered by a healthy worker")
+		}
+	}
 
 	proxBytes := int64(*proxMB) << 20
 	if *proxMB <= 0 {
@@ -104,21 +137,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	serveHTTP(*addr, srv.Handler(), func() { srv.SetDraining(true) })
+}
+
+// serveHTTP runs the listener until SIGINT/SIGTERM, then drains: flip
+// readiness off (health-checked routers stop sending) and shut down
+// gracefully.
+func serveHTTP(addr string, handler http.Handler, drain func()) {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		log.Print("shutting down")
+		log.Print("draining")
+		if drain != nil {
+			drain()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
 	}()
-	log.Printf("serving on %s", *addr)
+	log.Printf("serving on %s", addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -127,10 +170,37 @@ func main() {
 	<-drained
 }
 
+// runWorker serves one shard of a set over the round protocol. The HTTP
+// listener comes up immediately with /healthz reporting "loading"; the
+// shard loads in the background and readiness flips to "serving" when it
+// is queryable — exactly what a coordinator's membership probe expects.
+func runWorker(setPath string, shard int, mode s3.LoadMode, addr string) {
+	w := dshard.NewWorker(dshard.WorkerConfig{
+		ManifestPath: setPath,
+		Shard:        shard,
+		Mode:         snap.LoadMode(mode),
+	})
+	go func() {
+		start := time.Now()
+		if err := w.Load(); err != nil {
+			log.Fatalf("loading shard %d of %s: %v", shard, setPath, err)
+		}
+		st := w.Stats()
+		log.Printf("shard %d of %d ready in %v: %d documents, %d components, mapped %d bytes (sliced=%v)",
+			st.Shard, st.ShardCount, time.Since(start).Round(time.Millisecond),
+			st.Shards[0].Documents, st.Shards[0].Components, st.MappedBytes, st.Sliced)
+	}()
+	serveHTTP(addr, w.Handler(), w.SetDraining)
+}
+
 // logShardLayout prints the per-shard layout when serving a shard set.
 func logShardLayout(inst s3.Queryable) {
-	si, ok := inst.(*s3.ShardedInstance)
-	if !ok {
+	type sharded interface {
+		NumShards() int
+		Shards() []s3.ShardStat
+	}
+	si, ok := inst.(sharded)
+	if !ok || si.NumShards() < 2 {
 		return
 	}
 	log.Printf("sharded: %d shards", si.NumShards())
@@ -142,7 +212,7 @@ func logShardLayout(inst s3.Queryable) {
 // makeLoader builds the instance-loading closure used both for the
 // initial load and for POST /reload. Snapshot and shard-set loading need
 // no language: both embed the text-pipeline configuration.
-func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode) (func() (s3.Queryable, error), error) {
+func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coord bool, workerURLs string) (func() (s3.Queryable, error), error) {
 	sources := 0
 	for _, p := range []string{snapPath, setPath, specPath} {
 		if p != "" {
@@ -151,6 +221,23 @@ func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode) (fun
 	}
 	if sources > 1 {
 		return nil, fmt.Errorf("-snapshot, -shardset and -spec are mutually exclusive")
+	}
+	if coord {
+		if setPath == "" {
+			return nil, fmt.Errorf("-coordinator requires -shardset (the manifest)")
+		}
+		var urls []string
+		for _, u := range strings.Split(workerURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("-coordinator requires -worker-urls (comma-separated worker URLs)")
+		}
+		return func() (s3.Queryable, error) {
+			return s3.OpenCoordinator(setPath, urls, mode)
+		}, nil
 	}
 	switch {
 	case snapPath != "":

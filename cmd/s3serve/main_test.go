@@ -13,7 +13,9 @@ import (
 
 	"s3"
 	"s3/internal/datagen"
+	"s3/internal/dshard"
 	"s3/internal/server"
+	"s3/internal/snap"
 )
 
 // writeSnapshotFile generates a small instance and persists it the way
@@ -52,7 +54,7 @@ func writeSnapshotFile(t *testing.T) (string, *s3.Instance) {
 func TestServeFromSnapshotEndToEnd(t *testing.T) {
 	path, built := writeSnapshotFile(t)
 
-	loader, err := makeLoader(path, "", "", "raw", s3.LoadCopy)
+	loader, err := makeLoader(path, "", "", "raw", s3.LoadCopy, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,26 +156,26 @@ func TestServeFromSnapshotEndToEnd(t *testing.T) {
 }
 
 func TestMakeLoaderValidation(t *testing.T) {
-	if _, err := makeLoader("", "", "", "raw", s3.LoadCopy); err == nil {
+	if _, err := makeLoader("", "", "", "raw", s3.LoadCopy, false, ""); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, err := makeLoader("a.snap", "", "b.spec", "raw", s3.LoadCopy); err == nil {
+	if _, err := makeLoader("a.snap", "", "b.spec", "raw", s3.LoadCopy, false, ""); err == nil {
 		t.Error("snapshot+spec accepted")
 	}
-	if _, err := makeLoader("a.snap", "a.set", "", "raw", s3.LoadCopy); err == nil {
+	if _, err := makeLoader("a.snap", "a.set", "", "raw", s3.LoadCopy, false, ""); err == nil {
 		t.Error("snapshot+shardset accepted")
 	}
-	if _, err := makeLoader("", "", "b.spec", "klingon", s3.LoadCopy); err == nil {
+	if _, err := makeLoader("", "", "b.spec", "klingon", s3.LoadCopy, false, ""); err == nil {
 		t.Error("unknown language accepted")
 	}
-	loader, err := makeLoader(filepath.Join(t.TempDir(), "missing.snap"), "", "", "raw", s3.LoadCopy)
+	loader, err := makeLoader(filepath.Join(t.TempDir(), "missing.snap"), "", "", "raw", s3.LoadCopy, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := loader(); err == nil {
 		t.Error("missing snapshot file loaded")
 	}
-	loader, err = makeLoader("", filepath.Join(t.TempDir(), "missing.set"), "", "raw", s3.LoadCopy)
+	loader, err = makeLoader("", filepath.Join(t.TempDir(), "missing.set"), "", "raw", s3.LoadCopy, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +204,7 @@ func TestServeFromShardSetEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loader, err := makeLoader("", manifest, "", "raw", s3.LoadCopy)
+	loader, err := makeLoader("", manifest, "", "raw", s3.LoadCopy, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +331,7 @@ func TestServeFromShardSetEndToEnd(t *testing.T) {
 // identically to the in-memory instance.
 func TestMmapLoaderEndToEnd(t *testing.T) {
 	path, built := writeSnapshotFile(t)
-	loader, err := makeLoader(path, "", "", "raw", s3.LoadMmap)
+	loader, err := makeLoader(path, "", "", "raw", s3.LoadMmap, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,5 +374,165 @@ func TestMmapLoaderEndToEnd(t *testing.T) {
 		if want[i] != got[i] {
 			t.Fatalf("result %d diverges: %+v vs %+v", i, want[i], got[i])
 		}
+	}
+}
+
+// startTestWorker boots one in-process shard worker over loopback HTTP —
+// the same Worker the -shard-of mode serves.
+func startTestWorker(t *testing.T, manifest string, shard int) *httptest.Server {
+	t.Helper()
+	w := dshard.NewWorker(dshard.WorkerConfig{
+		ManifestPath: manifest,
+		Shard:        shard,
+		Mode:         snap.LoadMmap,
+	})
+	if err := w.Load(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestServeDistributedEndToEnd exercises the full distributed serving
+// pipeline over loopback: shard set on disk → two shard workers (mapped,
+// sliced) → coordinator through the public HTTP API. Every answer must
+// be byte-identical to searching the in-memory instance directly, and
+// /stats must expose the aggregated per-worker counters.
+func TestServeDistributedEndToEnd(t *testing.T) {
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets, o.Seed = 60, 240, 11
+	spec, _ := datagen.Twitter(o)
+	var specBuf bytes.Buffer
+	if err := spec.Encode(&specBuf); err != nil {
+		t.Fatal(err)
+	}
+	built, err := s3.BuildFromSpec(&specBuf, s3.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(t.TempDir(), "i1.set")
+	if _, err := built.WriteShardSetFiles(manifest, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	w0 := startTestWorker(t, manifest, 0)
+	w1 := startTestWorker(t, manifest, 1)
+
+	loader, err := makeLoader("", manifest, "", "raw", s3.LoadMmap, true, w0.URL+","+w1.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := loader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, ok := inst.(*s3.DistributedInstance)
+	if !ok {
+		t.Fatalf("coordinator loader returned %T", inst)
+	}
+	if err := di.Probe(t.Context()); err != nil {
+		t.Fatalf("worker fleet incomplete: %v", err)
+	}
+	srv, err := server.New(server.Config{Instance: inst, Loader: loader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	checked := 0
+	for u := 0; u < 60 && checked < 4; u++ {
+		seeker := fmt.Sprintf("tw:u%d", u)
+		if !built.HasUser(seeker) {
+			continue
+		}
+		for _, kw := range []string{"#h1", "#h2", "#h3", "#h5"} {
+			want, err := built.Search(seeker, []string{kw}, s3.WithK(5))
+			if err != nil || len(want) == 0 {
+				continue
+			}
+			body := fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5,"no_cache":true}`, seeker, kw)
+			resp, err := http.Post(ts.URL+"/search", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST /search = %d", resp.StatusCode)
+			}
+			var got struct {
+				Results []struct {
+					URI      string  `json:"uri"`
+					Document string  `json:"document"`
+					Lower    float64 `json:"lower"`
+					Upper    float64 `json:"upper"`
+				} `json:"results"`
+				Exact bool `json:"exact"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if !got.Exact {
+				t.Fatalf("distributed search for %s %q not exact", seeker, kw)
+			}
+			if len(got.Results) != len(want) {
+				t.Fatalf("distributed search for %s %q: %d results, want %d", seeker, kw, len(got.Results), len(want))
+			}
+			for i, r := range got.Results {
+				if r.URI != want[i].URI || r.Lower != want[i].Lower || r.Upper != want[i].Upper {
+					t.Fatalf("distributed result %d for %s %q: %+v != %+v", i, seeker, kw, r, want[i])
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no queries checked")
+	}
+
+	// /stats must carry the coordinator's aggregated per-worker view with
+	// the stable per-shard counter rows. Worker counters are collected by
+	// the membership probe; refresh it so this test sees the searches it
+	// just ran (production refreshes every probe interval).
+	if err := di.Probe(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		ShardCount  int `json:"shard_count"`
+		Distributed struct {
+			Role    string `json:"role"`
+			Workers []struct {
+				Healthy bool `json:"healthy"`
+			} `json:"workers"`
+			Shards []struct {
+				Shard    int    `json:"shard"`
+				Searches uint64 `json:"searches"`
+				Rounds   uint64 `json:"rounds"`
+			} `json:"shards"`
+		} `json:"distributed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.ShardCount != 2 || stats.Distributed.Role != "coordinator" {
+		t.Fatalf("stats: shard_count=%d role=%q", stats.ShardCount, stats.Distributed.Role)
+	}
+	if len(stats.Distributed.Workers) != 2 || !stats.Distributed.Workers[0].Healthy || !stats.Distributed.Workers[1].Healthy {
+		t.Fatalf("stats workers: %+v", stats.Distributed.Workers)
+	}
+	rounds := uint64(0)
+	searches := uint64(0)
+	for _, row := range stats.Distributed.Shards {
+		rounds += row.Rounds
+		searches += row.Searches
+	}
+	if searches == 0 || rounds == 0 {
+		t.Fatalf("aggregated worker counters empty: searches=%d rounds=%d", searches, rounds)
 	}
 }

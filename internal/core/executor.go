@@ -1,0 +1,441 @@
+// The per-round protocol of sharded search, made explicit.
+//
+// A sharded S3k search is a sequence of lockstep rounds: advance the
+// seeker's proximity exploration one layer, let every shard admit newly
+// discovered components, refresh its candidates' score intervals and
+// compute its shard-local greedy selection, then merge the per-shard
+// selections by score interval (topks.MergeTopK) and evaluate the global
+// stop condition of Algorithm 2 on the merged state. PR 2 buried that
+// protocol inside ShardedEngine.Search; this file extracts it into an
+// explicit ShardExecutor interface with serializable round messages, so
+// the same coordinator loop can drive in-process shards (LocalExecutor,
+// sharing one proximity iterator) and remote worker processes (each
+// advancing its own iterator over the shared substrate — identical
+// floating-point operations in identical order, hence byte-identical
+// rounds) over any transport.
+//
+// Everything the coordinator needs from a shard fits in a few dozen bytes
+// per round: the shard-local selection is at most k candidates, and the
+// global stop decision needs only per-shard aggregates (admitted counts,
+// the dominating bound, the iterator's tail bounds). The proximity vector
+// itself never crosses the boundary.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"s3/internal/dict"
+	"s3/internal/graph"
+	"s3/internal/score"
+	"s3/internal/topks"
+)
+
+// SearchSpec describes one sharded search to an executor. All fields are
+// plain values, resolved against the shared substrate by the coordinator
+// (keyword groups are dictionary ids, identical in every process mapping
+// the same manifest), so the spec serializes verbatim.
+type SearchSpec struct {
+	// Seeker is the querying user node.
+	Seeker graph.NID
+	// Groups are the resolved keyword groups: Groups[i] is the semantic
+	// extension of the i-th query keyword (Definition 2.1).
+	Groups [][]dict.ID
+	// K is the number of results.
+	K int
+	// Params are the damping factors (γ, η).
+	Params score.Params
+	// Epsilon is the finite-precision tie-breaking margin (resolved by the
+	// coordinator; never zero).
+	Epsilon float64
+}
+
+// CandMeta is the serializable summary of one candidate: everything the
+// cross-shard merge and the stop decision read. The canonical order over
+// CandMeta (upper bound descending, ties by node id) equals the engine's
+// candidate order, which is what keeps merged selections byte-identical
+// to single-engine ones.
+type CandMeta struct {
+	Doc          graph.NID
+	Lower, Upper float64
+}
+
+// metaBefore is candBefore over candidate summaries.
+func metaBefore(a, b CandMeta) bool {
+	if a.Upper != b.Upper {
+		return a.Upper > b.Upper
+	}
+	return a.Doc < b.Doc
+}
+
+// BeginInfo is a shard's response to Begin: what the coordinator needs to
+// size the search and build the global threshold.
+type BeginInfo struct {
+	// Matched is the number of this shard's components matching every
+	// query keyword.
+	Matched int
+	// GroupMasses[gi][j] is MaxCompEvents of Groups[gi][j] in this shard's
+	// index slice. The coordinator takes the element-wise maximum across
+	// shards — exactly the bound the unsharded index computes, since the
+	// shards partition its components.
+	GroupMasses [][]int32
+}
+
+// RoundInfo is a shard's response to one lockstep round (or to Finalize):
+// the shard-local selection plus the per-shard aggregates of the global
+// stop decision.
+type RoundInfo struct {
+	// Kept is the shard-local greedy selection, best-first (at most k).
+	Kept []CandMeta
+	// Uncertain is the first candidate whose relative order is still
+	// unresolved (nil when the local selection is trustworthy).
+	Uncertain *CandMeta
+	// MaxOther is the best upper bound among the shard's candidates that
+	// are outside Kept and not certainly dominated by a kept neighbour.
+	MaxOther float64
+	// Admitted and Candidates are cumulative counts for this search.
+	Admitted   int
+	Candidates int
+	// Reached is the cumulative number of nodes discovered by the
+	// proximity exploration — identical across shards (they advance the
+	// same exploration).
+	Reached int
+	// N, Tail, SourceTail and Done describe the iterator after this
+	// round's step: exploration depth, B>n, the unexplored-component
+	// source bound, and whether the reachable graph is exhausted. They are
+	// byte-identical across shards; the coordinator cross-checks N and
+	// Done to catch divergent replicas.
+	N          int
+	Tail       float64
+	SourceTail float64
+	Done       bool
+}
+
+// ShardExecutor runs one shard's half of the lockstep round protocol. A
+// search is one Begin, any number of Rounds, at most one Finalize, and
+// exactly one End (which must be called on every path, including errors).
+// Executors are single-search and not safe for concurrent calls, but
+// distinct executors may run concurrently — the coordinator scatters each
+// round across shards.
+type ShardExecutor interface {
+	// Begin installs the search and reports the shard's matched
+	// components and threshold masses.
+	Begin(spec SearchSpec) (BeginInfo, error)
+	// Round advances the proximity exploration one layer, admits newly
+	// discovered matching components, refreshes candidate bounds at the
+	// new tail and recomputes the shard-local selection.
+	Round() (RoundInfo, error)
+	// Finalize recomputes bounds and the selection at the current tail
+	// without advancing the exploration — the non-threshold stops
+	// (exhaustion, budget, precision) take the greedy prefix as-is.
+	Finalize() (RoundInfo, error)
+	// End releases the search's per-shard state.
+	End()
+}
+
+// CoordOptions configure one coordinated search.
+type CoordOptions struct {
+	// MaxIterations and Budget are the any-time stop bounds (0 = none).
+	MaxIterations int
+	Budget        time.Duration
+	// Start anchors the budget clock (the caller's search start).
+	Start time.Time
+	// ForceParallel scatters every round across goroutines regardless of
+	// the per-round work estimate — the right choice when executor calls
+	// leave the process (network latency dwarfs goroutine overhead).
+	ForceParallel bool
+}
+
+// Coordinate drives a sharded search over the executors: the scatter /
+// gather half of the round protocol, plus the merge and the global stop
+// decision. It returns the merged selection (best-first) and the search
+// stats; the caller resolves URIs and owns the executors' surrounding
+// state (iterator checkpoints, counters).
+//
+// The answer — documents, order and score intervals — is byte-identical
+// to Engine.Search over the unpartitioned instance for any conforming
+// executor set; see the package comment of sharded.go for why the merge
+// decomposes exactly.
+func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]CandMeta, Stats, error) {
+	var stats Stats
+	start := copts.Start
+	if start.IsZero() {
+		start = time.Now()
+	}
+	defer func() {
+		for _, ex := range execs {
+			ex.End()
+		}
+	}()
+
+	begins := make([]BeginInfo, len(execs))
+	if err := scatter(execs, true, func(i int) error {
+		var err error
+		begins[i], err = execs[i].Begin(spec)
+		return err
+	}); err != nil {
+		return nil, stats, err
+	}
+	totalMatched := 0
+	for _, b := range begins {
+		totalMatched += b.Matched
+	}
+	stats.ComponentsMatched = totalMatched
+	if totalMatched == 0 {
+		stats.Reason = StopNoMatch
+		stats.Elapsed = time.Since(start)
+		return nil, stats, nil
+	}
+	threshold, err := thresholdFromMasses(spec.Groups, begins)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	infos := make([]RoundInfo, len(execs))
+	finish := func(sel []CandMeta, reason StopReason) ([]CandMeta, Stats, error) {
+		stats.Reason = reason
+		stats.Candidates = 0
+		for _, info := range infos {
+			stats.Candidates += info.Candidates
+		}
+		stats.Elapsed = time.Since(start)
+		return sel, stats, nil
+	}
+	finalize := func() ([]CandMeta, error) {
+		if err := scatter(execs, copts.ForceParallel, func(i int) error {
+			var err error
+			infos[i], err = execs[i].Finalize()
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		sel, _ := mergedSelectMeta(infos, spec.K)
+		return sel, nil
+	}
+
+	n, done := 0, false
+	lastWork := 0
+	for {
+		if done {
+			sel, err := finalize()
+			if err != nil {
+				return nil, stats, err
+			}
+			return finish(sel, StopExhausted)
+		}
+		if (copts.MaxIterations > 0 && n >= copts.MaxIterations) ||
+			(copts.Budget > 0 && time.Since(start) > copts.Budget) {
+			sel, err := finalize()
+			if err != nil {
+				return nil, stats, err
+			}
+			return finish(sel, StopBudget)
+		}
+
+		parallel := copts.ForceParallel || lastWork >= fanoutThreshold
+		if err := scatter(execs, parallel, func(i int) error {
+			var err error
+			infos[i], err = execs[i].Round()
+			return err
+		}); err != nil {
+			return nil, stats, err
+		}
+		prevReached := stats.NodesReached
+		n, done = infos[0].N, infos[0].Done
+		admitted := 0
+		lastWork = 0
+		for i, info := range infos {
+			if info.N != n || info.Done != done {
+				return nil, stats, fmt.Errorf("core: shard executor %d diverged (round %d/%d, done %v/%v)", i, info.N, n, info.Done, done)
+			}
+			admitted += info.Admitted
+			lastWork += info.Candidates
+			if info.Reached > stats.NodesReached {
+				stats.NodesReached = info.Reached
+			}
+		}
+		lastWork += 64 * (stats.NodesReached - prevReached)
+		stats.Iterations = n
+		stats.ComponentsReached = admitted
+		tail, sourceTail := infos[0].Tail, infos[0].SourceTail
+
+		thr := 0.0
+		if admitted < totalMatched {
+			thr = threshold(sourceTail)
+		}
+		selection, certain := mergedSelectMeta(infos, spec.K)
+
+		mayGrow := len(selection) < spec.K && thr > spec.Epsilon
+		if certain && !mayGrow {
+			if len(selection) > 0 {
+				minLower := math.Inf(1)
+				for _, c := range selection {
+					minLower = math.Min(minLower, c.Lower)
+				}
+				maxOther := mergedMaxOtherMeta(infos, selection)
+				if maxOther <= minLower+spec.Epsilon && thr <= minLower+spec.Epsilon {
+					return finish(selection, StopThreshold)
+				}
+			} else if thr <= spec.Epsilon {
+				return finish(selection, StopThreshold)
+			}
+		}
+
+		// Finite-precision tie breaking (Theorem 4.2), reachable every
+		// round so disconnected matched components cannot spin forever.
+		if tail < 1e-15 {
+			sel, err := finalize()
+			if err != nil {
+				return nil, stats, err
+			}
+			return finish(sel, StopPrecision)
+		}
+	}
+}
+
+// scatter runs f(i) for every executor — across goroutines when parallel,
+// in order otherwise — and returns the first error.
+func scatter(execs []ShardExecutor, parallel bool, f func(i int) error) error {
+	if len(execs) == 1 || !parallel || runtime.GOMAXPROCS(0) == 1 {
+		var first error
+		for i := range execs {
+			if err := f(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, len(execs))
+	var wg sync.WaitGroup
+	for i := range execs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// thresholdFromMasses builds Bscore over the whole shard set from the
+// per-shard Begin responses: per query keyword, the per-component
+// event-count bound is the maximum across shards.
+func thresholdFromMasses(groups [][]dict.ID, begins []BeginInfo) (func(B float64) float64, error) {
+	masses := make([]int, len(groups))
+	for gi, group := range groups {
+		for j := range group {
+			m := int32(0)
+			for i, b := range begins {
+				if len(b.GroupMasses) != len(groups) || len(b.GroupMasses[gi]) != len(group) {
+					return nil, fmt.Errorf("core: shard executor %d returned malformed threshold masses", i)
+				}
+				if v := b.GroupMasses[gi][j]; v > m {
+					m = v
+				}
+			}
+			masses[gi] += int(m)
+		}
+	}
+	return func(B float64) float64 {
+		t := 1.0
+		for _, mass := range masses {
+			t *= float64(mass) * B
+		}
+		return t
+	}, nil
+}
+
+// mergedSelectMeta combines the shard-local greedy selections into the
+// global one — mergedSelect over wire candidates. The per-shard kept
+// lists are merged by score interval; the walk consumes merged candidates
+// until k are selected or the earliest shard-local uncertainty point is
+// reached, exactly where the single-engine walk over the union would
+// stop (vertical-neighbour interactions never cross shards).
+func mergedSelectMeta(infos []RoundInfo, k int) ([]CandMeta, bool) {
+	lists := make([][]CandMeta, 0, len(infos))
+	var uncertain *CandMeta
+	for i := range infos {
+		if len(infos[i].Kept) > 0 {
+			lists = append(lists, infos[i].Kept)
+		}
+		if u := infos[i].Uncertain; u != nil && (uncertain == nil || metaBefore(*u, *uncertain)) {
+			uncertain = u
+		}
+	}
+	merged := topks.MergeTopK(k, lists, metaBefore)
+	if uncertain == nil {
+		return merged, true
+	}
+	for i, c := range merged {
+		if !metaBefore(c, *uncertain) {
+			// The single-engine walk would reach the uncertain candidate
+			// before selecting c: the selection stops here, untrusted.
+			return merged[:i], false
+		}
+	}
+	if len(merged) == k {
+		return merged, true
+	}
+	return merged, false
+}
+
+// mergedMaxOtherMeta computes the §4 dominating bound over the whole
+// candidate set from the per-shard round responses: each shard's local
+// MaxOther, folded with the kept candidates the merge did not consume
+// (which are "others" globally). Documents belong to exactly one shard,
+// so doc-id membership in the merged selection is exact.
+func mergedMaxOtherMeta(infos []RoundInfo, sel []CandMeta) float64 {
+	inSel := make(map[graph.NID]struct{}, len(sel))
+	for _, c := range sel {
+		inSel[c.Doc] = struct{}{}
+	}
+	maxOther := 0.0
+	for i := range infos {
+		if infos[i].MaxOther > maxOther {
+			maxOther = infos[i].MaxOther
+		}
+		for _, c := range infos[i].Kept {
+			if _, ok := inSel[c.Doc]; !ok && c.Upper > maxOther {
+				maxOther = c.Upper
+			}
+		}
+	}
+	return maxOther
+}
+
+// ResolveKeywordGroups resolves raw query keywords to their stemmed
+// semantic extensions over an instance's shared substrate (dictionary +
+// saturated ontology); see Engine.KeywordGroups. The substrate is
+// identical in every process mapping the same snapshot, so a coordinator
+// may resolve once and ship dictionary ids to shard executors.
+func ResolveKeywordGroups(in *graph.Instance, keywords []string) ([][]dict.ID, bool, error) {
+	an := in.Analyzer()
+	var groups [][]dict.ID
+	for _, kw := range keywords {
+		id, ok := in.Dict().Lookup(kw)
+		if !ok {
+			stems := an.Keywords(kw)
+			if len(stems) == 0 {
+				continue
+			}
+			id, ok = in.Dict().Lookup(stems[0])
+			if !ok {
+				return nil, false, nil
+			}
+		}
+		groups = append(groups, in.Ontology().Ext(id))
+	}
+	if len(groups) == 0 {
+		return nil, false, fmt.Errorf("core: query has no usable keywords")
+	}
+	return groups, true, nil
+}

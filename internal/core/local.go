@@ -1,0 +1,305 @@
+// In-process ShardExecutor implementations.
+//
+// Two variants share all shard-side round logic (shardState):
+//
+//   - the fan-out executor of ShardedEngine shares ONE proximity iterator
+//     across every shard of the process — whichever executor reaches a
+//     round first advances it, the rest reuse the layer (roundDriver);
+//   - NewShardExecutor gives a shard its own iterator, created at Begin —
+//     the worker-process half of distributed serving, where each process
+//     advances an identical exploration over the shared substrate.
+//
+// Both perform the identical floating-point operations in the identical
+// order, so their round responses — and therefore the coordinated answer
+// — are byte-identical.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"s3/internal/graph"
+	"s3/internal/score"
+)
+
+// roundDriver serialises a shared proximity iterator across the executors
+// of one search: the first executor to request a round steps the
+// iterator; later requests for the same round reuse the captured layer.
+// The coordinator gathers every executor before starting the next round,
+// so the iterator-owned slices (discovered, AllProx) stay valid for the
+// round's readers.
+type roundDriver struct {
+	mu sync.Mutex
+	it *score.Iterator
+
+	round      int
+	discovered []graph.NID
+	reached    int
+	tail       float64
+	sourceTail float64
+	done       bool
+
+	// Optional one-pass discovery routing for in-process fan-out: with
+	// many executors sharing the iterator, the step owner routes each
+	// discovered node to its owning shard once, instead of every
+	// executor scanning the whole list (O(shards × discovered)).
+	in        *graph.Instance
+	compShard []int32
+	routed    [][]graph.NID
+}
+
+func newRoundDriver(it *score.Iterator) *roundDriver {
+	return &roundDriver{it: it, done: it.Done(), tail: it.TailBound(), sourceTail: it.SourceTailBound()}
+}
+
+// withRouting enables per-shard discovery routing (ShardedEngine wiring).
+func (d *roundDriver) withRouting(in *graph.Instance, compShard []int32, shards int) *roundDriver {
+	d.in, d.compShard = in, compShard
+	d.routed = make([][]graph.NID, shards)
+	return d
+}
+
+// roundState is the captured per-round iterator output.
+type roundState struct {
+	discovered []graph.NID
+	routed     [][]graph.NID // per shard, when routing is enabled
+	reached    int
+	n          int
+	tail       float64
+	sourceTail float64
+	done       bool
+	prox       []float64
+}
+
+// advance brings the shared iterator to the target round (stepping at
+// most once per round across all executors) and returns the captured
+// layer.
+func (d *roundDriver) advance(target int) roundState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.round < target {
+		d.discovered = d.it.Step()
+		d.reached += len(d.discovered)
+		d.round++
+		d.tail = d.it.TailBound()
+		d.sourceTail = d.it.SourceTailBound()
+		d.done = d.it.Done()
+		if d.compShard != nil {
+			// Route once, in discovery order (the order admission runs in).
+			for s := range d.routed {
+				d.routed[s] = d.routed[s][:0]
+			}
+			for _, nd := range d.discovered {
+				if c := d.in.CompOf(nd); c >= 0 {
+					d.routed[d.compShard[c]] = append(d.routed[d.compShard[c]], nd)
+				}
+			}
+		}
+	}
+	return roundState{
+		discovered: d.discovered,
+		routed:     d.routed,
+		reached:    d.reached,
+		n:          d.round,
+		tail:       d.tail,
+		sourceTail: d.sourceTail,
+		done:       d.done,
+		prox:       d.it.AllProx(),
+	}
+}
+
+// current returns the driver's state without stepping (Finalize).
+func (d *roundDriver) current() roundState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return roundState{
+		reached:    d.reached,
+		n:          d.round,
+		tail:       d.tail,
+		sourceTail: d.sourceTail,
+		done:       d.done,
+		prox:       d.it.AllProx(),
+	}
+}
+
+// LocalExecutor runs one shard's rounds in-process. Create with
+// NewShardExecutor (own iterator) or let ShardedEngine wire the
+// shared-iterator variant.
+type LocalExecutor struct {
+	e       *Engine
+	workers int
+
+	// drv is the iterator driver: shared across the executors of a
+	// ShardedEngine search, private for NewShardExecutor.
+	drv *roundDriver
+	// shard is this executor's index into the driver's routed discovery
+	// lists (-1 when the driver does not route).
+	shard int
+	// ownIterator defers iterator construction to Begin (spec carries
+	// seeker and params).
+	ownIterator bool
+
+	// touched / rounds, when non-nil, receive the shard's fan-out and
+	// per-round work counts (ShardedEngine wiring).
+	touched *atomic.Uint64
+	rounds  *atomic.Uint64
+
+	st    *shardState
+	round int
+}
+
+// NewShardExecutor returns a self-driving executor over one shard engine:
+// Begin creates a private proximity iterator for the spec's seeker, and
+// every Round advances it one layer. This is the executor a worker
+// process wraps behind a transport.
+func NewShardExecutor(e *Engine, workers int) *LocalExecutor {
+	return &LocalExecutor{e: e, workers: workers, shard: -1, ownIterator: true}
+}
+
+// WithCounters wires the shard's fan-out and round-work counters (both
+// optional): touched increments on a Begin that matched components,
+// rounds on every round that carried candidates. Workers expose these
+// through /stats for rebalancing.
+func (x *LocalExecutor) WithCounters(touched, rounds *atomic.Uint64) *LocalExecutor {
+	x.touched, x.rounds = touched, rounds
+	return x
+}
+
+// Begin implements ShardExecutor.
+func (x *LocalExecutor) Begin(spec SearchSpec) (BeginInfo, error) {
+	if spec.K <= 0 {
+		return BeginInfo{}, fmt.Errorf("core: k must be positive, got %d", spec.K)
+	}
+	if int(spec.Seeker) < 0 || int(spec.Seeker) >= x.e.in.NumNodes() {
+		return BeginInfo{}, fmt.Errorf("core: seeker %d outside instance", spec.Seeker)
+	}
+	if len(spec.Groups) == 0 {
+		return BeginInfo{}, fmt.Errorf("core: empty keyword groups")
+	}
+	eps := spec.Epsilon
+	if eps == 0 {
+		eps = 1e-12
+	}
+	opts := Options{K: spec.K, Params: spec.Params, Workers: x.workers, Epsilon: eps}
+	sc, err := score.NewScorer(x.e.in, x.e.ix, spec.Params, spec.Groups)
+	if err != nil {
+		return BeginInfo{}, err
+	}
+	matched := make(map[int32]struct{})
+	for _, c := range x.e.ix.CompsForGroups(spec.Groups) {
+		matched[c] = struct{}{}
+	}
+	if len(matched) > 0 && x.touched != nil {
+		x.touched.Add(1)
+	}
+	x.st = &shardState{
+		e:        x.e,
+		sc:       sc,
+		groups:   spec.Groups,
+		opts:     opts,
+		eps:      eps,
+		matched:  matched,
+		admitted: make(map[int32]struct{}),
+	}
+	x.round = 0
+	if x.ownIterator {
+		x.drv = newRoundDriver(score.NewIterator(x.e.in, spec.Params, spec.Seeker))
+	}
+	info := BeginInfo{Matched: len(matched), GroupMasses: make([][]int32, len(spec.Groups))}
+	for gi, group := range spec.Groups {
+		info.GroupMasses[gi] = make([]int32, len(group))
+		for j, k := range group {
+			info.GroupMasses[gi][j] = int32(x.e.ix.MaxCompEvents(k))
+		}
+	}
+	return info, nil
+}
+
+// Round implements ShardExecutor.
+func (x *LocalExecutor) Round() (RoundInfo, error) {
+	if x.st == nil || x.drv == nil {
+		return RoundInfo{}, fmt.Errorf("core: Round without Begin")
+	}
+	x.round++
+	rs := x.drv.advance(x.round)
+	st := x.st
+	// Admit this round's newly discovered matching components, in
+	// discovery order. A routing driver hands each executor only its own
+	// shard's discoveries; an own-iterator executor (worker process)
+	// scans its iterator's full output. Shards with no matching
+	// components skip the scan entirely.
+	disc := rs.discovered
+	if x.shard >= 0 && rs.routed != nil {
+		disc = rs.routed[x.shard]
+	}
+	if len(st.matched) > 0 {
+		for _, nd := range disc {
+			comp := st.e.in.CompOf(nd)
+			if comp < 0 {
+				continue
+			}
+			if _, ok := st.matched[comp]; !ok {
+				continue
+			}
+			if _, dup := st.admitted[comp]; dup {
+				continue
+			}
+			st.admitted[comp] = struct{}{}
+			st.admitComponent(comp)
+		}
+	}
+	if len(st.cands) > 0 || len(st.matched) > 0 {
+		st.computeBounds(rs.tail, rs.prox)
+		st.kept, st.uncertain = st.greedySelect()
+	} else {
+		st.kept, st.uncertain = nil, nil
+	}
+	if x.rounds != nil && len(st.cands) > 0 {
+		x.rounds.Add(1)
+	}
+	return x.roundInfo(rs), nil
+}
+
+// Finalize implements ShardExecutor.
+func (x *LocalExecutor) Finalize() (RoundInfo, error) {
+	if x.st == nil || x.drv == nil {
+		return RoundInfo{}, fmt.Errorf("core: Finalize without Begin")
+	}
+	rs := x.drv.current()
+	st := x.st
+	st.computeBounds(rs.tail, rs.prox)
+	st.kept, st.uncertain = st.greedySelect()
+	return x.roundInfo(rs), nil
+}
+
+// End implements ShardExecutor.
+func (x *LocalExecutor) End() {
+	x.st = nil
+	if x.ownIterator {
+		x.drv = nil
+	}
+}
+
+// roundInfo serializes the shard state after a round.
+func (x *LocalExecutor) roundInfo(rs roundState) RoundInfo {
+	st := x.st
+	info := RoundInfo{
+		Kept:       make([]CandMeta, len(st.kept)),
+		MaxOther:   st.maxOtherUpper(st.kept),
+		Admitted:   len(st.admitted),
+		Candidates: len(st.cands),
+		Reached:    rs.reached,
+		N:          rs.n,
+		Tail:       rs.tail,
+		SourceTail: rs.sourceTail,
+		Done:       rs.done,
+	}
+	for i, c := range st.kept {
+		info.Kept[i] = CandMeta{Doc: c.d, Lower: c.lower, Upper: c.upper}
+	}
+	if st.uncertain != nil {
+		info.Uncertain = &CandMeta{Doc: st.uncertain.d, Lower: st.uncertain.lower, Upper: st.uncertain.upper}
+	}
+	return info
+}

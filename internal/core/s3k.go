@@ -160,26 +160,7 @@ type cand struct {
 // occur in the instance vocabulary at all), which makes the conjunctive
 // query empty.
 func (e *Engine) KeywordGroups(keywords []string) ([][]dict.ID, bool, error) {
-	an := e.in.Analyzer()
-	var groups [][]dict.ID
-	for _, kw := range keywords {
-		id, ok := e.in.Dict().Lookup(kw)
-		if !ok {
-			stems := an.Keywords(kw)
-			if len(stems) == 0 {
-				continue
-			}
-			id, ok = e.in.Dict().Lookup(stems[0])
-			if !ok {
-				return nil, false, nil
-			}
-		}
-		groups = append(groups, e.in.Ontology().Ext(id))
-	}
-	if len(groups) == 0 {
-		return nil, false, fmt.Errorf("core: query has no usable keywords")
-	}
-	return groups, true, nil
+	return ResolveKeywordGroups(e.in, keywords)
 }
 
 // Search runs S3k for the query (seeker, keywords) and returns the top-k
@@ -330,11 +311,10 @@ type shardState struct {
 
 	cands []*cand
 
-	// Sharded-search scratch, refreshed every lockstep round: components
-	// discovered this round but not yet admitted, the shard-local greedy
-	// selection, and the first candidate whose relative order is still
-	// uncertain (nil when the local selection is trustworthy).
-	pending   []int32
+	// Sharded-search scratch, refreshed every lockstep round: the
+	// shard-local greedy selection and the first candidate whose relative
+	// order is still uncertain (nil when the local selection is
+	// trustworthy).
 	kept      []*cand
 	uncertain *cand
 

@@ -11,33 +11,32 @@
 // base instance, with identical node numbering, transition matrix and
 // ontology, differing only in which components' index slices they own.
 //
-// A sharded search therefore runs ONE border-proximity iterator and, each
-// round, fans the per-shard work out in parallel: admitting newly
-// discovered components, refreshing candidate score intervals and
-// computing the shard-local greedy selection. The per-shard selections
-// are then merged by score interval (topks.MergeTopK) and the global stop
-// condition of Algorithm 2 is evaluated on the merged state. Because
-// vertical neighbours always share a component (and hence a shard), the
-// merged selection, its certainty and the dominating-bound test decompose
-// exactly — the sharded answer is byte-identical to the single-engine
-// answer, score intervals included (property-tested in sharded_test.go).
-// The only non-deterministic stop is the wall-clock budget, which is
-// any-time in the single engine too.
+// A sharded search therefore runs lockstep rounds: advance the border
+// proximity one layer and, per shard, admit newly discovered components,
+// refresh candidate score intervals and compute the shard-local greedy
+// selection. The per-shard selections are merged by score interval
+// (topks.MergeTopK) and the global stop condition of Algorithm 2 is
+// evaluated on the merged state. Because vertical neighbours always share
+// a component (and hence a shard), the merged selection, its certainty
+// and the dominating-bound test decompose exactly — the sharded answer is
+// byte-identical to the single-engine answer, score intervals included
+// (property-tested in sharded_test.go). The only non-deterministic stop
+// is the wall-clock budget, which is any-time in the single engine too.
+//
+// The round protocol itself — executor interface, serializable messages,
+// coordinator loop — lives in executor.go; ShardedEngine is the
+// all-in-one-process deployment of it, wiring a LocalExecutor per shard
+// over one shared proximity iterator.
 package core
 
 import (
 	"fmt"
-	"math"
-	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
-	"s3/internal/dict"
 	"s3/internal/graph"
 	"s3/internal/proxcache"
 	"s3/internal/score"
-	"s3/internal/topks"
 )
 
 // ShardedEngine answers queries over a component-partitioned instance by
@@ -46,11 +45,16 @@ import (
 // concurrent Search calls.
 type ShardedEngine struct {
 	shards []*Engine
-	// compShard maps a component id to the shard owning it.
+	// compShard maps a component id to the shard owning it (the per-round
+	// discovery routing table).
 	compShard []int32
 	// touched counts, per shard, the searches for which the shard had at
-	// least one matching component (the fan-out actually reached it).
+	// least one matching component (the fan-out actually reached it);
+	// rounds counts, per shard, the lockstep rounds the shard carried
+	// candidate work in. Together they are the load signal a rebalancer
+	// consumes.
 	touched []atomic.Uint64
+	rounds  []atomic.Uint64
 }
 
 // NewShardedEngine assembles a sharded engine from per-shard engines.
@@ -103,6 +107,7 @@ func NewShardedEngine(shards []*Engine) (*ShardedEngine, error) {
 		shards:    shards,
 		compShard: compShard,
 		touched:   make([]atomic.Uint64, len(shards)),
+		rounds:    make([]atomic.Uint64, len(shards)),
 	}, nil
 }
 
@@ -116,6 +121,9 @@ func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
 // short-circuit a one-shard set around Search use it to keep
 // ShardTouches the single source of truth.
 func (se *ShardedEngine) CountTouch(i int) { se.touched[i].Add(1) }
+
+// CountRounds adds to shard i's round-work counter (see CountTouch).
+func (se *ShardedEngine) CountRounds(i int, n uint64) { se.rounds[i].Add(n) }
 
 // WarmProximity pre-explores a seeker's neighbourhood into the cache over
 // the shard set's shared substrate; see Engine.WarmProximity. Warming goes
@@ -132,6 +140,17 @@ func (se *ShardedEngine) ShardTouches() []uint64 {
 	out := make([]uint64, len(se.touched))
 	for i := range se.touched {
 		out[i] = se.touched[i].Load()
+	}
+	return out
+}
+
+// ShardRounds returns, per shard, how many lockstep rounds carried
+// candidate work on it over the engine's lifetime — the per-shard work
+// signal behind /stats and rebalancing.
+func (se *ShardedEngine) ShardRounds() []uint64 {
+	out := make([]uint64, len(se.rounds))
+	for i := range se.rounds {
+		out[i] = se.rounds[i].Load()
 	}
 	return out
 }
@@ -165,290 +184,48 @@ func (se *ShardedEngine) Search(seeker graph.NID, keywords []string, opts Option
 		stats.Elapsed = time.Since(start)
 		return nil, stats, nil
 	}
+	spec := SearchSpec{Seeker: seeker, Groups: groups, K: opts.K, Params: opts.Params, Epsilon: eps}
 
-	sts := make([]*shardState, len(se.shards))
-	totalMatched := 0
-	for i, e := range se.shards {
-		sc, err := score.NewScorer(e.in, e.ix, opts.Params, groups)
-		if err != nil {
-			return nil, stats, err
-		}
-		matched := make(map[int32]struct{})
-		for _, c := range e.ix.CompsForGroups(groups) {
-			matched[c] = struct{}{}
-		}
-		if len(matched) > 0 {
-			se.touched[i].Add(1)
-		}
-		totalMatched += len(matched)
-		sts[i] = &shardState{
-			e:        e,
-			sc:       sc,
-			groups:   groups,
-			opts:     opts,
-			eps:      eps,
-			matched:  matched,
-			admitted: make(map[int32]struct{}),
-		}
-	}
-	stats.ComponentsMatched = totalMatched
-	if totalMatched == 0 {
-		stats.Reason = StopNoMatch
-		stats.Elapsed = time.Since(start)
-		return nil, stats, nil
-	}
-
-	threshold := se.thresholdFunc(groups)
-	// The iterator runs over shard 0's projection; projections share the
-	// substrate (node numbering and matrix), so its checkpoints serve every
-	// fan-out of this shard set. Cache wiring matches the single engine:
-	// resume from the deepest cached frontier, publish the final one back
-	// when the search deepened it.
+	// One iterator serves every shard of the process: it runs over shard
+	// 0's projection, and projections share the substrate (node numbering
+	// and matrix), so its checkpoints serve every fan-out of this shard
+	// set. Cache wiring matches the single engine: resume from the deepest
+	// cached frontier, publish the final one back when the search deepened
+	// it.
 	it, ckey, resumedN := openIterator(in, seeker, opts)
-
-	finish := func(sel []*cand, reason StopReason) ([]Result, Stats, error) {
-		if opts.ProxCache != nil && it.RecordedDepth() > resumedN {
-			opts.ProxCache.Put(ckey, it.Checkpoint())
-		}
-		stats.Reason = reason
-		stats.Iterations = it.N()
-		for _, ss := range sts {
-			stats.Candidates += len(ss.cands)
-		}
-		stats.Elapsed = time.Since(start)
-		out := make([]Result, 0, len(sel))
-		for _, c := range sel {
-			out = append(out, Result{Doc: c.d, URI: in.URIOf(c.d), Lower: c.lower, Upper: c.upper})
-		}
-		return out, stats, nil
-	}
-	// finalize recomputes bounds and the merged selection for the
-	// non-threshold stops (mirroring the single-engine paths, which take
-	// the greedy prefix even when it is still uncertain).
-	finalize := func(tail float64) []*cand {
-		prox := it.AllProx()
-		se.fanout(sts, func(ss *shardState) {
-			ss.computeBounds(tail, prox)
-			ss.kept, ss.uncertain = ss.greedySelect()
-		})
-		sel, _ := mergedSelect(sts, opts.K)
-		return sel
-	}
-
-	reached := 0
-	for {
-		if it.Done() {
-			return finish(finalize(0), StopExhausted)
-		}
-		if opts.MaxIterations > 0 && it.N() >= opts.MaxIterations {
-			return finish(finalize(it.TailBound()), StopBudget)
-		}
-		if opts.Budget > 0 && time.Since(start) > opts.Budget {
-			return finish(finalize(it.TailBound()), StopBudget)
-		}
-
-		discovered := it.Step()
-		reached += len(discovered)
-		stats.NodesReached = reached
-		// Route each newly discovered component to its owning shard; the
-		// shard-side admission filters against its matched set.
-		for _, nd := range discovered {
-			comp := in.CompOf(nd)
-			if comp < 0 {
-				continue
-			}
-			sts[se.compShard[comp]].pending = append(sts[se.compShard[comp]].pending, comp)
-		}
-
-		tail := it.TailBound()
-		prox := it.AllProx()
-		se.fanout(sts, func(ss *shardState) {
-			ss.admitPending()
-			ss.computeBounds(tail, prox)
-			ss.kept, ss.uncertain = ss.greedySelect()
-		})
-		admitted := 0
-		for _, ss := range sts {
-			admitted += len(ss.admitted)
-		}
-		stats.ComponentsReached = admitted
-
-		thr := 0.0
-		if admitted < totalMatched {
-			thr = threshold(it.SourceTailBound())
-		}
-		selection, certain := mergedSelect(sts, opts.K)
-
-		mayGrow := len(selection) < opts.K && thr > eps
-		if certain && !mayGrow {
-			if len(selection) > 0 {
-				minLower := math.Inf(1)
-				for _, c := range selection {
-					minLower = math.Min(minLower, c.lower)
-				}
-				maxOther := se.mergedMaxOther(sts, selection)
-				if maxOther <= minLower+eps && thr <= minLower+eps {
-					return finish(selection, StopThreshold)
-				}
-			} else if thr <= eps {
-				return finish(selection, StopThreshold)
-			}
-		}
-
-		// Finite-precision tie breaking (Theorem 4.2), as in the single
-		// engine: reachable every iteration so disconnected matched
-		// components cannot spin the search forever.
-		if it.TailBound() < 1e-15 {
-			return finish(finalize(it.TailBound()), StopPrecision)
+	drv := newRoundDriver(it).withRouting(in, se.compShard, len(se.shards))
+	execs := make([]ShardExecutor, len(se.shards))
+	for i, e := range se.shards {
+		execs[i] = &LocalExecutor{
+			e:       e,
+			workers: opts.Workers,
+			drv:     drv,
+			shard:   i,
+			touched: &se.touched[i],
+			rounds:  &se.rounds[i],
 		}
 	}
-}
 
-// thresholdFunc builds Bscore over the whole shard set: per query
-// keyword, the per-component event-count bound is the maximum across
-// shards — exactly the bound the unsharded index computes, since the
-// shards partition its components.
-func (se *ShardedEngine) thresholdFunc(groups [][]dict.ID) func(B float64) float64 {
-	masses := make([]int, len(groups))
-	for gi, group := range groups {
-		for _, k := range group {
-			m := 0
-			for _, e := range se.shards {
-				if v := e.ix.MaxCompEvents(k); v > m {
-					m = v
-				}
-			}
-			masses[gi] += m
-		}
+	sel, stats, err := Coordinate(execs, spec, CoordOptions{
+		MaxIterations: opts.MaxIterations,
+		Budget:        opts.Budget,
+		Start:         start,
+	})
+	if err != nil {
+		return nil, stats, err
 	}
-	return func(B float64) float64 {
-		t := 1.0
-		for _, mass := range masses {
-			t *= float64(mass) * B
-		}
-		return t
+	if opts.ProxCache != nil && it.RecordedDepth() > resumedN {
+		opts.ProxCache.Put(ckey, it.Checkpoint())
 	}
+	out := make([]Result, 0, len(sel))
+	for _, c := range sel {
+		out = append(out, Result{Doc: c.Doc, URI: in.URIOf(c.Doc), Lower: c.Lower, Upper: c.Upper})
+	}
+	return out, stats, nil
 }
 
 // fanoutThreshold is the amount of per-round work (candidates to bound,
-// with admissions weighted heavily) below which fanning out across
+// with fresh discoveries weighted heavily) below which fanning out across
 // goroutines costs more than it saves: small queries run the shards
 // serially, candidate-heavy ones in parallel.
 const fanoutThreshold = 192
-
-// fanout runs f over every shard with work — in parallel when the round
-// carries enough work to amortise the goroutine round-trip, serially
-// otherwise. The caller must not touch shard state until fanout returns.
-func (se *ShardedEngine) fanout(sts []*shardState, f func(*shardState)) {
-	active := sts[:0:0]
-	work := 0
-	for _, ss := range sts {
-		if len(ss.cands) > 0 || len(ss.pending) > 0 {
-			active = append(active, ss)
-			work += len(ss.cands) + 64*len(ss.pending)
-		} else {
-			// Nothing to admit or bound: the shard's round outputs are
-			// trivially empty.
-			ss.kept, ss.uncertain = nil, nil
-		}
-	}
-	if len(active) == 1 || work < fanoutThreshold || runtime.GOMAXPROCS(0) == 1 {
-		for _, ss := range active {
-			f(ss)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for _, ss := range active {
-		wg.Add(1)
-		go func(ss *shardState) {
-			defer wg.Done()
-			f(ss)
-		}(ss)
-	}
-	wg.Wait()
-}
-
-// admitPending admits the components routed to this shard in the current
-// round, in discovery order, filtering against the matched set and
-// deduplicating repeats.
-func (ss *shardState) admitPending() {
-	for _, comp := range ss.pending {
-		if _, ok := ss.matched[comp]; !ok {
-			continue
-		}
-		if _, dup := ss.admitted[comp]; dup {
-			continue
-		}
-		ss.admitted[comp] = struct{}{}
-		ss.admitComponent(comp)
-	}
-	ss.pending = ss.pending[:0]
-}
-
-// mergedSelect combines the shard-local greedy selections into the global
-// one. The per-shard kept lists are merged by score interval; the walk
-// consumes merged candidates until k are selected or the earliest
-// shard-local uncertainty point is reached — exactly where the
-// single-engine walk over the union of candidates would stop, because
-// vertical-neighbour interactions never cross shards.
-func mergedSelect(sts []*shardState, k int) ([]*cand, bool) {
-	lists := make([][]*cand, 0, len(sts))
-	var uncertain *cand
-	for _, ss := range sts {
-		if len(ss.kept) > 0 {
-			lists = append(lists, ss.kept)
-		}
-		if ss.uncertain != nil && (uncertain == nil || candBefore(ss.uncertain, uncertain)) {
-			uncertain = ss.uncertain
-		}
-	}
-	merged := topks.MergeTopK(k, lists, candBefore)
-	if uncertain == nil {
-		return merged, true
-	}
-	for i, c := range merged {
-		if !candBefore(c, uncertain) {
-			// The single-engine walk would reach the uncertain candidate
-			// before selecting c: the selection stops here, untrusted.
-			return merged[:i], false
-		}
-	}
-	if len(merged) == k {
-		// k certain selections precede every uncertainty point.
-		return merged, true
-	}
-	return merged, false
-}
-
-// mergedMaxOther computes the §4 dominating bound over the whole
-// candidate set: the best upper bound among candidates that are neither
-// in the merged selection nor certainly dominated by a selected vertical
-// neighbour. Per shard it is maxOtherUpper against the shard-local kept
-// list; kept candidates the merge did not consume are "others" globally
-// and are folded in here (their local domination check is conservative
-// but value-preserving: a locally dominating candidate outside the
-// selection contributes an upper bound at least as large as anything it
-// dominates).
-func (se *ShardedEngine) mergedMaxOther(sts []*shardState, sel []*cand) float64 {
-	inSel := make(map[*cand]struct{}, len(sel))
-	for _, c := range sel {
-		inSel[c] = struct{}{}
-	}
-	var mu sync.Mutex
-	maxOther := 0.0
-	se.fanout(sts, func(ss *shardState) {
-		local := ss.maxOtherUpper(ss.kept)
-		for _, c := range ss.kept {
-			if _, ok := inSel[c]; !ok && c.upper > local {
-				local = c.upper
-			}
-		}
-		mu.Lock()
-		if local > maxOther {
-			maxOther = local
-		}
-		mu.Unlock()
-	})
-	return maxOther
-}

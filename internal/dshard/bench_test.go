@@ -1,0 +1,95 @@
+package dshard
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"s3/internal/core"
+	"s3/internal/datagen"
+	"s3/internal/score"
+	"s3/internal/snap"
+)
+
+// BenchmarkDistributedSearch prices the distributed round protocol: the
+// same battery of queries through the in-process sharded engine and
+// through a coordinator + N loopback worker processes. The delta is the
+// per-round scatter/gather cost (HTTP round trips × exploration depth) —
+// the latency a deployment pays for per-shard memory isolation.
+func BenchmarkDistributedSearch(b *testing.B) {
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets, o.Seed = 300, 1200, 17
+	spec, _ := datagen.Twitter(o)
+	in, ix := buildInstance(b, spec)
+	const shards = 2
+	manifestPath := writeSet(b, in, ix, shards)
+
+	set, err := snap.OpenShardSet(manifestPath, snap.LoadMmap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer set.Close()
+	engines := make([]*core.Engine, shards)
+	for i := range engines {
+		engines[i] = core.NewEngine(set.Set.Shards[i], set.Set.Indexes[i])
+	}
+	se, err := core.NewShardedEngine(engines)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	urls, stop := startWorkers(b, manifestPath, shards, snap.LoadMmap)
+	defer stop()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		WorkerURLs: urls,
+		ShardCount: shards,
+		SetID:      set.Set.Layout.SetID,
+		Client:     &http.Client{Timeout: 30 * time.Second},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := coord.Probe(b.Context()); err != nil {
+		b.Fatal(err)
+	}
+
+	seekers, kwSets := queries(in)
+	params := score.Params{Gamma: 1.5, Eta: 0.8}
+	type query struct {
+		spec core.SearchSpec
+		kws  []string
+	}
+	var qs []query
+	for _, seeker := range seekers {
+		for _, kws := range kwSets {
+			groups, possible, err := core.ResolveKeywordGroups(in, kws)
+			if err != nil || !possible {
+				continue
+			}
+			qs = append(qs, query{
+				spec: core.SearchSpec{Seeker: seeker, Groups: groups, K: 5, Params: params, Epsilon: 1e-12},
+				kws:  kws,
+			})
+		}
+	}
+	if len(qs) == 0 {
+		b.Fatal("no benchmark queries")
+	}
+
+	b.Run("sharded-inproc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			if _, _, err := se.Search(q.spec.Seeker, q.kws, core.Options{K: 5, Params: params}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("distributed-loopback", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			if _, _, err := coord.Search(q.spec, core.CoordOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+// RemoteExecutor: core.ShardExecutor over the HTTP/binary round
+// protocol. One instance drives one search on one worker; the
+// coordinator creates a fresh set per search (and per retry).
+package dshard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"s3/internal/core"
+)
+
+// RemoteExecutor speaks the round protocol to one worker. It implements
+// core.ShardExecutor; transport-class errors are remembered so the
+// coordinator can attribute a failed search to the worker that broke,
+// bench it and retry elsewhere. Deterministic application rejections
+// (HTTP 400 — a malformed or oversized spec the worker validated and
+// refused) are NOT recorded: every replica would reject them identically,
+// so benching on them would let one bad request drain the whole fleet.
+type RemoteExecutor struct {
+	client   *http.Client
+	base     string
+	searchID uint64
+	round    uint32
+	begun    bool
+
+	mu  sync.Mutex
+	err error
+}
+
+// newRemoteExecutor binds a search id to a worker URL.
+func newRemoteExecutor(client *http.Client, baseURL string, searchID uint64) *RemoteExecutor {
+	return &RemoteExecutor{client: client, base: baseURL, searchID: searchID}
+}
+
+// Err returns the first transport-class error this executor hit (nil
+// after a deterministic application rejection).
+func (x *RemoteExecutor) Err() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.err
+}
+
+// setErr records a transport-class error; application rejections pass
+// through without benching the worker.
+func (x *RemoteExecutor) setErr(err error) error {
+	var app *appError
+	if errors.As(err, &app) {
+		return err
+	}
+	x.mu.Lock()
+	if x.err == nil {
+		x.err = err
+	}
+	x.mu.Unlock()
+	return err
+}
+
+// appError marks a worker-side rejection that every replica would repeat
+// (the worker validated the request and said no).
+type appError struct{ msg string }
+
+func (e *appError) Error() string { return e.msg }
+
+// post sends one binary frame and returns the response frame.
+func (x *RemoteExecutor) post(path string, frame []byte) ([]byte, error) {
+	resp, err := x.client.Post(x.base+path, "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return nil, fmt.Errorf("dshard: %s%s: %w", x.base, path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameSize+1))
+	if err != nil {
+		return nil, fmt.Errorf("dshard: %s%s: reading response: %w", x.base, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := fmt.Sprintf("dshard: %s%s: HTTP %d", x.base, path, resp.StatusCode)
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			msg = fmt.Sprintf("dshard: %s%s: %s (HTTP %d)", x.base, path, e.Error, resp.StatusCode)
+		}
+		if resp.StatusCode == http.StatusBadRequest {
+			// Deterministic rejection: retrying on another replica (or
+			// benching this one) cannot help.
+			return nil, &appError{msg: msg}
+		}
+		return nil, fmt.Errorf("%s", msg)
+	}
+	return body, nil
+}
+
+// Begin implements core.ShardExecutor.
+func (x *RemoteExecutor) Begin(spec core.SearchSpec) (core.BeginInfo, error) {
+	body, err := x.post(pathBegin, encodeBeginRequest(beginRequest{searchID: x.searchID, spec: spec}))
+	if err != nil {
+		return core.BeginInfo{}, x.setErr(err)
+	}
+	info, err := decodeBeginInfo(body)
+	if err != nil {
+		return core.BeginInfo{}, x.setErr(err)
+	}
+	x.begun = true
+	return info, nil
+}
+
+// Round implements core.ShardExecutor.
+func (x *RemoteExecutor) Round() (core.RoundInfo, error) {
+	body, err := x.post(pathRound, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round + 1}))
+	if err != nil {
+		return core.RoundInfo{}, x.setErr(err)
+	}
+	info, err := decodeRoundInfo(body)
+	if err != nil {
+		return core.RoundInfo{}, x.setErr(err)
+	}
+	x.round++
+	return info, nil
+}
+
+// Finalize implements core.ShardExecutor.
+func (x *RemoteExecutor) Finalize() (core.RoundInfo, error) {
+	body, err := x.post(pathFinalize, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
+	if err != nil {
+		return core.RoundInfo{}, x.setErr(err)
+	}
+	info, err := decodeRoundInfo(body)
+	if err != nil {
+		return core.RoundInfo{}, x.setErr(err)
+	}
+	return info, nil
+}
+
+// End implements core.ShardExecutor: best-effort release of the worker's
+// session. The POST is fired asynchronously — the answer is already
+// decided when End runs, and a hung worker must not stall the search's
+// return (or a failover retry) on teardown; the worker's TTL sweeper
+// catches anything the request fails to release.
+func (x *RemoteExecutor) End() {
+	if !x.begun {
+		return
+	}
+	x.begun = false
+	go func() {
+		_, _ = x.post(pathEnd, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
+	}()
+}

@@ -1,0 +1,353 @@
+// The scatter/gather coordinator: drives coordinated searches over
+// per-shard worker replicas, with /healthz-driven membership, per-search
+// retry onto surviving replicas, and per-worker /stats aggregation.
+package dshard
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s3/internal/core"
+)
+
+// CoordinatorConfig assembles a Coordinator.
+type CoordinatorConfig struct {
+	// WorkerURLs lists worker base URLs (e.g. "http://host:8081"). Which
+	// shard each worker serves is discovered from its /healthz — replicas
+	// are simply multiple URLs reporting the same shard.
+	WorkerURLs []string
+	// ShardCount and SetID pin the shard set the coordinator serves
+	// (from its manifest); workers reporting anything else are not
+	// members, so a half-rolled deployment can never mix answers from two
+	// different sets into one search.
+	ShardCount int
+	SetID      uint64
+	// Client is the HTTP client for rounds and probes; nil gets a default
+	// with a 30s timeout.
+	Client *http.Client
+	// ProbeInterval paces the background membership refresh (default 5s).
+	ProbeInterval time.Duration
+	// SearchRetries is how many times a failed search is retried on other
+	// replicas. Each failed attempt benches at least one worker, so the
+	// default — one retry per configured worker — guarantees a search
+	// survives any number of dead replicas as long as every shard keeps a
+	// live one. Negative disables retries.
+	SearchRetries int
+}
+
+// workerRef is one worker URL with its probed identity and health.
+type workerRef struct {
+	url string
+
+	mu      sync.Mutex
+	shard   int // -1 until probed
+	healthy bool
+	lastErr string
+	stats   *WorkerStats
+}
+
+// WorkerStatus is the coordinator's aggregated view of one worker, as
+// exposed through its /stats.
+type WorkerStatus struct {
+	URL     string       `json:"url"`
+	Shard   int          `json:"shard"`
+	Healthy bool         `json:"healthy"`
+	Error   string       `json:"error,omitempty"`
+	Stats   *WorkerStats `json:"stats,omitempty"`
+}
+
+// Coordinator scatter/gathers lockstep rounds across worker replicas.
+// It is safe for concurrent Search calls.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	client  *http.Client
+	workers []*workerRef
+	rr      []atomic.Uint32 // per-shard replica rotation
+
+	idBase uint64
+	idSeq  atomic.Uint64
+
+	searches atomic.Uint64
+	retries  atomic.Uint64
+	failures atomic.Uint64
+}
+
+// NewCoordinator wires a coordinator; call Probe (or start Run) before
+// searching so membership is known.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.ShardCount <= 0 {
+		return nil, fmt.Errorf("dshard: coordinator needs a positive shard count")
+	}
+	if len(cfg.WorkerURLs) == 0 {
+		return nil, fmt.Errorf("dshard: coordinator needs at least one worker URL")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 5 * time.Second
+	}
+	if cfg.SearchRetries == 0 {
+		cfg.SearchRetries = len(cfg.WorkerURLs)
+	} else if cfg.SearchRetries < 0 {
+		cfg.SearchRetries = 0
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		client: cfg.Client,
+		rr:     make([]atomic.Uint32, cfg.ShardCount),
+	}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("dshard: seeding search ids: %w", err)
+	}
+	c.idBase = binary.LittleEndian.Uint64(seed[:])
+	for _, u := range cfg.WorkerURLs {
+		c.workers = append(c.workers, &workerRef{url: u, shard: -1})
+	}
+	return c, nil
+}
+
+func (c *Coordinator) nextSearchID() uint64 { return c.idBase + c.idSeq.Add(1) }
+
+// probeWorker refreshes one worker's identity, health and stats.
+func (c *Coordinator) probeWorker(ctx context.Context, w *workerRef) {
+	var hb healthzBody
+	code, err := c.getJSON(ctx, w.url+"/healthz", &hb)
+	healthy := false
+	var lastErr string
+	shard := -1
+	switch {
+	case err != nil:
+		lastErr = err.Error()
+	case hb.Status != "serving" || code != http.StatusOK:
+		lastErr = fmt.Sprintf("worker is %s", hb.Status)
+		shard = hb.Shard
+	case hb.ShardCount != c.cfg.ShardCount:
+		lastErr = fmt.Sprintf("worker serves a %d-shard set, coordinator has %d", hb.ShardCount, c.cfg.ShardCount)
+	case hb.SetID != fmt.Sprintf("%016x", c.cfg.SetID):
+		lastErr = fmt.Sprintf("worker serves set %s, coordinator has %016x", hb.SetID, c.cfg.SetID)
+	case hb.Shard < 0 || hb.Shard >= c.cfg.ShardCount:
+		lastErr = fmt.Sprintf("worker reports shard %d of %d", hb.Shard, c.cfg.ShardCount)
+	default:
+		healthy = true
+		shard = hb.Shard
+	}
+	var st *WorkerStats
+	if healthy {
+		var ws WorkerStats
+		if code, err := c.getJSON(ctx, w.url+"/stats", &ws); err == nil && code == http.StatusOK {
+			st = &ws
+		}
+	}
+	w.mu.Lock()
+	w.shard, w.healthy, w.lastErr = shard, healthy, lastErr
+	if st != nil {
+		w.stats = st
+	}
+	w.mu.Unlock()
+}
+
+func (c *Coordinator) getJSON(ctx context.Context, url string, v any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}
+
+// Probe refreshes membership for every worker (concurrently) and reports
+// whether every shard has at least one healthy replica.
+func (c *Coordinator) Probe(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *workerRef) {
+			defer wg.Done()
+			c.probeWorker(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+	covered := make([]bool, c.cfg.ShardCount)
+	for _, w := range c.workers {
+		w.mu.Lock()
+		if w.healthy && w.shard >= 0 {
+			covered[w.shard] = true
+		}
+		w.mu.Unlock()
+	}
+	for s, ok := range covered {
+		if !ok {
+			return fmt.Errorf("dshard: no healthy worker for shard %d", s)
+		}
+	}
+	return nil
+}
+
+// Run probes on the configured interval until the context ends —
+// unhealthy workers rejoin automatically once their /healthz turns
+// serving again (the second half of a /reload + drain roll).
+func (c *Coordinator) Run(ctx context.Context) {
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = c.Probe(ctx)
+		}
+	}
+}
+
+// pick selects one healthy replica per shard (rotating across replicas),
+// skipping excluded workers.
+func (c *Coordinator) pick(excluded map[*workerRef]bool) ([]*workerRef, error) {
+	byShard := make([][]*workerRef, c.cfg.ShardCount)
+	for _, w := range c.workers {
+		w.mu.Lock()
+		ok := w.healthy && w.shard >= 0 && w.shard < c.cfg.ShardCount && !excluded[w]
+		shard := w.shard
+		w.mu.Unlock()
+		if ok {
+			byShard[shard] = append(byShard[shard], w)
+		}
+	}
+	out := make([]*workerRef, c.cfg.ShardCount)
+	for s, reps := range byShard {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("dshard: no healthy worker for shard %d", s)
+		}
+		out[s] = reps[int(c.rr[s].Add(1))%len(reps)]
+	}
+	return out, nil
+}
+
+// markUnhealthy benches a worker until the next successful probe.
+func (c *Coordinator) markUnhealthy(w *workerRef, err error) {
+	w.mu.Lock()
+	w.healthy = false
+	w.lastErr = err.Error()
+	w.mu.Unlock()
+}
+
+// Search runs one coordinated search across the shard set. On a worker
+// failure the whole search restarts on other replicas (per-shard session
+// state cannot migrate mid-search), up to SearchRetries times; the
+// failing worker is benched until a probe sees it healthy again. Answers
+// are byte-identical to the in-process sharded engine over the same set.
+func (c *Coordinator) Search(spec core.SearchSpec, copts core.CoordOptions) ([]core.CandMeta, core.Stats, error) {
+	copts.ForceParallel = true
+	excluded := make(map[*workerRef]bool)
+	var lastErr error
+	var lastStats core.Stats
+	for attempt := 0; attempt <= c.cfg.SearchRetries; attempt++ {
+		refs, err := c.pick(excluded)
+		if err != nil {
+			if lastErr != nil {
+				err = fmt.Errorf("%w (after: %v)", err, lastErr)
+			}
+			c.failures.Add(1)
+			return nil, lastStats, err
+		}
+		id := c.nextSearchID()
+		remotes := make([]*RemoteExecutor, len(refs))
+		execs := make([]core.ShardExecutor, len(refs))
+		for i, ref := range refs {
+			remotes[i] = newRemoteExecutor(c.client, ref.url, id)
+			execs[i] = remotes[i]
+		}
+		sel, stats, err := core.Coordinate(execs, spec, copts)
+		if err == nil {
+			c.searches.Add(1)
+			return sel, stats, nil
+		}
+		lastErr, lastStats = err, stats
+		transport := false
+		for i, re := range remotes {
+			if rerr := re.Err(); rerr != nil {
+				transport = true
+				excluded[refs[i]] = true
+				c.markUnhealthy(refs[i], rerr)
+			}
+		}
+		if !transport {
+			// A logic error (diverged executors, bad spec) will not go
+			// away on other replicas.
+			c.failures.Add(1)
+			return nil, stats, err
+		}
+		c.retries.Add(1)
+	}
+	c.failures.Add(1)
+	return nil, lastStats, lastErr
+}
+
+// CoordinatorStats is the aggregated serving view the coordinator's
+// /stats exposes: its own counters plus the per-worker statuses (with
+// each worker's cumulative per-shard search/round counts as probed).
+type CoordinatorStats struct {
+	Role       string           `json:"role"`
+	ShardCount int              `json:"shard_count"`
+	SetID      string           `json:"set_id"`
+	Searches   uint64           `json:"searches"`
+	Retries    uint64           `json:"retries"`
+	Failures   uint64           `json:"failures"`
+	Workers    []WorkerStatus   `json:"workers"`
+	Shards     []WorkerShardRow `json:"shards"`
+}
+
+// Stats snapshots the coordinator's view: per-worker statuses from the
+// last probe and per-shard rows aggregated across replicas (counter sums;
+// content counts from any replica of the shard).
+func (c *Coordinator) Stats() CoordinatorStats {
+	out := CoordinatorStats{
+		Role:       "coordinator",
+		ShardCount: c.cfg.ShardCount,
+		SetID:      fmt.Sprintf("%016x", c.cfg.SetID),
+		Searches:   c.searches.Load(),
+		Retries:    c.retries.Load(),
+		Failures:   c.failures.Load(),
+	}
+	rows := make([]WorkerShardRow, c.cfg.ShardCount)
+	for s := range rows {
+		rows[s].Shard = s
+	}
+	for _, w := range c.workers {
+		w.mu.Lock()
+		ws := WorkerStatus{URL: w.url, Shard: w.shard, Healthy: w.healthy, Error: w.lastErr, Stats: w.stats}
+		w.mu.Unlock()
+		out.Workers = append(out.Workers, ws)
+		if ws.Stats != nil && ws.Shard >= 0 && ws.Shard < len(rows) {
+			for _, r := range ws.Stats.Shards {
+				rows[ws.Shard].Documents = r.Documents
+				rows[ws.Shard].Components = r.Components
+				rows[ws.Shard].Tags = r.Tags
+				rows[ws.Shard].Searches += r.Searches
+				rows[ws.Shard].Rounds += r.Rounds
+			}
+		}
+	}
+	out.Shards = rows
+	return out
+}

@@ -1,0 +1,292 @@
+// Package dshard runs the sharded-search round protocol across
+// processes: a compact HTTP/binary transport for core.ShardExecutor, the
+// per-shard worker that serves it, and the scatter/gather coordinator
+// that drives searches over worker replicas.
+//
+// The protocol is deliberately tiny. Workers advance their own proximity
+// iterator over the shared substrate (identical floating-point operations
+// in identical order across processes), so a round request carries only a
+// search id and a round ordinal, and a round response carries the
+// shard-local selection (at most k candidates) plus a handful of
+// aggregates — the proximity vector never crosses the wire. Distributed
+// answers are therefore byte-identical to the in-process sharded engine,
+// property-tested in dshard_test.go.
+//
+// Endpoints (all POST, application/octet-stream bodies):
+//
+//	/shard/v1/begin     install a search            → BeginInfo
+//	/shard/v1/round     advance one lockstep round  → RoundInfo
+//	/shard/v1/finalize  re-bound without stepping   → RoundInfo
+//	/shard/v1/end       release the search's state
+//
+// plus GET /healthz (readiness), GET /stats and POST /reload on workers.
+package dshard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"s3/internal/core"
+	"s3/internal/dict"
+	"s3/internal/graph"
+	"s3/internal/score"
+)
+
+// Decode limits: a conforming coordinator never exceeds these, and a
+// worker must not let a malformed frame size an allocation.
+const (
+	maxGroups    = 256
+	maxGroupLen  = 1 << 20
+	maxKept      = 1 << 16
+	maxFrameSize = 64 << 20
+)
+
+// wire paths.
+const (
+	pathBegin    = "/shard/v1/begin"
+	pathRound    = "/shard/v1/round"
+	pathFinalize = "/shard/v1/finalize"
+	pathEnd      = "/shard/v1/end"
+)
+
+// enc is a little-endian frame builder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) f64(v float64) { e.b = binary.LittleEndian.AppendUint64(e.b, floatBits(v)) }
+
+// dec is a little-endian frame reader with a sticky error.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("dshard: "+format, args...)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail("truncated frame")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail("truncated frame")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail("truncated frame")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) f64() float64 { return floatFromBits(d.u64()) }
+
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("dshard: %d trailing bytes in frame", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// --- begin ---
+
+// beginRequest pairs a search id with its spec.
+type beginRequest struct {
+	searchID uint64
+	spec     core.SearchSpec
+}
+
+func encodeBeginRequest(r beginRequest) []byte {
+	var e enc
+	e.u64(r.searchID)
+	e.u32(uint32(r.spec.Seeker))
+	e.u32(uint32(r.spec.K))
+	e.f64(r.spec.Params.Gamma)
+	e.f64(r.spec.Params.Eta)
+	e.f64(r.spec.Epsilon)
+	e.u32(uint32(len(r.spec.Groups)))
+	for _, g := range r.spec.Groups {
+		e.u32(uint32(len(g)))
+		for _, id := range g {
+			e.u32(uint32(id))
+		}
+	}
+	return e.b
+}
+
+func decodeBeginRequest(b []byte) (beginRequest, error) {
+	d := &dec{b: b}
+	var r beginRequest
+	r.searchID = d.u64()
+	r.spec.Seeker = graph.NID(d.u32())
+	r.spec.K = int(d.u32())
+	r.spec.Params = score.Params{Gamma: d.f64(), Eta: d.f64()}
+	r.spec.Epsilon = d.f64()
+	ng := int(d.u32())
+	if d.err == nil && (ng <= 0 || ng > maxGroups) {
+		d.fail("%d keyword groups", ng)
+	}
+	for gi := 0; gi < ng && d.err == nil; gi++ {
+		nk := int(d.u32())
+		if d.err == nil && (nk <= 0 || nk > maxGroupLen) {
+			d.fail("group of %d keywords", nk)
+		}
+		g := make([]dict.ID, 0, min(nk, 1024))
+		for j := 0; j < nk && d.err == nil; j++ {
+			g = append(g, dict.ID(d.u32()))
+		}
+		r.spec.Groups = append(r.spec.Groups, g)
+	}
+	return r, d.done()
+}
+
+func encodeBeginInfo(info core.BeginInfo) []byte {
+	var e enc
+	e.u32(uint32(info.Matched))
+	e.u32(uint32(len(info.GroupMasses)))
+	for _, g := range info.GroupMasses {
+		e.u32(uint32(len(g)))
+		for _, m := range g {
+			e.u32(uint32(m))
+		}
+	}
+	return e.b
+}
+
+func decodeBeginInfo(b []byte) (core.BeginInfo, error) {
+	d := &dec{b: b}
+	var info core.BeginInfo
+	info.Matched = int(d.u32())
+	ng := int(d.u32())
+	if d.err == nil && ng > maxGroups {
+		d.fail("%d mass groups", ng)
+	}
+	for gi := 0; gi < ng && d.err == nil; gi++ {
+		nk := int(d.u32())
+		if d.err == nil && nk > maxGroupLen {
+			d.fail("mass group of %d", nk)
+		}
+		g := make([]int32, 0, min(nk, 1024))
+		for j := 0; j < nk && d.err == nil; j++ {
+			g = append(g, int32(d.u32()))
+		}
+		info.GroupMasses = append(info.GroupMasses, g)
+	}
+	return info, d.done()
+}
+
+// --- round / finalize ---
+
+// roundRequest names a search and the round the coordinator expects to
+// run next; the worker rejects out-of-lockstep ordinals, so a replayed or
+// lost frame can never silently double-step an exploration.
+type roundRequest struct {
+	searchID uint64
+	round    uint32
+}
+
+func encodeRoundRequest(r roundRequest) []byte {
+	var e enc
+	e.u64(r.searchID)
+	e.u32(r.round)
+	return e.b
+}
+
+func decodeRoundRequest(b []byte) (roundRequest, error) {
+	d := &dec{b: b}
+	r := roundRequest{searchID: d.u64(), round: d.u32()}
+	return r, d.done()
+}
+
+const (
+	roundFlagDone      = 1 << 0
+	roundFlagUncertain = 1 << 1
+)
+
+func encodeRoundInfo(info core.RoundInfo) []byte {
+	var e enc
+	var flags byte
+	if info.Done {
+		flags |= roundFlagDone
+	}
+	if info.Uncertain != nil {
+		flags |= roundFlagUncertain
+	}
+	e.u8(flags)
+	e.u32(uint32(info.N))
+	e.u32(uint32(info.Reached))
+	e.u32(uint32(info.Admitted))
+	e.u32(uint32(info.Candidates))
+	e.f64(info.Tail)
+	e.f64(info.SourceTail)
+	e.f64(info.MaxOther)
+	e.u32(uint32(len(info.Kept)))
+	for _, c := range info.Kept {
+		e.u32(uint32(c.Doc))
+		e.f64(c.Lower)
+		e.f64(c.Upper)
+	}
+	if info.Uncertain != nil {
+		e.u32(uint32(info.Uncertain.Doc))
+		e.f64(info.Uncertain.Lower)
+		e.f64(info.Uncertain.Upper)
+	}
+	return e.b
+}
+
+func decodeRoundInfo(b []byte) (core.RoundInfo, error) {
+	d := &dec{b: b}
+	var info core.RoundInfo
+	flags := d.u8()
+	info.Done = flags&roundFlagDone != 0
+	info.N = int(d.u32())
+	info.Reached = int(d.u32())
+	info.Admitted = int(d.u32())
+	info.Candidates = int(d.u32())
+	info.Tail = d.f64()
+	info.SourceTail = d.f64()
+	info.MaxOther = d.f64()
+	nk := int(d.u32())
+	if d.err == nil && nk > maxKept {
+		d.fail("%d kept candidates", nk)
+	}
+	for i := 0; i < nk && d.err == nil; i++ {
+		info.Kept = append(info.Kept, core.CandMeta{Doc: graph.NID(d.u32()), Lower: d.f64(), Upper: d.f64()})
+	}
+	if flags&roundFlagUncertain != 0 {
+		info.Uncertain = &core.CandMeta{Doc: graph.NID(d.u32()), Lower: d.f64(), Upper: d.f64()}
+	}
+	return info, d.done()
+}
+
+// floatBits / floatFromBits round-trip float64s through their exact bit
+// patterns: the transport must not perturb a single ULP, or the
+// byte-identity guarantee (and the coordinator's merge order) breaks.
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+
+func floatFromBits(v uint64) float64 { return math.Float64frombits(v) }

@@ -1,0 +1,515 @@
+// The per-shard worker: one process serving one shard of a set through
+// the round protocol, plus the operational endpoints a coordinator and an
+// external router need (/healthz readiness, /stats counters, /reload).
+package dshard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s3/internal/core"
+	"s3/internal/snap"
+)
+
+// Worker states, reported by /healthz. Readiness (HTTP 200) means
+// "serving": a loading worker has no engine yet, and a draining worker
+// wants routers and coordinators to stop sending new searches while its
+// in-flight rounds finish. Liveness is the TCP listener itself.
+const (
+	StateLoading int32 = iota
+	StateServing
+	StateDraining
+)
+
+func stateName(s int32) string {
+	switch s {
+	case StateServing:
+		return "serving"
+	case StateDraining:
+		return "draining"
+	default:
+		return "loading"
+	}
+}
+
+// WorkerConfig assembles a Worker.
+type WorkerConfig struct {
+	// ManifestPath and Shard select the shard-set manifest and this
+	// worker's ordinal; Mode is the load mode (snap.LoadMmap maps the
+	// sliced substrate).
+	ManifestPath string
+	Shard        int
+	Mode         snap.LoadMode
+	// Workers bounds per-search candidate-bound parallelism (0 = serial).
+	Workers int
+	// SessionTTL evicts abandoned searches (a crashed coordinator never
+	// sends End); 0 picks the default 60s.
+	SessionTTL time.Duration
+	// MaxSessions bounds concurrently open searches; 0 picks 1024.
+	MaxSessions int
+}
+
+// workerGen is one loaded generation of the shard, reference-counted so a
+// reload unmaps the old snapshot only after its last in-flight search
+// ends (the same discipline the serving layer uses).
+type workerGen struct {
+	ws       *snap.WorkerSnapshot
+	engine   *core.Engine
+	version  uint64
+	loadMS   int64
+	loadedAt time.Time
+	refs     atomic.Int64
+}
+
+func (g *workerGen) retain() bool {
+	for {
+		r := g.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if g.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+func (g *workerGen) release() {
+	if g.refs.Add(-1) == 0 {
+		_ = g.ws.Close()
+	}
+}
+
+// session is one in-flight search: an executor pinned to the generation
+// it began on.
+type session struct {
+	mu       sync.Mutex
+	gen      *workerGen
+	exec     *core.LocalExecutor
+	round    uint32
+	lastUsed time.Time
+}
+
+// Worker serves one shard of a set over the round protocol. Create with
+// NewWorker, then Load (or let the HTTP layer report "loading" while a
+// background Load runs).
+type Worker struct {
+	cfg   WorkerConfig
+	state atomic.Int32
+	cur   atomic.Pointer[workerGen]
+
+	reloadMu sync.Mutex
+	mu       sync.Mutex
+	sessions map[uint64]*session
+
+	start    time.Time
+	searches atomic.Uint64 // Begin calls accepted
+	touched  atomic.Uint64 // searches that matched components here
+	rounds   atomic.Uint64 // lockstep rounds that carried candidates
+	rejected atomic.Uint64 // begins refused (not serving / full)
+}
+
+// NewWorker returns a worker in the loading state; call Load to serve.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = time.Minute
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
+	return &Worker{cfg: cfg, sessions: make(map[uint64]*session), start: time.Now()}
+}
+
+// Load opens the manifest + shard and moves the worker to serving. Also
+// the reload path: a successful re-open atomically replaces the served
+// generation, and the old one is closed when its last search ends.
+func (w *Worker) Load() error {
+	w.reloadMu.Lock()
+	defer w.reloadMu.Unlock()
+	start := time.Now()
+	ws, err := snap.OpenShardWorker(w.cfg.ManifestPath, w.cfg.Shard, w.cfg.Mode)
+	if err != nil {
+		return err
+	}
+	old := w.cur.Load()
+	version := uint64(1)
+	if old != nil {
+		version = old.version + 1
+	}
+	gen := &workerGen{
+		ws:       ws,
+		engine:   core.NewEngine(ws.Instance, ws.Index),
+		version:  version,
+		loadMS:   time.Since(start).Milliseconds(),
+		loadedAt: time.Now(),
+	}
+	gen.refs.Store(1)
+	w.cur.Store(gen)
+	if old != nil {
+		old.release()
+	}
+	w.state.CompareAndSwap(StateLoading, StateServing)
+	return nil
+}
+
+// SetDraining flips readiness off ahead of a graceful shutdown: /healthz
+// turns 503 so coordinators stop picking this worker, while in-flight
+// rounds keep answering.
+func (w *Worker) SetDraining() { w.state.Store(StateDraining) }
+
+// State returns the worker's lifecycle state.
+func (w *Worker) State() int32 { return w.state.Load() }
+
+// Shard returns the worker's shard ordinal.
+func (w *Worker) Shard() int { return w.cfg.Shard }
+
+// acquire returns the current generation with a reference held, or nil
+// while loading.
+func (w *Worker) acquire() *workerGen {
+	for {
+		g := w.cur.Load()
+		if g == nil {
+			return nil
+		}
+		if g.retain() {
+			return g
+		}
+	}
+}
+
+// Handler returns the worker's HTTP surface.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+pathBegin, w.handleBegin)
+	mux.HandleFunc("POST "+pathRound, w.handleRound)
+	mux.HandleFunc("POST "+pathFinalize, w.handleFinalize)
+	mux.HandleFunc("POST "+pathEnd, w.handleEnd)
+	mux.HandleFunc("GET /healthz", w.handleHealthz)
+	mux.HandleFunc("GET /stats", w.handleStats)
+	mux.HandleFunc("POST /reload", w.handleReload)
+	return mux
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func writeErr(rw http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(rw, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeFrame(rw http.ResponseWriter, frame []byte) {
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(frame)
+}
+
+func readFrame(rw http.ResponseWriter, req *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxFrameSize+1))
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "reading frame: %v", err)
+		return nil, false
+	}
+	if len(body) > maxFrameSize {
+		writeErr(rw, http.StatusBadRequest, "frame exceeds %d bytes", maxFrameSize)
+		return nil, false
+	}
+	return body, true
+}
+
+// sweepSessions evicts searches idle past the TTL (their coordinator is
+// gone); the caller must hold w.mu.
+func (w *Worker) sweepSessions(now time.Time) {
+	for id, s := range w.sessions {
+		if now.Sub(s.lastUsed) > w.cfg.SessionTTL {
+			delete(w.sessions, id)
+			go func(s *session) {
+				s.mu.Lock()
+				s.exec.End()
+				s.mu.Unlock()
+				s.gen.release()
+			}(s)
+		}
+	}
+}
+
+func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
+	if w.state.Load() != StateServing {
+		w.rejected.Add(1)
+		writeErr(rw, http.StatusServiceUnavailable, "worker is %s", stateName(w.state.Load()))
+		return
+	}
+	body, ok := readFrame(rw, req)
+	if !ok {
+		return
+	}
+	r, err := decodeBeginRequest(body)
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	gen := w.acquire()
+	if gen == nil {
+		w.rejected.Add(1)
+		writeErr(rw, http.StatusServiceUnavailable, "worker is loading")
+		return
+	}
+	s := &session{
+		gen:      gen,
+		exec:     core.NewShardExecutor(gen.engine, w.cfg.Workers).WithCounters(&w.touched, &w.rounds),
+		lastUsed: time.Now(),
+	}
+	w.mu.Lock()
+	w.sweepSessions(s.lastUsed)
+	if len(w.sessions) >= w.cfg.MaxSessions {
+		w.mu.Unlock()
+		gen.release()
+		w.rejected.Add(1)
+		writeErr(rw, http.StatusServiceUnavailable, "worker session table full (%d)", w.cfg.MaxSessions)
+		return
+	}
+	if _, dup := w.sessions[r.searchID]; dup {
+		w.mu.Unlock()
+		gen.release()
+		writeErr(rw, http.StatusConflict, "search %d already begun", r.searchID)
+		return
+	}
+	w.sessions[r.searchID] = s
+	w.mu.Unlock()
+
+	info, err := s.exec.Begin(r.spec)
+	if err != nil {
+		w.dropSession(r.searchID)
+		writeErr(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.searches.Add(1)
+	writeFrame(rw, encodeBeginInfo(info))
+}
+
+// lookup fetches a session and bumps its liveness.
+func (w *Worker) lookup(id uint64) *session {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.sessions[id]
+	if s != nil {
+		s.lastUsed = time.Now()
+	}
+	return s
+}
+
+func (w *Worker) dropSession(id uint64) {
+	w.mu.Lock()
+	s := w.sessions[id]
+	delete(w.sessions, id)
+	w.mu.Unlock()
+	if s != nil {
+		s.mu.Lock()
+		s.exec.End()
+		s.mu.Unlock()
+		s.gen.release()
+	}
+}
+
+func (w *Worker) handleRound(rw http.ResponseWriter, req *http.Request) {
+	body, ok := readFrame(rw, req)
+	if !ok {
+		return
+	}
+	r, err := decodeRoundRequest(body)
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s := w.lookup(r.searchID)
+	if s == nil {
+		writeErr(rw, http.StatusNotFound, "unknown search %d", r.searchID)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.round != s.round+1 {
+		// Out-of-lockstep: a lost or replayed frame must never silently
+		// double-step the exploration.
+		writeErr(rw, http.StatusConflict, "search %d at round %d, request says %d", r.searchID, s.round, r.round)
+		return
+	}
+	info, err := s.exec.Round()
+	if err != nil {
+		writeErr(rw, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.round++
+	writeFrame(rw, encodeRoundInfo(info))
+}
+
+func (w *Worker) handleFinalize(rw http.ResponseWriter, req *http.Request) {
+	body, ok := readFrame(rw, req)
+	if !ok {
+		return
+	}
+	r, err := decodeRoundRequest(body)
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s := w.lookup(r.searchID)
+	if s == nil {
+		writeErr(rw, http.StatusNotFound, "unknown search %d", r.searchID)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, err := s.exec.Finalize()
+	if err != nil {
+		writeErr(rw, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeFrame(rw, encodeRoundInfo(info))
+}
+
+func (w *Worker) handleEnd(rw http.ResponseWriter, req *http.Request) {
+	body, ok := readFrame(rw, req)
+	if !ok {
+		return
+	}
+	r, err := decodeRoundRequest(body)
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.dropSession(r.searchID)
+	writeJSON(rw, http.StatusOK, map[string]string{"status": "ended"})
+}
+
+// healthzBody is the /healthz JSON: everything a coordinator's membership
+// probe needs to place the worker (shard ordinal, set identity) and to
+// decide whether to route to it (status).
+type healthzBody struct {
+	Status     string `json:"status"`
+	Shard      int    `json:"shard"`
+	ShardCount int    `json:"shard_count"`
+	SetID      string `json:"set_id"`
+	Version    uint64 `json:"version"`
+	Sliced     bool   `json:"sliced"`
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
+	// The coordinator probes /healthz on an interval, which makes it the
+	// reliable heartbeat for evicting sessions whose coordinator died —
+	// an idle worker may never see another Begin.
+	w.mu.Lock()
+	w.sweepSessions(time.Now())
+	w.mu.Unlock()
+	state := w.state.Load()
+	body := healthzBody{Status: stateName(state), Shard: w.cfg.Shard}
+	status := http.StatusServiceUnavailable
+	if gen := w.acquire(); gen != nil {
+		body.ShardCount = len(gen.ws.Layout.Shards)
+		body.SetID = fmt.Sprintf("%016x", gen.ws.Layout.SetID)
+		body.Version = gen.version
+		body.Sliced = gen.ws.Sliced
+		gen.release()
+	}
+	if state == StateServing {
+		status = http.StatusOK
+	}
+	writeJSON(rw, status, &body)
+}
+
+// WorkerShardRow is the per-shard counter row exported by /stats — the
+// stable shape a rebalancer (and the coordinator's aggregation) consumes.
+// It matches the serving layer's per-shard rows field for field.
+type WorkerShardRow struct {
+	Shard      int    `json:"shard"`
+	Documents  int    `json:"documents"`
+	Components int    `json:"components"`
+	Tags       int    `json:"tags"`
+	Searches   uint64 `json:"searches"`
+	Rounds     uint64 `json:"rounds"`
+}
+
+// WorkerStats is the /stats body of a worker.
+type WorkerStats struct {
+	Role        string           `json:"role"`
+	Status      string           `json:"status"`
+	Shard       int              `json:"shard"`
+	ShardCount  int              `json:"shard_count"`
+	SetID       string           `json:"set_id"`
+	Version     uint64           `json:"version"`
+	Sliced      bool             `json:"sliced"`
+	LoadMS      int64            `json:"load_ms"`
+	MappedBytes int64            `json:"mapped_bytes"`
+	UptimeMS    int64            `json:"uptime_ms"`
+	Sessions    int              `json:"sessions"`
+	Searches    uint64           `json:"searches"`
+	Rejected    uint64           `json:"rejected"`
+	Shards      []WorkerShardRow `json:"shards"`
+}
+
+// Stats snapshots the worker's counters.
+func (w *Worker) Stats() WorkerStats {
+	st := WorkerStats{
+		Role:     "worker",
+		Status:   stateName(w.state.Load()),
+		Shard:    w.cfg.Shard,
+		UptimeMS: time.Since(w.start).Milliseconds(),
+		Searches: w.searches.Load(),
+		Rejected: w.rejected.Load(),
+	}
+	w.mu.Lock()
+	w.sweepSessions(time.Now())
+	st.Sessions = len(w.sessions)
+	w.mu.Unlock()
+	if gen := w.acquire(); gen != nil {
+		is := gen.ws.Instance.Stats()
+		st.ShardCount = len(gen.ws.Layout.Shards)
+		st.SetID = fmt.Sprintf("%016x", gen.ws.Layout.SetID)
+		st.Version = gen.version
+		st.Sliced = gen.ws.Sliced
+		st.LoadMS = gen.loadMS
+		st.MappedBytes = gen.ws.MappedBytes()
+		st.Shards = []WorkerShardRow{{
+			Shard:      w.cfg.Shard,
+			Documents:  is.Documents,
+			Components: is.Components,
+			Tags:       is.Tags,
+			Searches:   w.touched.Load(),
+			Rounds:     w.rounds.Load(),
+		}}
+		gen.release()
+	}
+	return st
+}
+
+func (w *Worker) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, http.StatusOK, w.Stats())
+}
+
+func (w *Worker) handleReload(rw http.ResponseWriter, _ *http.Request) {
+	if w.state.Load() == StateLoading {
+		writeErr(rw, http.StatusServiceUnavailable, "worker is loading")
+		return
+	}
+	start := time.Now()
+	if err := w.Load(); err != nil {
+		// The old generation keeps serving: a failed reload is not fatal.
+		writeErr(rw, http.StatusInternalServerError, "reload failed: %v", err)
+		return
+	}
+	gen := w.acquire()
+	defer gen.release()
+	writeJSON(rw, http.StatusOK, map[string]any{
+		"status":       "reloaded",
+		"version":      gen.version,
+		"reload_ms":    time.Since(start).Milliseconds(),
+		"mapped_bytes": gen.ws.MappedBytes(),
+		"sliced":       gen.ws.Sliced,
+	})
+}

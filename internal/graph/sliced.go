@@ -1,0 +1,215 @@
+// Sliced instances: the worker-process substrate of distributed shard
+// serving.
+//
+// A shard worker needs the whole-graph tables that social proximity is
+// defined over — the normalised transition matrix and the node→component
+// table — but of the per-node content tables (kind, parent, depth,
+// document ordinal) it only ever touches the rows of its own components'
+// nodes: candidates, their fragments and their vertical neighbours all
+// live inside owned components, and foreign nodes appear on the search
+// path only as proximity-vector indices. FromSliced builds an Instance
+// over exactly that footprint: full matrix + component table, plus the
+// owned rows keyed by a sorted node list (binary-searched on access).
+//
+// A sliced instance answers the traversal surface the engine's shard path
+// uses (CompOf, KindOf, PosLen, IsAncestorOrSelf, VerticalNeighbors,
+// AncestorsOrSelf, Matrix, NumNodes) and the ownership queries; node
+// rows outside the slice report the neutral defaults of a non-document
+// node (KindUser, no parent, depth 0). Content surfaces that need the
+// full instance — dictionary, URIs, ontology, edges, tags — are absent:
+// a worker never resolves them (the coordinator owns the manifest and
+// maps node ids to URIs when assembling the final answer).
+package graph
+
+import (
+	"fmt"
+	"slices"
+
+	"s3/internal/sparse"
+)
+
+// slicedNodes holds the per-node tables of a sliced instance, restricted
+// to the rows of the owned components, parallel to the sorted nids list.
+type slicedNodes struct {
+	numNodes int
+
+	nids   []NID
+	kind   []NodeKind
+	parent []NID
+	depth  []int32
+	docOf  []int32
+
+	comps []int32 // owned component ids, sorted
+	owns  []bool  // indexed by component id
+}
+
+// row returns the slice row of node n, or -1 when n is outside the slice.
+func (s *slicedNodes) row(n NID) int {
+	if i, ok := slices.BinarySearch(s.nids, n); ok {
+		return i
+	}
+	return -1
+}
+
+func (s *slicedNodes) kindOf(n NID) NodeKind {
+	if i := s.row(n); i >= 0 {
+		return s.kind[i]
+	}
+	return KindUser
+}
+
+func (s *slicedNodes) parentOf(n NID) NID {
+	if i := s.row(n); i >= 0 {
+		return s.parent[i]
+	}
+	return NoNID
+}
+
+func (s *slicedNodes) depthOf(n NID) int32 {
+	if i := s.row(n); i >= 0 {
+		return s.depth[i]
+	}
+	return 0
+}
+
+func (s *slicedNodes) docOfOf(n NID) int32 {
+	if i := s.row(n); i >= 0 {
+		return s.docOf[i]
+	}
+	return -1
+}
+
+// SlicedConfig assembles a sliced instance. All slices are retained (the
+// immutability contract of Raw applies: they typically view a mapping).
+type SlicedConfig struct {
+	// NumNodes is the whole instance's node count (matrix dimension).
+	NumNodes int
+	// Comp is the full node→component table; NComp the component count.
+	Comp  []int32
+	NComp int
+	// Matrix CSR arrays over all nodes.
+	MatrixRowPtr []int32
+	MatrixCol    []int32
+	MatrixVal    []float64
+	// Comps is the owned component set.
+	Comps []int32
+	// NIDs lists the nodes of the owned components, sorted ascending;
+	// Kind, Parent, Depth and DocOf are parallel to it.
+	NIDs   []NID
+	Kind   []NodeKind
+	Parent []NID
+	Depth  []int32
+	DocOf  []int32
+	// NumDocs bounds the document ordinals in DocOf.
+	NumDocs int
+	// Stats describes the shard's content (documents, components, ...)
+	// for reporting; the sliced instance cannot derive it.
+	Stats Stats
+}
+
+// FromSliced validates and assembles a sliced worker instance. Validation
+// covers everything a query could otherwise panic or hang on — table
+// lengths, sorted node list, parent pre-order and closure within the
+// slice, component and document bounds — with sequential scans; semantic
+// content (that the slice really lists every node of every owned
+// component) is additionally cross-checked against the component table.
+func FromSliced(cfg SlicedConfig) (*Instance, error) {
+	n, m := cfg.NumNodes, len(cfg.NIDs)
+	if n < 0 || len(cfg.Comp) != n {
+		return nil, fmt.Errorf("graph: sliced component table has %d entries for %d nodes", len(cfg.Comp), n)
+	}
+	if len(cfg.Kind) != m || len(cfg.Parent) != m || len(cfg.Depth) != m || len(cfg.DocOf) != m {
+		return nil, fmt.Errorf("graph: sliced node tables have %d/%d/%d/%d entries for %d rows",
+			len(cfg.Kind), len(cfg.Parent), len(cfg.Depth), len(cfg.DocOf), m)
+	}
+	if cfg.NComp < 0 {
+		return nil, fmt.Errorf("graph: negative component count")
+	}
+	owns := make([]bool, cfg.NComp)
+	comps := append(make([]int32, 0, len(cfg.Comps)), cfg.Comps...)
+	slices.Sort(comps)
+	for i, c := range comps {
+		if c < 0 || int(c) >= cfg.NComp {
+			return nil, fmt.Errorf("graph: owned component %d outside instance of %d components", c, cfg.NComp)
+		}
+		if i > 0 && comps[i-1] == c {
+			return nil, fmt.Errorf("graph: duplicate owned component %d", c)
+		}
+		owns[c] = true
+	}
+	// Component table bounds (branch-free max reduction; the +1 bias maps
+	// the -1 user sentinel to 0).
+	var maxComp1 uint32
+	for _, c := range cfg.Comp {
+		if v := uint32(c) + 1; v > maxComp1 {
+			maxComp1 = v
+		}
+	}
+	if n > 0 && maxComp1 > uint32(cfg.NComp) {
+		return nil, fmt.Errorf("graph: node component outside %d components", cfg.NComp)
+	}
+	// The slice must list exactly the nodes of the owned components:
+	// sorted, in range, each row's component owned, and as many rows as
+	// the component table promises.
+	expected := 0
+	for _, c := range cfg.Comp {
+		if c >= 0 && owns[c] {
+			expected++
+		}
+	}
+	if expected != m {
+		return nil, fmt.Errorf("graph: slice has %d rows, owned components span %d nodes", m, expected)
+	}
+	for i, nd := range cfg.NIDs {
+		if nd < 0 || int(nd) >= n {
+			return nil, fmt.Errorf("graph: sliced node %d outside instance of %d nodes", nd, n)
+		}
+		if i > 0 && cfg.NIDs[i-1] >= nd {
+			return nil, fmt.Errorf("graph: sliced node list out of order at row %d", i)
+		}
+		if c := cfg.Comp[nd]; c < 0 || !owns[c] {
+			return nil, fmt.Errorf("graph: sliced node %d belongs to foreign component %d", nd, cfg.Comp[nd])
+		}
+	}
+	sl := &slicedNodes{
+		numNodes: n,
+		nids:     cfg.NIDs,
+		kind:     cfg.Kind,
+		parent:   cfg.Parent,
+		depth:    cfg.Depth,
+		docOf:    cfg.DocOf,
+		comps:    comps,
+		owns:     owns,
+	}
+	for i, p := range cfg.Parent {
+		if p == NoNID {
+			continue
+		}
+		// Pre-order (parent strictly precedes child) rules out cycles, and
+		// closure within the slice keeps ancestor walks from dead-ending:
+		// a fragment's parent shares its document, hence its component.
+		if p >= cfg.NIDs[i] || sl.row(p) < 0 {
+			return nil, fmt.Errorf("graph: sliced node %d has parent %d outside the slice or out of pre-order", cfg.NIDs[i], p)
+		}
+	}
+	for i, d := range cfg.DocOf {
+		if int(d) >= cfg.NumDocs {
+			return nil, fmt.Errorf("graph: sliced node %d in document %d of %d", cfg.NIDs[i], d, cfg.NumDocs)
+		}
+	}
+	matrix, err := sparse.FromRaw(n, cfg.MatrixRowPtr, cfg.MatrixCol, cfg.MatrixVal)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		sliced: sl,
+		comp:   cfg.Comp,
+		nComp:  cfg.NComp,
+		matrix: matrix,
+		stats:  cfg.Stats,
+	}, nil
+}
+
+// IsSliced reports whether the instance is a sliced worker substrate
+// (node tables restricted to its owned components).
+func (in *Instance) IsSliced() bool { return in.sliced != nil }

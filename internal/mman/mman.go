@@ -17,6 +17,7 @@ package mman
 import (
 	"fmt"
 	"os"
+	"sort"
 	"sync/atomic"
 )
 
@@ -25,6 +26,9 @@ import (
 type Mapping struct {
 	data []byte
 	path string
+	// trimmed counts the bytes Trim has unmapped (holes punched out of the
+	// original range); Size reports the remaining effective mapping.
+	trimmed int64
 	// refs counts live holders; the pages are unmapped when it reaches
 	// zero. A zero or negative count means the mapping is dead.
 	refs atomic.Int64
@@ -60,22 +64,133 @@ func Open(path string) (*Mapping, error) {
 // from it) is valid only while the caller holds a reference.
 func (m *Mapping) Data() []byte { return m.data }
 
-// Size returns the mapped length in bytes.
-func (m *Mapping) Size() int64 { return int64(len(m.data)) }
+// Size returns the mapped length in bytes, net of trimmed holes.
+func (m *Mapping) Size() int64 { return int64(len(m.data)) - m.trimmed }
 
 // Path returns the file path the mapping was opened from (diagnostics;
 // the file may have been unlinked or replaced since).
 func (m *Mapping) Path() string { return m.path }
 
 // Retain adds a reference. It must be called while at least one
-// reference is still held (a dead mapping cannot be revived).
+// reference is still held (a dead mapping cannot be revived). The CAS
+// loop keeps a misuse panic from resurrecting the count: a dead mapping
+// stays dead, so a later misuse still panics deterministically.
 func (m *Mapping) Retain() {
 	if m == nil {
 		return
 	}
-	if m.refs.Add(1) <= 1 {
-		panic("mman: Retain on a released mapping")
+	for {
+		r := m.refs.Load()
+		if r <= 0 {
+			panic("mman: Retain on a released mapping")
+		}
+		if m.refs.CompareAndSwap(r, r+1) {
+			return
+		}
 	}
+}
+
+// Range is a byte span [Off, Off+Len) of a mapping.
+type Range struct {
+	Off, Len int64
+}
+
+// Advice is memory-usage advice for a span of a mapping (madvise(2)).
+type Advice int
+
+const (
+	// AdviseNormal restores the default readahead behaviour.
+	AdviseNormal Advice = iota
+	// AdviseRandom expects random access: disables readahead, so a
+	// point-lookup faults one page instead of a cluster.
+	AdviseRandom
+	// AdviseWillNeed asks the kernel to start faulting the span in now —
+	// the prefetch for sections the warm path will touch.
+	AdviseWillNeed
+)
+
+// Advise applies access advice to a span of the mapping. Out-of-range or
+// zero spans and platforms without madvise are no-ops: advice is a
+// performance hint, never a correctness requirement.
+func (m *Mapping) Advise(r Range, a Advice) error {
+	if m == nil || m.data == nil || r.Len <= 0 || r.Off < 0 || r.Off+r.Len > int64(len(m.data)) {
+		return nil
+	}
+	// madvise wants page-aligned addresses; widen to page boundaries
+	// (advice on neighbouring bytes of a shared page is harmless).
+	page := int64(os.Getpagesize())
+	lo := r.Off &^ (page - 1)
+	hi := r.Off + r.Len
+	if rem := hi % page; rem != 0 && hi+page-rem <= int64(len(m.data)) {
+		hi += page - rem
+	}
+	return adviseRange(m.data[lo:hi], a)
+}
+
+// Trim releases every whole page of the mapping that no kept range
+// touches, shrinking the process's file-backed footprint to
+// (page-rounded) keep spans. Trimmed ranges are replaced in place with
+// PROT_NONE anonymous reservations — the address space stays owned by
+// the mapping (so Release's whole-range munmap can never hit a foreign
+// mapping that moved into a hole), but the pages are gone: reading a
+// trimmed hole faults. Use it when a file is mapped for a reader that
+// provably touches only a subset of its sections — e.g. a shard worker
+// that takes the matrix and component table from a manifest but gets its
+// node rows from a sliced shard file. Off Linux (and on the no-mmap
+// fallback) the call is a no-op reporting 0. Returns the number of bytes
+// released.
+// TrimSupported reports whether Trim can actually release pages on this
+// platform (Linux with a real mapping); elsewhere Trim is a no-op.
+func TrimSupported() bool { return canPunch }
+
+func (m *Mapping) Trim(keep []Range) int64 {
+	if m == nil || m.data == nil || !canPunch {
+		return 0
+	}
+	page := int64(os.Getpagesize())
+	size := int64(len(m.data))
+	// Normalise: clamp, drop empties, sort, and round each kept span OUT
+	// to page boundaries (a partially-kept page must survive).
+	spans := make([]Range, 0, len(keep))
+	for _, r := range keep {
+		if r.Len <= 0 {
+			continue
+		}
+		lo := max(r.Off, 0) &^ (page - 1)
+		hi := r.Off + r.Len
+		hi = min((hi+page-1)&^(page-1), size)
+		if lo < hi {
+			spans = append(spans, Range{Off: lo, Len: hi - lo})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Off < spans[j].Off })
+	var trimmed int64
+	cursor := int64(0)
+	punchGap := func(lo, hi int64) {
+		// Only whole pages between kept spans are unmapped; the trailing
+		// partial page of the file stays (munmap length rounds up past the
+		// mapping otherwise).
+		hi = hi &^ (page - 1)
+		if hi <= lo {
+			return
+		}
+		if punchRange(m.data[lo:hi]) == nil {
+			trimmed += hi - lo
+		}
+	}
+	for _, s := range spans {
+		if s.Off > cursor {
+			punchGap(cursor, s.Off)
+		}
+		if end := s.Off + s.Len; end > cursor {
+			cursor = end
+		}
+	}
+	if cursor < size {
+		punchGap(cursor, size)
+	}
+	m.trimmed += trimmed
+	return trimmed
 }
 
 // Release drops one reference and unmaps the file when it was the last.

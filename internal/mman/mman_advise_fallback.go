@@ -1,0 +1,7 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package mman
+
+// adviseRange is a no-op where madvise(2) is unavailable: advice is a
+// performance hint, never a correctness requirement.
+func adviseRange([]byte, Advice) error { return nil }

@@ -1,0 +1,20 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package mman
+
+import "syscall"
+
+// adviseRange forwards access advice to madvise(2).
+func adviseRange(data []byte, a Advice) error {
+	if len(data) == 0 {
+		return nil
+	}
+	advice := syscall.MADV_NORMAL
+	switch a {
+	case AdviseRandom:
+		advice = syscall.MADV_RANDOM
+	case AdviseWillNeed:
+		advice = syscall.MADV_WILLNEED
+	}
+	return syscall.Madvise(data, advice)
+}

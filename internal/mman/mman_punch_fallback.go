@@ -1,0 +1,10 @@
+//go:build !linux
+
+package mman
+
+// canPunch: without a dependable raw-mmap path the backing pages cannot
+// be released in place — Trim reports nothing trimmed and Size stays
+// honest.
+const canPunch = false
+
+func punchRange([]byte) error { return nil }

@@ -1,0 +1,41 @@
+//go:build linux
+
+package mman
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// canPunch: a page-aligned sub-range of a mapping can be replaced with a
+// PROT_NONE anonymous reservation, releasing its pages.
+const canPunch = true
+
+// punchRange releases the pages of one page-aligned sub-range of a live
+// mapping by remapping it PROT_NONE, anonymous, MAP_FIXED. Plain munmap
+// would free the address range itself — a later mmap (Go heap growth, a
+// reload's new mapping) could land inside the hole, and the eventual
+// full-range munmap of Release would then tear down that unrelated live
+// mapping. MAP_FIXED atomically replaces the file pages while keeping
+// the range reserved by this mapping, so Release's whole-range munmap
+// only ever unmaps memory the mapping owns. Raw-syscall mmap is
+// dependable on Linux only, hence the build constraint; elsewhere Trim
+// simply reports nothing trimmed.
+func punchRange(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall6(
+		syscall.SYS_MMAP,
+		uintptr(unsafe.Pointer(&data[0])),
+		uintptr(len(data)),
+		uintptr(syscall.PROT_NONE),
+		uintptr(syscall.MAP_FIXED|syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS|syscall.MAP_NORESERVE),
+		^uintptr(0), // fd -1
+		0,
+	)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

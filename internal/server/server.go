@@ -16,7 +16,9 @@
 //	POST /search    run an S3k top-k query (JSON body, see searchRequest)
 //	GET  /extension semantic extension of a keyword (?keyword=...)
 //	GET  /stats     instance statistics, per-shard stats, serving counters
-//	GET  /healthz   liveness probe
+//	GET  /healthz   readiness probe (503 while draining — routers stop
+//	                sending before a graceful shutdown or roll)
+//	GET  /livez     liveness probe (200 as long as the process serves HTTP)
 //	POST /reload    re-load the instance from its source and swap it in
 package server
 
@@ -152,6 +154,11 @@ type Server struct {
 	// install different instances under the same version number.
 	reloadMu sync.Mutex
 
+	// draining flips /healthz readiness off ahead of a graceful shutdown:
+	// external routers and coordinators stop picking this replica while
+	// its in-flight requests finish (liveness stays green on /livez).
+	draining atomic.Bool
+
 	// lifetime counters (atomics; mu not required)
 	searches  atomic.Uint64
 	coalesced atomic.Uint64
@@ -201,6 +208,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /extension", s.handleExtension)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("POST /reload", s.handleReload)
 	return mux
 }
@@ -474,6 +482,17 @@ type statsResponse struct {
 	Shards      []shardStatsJSON `json:"shards"`
 	Cache       cacheStats       `json:"cache"`
 	ProxCache   proxCacheStats   `json:"prox_cache"`
+	// Distributed carries the coordinator's aggregated view (per-worker
+	// statuses and per-shard counters) when the served instance is a
+	// distributed coordinator; absent otherwise.
+	Distributed any `json:"distributed,omitempty"`
+}
+
+// distributedStatsProvider is implemented by instances that front a
+// worker fleet (the distributed coordinator): DistributedStats returns
+// the aggregated per-worker view for /stats.
+type distributedStatsProvider interface {
+	DistributedStats() any
 }
 
 // proxCacheStats is the /stats view of the seeker-proximity checkpoint
@@ -491,13 +510,18 @@ type proxCacheStats struct {
 	Warmed    uint64 `json:"warmed"`
 }
 
-// shardStatsJSON is one shard's row in /stats: its content counts and how
-// many searches fanned out to it.
+// shardStatsJSON is one shard's row in /stats: its content counts plus
+// the cumulative search and round-work counters. The shape is stable —
+// {shard, documents, components, tags, searches, rounds} — and matches
+// the rows a distributed worker exports, so a rebalancer can consume
+// either side without translation.
 type shardStatsJSON struct {
+	Shard      int    `json:"shard"`
 	Documents  int    `json:"documents"`
 	Components int    `json:"components"`
 	Tags       int    `json:"tags"`
 	Searches   uint64 `json:"searches"`
+	Rounds     uint64 `json:"rounds"`
 }
 
 type cacheStats struct {
@@ -528,11 +552,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	rows := make([]shardStatsJSON, len(shards))
 	for i, sh := range shards {
 		rows[i] = shardStatsJSON{
+			Shard:      i,
 			Documents:  sh.Documents,
 			Components: sh.Components,
 			Tags:       sh.Tags,
 			Searches:   sh.Searches,
+			Rounds:     sh.Rounds,
 		}
+	}
+	var distributed any
+	if p, ok := state.inst.(distributedStatsProvider); ok {
+		distributed = p.DistributedStats()
 	}
 	var ps proxCacheStats
 	if s.prox != nil {
@@ -564,14 +594,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Shards:      rows,
 		Cache:       cs,
 		ProxCache:   ps,
+		Distributed: distributed,
 	})
 }
 
+// SetDraining flips readiness: while draining, /healthz answers 503 so
+// health-checked routers drain this replica before it shuts down.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
+	status, state := http.StatusOK, "serving"
+	if s.draining.Load() {
+		status, state = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":  state,
 		"version": s.cur.Load().version,
 	})
+}
+
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "alive"})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {

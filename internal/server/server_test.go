@@ -458,9 +458,25 @@ func TestHealthzAndExtension(t *testing.T) {
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"serving"`) {
 		t.Errorf("healthz: %d %s", rec.Code, rec.Body.String())
 	}
+
+	// Readiness vs liveness: a draining server answers 503 on /healthz
+	// (routers stop sending) while /livez stays 200 (don't kill the
+	// process — it is finishing in-flight work).
+	s.SetDraining(true)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"draining"`) {
+		t.Errorf("draining healthz: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/livez", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("livez while draining: %d %s", rec.Code, rec.Body.String())
+	}
+	s.SetDraining(false)
 
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/extension?keyword=class-1", nil))

@@ -128,27 +128,39 @@ func writeAligned(w io.Writer, magic string, version uint16, secs []asec) error 
 // mapping) and returns the per-section payload views, checksum-verified.
 // The views alias data; nothing is copied.
 func readAligned(data []byte, magic string, what string) (map[byte][]byte, error) {
+	payloads, _, err := readAlignedPick(data, magic, what, nil)
+	return payloads, err
+}
+
+// secSpan locates one section's payload inside an aligned file.
+type secSpan struct {
+	id       byte
+	off, len int64
+	sum      uint64
+}
+
+// parseAlignedTable validates an aligned file's header and section table
+// (bounds, ordering, alignment, the header's own checksum) and returns
+// the section spans plus the table's end offset — everything a reader
+// needs to locate payloads. Payload bytes are not touched: checksum
+// verification is the caller's job, per section it actually keeps.
+func parseAlignedTable(data []byte, magic string, what string) ([]secSpan, int64, error) {
 	if len(data) < len(magic)+10 || string(data[:len(magic)]) != magic {
-		return nil, fmt.Errorf("snap: not a %s (bad magic)", what)
+		return nil, 0, fmt.Errorf("snap: not a %s (bad magic)", what)
 	}
 	count := int(binary.LittleEndian.Uint32(data[len(magic)+2:]))
 	tableEnd := int64(len(magic)) + 10 + alignedEntrySize*int64(count)
 	if count < 0 || tableEnd > int64(len(data)) {
-		return nil, fmt.Errorf("snap: %s section table overruns the file", what)
+		return nil, 0, fmt.Errorf("snap: %s section table overruns the file", what)
 	}
 	headSum := binary.LittleEndian.Uint32(data[len(magic)+6:])
 	head := bytes.Clone(data[:tableEnd])
 	binary.LittleEndian.PutUint32(head[len(magic)+6:], 0)
 	if crc32.Checksum(head, castagnoli) != headSum {
-		return nil, fmt.Errorf("snap: %s header fails its checksum", what)
+		return nil, 0, fmt.Errorf("snap: %s header fails its checksum", what)
 	}
-	payloads := make(map[byte][]byte, count)
-	type span struct {
-		id      byte
-		payload []byte
-		sum     uint64
-	}
-	spans := make([]span, 0, count)
+	out := make([]secSpan, 0, count)
+	seen := make(map[byte]struct{}, count)
 	prevEnd := tableEnd
 	for i := 0; i < count; i++ {
 		e := data[int64(len(magic))+10+alignedEntrySize*int64(i):]
@@ -158,21 +170,51 @@ func readAligned(data []byte, magic string, what string) (map[byte][]byte, error
 		length := binary.LittleEndian.Uint64(e[16:])
 		sum := binary.LittleEndian.Uint64(e[24:])
 		if id > math.MaxUint8 {
-			return nil, fmt.Errorf("snap: %s section id %d out of range", what, id)
+			return nil, 0, fmt.Errorf("snap: %s section id %d out of range", what, id)
 		}
-		if _, dup := payloads[byte(id)]; dup {
-			return nil, fmt.Errorf("snap: duplicate section %d", id)
+		if _, dup := seen[byte(id)]; dup {
+			return nil, 0, fmt.Errorf("snap: duplicate section %d", id)
 		}
+		seen[byte(id)] = struct{}{}
 		end := off + length
 		if off > uint64(len(data)) || end < off || end > uint64(len(data)) || int64(off) < prevEnd {
-			return nil, fmt.Errorf("snap: section %d overruns %s", id, what)
+			return nil, 0, fmt.Errorf("snap: section %d overruns %s", id, what)
 		}
 		if flags&flagRaw != 0 && off%rawAlign != 0 {
-			return nil, fmt.Errorf("snap: raw section %d at unaligned offset %d", id, off)
+			return nil, 0, fmt.Errorf("snap: raw section %d at unaligned offset %d", id, off)
 		}
-		payloads[byte(id)] = data[off:end]
-		spans = append(spans, span{id: byte(id), payload: data[off:end], sum: sum})
 		prevEnd = int64(end)
+		out = append(out, secSpan{id: byte(id), off: int64(off), len: int64(length), sum: sum})
+	}
+	return out, tableEnd, nil
+}
+
+// readAlignedPick is readAligned restricted to the sections keep accepts
+// (nil keeps everything): skipped sections are bounds-checked through the
+// table but their payloads are neither checksummed nor touched — which is
+// what lets a partial reader run over a mapping whose unwanted pages it
+// is about to trim away. The second return locates the kept payloads for
+// range-based mapping maintenance (Trim, Advise).
+func readAlignedPick(data []byte, magic string, what string, keep func(id byte) bool) (map[byte][]byte, []secSpan, error) {
+	entries, _, err := parseAlignedTable(data, magic, what)
+	if err != nil {
+		return nil, nil, err
+	}
+	payloads := make(map[byte][]byte, len(entries))
+	type span struct {
+		id      byte
+		payload []byte
+		sum     uint64
+	}
+	spans := make([]span, 0, len(entries))
+	kept := make([]secSpan, 0, len(entries))
+	for _, en := range entries {
+		if keep != nil && !keep(en.id) {
+			continue
+		}
+		payloads[en.id] = data[en.off : en.off+en.len]
+		spans = append(spans, span{id: en.id, payload: data[en.off : en.off+en.len], sum: en.sum})
+		kept = append(kept, en)
 	}
 	// Verify the checksums in parallel: the pass is memory-bandwidth
 	// bound and is the dominant cost of a mapped cold start, so spreading
@@ -202,9 +244,9 @@ func readAligned(data []byte, magic string, what string) (map[byte][]byte, error
 	}
 	wg.Wait()
 	if id := bad.Load(); id >= 0 {
-		return nil, fmt.Errorf("snap: section %d of %s fails its checksum", id, what)
+		return nil, nil, fmt.Errorf("snap: section %d of %s fails its checksum", id, what)
 	}
-	return payloads, nil
+	return payloads, kept, nil
 }
 
 // fileVersion sniffs the format version of a snapshot-family file without

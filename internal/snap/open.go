@@ -108,6 +108,41 @@ func (s *ShardSetSnapshot) Close() error {
 	return first
 }
 
+// sectionAdvice classifies a section for madvise: postings and matrix
+// arrays are point-looked-up (per border node, per admitted component),
+// so readahead around a fault is wasted bandwidth — MADV_RANDOM; the
+// lookup structures every search walks (dictionary, node tables,
+// offsets) are small and hot — MADV_WILLNEED prefetches them off the
+// first queries' critical path. Everything else keeps the kernel
+// default.
+func sectionAdvice(id byte) mman.Advice {
+	switch id {
+	case sec3MatRowPtr, sec3MatCol, sec3MatVal, sec3IndexEvents, sec3IndexComps:
+		return mman.AdviseRandom
+	case sec3DictArena, sec3DictOffs, sec3DictPerm,
+		sec3NodeKind, sec3NodeParent, sec3NodeDepth, sec3NodeDocOf, sec3NodeComp, sec3NIDByID,
+		sec3IndexKw, sec3IndexEvOff, sec3IndexCompOff, sec3IndexCompIDs, sec3IndexMaxRun,
+		sec3SliceNIDs, sec3SliceKind, sec3SliceParent, sec3SliceDepth, sec3SliceDocOf:
+		return mman.AdviseWillNeed
+	}
+	return mman.AdviseNormal
+}
+
+// adviseMapped applies per-section access advice to a freshly mapped
+// aligned file. Failures (and non-aligned files) are ignored: advice is
+// a performance hint, never a correctness requirement.
+func adviseMapped(m *mman.Mapping, magic, what string) {
+	spans, _, err := parseAlignedTable(m.Data(), magic, what)
+	if err != nil {
+		return
+	}
+	for _, sp := range spans {
+		if a := sectionAdvice(sp.id); a != mman.AdviseNormal {
+			_ = m.Advise(mman.Range{Off: sp.off, Len: sp.len}, a)
+		}
+	}
+}
+
 // OpenShardSet loads a shard set from disk in the requested mode: the
 // manifest at manifestPath plus the shard files it names (resolved in the
 // manifest's directory), fully validated. In LoadMmap mode each file is
@@ -129,6 +164,7 @@ func OpenShardSet(manifestPath string, mode LoadMode) (*ShardSetSnapshot, error)
 		if err == nil && ver == VersionAligned && layoutMappable() {
 			out.Mappings = append(out.Mappings, m)
 			out.Mode = LoadMmap
+			adviseMapped(m, magic, "shard-set file")
 			return m.Data(), true, nil
 		}
 		// Nothing mappable in this file: decode a private copy and drop
@@ -167,6 +203,72 @@ func OpenShardSet(manifestPath string, mode LoadMode) (*ShardSetSnapshot, error)
 	return out, nil
 }
 
+// ManifestSnapshot is an opened shard-set manifest without its shard
+// files: the shared base instance and the layout — what a scatter/gather
+// coordinator needs (seeker resolution, keyword groups, URI mapping,
+// shard table) without loading any index slice.
+type ManifestSnapshot struct {
+	Base   *graph.Instance
+	Layout *Layout
+	// Mapping is non-nil exactly when the manifest stayed mapped.
+	Mapping *mman.Mapping
+	Mode    LoadMode
+}
+
+// MappedBytes returns the size of the backing mapping, 0 when copied.
+func (s *ManifestSnapshot) MappedBytes() int64 {
+	if s.Mapping == nil {
+		return 0
+	}
+	return s.Mapping.Size()
+}
+
+// Close releases the mapping reference held by the manifest snapshot.
+func (s *ManifestSnapshot) Close() error {
+	m := s.Mapping
+	s.Mapping = nil
+	return m.Release()
+}
+
+// OpenManifest loads a shard-set manifest alone, in the requested mode.
+func OpenManifest(path string, mode LoadMode) (*ManifestSnapshot, error) {
+	if mode != LoadMmap {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		base, layout, err := decodeManifest(data, false)
+		if err != nil {
+			return nil, err
+		}
+		return &ManifestSnapshot{Base: base, Layout: layout, Mode: LoadCopy}, nil
+	}
+	m, err := mman.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ver, err := fileVersion(m.Data(), ManifestMagic)
+	if err != nil {
+		m.Release()
+		return nil, fmt.Errorf("snap: not a shard-set manifest (bad magic)")
+	}
+	if ver != VersionAligned || !layoutMappable() {
+		base, layout, derr := decodeManifest(m.Data(), false)
+		m.Release()
+		if derr != nil {
+			return nil, derr
+		}
+		return &ManifestSnapshot{Base: base, Layout: layout, Mode: LoadCopy}, nil
+	}
+	base, layout, err := decodeManifest(m.Data(), true)
+	if err != nil {
+		m.Release()
+		return nil, err
+	}
+	adviseMapped(m, ManifestMagic, "shard-set manifest")
+	return &ManifestSnapshot{Base: base, Layout: layout, Mapping: m, Mode: LoadMmap}, nil
+}
+
 // Open loads a snapshot file in the requested mode.
 func Open(path string, mode LoadMode) (*Snapshot, error) {
 	if mode != LoadMmap {
@@ -203,5 +305,6 @@ func Open(path string, mode LoadMode) (*Snapshot, error) {
 		m.Release()
 		return nil, err
 	}
+	adviseMapped(m, Magic, "snapshot")
 	return &Snapshot{Instance: in, Index: ix, Mapping: m, Mode: LoadMmap}, nil
 }

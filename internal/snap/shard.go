@@ -52,6 +52,11 @@ const ShardSetVersionVarint = 1
 // memory-mapped exactly like single snapshots.
 const ShardSetVersion = VersionAligned
 
+// sliceShardTables gates the sliced node-table sections of shard files.
+// Always on in production writers; tests flip it to reproduce sets
+// written before the sections existed (the unsliced compatibility path).
+var sliceShardTables = true
+
 // manifestSections lists the ids a manifest reader requires.
 var manifestSections = []byte{secDict, secMeta, secNodes, secGraph, secMatrix, secEntities, secOntology, secLayout}
 
@@ -131,6 +136,15 @@ func WriteShardSet(manifest io.Writer, shards []io.Writer, names []string, in *g
 		setID.Write(s.data)
 	}
 
+	// Sliced node tables: per shard, the sorted nodes of its components.
+	// Ascending NID order falls out of the single component-table pass.
+	sliceNIDs := make([][]graph.NID, len(parts))
+	for v, c := range rawIn.Comp {
+		if c >= 0 {
+			sliceNIDs[owner[c]] = append(sliceNIDs[owner[c]], graph.NID(v))
+		}
+	}
+
 	layout := Layout{SetID: setID.Sum64()}
 	raw := ix.Raw()
 	for s, comps := range parts {
@@ -173,8 +187,31 @@ func WriteShardSet(manifest io.Writer, shards []io.Writer, names []string, in *g
 		hdr.int(desc.Docs)
 		hdr.int(desc.Events)
 
+		// The shard's sliced node tables: the rows a worker process needs
+		// beyond the manifest's matrix and component table.
+		nids := sliceNIDs[s]
+		kinds := make([]byte, len(nids))
+		parents := make([]graph.NID, len(nids))
+		depths := make([]int32, len(nids))
+		docOfs := make([]int32, len(nids))
+		for j, v := range nids {
+			kinds[j] = byte(rawIn.Kind[v])
+			parents[j] = rawIn.Parent[v]
+			depths[j] = rawIn.Depth[v]
+			docOfs[j] = rawIn.DocOf[v]
+		}
+
 		var file bytes.Buffer
 		secs := append([]asec{{secShardHeader, false, hdr.Bytes()}}, alignedIndexSections(rawIn.Comp, postings)...)
+		if sliceShardTables {
+			secs = append(secs,
+				asec{sec3SliceNIDs, true, encI32s(nids)},
+				asec{sec3SliceKind, true, kinds},
+				asec{sec3SliceParent, true, encI32s(parents)},
+				asec{sec3SliceDepth, true, encI32s(depths)},
+				asec{sec3SliceDocOf, true, encI32s(docOfs)},
+			)
+		}
 		if err := writeAligned(&file, ShardMagic, ShardSetVersion, secs); err != nil {
 			return err
 		}
@@ -323,7 +360,7 @@ func decodeManifest(data []byte, zeroCopy bool) (*graph.Instance, *Layout, error
 	default:
 		return nil, nil, fmt.Errorf("snap: unsupported shard-set manifest format version %d (want %d or %d)", ver, ShardSetVersionVarint, ShardSetVersion)
 	}
-	layout, err := decodeLayout(lay, in)
+	layout, err := decodeLayout(lay, in.NumComponents())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -331,8 +368,8 @@ func decodeManifest(data []byte, zeroCopy bool) (*graph.Instance, *Layout, error
 }
 
 // decodeLayout parses and fully validates the layout section against the
-// base instance.
-func decodeLayout(data []byte, in *graph.Instance) (*Layout, error) {
+// base instance's component count.
+func decodeLayout(data []byte, nComp int) (*Layout, error) {
 	d := &decoder{data: data}
 	layout := &Layout{SetID: d.uint()}
 	n := d.count(2)
@@ -358,7 +395,7 @@ func decodeLayout(data []byte, in *graph.Instance) (*Layout, error) {
 			}
 		}
 		for _, c := range desc.Comps {
-			if c < 0 || int(c) >= in.NumComponents() {
+			if c < 0 || c >= int32(nComp) {
 				return nil, fmt.Errorf("snap: manifest assigns unknown component %d to shard %d", c, s)
 			}
 			if prev, dup := seen[c]; dup {
@@ -373,8 +410,8 @@ func decodeLayout(data []byte, in *graph.Instance) (*Layout, error) {
 	if len(layout.Shards) == 0 {
 		return nil, fmt.Errorf("snap: manifest describes no shards")
 	}
-	if len(seen) != in.NumComponents() {
-		return nil, fmt.Errorf("snap: manifest covers %d of %d components", len(seen), in.NumComponents())
+	if len(seen) != nComp {
+		return nil, fmt.Errorf("snap: manifest covers %d of %d components", len(seen), nComp)
 	}
 	return layout, nil
 }
@@ -435,34 +472,11 @@ func decodeShard(data []byte, base *graph.Instance, layout *Layout, i int, zeroC
 		return nil, nil, fmt.Errorf("snap: unsupported shard format version %d (want %d or %d)", ver, ShardSetVersionVarint, ShardSetVersion)
 	}
 
-	d := &decoder{data: payloads[secShardHeader]}
-	setID := d.uint()
-	ordinal := int(d.uint())
-	count := int(d.uint())
-	nc := d.count(1)
-	comps := make([]int32, 0, nc)
-	for j := 0; j < nc && d.err == nil; j++ {
-		comps = append(comps, int32(d.uint()))
+	hdr, err := decodeShardHeader(payloads[secShardHeader], layout, i)
+	if err != nil {
+		return nil, nil, err
 	}
-	docs := int(d.uint())
-	events := int(d.uint())
-	if d.err != nil {
-		return nil, nil, fmt.Errorf("snap: shard %d header: %w", i, d.err)
-	}
-	if setID != layout.SetID {
-		return nil, nil, fmt.Errorf("snap: shard %d belongs to set %016x, manifest is %016x", i, setID, layout.SetID)
-	}
-	if ordinal != i || count != len(layout.Shards) {
-		return nil, nil, fmt.Errorf("snap: file is shard %d of %d, expected shard %d of %d", ordinal, count, i, len(layout.Shards))
-	}
-	if len(comps) != len(desc.Comps) {
-		return nil, nil, fmt.Errorf("snap: shard %d owns %d components, manifest says %d", i, len(comps), len(desc.Comps))
-	}
-	for j, c := range comps {
-		if c != desc.Comps[j] {
-			return nil, nil, fmt.Errorf("snap: shard %d component list diverges from manifest at %d", i, j)
-		}
-	}
+	comps, docs, events := hdr.comps, hdr.docs, hdr.events
 
 	proj, err := base.ProjectComponents(comps)
 	if err != nil {
@@ -522,6 +536,49 @@ func decodeShard(data []byte, base *graph.Instance, layout *Layout, i int, zeroC
 		return nil, nil, fmt.Errorf("snap: shard %d has %d events, header says %d, manifest %d", i, got, events, desc.Events)
 	}
 	return proj, ix, nil
+}
+
+// shardHeader is a parsed per-shard header, cross-checked against the
+// manifest layout.
+type shardHeader struct {
+	comps        []int32
+	docs, events int
+}
+
+// decodeShardHeader parses shard i's header section and validates it
+// against the layout: set id, ordinal, shard count and component list
+// must all line up.
+func decodeShardHeader(payload []byte, layout *Layout, i int) (shardHeader, error) {
+	desc := layout.Shards[i]
+	d := &decoder{data: payload}
+	setID := d.uint()
+	ordinal := int(d.uint())
+	count := int(d.uint())
+	nc := d.count(1)
+	comps := make([]int32, 0, nc)
+	for j := 0; j < nc && d.err == nil; j++ {
+		comps = append(comps, int32(d.uint()))
+	}
+	docs := int(d.uint())
+	events := int(d.uint())
+	if d.err != nil {
+		return shardHeader{}, fmt.Errorf("snap: shard %d header: %w", i, d.err)
+	}
+	if setID != layout.SetID {
+		return shardHeader{}, fmt.Errorf("snap: shard %d belongs to set %016x, manifest is %016x", i, setID, layout.SetID)
+	}
+	if ordinal != i || count != len(layout.Shards) {
+		return shardHeader{}, fmt.Errorf("snap: file is shard %d of %d, expected shard %d of %d", ordinal, count, i, len(layout.Shards))
+	}
+	if len(comps) != len(desc.Comps) {
+		return shardHeader{}, fmt.Errorf("snap: shard %d owns %d components, manifest says %d", i, len(comps), len(desc.Comps))
+	}
+	for j, c := range comps {
+		if c != desc.Comps[j] {
+			return shardHeader{}, fmt.Errorf("snap: shard %d component list diverges from manifest at %d", i, j)
+		}
+	}
+	return shardHeader{comps: comps, docs: docs, events: events}, nil
 }
 
 // ReadShardSet loads a complete shard set: the manifest and every shard

@@ -71,6 +71,18 @@ const (
 	sec3IndexCompOff byte = 68 // []int64   nkw+1 offsets into the component summary
 	sec3IndexCompIDs byte = 69 // []int32   distinct components per posting, flattened
 	sec3IndexMaxRun  byte = 70 // []int32   per posting: longest single-component event run
+
+	// Sliced node tables of a shard file (optional; present in shard sets
+	// written since the distributed-serving format revision): the rows of
+	// the shard's own components' nodes, keyed by the sorted node list. A
+	// worker process serving one shard maps these instead of the
+	// manifest's full node tables, shrinking its per-process mapped bytes
+	// to matrix + component table + its own rows.
+	sec3SliceNIDs   byte = 71 // []NID     nodes of the shard's components, ascending
+	sec3SliceKind   byte = 72 // []byte    parallel node kinds
+	sec3SliceParent byte = 73 // []NID     parallel tree parents
+	sec3SliceDepth  byte = 74 // []int32   parallel tree depths
+	sec3SliceDocOf  byte = 75 // []int32   parallel document ordinals
 )
 
 // required3Substrate lists the sections a v3 substrate (instance without
@@ -92,6 +104,24 @@ var required3Substrate = []byte{
 var required3Index = []byte{
 	sec3IndexKw, sec3IndexEvOff, sec3IndexEvents, sec3IndexComps,
 	sec3IndexCompOff, sec3IndexCompIDs, sec3IndexMaxRun,
+}
+
+// slice3Sections lists the sliced node-table sections of a shard file.
+// They travel together: a shard file has either all of them (sliced,
+// worker-servable without the manifest's node tables) or none (legacy
+// unsliced set — workers fall back to mapping the full manifest).
+var slice3Sections = []byte{sec3SliceNIDs, sec3SliceKind, sec3SliceParent, sec3SliceDepth, sec3SliceDocOf}
+
+// manifestSubstrateSections lists the manifest sections a sliced worker
+// still needs in full: the search-time substrate that social proximity is
+// defined over (whole-graph transition matrix, node→component routing)
+// plus the meta and layout bookkeeping. Everything else — dictionary,
+// edges, ontology, tag/entity lists and the full node tables — is either
+// sliced into the shard file or owned by the coordinator.
+var manifestSubstrateSections = []byte{
+	secMeta, secLayout,
+	sec3NodeComp,
+	sec3MatRowPtr, sec3MatCol, sec3MatVal,
 }
 
 // --- platform gate for the zero-copy view path ---

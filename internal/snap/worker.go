@@ -1,0 +1,359 @@
+// Single-shard worker loading: the memory footprint half of distributed
+// shard serving.
+//
+// A worker process serves exactly one shard of a set. What it needs from
+// the shared manifest is the substrate social proximity is defined over —
+// the whole-graph transition matrix and the node→component table — plus
+// the meta/layout bookkeeping; its own node rows (kind, parent, depth,
+// document ordinal) arrive sliced inside its shard file, alongside the
+// index slice it always had. OpenShardWorker therefore maps the manifest,
+// parses and checksums only the substrate sections, and *trims* the rest
+// of the mapping away (mman.Trim punches page holes), so the worker's
+// mapped bytes shrink from "whole manifest + shard" to "matrix + component
+// table + its own rows" — the per-process win the ROADMAP's
+// distributed-shards item calls for. Per-section madvise is applied to
+// what remains (random access for matrix and postings, prefetch for the
+// warm-path tables).
+//
+// Compatibility: shard files written before the sliced sections existed
+// (or legacy v1 sets) fall back to the full open — map/decode the whole
+// manifest, project the shard's components — which answers identically
+// and simply maps more.
+package snap
+
+import (
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"s3/internal/graph"
+	"s3/internal/index"
+	"s3/internal/mman"
+)
+
+// WorkerSnapshot is an opened single-shard worker view of a shard set:
+// the shard's engine inputs plus the mappings backing them.
+type WorkerSnapshot struct {
+	// Instance is the shard's substrate: a sliced instance (matrix +
+	// component table + own node rows) on the sliced path, or a component
+	// projection of the full base instance on the fallback path.
+	Instance *graph.Instance
+	// Index is the shard's connection-index slice.
+	Index *index.Index
+	// Layout is the manifest's shard table; Shard this worker's ordinal.
+	Layout *Layout
+	Shard  int
+	// Sliced reports whether the worker runs over the sliced substrate
+	// (manifest node tables trimmed away) rather than the full manifest.
+	Sliced bool
+	// Mappings holds the live mappings (manifest first); Mode is LoadMmap
+	// when at least one file stayed mapped.
+	Mappings []*mman.Mapping
+	Mode     LoadMode
+}
+
+// MappedBytes sums the effective sizes of the backing mappings (net of
+// trimmed holes).
+func (s *WorkerSnapshot) MappedBytes() int64 {
+	var total int64
+	for _, m := range s.Mappings {
+		total += m.Size()
+	}
+	return total
+}
+
+// Close releases every mapping reference held by the worker snapshot.
+func (s *WorkerSnapshot) Close() error {
+	var first error
+	for _, m := range s.Mappings {
+		if err := m.Release(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.Mappings = nil
+	return first
+}
+
+// OpenShardWorker opens the manifest plus one shard of a set, fully
+// validated (digest, set id, ordinal, counts), for a per-shard worker
+// process. With LoadMmap and a sliced shard file the manifest mapping is
+// trimmed to the substrate sections; see the package comment.
+func OpenShardWorker(manifestPath string, shard int, mode LoadMode) (*WorkerSnapshot, error) {
+	out := &WorkerSnapshot{Shard: shard, Mode: LoadCopy}
+	fail := func(err error) (*WorkerSnapshot, error) {
+		out.Close()
+		return nil, err
+	}
+	// loadFile maps or reads one file; zeroCopy reports whether the bytes
+	// outlive the call (a kept mapping). Legacy and non-mappable files
+	// fall back to private copies, mirroring OpenShardSet.
+	loadFile := func(path, magic string) (data []byte, m *mman.Mapping, err error) {
+		if mode != LoadMmap {
+			data, err = os.ReadFile(path)
+			return data, nil, err
+		}
+		mp, err := mman.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		ver, err := fileVersion(mp.Data(), magic)
+		if err == nil && ver == VersionAligned && layoutMappable() {
+			out.Mappings = append(out.Mappings, mp)
+			out.Mode = LoadMmap
+			return mp.Data(), mp, nil
+		}
+		data = append([]byte(nil), mp.Data()...)
+		mp.Release()
+		return data, nil, nil
+	}
+
+	mdata, mmapping, err := loadFile(manifestPath, ManifestMagic)
+	if err != nil {
+		return fail(err)
+	}
+	mver, err := fileVersion(mdata, ManifestMagic)
+	if err != nil {
+		return fail(fmt.Errorf("snap: not a shard-set manifest (bad magic)"))
+	}
+
+	var layout *Layout
+	var sub workerSubstrate
+	sliceable := mver == ShardSetVersion
+	if sliceable {
+		// Partial manifest parse: locate, checksum and decode only the
+		// worker substrate sections. The rest of the file is bounds-checked
+		// through the table but never touched.
+		keep := make(map[byte]bool, len(manifestSubstrateSections))
+		for _, id := range manifestSubstrateSections {
+			keep[id] = true
+		}
+		payloads, _, err := readAlignedPick(mdata, ManifestMagic, "shard-set manifest", func(id byte) bool { return keep[id] })
+		if err != nil {
+			return fail(err)
+		}
+		for _, id := range manifestSubstrateSections {
+			if _, ok := payloads[id]; !ok {
+				return fail(fmt.Errorf("snap: manifest missing required section %d", id))
+			}
+		}
+		if sub, err = decodeWorkerSubstrate(payloads, mmapping != nil); err != nil {
+			return fail(err)
+		}
+		if layout, err = decodeLayout(payloads[secLayout], sub.raw.NComp); err != nil {
+			return fail(err)
+		}
+	} else {
+		// Legacy manifest: nothing to slice; decode it whole.
+		base, lay, err := decodeManifest(mdata, false)
+		if err != nil {
+			return fail(err)
+		}
+		layout = lay
+		sub.base = base
+	}
+	if shard < 0 || shard >= len(layout.Shards) {
+		return fail(fmt.Errorf("snap: shard %d outside layout of %d shards", shard, len(layout.Shards)))
+	}
+	out.Layout = layout
+	desc := layout.Shards[shard]
+
+	sdata, smapping, err := loadFile(filepath.Join(filepath.Dir(manifestPath), desc.Name), ShardMagic)
+	if err != nil {
+		return fail(fmt.Errorf("snap: opening shard %d: %w", shard, err))
+	}
+	sver, err := fileVersion(sdata, ShardMagic)
+	if err != nil {
+		return fail(fmt.Errorf("snap: not a shard snapshot (bad magic)"))
+	}
+	var sum uint64
+	if sver == ShardSetVersionVarint {
+		h := fnv.New64a()
+		h.Write(sdata)
+		sum = h.Sum64()
+	} else {
+		sum = uint64(crc32.Checksum(sdata, castagnoli))
+	}
+	if sum != desc.Sum {
+		return fail(fmt.Errorf("snap: shard %d (%s) digest mismatch: file does not match manifest", shard, desc.Name))
+	}
+
+	sliced := false
+	if sliceable && sver == ShardSetVersion {
+		spayloads, err := readAligned(sdata, ShardMagic, "shard snapshot")
+		if err != nil {
+			return fail(err)
+		}
+		sliced = true
+		for _, id := range slice3Sections {
+			if _, ok := spayloads[id]; !ok {
+				sliced = false
+				break
+			}
+		}
+		if sliced {
+			hdr, err := decodeShardHeader(spayloads[secShardHeader], layout, shard)
+			if err != nil {
+				return fail(err)
+			}
+			in, ix, err := buildSlicedShard(sub, spayloads, hdr, desc, smapping != nil)
+			if err != nil {
+				return fail(err)
+			}
+			out.Instance, out.Index, out.Sliced = in, ix, true
+			// The manifest mapping now backs only the substrate sections:
+			// punch the rest out and advise what remains.
+			if mmapping != nil {
+				trimWorkerManifest(mmapping, mdata)
+			}
+			if smapping != nil {
+				adviseMapped(smapping, ShardMagic, "shard snapshot")
+			}
+			return out, nil
+		}
+	}
+
+	// Fallback: unsliced shard file (or legacy container) — decode the
+	// whole manifest and project the shard's components, exactly as the
+	// all-shards open would.
+	base := sub.base
+	if base == nil {
+		if base, _, err = decodeManifest(mdata, mmapping != nil); err != nil {
+			return fail(err)
+		}
+	}
+	proj, ix, err := decodeShard(sdata, base, layout, shard, smapping != nil)
+	if err != nil {
+		return fail(err)
+	}
+	out.Instance, out.Index = proj, ix
+	if mmapping != nil {
+		adviseMapped(mmapping, ManifestMagic, "shard-set manifest")
+	}
+	if smapping != nil {
+		adviseMapped(smapping, ShardMagic, "shard snapshot")
+	}
+	return out, nil
+}
+
+// workerSubstrate carries the partial-manifest decode: either the sliced
+// worker inputs (v3) or a fully decoded base instance (legacy).
+type workerSubstrate struct {
+	raw    graph.Raw // meta only: NComp, Stats, analyzer config
+	comp   []int32
+	rowPtr []int32
+	col    []int32
+	val    []float64
+	nn     int
+
+	base *graph.Instance // legacy fallback
+}
+
+// decodeWorkerSubstrate decodes the substrate sections a sliced worker
+// needs from the manifest's picked payloads.
+func decodeWorkerSubstrate(payloads map[byte][]byte, zeroCopy bool) (workerSubstrate, error) {
+	var s workerSubstrate
+	nn, err := decodeMeta(payloads[secMeta], &s.raw)
+	if err != nil {
+		return s, err
+	}
+	s.nn = nn
+	g := &loader{payloads: payloads, zeroCopy: zeroCopy}
+	s.comp = loadI32s[int32](g, sec3NodeComp, "node components")
+	s.rowPtr = loadI32s[int32](g, sec3MatRowPtr, "matrix row pointers")
+	s.col = loadI32s[int32](g, sec3MatCol, "matrix columns")
+	s.val = loadF64s(g, sec3MatVal, "matrix values")
+	if g.err != nil {
+		return s, g.err
+	}
+	return s, nil
+}
+
+// buildSlicedShard assembles the sliced worker instance and its index
+// slice from the shard file's payloads.
+func buildSlicedShard(sub workerSubstrate, spayloads map[byte][]byte, hdr shardHeader, desc ShardDesc, zeroCopy bool) (*graph.Instance, *index.Index, error) {
+	g := &loader{payloads: spayloads, zeroCopy: zeroCopy}
+	nids := loadI32s[graph.NID](g, sec3SliceNIDs, "sliced nodes")
+	parents := loadI32s[graph.NID](g, sec3SliceParent, "sliced parents")
+	depths := loadI32s[int32](g, sec3SliceDepth, "sliced depths")
+	docOfs := loadI32s[int32](g, sec3SliceDocOf, "sliced documents")
+	var kinds []graph.NodeKind
+	if kb := spayloads[sec3SliceKind]; zeroCopy {
+		kinds = unsafeKinds(kb)
+	} else {
+		kinds = make([]graph.NodeKind, len(kb))
+		for i, b := range kb {
+			kinds[i] = graph.NodeKind(b)
+		}
+	}
+	if g.err != nil {
+		return nil, nil, g.err
+	}
+	stats := sub.raw.Stats
+	numDocs := stats.Documents
+	stats.Documents = desc.Docs
+	stats.Components = len(hdr.comps)
+	stats.Tags = 0
+	for _, k := range kinds {
+		if k == graph.KindTag {
+			stats.Tags++
+		}
+	}
+	in, err := graph.FromSliced(graph.SlicedConfig{
+		NumNodes:     sub.nn,
+		Comp:         sub.comp,
+		NComp:        sub.raw.NComp,
+		MatrixRowPtr: sub.rowPtr,
+		MatrixCol:    sub.col,
+		MatrixVal:    sub.val,
+		Comps:        hdr.comps,
+		NIDs:         nids,
+		Kind:         kinds,
+		Parent:       parents,
+		Depth:        depths,
+		DocOf:        docOfs,
+		NumDocs:      numDocs,
+		Stats:        stats,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: shard slice: %w", err)
+	}
+	ix, err := indexFromPayloads(in, spayloads, "shard snapshot", zeroCopy)
+	if err != nil {
+		return nil, nil, err
+	}
+	if got := ix.NumEvents(); got != hdr.events || hdr.events != desc.Events {
+		return nil, nil, fmt.Errorf("snap: sliced shard has %d events, header says %d, manifest %d", got, hdr.events, desc.Events)
+	}
+	return in, ix, nil
+}
+
+// trimWorkerManifest punches every non-substrate section out of a sliced
+// worker's manifest mapping and advises the remainder: the mapping keeps
+// the header/table plus matrix, component table, meta and layout.
+func trimWorkerManifest(m *mman.Mapping, data []byte) {
+	spans, tableEnd, err := parseAlignedTable(data, ManifestMagic, "shard-set manifest")
+	if err != nil {
+		return
+	}
+	keepIDs := make(map[byte]bool, len(manifestSubstrateSections))
+	for _, id := range manifestSubstrateSections {
+		keepIDs[id] = true
+	}
+	keep := []mman.Range{{Off: 0, Len: tableEnd}}
+	for _, sp := range spans {
+		if keepIDs[sp.id] {
+			keep = append(keep, mman.Range{Off: sp.off, Len: sp.len})
+		}
+	}
+	m.Trim(keep)
+	for _, sp := range spans {
+		if !keepIDs[sp.id] {
+			continue
+		}
+		if a := sectionAdvice(sp.id); a != mman.AdviseNormal {
+			_ = m.Advise(mman.Range{Off: sp.off, Len: sp.len}, a)
+		}
+	}
+}

@@ -244,9 +244,10 @@ type Instance struct {
 	// (Close / MappedBytes); zero for built and copy-loaded instances.
 	lifecycle
 
-	// searches counts SearchInfoed calls over the instance's lifetime
-	// (surfaced per shard by Shards).
+	// searches counts SearchInfoed calls over the instance's lifetime;
+	// rounds accumulates their exploration rounds (surfaced by Shards).
 	searches atomic.Uint64
+	rounds   atomic.Uint64
 
 	// prox is the optional seeker-proximity checkpoint cache (atomic so it
 	// can be attached or swapped while searches are in flight).
@@ -349,6 +350,7 @@ func (i *Instance) SearchInfoed(seekerURI string, keywords []string, opts ...Opt
 	if err != nil {
 		return nil, SearchInfo{}, err
 	}
+	i.rounds.Add(uint64(stats.Iterations))
 	return mapResults(i.in, rs), mapSearchInfo(stats), nil
 }
 

@@ -60,6 +60,11 @@ type ShardStat struct {
 	// sharded instance: had a matching component there; for a plain
 	// instance: every search).
 	Searches uint64
+	// Rounds counts the lockstep search rounds that carried candidate
+	// work on this shard — with Searches, the load signal a shard
+	// rebalancer consumes. A plain instance counts every exploration
+	// round of every search (each round carries the whole query's work).
+	Rounds uint64
 }
 
 // Shards describes a plain instance as a single shard holding everything.
@@ -70,6 +75,7 @@ func (i *Instance) Shards() []ShardStat {
 		Components: s.Components,
 		Tags:       s.Tags,
 		Searches:   i.searches.Load(),
+		Rounds:     i.rounds.Load(),
 	}}
 }
 
@@ -166,6 +172,7 @@ func (si *ShardedInstance) Extension(keyword string) []string {
 // fan-out search counts.
 func (si *ShardedInstance) Shards() []ShardStat {
 	touches := si.seng.ShardTouches()
+	rounds := si.seng.ShardRounds()
 	out := make([]ShardStat, len(si.shards))
 	for s, sh := range si.shards {
 		st := sh.Stats()
@@ -174,6 +181,7 @@ func (si *ShardedInstance) Shards() []ShardStat {
 			Components: st.Components,
 			Tags:       st.Tags,
 			Searches:   touches[s],
+			Rounds:     rounds[s],
 		}
 	}
 	return out
@@ -207,6 +215,11 @@ func (si *ShardedInstance) SearchInfoed(seekerURI string, keywords []string, opt
 	if si.single != nil {
 		si.countSingle()
 		rs, stats, err = si.single.Search(seeker, keywords, cfg.opts)
+		if err == nil {
+			// Keep the short-circuited path's round counter consistent with
+			// the fan-out path: every exploration round carried the work.
+			si.seng.CountRounds(0, uint64(stats.Iterations))
+		}
 	} else {
 		rs, stats, err = si.seng.Search(seeker, keywords, cfg.opts)
 	}
