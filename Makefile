@@ -5,9 +5,9 @@
 # BENCHTIME=1x turns the bench target into the CI smoke run (compile and
 # execute every benchmark once, no timing fidelity).
 BENCHTIME ?= 200ms
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 
-.PHONY: build test race bench
+.PHONY: build test race bench metrics-lint
 
 build:
 	go build ./...
@@ -22,3 +22,8 @@ race:
 # (name, ns/op, allocs/op per benchmark) to $(BENCH_OUT) as JSON.
 bench:
 	go run ./cmd/benchjson -out $(BENCH_OUT) -benchtime $(BENCHTIME) ./...
+
+# metrics-lint fails if any registered /metrics name is missing from the
+# README's Observability catalogue.
+metrics-lint:
+	sh scripts/metrics-lint.sh

@@ -38,11 +38,18 @@
 // only after the last in-flight search on it finishes, so snapshots are
 // replaced by writing a temp file and renaming it over the served path.
 //
-// Endpoints: POST /search, GET /extension, GET /stats, GET /healthz
-// (readiness; 503 while loading or draining), GET /livez (liveness),
-// POST /reload. Workers speak POST /shard/v1/{begin,round,finalize,end}
-// instead of /search. See internal/server and internal/dshard for the
-// request and response bodies.
+// Endpoints: POST /search (?trace=1 returns the span tree), GET
+// /extension, GET /stats, GET /metrics (Prometheus text exposition), GET
+// /debug/traces (recent traces), GET /healthz (readiness; 503 while
+// loading or draining), GET /livez (liveness), POST /reload. Workers
+// speak POST /shard/v1/{begin,round,finalize,end} instead of /search but
+// expose the same /metrics and /debug/traces. See internal/server and
+// internal/dshard for the request and response bodies.
+//
+// Observability extras: -slowlog-ms logs a JSON line to stderr for every
+// search slower than the threshold, and -debug-addr serves net/http/pprof
+// on a second listener (all three modes) so profiling stays off the
+// query port.
 package main
 
 import (
@@ -52,6 +59,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -60,6 +68,7 @@ import (
 
 	"s3"
 	"s3/internal/dshard"
+	"s3/internal/obs"
 	"s3/internal/server"
 	"s3/internal/snap"
 )
@@ -80,9 +89,12 @@ func main() {
 		cacheSize = flag.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
 		proxMB    = flag.Int("proxcache-mb", int(server.DefaultProxCacheBytes>>20), "seeker-proximity checkpoint cache budget in MiB (<= 0 disables)")
 		workers   = flag.Int("workers", 0, "max concurrently executing searches (0 = GOMAXPROCS)")
+		slowMS    = flag.Int("slowlog-ms", 0, "log a JSON line to stderr for every search slower than this many milliseconds (0 disables)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty disables)")
 	)
 	flag.Parse()
 
+	startDebugListener(*debugAddr)
 	mode := s3.LoadCopy
 	if *mmap {
 		mode = s3.LoadMmap
@@ -132,12 +144,28 @@ func main() {
 		ProxCacheBytes: proxBytes,
 		Workers:        *workers,
 		LoadMS:         loadMS.Milliseconds(),
+		SlowLog:        obs.NewSlowLog(os.Stderr, time.Duration(*slowMS)*time.Millisecond),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	serveHTTP(*addr, srv.Handler(), func() { srv.SetDraining(true) })
+}
+
+// startDebugListener serves net/http/pprof (registered on the default
+// mux by its blank import) on its own address, keeping profiling off the
+// query port in every mode.
+func startDebugListener(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("debug listener (pprof) on %s", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("debug listener: %v", err)
+		}
+	}()
 }
 
 // serveHTTP runs the listener until SIGINT/SIGTERM, then drains: flip

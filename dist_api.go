@@ -3,10 +3,12 @@ package s3
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"s3/internal/core"
 	"s3/internal/dshard"
 	"s3/internal/graph"
+	"s3/internal/obs"
 	"s3/internal/snap"
 )
 
@@ -25,6 +27,11 @@ type DistributedInstance struct {
 	man    *snap.ManifestSnapshot
 	coord  *dshard.Coordinator
 	cancel context.CancelFunc
+
+	// obsm is the optional search-metrics sink fed by the coordinated
+	// rounds (the coordinator observes round latency on its side of the
+	// wire).
+	obsm atomic.Pointer[SearchMetrics]
 }
 
 var _ Queryable = (*DistributedInstance)(nil)
@@ -140,6 +147,8 @@ func (di *DistributedInstance) SearchInfoed(seekerURI string, keywords []string,
 	sel, stats, err := di.coord.Search(spec, core.CoordOptions{
 		MaxIterations: cfg.opts.MaxIterations,
 		Budget:        cfg.opts.Budget,
+		Trace:         cfg.opts.Trace,
+		Obs:           di.obsm.Load(),
 	})
 	if err != nil {
 		return nil, SearchInfo{}, err
@@ -154,6 +163,16 @@ func (di *DistributedInstance) SearchInfoed(seekerURI string, keywords []string,
 // SetProxCache is a no-op: proximity exploration (and its caching)
 // belongs to the worker processes.
 func (di *DistributedInstance) SetProxCache(*ProxCache) {}
+
+// SetSearchMetrics attaches (or with nil, detaches) the instrument
+// bundle fed by subsequent coordinated searches.
+func (di *DistributedInstance) SetSearchMetrics(m *SearchMetrics) { di.obsm.Store(m) }
+
+// AttachRegistry wires the coordinator's wire instruments (per-endpoint
+// RPC round-trip time and bytes) and search counters into r. The serving
+// layer calls this once after opening, before the instance takes
+// traffic.
+func (di *DistributedInstance) AttachRegistry(r *obs.Registry) { di.coord.AttachRegistry(r) }
 
 // WarmProximity is a no-op for the same reason.
 func (di *DistributedInstance) WarmProximity(string, float64, float64, int) (int, bool) {

@@ -30,6 +30,7 @@ import (
 
 	"s3/internal/dict"
 	"s3/internal/graph"
+	"s3/internal/obs"
 	"s3/internal/score"
 	"s3/internal/topks"
 )
@@ -147,6 +148,50 @@ type CoordOptions struct {
 	// the per-round work estimate — the right choice when executor calls
 	// leave the process (network latency dwarfs goroutine overhead).
 	ForceParallel bool
+	// Trace, when non-nil, records the coordinated search's stages (begin,
+	// each lockstep round with its per-shard fan-out, finalize) as spans
+	// under the trace's root. Executors that implement TakeSpan (remote
+	// shards, tracing-enabled local ones) contribute their own span
+	// subtrees, stitched under the per-shard fan-out spans. Tracing is
+	// observational only: it never changes the answer.
+	Trace *obs.Trace
+	// Obs, when non-nil, receives the search's metrics observations
+	// (rounds per search, per-round latency).
+	Obs *obs.SearchMetrics
+}
+
+// spanSource is implemented by executors that collect a span subtree per
+// protocol call (LocalExecutor with tracing enabled, RemoteExecutor for
+// worker-side spans decoded off the wire). TakeSpan returns the subtree
+// recorded by the most recent call and clears it.
+type spanSource interface {
+	TakeSpan() *obs.Span
+}
+
+// rpcScatter runs one scatter under an optional parent span: each
+// executor gets a pre-created child span (created serially, ended inside
+// its own closure, so no goroutine ever touches a sibling's), and any
+// span subtree the executor collected is attached after the barrier.
+func rpcScatter(parent *obs.Span, execs []ShardExecutor, parallel bool, f func(i int) error) error {
+	if parent == nil {
+		return scatter(execs, parallel, f)
+	}
+	children := make([]*obs.Span, len(execs))
+	for i := range execs {
+		children[i] = parent.StartChild("shard")
+		children[i].SetInt("shard", int64(i))
+	}
+	err := scatter(execs, parallel, func(i int) error {
+		ferr := f(i)
+		children[i].End()
+		return ferr
+	})
+	for i, ex := range execs {
+		if src, ok := ex.(spanSource); ok {
+			children[i].Attach(src.TakeSpan())
+		}
+	}
+	return err
 }
 
 // Coordinate drives a sharded search over the executors: the scatter /
@@ -165,20 +210,23 @@ func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]C
 	if start.IsZero() {
 		start = time.Now()
 	}
+	root := copts.Trace.Span()
 	defer func() {
 		for _, ex := range execs {
 			ex.End()
 		}
 	}()
 
+	beginSpan := root.StartChild("begin")
 	begins := make([]BeginInfo, len(execs))
-	if err := scatter(execs, true, func(i int) error {
+	if err := rpcScatter(beginSpan, execs, true, func(i int) error {
 		var err error
 		begins[i], err = execs[i].Begin(spec)
 		return err
 	}); err != nil {
 		return nil, stats, err
 	}
+	beginSpan.End()
 	totalMatched := 0
 	for _, b := range begins {
 		totalMatched += b.Matched
@@ -187,6 +235,7 @@ func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]C
 	if totalMatched == 0 {
 		stats.Reason = StopNoMatch
 		stats.Elapsed = time.Since(start)
+		root.SetAttr("stop", string(StopNoMatch))
 		return nil, stats, nil
 	}
 	threshold, err := thresholdFromMasses(spec.Groups, begins)
@@ -202,10 +251,18 @@ func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]C
 			stats.Candidates += info.Candidates
 		}
 		stats.Elapsed = time.Since(start)
+		if root != nil {
+			root.SetInt("rounds", int64(stats.Iterations))
+			root.SetAttr("stop", string(reason))
+		}
+		if copts.Obs != nil {
+			copts.Obs.Rounds.Observe(float64(stats.Iterations))
+		}
 		return sel, stats, nil
 	}
 	finalize := func() ([]CandMeta, error) {
-		if err := scatter(execs, copts.ForceParallel, func(i int) error {
+		fin := root.StartChild("finalize")
+		if err := rpcScatter(fin, execs, copts.ForceParallel, func(i int) error {
 			var err error
 			infos[i], err = execs[i].Finalize()
 			return err
@@ -213,11 +270,13 @@ func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]C
 			return nil, err
 		}
 		sel, _ := mergedSelectMeta(infos, spec.K)
+		fin.End()
 		return sel, nil
 	}
 
 	n, done := 0, false
 	lastWork := 0
+	tracedRounds := 0
 	for {
 		if done {
 			sel, err := finalize()
@@ -235,8 +294,18 @@ func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]C
 			return finish(sel, StopBudget)
 		}
 
+		var sp *obs.Span
+		if root != nil && tracedRounds < maxTracedRounds {
+			sp = root.StartChild("round")
+			tracedRounds++
+		}
+		var roundStart time.Time
+		if sp != nil || copts.Obs != nil {
+			roundStart = time.Now()
+		}
+
 		parallel := copts.ForceParallel || lastWork >= fanoutThreshold
-		if err := scatter(execs, parallel, func(i int) error {
+		if err := rpcScatter(sp, execs, parallel, func(i int) error {
 			var err error
 			infos[i], err = execs[i].Round()
 			return err
@@ -267,6 +336,18 @@ func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]C
 			thr = threshold(sourceTail)
 		}
 		selection, certain := mergedSelectMeta(infos, spec.K)
+
+		// The round span covers the scatter and the merge; the stop
+		// decision below is a handful of comparisons.
+		if copts.Obs != nil {
+			copts.Obs.RoundSeconds.Observe(time.Since(roundStart).Seconds())
+		}
+		if sp != nil {
+			sp.SetInt("n", int64(n))
+			sp.SetInt("admitted", int64(admitted))
+			sp.SetInt("kept", int64(len(selection)))
+			sp.End()
+		}
 
 		mayGrow := len(selection) < spec.K && thr > spec.Epsilon
 		if certain && !mayGrow {

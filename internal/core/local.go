@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"s3/internal/graph"
+	"s3/internal/obs"
 	"s3/internal/score"
 )
 
@@ -145,6 +146,11 @@ type LocalExecutor struct {
 	touched *atomic.Uint64
 	rounds  *atomic.Uint64
 
+	// traced enables per-call span recording; span holds the most recent
+	// call's subtree until TakeSpan collects it.
+	traced bool
+	span   *obs.Span
+
 	st    *shardState
 	round int
 }
@@ -166,6 +172,24 @@ func (x *LocalExecutor) WithCounters(touched, rounds *atomic.Uint64) *LocalExecu
 	return x
 }
 
+// WithTracing enables per-call span recording: each Begin, Round and
+// Finalize builds a span subtree (with step/admit/bounds/select stage
+// children) that TakeSpan hands to the coordinator's trace. Tracing is
+// observational only — it never changes the shard's round responses.
+func (x *LocalExecutor) WithTracing(on bool) *LocalExecutor {
+	x.traced = on
+	return x
+}
+
+// TakeSpan implements the coordinator's span collection: it returns the
+// span subtree recorded by the most recent protocol call and clears it
+// (nil when tracing is off).
+func (x *LocalExecutor) TakeSpan() *obs.Span {
+	sp := x.span
+	x.span = nil
+	return sp
+}
+
 // Begin implements ShardExecutor.
 func (x *LocalExecutor) Begin(spec SearchSpec) (BeginInfo, error) {
 	if spec.K <= 0 {
@@ -180,6 +204,10 @@ func (x *LocalExecutor) Begin(spec SearchSpec) (BeginInfo, error) {
 	eps := spec.Epsilon
 	if eps == 0 {
 		eps = 1e-12
+	}
+	var sp *obs.Span
+	if x.traced {
+		sp = obs.NewSpan("exec.begin")
 	}
 	opts := Options{K: spec.K, Params: spec.Params, Workers: x.workers, Epsilon: eps}
 	sc, err := score.NewScorer(x.e.in, x.e.ix, spec.Params, spec.Groups)
@@ -213,6 +241,11 @@ func (x *LocalExecutor) Begin(spec SearchSpec) (BeginInfo, error) {
 			info.GroupMasses[gi][j] = int32(x.e.ix.MaxCompEvents(k))
 		}
 	}
+	if sp != nil {
+		sp.SetInt("matched", int64(len(matched)))
+		sp.End()
+		x.span = sp
+	}
 	return info, nil
 }
 
@@ -221,8 +254,14 @@ func (x *LocalExecutor) Round() (RoundInfo, error) {
 	if x.st == nil || x.drv == nil {
 		return RoundInfo{}, fmt.Errorf("core: Round without Begin")
 	}
+	var sp *obs.Span
+	if x.traced {
+		sp = obs.NewSpan("exec.round")
+	}
 	x.round++
+	step := sp.StartChild("step")
 	rs := x.drv.advance(x.round)
+	step.End()
 	st := x.st
 	// Admit this round's newly discovered matching components, in
 	// discovery order. A routing driver hands each executor only its own
@@ -234,6 +273,7 @@ func (x *LocalExecutor) Round() (RoundInfo, error) {
 		disc = rs.routed[x.shard]
 	}
 	if len(st.matched) > 0 {
+		admit := sp.StartChild("admit")
 		for _, nd := range disc {
 			comp := st.e.in.CompOf(nd)
 			if comp < 0 {
@@ -248,17 +288,31 @@ func (x *LocalExecutor) Round() (RoundInfo, error) {
 			st.admitted[comp] = struct{}{}
 			st.admitComponent(comp)
 		}
+		admit.End()
 	}
 	if len(st.cands) > 0 || len(st.matched) > 0 {
+		bounds := sp.StartChild("bounds")
 		st.computeBounds(rs.tail, rs.prox)
+		bounds.End()
+		sel := sp.StartChild("select")
 		st.kept, st.uncertain = st.greedySelect()
+		sel.End()
 	} else {
 		st.kept, st.uncertain = nil, nil
 	}
 	if x.rounds != nil && len(st.cands) > 0 {
 		x.rounds.Add(1)
 	}
-	return x.roundInfo(rs), nil
+	info := x.roundInfo(rs)
+	if sp != nil {
+		sp.SetInt("n", int64(rs.n))
+		sp.SetInt("admitted", int64(len(st.admitted)))
+		sp.SetInt("candidates", int64(len(st.cands)))
+		sp.SetInt("kept", int64(len(st.kept)))
+		sp.End()
+		x.span = sp
+	}
+	return info, nil
 }
 
 // Finalize implements ShardExecutor.
@@ -266,11 +320,26 @@ func (x *LocalExecutor) Finalize() (RoundInfo, error) {
 	if x.st == nil || x.drv == nil {
 		return RoundInfo{}, fmt.Errorf("core: Finalize without Begin")
 	}
+	var sp *obs.Span
+	if x.traced {
+		sp = obs.NewSpan("exec.finalize")
+	}
 	rs := x.drv.current()
 	st := x.st
+	bounds := sp.StartChild("bounds")
 	st.computeBounds(rs.tail, rs.prox)
+	bounds.End()
+	sel := sp.StartChild("select")
 	st.kept, st.uncertain = st.greedySelect()
-	return x.roundInfo(rs), nil
+	sel.End()
+	info := x.roundInfo(rs)
+	if sp != nil {
+		sp.SetInt("candidates", int64(len(st.cands)))
+		sp.SetInt("kept", int64(len(st.kept)))
+		sp.End()
+		x.span = sp
+	}
+	return info, nil
 }
 
 // End implements ShardExecutor.

@@ -40,6 +40,7 @@ import (
 	"s3/internal/dict"
 	"s3/internal/graph"
 	"s3/internal/index"
+	"s3/internal/obs"
 	"s3/internal/proxcache"
 	"s3/internal/score"
 )
@@ -71,6 +72,13 @@ type Options struct {
 	// documents, order and score intervals — are byte-identical with and
 	// without the cache.
 	ProxCache *proxcache.Cache
+	// Trace, when non-nil, records the search's stages (resolution, each
+	// exploration round) as spans under the trace's root. Tracing is
+	// observational only: it never changes the answer.
+	Trace *obs.Trace
+	// Obs, when non-nil, receives the search's metrics observations
+	// (rounds per search, per-round latency).
+	Obs *obs.SearchMetrics
 }
 
 // DefaultOptions returns a top-10 search with default damping.
@@ -116,6 +124,10 @@ type Stats struct {
 	Candidates        int
 	Reason            StopReason
 	Elapsed           time.Duration
+	// ResumedDepth is how many exploration rounds a proximity-cache hit
+	// let the search skip (0 on a cold exploration) — the signal that
+	// classifies a search as warm.
+	ResumedDepth int
 }
 
 // Engine answers queries over one instance. It is immutable and safe for
@@ -180,11 +192,14 @@ func (e *Engine) Search(seeker graph.NID, keywords []string, opts Options) ([]Re
 		eps = 1e-12
 	}
 
+	root := opts.Trace.Span()
+	resolve := root.StartChild("resolve")
 	groups, possible, err := e.KeywordGroups(keywords)
 	if err != nil {
 		return nil, stats, err
 	}
 	if !possible {
+		resolve.End()
 		stats.Reason = StopNoMatch
 		stats.Elapsed = time.Since(start)
 		return nil, stats, nil
@@ -198,6 +213,8 @@ func (e *Engine) Search(seeker graph.NID, keywords []string, opts Options) ([]Re
 	for _, c := range e.ix.CompsForGroups(groups) {
 		matched[c] = struct{}{}
 	}
+	resolve.SetInt("matched_components", int64(len(matched)))
+	resolve.End()
 	stats.ComponentsMatched = len(matched)
 	if len(matched) == 0 {
 		stats.Reason = StopNoMatch
@@ -229,7 +246,16 @@ func (e *Engine) Search(seeker graph.NID, keywords []string, opts Options) ([]Re
 	stats.Reason = reason
 	stats.Iterations = st.it.N()
 	stats.Candidates = len(st.cands)
+	stats.ResumedDepth = resumedN
 	stats.Elapsed = time.Since(start)
+	if root != nil {
+		root.SetInt("rounds", int64(stats.Iterations))
+		root.SetInt("resumed_depth", int64(resumedN))
+		root.SetAttr("stop", string(reason))
+	}
+	if opts.Obs != nil {
+		opts.Obs.Rounds.Observe(float64(stats.Iterations))
+	}
 
 	return st.results(), stats, nil
 }
@@ -334,7 +360,28 @@ type searchState struct {
 	selection []*cand // current greedy top-k (by upper bound)
 }
 
+// maxTracedRounds caps per-round span recording: a long any-time search
+// must not grow an unbounded trace tree (the round histogram still sees
+// every round).
+const maxTracedRounds = 256
+
+// endRound records one finished exploration round into the search's
+// observability sinks (cheap no-op when untraced and unmetered).
+func (st *searchState) endRound(sp *obs.Span, roundStart time.Time) {
+	if st.opts.Obs != nil {
+		st.opts.Obs.RoundSeconds.Observe(time.Since(roundStart).Seconds())
+	}
+	if sp != nil {
+		sp.SetInt("n", int64(st.it.N()))
+		sp.SetInt("admitted", int64(len(st.admitted)))
+		sp.SetInt("candidates", int64(len(st.cands)))
+		sp.End()
+	}
+}
+
 func (st *searchState) run(start time.Time, stats *Stats) StopReason {
+	root := st.opts.Trace.Span()
+	traced := 0
 	for {
 		if st.it.Done() {
 			st.computeBounds(0, st.it.AllProx())
@@ -350,6 +397,16 @@ func (st *searchState) run(start time.Time, stats *Stats) StopReason {
 			st.computeBounds(st.it.TailBound(), st.it.AllProx())
 			st.selection, _ = st.greedySelect()
 			return StopBudget
+		}
+
+		var sp *obs.Span
+		if root != nil && traced < maxTracedRounds {
+			sp = root.StartChild("round")
+			traced++
+		}
+		var roundStart time.Time
+		if sp != nil || st.opts.Obs != nil {
+			roundStart = time.Now()
 		}
 
 		discovered := st.it.Step()
@@ -397,10 +454,12 @@ func (st *searchState) run(start time.Time, stats *Stats) StopReason {
 				}
 				maxOther := st.maxOtherUpper(selection)
 				if maxOther <= minLower+st.eps && threshold <= minLower+st.eps {
+					st.endRound(sp, roundStart)
 					return StopThreshold
 				}
 			} else if threshold <= st.eps {
 				// Nothing can ever score above zero.
+				st.endRound(sp, roundStart)
 				return StopThreshold
 			}
 		}
@@ -415,8 +474,11 @@ func (st *searchState) run(start time.Time, stats *Stats) StopReason {
 		if st.it.TailBound() < 1e-15 {
 			st.computeBounds(st.it.TailBound(), st.it.AllProx())
 			st.selection, _ = st.greedySelect()
+			st.endRound(sp, roundStart)
 			return StopPrecision
 		}
+
+		st.endRound(sp, roundStart)
 	}
 }
 

@@ -175,10 +175,13 @@ func (se *ShardedEngine) Search(seeker graph.NID, keywords []string, opts Option
 
 	// The dictionary and saturated ontology are shared substrate, so any
 	// shard resolves the query's keyword groups identically.
+	root := opts.Trace.Span()
+	resolve := root.StartChild("resolve")
 	groups, possible, err := se.shards[0].KeywordGroups(keywords)
 	if err != nil {
 		return nil, stats, err
 	}
+	resolve.End()
 	if !possible {
 		stats.Reason = StopNoMatch
 		stats.Elapsed = time.Since(start)
@@ -203,6 +206,7 @@ func (se *ShardedEngine) Search(seeker graph.NID, keywords []string, opts Option
 			shard:   i,
 			touched: &se.touched[i],
 			rounds:  &se.rounds[i],
+			traced:  opts.Trace != nil,
 		}
 	}
 
@@ -210,10 +214,14 @@ func (se *ShardedEngine) Search(seeker graph.NID, keywords []string, opts Option
 		MaxIterations: opts.MaxIterations,
 		Budget:        opts.Budget,
 		Start:         start,
+		Trace:         opts.Trace,
+		Obs:           opts.Obs,
 	})
 	if err != nil {
 		return nil, stats, err
 	}
+	stats.ResumedDepth = resumedN
+	root.SetInt("resumed_depth", int64(resumedN))
 	if opts.ProxCache != nil && it.RecordedDepth() > resumedN {
 		opts.ProxCache.Put(ckey, it.Checkpoint())
 	}

@@ -7,16 +7,21 @@ import (
 
 	"s3/internal/core"
 	"s3/internal/datagen"
+	"s3/internal/obs"
 	"s3/internal/score"
 	"s3/internal/snap"
 )
 
-// BenchmarkDistributedSearch prices the distributed round protocol: the
-// same battery of queries through the in-process sharded engine and
-// through a coordinator + N loopback worker processes. The delta is the
-// per-round scatter/gather cost (HTTP round trips × exploration depth) —
-// the latency a deployment pays for per-shard memory isolation.
-func BenchmarkDistributedSearch(b *testing.B) {
+type benchQuery struct {
+	spec core.SearchSpec
+	kws  []string
+}
+
+// benchTopology stands up the shared benchmark fixture: a 2-shard set
+// served both by an in-process sharded engine and by a coordinator over
+// loopback worker processes, plus the query battery.
+func benchTopology(b *testing.B) (*core.ShardedEngine, *Coordinator, []benchQuery) {
+	b.Helper()
 	o := datagen.DefaultTwitterOptions()
 	o.Users, o.Tweets, o.Seed = 300, 1200, 17
 	spec, _ := datagen.Twitter(o)
@@ -28,7 +33,7 @@ func BenchmarkDistributedSearch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer set.Close()
+	b.Cleanup(func() { set.Close() })
 	engines := make([]*core.Engine, shards)
 	for i := range engines {
 		engines[i] = core.NewEngine(set.Set.Shards[i], set.Set.Indexes[i])
@@ -39,7 +44,7 @@ func BenchmarkDistributedSearch(b *testing.B) {
 	}
 
 	urls, stop := startWorkers(b, manifestPath, shards, snap.LoadMmap)
-	defer stop()
+	b.Cleanup(stop)
 	coord, err := NewCoordinator(CoordinatorConfig{
 		WorkerURLs: urls,
 		ShardCount: shards,
@@ -55,18 +60,14 @@ func BenchmarkDistributedSearch(b *testing.B) {
 
 	seekers, kwSets := queries(in)
 	params := score.Params{Gamma: 1.5, Eta: 0.8}
-	type query struct {
-		spec core.SearchSpec
-		kws  []string
-	}
-	var qs []query
+	var qs []benchQuery
 	for _, seeker := range seekers {
 		for _, kws := range kwSets {
 			groups, possible, err := core.ResolveKeywordGroups(in, kws)
 			if err != nil || !possible {
 				continue
 			}
-			qs = append(qs, query{
+			qs = append(qs, benchQuery{
 				spec: core.SearchSpec{Seeker: seeker, Groups: groups, K: 5, Params: params, Epsilon: 1e-12},
 				kws:  kws,
 			})
@@ -75,6 +76,17 @@ func BenchmarkDistributedSearch(b *testing.B) {
 	if len(qs) == 0 {
 		b.Fatal("no benchmark queries")
 	}
+	return se, coord, qs
+}
+
+// BenchmarkDistributedSearch prices the distributed round protocol: the
+// same battery of queries through the in-process sharded engine and
+// through a coordinator + N loopback worker processes. The delta is the
+// per-round scatter/gather cost (HTTP round trips × exploration depth) —
+// the latency a deployment pays for per-shard memory isolation.
+func BenchmarkDistributedSearch(b *testing.B) {
+	se, coord, qs := benchTopology(b)
+	params := score.Params{Gamma: 1.5, Eta: 0.8}
 
 	b.Run("sharded-inproc", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -92,4 +104,23 @@ func BenchmarkDistributedSearch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTracedDistributedSearch prices full tracing on the same
+// distributed topology: every search carries a trace whose id crosses
+// the wire, every worker records executor spans into the responses, and
+// the coordinator stitches the round tree. The delta against
+// BenchmarkDistributedSearch/distributed-loopback is the all-in cost of
+// ?trace=1 (span recording + wire blocks + tree assembly).
+func BenchmarkTracedDistributedSearch(b *testing.B) {
+	_, coord, qs := benchTopology(b)
+
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		tr := obs.NewTrace("search")
+		if _, _, err := coord.Search(q.spec, core.CoordOptions{Trace: tr}); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
+	}
 }

@@ -11,9 +11,58 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"s3/internal/core"
+	"s3/internal/obs"
 )
+
+// rpc endpoint ordinals for the coordinator's per-endpoint instruments.
+const (
+	epBegin = iota
+	epRound
+	epFinalize
+	epEnd
+	epCount
+)
+
+var (
+	epPaths = [epCount]string{pathBegin, pathRound, pathFinalize, pathEnd}
+	epNames = [epCount]string{"begin", "round", "finalize", "end"}
+)
+
+// rpcMetrics holds the coordinator's per-endpoint wire instruments: round
+// trip time plus bytes sent and received per protocol endpoint.
+type rpcMetrics struct {
+	seconds   [epCount]*obs.Histogram
+	bytesSent [epCount]*obs.Counter
+	bytesRecv [epCount]*obs.Counter
+}
+
+// newRPCMetrics registers the wire instruments in r (idempotent).
+func newRPCMetrics(r *obs.Registry) *rpcMetrics {
+	m := &rpcMetrics{}
+	for ep := 0; ep < epCount; ep++ {
+		lbl := obs.L("endpoint", epNames[ep])
+		m.seconds[ep] = r.Histogram("s3_coord_rpc_seconds",
+			"Round-trip time of one worker RPC, by protocol endpoint.", nil, lbl)
+		m.bytesSent[ep] = r.Counter("s3_coord_rpc_bytes_total",
+			"Wire bytes exchanged with workers, by endpoint and direction.", lbl, obs.L("direction", "sent"))
+		m.bytesRecv[ep] = r.Counter("s3_coord_rpc_bytes_total",
+			"Wire bytes exchanged with workers, by endpoint and direction.", lbl, obs.L("direction", "recv"))
+	}
+	return m
+}
+
+// observe records one finished RPC (nil-safe).
+func (m *rpcMetrics) observe(ep int, start time.Time, sent, recv int) {
+	if m == nil {
+		return
+	}
+	m.seconds[ep].ObserveSince(start)
+	m.bytesSent[ep].Add(uint64(sent))
+	m.bytesRecv[ep].Add(uint64(recv))
+}
 
 // RemoteExecutor speaks the round protocol to one worker. It implements
 // core.ShardExecutor; transport-class errors are remembered so the
@@ -29,6 +78,13 @@ type RemoteExecutor struct {
 	round    uint32
 	begun    bool
 
+	// traceID, when non-zero, asks the worker to record spans; span holds
+	// the worker-side subtree decoded off the most recent response until
+	// the coordinator's TakeSpan collects it.
+	traceID uint64
+	span    *obs.Span
+	metrics *rpcMetrics
+
 	mu  sync.Mutex
 	err error
 }
@@ -36,6 +92,26 @@ type RemoteExecutor struct {
 // newRemoteExecutor binds a search id to a worker URL.
 func newRemoteExecutor(client *http.Client, baseURL string, searchID uint64) *RemoteExecutor {
 	return &RemoteExecutor{client: client, base: baseURL, searchID: searchID}
+}
+
+// withTracing asks the worker to record spans under the given trace id
+// (0 disables); withMetrics wires the coordinator's wire instruments.
+func (x *RemoteExecutor) withTracing(traceID uint64) *RemoteExecutor {
+	x.traceID = traceID
+	return x
+}
+
+func (x *RemoteExecutor) withMetrics(m *rpcMetrics) *RemoteExecutor {
+	x.metrics = m
+	return x
+}
+
+// TakeSpan implements the coordinator's span collection: the worker-side
+// span subtree decoded off the most recent response, cleared on read.
+func (x *RemoteExecutor) TakeSpan() *obs.Span {
+	sp := x.span
+	x.span = nil
+	return sp
 }
 
 // Err returns the first transport-class error this executor hit (nil
@@ -67,14 +143,19 @@ type appError struct{ msg string }
 
 func (e *appError) Error() string { return e.msg }
 
-// post sends one binary frame and returns the response frame.
-func (x *RemoteExecutor) post(path string, frame []byte) ([]byte, error) {
+// post sends one binary frame to an endpoint and returns the response
+// frame, recording RTT and wire bytes into the coordinator's instruments.
+func (x *RemoteExecutor) post(ep int, frame []byte) ([]byte, error) {
+	path := epPaths[ep]
+	start := time.Now()
 	resp, err := x.client.Post(x.base+path, "application/octet-stream", bytes.NewReader(frame))
 	if err != nil {
+		x.metrics.observe(ep, start, len(frame), 0)
 		return nil, fmt.Errorf("dshard: %s%s: %w", x.base, path, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameSize+1))
+	x.metrics.observe(ep, start, len(frame), len(body))
 	if err != nil {
 		return nil, fmt.Errorf("dshard: %s%s: reading response: %w", x.base, path, err)
 	}
@@ -98,42 +179,48 @@ func (x *RemoteExecutor) post(path string, frame []byte) ([]byte, error) {
 
 // Begin implements core.ShardExecutor.
 func (x *RemoteExecutor) Begin(spec core.SearchSpec) (core.BeginInfo, error) {
-	body, err := x.post(pathBegin, encodeBeginRequest(beginRequest{searchID: x.searchID, spec: spec}))
+	callStart := time.Now()
+	body, err := x.post(epBegin, encodeBeginRequest(beginRequest{searchID: x.searchID, spec: spec, traceID: x.traceID}))
 	if err != nil {
 		return core.BeginInfo{}, x.setErr(err)
 	}
-	info, err := decodeBeginInfo(body)
+	info, sp, err := decodeBeginInfo(body, callStart)
 	if err != nil {
 		return core.BeginInfo{}, x.setErr(err)
 	}
+	x.span = sp
 	x.begun = true
 	return info, nil
 }
 
 // Round implements core.ShardExecutor.
 func (x *RemoteExecutor) Round() (core.RoundInfo, error) {
-	body, err := x.post(pathRound, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round + 1}))
+	callStart := time.Now()
+	body, err := x.post(epRound, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round + 1}))
 	if err != nil {
 		return core.RoundInfo{}, x.setErr(err)
 	}
-	info, err := decodeRoundInfo(body)
+	info, sp, err := decodeRoundInfo(body, callStart)
 	if err != nil {
 		return core.RoundInfo{}, x.setErr(err)
 	}
+	x.span = sp
 	x.round++
 	return info, nil
 }
 
 // Finalize implements core.ShardExecutor.
 func (x *RemoteExecutor) Finalize() (core.RoundInfo, error) {
-	body, err := x.post(pathFinalize, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
+	callStart := time.Now()
+	body, err := x.post(epFinalize, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
 	if err != nil {
 		return core.RoundInfo{}, x.setErr(err)
 	}
-	info, err := decodeRoundInfo(body)
+	info, sp, err := decodeRoundInfo(body, callStart)
 	if err != nil {
 		return core.RoundInfo{}, x.setErr(err)
 	}
+	x.span = sp
 	return info, nil
 }
 
@@ -148,6 +235,6 @@ func (x *RemoteExecutor) End() {
 	}
 	x.begun = false
 	go func() {
-		_, _ = x.post(pathEnd, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
+		_, _ = x.post(epEnd, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
 	}()
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"s3/internal/core"
+	"s3/internal/obs"
 )
 
 // CoordinatorConfig assembles a Coordinator.
@@ -41,6 +42,9 @@ type CoordinatorConfig struct {
 	// survives any number of dead replicas as long as every shard keeps a
 	// live one. Negative disables retries.
 	SearchRetries int
+	// Registry, when non-nil, receives the coordinator's wire instruments
+	// (per-endpoint RPC round-trip time and bytes) and search counters.
+	Registry *obs.Registry
 }
 
 // workerRef is one worker URL with its probed identity and health.
@@ -78,6 +82,8 @@ type Coordinator struct {
 	searches atomic.Uint64
 	retries  atomic.Uint64
 	failures atomic.Uint64
+
+	metrics *rpcMetrics
 }
 
 // NewCoordinator wires a coordinator; call Probe (or start Run) before
@@ -105,6 +111,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		client: cfg.Client,
 		rr:     make([]atomic.Uint32, cfg.ShardCount),
 	}
+	c.AttachRegistry(cfg.Registry)
 	var seed [8]byte
 	if _, err := rand.Read(seed[:]); err != nil {
 		return nil, fmt.Errorf("dshard: seeding search ids: %w", err)
@@ -117,6 +124,24 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 }
 
 func (c *Coordinator) nextSearchID() uint64 { return c.idBase + c.idSeq.Add(1) }
+
+// AttachRegistry wires the coordinator's wire instruments (per-endpoint
+// RPC round-trip time and bytes) and search counters into r; nil is a
+// no-op. Attach before serving searches — the instrument set is read
+// without synchronisation. Re-attaching after a reload rebinds the
+// registry's func-backed counters to this coordinator.
+func (c *Coordinator) AttachRegistry(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.metrics = newRPCMetrics(r)
+	r.CounterFunc("s3_coord_searches_total", "Coordinated searches completed.",
+		func() float64 { return float64(c.searches.Load()) })
+	r.CounterFunc("s3_coord_retries_total", "Searches restarted on other replicas after a worker failure.",
+		func() float64 { return float64(c.retries.Load()) })
+	r.CounterFunc("s3_coord_failures_total", "Coordinated searches that failed after all retries.",
+		func() float64 { return float64(c.failures.Load()) })
+}
 
 // probeWorker refreshes one worker's identity, health and stats.
 func (c *Coordinator) probeWorker(ctx context.Context, w *workerRef) {
@@ -274,7 +299,9 @@ func (c *Coordinator) Search(spec core.SearchSpec, copts core.CoordOptions) ([]c
 		remotes := make([]*RemoteExecutor, len(refs))
 		execs := make([]core.ShardExecutor, len(refs))
 		for i, ref := range refs {
-			remotes[i] = newRemoteExecutor(c.client, ref.url, id)
+			remotes[i] = newRemoteExecutor(c.client, ref.url, id).
+				withTracing(copts.Trace.TraceID()).
+				withMetrics(c.metrics)
 			execs[i] = remotes[i]
 		}
 		sel, stats, err := core.Coordinate(execs, spec, copts)

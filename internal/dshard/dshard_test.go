@@ -387,7 +387,7 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 
 	bi := core.BeginInfo{Matched: 3, GroupMasses: [][]int32{{5, 0, 7}, {2}}}
-	gotBI, err := decodeBeginInfo(encodeBeginInfo(bi))
+	gotBI, _, err := decodeBeginInfo(encodeBeginInfo(bi), time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +401,7 @@ func TestWireRoundTrip(t *testing.T) {
 		MaxOther:  0.125, Admitted: 2, Candidates: 6, Reached: 19,
 		N: 3, Tail: math.Pow(1.5, -4), SourceTail: math.Pow(1.5, -3), Done: false,
 	}
-	gotRI, err := decodeRoundInfo(encodeRoundInfo(ri))
+	gotRI, _, err := decodeRoundInfo(encodeRoundInfo(ri), time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,10 +416,10 @@ func TestWireRoundTrip(t *testing.T) {
 
 	// Truncated and trailing-garbage frames are rejected.
 	frame := encodeRoundInfo(ri)
-	if _, err := decodeRoundInfo(frame[:len(frame)-3]); err == nil {
+	if _, _, err := decodeRoundInfo(frame[:len(frame)-3], time.Now()); err == nil {
 		t.Error("truncated round frame accepted")
 	}
-	if _, err := decodeRoundInfo(append(bytes.Clone(frame), 0)); err == nil {
+	if _, _, err := decodeRoundInfo(append(bytes.Clone(frame), 0), time.Now()); err == nil {
 		t.Error("trailing garbage accepted")
 	}
 }

@@ -26,10 +26,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"s3/internal/core"
 	"s3/internal/dict"
 	"s3/internal/graph"
+	"s3/internal/obs"
 	"s3/internal/score"
 )
 
@@ -40,6 +42,10 @@ const (
 	maxGroupLen  = 1 << 20
 	maxKept      = 1 << 16
 	maxFrameSize = 64 << 20
+	maxWireSpans = 512
+	maxSpanName  = 256
+	maxSpanAttrs = 32
+	maxAttrLen   = 1024
 )
 
 // wire paths.
@@ -103,6 +109,25 @@ func (d *dec) u64() uint64 {
 
 func (d *dec) f64() float64 { return floatFromBits(d.u64()) }
 
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (d *dec) str(max int) string {
+	n := int(d.u32())
+	if d.err == nil && n > max {
+		d.fail("string of %d bytes (cap %d)", n, max)
+	}
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail("truncated frame")
+		return ""
+	}
+	v := string(d.b[d.off : d.off+n])
+	d.off += n
+	return v
+}
+
 func (d *dec) done() error {
 	if d.err != nil {
 		return d.err
@@ -113,12 +138,129 @@ func (d *dec) done() error {
 	return nil
 }
 
+// --- span blocks ---
+
+// encodeSpanBlock appends root's span tree in preorder: count, then per
+// span its parent's index in the stream (the sentinel for the root), its
+// name, start offset and duration in microseconds (relative to the
+// block's root span) and attributes. Offsets are block-relative because
+// worker and coordinator clocks are not comparable — the decoder rebases
+// onto a coordinator-side anchor.
+const spanNoParent = ^uint32(0)
+
+func encodeSpanBlock(e *enc, root *obs.Span) {
+	type item struct {
+		sp     *obs.Span
+		parent uint32
+	}
+	flat := make([]item, 0, 16)
+	var walk func(sp *obs.Span, parent uint32)
+	walk = func(sp *obs.Span, parent uint32) {
+		if sp == nil || len(flat) >= maxWireSpans {
+			return
+		}
+		idx := uint32(len(flat))
+		flat = append(flat, item{sp, parent})
+		for _, c := range sp.Children {
+			walk(c, idx)
+		}
+	}
+	walk(root, spanNoParent)
+	base := root.Start
+	e.u32(uint32(len(flat)))
+	for _, it := range flat {
+		e.u32(it.parent)
+		name := it.sp.Name
+		if len(name) > maxSpanName {
+			name = name[:maxSpanName]
+		}
+		e.str(name)
+		e.u64(uint64(max(it.sp.Start.Sub(base).Microseconds(), 0)))
+		e.u64(uint64(max(it.sp.Dur.Microseconds(), 0)))
+		attrs := it.sp.Attrs
+		if len(attrs) > maxSpanAttrs {
+			attrs = attrs[:maxSpanAttrs]
+		}
+		e.u32(uint32(len(attrs)))
+		for _, a := range attrs {
+			e.str(a.Key)
+			e.str(a.Value)
+		}
+	}
+}
+
+// decodeSpanBlock reads one span block, rebasing span start times onto
+// base (the coordinator-side moment the RPC began).
+func decodeSpanBlock(d *dec, base time.Time) *obs.Span {
+	n := int(d.u32())
+	if d.err == nil && n > maxWireSpans {
+		d.fail("%d wire spans", n)
+	}
+	spans := make([]*obs.Span, 0, min(n, 64))
+	for i := 0; i < n && d.err == nil; i++ {
+		parent := d.u32()
+		name := d.str(maxSpanName)
+		startUS := d.u64()
+		durUS := d.u64()
+		sp := &obs.Span{
+			Name:  name,
+			Start: base.Add(time.Duration(startUS) * time.Microsecond),
+			Dur:   time.Duration(durUS) * time.Microsecond,
+		}
+		na := int(d.u32())
+		if d.err == nil && na > maxSpanAttrs {
+			d.fail("%d span attrs", na)
+		}
+		for j := 0; j < na && d.err == nil; j++ {
+			sp.Attrs = append(sp.Attrs, obs.Attr{Key: d.str(maxSpanName), Value: d.str(maxAttrLen)})
+		}
+		switch {
+		case parent == spanNoParent:
+			if i != 0 {
+				d.fail("span %d claims to be a second root", i)
+			}
+		case int(parent) >= len(spans):
+			d.fail("span %d references parent %d out of order", i, parent)
+		default:
+			spans[parent].Children = append(spans[parent].Children, sp)
+		}
+		spans = append(spans, sp)
+	}
+	if d.err != nil || len(spans) == 0 {
+		return nil
+	}
+	return spans[0]
+}
+
+// appendSpanBlock appends a span block to a response frame (no-op on a
+// nil span — untraced responses stay byte-identical to older workers').
+func appendSpanBlock(b []byte, root *obs.Span) []byte {
+	if root == nil {
+		return b
+	}
+	e := &enc{b: b}
+	encodeSpanBlock(e, root)
+	return e.b
+}
+
+// decodeTrailingSpan reads the optional trailing span block of a
+// response. Absence (no bytes left) means "untraced" — the version
+// tolerance that lets traced coordinators talk to older workers.
+func decodeTrailingSpan(d *dec, base time.Time) *obs.Span {
+	if d.err != nil || d.off == len(d.b) {
+		return nil
+	}
+	return decodeSpanBlock(d, base)
+}
+
 // --- begin ---
 
-// beginRequest pairs a search id with its spec.
+// beginRequest pairs a search id with its spec, plus the optional trace
+// id under which the worker should record (and return) its spans.
 type beginRequest struct {
 	searchID uint64
 	spec     core.SearchSpec
+	traceID  uint64
 }
 
 func encodeBeginRequest(r beginRequest) []byte {
@@ -135,6 +277,12 @@ func encodeBeginRequest(r beginRequest) []byte {
 		for _, id := range g {
 			e.u32(uint32(id))
 		}
+	}
+	if r.traceID != 0 {
+		// Appended only when tracing: an untraced begin frame is
+		// byte-identical to the pre-trace protocol, and older workers
+		// never see the field.
+		e.u64(r.traceID)
 	}
 	return e.b
 }
@@ -162,6 +310,11 @@ func decodeBeginRequest(b []byte) (beginRequest, error) {
 		}
 		r.spec.Groups = append(r.spec.Groups, g)
 	}
+	// Optional trailing trace id: absent on frames from pre-trace
+	// coordinators (and on untraced searches).
+	if d.err == nil && d.off < len(d.b) {
+		r.traceID = d.u64()
+	}
 	return r, d.done()
 }
 
@@ -178,7 +331,7 @@ func encodeBeginInfo(info core.BeginInfo) []byte {
 	return e.b
 }
 
-func decodeBeginInfo(b []byte) (core.BeginInfo, error) {
+func decodeBeginInfo(b []byte, base time.Time) (core.BeginInfo, *obs.Span, error) {
 	d := &dec{b: b}
 	var info core.BeginInfo
 	info.Matched = int(d.u32())
@@ -197,7 +350,8 @@ func decodeBeginInfo(b []byte) (core.BeginInfo, error) {
 		}
 		info.GroupMasses = append(info.GroupMasses, g)
 	}
-	return info, d.done()
+	sp := decodeTrailingSpan(d, base)
+	return info, sp, d.done()
 }
 
 // --- round / finalize ---
@@ -259,7 +413,7 @@ func encodeRoundInfo(info core.RoundInfo) []byte {
 	return e.b
 }
 
-func decodeRoundInfo(b []byte) (core.RoundInfo, error) {
+func decodeRoundInfo(b []byte, base time.Time) (core.RoundInfo, *obs.Span, error) {
 	d := &dec{b: b}
 	var info core.RoundInfo
 	flags := d.u8()
@@ -281,7 +435,8 @@ func decodeRoundInfo(b []byte) (core.RoundInfo, error) {
 	if flags&roundFlagUncertain != 0 {
 		info.Uncertain = &core.CandMeta{Doc: graph.NID(d.u32()), Lower: d.f64(), Upper: d.f64()}
 	}
-	return info, d.done()
+	sp := decodeTrailingSpan(d, base)
+	return info, sp, d.done()
 }
 
 // floatBits / floatFromBits round-trip float64s through their exact bit

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"s3/internal/core"
+	"s3/internal/obs"
 	"s3/internal/snap"
 )
 
@@ -52,6 +53,9 @@ type WorkerConfig struct {
 	SessionTTL time.Duration
 	// MaxSessions bounds concurrently open searches; 0 picks 1024.
 	MaxSessions int
+	// Registry receives the worker's instruments (nil creates a private
+	// one); the worker serves it at GET /metrics either way.
+	Registry *obs.Registry
 }
 
 // workerGen is one loaded generation of the shard, reference-counted so a
@@ -85,13 +89,16 @@ func (g *workerGen) release() {
 }
 
 // session is one in-flight search: an executor pinned to the generation
-// it began on.
+// it began on. trace is non-nil when the coordinator propagated a trace
+// id in Begin — every protocol call's span subtree is both returned on
+// the wire and accumulated here for the worker's own /debug/traces ring.
 type session struct {
 	mu       sync.Mutex
 	gen      *workerGen
 	exec     *core.LocalExecutor
 	round    uint32
 	lastUsed time.Time
+	trace    *obs.Trace
 }
 
 // Worker serves one shard of a set over the round protocol. Create with
@@ -111,6 +118,10 @@ type Worker struct {
 	touched  atomic.Uint64 // searches that matched components here
 	rounds   atomic.Uint64 // lockstep rounds that carried candidates
 	rejected atomic.Uint64 // begins refused (not serving / full)
+
+	reg        *obs.Registry
+	rpcSeconds [epCount]*obs.Histogram
+	traces     *obs.TraceRing
 }
 
 // NewWorker returns a worker in the loading state; call Load to serve.
@@ -121,7 +132,50 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 1024
 	}
-	return &Worker{cfg: cfg, sessions: make(map[uint64]*session), start: time.Now()}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	w := &Worker{
+		cfg:      cfg,
+		sessions: make(map[uint64]*session),
+		start:    time.Now(),
+		reg:      cfg.Registry,
+		traces:   obs.NewTraceRing(0),
+	}
+	for ep := 0; ep < epCount; ep++ {
+		w.rpcSeconds[ep] = w.reg.Histogram("s3_shard_rpc_seconds",
+			"Worker-side handling time of one round-protocol RPC, by endpoint.", nil,
+			obs.L("endpoint", epNames[ep]))
+	}
+	w.reg.GaugeFunc("s3_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(w.start).Seconds() })
+	w.reg.CounterFunc("s3_worker_searches_total", "Searches begun on this worker.",
+		func() float64 { return float64(w.searches.Load()) })
+	w.reg.CounterFunc("s3_worker_rejected_total", "Begin requests refused (not serving or session table full).",
+		func() float64 { return float64(w.rejected.Load()) })
+	w.reg.CounterFunc("s3_worker_shard_searches_total", "Searches that matched components on this shard.",
+		func() float64 { return float64(w.touched.Load()) })
+	w.reg.CounterFunc("s3_worker_shard_rounds_total", "Lockstep rounds that carried candidate work on this shard.",
+		func() float64 { return float64(w.rounds.Load()) })
+	w.reg.GaugeFunc("s3_worker_sessions", "Open search sessions.", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return float64(len(w.sessions))
+	})
+	w.reg.GaugeFunc("s3_worker_generation", "Loaded snapshot generation (increments per reload).", func() float64 {
+		if g := w.cur.Load(); g != nil {
+			return float64(g.version)
+		}
+		return 0
+	})
+	w.reg.GaugeFunc("s3_worker_mapped_bytes", "Bytes memory-mapped by the served generation.", func() float64 {
+		if g := w.acquire(); g != nil {
+			defer g.release()
+			return float64(g.ws.MappedBytes())
+		}
+		return 0
+	})
+	return w
 }
 
 // Load opens the manifest + shard and moves the worker to serving. Also
@@ -191,6 +245,8 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", w.handleHealthz)
 	mux.HandleFunc("GET /stats", w.handleStats)
 	mux.HandleFunc("POST /reload", w.handleReload)
+	mux.Handle("GET /metrics", w.reg.Handler())
+	mux.Handle("GET /debug/traces", w.traces.Handler())
 	return mux
 }
 
@@ -223,23 +279,38 @@ func readFrame(rw http.ResponseWriter, req *http.Request) ([]byte, bool) {
 	return body, true
 }
 
+// closeSession releases a session's executor and generation, retaining
+// its accumulated span tree (traced sessions) in the worker's ring.
+func (w *Worker) closeSession(s *session) {
+	s.mu.Lock()
+	s.exec.End()
+	if s.trace != nil {
+		s.trace.Finish()
+		w.traces.Add(&obs.TraceRecord{
+			TraceID:   obs.IDString(s.trace.TraceID()),
+			Start:     s.trace.Root.Start,
+			ElapsedMS: float64(s.trace.Root.Dur.Microseconds()) / 1000,
+			Spans:     s.trace.JSON(),
+		})
+		s.trace = nil
+	}
+	s.mu.Unlock()
+	s.gen.release()
+}
+
 // sweepSessions evicts searches idle past the TTL (their coordinator is
 // gone); the caller must hold w.mu.
 func (w *Worker) sweepSessions(now time.Time) {
 	for id, s := range w.sessions {
 		if now.Sub(s.lastUsed) > w.cfg.SessionTTL {
 			delete(w.sessions, id)
-			go func(s *session) {
-				s.mu.Lock()
-				s.exec.End()
-				s.mu.Unlock()
-				s.gen.release()
-			}(s)
+			go w.closeSession(s)
 		}
 	}
 }
 
 func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
+	defer w.rpcSeconds[epBegin].ObserveSince(time.Now())
 	if w.state.Load() != StateServing {
 		w.rejected.Add(1)
 		writeErr(rw, http.StatusServiceUnavailable, "worker is %s", stateName(w.state.Load()))
@@ -264,6 +335,10 @@ func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
 		gen:      gen,
 		exec:     core.NewShardExecutor(gen.engine, w.cfg.Workers).WithCounters(&w.touched, &w.rounds),
 		lastUsed: time.Now(),
+	}
+	if r.traceID != 0 {
+		s.exec.WithTracing(true)
+		s.trace = obs.NewTraceWithID(r.traceID, "worker.search")
 	}
 	w.mu.Lock()
 	w.sweepSessions(s.lastUsed)
@@ -290,7 +365,18 @@ func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	w.searches.Add(1)
-	writeFrame(rw, encodeBeginInfo(info))
+	writeFrame(rw, appendSpanBlock(encodeBeginInfo(info), w.takeCallSpan(s)))
+}
+
+// takeCallSpan collects the span subtree the executor recorded for the
+// just-finished call (nil when untraced), keeping a copy reference in
+// the session's own trace for the worker-side /debug/traces ring.
+func (w *Worker) takeCallSpan(s *session) *obs.Span {
+	sp := s.exec.TakeSpan()
+	if sp != nil && s.trace != nil {
+		s.trace.Span().Attach(sp)
+	}
+	return sp
 }
 
 // lookup fetches a session and bumps its liveness.
@@ -310,14 +396,12 @@ func (w *Worker) dropSession(id uint64) {
 	delete(w.sessions, id)
 	w.mu.Unlock()
 	if s != nil {
-		s.mu.Lock()
-		s.exec.End()
-		s.mu.Unlock()
-		s.gen.release()
+		w.closeSession(s)
 	}
 }
 
 func (w *Worker) handleRound(rw http.ResponseWriter, req *http.Request) {
+	defer w.rpcSeconds[epRound].ObserveSince(time.Now())
 	body, ok := readFrame(rw, req)
 	if !ok {
 		return
@@ -346,10 +430,11 @@ func (w *Worker) handleRound(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.round++
-	writeFrame(rw, encodeRoundInfo(info))
+	writeFrame(rw, appendSpanBlock(encodeRoundInfo(info), w.takeCallSpan(s)))
 }
 
 func (w *Worker) handleFinalize(rw http.ResponseWriter, req *http.Request) {
+	defer w.rpcSeconds[epFinalize].ObserveSince(time.Now())
 	body, ok := readFrame(rw, req)
 	if !ok {
 		return
@@ -371,10 +456,11 @@ func (w *Worker) handleFinalize(rw http.ResponseWriter, req *http.Request) {
 		writeErr(rw, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeFrame(rw, encodeRoundInfo(info))
+	writeFrame(rw, appendSpanBlock(encodeRoundInfo(info), w.takeCallSpan(s)))
 }
 
 func (w *Worker) handleEnd(rw http.ResponseWriter, req *http.Request) {
+	defer w.rpcSeconds[epEnd].ObserveSince(time.Now())
 	body, ok := readFrame(rw, req)
 	if !ok {
 		return

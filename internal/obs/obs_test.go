@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"s3/internal/obs/obstest"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("s3_test_total", "A test counter.", L("kind", "x"))
+	c.Add(3)
+	r.Counter("s3_test_total", "A test counter.", L("kind", "y")).Inc()
+	r.GaugeFunc("s3_test_gauge", "A test gauge.", func() float64 { return 7.5 })
+	h := r.Histogram("s3_test_seconds", "A test histogram.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples := obstest.ParseExposition(t, text)
+
+	if got := samples[`s3_test_total{kind="x"}`]; got != 3 {
+		t.Fatalf("counter x = %v, want 3", got)
+	}
+	if got := samples[`s3_test_total{kind="y"}`]; got != 1 {
+		t.Fatalf("counter y = %v, want 1", got)
+	}
+	if got := samples["s3_test_gauge"]; got != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", got)
+	}
+	// Cumulative buckets: 0.05 ≤ 0.1; 0.5 ≤ 1; 100 only in +Inf.
+	wantBuckets := map[string]float64{
+		`s3_test_seconds_bucket{le="0.1"}`:  1,
+		`s3_test_seconds_bucket{le="1"}`:    2,
+		`s3_test_seconds_bucket{le="10"}`:   2,
+		`s3_test_seconds_bucket{le="+Inf"}`: 3,
+		`s3_test_seconds_count`:             3,
+	}
+	for k, want := range wantBuckets {
+		if got := samples[k]; got != want {
+			t.Fatalf("%s = %v, want %v", k, got, want)
+		}
+	}
+	if got := samples["s3_test_seconds_sum"]; got < 100.5 || got > 100.6 {
+		t.Fatalf("sum = %v, want ~100.55", got)
+	}
+	obstest.CheckHistogram(t, samples, "s3_test_seconds", "")
+
+	// Bucket lines must be cumulative (monotone non-decreasing in bound
+	// order) — walk them in rendered order.
+	var prev float64 = -1
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "s3_test_seconds_bucket") {
+			continue
+		}
+		v, _ := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if v < prev {
+			t.Fatalf("bucket counts not monotone: %q after %v", line, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("s3_dup_total", "dup")
+	b := r.Counter("s3_dup_total", "dup")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+	h1 := r.Histogram("s3_dup_seconds", "dup", nil)
+	h2 := r.Histogram("s3_dup_seconds", "dup", nil)
+	if h1 != h2 {
+		t.Fatal("re-registering a histogram must return the same instrument")
+	}
+	// Func metrics rebind on re-registration (reload paths swap closures).
+	r.GaugeFunc("s3_dup_gauge", "dup", func() float64 { return 1 })
+	r.GaugeFunc("s3_dup_gauge", "dup", func() float64 { return 2 })
+	var buf bytes.Buffer
+	_, _ = r.WriteTo(&buf)
+	if got := obstest.ParseExposition(t, buf.String())["s3_dup_gauge"]; got != 2 {
+		t.Fatalf("rebound gauge = %v, want 2", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("s3_conc_seconds", "concurrent", nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 1000)
+				if i%64 == 0 {
+					var buf bytes.Buffer
+					_, _ = r.WriteTo(&buf)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	var buf bytes.Buffer
+	_, _ = r.WriteTo(&buf)
+	samples := obstest.ParseExposition(t, buf.String())
+	obstest.CheckHistogram(t, samples, "s3_conc_seconds", "")
+	if got := samples[`s3_conc_seconds_bucket{le="+Inf"}`]; got != workers*per {
+		t.Fatalf("+Inf bucket = %v, want %d", got, workers*per)
+	}
+}
+
+func TestSpanTreeJSON(t *testing.T) {
+	tr := NewTrace("search")
+	if tr.TraceID() == 0 {
+		t.Fatal("trace id must be non-zero")
+	}
+	sp := tr.Span().StartChild("round")
+	sp.SetInt("n", 1)
+	child := sp.StartChild("shard0")
+	child.SetAttr("url", "http://w0")
+	child.End()
+	sp.End()
+	tr.Finish()
+
+	js := tr.JSON()
+	if js.Name != "search" || len(js.Children) != 1 {
+		t.Fatalf("unexpected tree root: %+v", js)
+	}
+	round := js.Children[0]
+	if round.Name != "round" || round.Attrs["n"] != "1" || len(round.Children) != 1 {
+		t.Fatalf("unexpected round span: %+v", round)
+	}
+	if round.Children[0].Attrs["url"] != "http://w0" {
+		t.Fatalf("lost child attr: %+v", round.Children[0])
+	}
+	if _, err := json.Marshal(js); err != nil {
+		t.Fatal(err)
+	}
+
+	stages := StagesMS(tr.Root)
+	if _, ok := stages["round"]; !ok {
+		t.Fatalf("stages missing round: %v", stages)
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var sp *Span
+	c := sp.StartChild("x")
+	if c != nil {
+		t.Fatal("child of nil span must be nil")
+	}
+	c.SetAttr("k", "v")
+	c.SetInt("k", 1)
+	c.End()
+	sp.Attach(c)
+	var tr *Trace
+	if tr.TraceID() != 0 || tr.Span() != nil || tr.JSON() != nil {
+		t.Fatal("nil trace must read as absent")
+	}
+	tr.Finish()
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(2)
+	for i := 0; i < 3; i++ {
+		r.Add(&TraceRecord{TraceID: IDString(uint64(i + 1))})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("ring retained %d, want 2", len(snap))
+	}
+	if snap[0].TraceID != IDString(3) || snap[1].TraceID != IDString(2) {
+		t.Fatalf("wrong order/content: %v %v", snap[0].TraceID, snap[1].TraceID)
+	}
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var body struct {
+		Traces []TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Traces) != 2 {
+		t.Fatalf("handler returned %d traces, want 2", len(body.Traces))
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 10*time.Millisecond)
+	if l.Emit(5*time.Millisecond, &SlowRecord{Seeker: "u"}) {
+		t.Fatal("below-threshold search must not log")
+	}
+	if !l.Emit(15*time.Millisecond, &SlowRecord{
+		Seeker: "u", Keywords: []string{"k"}, K: 5, Outcome: "cold",
+		Rounds: 7, Shards: 2, RequestID: "rid", TraceID: "tid",
+		StagesMS: map[string]float64{"round": 12.5},
+	}) {
+		t.Fatal("above-threshold search must log")
+	}
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("slow log must be one line, got %q", line)
+	}
+	var rec SlowRecord
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("slow log line is not JSON: %v (%q)", err, line)
+	}
+	if rec.ElapsedMS != 15 || rec.Rounds != 7 || rec.RequestID != "rid" || rec.StagesMS["round"] != 12.5 {
+		t.Fatalf("lost fields: %+v", rec)
+	}
+	if l.Emitted() != 1 {
+		t.Fatalf("emitted = %d, want 1", l.Emitted())
+	}
+
+	var nilLog *SlowLog
+	if nilLog.Enabled() || nilLog.Emit(time.Hour, &SlowRecord{}) || nilLog.Threshold() != 0 {
+		t.Fatal("nil slow log must be disabled")
+	}
+}

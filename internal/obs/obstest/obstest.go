@@ -1,0 +1,80 @@
+// Package obstest holds test helpers for asserting over Prometheus text
+// expositions: a strict line parser and histogram-consistency checks.
+// It lives outside the _test files so the server and dshard end-to-end
+// tests can share one parser with the obs unit tests.
+package obstest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleLine matches one exposition sample: name{labels} value.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (-?[0-9.eE+-]+|NaN)$`)
+
+// ParseExposition parses Prometheus text format into sample → value,
+// failing the test on any malformed or duplicate line.
+func ParseExposition(t testing.TB, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed exposition line %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		key := m[1]
+		if m[2] != "" {
+			key += m[2]
+		}
+		if _, dup := out[key]; dup {
+			t.Fatalf("line %d: duplicate sample %q", ln+1, key)
+		}
+		out[key] = v
+	}
+	return out
+}
+
+// CheckHistogram asserts that the named histogram (with the given
+// rendered label prefix, e.g. `endpoint="round"`, or "" for none) has
+// bucket lines and that its +Inf bucket agrees with its _count sample.
+func CheckHistogram(t testing.TB, samples map[string]float64, name string, labels string) {
+	t.Helper()
+	prefix := name + "_bucket{"
+	if labels != "" {
+		prefix = name + "_bucket{" + labels + ","
+	}
+	inf := -1.0
+	n := 0
+	for key, v := range samples {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		n++
+		if strings.Contains(key, `le="+Inf"`) {
+			inf = v
+		}
+	}
+	if n == 0 {
+		t.Fatalf("no buckets for histogram %s{%s}", name, labels)
+	}
+	countKey := name + "_count"
+	if labels != "" {
+		countKey += "{" + labels + "}"
+	}
+	count, ok := samples[countKey]
+	if !ok {
+		t.Fatalf("missing %s", countKey)
+	}
+	if inf != count {
+		t.Fatalf("%s: +Inf bucket %v != count %v", name, inf, count)
+	}
+}

@@ -1,0 +1,93 @@
+// A bounded in-memory ring of recent (slow) traces, served at
+// GET /debug/traces as a JSON array, newest first.
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// TraceRecord is one retained trace: identifying request metadata plus
+// the rendered span tree.
+type TraceRecord struct {
+	TraceID   string    `json:"trace_id"`
+	RequestID string    `json:"request_id,omitempty"`
+	Seeker    string    `json:"seeker,omitempty"`
+	Keywords  []string  `json:"keywords,omitempty"`
+	Start     time.Time `json:"start"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Spans     *SpanJSON `json:"spans"`
+}
+
+// DefaultTraceRing is the retained-trace capacity when a config leaves
+// it zero.
+const DefaultTraceRing = 64
+
+// TraceRing retains the last N trace records.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*TraceRecord
+	next int
+	n    int
+}
+
+// NewTraceRing returns a ring holding up to n records (n <= 0 picks
+// DefaultTraceRing).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = DefaultTraceRing
+	}
+	return &TraceRing{buf: make([]*TraceRecord, n)}
+}
+
+// Add retains a record, evicting the oldest when full.
+func (r *TraceRing) Add(rec *TraceRecord) {
+	if r == nil || rec == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained records, newest first.
+func (r *TraceRing) Snapshot() []*TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceRecord, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns how many records are retained.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Handler serves GET /debug/traces.
+func (r *TraceRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		recs := r.Snapshot()
+		if recs == nil {
+			recs = []*TraceRecord{}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"traces": recs})
+	})
+}

@@ -1,0 +1,89 @@
+// The slow-query log: one structured JSON line per search slower than a
+// configured threshold, written to an io.Writer (s3serve points it at
+// stderr). Each line carries the request and trace ids (correlatable
+// with client logs and /debug/traces), the query, the round count and a
+// per-stage millisecond breakdown.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowRecord is one slow-query log line.
+type SlowRecord struct {
+	TS        string             `json:"ts"`
+	RequestID string             `json:"request_id,omitempty"`
+	TraceID   string             `json:"trace_id,omitempty"`
+	Seeker    string             `json:"seeker"`
+	Keywords  []string           `json:"keywords"`
+	K         int                `json:"k"`
+	Outcome   string             `json:"outcome"`
+	Rounds    int                `json:"rounds"`
+	Shards    int                `json:"shards"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+	StagesMS  map[string]float64 `json:"stages_ms,omitempty"`
+}
+
+// SlowLog emits SlowRecords above a threshold. All methods are nil-safe,
+// so servers thread a possibly-nil log unconditionally.
+type SlowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+	emitted   atomic.Uint64
+}
+
+// NewSlowLog wires a slow-query log; a threshold <= 0 returns nil
+// (disabled — every method on a nil log is a no-op).
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	if w == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{w: w, threshold: threshold}
+}
+
+// Enabled reports whether searches should be measured for the log.
+func (l *SlowLog) Enabled() bool { return l != nil }
+
+// Threshold returns the emission threshold (0 when disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Emit writes rec as one JSON line if elapsed reaches the threshold,
+// stamping TS and ElapsedMS. It reports whether a line was written.
+func (l *SlowLog) Emit(elapsed time.Duration, rec *SlowRecord) bool {
+	if l == nil || elapsed < l.threshold {
+		return false
+	}
+	rec.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	rec.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return false
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	_, werr := l.w.Write(line)
+	l.mu.Unlock()
+	if werr != nil {
+		return false
+	}
+	l.emitted.Add(1)
+	return true
+}
+
+// Emitted counts lines written over the log's lifetime.
+func (l *SlowLog) Emitted() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.emitted.Load()
+}

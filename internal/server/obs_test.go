@@ -1,0 +1,507 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"s3"
+	"s3/internal/dshard"
+	"s3/internal/obs"
+	"s3/internal/obs/obstest"
+	"s3/internal/snap"
+)
+
+// scrapeMetrics fetches and parses the handler's /metrics exposition.
+func scrapeMetrics(t testing.TB, h http.Handler) map[string]float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	return obstest.ParseExposition(t, rec.Body.String())
+}
+
+// getTraces fetches the handler's /debug/traces ring.
+func getTraces(t testing.TB, h http.Handler) []obs.TraceRecord {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/traces = %d", rec.Code)
+	}
+	var body struct {
+		Traces []obs.TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad /debug/traces body: %v", err)
+	}
+	return body.Traces
+}
+
+func TestMetricsExposition(t *testing.T) {
+	inst := testInstance(t, 60, 240, 3)
+	seeker, kw := aQuery(t, inst)
+	s := newTestServer(t, Config{Instance: inst})
+	h := s.Handler()
+	body := fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5}`, seeker, kw)
+
+	postSearch(t, h, body) // cold
+	postSearch(t, h, body) // cached
+
+	samples := scrapeMetrics(t, h)
+	obstest.CheckHistogram(t, samples, "s3_http_search_seconds", `outcome="cold"`)
+	obstest.CheckHistogram(t, samples, "s3_http_search_seconds", `outcome="cached"`)
+	if got := samples[`s3_http_search_seconds_count{outcome="cold"}`]; got < 1 {
+		t.Fatalf("cold searches = %v, want >= 1", got)
+	}
+	if got := samples[`s3_http_search_seconds_count{outcome="cached"}`]; got < 1 {
+		t.Fatalf("cached searches = %v, want >= 1", got)
+	}
+	// The engine-level instruments must have seen the cold search's rounds.
+	obstest.CheckHistogram(t, samples, "s3_search_rounds", "")
+	obstest.CheckHistogram(t, samples, "s3_search_round_seconds", "")
+	if got := samples["s3_search_rounds_count"]; got < 1 {
+		t.Fatalf("s3_search_rounds_count = %v, want >= 1", got)
+	}
+	if got := samples["s3_search_round_seconds_count"]; got < 1 {
+		t.Fatalf("s3_search_round_seconds_count = %v, want >= 1", got)
+	}
+	if got := samples["s3_server_generation"]; got != 1 {
+		t.Fatalf("s3_server_generation = %v, want 1", got)
+	}
+	if got := samples["s3_uptime_seconds"]; got <= 0 {
+		t.Fatalf("s3_uptime_seconds = %v, want > 0", got)
+	}
+	if got := samples["s3_cache_hits_total"]; got < 1 {
+		t.Fatalf("s3_cache_hits_total = %v, want >= 1", got)
+	}
+	if got := samples["s3_http_searches_total"]; got < 1 {
+		t.Fatalf("s3_http_searches_total = %v, want >= 1", got)
+	}
+}
+
+// spanNames collects the names of root's direct children.
+func spanNames(root *obs.SpanJSON) map[string]bool {
+	out := make(map[string]bool)
+	if root == nil {
+		return out
+	}
+	for _, c := range root.Children {
+		out[c.Name] = true
+	}
+	return out
+}
+
+var hexID = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+func TestTraceAndRequestID(t *testing.T) {
+	inst := testInstance(t, 60, 240, 3)
+	seeker, kw := aQuery(t, inst)
+	s := newTestServer(t, Config{Instance: inst})
+	h := s.Handler()
+	body := fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5}`, seeker, kw)
+
+	// Prime the cache with an untraced run: the traced request below must
+	// bypass the hit and still run (and trace) a real search.
+	postSearch(t, h, body)
+
+	req := httptest.NewRequest("POST", "/search?trace=1", strings.NewReader(body))
+	req.Header.Set("X-Request-ID", "my-rid-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced search = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Request-ID"); got != "my-rid-1" {
+		t.Fatalf("X-Request-ID echoed %q, want my-rid-1", got)
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("?trace=1 request was served from the result cache")
+	}
+	if !hexID.MatchString(resp.TraceID) {
+		t.Fatalf("trace_id = %q, want 16 hex chars", resp.TraceID)
+	}
+	if resp.Trace == nil || resp.Trace.Name != "search" {
+		t.Fatalf("trace root = %+v, want a span named search", resp.Trace)
+	}
+	kids := spanNames(resp.Trace)
+	if !kids["queue"] {
+		t.Fatalf("trace root children %v, want a queue span", kids)
+	}
+	if !kids["round"] {
+		t.Fatalf("trace root children %v, want at least one round span", kids)
+	}
+
+	// The trace was retained in the ring with the request id attached.
+	found := false
+	for _, tr := range getTraces(t, h) {
+		if tr.TraceID == resp.TraceID {
+			found = true
+			if tr.RequestID != "my-rid-1" {
+				t.Fatalf("ring record request_id = %q, want my-rid-1", tr.RequestID)
+			}
+			if tr.Spans == nil || tr.Spans.Name != "search" {
+				t.Fatalf("ring record lost its span tree: %+v", tr.Spans)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not retained in /debug/traces", resp.TraceID)
+	}
+
+	// A repeat WITHOUT ?trace=1 hits the cache and carries no trace.
+	_, cached := postSearch(t, h, body)
+	if !cached.Cached {
+		t.Fatal("untraced repeat missed the cache")
+	}
+	if cached.TraceID != "" || cached.Trace != nil {
+		t.Fatal("cached answer leaked a span tree")
+	}
+
+	// Without a client-supplied id the server generates one.
+	req2 := httptest.NewRequest("POST", "/search", strings.NewReader(body))
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req2)
+	if got := rec2.Header().Get("X-Request-ID"); !hexID.MatchString(got) {
+		t.Fatalf("generated X-Request-ID = %q, want 16 hex chars", got)
+	}
+}
+
+// syncBuffer is a goroutine-safe io.Writer for capturing slow-log lines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestSlowLogEmission(t *testing.T) {
+	inst := testInstance(t, 60, 240, 3)
+	seeker, kw := aQuery(t, inst)
+	var buf syncBuffer
+	// A 1ns threshold makes every search slow, so one request emits one line.
+	s := newTestServer(t, Config{Instance: inst, SlowLog: obs.NewSlowLog(&buf, time.Nanosecond)})
+	h := s.Handler()
+
+	req := httptest.NewRequest("POST", "/search",
+		strings.NewReader(fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5}`, seeker, kw)))
+	req.Header.Set("X-Request-ID", "slow-rid")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("slow log wrote %d lines, want 1: %q", len(lines), buf.String())
+	}
+	var slow obs.SlowRecord
+	if err := json.Unmarshal([]byte(lines[0]), &slow); err != nil {
+		t.Fatalf("slow log line is not JSON: %v (%q)", err, lines[0])
+	}
+	if slow.Seeker != seeker || slow.RequestID != "slow-rid" || slow.Outcome != "cold" {
+		t.Fatalf("slow record lost fields: %+v", slow)
+	}
+	if slow.ElapsedMS <= 0 || len(slow.StagesMS) == 0 || !hexID.MatchString(slow.TraceID) {
+		t.Fatalf("slow record missing timing breakdown: %+v", slow)
+	}
+
+	// Slow searches are retained in the trace ring even without ?trace=1.
+	traces := getTraces(t, h)
+	if len(traces) != 1 || traces[0].TraceID != slow.TraceID {
+		t.Fatalf("slow trace not retained: %+v", traces)
+	}
+	if got := scrapeMetrics(t, h)["s3_slowlog_emitted_total"]; got != 1 {
+		t.Fatalf("s3_slowlog_emitted_total = %v, want 1", got)
+	}
+}
+
+// TestMetricsConcurrentWithReload hammers /search (some traced) and the
+// observability endpoints while the instance hot-swaps underneath — the
+// -race job's view of the registry, histogram, and trace-ring paths
+// across instrument() re-attachment.
+func TestMetricsConcurrentWithReload(t *testing.T) {
+	inst := testInstance(t, 40, 160, 5)
+	seeker, kw := aQuery(t, inst)
+	loader := func() (s3.Queryable, error) { return testInstance(t, 40, 160, 5), nil }
+	var buf syncBuffer
+	s := newTestServer(t, Config{
+		Instance: inst,
+		Loader:   loader,
+		SlowLog:  obs.NewSlowLog(&buf, time.Nanosecond),
+	})
+	h := s.Handler()
+	body := fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5}`, seeker, kw)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				path := "/search"
+				if i%5 == g%5 {
+					path = "/search?trace=1"
+				}
+				req := httptest.NewRequest("POST", path, strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("search = %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/reload", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("reload %d = %d: %s", r, rec.Code, rec.Body.String())
+		}
+	}
+	wg.Wait()
+
+	samples := scrapeMetrics(t, h)
+	if got := samples["s3_server_generation"]; got != 4 {
+		t.Fatalf("s3_server_generation = %v, want 4 after 3 reloads", got)
+	}
+	if got := samples["s3_reloads_total"]; got != 3 {
+		t.Fatalf("s3_reloads_total = %v, want 3", got)
+	}
+	// Post-reload searches still feed the engine instruments: the swapped-in
+	// instance was re-instrumented before taking traffic.
+	before := samples["s3_search_rounds_count"]
+	req := httptest.NewRequest("POST", "/search", strings.NewReader(
+		fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5,"no_cache":true}`, seeker, kw)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-reload search = %d", rec.Code)
+	}
+	if after := scrapeMetrics(t, h)["s3_search_rounds_count"]; after <= before {
+		t.Fatalf("s3_search_rounds_count %v -> %v: reloaded instance is not instrumented", before, after)
+	}
+}
+
+// findSpan walks the tree depth-first for the first span whose name has
+// the given prefix.
+func findSpan(sp *obs.SpanJSON, prefix string) *obs.SpanJSON {
+	if sp == nil {
+		return nil
+	}
+	if strings.HasPrefix(sp.Name, prefix) {
+		return sp
+	}
+	for _, c := range sp.Children {
+		if hit := findSpan(c, prefix); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// TestDistributedObservability is the end-to-end acceptance check: a
+// coordinator-mode server over two worker processes answers a ?trace=1
+// search with ONE stitched span tree (coordinator rounds containing
+// worker-side executor spans carried back over the wire), all three
+// processes expose parseable /metrics, and the workers retain the
+// propagated trace id in their own /debug/traces rings.
+func TestDistributedObservability(t *testing.T) {
+	inst := testInstance(t, 60, 240, 3)
+	seeker, kw := aQuery(t, inst)
+	manifest := filepath.Join(t.TempDir(), "obs.set")
+	if _, err := inst.WriteShardSetFiles(manifest, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var workers []*httptest.Server
+	urls := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		w := dshard.NewWorker(dshard.WorkerConfig{ManifestPath: manifest, Shard: i, Mode: snap.LoadCopy})
+		if err := w.Load(); err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		defer srv.Close()
+		workers = append(workers, srv)
+		urls[i] = srv.URL
+	}
+
+	di, err := s3.OpenCoordinator(manifest, urls, s3.LoadCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Instance: di})
+	h := s.Handler()
+
+	req := httptest.NewRequest("POST", "/search?trace=1", strings.NewReader(
+		fmt.Sprintf(`{"seeker":%q,"keywords":[%q],"k":5}`, seeker, kw)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("distributed traced search = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !hexID.MatchString(resp.TraceID) || resp.Trace == nil {
+		t.Fatalf("traced distributed search returned no trace: id=%q", resp.TraceID)
+	}
+	if resp.Iterations < 1 {
+		t.Fatalf("iterations = %d, want >= 1", resp.Iterations)
+	}
+
+	// One stitched tree: a coordinator round span holds per-shard scatter
+	// spans, and inside a shard span sits the worker-side executor span
+	// that crossed the wire.
+	round := findSpan(resp.Trace, "round")
+	if round == nil {
+		t.Fatalf("no round span in distributed trace: %+v", resp.Trace)
+	}
+	shard := findSpan(round, "shard")
+	if shard == nil {
+		t.Fatalf("round span has no shard scatter spans: %+v", round)
+	}
+	if exec := findSpan(shard, "exec."); exec == nil {
+		t.Fatalf("shard span carries no worker-side exec span — trace did not cross the wire: %+v", shard)
+	}
+	begin := findSpan(resp.Trace, "begin")
+	if begin == nil || findSpan(begin, "exec.") == nil {
+		t.Fatal("begin phase lost its worker-side spans")
+	}
+
+	// Coordinator-mode /metrics: HTTP outcome + engine rounds + wire RPC
+	// instruments, all on one registry.
+	samples := scrapeMetrics(t, h)
+	obstest.CheckHistogram(t, samples, "s3_http_search_seconds", `outcome="cold"`)
+	obstest.CheckHistogram(t, samples, "s3_search_round_seconds", "")
+	obstest.CheckHistogram(t, samples, "s3_coord_rpc_seconds", `endpoint="round"`)
+	if got := samples[`s3_coord_rpc_seconds_count{endpoint="round"}`]; got < 1 {
+		t.Fatalf("coordinator round RPCs = %v, want >= 1", got)
+	}
+	if got := samples["s3_search_round_seconds_count"]; got < 1 {
+		t.Fatalf("s3_search_round_seconds_count = %v, want >= 1", got)
+	}
+	if got := samples["s3_coord_searches_total"]; got < 1 {
+		t.Fatalf("s3_coord_searches_total = %v, want >= 1", got)
+	}
+	// Wire accounting flows both ways (labels render sorted by key).
+	if got := samples[`s3_coord_rpc_bytes_total{direction="sent",endpoint="round"}`]; got <= 0 {
+		t.Fatalf("sent bytes on round endpoint = %v, want > 0", got)
+	}
+	if got := samples[`s3_coord_rpc_bytes_total{direction="recv",endpoint="round"}`]; got <= 0 {
+		t.Fatalf("recv bytes on round endpoint = %v, want > 0", got)
+	}
+
+	// Worker /metrics: the round protocol's server side.
+	touched := 0.0
+	for _, srv := range workers {
+		ws := scrapeURL(t, srv.URL+"/metrics")
+		obstest.CheckHistogram(t, ws, "s3_shard_rpc_seconds", `endpoint="round"`)
+		if got := ws[`s3_shard_rpc_seconds_count{endpoint="round"}`]; got < 1 {
+			t.Fatalf("worker %s saw %v round RPCs, want >= 1", srv.URL, got)
+		}
+		touched += ws["s3_worker_searches_total"]
+	}
+	if touched < 2 {
+		t.Fatalf("worker fleet began %v sessions, want one per worker", touched)
+	}
+
+	// The workers file the search under the SAME trace id in their own
+	// rings — proof the id propagated over the v1 wire protocol. Session
+	// close is asynchronous (the coordinator's end RPC), so poll briefly.
+	deadline := time.Now().Add(3 * time.Second)
+	for _, srv := range workers {
+		for {
+			if workerHasTrace(t, srv.URL, resp.TraceID) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %s never retained trace %s", srv.URL, resp.TraceID)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// scrapeURL fetches and parses a live /metrics endpoint.
+func scrapeURL(t testing.TB, url string) map[string]float64 {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, res.StatusCode)
+	}
+	return obstest.ParseExposition(t, string(body))
+}
+
+func workerHasTrace(t testing.TB, base, traceID string) bool {
+	t.Helper()
+	res, err := http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var body struct {
+		Traces []obs.TraceRecord `json:"traces"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range body.Traces {
+		if tr.TraceID == traceID {
+			if tr.Spans == nil || tr.Spans.Name != "worker.search" {
+				t.Fatalf("worker trace %s has wrong root: %+v", traceID, tr.Spans)
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -13,9 +13,12 @@
 //
 // Endpoints:
 //
-//	POST /search    run an S3k top-k query (JSON body, see searchRequest)
+//	POST /search    run an S3k top-k query (JSON body, see searchRequest;
+//	                ?trace=1 returns the search's span tree inline)
 //	GET  /extension semantic extension of a keyword (?keyword=...)
 //	GET  /stats     instance statistics, per-shard stats, serving counters
+//	GET  /metrics   Prometheus text exposition of the process registry
+//	GET  /debug/traces  recent retained traces (newest first)
 //	GET  /healthz   readiness probe (503 while draining — routers stop
 //	                sending before a graceful shutdown or roll)
 //	GET  /livez     liveness probe (200 as long as the process serves HTTP)
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"s3"
+	"s3/internal/obs"
 )
 
 // Config assembles a Server.
@@ -60,6 +64,13 @@ type Config struct {
 	// LoadMS records how long the initial Instance load took (surfaced in
 	// /stats; reload times are measured by the server itself).
 	LoadMS int64
+	// Registry receives the process's instruments and backs GET /metrics;
+	// nil gets a fresh registry (Registry() returns it either way).
+	Registry *obs.Registry
+	// SlowLog, when non-nil, receives one JSON line per search slower
+	// than its threshold (searches are then always traced so the line can
+	// carry a per-stage breakdown).
+	SlowLog *obs.SlowLog
 }
 
 // DefaultCacheSize is the result-cache capacity when Config leaves it 0.
@@ -164,7 +175,27 @@ type Server struct {
 	coalesced atomic.Uint64
 	reloads   atomic.Uint64
 	warmed    atomic.Uint64
+
+	// observability: the process registry behind GET /metrics, the
+	// engine-level search instruments attached to every served instance
+	// generation, the per-outcome HTTP latency histograms, the retained
+	// trace ring behind GET /debug/traces and the slow-query log.
+	reg          *obs.Registry
+	sm           *s3.SearchMetrics
+	outcomes     map[string]*obs.Histogram
+	searchErrors *obs.Counter
+	traces       *obs.TraceRing
+	slow         *obs.SlowLog
 }
+
+// search outcomes label the HTTP latency histogram: how the answer was
+// produced, from cheapest to most expensive.
+const (
+	outcomeCached    = "cached"    // result-cache hit
+	outcomeCoalesced = "coalesced" // joined an identical in-flight search
+	outcomeWarm      = "warm"      // ran, resuming a proximity checkpoint
+	outcomeCold      = "cold"      // ran from scratch
+)
 
 // New wires a server around an instance.
 func New(cfg Config) (*Server, error) {
@@ -186,20 +217,105 @@ func New(cfg Config) (*Server, error) {
 	if proxBytes == 0 {
 		proxBytes = DefaultProxCacheBytes
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:      cfg,
 		sem:      make(chan struct{}, workers),
 		start:    time.Now(),
 		cache:    newLRUCache(cacheSize),
 		inflight: make(map[string]*call),
+		reg:      reg,
+		sm:       obs.NewSearchMetrics(reg),
+		traces:   obs.NewTraceRing(0),
+		slow:     cfg.SlowLog,
 	}
+	s.outcomes = make(map[string]*obs.Histogram, 4)
+	for _, o := range []string{outcomeCached, outcomeCoalesced, outcomeWarm, outcomeCold} {
+		s.outcomes[o] = reg.Histogram("s3_http_search_seconds",
+			"POST /search latency by how the answer was produced.", nil, obs.L("outcome", o))
+	}
+	s.searchErrors = reg.Counter("s3_http_search_errors_total",
+		"POST /search requests that failed after validation.")
+	s.registerFuncMetrics()
 	if proxBytes > 0 {
 		s.prox = s3.NewProxCache(proxBytes)
 		cfg.Instance.SetProxCache(s.prox)
 	}
+	s.instrument(cfg.Instance)
 	s.cur.Store(newInstanceState(cfg.Instance, 1, cfg.LoadMS))
 	return s, nil
 }
+
+// registerFuncMetrics exposes the server's existing atomics and cache
+// statistics through the registry without restructuring them.
+func (s *Server) registerFuncMetrics() {
+	r := s.reg
+	r.GaugeFunc("s3_uptime_seconds", "Seconds since the serving process started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeFunc("s3_server_generation", "Load generation of the served instance (bumped by /reload).",
+		func() float64 { return float64(s.cur.Load().version) })
+	r.CounterFunc("s3_http_searches_total", "Engine searches executed (cache hits and coalesced joins excluded).",
+		func() float64 { return float64(s.searches.Load()) })
+	r.CounterFunc("s3_http_coalesced_total", "Requests that joined an identical in-flight search.",
+		func() float64 { return float64(s.coalesced.Load()) })
+	r.CounterFunc("s3_reloads_total", "Successful instance reloads.",
+		func() float64 { return float64(s.reloads.Load()) })
+	r.CounterFunc("s3_slowlog_emitted_total", "Slow-query log lines written.",
+		func() float64 { return float64(s.slow.Emitted()) })
+	cacheCount := func(pick func() uint64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(pick())
+		}
+	}
+	r.CounterFunc("s3_cache_hits_total", "Result-cache hits.", cacheCount(func() uint64 { return s.cache.hits }))
+	r.CounterFunc("s3_cache_misses_total", "Result-cache misses.", cacheCount(func() uint64 { return s.cache.misses }))
+	r.CounterFunc("s3_cache_evictions_total", "Result-cache LRU evictions.", cacheCount(func() uint64 { return s.cache.evictions }))
+	r.GaugeFunc("s3_cache_size", "Result-cache entries currently held.", cacheCount(func() uint64 { return uint64(s.cache.len()) }))
+	r.CounterFunc("s3_cache_warmed_total", "Cache entries re-computed by post-reload warming.",
+		func() float64 { return float64(s.warmed.Load()) })
+	prox := func(pick func(s3.ProxCacheStats) float64) func() float64 {
+		return func() float64 {
+			if s.prox == nil {
+				return 0
+			}
+			return pick(s.prox.Stats())
+		}
+	}
+	r.CounterFunc("s3_proxcache_hits_total", "Proximity-cache checkpoint hits (searches that resumed warm).",
+		prox(func(st s3.ProxCacheStats) float64 { return float64(st.Hits) }))
+	r.CounterFunc("s3_proxcache_misses_total", "Proximity-cache misses (searches that explored from scratch).",
+		prox(func(st s3.ProxCacheStats) float64 { return float64(st.Misses) }))
+	r.GaugeFunc("s3_proxcache_bytes", "Bytes held by the proximity cache.",
+		prox(func(st s3.ProxCacheStats) float64 { return float64(st.Bytes) }))
+	r.GaugeFunc("s3_proxcache_entries", "Checkpoints held by the proximity cache.",
+		prox(func(st s3.ProxCacheStats) float64 { return float64(st.Entries) }))
+	r.GaugeFunc("s3_mapped_bytes", "Snapshot bytes backing the served instance through memory mappings.",
+		func() float64 {
+			st := s.acquire()
+			defer st.release()
+			return float64(st.inst.MappedBytes())
+		})
+}
+
+// instrument attaches the process-wide observability to a freshly loaded
+// instance before it takes traffic: the engine-level search instruments,
+// and — when the instance fronts a worker fleet — the coordinator's wire
+// instruments.
+func (s *Server) instrument(inst s3.Queryable) {
+	inst.SetSearchMetrics(s.sm)
+	if a, ok := inst.(interface{ AttachRegistry(*obs.Registry) }); ok {
+		a.AttachRegistry(s.reg)
+	}
+}
+
+// Registry returns the process registry behind GET /metrics (s3serve adds
+// its own instruments to it).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -210,6 +326,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("GET /debug/traces", s.traces.Handler())
 	return mux
 }
 
@@ -262,7 +380,14 @@ type searchResponse struct {
 	Iterations int            `json:"iterations"`
 	ElapsedMS  float64        `json:"elapsed_ms"`
 	Cached     bool           `json:"cached"`
-	Version    uint64         `json:"version"`
+	// Warm is true when the search resumed a proximity-cache checkpoint
+	// instead of exploring from scratch.
+	Warm    bool   `json:"warm,omitempty"`
+	Version uint64 `json:"version"`
+	// TraceID and Trace are set only on ?trace=1 responses: the span tree
+	// of the search that produced this answer. Never cached.
+	TraceID string        `json:"trace_id,omitempty"`
+	Trace   *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // cacheKey canonicalises a request; the instance version makes stale
@@ -289,6 +414,17 @@ func (r *searchRequest) cacheable() bool {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
+	t0 := time.Now()
+	// Honor a client-supplied X-Request-ID (so one id follows a request
+	// through client logs, the slow-query log and /debug/traces), generate
+	// one otherwise, and echo it on every response.
+	rid := req.Header.Get("X-Request-ID")
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", rid)
+	wantTrace := req.URL.Query().Get("trace") == "1"
+
 	var sr searchRequest
 	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
 		writeError(w, &httpError{http.StatusBadRequest, "invalid JSON body: " + err.Error()})
@@ -326,13 +462,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	// A ?trace=1 request exists to watch a real search run, so it bypasses
+	// the result cache and coalescing entirely — a hit would return
+	// instantly with nothing to trace.
 	key := sr.cacheKey(state.version)
-	if sr.cacheable() {
+	if sr.cacheable() && !wantTrace {
 		s.mu.Lock()
 		if resp, ok := s.cache.get(key); ok {
 			s.mu.Unlock()
 			cached := *resp
 			cached.Cached = true
+			s.outcomes[outcomeCached].ObserveSince(t0)
 			writeJSON(w, http.StatusOK, &cached)
 			return
 		}
@@ -353,7 +493,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 				// request's client is still here, so fall back to an
 				// uncoalesced search instead of inheriting the failure.
 				if c.err.status == http.StatusServiceUnavailable {
-					resp, herr := s.runSearch(req.Context(), state, &sr)
+					resp, herr := s.observedSearch(req.Context(), state, &sr, rid, wantTrace)
 					if herr != nil {
 						writeError(w, herr)
 						return
@@ -366,6 +506,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 			}
 			resp := *c.resp
 			resp.Cached = true
+			s.outcomes[outcomeCoalesced].ObserveSince(t0)
 			writeJSON(w, http.StatusOK, &resp)
 			return
 		}
@@ -373,12 +514,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 		s.inflight[key] = c
 		s.mu.Unlock()
 
-		resp, herr := s.runSearch(req.Context(), state, &sr)
+		resp, herr := s.observedSearch(req.Context(), state, &sr, rid, wantTrace)
 		c.resp, c.err = resp, herr
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if herr == nil && resp.Exact {
-			s.cache.put(key, sr, resp)
+			// Cache a copy without the trace: retained span trees belong to
+			// the ring, not to every future cache hit.
+			clean := *resp
+			clean.TraceID, clean.Trace = "", nil
+			s.cache.put(key, sr, &clean)
 		}
 		s.mu.Unlock()
 		close(c.done)
@@ -391,7 +536,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	resp, herr := s.runSearch(req.Context(), state, &sr)
+	resp, herr := s.observedSearch(req.Context(), state, &sr, rid, wantTrace)
 	if herr != nil {
 		writeError(w, herr)
 		return
@@ -399,12 +544,73 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// runSearch executes one engine call under the worker-pool bound.
-func (s *Server) runSearch(ctx context.Context, state *instanceState, sr *searchRequest) (*searchResponse, *httpError) {
+// observedSearch wraps one engine call in the serving observability: it
+// traces the search when the client asked (?trace=1) or the slow-query
+// log needs a stage breakdown, feeds the per-outcome latency histogram,
+// emits the slow-log line, and retains explicitly requested and slow
+// traces in the /debug/traces ring. The returned response carries the
+// span tree only for ?trace=1 requests.
+func (s *Server) observedSearch(ctx context.Context, state *instanceState, sr *searchRequest, rid string, wantTrace bool) (*searchResponse, *httpError) {
+	var tr *s3.Trace
+	if wantTrace || s.slow.Enabled() {
+		tr = obs.NewTrace("search")
+	}
+	start := time.Now()
+	resp, herr := s.runSearch(ctx, state, sr, tr)
+	elapsed := time.Since(start)
+	if herr != nil {
+		s.searchErrors.Inc()
+		return nil, herr
+	}
+	outcome := outcomeCold
+	if resp.Warm {
+		outcome = outcomeWarm
+	}
+	s.outcomes[outcome].Observe(elapsed.Seconds())
+	if tr != nil {
+		tr.Finish()
+		elapsed = tr.Root.Dur
+		emitted := s.slow.Emit(elapsed, &obs.SlowRecord{
+			RequestID: rid,
+			TraceID:   obs.IDString(tr.ID),
+			Seeker:    sr.Seeker,
+			Keywords:  sr.Keywords,
+			K:         sr.K,
+			Outcome:   outcome,
+			Rounds:    resp.Iterations,
+			Shards:    len(state.inst.Shards()),
+			StagesMS:  obs.StagesMS(tr.Root),
+		})
+		if wantTrace || emitted {
+			s.traces.Add(&obs.TraceRecord{
+				TraceID:   obs.IDString(tr.ID),
+				RequestID: rid,
+				Seeker:    sr.Seeker,
+				Keywords:  sr.Keywords,
+				Start:     tr.Root.Start,
+				ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+				Spans:     tr.JSON(),
+			})
+		}
+		if wantTrace {
+			resp.TraceID = obs.IDString(tr.ID)
+			resp.Trace = tr.JSON()
+		}
+	}
+	return resp, nil
+}
+
+// runSearch executes one engine call under the worker-pool bound,
+// recording into tr when non-nil (a "queue" span for the worker-pool
+// wait, then whatever the engine records under the same root).
+func (s *Server) runSearch(ctx context.Context, state *instanceState, sr *searchRequest, tr *s3.Trace) (*searchResponse, *httpError) {
+	qsp := tr.Span().StartChild("queue")
 	select {
 	case s.sem <- struct{}{}:
+		qsp.End()
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		qsp.End()
 		return nil, &httpError{http.StatusServiceUnavailable, "request cancelled while queued"}
 	}
 
@@ -427,6 +633,9 @@ func (s *Server) runSearch(ctx context.Context, state *instanceState, sr *search
 	if sr.MaxIterations > 0 {
 		opts = append(opts, s3.WithMaxIterations(sr.MaxIterations))
 	}
+	if tr != nil {
+		opts = append(opts, s3.WithTrace(tr))
+	}
 
 	s.searches.Add(1)
 	results, info, err := state.inst.SearchInfoed(sr.Seeker, sr.Keywords, opts...)
@@ -438,6 +647,7 @@ func (s *Server) runSearch(ctx context.Context, state *instanceState, sr *search
 		Exact:      info.Exact,
 		Iterations: info.Iterations,
 		ElapsedMS:  float64(info.Elapsed.Microseconds()) / 1000,
+		Warm:       info.Warm,
 		Version:    state.version,
 	}
 	for _, r := range results {
@@ -472,16 +682,22 @@ type statsResponse struct {
 	// or the reload that produced it); MappedBytes is the size of the
 	// memory mappings backing it (0 in copy mode). Together they are the
 	// cold-start story of the serving generation.
-	LoadMS      int64            `json:"load_ms"`
-	MappedBytes int64            `json:"mapped_bytes"`
-	UptimeMS    int64            `json:"uptime_ms"`
-	Workers     int              `json:"workers"`
-	Searches    uint64           `json:"searches"`
-	Reloads     uint64           `json:"reloads"`
-	ShardCount  int              `json:"shard_count"`
-	Shards      []shardStatsJSON `json:"shards"`
-	Cache       cacheStats       `json:"cache"`
-	ProxCache   proxCacheStats   `json:"prox_cache"`
+	LoadMS      int64 `json:"load_ms"`
+	MappedBytes int64 `json:"mapped_bytes"`
+	UptimeMS    int64 `json:"uptime_ms"`
+	// UptimeS duplicates the uptime in seconds and Generation the served
+	// load generation (same value as Version), matching the
+	// s3_uptime_seconds / s3_server_generation metric names so dashboards
+	// and /stats consumers agree on vocabulary.
+	UptimeS    float64          `json:"uptime_s"`
+	Generation uint64           `json:"generation"`
+	Workers    int              `json:"workers"`
+	Searches   uint64           `json:"searches"`
+	Reloads    uint64           `json:"reloads"`
+	ShardCount int              `json:"shard_count"`
+	Shards     []shardStatsJSON `json:"shards"`
+	Cache      cacheStats       `json:"cache"`
+	ProxCache  proxCacheStats   `json:"prox_cache"`
 	// Distributed carries the coordinator's aggregated view (per-worker
 	// statuses and per-shard counters) when the served instance is a
 	// distributed coordinator; absent otherwise.
@@ -587,6 +803,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		LoadMS:      state.loadMS,
 		MappedBytes: state.inst.MappedBytes(),
 		UptimeMS:    time.Since(s.start).Milliseconds(),
+		UptimeS:     time.Since(s.start).Seconds(),
+		Generation:  state.version,
 		Workers:     cap(s.sem),
 		Searches:    s.searches.Load(),
 		Reloads:     s.reloads.Load(),
@@ -644,6 +862,7 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 		s.prox.Purge()
 		inst.SetProxCache(s.prox)
 	}
+	s.instrument(inst)
 	s.cur.Store(next)
 	s.reloads.Add(1)
 	// Drop the server's reference to the outgoing state: in-flight
@@ -688,7 +907,7 @@ func (s *Server) warmCache(state *instanceState, hot []searchRequest) int {
 		if !state.inst.HasUser(sr.Seeker) {
 			continue
 		}
-		resp, herr := s.runSearch(context.Background(), state, &sr)
+		resp, herr := s.runSearch(context.Background(), state, &sr, nil)
 		if herr != nil || !resp.Exact {
 			continue
 		}

@@ -52,6 +52,7 @@ import (
 	"s3/internal/doc"
 	"s3/internal/graph"
 	"s3/internal/index"
+	"s3/internal/obs"
 	"s3/internal/text"
 )
 
@@ -252,7 +253,28 @@ type Instance struct {
 	// prox is the optional seeker-proximity checkpoint cache (atomic so it
 	// can be attached or swapped while searches are in flight).
 	prox atomic.Pointer[ProxCache]
+
+	// obsm is the optional search-metrics sink (atomic for the same
+	// reason: the serving layer attaches it while searches may be in
+	// flight across a hot reload).
+	obsm atomic.Pointer[SearchMetrics]
 }
+
+// Trace is a per-search span tree recorder. Pass one to a search with
+// WithTrace; after the search, its root span holds the timed stages
+// (resolve, rounds, finalize) as children. A nil *Trace disables
+// recording at zero cost.
+type Trace = obs.Trace
+
+// SearchMetrics is the per-search instrument bundle (rounds-per-search
+// and per-round latency histograms) a serving layer attaches with
+// SetSearchMetrics so every search feeds the process-wide registry.
+type SearchMetrics = obs.SearchMetrics
+
+// SetSearchMetrics attaches (or with nil, detaches) the instrument
+// bundle fed by subsequent searches. Safe to call while searches are in
+// flight.
+func (i *Instance) SetSearchMetrics(m *SearchMetrics) { i.obsm.Store(m) }
 
 // Stats returns instance statistics.
 func (i *Instance) Stats() Stats { return i.in.Stats() }
@@ -285,6 +307,9 @@ type SearchInfo struct {
 	Iterations int
 	// Elapsed is the wall-clock search time.
 	Elapsed time.Duration
+	// Warm is true when a proximity-cache checkpoint let the search skip
+	// its earliest exploration rounds.
+	Warm bool
 }
 
 type searchConfig struct {
@@ -326,6 +351,12 @@ func WithWorkers(n int) Option {
 	return func(c *searchConfig) { c.opts.Workers = n }
 }
 
+// WithTrace records the search's span tree into t (nil disables). The
+// recording is observational only: it never changes the answer.
+func WithTrace(t *Trace) Option {
+	return func(c *searchConfig) { c.opts.Trace = t }
+}
+
 // Search runs an S3k top-k search for the seeker.
 func (i *Instance) Search(seekerURI string, keywords []string, opts ...Option) ([]Result, error) {
 	rs, _, err := i.SearchInfoed(seekerURI, keywords, opts...)
@@ -345,6 +376,7 @@ func (i *Instance) SearchInfoed(seekerURI string, keywords []string, opts ...Opt
 	if pc := i.prox.Load(); pc != nil {
 		cfg.opts.ProxCache = pc.c
 	}
+	cfg.opts.Obs = i.obsm.Load()
 	i.searches.Add(1)
 	rs, stats, err := i.eng.Search(seeker, keywords, cfg.opts)
 	if err != nil {
@@ -373,6 +405,7 @@ func mapSearchInfo(stats core.Stats) SearchInfo {
 		Exact:      stats.Reason == core.StopThreshold || stats.Reason == core.StopExhausted || stats.Reason == core.StopNoMatch,
 		Iterations: stats.Iterations,
 		Elapsed:    stats.Elapsed,
+		Warm:       stats.ResumedDepth > 0,
 	}
 }
 

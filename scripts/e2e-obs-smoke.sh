@@ -1,0 +1,109 @@
+#!/bin/sh
+# e2e-obs-smoke: boot the full distributed topology (2 workers + a
+# coordinator, plus a pprof debug listener) from the built binaries and
+# assert the observability surface actually serves: /metrics parses on
+# every process, POST /search?trace=1 returns a stitched trace,
+# /debug/traces retains it, and /debug/pprof answers on the debug
+# listener. Run by CI next to the benchmark smoke.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+W0=""
+W1=""
+C=""
+cleanup() {
+	for pid in $W0 $W1 $C; do
+		kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/s3gen" ./cmd/s3gen
+go build -o "$tmp/s3serve" ./cmd/s3serve
+"$tmp/s3gen" -dataset twitter -scale 0.2 -snap "$tmp/i.set" -shards 2 >/dev/null
+
+"$tmp/s3serve" -shardset "$tmp/i.set" -shard-of 0 -addr 127.0.0.1:18081 2>"$tmp/w0.log" &
+W0=$!
+"$tmp/s3serve" -shardset "$tmp/i.set" -shard-of 1 -addr 127.0.0.1:18082 2>"$tmp/w1.log" &
+W1=$!
+"$tmp/s3serve" -shardset "$tmp/i.set" -coordinator \
+	-worker-urls http://127.0.0.1:18081,http://127.0.0.1:18082 \
+	-addr 127.0.0.1:18080 -debug-addr 127.0.0.1:18079 -slowlog-ms 1 2>"$tmp/c.log" &
+C=$!
+
+wait_healthy() {
+	i=0
+	while ! curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "e2e-obs-smoke: port $1 never became healthy" >&2
+			cat "$tmp"/*.log >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+wait_healthy 18081
+wait_healthy 18082
+wait_healthy 18080
+
+# A traced search: probe generated seekers/keywords until one answers.
+resp=""
+for u in 0 1 2 3 4 5 6 7 8 9 10 11 12; do
+	for kw in '#h1' '#h2' '#h3' '#h5'; do
+		body=$(printf '{"seeker":"tw:u%s","keywords":["%s"],"k":5}' "$u" "$kw")
+		if out=$(curl -sf -X POST "http://127.0.0.1:18080/search?trace=1" -d "$body"); then
+			resp=$out
+			break 2
+		fi
+	done
+done
+if [ -z "$resp" ]; then
+	echo "e2e-obs-smoke: no probe query succeeded" >&2
+	exit 1
+fi
+trace_id=$(printf '%s' "$resp" | sed -n 's/.*"trace_id":"\([0-9a-f]\{16\}\)".*/\1/p')
+if [ -z "$trace_id" ]; then
+	echo "e2e-obs-smoke: traced search returned no trace_id: $resp" >&2
+	exit 1
+fi
+if ! printf '%s' "$resp" | grep -q '"name":"exec.round"'; then
+	echo "e2e-obs-smoke: trace carries no worker-side spans: $resp" >&2
+	exit 1
+fi
+
+# The trace is retained on the coordinator and (after the async session
+# close) propagated to the workers' rings under the same id.
+curl -sf http://127.0.0.1:18080/debug/traces | grep -q "$trace_id" ||
+	{ echo "e2e-obs-smoke: coordinator ring lost trace $trace_id" >&2; exit 1; }
+i=0
+while ! curl -sf http://127.0.0.1:18081/debug/traces | grep -q "$trace_id"; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "e2e-obs-smoke: worker ring never saw trace $trace_id" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+# /metrics serves on all three processes with the mode-specific families.
+curl -sf http://127.0.0.1:18080/metrics | grep -q '^s3_coord_rpc_seconds_count{endpoint="round"}' ||
+	{ echo "e2e-obs-smoke: coordinator /metrics missing round RPC histogram" >&2; exit 1; }
+curl -sf http://127.0.0.1:18080/metrics | grep -q '^s3_search_round_seconds_count' ||
+	{ echo "e2e-obs-smoke: coordinator /metrics missing per-round latency" >&2; exit 1; }
+curl -sf http://127.0.0.1:18081/metrics | grep -q '^s3_shard_rpc_seconds_count{endpoint="round"}' ||
+	{ echo "e2e-obs-smoke: worker /metrics missing shard RPC histogram" >&2; exit 1; }
+curl -sf http://127.0.0.1:18082/metrics | grep -q '^s3_worker_searches_total' ||
+	{ echo "e2e-obs-smoke: worker /metrics missing search counter" >&2; exit 1; }
+
+# The slow-query log (threshold 1ms may or may not fire on loopback) must
+# at least leave the counter scrapeable, and pprof answers on the debug
+# listener.
+curl -sf http://127.0.0.1:18080/metrics | grep -q '^s3_slowlog_emitted_total' ||
+	{ echo "e2e-obs-smoke: slowlog counter missing" >&2; exit 1; }
+curl -sf http://127.0.0.1:18079/debug/pprof/cmdline >/dev/null ||
+	{ echo "e2e-obs-smoke: pprof debug listener not serving" >&2; exit 1; }
+
+echo "e2e-obs-smoke: traced distributed search + 3x /metrics + rings + pprof all serving"

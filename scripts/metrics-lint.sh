@@ -1,0 +1,26 @@
+#!/bin/sh
+# metrics-lint: every metric name registered anywhere in the serving code
+# must be documented in README.md's Observability catalogue. Registered
+# names are found by grepping for the "s3_..." string literals passed to
+# the obs registry in non-test Go files.
+set -eu
+cd "$(dirname "$0")/.."
+
+names=$(grep -rhoE '"s3_[a-z0-9_]+"' --include='*.go' --exclude='*_test.go' internal cmd ./*.go 2>/dev/null |
+	tr -d '"' | sort -u)
+if [ -z "$names" ]; then
+	echo "metrics-lint: found no registered metric names — grep pattern broken?" >&2
+	exit 1
+fi
+
+missing=0
+for name in $names; do
+	if ! grep -q "$name" README.md; then
+		echo "metrics-lint: $name is registered but not documented in README.md" >&2
+		missing=1
+	fi
+done
+if [ "$missing" -ne 0 ]; then
+	exit 1
+fi
+echo "metrics-lint: $(echo "$names" | wc -l) metric names all documented"

@@ -32,6 +32,9 @@ type Queryable interface {
 	// SetProxCache attaches a seeker-proximity checkpoint cache consulted
 	// and fed by subsequent searches (nil detaches).
 	SetProxCache(*ProxCache)
+	// SetSearchMetrics attaches the instrument bundle fed by subsequent
+	// searches (nil detaches). Safe while searches are in flight.
+	SetSearchMetrics(*SearchMetrics)
 	// WarmProximity pre-explores a seeker to maxDepth under (gamma, eta)
 	// and seeds the attached proximity cache, returning the covered depth
 	// and whether this call actually performed a seed.
@@ -102,7 +105,15 @@ type ShardedInstance struct {
 	// prox is the optional seeker-proximity checkpoint cache shared by the
 	// fan-out searches.
 	prox atomic.Pointer[ProxCache]
+
+	// obsm is the optional search-metrics sink shared by the fan-out
+	// searches.
+	obsm atomic.Pointer[SearchMetrics]
 }
+
+// SetSearchMetrics attaches (or with nil, detaches) the instrument
+// bundle fed by subsequent searches.
+func (si *ShardedInstance) SetSearchMetrics(m *SearchMetrics) { si.obsm.Store(m) }
 
 // ShardBy partitions the instance into n component shards in memory
 // (without going through shard-set files): components are spread by
@@ -207,6 +218,7 @@ func (si *ShardedInstance) SearchInfoed(seekerURI string, keywords []string, opt
 	if pc := si.prox.Load(); pc != nil {
 		cfg.opts.ProxCache = pc.c
 	}
+	cfg.opts.Obs = si.obsm.Load()
 	var (
 		rs    []core.Result
 		stats core.Stats
