@@ -42,9 +42,10 @@
 // /extension, GET /stats, GET /metrics (Prometheus text exposition), GET
 // /debug/traces (recent traces), GET /healthz (readiness; 503 while
 // loading or draining), GET /livez (liveness), POST /reload. Workers
-// speak POST /shard/v1/{begin,round,finalize,end} instead of /search but
-// expose the same /metrics and /debug/traces. See internal/server and
-// internal/dshard for the request and response bodies.
+// speak POST /shard/v1/{begin,round,rounds,finalize,end} instead of
+// /search but expose the same /metrics and /debug/traces. See
+// internal/server and internal/dshard for the request and response
+// bodies.
 //
 // Observability extras: -slowlog-ms logs a JSON line to stderr for every
 // search slower than the threshold, and -debug-addr serves net/http/pprof
@@ -77,20 +78,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("s3serve: ")
 	var (
-		snapPath  = flag.String("snapshot", "", "serve the instance from this binary snapshot (fast cold start)")
-		setPath   = flag.String("shardset", "", "serve a sharded instance from this shard-set manifest (s3gen -shards)")
-		specPath  = flag.String("spec", "", "rebuild the instance from this spec (gob) when -snapshot is not given")
-		lang      = flag.String("lang", "raw", "text pipeline for -spec builds: english | french | raw")
-		mmap      = flag.Bool("mmap", false, "memory-map -snapshot / -shardset files and serve zero-copy views (O(page-fault) cold start and reload; legacy v1 files fall back to copying)")
-		shardOf   = flag.Int("shard-of", -1, "worker mode: serve only this shard of -shardset over the distributed round protocol")
-		coord     = flag.Bool("coordinator", false, "coordinator mode: scatter/gather searches for -shardset across -worker-urls")
-		workerURL = flag.String("worker-urls", "", "comma-separated worker base URLs for -coordinator (e.g. http://h1:8081,http://h2:8082)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		cacheSize = flag.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
-		proxMB    = flag.Int("proxcache-mb", int(server.DefaultProxCacheBytes>>20), "seeker-proximity checkpoint cache budget in MiB (<= 0 disables)")
-		workers   = flag.Int("workers", 0, "max concurrently executing searches (0 = GOMAXPROCS)")
-		slowMS    = flag.Int("slowlog-ms", 0, "log a JSON line to stderr for every search slower than this many milliseconds (0 disables)")
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty disables)")
+		snapPath   = flag.String("snapshot", "", "serve the instance from this binary snapshot (fast cold start)")
+		setPath    = flag.String("shardset", "", "serve a sharded instance from this shard-set manifest (s3gen -shards)")
+		specPath   = flag.String("spec", "", "rebuild the instance from this spec (gob) when -snapshot is not given")
+		lang       = flag.String("lang", "raw", "text pipeline for -spec builds: english | french | raw")
+		mmap       = flag.Bool("mmap", false, "memory-map -snapshot / -shardset files and serve zero-copy views (O(page-fault) cold start and reload; legacy v1 files fall back to copying)")
+		shardOf    = flag.Int("shard-of", -1, "worker mode: serve only this shard of -shardset over the distributed round protocol")
+		coord      = flag.Bool("coordinator", false, "coordinator mode: scatter/gather searches for -shardset across -worker-urls")
+		workerURL  = flag.String("worker-urls", "", "comma-separated worker base URLs for -coordinator (e.g. http://h1:8081,http://h2:8082)")
+		roundBatch = flag.Int("round-batch", 0, "coordinator mode: max lockstep rounds per worker RPC (0 = default, 1 = one round per RPC, negative = classic per-round protocol)")
+		noSpec     = flag.Bool("no-speculation", false, "coordinator mode: disable speculative round pipelining")
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheSize  = flag.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
+		proxMB     = flag.Int("proxcache-mb", int(server.DefaultProxCacheBytes>>20), "seeker-proximity checkpoint cache budget in MiB (<= 0 disables)")
+		workers    = flag.Int("workers", 0, "max concurrently executing searches (0 = GOMAXPROCS)")
+		slowMS     = flag.Int("slowlog-ms", 0, "log a JSON line to stderr for every search slower than this many milliseconds (0 disables)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty disables)")
 	)
 	flag.Parse()
 
@@ -103,11 +106,15 @@ func main() {
 		if *setPath == "" || *snapPath != "" || *specPath != "" || *coord {
 			log.Fatal("-shard-of requires -shardset (and excludes -snapshot, -spec and -coordinator)")
 		}
-		runWorker(*setPath, *shardOf, mode, *addr)
+		workerProxBytes := int64(*proxMB) << 20
+		if *proxMB <= 0 {
+			workerProxBytes = -1
+		}
+		runWorker(*setPath, *shardOf, mode, *addr, workerProxBytes)
 		return
 	}
 
-	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang, mode, *coord, *workerURL)
+	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang, mode, *coord, *workerURL, *roundBatch, *noSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -202,11 +209,12 @@ func serveHTTP(addr string, handler http.Handler, drain func()) {
 // listener comes up immediately with /healthz reporting "loading"; the
 // shard loads in the background and readiness flips to "serving" when it
 // is queryable — exactly what a coordinator's membership probe expects.
-func runWorker(setPath string, shard int, mode s3.LoadMode, addr string) {
+func runWorker(setPath string, shard int, mode s3.LoadMode, addr string, proxBytes int64) {
 	w := dshard.NewWorker(dshard.WorkerConfig{
-		ManifestPath: setPath,
-		Shard:        shard,
-		Mode:         snap.LoadMode(mode),
+		ManifestPath:   setPath,
+		Shard:          shard,
+		Mode:           snap.LoadMode(mode),
+		ProxCacheBytes: proxBytes,
 	})
 	go func() {
 		start := time.Now()
@@ -240,7 +248,7 @@ func logShardLayout(inst s3.Queryable) {
 // makeLoader builds the instance-loading closure used both for the
 // initial load and for POST /reload. Snapshot and shard-set loading need
 // no language: both embed the text-pipeline configuration.
-func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coord bool, workerURLs string) (func() (s3.Queryable, error), error) {
+func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coord bool, workerURLs string, roundBatch int, noSpec bool) (func() (s3.Queryable, error), error) {
 	sources := 0
 	for _, p := range []string{snapPath, setPath, specPath} {
 		if p != "" {
@@ -263,8 +271,15 @@ func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coor
 		if len(urls) == 0 {
 			return nil, fmt.Errorf("-coordinator requires -worker-urls (comma-separated worker URLs)")
 		}
+		var copts []s3.CoordinatorOption
+		if roundBatch != 0 {
+			copts = append(copts, s3.WithRoundBatch(roundBatch))
+		}
+		if noSpec {
+			copts = append(copts, s3.WithoutSpeculation())
+		}
 		return func() (s3.Queryable, error) {
-			return s3.OpenCoordinator(setPath, urls, mode)
+			return s3.OpenCoordinator(setPath, urls, mode, copts...)
 		}, nil
 	}
 	switch {

@@ -36,22 +36,45 @@ type DistributedInstance struct {
 
 var _ Queryable = (*DistributedInstance)(nil)
 
+// CoordinatorOption tunes a coordinator opened by OpenCoordinator.
+type CoordinatorOption func(*dshard.CoordinatorConfig)
+
+// WithRoundBatch caps how many lockstep rounds the coordinator may
+// request from a worker in one RPC (0 = default, 1 = one round per RPC
+// over the batched endpoint, negative = classic per-round protocol
+// only). Grouping rounds into fewer RPCs never changes answers: the
+// coordinator replays every per-round stop decision locally.
+func WithRoundBatch(n int) CoordinatorOption {
+	return func(cfg *dshard.CoordinatorConfig) { cfg.MaxRoundBatch = n }
+}
+
+// WithoutSpeculation disables speculative round pipelining (issuing the
+// next batch to a worker before the coordinator has consumed the
+// previous one). Useful to price the overlap in benchmarks.
+func WithoutSpeculation() CoordinatorOption {
+	return func(cfg *dshard.CoordinatorConfig) { cfg.NoSpeculation = true }
+}
+
 // OpenCoordinator opens the shard-set manifest and wires a coordinator
 // over the worker URLs. Membership is probed immediately and refreshed
 // in the background; workers that are still loading join as soon as
 // their /healthz turns serving, so it is not an error if coverage is
 // incomplete at open time (searches fail until every shard has a live
 // worker). Close stops the probe loop and releases the manifest.
-func OpenCoordinator(manifestPath string, workerURLs []string, mode LoadMode) (*DistributedInstance, error) {
+func OpenCoordinator(manifestPath string, workerURLs []string, mode LoadMode, opts ...CoordinatorOption) (*DistributedInstance, error) {
 	man, err := snap.OpenManifest(manifestPath, snap.LoadMode(mode))
 	if err != nil {
 		return nil, err
 	}
-	coord, err := dshard.NewCoordinator(dshard.CoordinatorConfig{
+	cfg := dshard.CoordinatorConfig{
 		WorkerURLs: workerURLs,
 		ShardCount: len(man.Layout.Shards),
 		SetID:      man.Layout.SetID,
-	})
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	coord, err := dshard.NewCoordinator(cfg)
 	if err != nil {
 		man.Close()
 		return nil, err

@@ -21,6 +21,7 @@ import (
 
 	"s3/internal/graph"
 	"s3/internal/obs"
+	"s3/internal/proxcache"
 	"s3/internal/score"
 )
 
@@ -151,6 +152,16 @@ type LocalExecutor struct {
 	traced bool
 	span   *obs.Span
 
+	// pc, when non-nil (own-iterator executors only), resumes Begin's
+	// iterator from the deepest cached frontier for (seeker, params) and
+	// publishes the deepened frontier back at End. Replayed layers are
+	// bit-identical to a fresh exploration, so round responses — and the
+	// coordinated answer — do not change; ckey/resumedN carry the
+	// publication state between Begin and End.
+	pc       *proxcache.Cache
+	ckey     proxcache.Key
+	resumedN int
+
 	st    *shardState
 	round int
 }
@@ -171,6 +182,24 @@ func (x *LocalExecutor) WithCounters(touched, rounds *atomic.Uint64) *LocalExecu
 	x.touched, x.rounds = touched, rounds
 	return x
 }
+
+// WithProxCache wires a seeker-proximity checkpoint cache into an
+// own-iterator executor: Begin resumes from the deepest cached frontier
+// for the spec's (seeker, params) and End publishes the deepened
+// frontier back. It is how a distributed worker keeps repeated seekers'
+// exploration state warm; no-op on shared-iterator executors (their
+// iterator is owned by ShardedEngine, which has its own cache hook).
+func (x *LocalExecutor) WithProxCache(pc *proxcache.Cache) *LocalExecutor {
+	if x.ownIterator {
+		x.pc = pc
+	}
+	return x
+}
+
+// ResumedDepth reports how many exploration rounds the current search's
+// iterator replayed from a cached checkpoint (0 on a cold start, valid
+// from Begin until End).
+func (x *LocalExecutor) ResumedDepth() int { return x.resumedN }
 
 // WithTracing enables per-call span recording: each Begin, Round and
 // Finalize builds a span subtree (with step/admit/bounds/select stage
@@ -232,7 +261,9 @@ func (x *LocalExecutor) Begin(spec SearchSpec) (BeginInfo, error) {
 	}
 	x.round = 0
 	if x.ownIterator {
-		x.drv = newRoundDriver(score.NewIterator(x.e.in, spec.Params, spec.Seeker))
+		it, ckey, resumedN := openIterator(x.e.in, spec.Seeker, Options{Params: spec.Params, ProxCache: x.pc})
+		x.drv = newRoundDriver(it)
+		x.ckey, x.resumedN = ckey, resumedN
 	}
 	info := BeginInfo{Matched: len(matched), GroupMasses: make([][]int32, len(spec.Groups))}
 	for gi, group := range spec.Groups {
@@ -346,7 +377,17 @@ func (x *LocalExecutor) Finalize() (RoundInfo, error) {
 func (x *LocalExecutor) End() {
 	x.st = nil
 	if x.ownIterator {
+		if x.pc != nil && x.drv != nil {
+			// Publish the deepened frontier (deepen-only, so concurrent
+			// searches racing to publish can only improve the cache). The
+			// driver's mutex is free here: End is only called after every
+			// round gathered.
+			if it := x.drv.it; it.RecordedDepth() > x.resumedN {
+				x.pc.Put(x.ckey, it.Checkpoint())
+			}
+		}
 		x.drv = nil
+		x.resumedN = 0
 	}
 }
 

@@ -1,0 +1,491 @@
+// Tests for the proto-2 extensions: batched /shard/v1/rounds, the begin
+// frame's optional deadline, version tolerance against pre-proto-2
+// workers, worker-side warm frontiers and the tuned coordinator
+// transport.
+package dshard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s3/internal/core"
+	"s3/internal/datagen"
+	"s3/internal/dict"
+	"s3/internal/graph"
+	"s3/internal/score"
+	"s3/internal/snap"
+)
+
+// TestBatchedWireRoundTrip mirrors TestWireRoundTrip for the proto-2
+// frames: exact round trips, plus rejection of truncated, padded,
+// empty and oversized batch frames.
+func TestBatchedWireRoundTrip(t *testing.T) {
+	rr := roundsRequest{searchID: 99, from: 7, max: 16}
+	gotRR, err := decodeRoundsRequest(encodeRoundsRequest(rr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRR != rr {
+		t.Fatalf("rounds request round trip: %+v != %+v", gotRR, rr)
+	}
+	if _, err := decodeRoundsRequest(encodeRoundsRequest(roundsRequest{searchID: 1, from: 1, max: 0})); err == nil {
+		t.Error("zero-round batch request accepted")
+	}
+	if _, err := decodeRoundsRequest(encodeRoundsRequest(roundsRequest{searchID: 1, from: 1, max: maxBatchRounds + 1})); err == nil {
+		t.Error("oversized batch request accepted")
+	}
+	reqFrame := encodeRoundsRequest(rr)
+	for cut := 0; cut < len(reqFrame); cut++ {
+		if _, err := decodeRoundsRequest(reqFrame[:cut]); err == nil {
+			t.Fatalf("truncated rounds request (%d bytes) accepted", cut)
+		}
+	}
+	if _, err := decodeRoundsRequest(append(bytes.Clone(reqFrame), 0)); err == nil {
+		t.Error("trailing garbage on rounds request accepted")
+	}
+
+	infos := []core.RoundInfo{
+		{N: 1, Reached: 4, Tail: math.Pow(1.5, -1), SourceTail: 1},
+		{
+			Kept:      []core.CandMeta{{Doc: 4, Lower: 0.25, Upper: 0.5}, {Doc: 9, Lower: 0, Upper: 0.5}},
+			Uncertain: &core.CandMeta{Doc: 11, Lower: 0.1, Upper: 0.3},
+			MaxOther:  0.125, Admitted: 2, Candidates: 6, Reached: 19,
+			N: 2, Tail: math.Pow(1.5, -2), SourceTail: math.Pow(1.5, -1),
+		},
+		{N: 3, Reached: 21, Admitted: 2, Candidates: 6, Done: true},
+	}
+	frame := encodeRoundsReply(infos)
+	got, sp, err := decodeRoundsReply(frame, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp != nil {
+		t.Fatal("reply without span block decoded a span")
+	}
+	if len(got) != len(infos) {
+		t.Fatalf("batched reply carried %d rounds, want %d", len(got), len(infos))
+	}
+	for i := range infos {
+		want, have := infos[i], got[i]
+		if (want.Uncertain == nil) != (have.Uncertain == nil) {
+			t.Fatalf("round %d uncertain presence diverged", i)
+		}
+		if want.Uncertain != nil && *want.Uncertain != *have.Uncertain {
+			t.Fatalf("round %d uncertain: %+v != %+v", i, have.Uncertain, want.Uncertain)
+		}
+		want.Uncertain, have.Uncertain = nil, nil
+		if fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", have) {
+			t.Fatalf("round %d round trip: %+v != %+v", i, have, want)
+		}
+	}
+	// An empty batch is a protocol violation (the worker always executes
+	// at least one round), as is a count beyond the decode limit.
+	if _, _, err := decodeRoundsReply(encodeRoundsReply(nil), time.Now()); err == nil {
+		t.Error("empty batched reply accepted")
+	}
+	var e enc
+	e.u32(maxBatchRounds + 1)
+	if _, _, err := decodeRoundsReply(e.b, time.Now()); err == nil {
+		t.Error("oversized batched reply accepted")
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := decodeRoundsReply(frame[:cut], time.Now()); err == nil {
+			t.Fatalf("truncated batched reply (%d bytes) accepted", cut)
+		}
+	}
+}
+
+// TestBeginDeadlineWire covers the begin frame's optional trailing
+// fields in every legal combination — and that the deadline never
+// changes how the rest of the frame decodes.
+func TestBeginDeadlineWire(t *testing.T) {
+	base := beginRequest{
+		searchID: 7,
+		spec: core.SearchSpec{
+			Seeker: 3, K: 10,
+			Params:  score.Params{Gamma: 1.25, Eta: 0.8},
+			Epsilon: 1e-12,
+			Groups:  [][]dict.ID{{1, 2, 9}, {42}},
+		},
+	}
+	for _, tc := range []struct{ traceID, deadline uint64 }{
+		{0, 0},
+		{0xfeed, 0},
+		{0xfeed, 1_500_000},
+		{0, 2_000_000}, // deadline without trace: trace id written as zero
+	} {
+		r := base
+		r.traceID, r.deadlineMicros = tc.traceID, tc.deadline
+		got, err := decodeBeginRequest(encodeBeginRequest(r))
+		if err != nil {
+			t.Fatalf("trace=%#x deadline=%d: %v", tc.traceID, tc.deadline, err)
+		}
+		if got.traceID != tc.traceID || got.deadlineMicros != tc.deadline {
+			t.Fatalf("optional fields round trip: got trace=%#x deadline=%d, want trace=%#x deadline=%d",
+				got.traceID, got.deadlineMicros, tc.traceID, tc.deadline)
+		}
+		if fmt.Sprintf("%+v", got.spec) != fmt.Sprintf("%+v", base.spec) {
+			t.Fatalf("spec perturbed by optional fields: %+v", got.spec)
+		}
+	}
+	// A frame with a half-written optional field is rejected.
+	r := base
+	r.traceID, r.deadlineMicros = 0xfeed, 1_000_000
+	frame := encodeBeginRequest(r)
+	for _, cut := range []int{1, 7, 9, 15} {
+		if _, err := decodeBeginRequest(frame[:len(frame)-cut]); err == nil {
+			t.Errorf("begin frame truncated by %d bytes accepted", cut)
+		}
+	}
+}
+
+// smallSpec is the corpus the proto-2 tests share: big enough to need
+// several rounds, small enough to keep the battery fast.
+func smallSpec() graph.Spec {
+	o := datagen.DefaultTwitterOptions()
+	o.Users, o.Tweets, o.Seed = 50, 180, 13
+	spec, _ := datagen.Twitter(o)
+	return spec
+}
+
+// smallTopology builds a 2-shard set with live workers and returns the
+// manifest path, the opened set, the worker objects and their servers.
+func smallTopology(t *testing.T) (string, *snap.ShardSetSnapshot, []*Worker, []*httptest.Server) {
+	t.Helper()
+	in, ix := buildInstance(t, smallSpec())
+	manifestPath := writeSet(t, in, ix, 2)
+	set, err := snap.OpenShardSet(manifestPath, snap.LoadCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { set.Close() })
+	workers := make([]*Worker, 2)
+	servers := make([]*httptest.Server, 2)
+	for i := range workers {
+		workers[i] = NewWorker(WorkerConfig{ManifestPath: manifestPath, Shard: i, Mode: snap.LoadMmap})
+		if err := workers[i].Load(); err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = httptest.NewServer(workers[i].Handler())
+		t.Cleanup(servers[i].Close)
+	}
+	return manifestPath, set, workers, servers
+}
+
+// oldWorkerProxy wraps a modern worker handler to look like a
+// pre-proto-2 binary: /shard/v1/rounds does not exist (bare mux-style
+// 404, no JSON body) and, when hideProto is set, /healthz does not
+// advertise "proto".
+func oldWorkerProxy(inner http.Handler, hideProto bool) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == pathRounds {
+			http.NotFound(rw, req)
+			return
+		}
+		if hideProto && req.URL.Path == "/healthz" {
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, req)
+			var m map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &m); err == nil {
+				delete(m, "proto")
+				b, _ := json.Marshal(m)
+				rw.Header().Set("Content-Type", "application/json")
+				rw.WriteHeader(rec.Code)
+				rw.Write(b)
+				return
+			}
+			rw.WriteHeader(rec.Code)
+			rw.Write(rec.Body.Bytes())
+			return
+		}
+		inner.ServeHTTP(rw, req)
+	})
+}
+
+// protocolTolerance runs the byte-identity battery through a coordinator
+// whose workers sit behind old-worker proxies, and asserts the fallback
+// engaged without benching anyone.
+func protocolTolerance(t *testing.T, hideProto bool) {
+	_, set, _, servers := smallTopology(t)
+	proxies := make([]*httptest.Server, len(servers))
+	urls := make([]string, len(servers))
+	for i, srv := range servers {
+		proxies[i] = httptest.NewServer(oldWorkerProxy(srv.Config.Handler, hideProto))
+		t.Cleanup(proxies[i].Close)
+		urls[i] = proxies[i].URL
+	}
+
+	// Reference answers over the unproxied workers, per-round protocol.
+	direct := make([]string, 0, len(servers))
+	for _, srv := range servers {
+		direct = append(direct, srv.URL)
+	}
+	ref, err := NewCoordinator(CoordinatorConfig{
+		WorkerURLs: direct, ShardCount: len(set.Set.Layout.Shards), SetID: set.Set.Layout.SetID,
+		Client: &http.Client{Timeout: 10 * time.Second}, MaxRoundBatch: -1, NoSpeculation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Probe(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := newCoordinator(t, set.Set.Layout, urls)
+	if hideProto {
+		// The probe already latched the capability off the missing proto.
+		for _, w := range coord.workers {
+			if !w.noBatch.Load() {
+				t.Fatal("probe did not latch noBatch for a proto-less worker")
+			}
+		}
+	}
+
+	in := set.Set.Base
+	seekers, kwSets := queries(in)
+	checked := 0
+	for _, seeker := range seekers {
+		for _, kws := range kwSets {
+			groups, possible, err := core.ResolveKeywordGroups(in, kws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !possible {
+				continue
+			}
+			spec := core.SearchSpec{Seeker: seeker, Groups: groups, K: 5,
+				Params: score.Params{Gamma: 1.5, Eta: 0.8}, Epsilon: 1e-12}
+			wantSel, wantStats, err := ref.Search(spec, core.CoordOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSel, gotStats, err := coord.Search(spec, core.CoordOptions{})
+			if err != nil {
+				t.Fatalf("search through old-worker proxy: %v", err)
+			}
+			if want, got := metaTranscript(wantSel, wantStats), metaTranscript(gotSel, gotStats); got != want {
+				t.Fatalf("seeker=%d kws=%v: fallback answer diverged\nper-round:\n%s\nfallback:\n%s",
+					seeker, kws, want, got)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no queries checked")
+	}
+	// The missing endpoint must never read as a worker failure.
+	st := coord.Stats()
+	for _, w := range st.Workers {
+		if !w.Healthy {
+			t.Fatalf("worker %s benched by the fallback: %s", w.URL, w.Error)
+		}
+	}
+	if coord.retries.Load() != 0 {
+		t.Fatalf("fallback caused %d search retries", coord.retries.Load())
+	}
+	// Either way, the capability is latched off by the end.
+	for _, w := range coord.workers {
+		if !w.noBatch.Load() {
+			t.Fatal("noBatch not latched after talking to an old worker")
+		}
+	}
+}
+
+// TestOldWorkerFallback: a worker that does not advertise proto 2 is
+// driven entirely over the per-round v1 protocol, byte-identically.
+func TestOldWorkerFallback(t *testing.T) { protocolTolerance(t, true) }
+
+// TestLiveRoundsFallback: a worker that advertises proto 2 but answers
+// /shard/v1/rounds with a bare 404 (rolled back between probe and
+// search) triggers the live fallback — same answers, nobody benched.
+func TestLiveRoundsFallback(t *testing.T) { protocolTolerance(t, false) }
+
+// TestWorkerDeadlineSweep: a session carrying a coordinator-propagated
+// deadline is abandoned at that deadline by the sweeper, long before
+// the idle TTL; sessions without one ride the TTL as before.
+func TestWorkerDeadlineSweep(t *testing.T) {
+	_, set, workers, servers := smallTopology(t)
+	in := set.Set.Base
+	seekers, kwSets := queries(in)
+	groups, possible, err := core.ResolveKeywordGroups(in, kwSets[0])
+	if err != nil || !possible {
+		t.Fatal("unusable query")
+	}
+	spec := core.SearchSpec{Seeker: seekers[0], Groups: groups, K: 3,
+		Params: score.Params{Gamma: 1.5, Eta: 0.8}, Epsilon: 1e-12}
+
+	w, srv := workers[0], servers[0]
+	// Session 1: budgeted search — ships a deadline (budget + grace).
+	budgeted := newRemoteExecutor(http.DefaultClient, srv.URL, 101).withBatching(nil, 16, 500*time.Millisecond)
+	if _, err := budgeted.Begin(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Session 2: no budget, no deadline.
+	plain := newRemoteExecutor(http.DefaultClient, srv.URL, 102).withBatching(nil, 16, 0)
+	if _, err := plain.Begin(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	sessions := func() int {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return len(w.sessions)
+	}
+	if got := sessions(); got != 2 {
+		t.Fatalf("worker holds %d sessions, want 2", got)
+	}
+	deadline := func(id uint64) time.Time {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.sessions[id].deadline
+	}
+	if deadline(101).IsZero() {
+		t.Fatal("budgeted session has no deadline")
+	}
+	if !deadline(102).IsZero() {
+		t.Fatal("unbudgeted session grew a deadline")
+	}
+
+	// Sweep as if 10 seconds passed: past the 500ms budget + 2s grace,
+	// well inside the 60s idle TTL.
+	w.mu.Lock()
+	w.sweepSessions(time.Now().Add(10 * time.Second))
+	remaining := len(w.sessions)
+	_, plainAlive := w.sessions[102]
+	w.mu.Unlock()
+	if remaining != 1 || !plainAlive {
+		t.Fatalf("after deadline sweep: %d sessions (plain alive=%v), want only the unbudgeted one",
+			remaining, plainAlive)
+	}
+}
+
+// TestWorkerWarmResume: two searches for the same seeker against one
+// worker — the second must resume the cached frontier (warm-resume
+// counter) and answer byte-identically.
+func TestWorkerWarmResume(t *testing.T) {
+	_, set, workers, servers := smallTopology(t)
+	coordURLs := make([]string, len(servers))
+	for i, srv := range servers {
+		coordURLs[i] = srv.URL
+	}
+	coord := newCoordinator(t, set.Set.Layout, coordURLs)
+
+	in := set.Set.Base
+	seekers, kwSets := queries(in)
+	groups, possible, err := core.ResolveKeywordGroups(in, kwSets[0])
+	if err != nil || !possible {
+		t.Fatal("unusable query")
+	}
+	spec := core.SearchSpec{Seeker: seekers[0], Groups: groups, K: 5,
+		Params: score.Params{Gamma: 1.5, Eta: 0.8}, Epsilon: 1e-12}
+
+	first, fstats, err := coord.Search(spec, core.CoordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End is asynchronous; the frontier publishes when the worker closes
+	// the session. Wait for both workers to drain.
+	waitUntil(t, 3*time.Second, func() bool {
+		for _, w := range workers {
+			w.mu.Lock()
+			n := len(w.sessions)
+			w.mu.Unlock()
+			if n != 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	second, sstats, err := coord.Search(spec, core.CoordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, got := metaTranscript(first, fstats), metaTranscript(second, sstats); got != want {
+		t.Fatalf("warm answer diverged\ncold:\n%s\nwarm:\n%s", want, got)
+	}
+	warm := uint64(0)
+	for _, w := range workers {
+		warm += w.warmResumes.Load()
+	}
+	if warm == 0 {
+		t.Fatal("no worker resumed a cached frontier on the repeated seeker")
+	}
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not met in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNoRedialAcrossSearch: the membership probe pre-warms the tuned
+// keep-alive transport, so a whole search — begin, batched rounds,
+// speculation, finalize, end — performs zero new dials.
+func TestNoRedialAcrossSearch(t *testing.T) {
+	_, set, _, servers := smallTopology(t)
+	urls := make([]string, len(servers))
+	for i, srv := range servers {
+		urls[i] = srv.URL
+	}
+
+	var dials atomic.Int32
+	tr := newTransport(len(urls))
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	tr.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		dials.Add(1)
+		return dialer.DialContext(ctx, network, addr)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		WorkerURLs: urls, ShardCount: len(set.Set.Layout.Shards), SetID: set.Set.Layout.SetID,
+		Client: &http.Client{Timeout: 10 * time.Second, Transport: tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Probe(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if dials.Load() == 0 {
+		t.Fatal("probe did not dial (instrumentation broken?)")
+	}
+
+	in := set.Set.Base
+	seekers, kwSets := queries(in)
+	groups, possible, err := core.ResolveKeywordGroups(in, kwSets[0])
+	if err != nil || !possible {
+		t.Fatal("unusable query")
+	}
+	spec := core.SearchSpec{Seeker: seekers[0], Groups: groups, K: 5,
+		Params: score.Params{Gamma: 1.5, Eta: 0.8}, Epsilon: 1e-12}
+
+	// Warm-up search: its async End may overlap the next begin and cost
+	// an extra connection; let it finish before measuring.
+	if _, _, err := coord.Search(spec, core.CoordOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	before := dials.Load()
+	if _, _, err := coord.Search(spec, core.CoordOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if after := dials.Load(); after != before {
+		t.Fatalf("search re-dialed %d times over the pre-warmed transport", after-before)
+	}
+}

@@ -1,7 +1,7 @@
 package dshard
 
 import (
-	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -19,8 +19,11 @@ type benchQuery struct {
 
 // benchTopology stands up the shared benchmark fixture: a 2-shard set
 // served both by an in-process sharded engine and by a coordinator over
-// loopback worker processes, plus the query battery.
-func benchTopology(b *testing.B) (*core.ShardedEngine, *Coordinator, []benchQuery) {
+// loopback worker processes, plus the query battery. proxBytes sets the
+// workers' frontier-cache budget: negative keeps every distributed
+// iteration cold (the battery repeats across b.N, so an enabled cache
+// would silently warm the "cold" numbers).
+func benchTopology(b *testing.B, proxBytes int64) (*core.ShardedEngine, *Coordinator, []*Worker, []benchQuery) {
 	b.Helper()
 	o := datagen.DefaultTwitterOptions()
 	o.Users, o.Tweets, o.Seed = 300, 1200, 17
@@ -43,13 +46,23 @@ func benchTopology(b *testing.B) (*core.ShardedEngine, *Coordinator, []benchQuer
 		b.Fatal(err)
 	}
 
-	urls, stop := startWorkers(b, manifestPath, shards, snap.LoadMmap)
-	b.Cleanup(stop)
+	workers := make([]*Worker, shards)
+	urls := make([]string, shards)
+	for i := range workers {
+		workers[i] = NewWorker(WorkerConfig{
+			ManifestPath: manifestPath, Shard: i, Mode: snap.LoadMmap, ProxCacheBytes: proxBytes,
+		})
+		if err := workers[i].Load(); err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(workers[i].Handler())
+		b.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
 	coord, err := NewCoordinator(CoordinatorConfig{
 		WorkerURLs: urls,
 		ShardCount: shards,
 		SetID:      set.Set.Layout.SetID,
-		Client:     &http.Client{Timeout: 30 * time.Second},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -76,7 +89,30 @@ func benchTopology(b *testing.B) (*core.ShardedEngine, *Coordinator, []benchQuer
 	if len(qs) == 0 {
 		b.Fatal("no benchmark queries")
 	}
-	return se, coord, qs
+	return se, coord, workers, qs
+}
+
+// drainWorkers waits for the async session teardowns (End posts) of the
+// previous searches to land, so cached frontiers are published before
+// the measured loop starts.
+func drainWorkers(b *testing.B, workers []*Worker) {
+	b.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		open := 0
+		for _, w := range workers {
+			w.mu.Lock()
+			open += len(w.sessions)
+			w.mu.Unlock()
+		}
+		if open == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("%d worker sessions still open", open)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // BenchmarkDistributedSearch prices the distributed round protocol: the
@@ -85,7 +121,7 @@ func benchTopology(b *testing.B) (*core.ShardedEngine, *Coordinator, []benchQuer
 // per-round scatter/gather cost (HTTP round trips × exploration depth) —
 // the latency a deployment pays for per-shard memory isolation.
 func BenchmarkDistributedSearch(b *testing.B) {
-	se, coord, qs := benchTopology(b)
+	se, coord, _, qs := benchTopology(b, -1)
 	params := score.Params{Gamma: 1.5, Eta: 0.8}
 
 	b.Run("sharded-inproc", func(b *testing.B) {
@@ -106,6 +142,41 @@ func BenchmarkDistributedSearch(b *testing.B) {
 	})
 }
 
+// BenchmarkDistributedSearchWarm prices worker-side warm frontiers: the
+// same topology with the workers' default frontier cache enabled, primed
+// by one pass over the battery — the measured loop resumes each seeker's
+// cached exploration instead of re-propagating from depth 0. The delta
+// against BenchmarkDistributedSearch/distributed-loopback is what a
+// seeker-skewed workload saves per repeated-seeker query.
+func BenchmarkDistributedSearchWarm(b *testing.B) {
+	_, coord, workers, qs := benchTopology(b, DefaultProxCacheBytes)
+	for _, q := range qs {
+		if _, _, err := coord.Search(q.spec, core.CoordOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	drainWorkers(b, workers)
+	warm0 := uint64(0)
+	for _, w := range workers {
+		warm0 += w.warmResumes.Load()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if _, _, err := coord.Search(q.spec, core.CoordOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	warm1 := uint64(0)
+	for _, w := range workers {
+		warm1 += w.warmResumes.Load()
+	}
+	if warm1 <= warm0 {
+		b.Fatal("measured loop never resumed a cached frontier")
+	}
+}
+
 // BenchmarkTracedDistributedSearch prices full tracing on the same
 // distributed topology: every search carries a trace whose id crosses
 // the wire, every worker records executor spans into the responses, and
@@ -113,7 +184,7 @@ func BenchmarkDistributedSearch(b *testing.B) {
 // BenchmarkDistributedSearch/distributed-loopback is the all-in cost of
 // ?trace=1 (span recording + wire blocks + tree assembly).
 func BenchmarkTracedDistributedSearch(b *testing.B) {
-	_, coord, qs := benchTopology(b)
+	_, coord, _, qs := benchTopology(b, -1)
 
 	for i := 0; i < b.N; i++ {
 		q := qs[i%len(qs)]

@@ -1,6 +1,16 @@
 // RemoteExecutor: core.ShardExecutor over the HTTP/binary round
 // protocol. One instance drives one search on one worker; the
 // coordinator creates a fresh set per search (and per retry).
+//
+// Against proto>=2 workers the executor fetches rounds through the
+// batched /shard/v1/rounds endpoint: one RPC covers up to the
+// coordinator's planned batch, the reply's per-round infos are buffered,
+// and Round() hands them back one at a time — core.Coordinate replays
+// every per-round stop decision locally, so answers are byte-identical
+// to the per-round protocol. When speculation is allowed, the next batch
+// is issued as soon as a reply arrives (the worker computes round r+1
+// while the coordinator merges round r); a late stop wastes at most one
+// in-flight batch, which End drains and counts.
 package dshard
 
 import (
@@ -11,6 +21,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s3/internal/core"
@@ -23,20 +34,35 @@ const (
 	epRound
 	epFinalize
 	epEnd
+	epRounds
 	epCount
 )
 
 var (
-	epPaths = [epCount]string{pathBegin, pathRound, pathFinalize, pathEnd}
-	epNames = [epCount]string{"begin", "round", "finalize", "end"}
+	epPaths = [epCount]string{pathBegin, pathRound, pathFinalize, pathEnd, pathRounds}
+	epNames = [epCount]string{"begin", "round", "finalize", "end", "rounds"}
 )
 
+// errNoRoundsEndpoint marks a 404/405 from a worker whose mux has no
+// /shard/v1/rounds route (a pre-proto-2 binary): the worker is healthy,
+// the extension is just absent, so the client falls back to per-round
+// calls instead of benching it.
+var errNoRoundsEndpoint = errors.New("dshard: worker has no batched rounds endpoint")
+
+// defaultMaxRoundBatch is CoordinatorConfig.MaxRoundBatch's default; it
+// matches the coordinator loop's own adaptive cap (core's maxRoundBatch).
+const defaultMaxRoundBatch = 16
+
 // rpcMetrics holds the coordinator's per-endpoint wire instruments: round
-// trip time plus bytes sent and received per protocol endpoint.
+// trip time plus bytes sent and received per protocol endpoint, the
+// batched-RPC round count distribution and the speculation counters.
 type rpcMetrics struct {
-	seconds   [epCount]*obs.Histogram
-	bytesSent [epCount]*obs.Counter
-	bytesRecv [epCount]*obs.Counter
+	seconds     [epCount]*obs.Histogram
+	bytesSent   [epCount]*obs.Counter
+	bytesRecv   [epCount]*obs.Counter
+	batchRounds *obs.Histogram
+	specIssued  *obs.Counter
+	specWasted  *obs.Counter
 }
 
 // newRPCMetrics registers the wire instruments in r (idempotent).
@@ -51,6 +77,13 @@ func newRPCMetrics(r *obs.Registry) *rpcMetrics {
 		m.bytesRecv[ep] = r.Counter("s3_coord_rpc_bytes_total",
 			"Wire bytes exchanged with workers, by endpoint and direction.", lbl, obs.L("direction", "recv"))
 	}
+	m.batchRounds = r.Histogram("s3_coord_round_batch",
+		"Lockstep rounds returned by one batched /shard/v1/rounds RPC.",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	m.specIssued = r.Counter("s3_coord_spec_issued_total",
+		"Speculative round RPCs issued ahead of the coordinator's stop decision.")
+	m.specWasted = r.Counter("s3_coord_spec_wasted_total",
+		"Fetched rounds discarded unconsumed because the search stopped first.")
 	return m
 }
 
@@ -64,6 +97,56 @@ func (m *rpcMetrics) observe(ep int, start time.Time, sent, recv int) {
 	m.bytesRecv[ep].Add(uint64(recv))
 }
 
+func (m *rpcMetrics) observeBatch(rounds int) {
+	if m != nil {
+		m.batchRounds.Observe(float64(rounds))
+	}
+}
+
+func (m *rpcMetrics) addSpecIssued() {
+	if m != nil {
+		m.specIssued.Add(1)
+	}
+}
+
+func (m *rpcMetrics) addSpecWasted(rounds int) {
+	if m != nil && rounds > 0 {
+		m.specWasted.Add(uint64(rounds))
+	}
+}
+
+// newTransport returns an http.Transport tuned for the round protocol's
+// hot path: a search multiplexes many small POST frames over one
+// keep-alive connection per worker, so the pool must retain idle
+// connections across rounds AND searches (per-worker headroom covers the
+// async End post racing the next search's Begin). The membership probe
+// shares this transport, which pre-warms every worker's connection before
+// the first search dials.
+func newTransport(workers int) *http.Transport {
+	const perHost = 8
+	if workers < 1 {
+		workers = 1
+	}
+	return &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConnsPerHost: perHost,
+		MaxIdleConns:        (workers + 1) * perHost,
+		IdleConnTimeout:     90 * time.Second,
+		// Frames are small binary bodies; advertising gzip only buys a
+		// per-response header dance.
+		DisableCompression: true,
+	}
+}
+
+// roundsResult is one fetch's outcome: the executed rounds (at least one
+// on success), the worker-side span subtree for the whole batch, and the
+// error.
+type roundsResult struct {
+	infos []core.RoundInfo
+	span  *obs.Span
+	err   error
+}
+
 // RemoteExecutor speaks the round protocol to one worker. It implements
 // core.ShardExecutor; transport-class errors are remembered so the
 // coordinator can attribute a failed search to the worker that broke,
@@ -75,8 +158,26 @@ type RemoteExecutor struct {
 	client   *http.Client
 	base     string
 	searchID uint64
-	round    uint32
+	round    uint32 // rounds consumed by the coordinator
+	fetched  uint32 // rounds executed worker-side (>= round)
 	begun    bool
+
+	// ahead buffers fetched-but-unconsumed RoundInfos; pre, when non-nil,
+	// is the single outstanding speculative fetch. Both are touched only
+	// from the coordinator's (per-round) scatter goroutine and End.
+	ahead []core.RoundInfo
+	pre   chan roundsResult
+
+	// batchHint / wantSpec are the coordinator loop's PlanRounds state;
+	// batchCap is the configured per-RPC bound (<=0 disables the batched
+	// endpoint entirely); noBatch, when non-nil, is the per-worker
+	// "endpoint absent" latch shared across searches; budget, when
+	// positive, ships as the begin frame's deadline to proto-2 workers.
+	batchHint atomic.Int32
+	wantSpec  atomic.Bool
+	batchCap  int
+	noBatch   *atomic.Bool
+	budget    time.Duration
 
 	// traceID, when non-zero, asks the worker to record spans; span holds
 	// the worker-side subtree decoded off the most recent response until
@@ -89,9 +190,13 @@ type RemoteExecutor struct {
 	err error
 }
 
+var _ core.RoundPlanner = (*RemoteExecutor)(nil)
+
 // newRemoteExecutor binds a search id to a worker URL.
 func newRemoteExecutor(client *http.Client, baseURL string, searchID uint64) *RemoteExecutor {
-	return &RemoteExecutor{client: client, base: baseURL, searchID: searchID}
+	x := &RemoteExecutor{client: client, base: baseURL, searchID: searchID}
+	x.batchHint.Store(1)
+	return x
 }
 
 // withTracing asks the worker to record spans under the given trace id
@@ -104,6 +209,33 @@ func (x *RemoteExecutor) withTracing(traceID uint64) *RemoteExecutor {
 func (x *RemoteExecutor) withMetrics(m *rpcMetrics) *RemoteExecutor {
 	x.metrics = m
 	return x
+}
+
+// withBatching wires the proto-2 capability: noBatch is the worker's
+// "no /shard/v1/rounds" latch (probed from /healthz, re-latched on a
+// live 404), cap bounds rounds per RPC (<=0 forces the per-round
+// protocol), and budget ships as the begin deadline when the worker
+// speaks proto 2.
+func (x *RemoteExecutor) withBatching(noBatch *atomic.Bool, maxBatch int, budget time.Duration) *RemoteExecutor {
+	x.noBatch = noBatch
+	x.batchCap = maxBatch
+	x.budget = budget
+	return x
+}
+
+// batchable reports whether the batched endpoint is currently usable.
+func (x *RemoteExecutor) batchable() bool {
+	return x.batchCap > 0 && (x.noBatch == nil || !x.noBatch.Load())
+}
+
+// PlanRounds implements core.RoundPlanner: the coordinator's hint for the
+// next fetch, set before every scatter.
+func (x *RemoteExecutor) PlanRounds(batch int, speculate bool) {
+	if batch < 1 {
+		batch = 1
+	}
+	x.batchHint.Store(int32(batch))
+	x.wantSpec.Store(speculate)
 }
 
 // TakeSpan implements the coordinator's span collection: the worker-side
@@ -166,6 +298,11 @@ func (x *RemoteExecutor) post(ep int, frame []byte) ([]byte, error) {
 		}
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
 			msg = fmt.Sprintf("dshard: %s%s: %s (HTTP %d)", x.base, path, e.Error, resp.StatusCode)
+		} else if ep == epRounds &&
+			(resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed) {
+			// A bare mux 404/405 (no JSON error body) on the batched
+			// endpoint is an old worker, not a failure: signal fallback.
+			return nil, fmt.Errorf("%w (%s)", errNoRoundsEndpoint, msg)
 		}
 		if resp.StatusCode == http.StatusBadRequest {
 			// Deterministic rejection: retrying on another replica (or
@@ -180,7 +317,15 @@ func (x *RemoteExecutor) post(ep int, frame []byte) ([]byte, error) {
 // Begin implements core.ShardExecutor.
 func (x *RemoteExecutor) Begin(spec core.SearchSpec) (core.BeginInfo, error) {
 	callStart := time.Now()
-	body, err := x.post(epBegin, encodeBeginRequest(beginRequest{searchID: x.searchID, spec: spec, traceID: x.traceID}))
+	br := beginRequest{searchID: x.searchID, spec: spec, traceID: x.traceID}
+	if x.budget > 0 && x.batchable() {
+		// Only proto-2 workers know the trailing deadline field; older
+		// decoders reject trailing bytes. The grace keeps a worker from
+		// sweeping the session out from under the coordinator's own
+		// budget-stop finalize.
+		br.deadlineMicros = uint64((x.budget + 2*time.Second).Microseconds())
+	}
+	body, err := x.post(epBegin, encodeBeginRequest(br))
 	if err != nil {
 		return core.BeginInfo{}, x.setErr(err)
 	}
@@ -193,23 +338,119 @@ func (x *RemoteExecutor) Begin(spec core.SearchSpec) (core.BeginInfo, error) {
 	return info, nil
 }
 
-// Round implements core.ShardExecutor.
+// postRounds runs one batched fetch: up to n rounds starting at `from`.
+func (x *RemoteExecutor) postRounds(from uint32, n int) roundsResult {
+	start := time.Now()
+	body, err := x.post(epRounds, encodeRoundsRequest(roundsRequest{searchID: x.searchID, from: from, max: uint32(n)}))
+	if err != nil {
+		return roundsResult{err: err}
+	}
+	infos, sp, err := decodeRoundsReply(body, start)
+	if err != nil {
+		return roundsResult{err: err}
+	}
+	x.metrics.observeBatch(len(infos))
+	return roundsResult{infos: infos, span: sp}
+}
+
+// fetch retrieves at least one round starting at `from`: batched against
+// proto-2 workers (falling back — and latching the fallback — on a live
+// 404), per-round otherwise. Safe to call from the prefetch goroutine:
+// it touches only immutable fields, atomics and the wire.
+func (x *RemoteExecutor) fetch(from uint32, batch int) roundsResult {
+	if x.batchable() {
+		n := batch
+		if n > x.batchCap {
+			n = x.batchCap
+		}
+		if n > maxBatchRounds {
+			n = maxBatchRounds
+		}
+		res := x.postRounds(from, n)
+		if !errors.Is(res.err, errNoRoundsEndpoint) {
+			return res
+		}
+		if x.noBatch != nil {
+			x.noBatch.Store(true)
+		}
+	}
+	start := time.Now()
+	body, err := x.post(epRound, encodeRoundRequest(roundRequest{searchID: x.searchID, round: from}))
+	if err != nil {
+		return roundsResult{err: err}
+	}
+	info, sp, err := decodeRoundInfo(body, start)
+	if err != nil {
+		return roundsResult{err: err}
+	}
+	return roundsResult{infos: []core.RoundInfo{info}, span: sp}
+}
+
+// fill lands the next batch of rounds in the buffer: the outstanding
+// speculative fetch if one is in flight, a fresh fetch otherwise.
+func (x *RemoteExecutor) fill() error {
+	var res roundsResult
+	if ch := x.pre; ch != nil {
+		x.pre = nil
+		res = <-ch
+	} else {
+		res = x.fetch(x.fetched+1, int(x.batchHint.Load()))
+	}
+	if res.err != nil {
+		return x.setErr(res.err)
+	}
+	if len(res.infos) == 0 {
+		return x.setErr(fmt.Errorf("dshard: %s: empty rounds reply", x.base))
+	}
+	x.ahead = res.infos
+	x.fetched += uint32(len(res.infos))
+	// The batch's span subtree is surfaced with its first consumed round.
+	x.span = res.span
+	return nil
+}
+
+// Round implements core.ShardExecutor: hand back the next buffered
+// round, fetching (or collecting the speculative fetch) when the buffer
+// is dry. Exactly one RoundInfo per call, in round order — the grouping
+// of rounds into RPCs is invisible to the coordinator's stop logic.
+//
+// The speculative fetch is issued at the moment the buffer drains, not
+// when a reply lands: the coordinator burns only merge time between
+// draining the buffer and asking for the next round, so issuing earlier
+// would buy microseconds of overlap — while sizing and gating the
+// prefetch with a round-batch hint and a speculation permission that go
+// a whole buffer stale. Late issue means both reflect the coordinator's
+// stop outlook as of the round just handed back, which is what keeps a
+// search that is visibly approaching its threshold from leaving a full
+// speculative batch burning worker CPU behind the stop.
 func (x *RemoteExecutor) Round() (core.RoundInfo, error) {
-	callStart := time.Now()
-	body, err := x.post(epRound, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round + 1}))
-	if err != nil {
-		return core.RoundInfo{}, x.setErr(err)
+	if len(x.ahead) == 0 {
+		x.span = nil
+		if err := x.fill(); err != nil {
+			return core.RoundInfo{}, err
+		}
 	}
-	info, sp, err := decodeRoundInfo(body, callStart)
-	if err != nil {
-		return core.RoundInfo{}, x.setErr(err)
-	}
-	x.span = sp
+	info := x.ahead[0]
+	x.ahead = x.ahead[1:]
 	x.round++
+	if len(x.ahead) == 0 && x.pre == nil &&
+		x.wantSpec.Load() && !info.Done && info.Tail >= 1e-15 {
+		from, batch := x.fetched+1, int(x.batchHint.Load())
+		ch := make(chan roundsResult, 1)
+		x.pre = ch
+		x.metrics.addSpecIssued()
+		go func() {
+			ch <- x.fetch(from, batch)
+		}()
+	}
 	return info, nil
 }
 
-// Finalize implements core.ShardExecutor.
+// Finalize implements core.ShardExecutor. Every finalize-reaching stop
+// (exhaustion, budget, precision) leaves the worker exactly at the
+// consumed round: batches are capped at MaxIterations, budgeted searches
+// run unbatched, and the worker itself stops a batch at exhaustion or
+// the precision floor — so the buffer is empty here by construction.
 func (x *RemoteExecutor) Finalize() (core.RoundInfo, error) {
 	callStart := time.Now()
 	body, err := x.post(epFinalize, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
@@ -227,14 +468,27 @@ func (x *RemoteExecutor) Finalize() (core.RoundInfo, error) {
 // End implements core.ShardExecutor: best-effort release of the worker's
 // session. The POST is fired asynchronously — the answer is already
 // decided when End runs, and a hung worker must not stall the search's
-// return (or a failover retry) on teardown; the worker's TTL sweeper
-// catches anything the request fails to release.
+// return (or a failover retry) on teardown. A still-in-flight speculative
+// fetch is drained first (the worker serializes it with the session
+// teardown anyway) and its rounds counted as speculation waste, along
+// with any unconsumed buffer; the worker's TTL/deadline sweeper catches
+// anything the request fails to release.
 func (x *RemoteExecutor) End() {
 	if !x.begun {
 		return
 	}
 	x.begun = false
+	pre := x.pre
+	x.pre = nil
+	wasted := len(x.ahead)
+	x.ahead = nil
 	go func() {
+		if pre != nil {
+			if res := <-pre; res.err == nil {
+				wasted += len(res.infos)
+			}
+		}
+		x.metrics.addSpecWasted(wasted)
 		_, _ = x.post(epEnd, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
 	}()
 }

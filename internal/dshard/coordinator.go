@@ -32,8 +32,21 @@ type CoordinatorConfig struct {
 	ShardCount int
 	SetID      uint64
 	// Client is the HTTP client for rounds and probes; nil gets a default
-	// with a 30s timeout.
+	// with a 30s timeout over a keep-alive transport sized to the worker
+	// fleet (see newTransport) — the membership probe then doubles as
+	// connection pre-warming, so the first search never pays a dial.
 	Client *http.Client
+	// MaxRoundBatch caps how many lockstep rounds one batched
+	// /shard/v1/rounds RPC may cover: 0 picks the default (16), 1 keeps
+	// strict one-round-per-RPC lockstep over the batched endpoint, and a
+	// negative value disables the proto-2 extension entirely (per-round
+	// v1 calls only).
+	MaxRoundBatch int
+	// NoSpeculation disables issuing a shard's next round fetch while the
+	// coordinator is still merging the previous one. Speculation never
+	// changes answers — a late stop only wastes the in-flight rounds,
+	// which s3_coord_spec_wasted_total prices.
+	NoSpeculation bool
 	// ProbeInterval paces the background membership refresh (default 5s).
 	ProbeInterval time.Duration
 	// SearchRetries is how many times a failed search is retried on other
@@ -50,6 +63,12 @@ type CoordinatorConfig struct {
 // workerRef is one worker URL with its probed identity and health.
 type workerRef struct {
 	url string
+
+	// noBatch latches "this worker does not speak the batched rounds
+	// endpoint": seeded from the probed /healthz proto version, and
+	// re-latched by a live 404 (a worker rolled back mid-search). Atomic
+	// because executors and probes read/write it concurrently.
+	noBatch atomic.Bool
 
 	mu      sync.Mutex
 	shard   int // -1 until probed
@@ -96,10 +115,13 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, fmt.Errorf("dshard: coordinator needs at least one worker URL")
 	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+		cfg.Client = &http.Client{Timeout: 30 * time.Second, Transport: newTransport(len(cfg.WorkerURLs))}
 	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 5 * time.Second
+	}
+	if cfg.MaxRoundBatch == 0 {
+		cfg.MaxRoundBatch = defaultMaxRoundBatch
 	}
 	if cfg.SearchRetries == 0 {
 		cfg.SearchRetries = len(cfg.WorkerURLs)
@@ -165,6 +187,11 @@ func (c *Coordinator) probeWorker(ctx context.Context, w *workerRef) {
 	default:
 		healthy = true
 		shard = hb.Shard
+		// The probe is also the capability handshake (and, over the shared
+		// keep-alive transport, the connection pre-warm): a worker that
+		// does not advertise proto>=2 never sees a batched call or a
+		// deadline field.
+		w.noBatch.Store(hb.Proto < protoVersion)
 	}
 	var st *WorkerStats
 	if healthy {
@@ -298,10 +325,13 @@ func (c *Coordinator) Search(spec core.SearchSpec, copts core.CoordOptions) ([]c
 		id := c.nextSearchID()
 		remotes := make([]*RemoteExecutor, len(refs))
 		execs := make([]core.ShardExecutor, len(refs))
+		copts.NoSpeculation = copts.NoSpeculation || c.cfg.NoSpeculation
+		maxBatch := c.cfg.MaxRoundBatch
 		for i, ref := range refs {
 			remotes[i] = newRemoteExecutor(c.client, ref.url, id).
 				withTracing(copts.Trace.TraceID()).
-				withMetrics(c.metrics)
+				withMetrics(c.metrics).
+				withBatching(&ref.noBatch, maxBatch, copts.Budget)
 			execs[i] = remotes[i]
 		}
 		sel, stats, err := core.Coordinate(execs, spec, copts)

@@ -179,40 +179,61 @@ func TestDistributedEqualsSharded(t *testing.T) {
 			}
 
 			urls, stop := startWorkers(t, manifestPath, n, snap.LoadMmap)
+			// Default coordinator (batched + pipelined rounds) and a legacy
+			// one speaking the per-round v1 protocol only: both must equal
+			// the in-process sharded engine byte for byte, and so must a
+			// second, warm pass resuming the workers' cached frontiers.
 			coord := newCoordinator(t, set.Set.Layout, urls)
+			legacy, err := NewCoordinator(CoordinatorConfig{
+				WorkerURLs:    urls,
+				ShardCount:    len(set.Set.Layout.Shards),
+				SetID:         set.Set.Layout.SetID,
+				Client:        &http.Client{Timeout: 10 * time.Second},
+				MaxRoundBatch: -1,
+				NoSpeculation: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := legacy.Probe(context.Background()); err != nil {
+				t.Fatal(err)
+			}
 
 			seekers, kwSets := queries(in)
-			checked := 0
-			for _, seeker := range seekers {
-				for _, kws := range kwSets {
-					opts := core.Options{K: 5, Params: score.Params{Gamma: 1.5, Eta: 0.8}}
-					rs, sstats, err := se.Search(seeker, kws, opts)
-					if err != nil {
-						t.Fatal(err)
+			for pass, label := range []string{"cold", "warm"} {
+				checked := 0
+				for _, seeker := range seekers {
+					for _, kws := range kwSets {
+						opts := core.Options{K: 5, Params: score.Params{Gamma: 1.5, Eta: 0.8}}
+						rs, sstats, err := se.Search(seeker, kws, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						groups, possible, err := core.ResolveKeywordGroups(in, kws)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !possible {
+							continue
+						}
+						want := engineTranscript(rs, sstats)
+						spec := core.SearchSpec{Seeker: seeker, Groups: groups, K: 5, Params: opts.Params, Epsilon: 1e-12}
+						for cname, c := range map[string]*Coordinator{"batched": coord, "legacy": legacy} {
+							sel, dstats, err := c.Search(spec, core.CoordOptions{})
+							if err != nil {
+								t.Fatalf("%s n=%d %s/%s: distributed search: %v", name, n, label, cname, err)
+							}
+							if got := metaTranscript(sel, dstats); got != want {
+								t.Fatalf("%s n=%d %s/%s seeker=%d kws=%v: distributed answer diverged\nsharded:\n%s\ndistributed:\n%s",
+									name, n, label, cname, seeker, kws, want, got)
+							}
+						}
+						checked++
 					}
-					groups, possible, err := core.ResolveKeywordGroups(in, kws)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if !possible {
-						continue
-					}
-					spec := core.SearchSpec{Seeker: seeker, Groups: groups, K: 5, Params: opts.Params, Epsilon: 1e-12}
-					sel, dstats, err := coord.Search(spec, core.CoordOptions{})
-					if err != nil {
-						t.Fatalf("%s n=%d: distributed search: %v", name, n, err)
-					}
-					want := engineTranscript(rs, sstats)
-					got := metaTranscript(sel, dstats)
-					if got != want {
-						t.Fatalf("%s n=%d seeker=%d kws=%v: distributed answer diverged\nsharded:\n%s\ndistributed:\n%s",
-							name, n, seeker, kws, want, got)
-					}
-					checked++
 				}
-			}
-			if checked == 0 {
-				t.Fatalf("%s n=%d: no queries checked", name, n)
+				if checked == 0 {
+					t.Fatalf("%s n=%d pass=%d: no queries checked", name, n, pass)
+				}
 			}
 			stop()
 			set.Close()

@@ -14,12 +14,21 @@
 //
 // Endpoints (all POST, application/octet-stream bodies):
 //
-//	/shard/v1/begin     install a search            → BeginInfo
-//	/shard/v1/round     advance one lockstep round  → RoundInfo
-//	/shard/v1/finalize  re-bound without stepping   → RoundInfo
+//	/shard/v1/begin     install a search              → BeginInfo
+//	/shard/v1/round     advance one lockstep round    → RoundInfo
+//	/shard/v1/rounds    advance up to B rounds        → one RoundInfo per executed round
+//	/shard/v1/finalize  re-bound without stepping     → RoundInfo
 //	/shard/v1/end       release the search's state
 //
 // plus GET /healthz (readiness), GET /stats and POST /reload on workers.
+//
+// /shard/v1/rounds is the protocol-2 batching extension: the worker
+// advances rounds until the batch bound, the first admission, a kept-set
+// change or exhaustion, and replies with the per-round infos so the
+// coordinator replays every stop decision locally — answers stay
+// byte-identical, one RTT amortizes over the batch. Workers advertise it
+// with "proto" in /healthz; coordinators fall back to per-round calls
+// against workers that do not.
 package dshard
 
 import (
@@ -38,23 +47,30 @@ import (
 // Decode limits: a conforming coordinator never exceeds these, and a
 // worker must not let a malformed frame size an allocation.
 const (
-	maxGroups    = 256
-	maxGroupLen  = 1 << 20
-	maxKept      = 1 << 16
-	maxFrameSize = 64 << 20
-	maxWireSpans = 512
-	maxSpanName  = 256
-	maxSpanAttrs = 32
-	maxAttrLen   = 1024
+	maxGroups      = 256
+	maxGroupLen    = 1 << 20
+	maxKept        = 1 << 16
+	maxFrameSize   = 64 << 20
+	maxWireSpans   = 512
+	maxSpanName    = 256
+	maxSpanAttrs   = 32
+	maxAttrLen     = 1024
+	maxBatchRounds = 1024
 )
 
 // wire paths.
 const (
 	pathBegin    = "/shard/v1/begin"
 	pathRound    = "/shard/v1/round"
+	pathRounds   = "/shard/v1/rounds"
 	pathFinalize = "/shard/v1/finalize"
 	pathEnd      = "/shard/v1/end"
 )
+
+// protoVersion is advertised by workers in /healthz ("proto"): 2 adds the
+// batched /shard/v1/rounds endpoint and the optional deadline field of
+// the begin frame. Absent (old workers decode to 0) means per-round only.
+const protoVersion = 2
 
 // enc is a little-endian frame builder.
 type enc struct{ b []byte }
@@ -256,11 +272,14 @@ func decodeTrailingSpan(d *dec, base time.Time) *obs.Span {
 // --- begin ---
 
 // beginRequest pairs a search id with its spec, plus the optional trace
-// id under which the worker should record (and return) its spans.
+// id under which the worker should record (and return) its spans and the
+// optional deadline (microseconds of budget from arrival) after which the
+// worker may abandon the session without waiting for an End.
 type beginRequest struct {
-	searchID uint64
-	spec     core.SearchSpec
-	traceID  uint64
+	searchID       uint64
+	spec           core.SearchSpec
+	traceID        uint64
+	deadlineMicros uint64
 }
 
 func encodeBeginRequest(r beginRequest) []byte {
@@ -278,10 +297,16 @@ func encodeBeginRequest(r beginRequest) []byte {
 			e.u32(uint32(id))
 		}
 	}
-	if r.traceID != 0 {
-		// Appended only when tracing: an untraced begin frame is
-		// byte-identical to the pre-trace protocol, and older workers
-		// never see the field.
+	// Optional trailing fields, in fixed order: trace id, then deadline.
+	// A frame with neither is byte-identical to the pre-trace protocol.
+	// The deadline implies the trace id (written even when zero) so the
+	// decoder can tell the two 8-byte fields apart by count alone; it is
+	// only sent to proto>=2 workers, whose decoder knows the second field.
+	switch {
+	case r.deadlineMicros != 0:
+		e.u64(r.traceID)
+		e.u64(r.deadlineMicros)
+	case r.traceID != 0:
 		e.u64(r.traceID)
 	}
 	return e.b
@@ -314,6 +339,11 @@ func decodeBeginRequest(b []byte) (beginRequest, error) {
 	// coordinators (and on untraced searches).
 	if d.err == nil && d.off < len(d.b) {
 		r.traceID = d.u64()
+	}
+	// Optional trailing deadline (proto 2): absent on frames from older
+	// coordinators and on unbudgeted searches.
+	if d.err == nil && d.off < len(d.b) {
+		r.deadlineMicros = d.u64()
 	}
 	return r, d.done()
 }
@@ -382,8 +412,10 @@ const (
 	roundFlagUncertain = 1 << 1
 )
 
-func encodeRoundInfo(info core.RoundInfo) []byte {
-	var e enc
+// encodeRoundInfoBody / decodeRoundInfoBody read and write exactly one
+// RoundInfo's bytes — the unit both the single-round reply and the
+// batched reply are built from.
+func encodeRoundInfoBody(e *enc, info core.RoundInfo) {
 	var flags byte
 	if info.Done {
 		flags |= roundFlagDone
@@ -410,11 +442,9 @@ func encodeRoundInfo(info core.RoundInfo) []byte {
 		e.f64(info.Uncertain.Lower)
 		e.f64(info.Uncertain.Upper)
 	}
-	return e.b
 }
 
-func decodeRoundInfo(b []byte, base time.Time) (core.RoundInfo, *obs.Span, error) {
-	d := &dec{b: b}
+func decodeRoundInfoBody(d *dec) core.RoundInfo {
 	var info core.RoundInfo
 	flags := d.u8()
 	info.Done = flags&roundFlagDone != 0
@@ -435,8 +465,80 @@ func decodeRoundInfo(b []byte, base time.Time) (core.RoundInfo, *obs.Span, error
 	if flags&roundFlagUncertain != 0 {
 		info.Uncertain = &core.CandMeta{Doc: graph.NID(d.u32()), Lower: d.f64(), Upper: d.f64()}
 	}
+	return info
+}
+
+func encodeRoundInfo(info core.RoundInfo) []byte {
+	var e enc
+	encodeRoundInfoBody(&e, info)
+	return e.b
+}
+
+func decodeRoundInfo(b []byte, base time.Time) (core.RoundInfo, *obs.Span, error) {
+	d := &dec{b: b}
+	info := decodeRoundInfoBody(d)
 	sp := decodeTrailingSpan(d, base)
 	return info, sp, d.done()
+}
+
+// --- batched rounds (proto 2) ---
+
+// roundsRequest asks a worker to advance up to max lockstep rounds,
+// starting from round `from` (which must be the next round in lockstep,
+// exactly like roundRequest). The worker may execute fewer — it returns
+// early on the first admission, kept-set change, exhaustion or the
+// precision floor — but always at least one.
+type roundsRequest struct {
+	searchID uint64
+	from     uint32
+	max      uint32
+}
+
+func encodeRoundsRequest(r roundsRequest) []byte {
+	var e enc
+	e.u64(r.searchID)
+	e.u32(r.from)
+	e.u32(r.max)
+	return e.b
+}
+
+func decodeRoundsRequest(b []byte) (roundsRequest, error) {
+	d := &dec{b: b}
+	r := roundsRequest{searchID: d.u64(), from: d.u32(), max: d.u32()}
+	if d.err == nil && (r.max == 0 || r.max > maxBatchRounds) {
+		d.fail("batch of %d rounds (cap %d)", r.max, maxBatchRounds)
+	}
+	return r, d.done()
+}
+
+// encodeRoundsReply carries one RoundInfo per executed round, in round
+// order, so the coordinator can replay its per-round stop decision on
+// each — byte-identity does not depend on how the rounds were grouped
+// into RPCs.
+func encodeRoundsReply(infos []core.RoundInfo) []byte {
+	var e enc
+	e.u32(uint32(len(infos)))
+	for i := range infos {
+		encodeRoundInfoBody(&e, infos[i])
+	}
+	return e.b
+}
+
+func decodeRoundsReply(b []byte, base time.Time) ([]core.RoundInfo, *obs.Span, error) {
+	d := &dec{b: b}
+	n := int(d.u32())
+	if d.err == nil && (n == 0 || n > maxBatchRounds) {
+		d.fail("%d rounds in batched reply", n)
+	}
+	infos := make([]core.RoundInfo, 0, min(n, 64))
+	for i := 0; i < n && d.err == nil; i++ {
+		infos = append(infos, decodeRoundInfoBody(d))
+	}
+	sp := decodeTrailingSpan(d, base)
+	if err := d.done(); err != nil {
+		return nil, nil, err
+	}
+	return infos, sp, nil
 }
 
 // floatBits / floatFromBits round-trip float64s through their exact bit

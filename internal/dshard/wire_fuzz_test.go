@@ -1,0 +1,155 @@
+package dshard
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"s3/internal/core"
+	"s3/internal/dict"
+	"s3/internal/graph"
+	"s3/internal/score"
+)
+
+// sampleRoundInfos builds a representative batched reply: several rounds,
+// kept lists of varying length, an uncertain candidate, non-trivial float
+// bounds.
+func sampleRoundInfos() []core.RoundInfo {
+	return []core.RoundInfo{
+		{
+			N: 3, Reached: 120, Admitted: 4, Candidates: 9,
+			Tail: 0.25, SourceTail: 0.125, MaxOther: 0.75,
+			Kept: []core.CandMeta{
+				{Doc: 11, Lower: 0.5, Upper: 0.9},
+				{Doc: 7, Lower: 0.4, Upper: 0.8},
+			},
+			Uncertain: &core.CandMeta{Doc: 42, Lower: 0.3, Upper: 0.85},
+		},
+		{
+			N: 4, Reached: 180, Admitted: 4, Candidates: 9,
+			Tail: 0.125, SourceTail: 0.0625, MaxOther: 0.6,
+			Kept: []core.CandMeta{{Doc: 11, Lower: 0.55, Upper: 0.82}},
+		},
+		{
+			N: 5, Reached: 240, Admitted: 5, Candidates: 11,
+			Tail: 0.0625, SourceTail: 0.03125, MaxOther: 0.5,
+			Done: true,
+		},
+	}
+}
+
+// TestRoundsReplyCorruption drives the batched-reply decoder through every
+// truncation point and a deterministic storm of random bit flips: a
+// corrupted frame must either decode (flips inside float payloads or list
+// bodies can be value-preserving-shaped) or fail with an error — never
+// panic, hang, or over-allocate. This is the protocol-tolerance guarantee
+// a coordinator relies on when a worker (or the network) misbehaves.
+func TestRoundsReplyCorruption(t *testing.T) {
+	base := time.Now()
+	frame := encodeRoundsReply(sampleRoundInfos())
+
+	// Every prefix of a valid frame must be rejected or decoded, never
+	// crash. All strict prefixes are in fact invalid (the frame has no
+	// optional interior), so expect errors everywhere short of full.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := decodeRoundsReply(frame[:cut], base); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(frame))
+		}
+	}
+	if _, _, err := decodeRoundsReply(frame, base); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+
+	// Deterministic bit-flip storm. Flipping count or length fields must
+	// hit the decode caps instead of sizing huge allocations.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20000; trial++ {
+		mut := append([]byte(nil), frame...)
+		for flips := 1 + rng.Intn(4); flips > 0; flips-- {
+			i := rng.Intn(len(mut))
+			mut[i] ^= 1 << uint(rng.Intn(8))
+		}
+		infos, _, err := decodeRoundsReply(mut, base)
+		if err == nil && len(infos) == 0 {
+			t.Fatal("corrupted frame decoded to zero rounds without error")
+		}
+	}
+}
+
+// TestBeginRequestCorruption is the worker-side mirror: begin frames come
+// off the network and size allocations (keyword groups), so a malformed
+// frame must die on the decode caps, never panic. Unlike the rounds
+// reply, begin frames end in optional fields (trace id, deadline), so
+// some truncations are legitimately valid shorter frames — the assertion
+// is survival plus sane results, not universal rejection.
+func TestBeginRequestCorruption(t *testing.T) {
+	frame := encodeBeginRequest(beginRequest{
+		searchID: 99,
+		spec: core.SearchSpec{
+			Seeker:  graph.NID(17),
+			Groups:  [][]dict.ID{{1, 2, 3}, {9}, {4, 5}},
+			K:       5,
+			Params:  score.Params{Gamma: 1.5, Eta: 0.8},
+			Epsilon: 1e-12,
+		},
+		traceID:        0xdeadbeef,
+		deadlineMicros: 1_000_000,
+	})
+	if _, err := decodeBeginRequest(frame); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		r, err := decodeBeginRequest(frame[:cut])
+		if err == nil && len(r.spec.Groups) != 3 {
+			t.Fatalf("truncation at %d decoded to %d groups without error", cut, len(r.spec.Groups))
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20000; trial++ {
+		mut := append([]byte(nil), frame...)
+		for flips := 1 + rng.Intn(4); flips > 0; flips-- {
+			i := rng.Intn(len(mut))
+			mut[i] ^= 1 << uint(rng.Intn(8))
+		}
+		r, err := decodeBeginRequest(mut)
+		if err == nil {
+			for _, g := range r.spec.Groups {
+				if len(g) > maxGroupLen {
+					t.Fatalf("decoded group of %d ids past the cap", len(g))
+				}
+			}
+		}
+	}
+}
+
+// FuzzDecodeRoundsReply and FuzzDecodeBeginRequest let `go test -fuzz`
+// explore the decoders beyond the deterministic storms; in normal test
+// runs they replay the seed corpus (a valid frame each, plus shape-probing
+// mutants) as plain subtests.
+func FuzzDecodeRoundsReply(f *testing.F) {
+	f.Add(encodeRoundsReply(sampleRoundInfos()))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		infos, _, err := decodeRoundsReply(b, time.Unix(0, 0))
+		if err == nil && len(infos) == 0 {
+			t.Fatal("decoded to zero rounds without error")
+		}
+	})
+}
+
+func FuzzDecodeBeginRequest(f *testing.F) {
+	f.Add(encodeBeginRequest(beginRequest{
+		searchID: 1,
+		spec: core.SearchSpec{
+			Seeker: graph.NID(3), Groups: [][]dict.ID{{7}}, K: 2, Epsilon: 1e-9,
+		},
+	}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := decodeBeginRequest(b)
+		if err == nil && len(r.spec.Groups) == 0 {
+			t.Fatal("decoded to zero keyword groups without error")
+		}
+	})
+}

@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"s3/internal/core"
+	"s3/internal/graph"
 	"s3/internal/obs"
+	"s3/internal/proxcache"
 	"s3/internal/snap"
 )
 
@@ -53,10 +55,26 @@ type WorkerConfig struct {
 	SessionTTL time.Duration
 	// MaxSessions bounds concurrently open searches; 0 picks 1024.
 	MaxSessions int
+	// ProxCacheBytes budgets the worker's seeker-proximity checkpoint
+	// cache: repeated seekers resume their recorded exploration frontier
+	// instead of re-propagating from depth 0 (replay is bit-identical, so
+	// distributed answers do not change). 0 picks the 64 MiB default;
+	// negative disables the cache.
+	ProxCacheBytes int64
 	// Registry receives the worker's instruments (nil creates a private
 	// one); the worker serves it at GET /metrics either way.
 	Registry *obs.Registry
 }
+
+// DefaultProxCacheBytes is the worker's proximity-cache budget when the
+// config leaves ProxCacheBytes zero (matches the serving layer).
+const DefaultProxCacheBytes int64 = 64 << 20
+
+// maxWorkerBatch caps how many rounds one /shard/v1/rounds call may
+// execute regardless of what the coordinator asked for: the session
+// mutex is held for the whole batch, and a bounded batch keeps reloads
+// and sweeps responsive.
+const maxWorkerBatch = 64
 
 // workerGen is one loaded generation of the shard, reference-counted so a
 // reload unmaps the old snapshot only after its last in-flight search
@@ -99,6 +117,57 @@ type session struct {
 	round    uint32
 	lastUsed time.Time
 	trace    *obs.Trace
+
+	// deadline, when non-zero, is when the sweeper may abandon the
+	// session even before the TTL — the coordinator shipped its search
+	// budget in Begin, so anything past it is orphaned (a stopped
+	// coordinator's speculative rounds, a crashed one's whole session).
+	deadline time.Time
+
+	// lastSig / lastAdmitted track the shard-local selection across
+	// rounds, so a batched-rounds call can stop at the first round whose
+	// outcome the coordinator will want to react to (admission, kept-set
+	// or certainty change).
+	lastSig      roundSig
+	lastAdmitted int
+}
+
+// roundSig is the reaction-worthy summary of one round's shard-local
+// state: the kept membership and the uncertainty marker. Bounds are
+// deliberately excluded — they tighten every round.
+type roundSig struct {
+	kept []graph.NID // sorted by id
+	unc  graph.NID   // -1 when the selection is certain
+}
+
+func keptSig(info core.RoundInfo) roundSig {
+	sig := roundSig{kept: make([]graph.NID, len(info.Kept)), unc: -1}
+	for i, c := range info.Kept {
+		sig.kept[i] = c.Doc
+	}
+	// Kept arrives best-first by upper bound; order shifts as bounds
+	// tighten without the membership changing, so compare as a set.
+	for i := 1; i < len(sig.kept); i++ {
+		for j := i; j > 0 && sig.kept[j] < sig.kept[j-1]; j-- {
+			sig.kept[j], sig.kept[j-1] = sig.kept[j-1], sig.kept[j]
+		}
+	}
+	if info.Uncertain != nil {
+		sig.unc = info.Uncertain.Doc
+	}
+	return sig
+}
+
+func (a roundSig) equal(b roundSig) bool {
+	if a.unc != b.unc || len(a.kept) != len(b.kept) {
+		return false
+	}
+	for i := range a.kept {
+		if a.kept[i] != b.kept[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Worker serves one shard of a set over the round protocol. Create with
@@ -113,11 +182,17 @@ type Worker struct {
 	mu       sync.Mutex
 	sessions map[uint64]*session
 
-	start    time.Time
-	searches atomic.Uint64 // Begin calls accepted
-	touched  atomic.Uint64 // searches that matched components here
-	rounds   atomic.Uint64 // lockstep rounds that carried candidates
-	rejected atomic.Uint64 // begins refused (not serving / full)
+	start       time.Time
+	searches    atomic.Uint64 // Begin calls accepted
+	touched     atomic.Uint64 // searches that matched components here
+	rounds      atomic.Uint64 // lockstep rounds that carried candidates
+	rejected    atomic.Uint64 // begins refused (not serving / full)
+	warmResumes atomic.Uint64 // Begins that resumed a cached frontier
+
+	// prox caches seeker-proximity checkpoints across this worker's
+	// searches (nil when disabled); bound to the served generation so a
+	// reload purges and re-binds it.
+	prox *proxcache.Cache
 
 	reg        *obs.Registry
 	rpcSeconds [epCount]*obs.Histogram
@@ -142,6 +217,24 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		reg:      cfg.Registry,
 		traces:   obs.NewTraceRing(0),
 	}
+	proxBytes := cfg.ProxCacheBytes
+	if proxBytes == 0 {
+		proxBytes = DefaultProxCacheBytes
+	}
+	if proxBytes > 0 {
+		w.prox = proxcache.New(proxBytes)
+		w.reg.CounterFunc("s3_proxcache_hits_total", "Proximity-cache checkpoint hits.",
+			func() float64 { return float64(w.prox.Stats().Hits) })
+		w.reg.CounterFunc("s3_proxcache_misses_total", "Proximity-cache checkpoint misses.",
+			func() float64 { return float64(w.prox.Stats().Misses) })
+		w.reg.GaugeFunc("s3_proxcache_bytes", "Bytes of checkpoint state held by the proximity cache.",
+			func() float64 { return float64(w.prox.Stats().Bytes) })
+		w.reg.GaugeFunc("s3_proxcache_entries", "Checkpoints held by the proximity cache.",
+			func() float64 { return float64(w.prox.Stats().Entries) })
+	}
+	w.reg.CounterFunc("s3_worker_warm_resumes_total",
+		"Searches that resumed a cached proximity frontier instead of exploring from depth 0.",
+		func() float64 { return float64(w.warmResumes.Load()) })
 	for ep := 0; ep < epCount; ep++ {
 		w.rpcSeconds[ep] = w.reg.Histogram("s3_shard_rpc_seconds",
 			"Worker-side handling time of one round-protocol RPC, by endpoint.", nil,
@@ -203,6 +296,14 @@ func (w *Worker) Load() error {
 	}
 	gen.refs.Store(1)
 	w.cur.Store(gen)
+	if w.prox != nil {
+		// Checkpoints are instance-pointer-identified: purge the old
+		// generation's and bind Put to the new one, so a search still
+		// running on the outgoing generation cannot re-populate the cache
+		// with entries that would pin its mapping.
+		w.prox.Purge()
+		w.prox.Bind(ws.Instance)
+	}
 	if old != nil {
 		old.release()
 	}
@@ -240,6 +341,7 @@ func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+pathBegin, w.handleBegin)
 	mux.HandleFunc("POST "+pathRound, w.handleRound)
+	mux.HandleFunc("POST "+pathRounds, w.handleRounds)
 	mux.HandleFunc("POST "+pathFinalize, w.handleFinalize)
 	mux.HandleFunc("POST "+pathEnd, w.handleEnd)
 	mux.HandleFunc("GET /healthz", w.handleHealthz)
@@ -299,10 +401,14 @@ func (w *Worker) closeSession(s *session) {
 }
 
 // sweepSessions evicts searches idle past the TTL (their coordinator is
-// gone); the caller must hold w.mu.
+// gone) and searches past their coordinator-propagated deadline (the
+// coordinator's budget expired — anything still open is an orphan, e.g.
+// a speculative round left behind by an early stop); the caller must
+// hold w.mu.
 func (w *Worker) sweepSessions(now time.Time) {
 	for id, s := range w.sessions {
-		if now.Sub(s.lastUsed) > w.cfg.SessionTTL {
+		if now.Sub(s.lastUsed) > w.cfg.SessionTTL ||
+			(!s.deadline.IsZero() && now.After(s.deadline)) {
 			delete(w.sessions, id)
 			go w.closeSession(s)
 		}
@@ -332,13 +438,19 @@ func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s := &session{
-		gen:      gen,
-		exec:     core.NewShardExecutor(gen.engine, w.cfg.Workers).WithCounters(&w.touched, &w.rounds),
+		gen: gen,
+		exec: core.NewShardExecutor(gen.engine, w.cfg.Workers).
+			WithCounters(&w.touched, &w.rounds).
+			WithProxCache(w.prox),
 		lastUsed: time.Now(),
+		lastSig:  roundSig{unc: -1},
 	}
 	if r.traceID != 0 {
 		s.exec.WithTracing(true)
 		s.trace = obs.NewTraceWithID(r.traceID, "worker.search")
+	}
+	if r.deadlineMicros != 0 {
+		s.deadline = s.lastUsed.Add(time.Duration(r.deadlineMicros) * time.Microsecond)
 	}
 	w.mu.Lock()
 	w.sweepSessions(s.lastUsed)
@@ -363,6 +475,9 @@ func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
 		w.dropSession(r.searchID)
 		writeErr(rw, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if s.exec.ResumedDepth() > 0 {
+		w.warmResumes.Add(1)
 	}
 	w.searches.Add(1)
 	writeFrame(rw, appendSpanBlock(encodeBeginInfo(info), w.takeCallSpan(s)))
@@ -430,7 +545,79 @@ func (w *Worker) handleRound(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.round++
+	// Keep the batch-stop state coherent even under per-round calls, so
+	// a coordinator may mix the two endpoints freely.
+	s.lastSig = keptSig(info)
+	s.lastAdmitted = info.Admitted
 	writeFrame(rw, appendSpanBlock(encodeRoundInfo(info), w.takeCallSpan(s)))
+}
+
+// handleRounds is the proto-2 batched endpoint: advance up to max
+// lockstep rounds, returning early at the first round the coordinator
+// will want to react to — an admission, a kept-set or certainty change,
+// graph exhaustion or the precision floor. The reply carries every
+// executed round's RoundInfo, so the coordinator's stop logic replays
+// each round exactly as if it had been fetched alone; early exit is a
+// latency/waste heuristic, never a correctness requirement.
+func (w *Worker) handleRounds(rw http.ResponseWriter, req *http.Request) {
+	defer w.rpcSeconds[epRounds].ObserveSince(time.Now())
+	body, ok := readFrame(rw, req)
+	if !ok {
+		return
+	}
+	r, err := decodeRoundsRequest(body)
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s := w.lookup(r.searchID)
+	if s == nil {
+		writeErr(rw, http.StatusNotFound, "unknown search %d", r.searchID)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.from != s.round+1 {
+		writeErr(rw, http.StatusConflict, "search %d at round %d, request says %d", r.searchID, s.round, r.from)
+		return
+	}
+	maxRounds := int(r.max)
+	if maxRounds > maxWorkerBatch {
+		maxRounds = maxWorkerBatch
+	}
+	infos := make([]core.RoundInfo, 0, maxRounds)
+	var batchSpan *obs.Span
+	for len(infos) < maxRounds {
+		info, err := s.exec.Round()
+		if err != nil {
+			writeErr(rw, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.round++
+		if sp := s.exec.TakeSpan(); sp != nil {
+			if batchSpan == nil {
+				batchSpan = obs.NewSpan("exec.rounds")
+			}
+			batchSpan.Attach(sp)
+		}
+		infos = append(infos, info)
+		sig := keptSig(info)
+		stop := info.Done || info.Tail < 1e-15 ||
+			info.Admitted > s.lastAdmitted || !sig.equal(s.lastSig)
+		s.lastSig = sig
+		s.lastAdmitted = info.Admitted
+		if stop {
+			break
+		}
+	}
+	if batchSpan != nil {
+		batchSpan.SetInt("rounds", int64(len(infos)))
+		batchSpan.End()
+		if s.trace != nil {
+			s.trace.Span().Attach(batchSpan)
+		}
+	}
+	writeFrame(rw, appendSpanBlock(encodeRoundsReply(infos), batchSpan))
 }
 
 func (w *Worker) handleFinalize(rw http.ResponseWriter, req *http.Request) {
@@ -484,6 +671,11 @@ type healthzBody struct {
 	SetID      string `json:"set_id"`
 	Version    uint64 `json:"version"`
 	Sliced     bool   `json:"sliced"`
+	// Proto advertises the round-protocol version this worker speaks
+	// (the batched /shard/v1/rounds endpoint and the begin-frame
+	// deadline arrived with 2). Pre-proto workers omit the field, which
+	// decodes as 0 on the coordinator — per-round protocol only.
+	Proto int `json:"proto,omitempty"`
 }
 
 func (w *Worker) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
@@ -494,7 +686,7 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 	w.sweepSessions(time.Now())
 	w.mu.Unlock()
 	state := w.state.Load()
-	body := healthzBody{Status: stateName(state), Shard: w.cfg.Shard}
+	body := healthzBody{Status: stateName(state), Shard: w.cfg.Shard, Proto: protoVersion}
 	status := http.StatusServiceUnavailable
 	if gen := w.acquire(); gen != nil {
 		body.ShardCount = len(gen.ws.Layout.Shards)

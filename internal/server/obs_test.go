@@ -415,9 +415,9 @@ func TestDistributedObservability(t *testing.T) {
 	samples := scrapeMetrics(t, h)
 	obstest.CheckHistogram(t, samples, "s3_http_search_seconds", `outcome="cold"`)
 	obstest.CheckHistogram(t, samples, "s3_search_round_seconds", "")
-	obstest.CheckHistogram(t, samples, "s3_coord_rpc_seconds", `endpoint="round"`)
-	if got := samples[`s3_coord_rpc_seconds_count{endpoint="round"}`]; got < 1 {
-		t.Fatalf("coordinator round RPCs = %v, want >= 1", got)
+	obstest.CheckHistogram(t, samples, "s3_coord_rpc_seconds", `endpoint="rounds"`)
+	if got := samples[`s3_coord_rpc_seconds_count{endpoint="rounds"}`]; got < 1 {
+		t.Fatalf("coordinator rounds RPCs = %v, want >= 1", got)
 	}
 	if got := samples["s3_search_round_seconds_count"]; got < 1 {
 		t.Fatalf("s3_search_round_seconds_count = %v, want >= 1", got)
@@ -426,20 +426,24 @@ func TestDistributedObservability(t *testing.T) {
 		t.Fatalf("s3_coord_searches_total = %v, want >= 1", got)
 	}
 	// Wire accounting flows both ways (labels render sorted by key).
-	if got := samples[`s3_coord_rpc_bytes_total{direction="sent",endpoint="round"}`]; got <= 0 {
-		t.Fatalf("sent bytes on round endpoint = %v, want > 0", got)
+	if got := samples[`s3_coord_rpc_bytes_total{direction="sent",endpoint="rounds"}`]; got <= 0 {
+		t.Fatalf("sent bytes on rounds endpoint = %v, want > 0", got)
 	}
-	if got := samples[`s3_coord_rpc_bytes_total{direction="recv",endpoint="round"}`]; got <= 0 {
-		t.Fatalf("recv bytes on round endpoint = %v, want > 0", got)
+	if got := samples[`s3_coord_rpc_bytes_total{direction="recv",endpoint="rounds"}`]; got <= 0 {
+		t.Fatalf("recv bytes on rounds endpoint = %v, want > 0", got)
+	}
+	// The batch-size histogram fires once per rounds RPC.
+	if got := samples["s3_coord_round_batch_count"]; got < 1 {
+		t.Fatalf("s3_coord_round_batch_count = %v, want >= 1", got)
 	}
 
 	// Worker /metrics: the round protocol's server side.
 	touched := 0.0
 	for _, srv := range workers {
 		ws := scrapeURL(t, srv.URL+"/metrics")
-		obstest.CheckHistogram(t, ws, "s3_shard_rpc_seconds", `endpoint="round"`)
-		if got := ws[`s3_shard_rpc_seconds_count{endpoint="round"}`]; got < 1 {
-			t.Fatalf("worker %s saw %v round RPCs, want >= 1", srv.URL, got)
+		obstest.CheckHistogram(t, ws, "s3_shard_rpc_seconds", `endpoint="rounds"`)
+		if got := ws[`s3_shard_rpc_seconds_count{endpoint="rounds"}`]; got < 1 {
+			t.Fatalf("worker %s saw %v rounds RPCs, want >= 1", srv.URL, got)
 		}
 		touched += ws["s3_worker_searches_total"]
 	}

@@ -91,6 +91,17 @@ done
 # /metrics serves on all three processes with the mode-specific families.
 curl -sf http://127.0.0.1:18080/metrics | grep -q '^s3_coord_rpc_seconds_count{endpoint="round"}' ||
 	{ echo "e2e-obs-smoke: coordinator /metrics missing round RPC histogram" >&2; exit 1; }
+# The batched rounds endpoint actually carried the search: the batch-size
+# histogram must have observed at least one batch.
+batches=$(curl -sf http://127.0.0.1:18080/metrics | sed -n 's/^s3_coord_round_batch_count \([0-9]*\)$/\1/p')
+if [ -z "$batches" ] || [ "$batches" -eq 0 ]; then
+	echo "e2e-obs-smoke: no batched rounds observed (s3_coord_round_batch_count=$batches)" >&2
+	exit 1
+fi
+curl -sf http://127.0.0.1:18080/metrics | grep -q '^s3_coord_spec_issued_total' ||
+	{ echo "e2e-obs-smoke: coordinator /metrics missing speculation counters" >&2; exit 1; }
+curl -sf http://127.0.0.1:18081/metrics | grep -q '^s3_worker_warm_resumes_total' ||
+	{ echo "e2e-obs-smoke: worker /metrics missing warm-resume counter" >&2; exit 1; }
 curl -sf http://127.0.0.1:18080/metrics | grep -q '^s3_search_round_seconds_count' ||
 	{ echo "e2e-obs-smoke: coordinator /metrics missing per-round latency" >&2; exit 1; }
 curl -sf http://127.0.0.1:18081/metrics | grep -q '^s3_shard_rpc_seconds_count{endpoint="round"}' ||
