@@ -1,0 +1,60 @@
+// Command s3faultproxy runs a faultnet TCP proxy in front of a worker
+// for multi-process chaos testing (see scripts/e2e-chaos-smoke.sh). It
+// forwards -listen to -target with an optional fixed per-write latency;
+// SIGHUP toggles refusing new connections, SIGUSR1 kills all live
+// proxied connections.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"s3/internal/faultnet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	target := flag.String("target", "", "address to forward to (required)")
+	latencyMS := flag.Int("latency-ms", 0, "per-write latency in milliseconds")
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "s3faultproxy: -target is required")
+		os.Exit(2)
+	}
+
+	p, err := faultnet.NewProxy(*listen, *target)
+	if err != nil {
+		log.Fatalf("s3faultproxy: %v", err)
+	}
+	p.SetLatency(time.Duration(*latencyMS) * time.Millisecond)
+	log.Printf("s3faultproxy: %s -> %s (latency %dms)", p.Addr(), *target, *latencyMS)
+
+	sig := make(chan os.Signal, 4)
+	signal.Notify(sig, syscall.SIGHUP, syscall.SIGUSR1, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		refusing := false
+		for s := range sig {
+			switch s {
+			case syscall.SIGHUP:
+				refusing = !refusing
+				p.Refuse(refusing)
+				log.Printf("s3faultproxy: refuse=%v", refusing)
+			case syscall.SIGUSR1:
+				p.KillConns()
+				log.Printf("s3faultproxy: killed live connections")
+			default:
+				_ = p.Close()
+				return
+			}
+		}
+	}()
+
+	if err := p.Serve(); err != nil {
+		log.Printf("s3faultproxy: serve: %v", err)
+	}
+}

@@ -88,10 +88,13 @@ func main() {
 		workerURL  = flag.String("worker-urls", "", "comma-separated worker base URLs for -coordinator (e.g. http://h1:8081,http://h2:8082)")
 		roundBatch = flag.Int("round-batch", 0, "coordinator mode: max lockstep rounds per worker RPC (0 = default, 1 = one round per RPC, negative = classic per-round protocol)")
 		noSpec     = flag.Bool("no-speculation", false, "coordinator mode: disable speculative round pipelining")
+		noHedge    = flag.Bool("no-hedging", false, "coordinator mode: disable hedged round RPCs against replica workers")
 		addr       = flag.String("addr", ":8080", "listen address")
 		cacheSize  = flag.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
 		proxMB     = flag.Int("proxcache-mb", int(server.DefaultProxCacheBytes>>20), "seeker-proximity checkpoint cache budget in MiB (<= 0 disables)")
 		workers    = flag.Int("workers", 0, "max concurrently executing searches (0 = GOMAXPROCS)")
+		maxQueue   = flag.Int("max-queue", 0, "max searches waiting for a worker slot before arrivals are shed with 429 (0 = 8x workers, negative = unbounded)")
+		queueWait  = flag.Int("queue-wait-ms", 0, "max milliseconds a queued search waits for a worker slot before 429 (0 = 2000, negative = uncapped)")
 		slowMS     = flag.Int("slowlog-ms", 0, "log a JSON line to stderr for every search slower than this many milliseconds (0 disables)")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty disables)")
 	)
@@ -114,7 +117,7 @@ func main() {
 		return
 	}
 
-	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang, mode, *coord, *workerURL, *roundBatch, *noSpec)
+	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang, mode, *coord, *workerURL, *roundBatch, *noSpec, *noHedge)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,6 +153,8 @@ func main() {
 		CacheSize:      *cacheSize,
 		ProxCacheBytes: proxBytes,
 		Workers:        *workers,
+		MaxQueue:       *maxQueue,
+		MaxQueueWait:   time.Duration(*queueWait) * time.Millisecond,
 		LoadMS:         loadMS.Milliseconds(),
 		SlowLog:        obs.NewSlowLog(os.Stderr, time.Duration(*slowMS)*time.Millisecond),
 	})
@@ -226,7 +231,18 @@ func runWorker(setPath string, shard int, mode s3.LoadMode, addr string, proxByt
 			st.Shard, st.ShardCount, time.Since(start).Round(time.Millisecond),
 			st.Shards[0].Documents, st.Shards[0].Components, st.MappedBytes, st.Sliced)
 	}()
-	serveHTTP(addr, w.Handler(), w.SetDraining)
+	// On SIGTERM, flip readiness off so coordinators bench this replica,
+	// then finish the in-flight sessions before the HTTP shutdown starts:
+	// a mid-search kill would force every coordinator to fail over, a
+	// drained exit costs nothing.
+	serveHTTP(addr, w.Handler(), func() {
+		w.SetDraining()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := w.Drain(ctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+	})
 }
 
 // logShardLayout prints the per-shard layout when serving a shard set.
@@ -248,7 +264,7 @@ func logShardLayout(inst s3.Queryable) {
 // makeLoader builds the instance-loading closure used both for the
 // initial load and for POST /reload. Snapshot and shard-set loading need
 // no language: both embed the text-pipeline configuration.
-func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coord bool, workerURLs string, roundBatch int, noSpec bool) (func() (s3.Queryable, error), error) {
+func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coord bool, workerURLs string, roundBatch int, noSpec, noHedge bool) (func() (s3.Queryable, error), error) {
 	sources := 0
 	for _, p := range []string{snapPath, setPath, specPath} {
 		if p != "" {
@@ -277,6 +293,9 @@ func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coor
 		}
 		if noSpec {
 			copts = append(copts, s3.WithoutSpeculation())
+		}
+		if noHedge {
+			copts = append(copts, s3.WithoutHedging())
 		}
 		return func() (s3.Queryable, error) {
 			return s3.OpenCoordinator(setPath, urls, mode, copts...)

@@ -55,6 +55,14 @@ func WithoutSpeculation() CoordinatorOption {
 	return func(cfg *dshard.CoordinatorConfig) { cfg.NoSpeculation = true }
 }
 
+// WithoutHedging disables hedged round RPCs (racing a replica when the
+// primary's reply is slower than its observed P99). Hedges never change
+// answers — both replicas compute identical rounds — so this is a knob
+// for pricing the tail-latency win, not a correctness escape hatch.
+func WithoutHedging() CoordinatorOption {
+	return func(cfg *dshard.CoordinatorConfig) { cfg.NoHedging = true }
+}
+
 // OpenCoordinator opens the shard-set manifest and wires a coordinator
 // over the worker URLs. Membership is probed immediately and refreshed
 // in the background; workers that are still loading join as soon as
@@ -167,12 +175,23 @@ func (di *DistributedInstance) SearchInfoed(seekerURI string, keywords []string,
 		Params:  cfg.opts.Params,
 		Epsilon: eps,
 	}
-	sel, stats, err := di.coord.Search(spec, core.CoordOptions{
+	copts := core.CoordOptions{
 		MaxIterations: cfg.opts.MaxIterations,
 		Budget:        cfg.opts.Budget,
 		Trace:         cfg.opts.Trace,
 		Obs:           di.obsm.Load(),
-	})
+		Ctx:           cfg.ctx,
+	}
+	var (
+		sel   []core.CandMeta
+		stats core.Stats
+		deg   *dshard.Degradation
+	)
+	if cfg.partial {
+		sel, stats, deg, err = di.coord.SearchPartial(spec, copts)
+	} else {
+		sel, stats, err = di.coord.Search(spec, copts)
+	}
 	if err != nil {
 		return nil, SearchInfo{}, err
 	}
@@ -180,7 +199,12 @@ func (di *DistributedInstance) SearchInfoed(seekerURI string, keywords []string,
 	for _, c := range sel {
 		rs = append(rs, core.Result{Doc: c.Doc, URI: base.URIOf(c.Doc), Lower: c.Lower, Upper: c.Upper})
 	}
-	return mapResults(base, rs), mapSearchInfo(stats), nil
+	info := mapSearchInfo(stats)
+	if deg != nil {
+		info.Degraded = true
+		info.ServedShards = deg.Served
+	}
+	return mapResults(base, rs), info, nil
 }
 
 // SetProxCache is a no-op: proximity exploration (and its caching)

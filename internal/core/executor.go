@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -139,6 +140,11 @@ type ShardExecutor interface {
 
 // CoordOptions configure one coordinated search.
 type CoordOptions struct {
+	// Ctx, when non-nil, cancels the coordinated search: it is checked
+	// before every round, so a disconnected client stops burning shard
+	// rounds at the next lockstep boundary (the deferred Ends still run,
+	// releasing per-shard sessions).
+	Ctx context.Context
 	// MaxIterations and Budget are the any-time stop bounds (0 = none).
 	MaxIterations int
 	Budget        time.Duration
@@ -324,6 +330,11 @@ func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]C
 	v0, v1 := math.NaN(), math.NaN()
 	throttled, cautious := false, false
 	for {
+		if copts.Ctx != nil {
+			if err := copts.Ctx.Err(); err != nil {
+				return nil, stats, err
+			}
+		}
 		if done {
 			sel, err := finalize()
 			if err != nil {

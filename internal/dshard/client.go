@@ -15,6 +15,7 @@ package dshard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,12 +36,13 @@ const (
 	epFinalize
 	epEnd
 	epRounds
+	epReplay
 	epCount
 )
 
 var (
-	epPaths = [epCount]string{pathBegin, pathRound, pathFinalize, pathEnd, pathRounds}
-	epNames = [epCount]string{"begin", "round", "finalize", "end", "rounds"}
+	epPaths = [epCount]string{pathBegin, pathRound, pathFinalize, pathEnd, pathRounds, pathReplay}
+	epNames = [epCount]string{"begin", "round", "finalize", "end", "rounds", "replay"}
 )
 
 // errNoRoundsEndpoint marks a 404/405 from a worker whose mux has no
@@ -48,6 +50,11 @@ var (
 // the extension is just absent, so the client falls back to per-round
 // calls instead of benching it.
 var errNoRoundsEndpoint = errors.New("dshard: worker has no batched rounds endpoint")
+
+// errNoReplayEndpoint is the same capability signal for /shard/v1/replay
+// (a pre-proto-3 binary): fast-forward falls back to fetching the rounds
+// and discarding the results.
+var errNoReplayEndpoint = errors.New("dshard: worker has no replay endpoint")
 
 // defaultMaxRoundBatch is CoordinatorConfig.MaxRoundBatch's default; it
 // matches the coordinator loop's own adaptive cap (core's maxRoundBatch).
@@ -186,6 +193,16 @@ type RemoteExecutor struct {
 	span    *obs.Span
 	metrics *rpcMetrics
 
+	// ctx, when non-nil, scopes every RPC except End (cancelled searches
+	// must still release worker sessions); rpcTimeout, when positive,
+	// bounds each RPC individually. noReplay, when non-nil, is the
+	// per-worker "no /shard/v1/replay" latch; lat, when non-nil, receives
+	// round-fetch RTTs for the coordinator's hedge-delay estimate.
+	ctx        context.Context
+	rpcTimeout time.Duration
+	noReplay   *atomic.Bool
+	lat        *latRing
+
 	mu  sync.Mutex
 	err error
 }
@@ -220,6 +237,17 @@ func (x *RemoteExecutor) withBatching(noBatch *atomic.Bool, maxBatch int, budget
 	x.noBatch = noBatch
 	x.batchCap = maxBatch
 	x.budget = budget
+	return x
+}
+
+// withResilience scopes RPCs to ctx (End excepted), bounds each RPC to
+// rpcTimeout when positive, wires the worker's replay-capability latch,
+// and feeds round RTTs into lat for hedge-delay estimation.
+func (x *RemoteExecutor) withResilience(ctx context.Context, rpcTimeout time.Duration, noReplay *atomic.Bool, lat *latRing) *RemoteExecutor {
+	x.ctx = ctx
+	x.rpcTimeout = rpcTimeout
+	x.noReplay = noReplay
+	x.lat = lat
 	return x
 }
 
@@ -278,9 +306,33 @@ func (e *appError) Error() string { return e.msg }
 // post sends one binary frame to an endpoint and returns the response
 // frame, recording RTT and wire bytes into the coordinator's instruments.
 func (x *RemoteExecutor) post(ep int, frame []byte) ([]byte, error) {
+	ctx := x.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return x.postCtx(ctx, ep, frame)
+}
+
+// postCtx is post under an explicit context (End's teardown must outlive
+// a cancelled search context). Both directions carry a CRC-32C of the
+// frame body: a corrupted reply is a transport error here — never a
+// silently perturbed payload — so bit flips trigger failover instead of
+// breaking byte-identity.
+func (x *RemoteExecutor) postCtx(ctx context.Context, ep int, frame []byte) ([]byte, error) {
 	path := epPaths[ep]
+	if x.rpcTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, x.rpcTimeout)
+		defer cancel()
+	}
 	start := time.Now()
-	resp, err := x.client.Post(x.base+path, "application/octet-stream", bytes.NewReader(frame))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, x.base+path, bytes.NewReader(frame))
+	if err != nil {
+		return nil, fmt.Errorf("dshard: %s%s: %w", x.base, path, err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(frameCRCHeader, frameCRC(frame))
+	resp, err := x.client.Do(req)
 	if err != nil {
 		x.metrics.observe(ep, start, len(frame), 0)
 		return nil, fmt.Errorf("dshard: %s%s: %w", x.base, path, err)
@@ -298,11 +350,15 @@ func (x *RemoteExecutor) post(ep int, frame []byte) ([]byte, error) {
 		}
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
 			msg = fmt.Sprintf("dshard: %s%s: %s (HTTP %d)", x.base, path, e.Error, resp.StatusCode)
-		} else if ep == epRounds &&
-			(resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed) {
-			// A bare mux 404/405 (no JSON error body) on the batched
+		} else if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+			// A bare mux 404/405 (no JSON error body) on an extension
 			// endpoint is an old worker, not a failure: signal fallback.
-			return nil, fmt.Errorf("%w (%s)", errNoRoundsEndpoint, msg)
+			switch ep {
+			case epRounds:
+				return nil, fmt.Errorf("%w (%s)", errNoRoundsEndpoint, msg)
+			case epReplay:
+				return nil, fmt.Errorf("%w (%s)", errNoReplayEndpoint, msg)
+			}
 		}
 		if resp.StatusCode == http.StatusBadRequest {
 			// Deterministic rejection: retrying on another replica (or
@@ -310,6 +366,12 @@ func (x *RemoteExecutor) post(ep int, frame []byte) ([]byte, error) {
 			return nil, &appError{msg: msg}
 		}
 		return nil, fmt.Errorf("%s", msg)
+	}
+	if err := checkFrameCRC(body, resp.Header.Get(frameCRCHeader)); err != nil {
+		return nil, fmt.Errorf("dshard: %s%s: %w", x.base, path, err)
+	}
+	if x.lat != nil && (ep == epRound || ep == epRounds) {
+		x.lat.add(time.Since(start))
 	}
 	return body, nil
 }
@@ -446,6 +508,66 @@ func (x *RemoteExecutor) Round() (core.RoundInfo, error) {
 	return info, nil
 }
 
+// buffered reports how many fetched rounds sit unconsumed in the buffer
+// (failover must not replay rounds the coordinator never saw) and whether
+// a speculative fetch is outstanding.
+func (x *RemoteExecutor) buffered() (ahead int, speculating bool) {
+	return len(x.ahead), x.pre != nil
+}
+
+// replayable reports whether the worker advertises the proto-3 replay
+// fast-forward.
+func (x *RemoteExecutor) replayable() bool {
+	return x.noReplay == nil || !x.noReplay.Load()
+}
+
+// FastForward advances a freshly begun session through rounds 1..upto,
+// discarding the results: the failover path, replaying a consumed round
+// history onto a replacement replica. Against proto-3 workers it loops
+// the replay endpoint (one frame per maxWorkerBatch rounds); against
+// older workers it falls back to fetching the rounds batched (or
+// per-round) and dropping the infos. Either way the worker executes the
+// identical FP operations the failed replica did, so the session state
+// after the call is bit-identical to the original timeline's.
+func (x *RemoteExecutor) FastForward(upto uint32) error {
+	for x.round < upto {
+		if x.replayable() {
+			body, err := x.post(epReplay, encodeReplayRequest(replayRequest{
+				searchID: x.searchID, from: x.round + 1, upto: upto,
+			}))
+			if err == nil {
+				rep, derr := decodeReplayReply(body)
+				if derr != nil {
+					return x.setErr(derr)
+				}
+				if rep.round <= x.round || rep.round > upto {
+					return x.setErr(fmt.Errorf("dshard: %s: replay moved session to round %d (was %d, want %d)",
+						x.base, rep.round, x.round, upto))
+				}
+				x.round, x.fetched = rep.round, rep.round
+				continue
+			}
+			if !errors.Is(err, errNoReplayEndpoint) {
+				return x.setErr(err)
+			}
+			if x.noReplay != nil {
+				x.noReplay.Store(true)
+			}
+		}
+		res := x.fetch(x.round+1, int(upto-x.round))
+		if res.err != nil {
+			return x.setErr(res.err)
+		}
+		if len(res.infos) == 0 || x.round+uint32(len(res.infos)) > upto {
+			return x.setErr(fmt.Errorf("dshard: %s: replay fallback returned %d rounds past target %d",
+				x.base, len(res.infos), upto))
+		}
+		x.round += uint32(len(res.infos))
+		x.fetched = x.round
+	}
+	return nil
+}
+
 // Finalize implements core.ShardExecutor. Every finalize-reaching stop
 // (exhaustion, budget, precision) leaves the worker exactly at the
 // consumed round: batches are capped at MaxIterations, budgeted searches
@@ -489,6 +611,11 @@ func (x *RemoteExecutor) End() {
 			}
 		}
 		x.metrics.addSpecWasted(wasted)
-		_, _ = x.post(epEnd, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
+		// The session must be released even when the search's context was
+		// cancelled (client disconnect) or the executor failed over away
+		// from this worker: End always runs on its own bounded context.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, _ = x.postCtx(ctx, epEnd, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
 	}()
 }

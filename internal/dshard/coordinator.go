@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	mrand "math/rand/v2"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -50,31 +51,102 @@ type CoordinatorConfig struct {
 	// ProbeInterval paces the background membership refresh (default 5s).
 	ProbeInterval time.Duration
 	// SearchRetries is how many times a failed search is retried on other
-	// replicas. Each failed attempt benches at least one worker, so the
+	// replicas. Mid-search failover (re-begin + deterministic replay on a
+	// replica) handles most worker deaths without reaching this loop; the
+	// whole-search retry remains the backstop for failures failover cannot
+	// absorb. Each failed attempt benches at least one worker, so the
 	// default — one retry per configured worker — guarantees a search
 	// survives any number of dead replicas as long as every shard keeps a
 	// live one. Negative disables retries.
 	SearchRetries int
+	// RPCTimeout bounds each individual round-protocol RPC (0 picks 10s;
+	// negative disables the per-RPC bound, leaving only the client's own
+	// timeout). A timed-out RPC is a transport error: the worker is
+	// benched and the search fails over to a replica.
+	RPCTimeout time.Duration
+	// NoHedging disables hedged round RPCs; HedgeDelay, when positive,
+	// replaces the per-worker P99-derived hedge delay with a fixed one.
+	// A hedge needs a second healthy replica of the shard, so topologies
+	// without replication never hedge regardless.
+	NoHedging  bool
+	HedgeDelay time.Duration
 	// Registry, when non-nil, receives the coordinator's wire instruments
 	// (per-endpoint RPC round-trip time and bytes) and search counters.
 	Registry *obs.Registry
 }
 
+// Circuit breaker states, per worker. Closed admits searches; open
+// rejects them until its (exponentially backed-off, jittered) window
+// expires and a probe succeeds; half-open admits one trial search (or
+// closes after two consecutive healthy probes, so an idle fleet still
+// recovers without traffic).
+const (
+	brClosed = iota
+	brHalfOpen
+	brOpen
+)
+
+func breakerName(s int) string {
+	switch s {
+	case brHalfOpen:
+		return "half-open"
+	case brOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerThreshold is how many consecutive failures (search-RPC or probe)
+// open a closed worker's breaker; any failure of a half-open worker
+// re-opens it immediately.
+const breakerThreshold = 3
+
+// breakerMaxLevel caps the open window's exponential growth at
+// ProbeInterval << (breakerMaxLevel-1) — with the default 5s interval,
+// re-probes of a dead worker back off 5s → 10s → 20s → 40s and stay
+// there.
+const breakerMaxLevel = 4
+
+// halfOpenProbes is how many consecutive healthy probes close a
+// half-open breaker when no trial search arrives.
+const halfOpenProbes = 2
+
 // workerRef is one worker URL with its probed identity and health.
 type workerRef struct {
 	url string
 
-	// noBatch latches "this worker does not speak the batched rounds
-	// endpoint": seeded from the probed /healthz proto version, and
-	// re-latched by a live 404 (a worker rolled back mid-search). Atomic
-	// because executors and probes read/write it concurrently.
-	noBatch atomic.Bool
+	// noBatch / noReplay latch "this worker does not speak the batched
+	// rounds endpoint / the replay fast-forward": seeded from the probed
+	// /healthz proto version, and re-latched by a live 404 (a worker
+	// rolled back mid-search). Atomic because executors and probes
+	// read/write them concurrently.
+	noBatch  atomic.Bool
+	noReplay atomic.Bool
+
+	// lat feeds this worker's round-RPC RTTs into the hedge-delay
+	// estimate; probing guards against overlapping probes of one worker.
+	lat     latRing
+	probing atomic.Bool
 
 	mu      sync.Mutex
 	shard   int // -1 until probed
 	healthy bool
 	lastErr string
 	stats   *WorkerStats
+
+	// Circuit breaker state, under mu: consecutive failures, the state
+	// machine, the exponential open-window level, when the open window
+	// expires, whether the half-open trial token is out, how many
+	// consecutive healthy probes the half-open state has seen, and when
+	// the probe scheduler owes this worker its next probe.
+	brFails   int
+	brState   int
+	brLevel   int
+	openUntil time.Time
+	trial     bool
+	brProbes  int
+	nextProbe time.Time
 }
 
 // WorkerStatus is the coordinator's aggregated view of one worker, as
@@ -83,8 +155,16 @@ type WorkerStatus struct {
 	URL     string       `json:"url"`
 	Shard   int          `json:"shard"`
 	Healthy bool         `json:"healthy"`
+	Breaker string       `json:"breaker"`
 	Error   string       `json:"error,omitempty"`
 	Stats   *WorkerStats `json:"stats,omitempty"`
+}
+
+// Degradation describes a partial answer: the shards that had no healthy
+// replica and were left out, and the shards the answer actually covers.
+type Degradation struct {
+	Lost   []int `json:"lost"`
+	Served []int `json:"served"`
 }
 
 // Coordinator scatter/gathers lockstep rounds across worker replicas.
@@ -98,9 +178,12 @@ type Coordinator struct {
 	idBase uint64
 	idSeq  atomic.Uint64
 
-	searches atomic.Uint64
-	retries  atomic.Uint64
-	failures atomic.Uint64
+	searches    atomic.Uint64
+	retries     atomic.Uint64
+	failures    atomic.Uint64
+	failovers   atomic.Uint64
+	hedgeIssued atomic.Uint64
+	hedgeWon    atomic.Uint64
 
 	metrics *rpcMetrics
 }
@@ -128,12 +211,16 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	} else if cfg.SearchRetries < 0 {
 		cfg.SearchRetries = 0
 	}
+	if cfg.RPCTimeout == 0 {
+		cfg.RPCTimeout = 10 * time.Second
+	} else if cfg.RPCTimeout < 0 {
+		cfg.RPCTimeout = 0
+	}
 	c := &Coordinator{
 		cfg:    cfg,
 		client: cfg.Client,
 		rr:     make([]atomic.Uint32, cfg.ShardCount),
 	}
-	c.AttachRegistry(cfg.Registry)
 	var seed [8]byte
 	if _, err := rand.Read(seed[:]); err != nil {
 		return nil, fmt.Errorf("dshard: seeding search ids: %w", err)
@@ -142,6 +229,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	for _, u := range cfg.WorkerURLs {
 		c.workers = append(c.workers, &workerRef{url: u, shard: -1})
 	}
+	c.AttachRegistry(cfg.Registry)
 	return c, nil
 }
 
@@ -163,6 +251,24 @@ func (c *Coordinator) AttachRegistry(r *obs.Registry) {
 		func() float64 { return float64(c.retries.Load()) })
 	r.CounterFunc("s3_coord_failures_total", "Coordinated searches that failed after all retries.",
 		func() float64 { return float64(c.failures.Load()) })
+	r.CounterFunc("s3_coord_failover_total",
+		"Mid-search failovers: a session re-begun on a replica and fast-forwarded through the consumed rounds.",
+		func() float64 { return float64(c.failovers.Load()) })
+	r.CounterFunc("s3_coord_hedge_issued_total",
+		"Hedged round RPCs issued against a replica after the primary overstayed the hedge delay.",
+		func() float64 { return float64(c.hedgeIssued.Load()) })
+	r.CounterFunc("s3_coord_hedge_won_total",
+		"Hedged round RPCs that answered before the primary (the hedge session was adopted).",
+		func() float64 { return float64(c.hedgeWon.Load()) })
+	for _, w := range c.workers {
+		r.GaugeFunc("s3_coord_breaker_state",
+			"Per-worker circuit breaker state: 0 closed, 1 half-open, 2 open.",
+			func() float64 {
+				w.mu.Lock()
+				defer w.mu.Unlock()
+				return float64(w.brState)
+			}, obs.L("worker", w.url))
+	}
 }
 
 // probeWorker refreshes one worker's identity, health and stats.
@@ -190,8 +296,9 @@ func (c *Coordinator) probeWorker(ctx context.Context, w *workerRef) {
 		// The probe is also the capability handshake (and, over the shared
 		// keep-alive transport, the connection pre-warm): a worker that
 		// does not advertise proto>=2 never sees a batched call or a
-		// deadline field.
-		w.noBatch.Store(hb.Proto < protoVersion)
+		// deadline field, and one below proto 3 never sees a replay.
+		w.noBatch.Store(hb.Proto < protoBatch)
+		w.noReplay.Store(hb.Proto < protoReplay)
 	}
 	var st *WorkerStats
 	if healthy {
@@ -205,7 +312,49 @@ func (c *Coordinator) probeWorker(ctx context.Context, w *workerRef) {
 	if st != nil {
 		w.stats = st
 	}
+	// Probe outcomes drive the circuit breaker alongside search RPCs: an
+	// open worker's successful probe admits a trial (half-open), repeated
+	// healthy probes close it even without search traffic, and probe
+	// failures extend the open window's backoff.
+	if healthy {
+		switch w.brState {
+		case brOpen:
+			w.brState = brHalfOpen
+			w.brProbes = 1
+			w.trial = false
+		case brHalfOpen:
+			w.brProbes++
+			if w.brProbes >= halfOpenProbes && !w.trial {
+				w.brState = brClosed
+				w.brLevel, w.brFails = 0, 0
+			}
+		default:
+			w.brFails = 0
+		}
+	} else {
+		w.brFails++
+		if w.brState != brClosed || w.brFails >= breakerThreshold {
+			c.openBreakerLocked(w)
+		}
+	}
 	w.mu.Unlock()
+}
+
+// openBreakerLocked trips w's breaker (w.mu held): the open window grows
+// exponentially with each consecutive trip, capped, with full jitter so
+// coordinators that benched a worker together do not re-probe it
+// together.
+func (c *Coordinator) openBreakerLocked(w *workerRef) {
+	w.brState = brOpen
+	w.trial = false
+	w.brProbes = 0
+	if w.brLevel < breakerMaxLevel {
+		w.brLevel++
+	}
+	d := c.cfg.ProbeInterval << (w.brLevel - 1)
+	d = d/2 + time.Duration(mrand.Int64N(int64(d/2)+1))
+	w.openUntil = time.Now().Add(d)
+	w.nextProbe = w.openUntil
 }
 
 func (c *Coordinator) getJSON(ctx context.Context, url string, v any) (int, error) {
@@ -237,6 +386,7 @@ func (c *Coordinator) Probe(ctx context.Context) error {
 		go func(w *workerRef) {
 			defer wg.Done()
 			c.probeWorker(ctx, w)
+			c.scheduleProbe(w)
 		}(w)
 	}
 	wg.Wait()
@@ -256,122 +406,266 @@ func (c *Coordinator) Probe(ctx context.Context) error {
 	return nil
 }
 
-// Run probes on the configured interval until the context ends —
-// unhealthy workers rejoin automatically once their /healthz turns
-// serving again (the second half of a /reload + drain roll).
+// scheduleProbe sets when the Run loop owes w its next probe: the
+// breaker's open window for open workers (already exponentially backed
+// off and jittered), the probe interval ±25% jitter otherwise. The
+// jitter de-synchronizes re-probes both across workers and across
+// coordinators — without it, every coordinator that watched a worker die
+// re-probes it on the same tick (and re-floods it on the same tick when
+// it returns).
+func (c *Coordinator) scheduleProbe(w *workerRef) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.brState == brOpen {
+		w.nextProbe = w.openUntil
+		return
+	}
+	base := c.cfg.ProbeInterval
+	jitter := time.Duration(mrand.Int64N(int64(base)/2+1)) - base/4
+	w.nextProbe = time.Now().Add(base + jitter)
+}
+
+// Run probes workers until the context ends — unhealthy workers rejoin
+// automatically once their /healthz turns serving again (the second half
+// of a /reload + drain roll). The loop ticks well below the probe
+// interval and fires only the probes that are due, each on its own
+// jittered schedule (scheduleProbe); a per-worker guard keeps a slow
+// probe from stacking another behind it.
 func (c *Coordinator) Run(ctx context.Context) {
-	t := time.NewTicker(c.cfg.ProbeInterval)
+	tick := c.cfg.ProbeInterval / 8
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
-			_ = c.Probe(ctx)
+		case now := <-t.C:
+			for _, w := range c.workers {
+				w.mu.Lock()
+				due := !now.Before(w.nextProbe)
+				w.mu.Unlock()
+				if due && w.probing.CompareAndSwap(false, true) {
+					go func(w *workerRef) {
+						defer w.probing.Store(false)
+						c.probeWorker(ctx, w)
+						c.scheduleProbe(w)
+					}(w)
+				}
+			}
 		}
 	}
 }
 
-// pick selects one healthy replica per shard (rotating across replicas),
-// skipping excluded workers.
-func (c *Coordinator) pick(excluded map[*workerRef]bool) ([]*workerRef, error) {
-	byShard := make([][]*workerRef, c.cfg.ShardCount)
+// pickShard selects one admissible replica of a shard, skipping excluded
+// workers: closed-breaker replicas first (rotating), then a half-open one
+// whose trial token is free — the trial IS the probe request of the
+// half-open state, and its outcome (noteWorkerSuccess / Failure) decides
+// whether the breaker closes or re-opens.
+func (c *Coordinator) pickShard(shard int, excluded map[*workerRef]bool) (*workerRef, error) {
+	var closed, half []*workerRef
 	for _, w := range c.workers {
+		if excluded[w] {
+			continue
+		}
 		w.mu.Lock()
-		ok := w.healthy && w.shard >= 0 && w.shard < c.cfg.ShardCount && !excluded[w]
-		shard := w.shard
+		ok := w.healthy && w.shard == shard
+		state := w.brState
 		w.mu.Unlock()
-		if ok {
-			byShard[shard] = append(byShard[shard], w)
+		if !ok {
+			continue
+		}
+		switch state {
+		case brClosed:
+			closed = append(closed, w)
+		case brHalfOpen:
+			half = append(half, w)
 		}
 	}
-	out := make([]*workerRef, c.cfg.ShardCount)
-	for s, reps := range byShard {
-		if len(reps) == 0 {
-			return nil, fmt.Errorf("dshard: no healthy worker for shard %d", s)
-		}
-		out[s] = reps[int(c.rr[s].Add(1))%len(reps)]
+	if len(closed) > 0 {
+		return closed[int(c.rr[shard].Add(1))%len(closed)], nil
 	}
-	return out, nil
+	for _, w := range half {
+		w.mu.Lock()
+		take := w.healthy && w.brState == brHalfOpen && !w.trial
+		if take {
+			w.trial = true
+		}
+		w.mu.Unlock()
+		if take {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("dshard: no healthy worker for shard %d", shard)
 }
 
-// markUnhealthy benches a worker until the next successful probe.
-func (c *Coordinator) markUnhealthy(w *workerRef, err error) {
+// pickCover picks one replica per shard; shards with none admissible come
+// back in lost instead of failing the pick (partial mode serves the
+// rest).
+func (c *Coordinator) pickCover(excluded map[*workerRef]bool) (refs []*workerRef, lost []int) {
+	refs = make([]*workerRef, c.cfg.ShardCount)
+	for s := range refs {
+		if w, err := c.pickShard(s, excluded); err == nil {
+			refs[s] = w
+		} else {
+			lost = append(lost, s)
+		}
+	}
+	return refs, lost
+}
+
+// noteWorkerFailure benches a worker until the next successful probe and
+// feeds its circuit breaker: breakerThreshold consecutive failures — or
+// any failure of a half-open worker's trial — open it.
+func (c *Coordinator) noteWorkerFailure(w *workerRef, err error) {
 	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.healthy = false
 	w.lastErr = err.Error()
+	w.trial = false
+	w.brFails++
+	if w.brState != brClosed || w.brFails >= breakerThreshold {
+		c.openBreakerLocked(w)
+	}
+}
+
+// noteWorkerSuccess records a worker finishing a search cleanly: resets
+// the failure streak and closes a half-open breaker (the trial passed).
+func (c *Coordinator) noteWorkerSuccess(w *workerRef) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.brFails = 0
+	w.trial = false
+	if w.brState == brHalfOpen {
+		w.brState = brClosed
+		w.brLevel, w.brProbes = 0, 0
+	}
+}
+
+// noteWorkerReleased hands back a half-open trial token without a
+// verdict (the search failed elsewhere, or a hedge was cancelled).
+func (c *Coordinator) noteWorkerReleased(w *workerRef) {
+	w.mu.Lock()
+	w.trial = false
 	w.mu.Unlock()
 }
 
-// Search runs one coordinated search across the shard set. On a worker
-// failure the whole search restarts on other replicas (per-shard session
-// state cannot migrate mid-search), up to SearchRetries times; the
-// failing worker is benched until a probe sees it healthy again. Answers
-// are byte-identical to the in-process sharded engine over the same set.
+// Search runs one coordinated search across the shard set. A worker
+// failure mid-search fails over to a replica: the session is re-begun
+// there and fast-forwarded through the rounds already consumed (workers
+// execute identical FP ops over the shared substrate, so the recovered
+// search stays byte-identical to an undisturbed one). Only when failover
+// exhausts a shard's replicas does the whole search restart on other
+// workers, up to SearchRetries times; failing workers are benched (and
+// their breakers fed) until a probe sees them healthy again. Answers are
+// byte-identical to the in-process sharded engine over the same set.
 func (c *Coordinator) Search(spec core.SearchSpec, copts core.CoordOptions) ([]core.CandMeta, core.Stats, error) {
+	sel, stats, _, err := c.search(spec, copts, false)
+	return sel, stats, err
+}
+
+// SearchPartial is Search under graceful degradation: when a shard has no
+// admissible replica at all, the search proceeds over the surviving
+// shards and the non-nil Degradation names what was lost and what was
+// served. A fully covered search returns a nil Degradation (the answer
+// is exact); a search with no surviving shards still errors.
+func (c *Coordinator) SearchPartial(spec core.SearchSpec, copts core.CoordOptions) ([]core.CandMeta, core.Stats, *Degradation, error) {
+	return c.search(spec, copts, true)
+}
+
+func (c *Coordinator) search(spec core.SearchSpec, copts core.CoordOptions, partial bool) ([]core.CandMeta, core.Stats, *Degradation, error) {
 	copts.ForceParallel = true
+	copts.NoSpeculation = copts.NoSpeculation || c.cfg.NoSpeculation
+	ctx := copts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	excluded := make(map[*workerRef]bool)
 	var lastErr error
 	var lastStats core.Stats
 	for attempt := 0; attempt <= c.cfg.SearchRetries; attempt++ {
-		refs, err := c.pick(excluded)
-		if err != nil {
+		refs, lost := c.pickCover(excluded)
+		if len(lost) > 0 && (!partial || len(lost) == c.cfg.ShardCount) {
+			err := fmt.Errorf("dshard: no healthy worker for shard %d", lost[0])
 			if lastErr != nil {
 				err = fmt.Errorf("%w (after: %v)", err, lastErr)
 			}
+			for _, ref := range refs {
+				if ref != nil {
+					c.noteWorkerReleased(ref) // hand back any trial tokens
+				}
+			}
 			c.failures.Add(1)
-			return nil, lastStats, err
+			return nil, lastStats, nil, err
 		}
-		id := c.nextSearchID()
-		remotes := make([]*RemoteExecutor, len(refs))
-		execs := make([]core.ShardExecutor, len(refs))
-		copts.NoSpeculation = copts.NoSpeculation || c.cfg.NoSpeculation
-		maxBatch := c.cfg.MaxRoundBatch
-		for i, ref := range refs {
-			remotes[i] = newRemoteExecutor(c.client, ref.url, id).
-				withTracing(copts.Trace.TraceID()).
-				withMetrics(c.metrics).
-				withBatching(&ref.noBatch, maxBatch, copts.Budget)
-			execs[i] = remotes[i]
+		var served []int
+		fxs := make([]*failoverExecutor, 0, len(refs))
+		execs := make([]core.ShardExecutor, 0, len(refs))
+		for s, ref := range refs {
+			if ref == nil {
+				continue
+			}
+			served = append(served, s)
+			fx := c.newFailoverExecutor(ctx, s, ref, copts, excluded)
+			fxs = append(fxs, fx)
+			execs = append(execs, fx)
 		}
 		sel, stats, err := core.Coordinate(execs, spec, copts)
+		transport := false
+		for _, fx := range fxs {
+			fx.settle(err)
+			for w, werr := range fx.failed {
+				transport = true
+				excluded[w] = true
+				_ = werr
+			}
+		}
 		if err == nil {
 			c.searches.Add(1)
-			return sel, stats, nil
+			var deg *Degradation
+			if len(lost) > 0 {
+				deg = &Degradation{Lost: lost, Served: served}
+			}
+			return sel, stats, deg, nil
 		}
 		lastErr, lastStats = err, stats
-		transport := false
-		for i, re := range remotes {
-			if rerr := re.Err(); rerr != nil {
-				transport = true
-				excluded[refs[i]] = true
-				c.markUnhealthy(refs[i], rerr)
-			}
+		if ctx.Err() != nil {
+			// The caller is gone; retrying for nobody burns worker rounds.
+			c.failures.Add(1)
+			return nil, stats, nil, err
 		}
 		if !transport {
 			// A logic error (diverged executors, bad spec) will not go
 			// away on other replicas.
 			c.failures.Add(1)
-			return nil, stats, err
+			return nil, stats, nil, err
 		}
 		c.retries.Add(1)
 	}
 	c.failures.Add(1)
-	return nil, lastStats, lastErr
+	return nil, lastStats, nil, lastErr
 }
 
 // CoordinatorStats is the aggregated serving view the coordinator's
 // /stats exposes: its own counters plus the per-worker statuses (with
 // each worker's cumulative per-shard search/round counts as probed).
 type CoordinatorStats struct {
-	Role       string           `json:"role"`
-	ShardCount int              `json:"shard_count"`
-	SetID      string           `json:"set_id"`
-	Searches   uint64           `json:"searches"`
-	Retries    uint64           `json:"retries"`
-	Failures   uint64           `json:"failures"`
-	Workers    []WorkerStatus   `json:"workers"`
-	Shards     []WorkerShardRow `json:"shards"`
+	Role        string           `json:"role"`
+	ShardCount  int              `json:"shard_count"`
+	SetID       string           `json:"set_id"`
+	Searches    uint64           `json:"searches"`
+	Retries     uint64           `json:"retries"`
+	Failures    uint64           `json:"failures"`
+	Failovers   uint64           `json:"failovers"`
+	HedgeIssued uint64           `json:"hedge_issued"`
+	HedgeWon    uint64           `json:"hedge_won"`
+	Workers     []WorkerStatus   `json:"workers"`
+	Shards      []WorkerShardRow `json:"shards"`
 }
 
 // Stats snapshots the coordinator's view: per-worker statuses from the
@@ -379,12 +673,15 @@ type CoordinatorStats struct {
 // content counts from any replica of the shard).
 func (c *Coordinator) Stats() CoordinatorStats {
 	out := CoordinatorStats{
-		Role:       "coordinator",
-		ShardCount: c.cfg.ShardCount,
-		SetID:      fmt.Sprintf("%016x", c.cfg.SetID),
-		Searches:   c.searches.Load(),
-		Retries:    c.retries.Load(),
-		Failures:   c.failures.Load(),
+		Role:        "coordinator",
+		ShardCount:  c.cfg.ShardCount,
+		SetID:       fmt.Sprintf("%016x", c.cfg.SetID),
+		Searches:    c.searches.Load(),
+		Retries:     c.retries.Load(),
+		Failures:    c.failures.Load(),
+		Failovers:   c.failovers.Load(),
+		HedgeIssued: c.hedgeIssued.Load(),
+		HedgeWon:    c.hedgeWon.Load(),
 	}
 	rows := make([]WorkerShardRow, c.cfg.ShardCount)
 	for s := range rows {
@@ -392,7 +689,8 @@ func (c *Coordinator) Stats() CoordinatorStats {
 	}
 	for _, w := range c.workers {
 		w.mu.Lock()
-		ws := WorkerStatus{URL: w.url, Shard: w.shard, Healthy: w.healthy, Error: w.lastErr, Stats: w.stats}
+		ws := WorkerStatus{URL: w.url, Shard: w.shard, Healthy: w.healthy,
+			Breaker: breakerName(w.brState), Error: w.lastErr, Stats: w.stats}
 		w.mu.Unlock()
 		out.Workers = append(out.Workers, ws)
 		if ws.Stats != nil && ws.Shard >= 0 && ws.Shard < len(rows) {

@@ -289,8 +289,11 @@ func TestCoordinatorRetryAndMembership(t *testing.T) {
 			}
 		}
 	}
-	if coord.retries.Load() == 0 {
-		t.Error("no retries recorded after killing a replica set")
+	// Recovery may happen as an in-executor failover (mid-search) or as a
+	// whole-search retry (failure before the first round); either way the
+	// coordinator must have recorded the recovery work.
+	if coord.retries.Load() == 0 && coord.failovers.Load() == 0 {
+		t.Error("no retries or failovers recorded after killing a replica set")
 	}
 	st := coord.Stats()
 	healthy := 0

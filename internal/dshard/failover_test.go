@@ -1,0 +1,615 @@
+// Tests for the proto-3 resilience extensions: the replay fast-forward
+// codec and its proto-2 fallback, frame CRC integrity, the per-worker
+// circuit breaker, the jittered probe schedule, worker drain across a
+// restart, and membership refresh racing live searches.
+package dshard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s3/internal/core"
+	"s3/internal/score"
+	"s3/internal/snap"
+)
+
+// TestReplayWireRoundTrip mirrors TestBatchedWireRoundTrip for the
+// proto-3 replay frames: exact round trips plus rejection of truncated,
+// padded, inverted and oversized ranges.
+func TestReplayWireRoundTrip(t *testing.T) {
+	rr := replayRequest{searchID: 42, from: 3, upto: 40}
+	gotRR, err := decodeReplayRequest(encodeReplayRequest(rr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRR != rr {
+		t.Fatalf("replay request round trip: %+v != %+v", gotRR, rr)
+	}
+	if _, err := decodeReplayRequest(encodeReplayRequest(replayRequest{searchID: 1, from: 5, upto: 4})); err == nil {
+		t.Error("inverted replay range accepted")
+	}
+	if _, err := decodeReplayRequest(encodeReplayRequest(replayRequest{searchID: 1, from: 1, upto: 1 + maxBatchRounds})); err == nil {
+		t.Error("oversized replay range accepted")
+	}
+	reqFrame := encodeReplayRequest(rr)
+	for cut := 0; cut < len(reqFrame); cut++ {
+		if _, err := decodeReplayRequest(reqFrame[:cut]); err == nil {
+			t.Fatalf("truncated replay request (%d bytes) accepted", cut)
+		}
+	}
+	if _, err := decodeReplayRequest(append(bytes.Clone(reqFrame), 0)); err == nil {
+		t.Error("trailing garbage on replay request accepted")
+	}
+
+	rep := replayReply{round: 17}
+	gotRep, err := decodeReplayReply(encodeReplayReply(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep != rep {
+		t.Fatalf("replay reply round trip: %+v != %+v", gotRep, rep)
+	}
+	repFrame := encodeReplayReply(rep)
+	for cut := 0; cut < len(repFrame); cut++ {
+		if _, err := decodeReplayReply(repFrame[:cut]); err == nil {
+			t.Fatalf("truncated replay reply (%d bytes) accepted", cut)
+		}
+	}
+	if _, err := decodeReplayReply(append(bytes.Clone(repFrame), 0)); err == nil {
+		t.Error("trailing garbage on replay reply accepted")
+	}
+}
+
+// TestFrameCRC covers the integrity layer: the codec-level check and the
+// worker's 422 (not 400 — a CRC mismatch is transit corruption the
+// coordinator must retry, never a deterministic rejection).
+func TestFrameCRC(t *testing.T) {
+	body := []byte("round protocol frame")
+	if err := checkFrameCRC(body, frameCRC(body)); err != nil {
+		t.Fatalf("matching CRC rejected: %v", err)
+	}
+	// An absent header is tolerated (a peer that does not compute CRCs).
+	if err := checkFrameCRC(body, ""); err != nil {
+		t.Fatalf("absent CRC header rejected: %v", err)
+	}
+	flipped := bytes.Clone(body)
+	flipped[3] ^= 0x10
+	if err := checkFrameCRC(flipped, frameCRC(body)); err == nil {
+		t.Fatal("corrupted body passed the CRC check")
+	}
+
+	_, _, _, servers := smallTopology(t)
+	post := func(crc string) int {
+		req, err := http.NewRequest(http.MethodPost, servers[0].URL+pathBegin, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if crc != "" {
+			req.Header.Set(frameCRCHeader, crc)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(frameCRC([]byte("something else"))); code != http.StatusUnprocessableEntity {
+		t.Fatalf("worker answered %d to a corrupt frame, want 422", code)
+	}
+	// With a matching CRC the same garbage is a malformed frame: a
+	// deterministic 400, which the coordinator must NOT fail over on.
+	if code := post(frameCRC(body)); code != http.StatusBadRequest {
+		t.Fatalf("worker answered %d to a malformed frame, want 400", code)
+	}
+}
+
+// deepQuery finds a query that runs at least minRounds lockstep rounds
+// against srv's shard without finishing, so replay tests have history to
+// fast-forward through.
+func deepQuery(t *testing.T, set *snap.ShardSetSnapshot, srv *httptest.Server, minRounds int) core.SearchSpec {
+	t.Helper()
+	in := set.Set.Base
+	seekers, kwSets := queries(in)
+	id := uint64(990000)
+	for _, seeker := range seekers {
+		for _, kws := range kwSets {
+			groups, possible, err := core.ResolveKeywordGroups(in, kws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !possible {
+				continue
+			}
+			spec := core.SearchSpec{Seeker: seeker, Groups: groups, K: 5,
+				Params: score.Params{Gamma: 1.5, Eta: 0.8}, Epsilon: 1e-12}
+			id++
+			re := newRemoteExecutor(http.DefaultClient, srv.URL, id)
+			if _, err := re.Begin(spec); err != nil {
+				t.Fatal(err)
+			}
+			deep := true
+			for i := 0; i < minRounds; i++ {
+				info, err := re.Round()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.Done {
+					deep = false
+					break
+				}
+			}
+			re.End()
+			if deep {
+				return spec
+			}
+		}
+	}
+	t.Fatal("no query runs deep enough for a replay test")
+	return core.SearchSpec{}
+}
+
+// replayIdentity is the replay acceptance property: a session begun
+// fresh and fast-forwarded through k consumed rounds continues — round
+// for round, bit for bit — exactly like the session that executed those
+// rounds live. hideReplay routes the replica through a proxy without
+// /shard/v1/replay, exercising the proto-2 fallback.
+func replayIdentity(t *testing.T, hideReplay bool) {
+	t.Helper()
+	_, set, _, servers := smallTopology(t)
+	srv := servers[0]
+	spec := deepQuery(t, set, srv, 4)
+
+	primary := newRemoteExecutor(http.DefaultClient, srv.URL, 8801)
+	bi1, err := primary.Begin(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const consumed = 3
+	for i := 0; i < consumed; i++ {
+		if _, err := primary.Round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replicaURL := srv.URL
+	if hideReplay {
+		proxy := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+			if req.URL.Path == pathReplay {
+				http.NotFound(rw, req)
+				return
+			}
+			srv.Config.Handler.ServeHTTP(rw, req)
+		}))
+		t.Cleanup(proxy.Close)
+		replicaURL = proxy.URL
+	}
+	var noReplay atomic.Bool
+	replica := newRemoteExecutor(http.DefaultClient, replicaURL, 8802).
+		withResilience(context.Background(), 5*time.Second, &noReplay, nil)
+	bi2, err := replica.Begin(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi2.Matched != bi1.Matched {
+		t.Fatalf("replica diverges on begin: matched %d vs %d", bi2.Matched, bi1.Matched)
+	}
+	if err := replica.FastForward(consumed); err != nil {
+		t.Fatal(err)
+	}
+	if noReplay.Load() != hideReplay {
+		t.Fatalf("noReplay latch = %v after fast-forward, want %v", noReplay.Load(), hideReplay)
+	}
+
+	// The stop decision belongs to the coordinator, so Done may never
+	// fire when driving executors directly: compare a fixed window of
+	// post-recovery rounds, then the finalize state at that point.
+	for i := 0; i < 6; i++ {
+		a, err := primary.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := replica.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeRoundInfo(a), encodeRoundInfo(b)) {
+			t.Fatalf("round %d diverged after fast-forward:\nlive:   %+v\nreplay: %+v", consumed+i+1, a, b)
+		}
+		if a.Done {
+			break
+		}
+	}
+	fa, err := primary.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := replica.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeRoundInfo(fa), encodeRoundInfo(fb)) {
+		t.Fatalf("finalize diverged after fast-forward:\nlive:   %+v\nreplay: %+v", fa, fb)
+	}
+	primary.End()
+	replica.End()
+}
+
+// TestReplayFastForward: fast-forward over /shard/v1/replay.
+func TestReplayFastForward(t *testing.T) { replayIdentity(t, false) }
+
+// TestReplayFallback: the same property against a worker without the
+// replay endpoint — the executor falls back to fetching the rounds and
+// discarding the results, and latches the capability off.
+func TestReplayFallback(t *testing.T) { replayIdentity(t, true) }
+
+// stubHealthz serves a minimal worker /healthz (+ empty /stats) whose
+// health is toggled by the test: the breaker tests drive probe outcomes
+// without paying for a real worker.
+func stubHealthz(t *testing.T, setID uint64, healthy *atomic.Bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		if !healthy.Load() {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(rw).Encode(map[string]any{"status": "draining"})
+			return
+		}
+		json.NewEncoder(rw).Encode(map[string]any{
+			"status": "serving", "shard": 0, "shard_count": 1,
+			"set_id": fmt.Sprintf("%016x", setID), "proto": protoVersion,
+		})
+	})
+	mux.HandleFunc("/stats", func(rw http.ResponseWriter, req *http.Request) {
+		rw.Write([]byte("{}"))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestBreakerStateMachine drives the per-worker circuit breaker through
+// its full cycle: failures open it, a healthy probe half-opens it, the
+// half-open state admits exactly one trial, a passed trial (or two
+// consecutive healthy probes, for an idle fleet) closes it, and a failed
+// trial re-opens it.
+func TestBreakerStateMachine(t *testing.T) {
+	const setID = 0x5e71d
+	var healthy atomic.Bool
+	healthy.Store(true)
+	srv := stubHealthz(t, setID, &healthy)
+
+	c, err := NewCoordinator(CoordinatorConfig{
+		WorkerURLs: []string{srv.URL}, ShardCount: 1, SetID: setID,
+		ProbeInterval: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w := c.workers[0]
+	state := func() int {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.brState
+	}
+
+	c.probeWorker(ctx, w)
+	if state() != brClosed {
+		t.Fatalf("breaker %s after a healthy probe, want closed", breakerName(state()))
+	}
+
+	// Below the threshold the breaker stays closed (the worker is benched
+	// by healthy=false, but not held open).
+	boom := fmt.Errorf("boom")
+	c.noteWorkerFailure(w, boom)
+	c.noteWorkerFailure(w, boom)
+	if state() != brClosed {
+		t.Fatalf("breaker %s after %d failures, want closed", breakerName(state()), breakerThreshold-1)
+	}
+	c.noteWorkerFailure(w, boom)
+	if state() != brOpen {
+		t.Fatalf("breaker %s after %d failures, want open", breakerName(state()), breakerThreshold)
+	}
+	w.mu.Lock()
+	window := time.Until(w.openUntil)
+	level := w.brLevel
+	w.mu.Unlock()
+	if level != 1 {
+		t.Fatalf("first trip at level %d, want 1", level)
+	}
+	// Full jitter over [interval/2, interval].
+	if window < 400*time.Millisecond || window > 1100*time.Millisecond {
+		t.Fatalf("level-1 open window %v outside [0.5s, 1s]", window)
+	}
+	if _, err := c.pickShard(0, nil); err == nil {
+		t.Fatal("open worker admitted a search")
+	}
+
+	// A healthy probe half-opens; the half-open state hands out exactly
+	// one trial token.
+	c.probeWorker(ctx, w)
+	if state() != brHalfOpen {
+		t.Fatalf("breaker %s after a healthy probe of an open worker, want half-open", breakerName(state()))
+	}
+	if _, err := c.pickShard(0, nil); err != nil {
+		t.Fatalf("half-open worker refused its trial: %v", err)
+	}
+	if _, err := c.pickShard(0, nil); err == nil {
+		t.Fatal("half-open worker admitted a second concurrent search")
+	}
+	c.noteWorkerSuccess(w)
+	if state() != brClosed {
+		t.Fatalf("breaker %s after a passed trial, want closed", breakerName(state()))
+	}
+
+	// A failed trial re-opens immediately (no threshold for half-open).
+	for i := 0; i < breakerThreshold; i++ {
+		c.noteWorkerFailure(w, boom)
+	}
+	c.probeWorker(ctx, w)
+	if _, err := c.pickShard(0, nil); err != nil {
+		t.Fatalf("half-open worker refused its trial: %v", err)
+	}
+	c.noteWorkerFailure(w, boom)
+	if state() != brOpen {
+		t.Fatalf("breaker %s after a failed trial, want open", breakerName(state()))
+	}
+
+	// Idle recovery: two consecutive healthy probes close a half-open
+	// breaker with no search traffic at all.
+	c.probeWorker(ctx, w)
+	if state() != brHalfOpen {
+		t.Fatalf("breaker %s, want half-open", breakerName(state()))
+	}
+	c.probeWorker(ctx, w)
+	if state() != brClosed {
+		t.Fatalf("breaker %s after %d healthy probes, want closed", breakerName(state()), halfOpenProbes)
+	}
+}
+
+// TestBreakerBackoff: consecutive trips grow the open window
+// exponentially — with full jitter, capped at breakerMaxLevel.
+func TestBreakerBackoff(t *testing.T) {
+	const interval = time.Second
+	c, err := NewCoordinator(CoordinatorConfig{
+		WorkerURLs: []string{"http://w0"}, ShardCount: 1, SetID: 1,
+		ProbeInterval: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.workers[0]
+	for trip := 1; trip <= breakerMaxLevel+2; trip++ {
+		w.mu.Lock()
+		c.openBreakerLocked(w)
+		level, window := w.brLevel, time.Until(w.openUntil)
+		next := w.nextProbe
+		until := w.openUntil
+		w.mu.Unlock()
+		wantLevel := trip
+		if wantLevel > breakerMaxLevel {
+			wantLevel = breakerMaxLevel
+		}
+		if level != wantLevel {
+			t.Fatalf("trip %d: level %d, want %d", trip, level, wantLevel)
+		}
+		d := interval << (wantLevel - 1)
+		if window < d/2-100*time.Millisecond || window > d+100*time.Millisecond {
+			t.Fatalf("trip %d: open window %v outside [%v, %v]", trip, window, d/2, d)
+		}
+		if !next.Equal(until) {
+			t.Fatalf("trip %d: next probe %v != open window end %v", trip, next, until)
+		}
+	}
+}
+
+// TestProbeJitter is the thundering-herd regression: per-worker probe
+// times must spread over the ±25% jitter window instead of landing every
+// worker on the same tick, and an open worker's next probe must be its
+// (already backed-off, jittered) window end.
+func TestProbeJitter(t *testing.T) {
+	const interval = time.Second
+	c, err := NewCoordinator(CoordinatorConfig{
+		WorkerURLs: []string{"http://w0"}, ShardCount: 1, SetID: 1,
+		ProbeInterval: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.workers[0]
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		c.scheduleProbe(w)
+		w.mu.Lock()
+		d := time.Until(w.nextProbe)
+		w.mu.Unlock()
+		if d < interval*3/4-50*time.Millisecond || d > interval*5/4+50*time.Millisecond {
+			t.Fatalf("probe scheduled %v out, outside %v±25%%", d, interval)
+		}
+		seen[d.Round(time.Millisecond)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("probe schedule collapsed onto %d distinct offsets over 64 draws — jitter missing", len(seen))
+	}
+
+	w.mu.Lock()
+	w.brState = brOpen
+	w.openUntil = time.Now().Add(42 * time.Second)
+	w.mu.Unlock()
+	c.scheduleProbe(w)
+	w.mu.Lock()
+	next, until := w.nextProbe, w.openUntil
+	w.brState = brClosed
+	w.mu.Unlock()
+	if !next.Equal(until) {
+		t.Fatalf("open worker's next probe %v, want its window end %v", next, until)
+	}
+}
+
+// TestWorkerDrainAndRestart is the graceful-shutdown satellite: a
+// draining worker refuses new sessions but finishes the one in flight
+// (Drain blocks until End), the fleet keeps answering byte-identically
+// through its replica meanwhile, and a restarted worker on the same
+// address rejoins membership.
+func TestWorkerDrainAndRestart(t *testing.T) {
+	manifestPath, set, workers, servers := smallTopology(t)
+	urlsB, stopB := startWorkers(t, manifestPath, 2, snap.LoadMmap)
+	defer stopB()
+	urls := []string{servers[0].URL, servers[1].URL}
+	urls = append(urls, urlsB...)
+	coord := newCoordinator(t, set.Set.Layout, urls)
+
+	spec := deepQuery(t, set, servers[0], 2)
+	wantSel, wantStats, err := coord.Search(spec, core.CoordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metaTranscript(wantSel, wantStats)
+
+	// Open a session, then start draining: the session must pin Drain.
+	inflight := newRemoteExecutor(http.DefaultClient, servers[0].URL, 7701)
+	if _, err := inflight.Begin(spec); err != nil {
+		t.Fatal(err)
+	}
+	workers[0].SetDraining()
+	short, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	err = workers[0].Drain(short)
+	cancel()
+	if err == nil {
+		t.Fatal("Drain returned with a session still open")
+	}
+	// New sessions are refused while the in-flight one still gets rounds.
+	refused := newRemoteExecutor(http.DefaultClient, servers[0].URL, 7702)
+	if _, err := refused.Begin(spec); err == nil {
+		t.Fatal("draining worker accepted a new search")
+	}
+	if _, err := inflight.Round(); err != nil {
+		t.Fatalf("draining worker refused an in-flight round: %v", err)
+	}
+	// The fleet keeps answering through the replica.
+	for i := 0; i < 3; i++ {
+		sel, stats, err := coord.Search(spec, core.CoordOptions{})
+		if err != nil {
+			t.Fatalf("search %d while draining: %v", i, err)
+		}
+		if got := metaTranscript(sel, stats); got != want {
+			t.Fatalf("answer diverged while worker drained\nwant:\n%s\ngot:\n%s", want, got)
+		}
+	}
+	inflight.End()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := workers[0].Drain(drainCtx); err != nil {
+		t.Fatalf("drain after End: %v", err)
+	}
+
+	// Restart on the same address: the freed port is rebound, a fresh
+	// worker loads, and the coordinator's probe readmits it.
+	addr := servers[0].Listener.Addr().String()
+	servers[0].Close()
+	var ln net.Listener
+	waitUntil(t, 5*time.Second, func() bool {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			return false
+		}
+		ln = l
+		return true
+	})
+	w2 := NewWorker(WorkerConfig{ManifestPath: manifestPath, Shard: 0, Mode: snap.LoadMmap})
+	if err := w2.Load(); err != nil {
+		t.Fatal(err)
+	}
+	restarted := &httptest.Server{Listener: ln, Config: &http.Server{Handler: w2.Handler()}}
+	restarted.Start()
+	t.Cleanup(restarted.Close)
+
+	if err := coord.Probe(context.Background()); err != nil {
+		t.Fatalf("probe after restart: %v", err)
+	}
+	back := false
+	for _, ws := range coord.Stats().Workers {
+		if ws.URL == "http://"+addr && ws.Healthy {
+			back = true
+		}
+	}
+	if !back {
+		t.Fatal("restarted worker did not rejoin membership")
+	}
+	sel, stats, err := coord.Search(spec, core.CoordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metaTranscript(sel, stats); got != want {
+		t.Fatalf("answer diverged after restart\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestMembershipRefreshDuringSearches races the background probe loop
+// against concurrent searches (run under -race in CI): membership
+// refresh must never perturb an answer or trip the race detector.
+func TestMembershipRefreshDuringSearches(t *testing.T) {
+	_, set, _, servers := smallTopology(t)
+	urls := make([]string, len(servers))
+	for i, srv := range servers {
+		urls[i] = srv.URL
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		WorkerURLs: urls, ShardCount: len(set.Set.Layout.Shards), SetID: set.Set.Layout.SetID,
+		Client:        &http.Client{Timeout: 10 * time.Second},
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Probe(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go coord.Run(ctx)
+
+	spec := deepQuery(t, set, servers[0], 2)
+	wantSel, wantStats, err := coord.Search(spec, core.CoordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metaTranscript(wantSel, wantStats)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				sel, stats, err := coord.Search(spec, core.CoordOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := metaTranscript(sel, stats); got != want {
+					errs <- fmt.Errorf("answer diverged under concurrent membership refresh")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

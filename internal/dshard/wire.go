@@ -17,6 +17,7 @@
 //	/shard/v1/begin     install a search              → BeginInfo
 //	/shard/v1/round     advance one lockstep round    → RoundInfo
 //	/shard/v1/rounds    advance up to B rounds        → one RoundInfo per executed round
+//	/shard/v1/replay    fast-forward without results  → reached round ordinal
 //	/shard/v1/finalize  re-bound without stepping     → RoundInfo
 //	/shard/v1/end       release the search's state
 //
@@ -29,12 +30,28 @@
 // byte-identical, one RTT amortizes over the batch. Workers advertise it
 // with "proto" in /healthz; coordinators fall back to per-round calls
 // against workers that do not.
+//
+// /shard/v1/replay is the protocol-3 failover extension: a replacement
+// replica fast-forwards a freshly begun session through rounds the
+// coordinator already consumed elsewhere, discarding the per-round infos
+// (workers execute identical FP ops over the shared substrate, so the
+// replayed state is bit-identical to the failed replica's). Coordinators
+// fall back to batched/per-round fetches with discarded results against
+// workers that do not speak it.
+//
+// Every request and response frame additionally carries a CRC-32C of its
+// body in the X-S3-Frame-Crc header; receivers that find the header
+// verify it before decoding, so a fault that flips bits in transit is a
+// detected transport error (and a failover trigger), never a silently
+// perturbed float.
 package dshard
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
+	"strconv"
 	"time"
 
 	"s3/internal/core"
@@ -63,14 +80,44 @@ const (
 	pathBegin    = "/shard/v1/begin"
 	pathRound    = "/shard/v1/round"
 	pathRounds   = "/shard/v1/rounds"
+	pathReplay   = "/shard/v1/replay"
 	pathFinalize = "/shard/v1/finalize"
 	pathEnd      = "/shard/v1/end"
 )
 
-// protoVersion is advertised by workers in /healthz ("proto"): 2 adds the
-// batched /shard/v1/rounds endpoint and the optional deadline field of
-// the begin frame. Absent (old workers decode to 0) means per-round only.
-const protoVersion = 2
+// Protocol capability levels, advertised by workers in /healthz ("proto").
+// Absent (old workers decode to 0) means per-round only. protoBatch added
+// the batched /shard/v1/rounds endpoint and the optional deadline field of
+// the begin frame; protoReplay added the /shard/v1/replay fast-forward
+// used by mid-search failover. protoVersion is what this build speaks.
+const (
+	protoBatch   = 2
+	protoReplay  = 3
+	protoVersion = protoReplay
+)
+
+// frameCRCHeader carries the CRC-32C (Castagnoli) of the frame body, as
+// lowercase hex. Optional on both directions: a missing header means the
+// peer predates frame integrity and the body is accepted unchecked.
+const frameCRCHeader = "X-S3-Frame-Crc"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func frameCRC(b []byte) string {
+	return strconv.FormatUint(uint64(crc32.Checksum(b, crcTable)), 16)
+}
+
+// checkFrameCRC verifies a frame body against the peer's CRC header;
+// empty header (older peer) passes.
+func checkFrameCRC(b []byte, header string) error {
+	if header == "" {
+		return nil
+	}
+	if got := frameCRC(b); got != header {
+		return fmt.Errorf("dshard: frame CRC mismatch (got %s, header %s)", got, header)
+	}
+	return nil
+}
 
 // enc is a little-endian frame builder.
 type enc struct{ b []byte }
@@ -539,6 +586,57 @@ func decodeRoundsReply(b []byte, base time.Time) ([]core.RoundInfo, *obs.Span, e
 		return nil, nil, err
 	}
 	return infos, sp, nil
+}
+
+// --- replay fast-forward (proto 3) ---
+
+// replayRequest asks a worker to advance its session from round `from`
+// (which must be the next round in lockstep, exactly like roundsRequest)
+// up to and including round `upto`, discarding the per-round infos: the
+// coordinator already consumed those rounds on the replica that failed,
+// and workers execute identical FP ops over the shared substrate, so the
+// fast-forwarded state is bit-identical. The worker executes at most
+// maxWorkerBatch rounds per call and reports how far it got; the
+// coordinator loops until the session catches up.
+type replayRequest struct {
+	searchID uint64
+	from     uint32
+	upto     uint32
+}
+
+func encodeReplayRequest(r replayRequest) []byte {
+	var e enc
+	e.u64(r.searchID)
+	e.u32(r.from)
+	e.u32(r.upto)
+	return e.b
+}
+
+func decodeReplayRequest(b []byte) (replayRequest, error) {
+	d := &dec{b: b}
+	r := replayRequest{searchID: d.u64(), from: d.u32(), upto: d.u32()}
+	if d.err == nil && (r.upto < r.from || r.upto-r.from >= maxBatchRounds) {
+		d.fail("replay of rounds %d..%d (cap %d)", r.from, r.upto, maxBatchRounds)
+	}
+	return r, d.done()
+}
+
+// replayReply reports the round ordinal the session sits at after the
+// call (>= from, <= upto).
+type replayReply struct {
+	round uint32
+}
+
+func encodeReplayReply(r replayReply) []byte {
+	var e enc
+	e.u32(r.round)
+	return e.b
+}
+
+func decodeReplayReply(b []byte) (replayReply, error) {
+	d := &dec{b: b}
+	r := replayReply{round: d.u32()}
+	return r, d.done()
 }
 
 // floatBits / floatFromBits round-trip float64s through their exact bit

@@ -4,6 +4,7 @@
 package dshard
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -316,6 +317,29 @@ func (w *Worker) Load() error {
 // rounds keep answering.
 func (w *Worker) SetDraining() { w.state.Store(StateDraining) }
 
+// Drain blocks until every in-flight session has ended (its coordinator
+// posted End, or the TTL/deadline sweeper evicted it) or the context
+// expires. Call after SetDraining: new Begins are already refused, the
+// HTTP listener keeps serving rounds for the sessions still open, so a
+// SIGTERM'd worker finishes the searches it is part of instead of
+// abandoning them to a mid-search failover.
+func (w *Worker) Drain(ctx context.Context) error {
+	for {
+		w.mu.Lock()
+		w.sweepSessions(time.Now())
+		open := len(w.sessions)
+		w.mu.Unlock()
+		if open == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("dshard: drain: %d sessions still open: %w", open, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
 // State returns the worker's lifecycle state.
 func (w *Worker) State() int32 { return w.state.Load() }
 
@@ -342,6 +366,7 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("POST "+pathBegin, w.handleBegin)
 	mux.HandleFunc("POST "+pathRound, w.handleRound)
 	mux.HandleFunc("POST "+pathRounds, w.handleRounds)
+	mux.HandleFunc("POST "+pathReplay, w.handleReplay)
 	mux.HandleFunc("POST "+pathFinalize, w.handleFinalize)
 	mux.HandleFunc("POST "+pathEnd, w.handleEnd)
 	mux.HandleFunc("GET /healthz", w.handleHealthz)
@@ -364,6 +389,7 @@ func writeErr(rw http.ResponseWriter, status int, format string, args ...any) {
 
 func writeFrame(rw http.ResponseWriter, frame []byte) {
 	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set(frameCRCHeader, frameCRC(frame))
 	rw.WriteHeader(http.StatusOK)
 	_, _ = rw.Write(frame)
 }
@@ -376,6 +402,13 @@ func readFrame(rw http.ResponseWriter, req *http.Request) ([]byte, bool) {
 	}
 	if len(body) > maxFrameSize {
 		writeErr(rw, http.StatusBadRequest, "frame exceeds %d bytes", maxFrameSize)
+		return nil, false
+	}
+	// A CRC mismatch is transit corruption, not a malformed request: 422
+	// (not 400, which the client treats as a deterministic rejection every
+	// replica would repeat) so the coordinator retries/fails over.
+	if err := checkFrameCRC(body, req.Header.Get(frameCRCHeader)); err != nil {
+		writeErr(rw, http.StatusUnprocessableEntity, "%v", err)
 		return nil, false
 	}
 	return body, true
@@ -620,6 +653,58 @@ func (w *Worker) handleRounds(rw http.ResponseWriter, req *http.Request) {
 	writeFrame(rw, appendSpanBlock(encodeRoundsReply(infos), batchSpan))
 }
 
+// handleReplay is the proto-3 failover fast-forward: advance the session
+// from round `from` up to (at most) round `upto`, discarding the
+// per-round infos — the coordinator already consumed them on the replica
+// that failed, and the shared-substrate determinism makes the replayed
+// state bit-identical. Unlike handleRounds there is no early exit on
+// coordinator-visible events: the target is always a round the original
+// timeline actually executed, so the session must land exactly there.
+// At most maxWorkerBatch rounds run per call (bounding how long the
+// session mutex is held); the reply reports the reached round and the
+// coordinator loops.
+func (w *Worker) handleReplay(rw http.ResponseWriter, req *http.Request) {
+	defer w.rpcSeconds[epReplay].ObserveSince(time.Now())
+	body, ok := readFrame(rw, req)
+	if !ok {
+		return
+	}
+	r, err := decodeReplayRequest(body)
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s := w.lookup(r.searchID)
+	if s == nil {
+		writeErr(rw, http.StatusNotFound, "unknown search %d", r.searchID)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.from != s.round+1 {
+		writeErr(rw, http.StatusConflict, "search %d at round %d, request says %d", r.searchID, s.round, r.from)
+		return
+	}
+	executed := 0
+	for s.round < r.upto && executed < maxWorkerBatch {
+		info, err := s.exec.Round()
+		if err != nil {
+			writeErr(rw, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.round++
+		executed++
+		// Keep the batch-stop state coherent so the resumed lockstep's
+		// batched fetches see the same signatures the original would have.
+		s.lastSig = keptSig(info)
+		s.lastAdmitted = info.Admitted
+		if sp := s.exec.TakeSpan(); sp != nil && s.trace != nil {
+			s.trace.Span().Attach(sp)
+		}
+	}
+	writeFrame(rw, encodeReplayReply(replayReply{round: s.round}))
+}
+
 func (w *Worker) handleFinalize(rw http.ResponseWriter, req *http.Request) {
 	defer w.rpcSeconds[epFinalize].ObserveSince(time.Now())
 	body, ok := readFrame(rw, req)
@@ -673,7 +758,8 @@ type healthzBody struct {
 	Sliced     bool   `json:"sliced"`
 	// Proto advertises the round-protocol version this worker speaks
 	// (the batched /shard/v1/rounds endpoint and the begin-frame
-	// deadline arrived with 2). Pre-proto workers omit the field, which
+	// deadline arrived with 2, the /shard/v1/replay failover
+	// fast-forward with 3). Pre-proto workers omit the field, which
 	// decodes as 0 on the coordinator — per-round protocol only.
 	Proto int `json:"proto,omitempty"`
 }

@@ -1,0 +1,166 @@
+package faultnet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTransportSchedule covers the rule mechanics: host/path matching,
+// After skips, Count limits, and each action's observable effect —
+// corruption faults must leave the headers intact.
+func TestTransportSchedule(t *testing.T) {
+	const body = "0123456789abcdef"
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set("X-Check", "kept")
+		io.WriteString(rw, body)
+	}))
+	defer srv.Close()
+
+	get := func(tr *Transport, path string) (*http.Response, []byte, error) {
+		c := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+		resp, err := c.Get(srv.URL + path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp, b, err
+	}
+
+	// After skips, Count bounds, path prefix restricts.
+	tr := NewTransport(nil, 1)
+	r := tr.Add(&Rule{Path: "/hit", After: 1, Count: 1, Action: Reset})
+	if _, _, err := get(tr, "/miss"); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	}
+	if _, _, err := get(tr, "/hit"); err != nil {
+		t.Fatalf("request inside the After window faulted: %v", err)
+	}
+	if _, _, err := get(tr, "/hit"); err == nil {
+		t.Fatal("scheduled reset did not fire")
+	}
+	if _, _, err := get(tr, "/hit"); err != nil {
+		t.Fatalf("rule fired past its Count: %v", err)
+	}
+	if got := tr.Applied(r); got != 1 {
+		t.Fatalf("Applied = %d, want 1", got)
+	}
+	if tr.Add(&Rule{Host: "no-such-host", Action: Reset}); false {
+		t.Fatal("unreachable")
+	}
+	if _, _, err := get(tr, "/hit"); err != nil {
+		t.Fatalf("host mismatch faulted: %v", err)
+	}
+
+	// Truncate cuts the body but keeps headers and status.
+	trunc := NewTransport(nil, 2)
+	trunc.Add(&Rule{Action: Truncate})
+	resp, tb, err := get(trunc, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb) >= len(body) {
+		t.Fatalf("truncate left %d of %d bytes", len(tb), len(body))
+	}
+	if resp.Header.Get("X-Check") != "kept" {
+		t.Fatal("truncate dropped a header")
+	}
+
+	// Flip perturbs exactly one bit.
+	flip := NewTransport(nil, 3)
+	flip.Add(&Rule{Action: Flip})
+	_, b, err := get(flip, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len(body) || string(b) == body {
+		t.Fatalf("flip produced %q from %q", b, body)
+	}
+	diffBits := 0
+	for i := range b {
+		for x := b[i] ^ body[i]; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("flip changed %d bits, want 1", diffBits)
+	}
+
+	// The same seed and request sequence reproduce the same faults.
+	again := NewTransport(nil, 2)
+	again.Add(&Rule{Action: Truncate})
+	_, b2, err := get(again, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b2) != string(tb) {
+		t.Fatalf("same seed drew different truncations: %d vs %d bytes", len(b2), len(tb))
+	}
+}
+
+// TestTransportStallRespectsContext: a stalled request ends with its
+// context, not the heat death of the test suite.
+func TestTransportStallRespectsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {}))
+	defer srv.Close()
+	tr := NewTransport(nil, 4)
+	tr.Add(&Rule{Action: Stall})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := (&http.Client{Transport: tr}).Do(req); err == nil {
+		t.Fatal("stalled request succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("stall outlived its context")
+	}
+}
+
+// TestProxy drives the TCP proxy's knobs: pass-through, refusing new
+// connections, and killing live ones.
+func TestProxy(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		io.WriteString(rw, "pong")
+	}))
+	defer srv.Close()
+	target := strings.TrimPrefix(srv.URL, "http://")
+	p, err := NewProxy("127.0.0.1:0", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	go p.Serve()
+
+	// A fresh client per phase: keep-alive would otherwise reuse a
+	// connection across the Refuse toggle.
+	client := func() *http.Client {
+		return &http.Client{Timeout: 2 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	}
+	resp, err := client().Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "pong" {
+		t.Fatalf("through proxy: %q", b)
+	}
+
+	p.Refuse(true)
+	if _, err := client().Get("http://" + p.Addr()); err == nil {
+		t.Fatal("refusing proxy served a request")
+	}
+	p.Refuse(false)
+	if _, err := client().Get("http://" + p.Addr()); err != nil {
+		t.Fatalf("proxy did not recover from refuse: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a chaos TCP proxy: it forwards every accepted connection to
+// Target and exposes knobs to degrade the link — per-write latency,
+// refusing new connections, killing all live ones. It runs in front of a
+// worker in multi-process chaos topologies (see cmd/s3faultproxy and
+// scripts/e2e-chaos-smoke.sh) so a test can take the worker off the
+// network without touching its process.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	latency atomic.Int64 // per-write delay, nanoseconds
+	refuse  atomic.Bool
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewProxy listens on addr (":0" for an ephemeral port) and forwards to
+// target. Call Serve to start accepting.
+func NewProxy(addr, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Addr is the address the proxy listens on.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetLatency delays every write in both directions by d (0 restores the
+// clean link).
+func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+
+// Refuse makes the proxy close new connections immediately (true) or
+// accept them again (false). Existing connections are unaffected.
+func (p *Proxy) Refuse(v bool) { p.refuse.Store(v) }
+
+// KillConns tears down every live proxied connection; new connections
+// are still accepted (combine with Refuse for a full partition).
+func (p *Proxy) KillConns() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+}
+
+// Close stops the listener and kills all live connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.KillConns()
+	return err
+}
+
+// Serve accepts and forwards connections until Close. It always returns
+// a non-nil error (net.ErrClosed after Close).
+func (p *Proxy) Serve() error {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return err
+		}
+		if p.refuse.Load() {
+			_ = conn.Close()
+			continue
+		}
+		go p.handle(conn)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	if !p.track(client) || !p.track(upstream) {
+		_ = client.Close()
+		_ = upstream.Close()
+		return
+	}
+	var wg sync.WaitGroup
+	pipe := func(dst, src net.Conn) {
+		defer wg.Done()
+		_, _ = io.Copy(&slowWriter{p: p, w: dst}, src)
+		// Half-close is enough for HTTP/1.1 keep-alive traffic; closing
+		// both ends when either direction ends keeps teardown simple.
+		_ = dst.Close()
+		_ = src.Close()
+	}
+	wg.Add(2)
+	go pipe(upstream, client)
+	go pipe(client, upstream)
+	wg.Wait()
+	p.untrack(client)
+	p.untrack(upstream)
+}
+
+// slowWriter applies the proxy's current latency before each write.
+type slowWriter struct {
+	p *Proxy
+	w io.Writer
+}
+
+func (s *slowWriter) Write(b []byte) (int, error) {
+	if d := s.p.latency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return s.w.Write(b)
+}

@@ -61,6 +61,17 @@ type Config struct {
 	// Workers bounds concurrently executing searches; 0 picks
 	// GOMAXPROCS.
 	Workers int
+	// MaxQueue bounds how many searches may wait for a worker slot beyond
+	// the Workers executing ones; arrivals past the bound are shed
+	// immediately with 429 and a Retry-After hint instead of piling onto
+	// an already saturated process. 0 picks 8×Workers, negative disables
+	// the bound.
+	MaxQueue int
+	// MaxQueueWait caps how long an admitted search may wait for a worker
+	// slot before it is shed with 429: a query that would blow its
+	// client's patience budget anyway is cheaper to refuse than to run.
+	// 0 picks 2s, negative disables the cap.
+	MaxQueueWait time.Duration
 	// LoadMS records how long the initial Instance load took (surfaced in
 	// /stats; reload times are measured by the server itself).
 	LoadMS int64
@@ -79,6 +90,10 @@ const DefaultCacheSize = 1024
 // DefaultProxCacheBytes is the proximity-cache budget when Config leaves
 // it 0.
 const DefaultProxCacheBytes int64 = 64 << 20
+
+// DefaultMaxQueueWait caps the worker-slot wait when Config leaves
+// MaxQueueWait 0.
+const DefaultMaxQueueWait = 2 * time.Second
 
 // instanceState is the unit of atomic hot-swap: an instance (single or
 // sharded) plus its load generation, reference-counted so a mapped
@@ -152,6 +167,13 @@ type Server struct {
 	sem   chan struct{}
 	start time.Time
 
+	// Admission queue bound: waiting counts searches parked on sem;
+	// arrivals seeing waiting >= maxQueue are shed immediately, admitted
+	// ones are shed after maxQueueWait. Zero values disable each bound.
+	waiting      atomic.Int64
+	maxQueue     int64
+	maxQueueWait time.Duration
+
 	mu       sync.Mutex
 	cache    *lruCache
 	inflight map[string]*call
@@ -184,6 +206,7 @@ type Server struct {
 	sm           *s3.SearchMetrics
 	outcomes     map[string]*obs.Histogram
 	searchErrors *obs.Counter
+	shed         map[string]*obs.Counter
 	traces       *obs.TraceRing
 	slow         *obs.SlowLog
 }
@@ -221,16 +244,32 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	maxQueue := int64(cfg.MaxQueue)
+	if maxQueue == 0 {
+		maxQueue = int64(8 * workers)
+	}
+	if maxQueue < 0 {
+		maxQueue = 0 // unbounded
+	}
+	maxQueueWait := cfg.MaxQueueWait
+	if maxQueueWait == 0 {
+		maxQueueWait = DefaultMaxQueueWait
+	}
+	if maxQueueWait < 0 {
+		maxQueueWait = 0 // uncapped
+	}
 	s := &Server{
-		cfg:      cfg,
-		sem:      make(chan struct{}, workers),
-		start:    time.Now(),
-		cache:    newLRUCache(cacheSize),
-		inflight: make(map[string]*call),
-		reg:      reg,
-		sm:       obs.NewSearchMetrics(reg),
-		traces:   obs.NewTraceRing(0),
-		slow:     cfg.SlowLog,
+		cfg:          cfg,
+		sem:          make(chan struct{}, workers),
+		start:        time.Now(),
+		maxQueue:     maxQueue,
+		maxQueueWait: maxQueueWait,
+		cache:        newLRUCache(cacheSize),
+		inflight:     make(map[string]*call),
+		reg:          reg,
+		sm:           obs.NewSearchMetrics(reg),
+		traces:       obs.NewTraceRing(0),
+		slow:         cfg.SlowLog,
 	}
 	s.outcomes = make(map[string]*obs.Histogram, 4)
 	for _, o := range []string{outcomeCached, outcomeCoalesced, outcomeWarm, outcomeCold} {
@@ -239,6 +278,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.searchErrors = reg.Counter("s3_http_search_errors_total",
 		"POST /search requests that failed after validation.")
+	s.shed = make(map[string]*obs.Counter, 2)
+	for _, reason := range []string{shedQueueFull, shedTimeout} {
+		s.shed[reason] = reg.Counter("s3_http_shed_total",
+			"POST /search requests shed by admission control (429).", obs.L("reason", reason))
+	}
 	s.registerFuncMetrics()
 	if proxBytes > 0 {
 		s.prox = s3.NewProxCache(proxBytes)
@@ -331,11 +375,20 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// httpError pairs a status code with a client-facing message.
+// httpError pairs a status code with a client-facing message;
+// retryAfter > 0 adds a Retry-After hint (seconds) for shed requests.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
 }
+
+// Shed reasons label s3_http_shed_total: the admission queue was full on
+// arrival, or the queue wait ran out before a worker slot freed up.
+const (
+	shedQueueFull = "queue_full"
+	shedTimeout   = "timeout"
+)
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -344,6 +397,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, e *httpError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	writeJSON(w, e.status, map[string]string{"error": e.msg})
 }
 
@@ -384,6 +440,11 @@ type searchResponse struct {
 	// instead of exploring from scratch.
 	Warm    bool   `json:"warm,omitempty"`
 	Version uint64 `json:"version"`
+	// Degraded and ShardsServed are set only on ?partial=1 answers that
+	// ran without full shard coverage: the answer is the top-k of the
+	// listed shards, not of the whole corpus. Never cached.
+	Degraded     bool  `json:"degraded,omitempty"`
+	ShardsServed []int `json:"shards_served,omitempty"`
 	// TraceID and Trace are set only on ?trace=1 responses: the span tree
 	// of the search that produced this answer. Never cached.
 	TraceID string        `json:"trace_id,omitempty"`
@@ -424,25 +485,31 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 	}
 	w.Header().Set("X-Request-ID", rid)
 	wantTrace := req.URL.Query().Get("trace") == "1"
+	// ?partial=1 opts into a degraded answer when shards are down. Like
+	// tracing it bypasses the cache and coalescing: a degraded answer is
+	// coverage-dependent, never safe to reuse or to hand to a request
+	// that did not opt in.
+	wantPartial := req.URL.Query().Get("partial") == "1"
+	bypass := wantTrace || wantPartial
 
 	var sr searchRequest
 	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
-		writeError(w, &httpError{http.StatusBadRequest, "invalid JSON body: " + err.Error()})
+		writeError(w, &httpError{status: http.StatusBadRequest, msg: "invalid JSON body: " + err.Error()})
 		return
 	}
 	if sr.Seeker == "" {
-		writeError(w, &httpError{http.StatusBadRequest, "missing seeker"})
+		writeError(w, &httpError{status: http.StatusBadRequest, msg: "missing seeker"})
 		return
 	}
 	if len(sr.Keywords) == 0 {
-		writeError(w, &httpError{http.StatusBadRequest, "missing keywords"})
+		writeError(w, &httpError{status: http.StatusBadRequest, msg: "missing keywords"})
 		return
 	}
 	if sr.K == 0 {
 		sr.K = 10
 	}
 	if sr.K < 0 {
-		writeError(w, &httpError{http.StatusBadRequest, "k must be positive"})
+		writeError(w, &httpError{status: http.StatusBadRequest, msg: "k must be positive"})
 		return
 	}
 	// Normalize omitted parameters to their engine defaults before keying,
@@ -458,15 +525,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 	state := s.acquire()
 	defer state.release()
 	if !state.inst.HasUser(sr.Seeker) {
-		writeError(w, &httpError{http.StatusNotFound, fmt.Sprintf("unknown seeker %q", sr.Seeker)})
+		writeError(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown seeker %q", sr.Seeker)})
 		return
 	}
 
 	// A ?trace=1 request exists to watch a real search run, so it bypasses
 	// the result cache and coalescing entirely — a hit would return
-	// instantly with nothing to trace.
+	// instantly with nothing to trace. ?partial=1 bypasses for coverage
+	// reasons (see above).
 	key := sr.cacheKey(state.version)
-	if sr.cacheable() && !wantTrace {
+	if sr.cacheable() && !bypass {
 		s.mu.Lock()
 		if resp, ok := s.cache.get(key); ok {
 			s.mu.Unlock()
@@ -484,7 +552,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 			select {
 			case <-c.done:
 			case <-req.Context().Done():
-				writeError(w, &httpError{http.StatusServiceUnavailable, "client went away"})
+				writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: "client went away"})
 				return
 			}
 			if c.err != nil {
@@ -493,7 +561,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 				// request's client is still here, so fall back to an
 				// uncoalesced search instead of inheriting the failure.
 				if c.err.status == http.StatusServiceUnavailable {
-					resp, herr := s.observedSearch(req.Context(), state, &sr, rid, wantTrace)
+					resp, herr := s.observedSearch(req.Context(), state, &sr, rid, wantTrace, false)
 					if herr != nil {
 						writeError(w, herr)
 						return
@@ -514,7 +582,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 		s.inflight[key] = c
 		s.mu.Unlock()
 
-		resp, herr := s.observedSearch(req.Context(), state, &sr, rid, wantTrace)
+		resp, herr := s.observedSearch(req.Context(), state, &sr, rid, wantTrace, false)
 		c.resp, c.err = resp, herr
 		s.mu.Lock()
 		delete(s.inflight, key)
@@ -536,7 +604,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	resp, herr := s.observedSearch(req.Context(), state, &sr, rid, wantTrace)
+	resp, herr := s.observedSearch(req.Context(), state, &sr, rid, wantTrace, wantPartial)
 	if herr != nil {
 		writeError(w, herr)
 		return
@@ -550,13 +618,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, req *http.Request) {
 // emits the slow-log line, and retains explicitly requested and slow
 // traces in the /debug/traces ring. The returned response carries the
 // span tree only for ?trace=1 requests.
-func (s *Server) observedSearch(ctx context.Context, state *instanceState, sr *searchRequest, rid string, wantTrace bool) (*searchResponse, *httpError) {
+func (s *Server) observedSearch(ctx context.Context, state *instanceState, sr *searchRequest, rid string, wantTrace, partial bool) (*searchResponse, *httpError) {
 	var tr *s3.Trace
 	if wantTrace || s.slow.Enabled() {
 		tr = obs.NewTrace("search")
 	}
 	start := time.Now()
-	resp, herr := s.runSearch(ctx, state, sr, tr)
+	resp, herr := s.runSearch(ctx, state, sr, tr, partial)
 	elapsed := time.Since(start)
 	if herr != nil {
 		s.searchErrors.Inc()
@@ -600,30 +668,74 @@ func (s *Server) observedSearch(ctx context.Context, state *instanceState, sr *s
 	return resp, nil
 }
 
-// runSearch executes one engine call under the worker-pool bound,
-// recording into tr when non-nil (a "queue" span for the worker-pool
-// wait, then whatever the engine records under the same root).
-func (s *Server) runSearch(ctx context.Context, state *instanceState, sr *searchRequest, tr *s3.Trace) (*searchResponse, *httpError) {
-	qsp := tr.Span().StartChild("queue")
+// admit acquires a worker slot under the admission bounds, ending the
+// queue span however the wait resolves. It returns nil with the slot
+// held, or the 429/503 to send instead.
+func (s *Server) admit(ctx context.Context, qsp *obs.Span) *httpError {
+	defer qsp.End()
 	select {
 	case s.sem <- struct{}{}:
-		qsp.End()
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		qsp.End()
-		return nil, &httpError{http.StatusServiceUnavailable, "request cancelled while queued"}
+		return nil
+	default:
 	}
+	// Every worker slot is busy: queue, bounded in depth and in time.
+	retry := 1
+	if s.maxQueueWait > 0 {
+		if secs := int((s.maxQueueWait + time.Second - 1) / time.Second); secs > retry {
+			retry = secs
+		}
+	}
+	if s.maxQueue > 0 && s.waiting.Load() >= s.maxQueue {
+		s.shed[shedQueueFull].Inc()
+		return &httpError{status: http.StatusTooManyRequests, msg: "server saturated: admission queue full", retryAfter: retry}
+	}
+	s.waiting.Add(1)
+	defer s.waiting.Add(-1)
+	var timeout <-chan time.Time
+	if s.maxQueueWait > 0 {
+		tm := time.NewTimer(s.maxQueueWait)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-timeout:
+		s.shed[shedTimeout].Inc()
+		return &httpError{status: http.StatusTooManyRequests, msg: "server saturated: timed out waiting for a worker slot", retryAfter: retry}
+	case <-ctx.Done():
+		return &httpError{status: http.StatusServiceUnavailable, msg: "request cancelled while queued"}
+	}
+}
 
-	opts := []s3.Option{s3.WithK(sr.K)}
+// runSearch executes one engine call under the worker-pool bound,
+// recording into tr when non-nil (a "queue" span for the worker-pool
+// wait, then whatever the engine records under the same root). Admission
+// is deadline-aware: when every worker slot is busy, the request queues
+// only if fewer than maxQueue others already wait, and only for up to
+// maxQueueWait — past either bound it is shed with 429 and a Retry-After
+// hint, because piling more work onto a saturated process makes every
+// in-flight search slower without making any answer arrive sooner.
+func (s *Server) runSearch(ctx context.Context, state *instanceState, sr *searchRequest, tr *s3.Trace, partial bool) (*searchResponse, *httpError) {
+	qsp := tr.Span().StartChild("queue")
+	if herr := s.admit(ctx, qsp); herr != nil {
+		return nil, herr
+	}
+	defer func() { <-s.sem }()
+
+	opts := []s3.Option{s3.WithK(sr.K), s3.WithContext(ctx)}
+	if partial {
+		opts = append(opts, s3.WithPartial())
+	}
 	if sr.Gamma != 0 {
 		if sr.Gamma <= 1 {
-			return nil, &httpError{http.StatusBadRequest, "gamma must be > 1"}
+			return nil, &httpError{status: http.StatusBadRequest, msg: "gamma must be > 1"}
 		}
 		opts = append(opts, s3.WithGamma(sr.Gamma))
 	}
 	if sr.Eta != 0 {
 		if sr.Eta <= 0 || sr.Eta >= 1 {
-			return nil, &httpError{http.StatusBadRequest, "eta must be in (0,1)"}
+			return nil, &httpError{status: http.StatusBadRequest, msg: "eta must be in (0,1)"}
 		}
 		opts = append(opts, s3.WithEta(sr.Eta))
 	}
@@ -640,15 +752,17 @@ func (s *Server) runSearch(ctx context.Context, state *instanceState, sr *search
 	s.searches.Add(1)
 	results, info, err := state.inst.SearchInfoed(sr.Seeker, sr.Keywords, opts...)
 	if err != nil {
-		return nil, &httpError{http.StatusBadRequest, err.Error()}
+		return nil, &httpError{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	resp := &searchResponse{
-		Results:    make([]searchResult, 0, len(results)),
-		Exact:      info.Exact,
-		Iterations: info.Iterations,
-		ElapsedMS:  float64(info.Elapsed.Microseconds()) / 1000,
-		Warm:       info.Warm,
-		Version:    state.version,
+		Results:      make([]searchResult, 0, len(results)),
+		Exact:        info.Exact,
+		Iterations:   info.Iterations,
+		ElapsedMS:    float64(info.Elapsed.Microseconds()) / 1000,
+		Warm:         info.Warm,
+		Version:      state.version,
+		Degraded:     info.Degraded,
+		ShardsServed: info.ServedShards,
 	}
 	for _, r := range results {
 		resp.Results = append(resp.Results, searchResult{
@@ -661,7 +775,7 @@ func (s *Server) runSearch(ctx context.Context, state *instanceState, sr *search
 func (s *Server) handleExtension(w http.ResponseWriter, req *http.Request) {
 	kw := req.URL.Query().Get("keyword")
 	if kw == "" {
-		writeError(w, &httpError{http.StatusBadRequest, "missing keyword parameter"})
+		writeError(w, &httpError{status: http.StatusBadRequest, msg: "missing keyword parameter"})
 		return
 	}
 	state := s.acquire()
@@ -837,7 +951,7 @@ func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Loader == nil {
-		writeError(w, &httpError{http.StatusNotImplemented, "server has no reload source"})
+		writeError(w, &httpError{status: http.StatusNotImplemented, msg: "server has no reload source"})
 		return
 	}
 	s.reloadMu.Lock()
@@ -846,7 +960,7 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 	inst, err := s.cfg.Loader()
 	if err != nil {
 		// The old instance keeps serving: a failed reload is not fatal.
-		writeError(w, &httpError{http.StatusInternalServerError, "reload failed: " + err.Error()})
+		writeError(w, &httpError{status: http.StatusInternalServerError, msg: "reload failed: " + err.Error()})
 		return
 	}
 	old := s.cur.Load()
@@ -907,7 +1021,7 @@ func (s *Server) warmCache(state *instanceState, hot []searchRequest) int {
 		if !state.inst.HasUser(sr.Seeker) {
 			continue
 		}
-		resp, herr := s.runSearch(context.Background(), state, &sr, nil)
+		resp, herr := s.runSearch(context.Background(), state, &sr, nil, false)
 		if herr != nil || !resp.Exact {
 			continue
 		}

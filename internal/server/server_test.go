@@ -237,7 +237,7 @@ func TestCoalescedWaiterSurvivesLeaderCancellation(t *testing.T) {
 	}()
 
 	// Leader fails with the queued-cancellation error.
-	leader.err = &httpError{http.StatusServiceUnavailable, "request cancelled while queued"}
+	leader.err = &httpError{status: http.StatusServiceUnavailable, msg: "request cancelled while queued"}
 	s.mu.Lock()
 	delete(s.inflight, key)
 	s.mu.Unlock()

@@ -43,6 +43,7 @@
 package s3
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -310,10 +311,20 @@ type SearchInfo struct {
 	// Warm is true when a proximity-cache checkpoint let the search skip
 	// its earliest exploration rounds.
 	Warm bool
+	// Degraded is true when a distributed search ran with WithPartial and
+	// one or more shards had no live replica: the answer covers only the
+	// shards in ServedShards. Always false for local instances and for
+	// full-coverage distributed searches.
+	Degraded bool
+	// ServedShards lists the shards the answer covers when Degraded is
+	// true (nil otherwise).
+	ServedShards []int
 }
 
 type searchConfig struct {
-	opts core.Options
+	opts    core.Options
+	ctx     context.Context
+	partial bool
 }
 
 // Option customises a search.
@@ -355,6 +366,23 @@ func WithWorkers(n int) Option {
 // recording is observational only: it never changes the answer.
 func WithTrace(t *Trace) Option {
 	return func(c *searchConfig) { c.opts.Trace = t }
+}
+
+// WithContext cancels the search when ctx does: a distributed search
+// checks it between lockstep rounds and releases its worker sessions on
+// the way out. Local searches currently ignore it (their rounds are
+// in-process and bounded by WithBudget).
+func WithContext(ctx context.Context) Option {
+	return func(c *searchConfig) { c.ctx = ctx }
+}
+
+// WithPartial lets a distributed search answer from the surviving shards
+// when some shard has no live replica, instead of failing. A degraded
+// answer is flagged in SearchInfo (Degraded, ServedShards); with full
+// coverage the answer is identical to a plain search. Local instances
+// always have full coverage, so the option is a no-op there.
+func WithPartial() Option {
+	return func(c *searchConfig) { c.partial = true }
 }
 
 // Search runs an S3k top-k search for the seeker.
