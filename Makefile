@@ -5,7 +5,7 @@
 # BENCHTIME=1x turns the bench target into the CI smoke run (compile and
 # execute every benchmark once, no timing fidelity).
 BENCHTIME ?= 200ms
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 
 .PHONY: build test race bench metrics-lint
 

@@ -20,14 +20,17 @@
 //	s3gen -dataset twitter -shards 4 -snap i1.set
 //	s3serve -shardset i1.set -addr :8080
 //
-// Distributed serving — one worker process per shard plus a coordinator
-// that scatter/gathers the lockstep search rounds over a compact binary
-// protocol. Each worker maps only the manifest's search substrate plus
-// its own shard (sliced node tables); answers are byte-identical to the
-// single-process shard set:
+// Distributed serving — worker processes hosting one or more shards each
+// plus a coordinator that scatter/gathers the lockstep search rounds
+// over a compact binary protocol. Each worker maps only the manifest's
+// search substrate plus its hosted shards (sliced node tables); answers
+// are byte-identical to the single-process shard set. A worker hosting
+// several shards (-shards-of) drives them all off ONE shared proximity
+// iterator — one graph step per round for the whole group — and the
+// coordinator sends it one round RPC per batch instead of one per shard:
 //
-//	s3serve -shardset i1.set -shard-of 0 -mmap -addr :8081
-//	s3serve -shardset i1.set -shard-of 1 -mmap -addr :8082
+//	s3serve -shardset i1.set -shards-of 0,2 -mmap -addr :8081
+//	s3serve -shardset i1.set -shards-of 1,3 -mmap -addr :8082
 //	s3serve -shardset i1.set -coordinator \
 //	        -worker-urls http://localhost:8081,http://localhost:8082 -addr :8080
 //
@@ -63,6 +66,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -84,6 +88,8 @@ func main() {
 		lang       = flag.String("lang", "raw", "text pipeline for -spec builds: english | french | raw")
 		mmap       = flag.Bool("mmap", false, "memory-map -snapshot / -shardset files and serve zero-copy views (O(page-fault) cold start and reload; legacy v1 files fall back to copying)")
 		shardOf    = flag.Int("shard-of", -1, "worker mode: serve only this shard of -shardset over the distributed round protocol")
+		shardsOf   = flag.String("shards-of", "", "worker mode: serve these comma-separated shards of -shardset from one process (shared proximity iterator per search, one round RPC per host; e.g. -shards-of 0,2)")
+		verifyMode = flag.String("verify", "lazy", "worker mode: snapshot checksum verification: lazy (CRC pass overlaps serving; a fault flips /healthz to corrupt) | eager (verify fully before readiness)")
 		coord      = flag.Bool("coordinator", false, "coordinator mode: scatter/gather searches for -shardset across -worker-urls")
 		workerURL  = flag.String("worker-urls", "", "comma-separated worker base URLs for -coordinator (e.g. http://h1:8081,http://h2:8082)")
 		roundBatch = flag.Int("round-batch", 0, "coordinator mode: max lockstep rounds per worker RPC (0 = default, 1 = one round per RPC, negative = classic per-round protocol)")
@@ -105,15 +111,26 @@ func main() {
 	if *mmap {
 		mode = s3.LoadMmap
 	}
-	if *shardOf >= 0 {
+	shards, err := parseShardList(*shardsOf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *shardOf >= 0 && len(shards) == 0 {
+		shards = []int{*shardOf}
+	}
+	if len(shards) > 0 {
 		if *setPath == "" || *snapPath != "" || *specPath != "" || *coord {
-			log.Fatal("-shard-of requires -shardset (and excludes -snapshot, -spec and -coordinator)")
+			log.Fatal("-shard-of/-shards-of requires -shardset (and excludes -snapshot, -spec and -coordinator)")
+		}
+		verify, err := parseVerify(*verifyMode)
+		if err != nil {
+			log.Fatal(err)
 		}
 		workerProxBytes := int64(*proxMB) << 20
 		if *proxMB <= 0 {
 			workerProxBytes = -1
 		}
-		runWorker(*setPath, *shardOf, mode, *addr, workerProxBytes)
+		runWorker(*setPath, shards, mode, *addr, workerProxBytes, verify)
 		return
 	}
 
@@ -210,26 +227,31 @@ func serveHTTP(addr string, handler http.Handler, drain func()) {
 	<-drained
 }
 
-// runWorker serves one shard of a set over the round protocol. The HTTP
-// listener comes up immediately with /healthz reporting "loading"; the
-// shard loads in the background and readiness flips to "serving" when it
-// is queryable — exactly what a coordinator's membership probe expects.
-func runWorker(setPath string, shard int, mode s3.LoadMode, addr string, proxBytes int64) {
+// runWorker serves one or more shards of a set over the round protocol
+// from a single process. The HTTP listener comes up immediately with
+// /healthz reporting "loading"; the shards load in the background (into
+// one shared mapping — the substrate is mapped once however many shards
+// ride on it) and readiness flips to "serving" when they are queryable —
+// exactly what a coordinator's membership probe expects.
+func runWorker(setPath string, shards []int, mode s3.LoadMode, addr string, proxBytes int64, verify snap.VerifyMode) {
 	w := dshard.NewWorker(dshard.WorkerConfig{
 		ManifestPath:   setPath,
-		Shard:          shard,
+		Shards:         shards,
 		Mode:           snap.LoadMode(mode),
 		ProxCacheBytes: proxBytes,
+		Verify:         verify,
 	})
 	go func() {
 		start := time.Now()
 		if err := w.Load(); err != nil {
-			log.Fatalf("loading shard %d of %s: %v", shard, setPath, err)
+			log.Fatalf("loading shards %v of %s: %v", shards, setPath, err)
 		}
 		st := w.Stats()
-		log.Printf("shard %d of %d ready in %v: %d documents, %d components, mapped %d bytes (sliced=%v)",
-			st.Shard, st.ShardCount, time.Since(start).Round(time.Millisecond),
-			st.Shards[0].Documents, st.Shards[0].Components, st.MappedBytes, st.Sliced)
+		for _, row := range st.Shards {
+			log.Printf("shard %d of %d ready in %v: %d documents, %d components, mapped %d bytes (sliced=%v)",
+				row.Shard, st.ShardCount, time.Since(start).Round(time.Millisecond),
+				row.Documents, row.Components, st.MappedBytes, st.Sliced)
+		}
 	}()
 	// On SIGTERM, flip readiness off so coordinators bench this replica,
 	// then finish the in-flight sessions before the HTTP shutdown starts:
@@ -325,6 +347,46 @@ func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coor
 		}, nil
 	default:
 		return nil, fmt.Errorf("one of -snapshot, -shardset or -spec is required")
+	}
+}
+
+// parseShardList parses the -shards-of value: comma-separated,
+// non-negative, duplicate-free shard ordinals.
+func parseShardList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var shards []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-shards-of: %q is not a shard ordinal", part)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("-shards-of: shard %d listed twice", n)
+		}
+		seen[n] = true
+		shards = append(shards, n)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("-shards-of: no shards in %q", s)
+	}
+	return shards, nil
+}
+
+func parseVerify(s string) (snap.VerifyMode, error) {
+	switch s {
+	case "lazy":
+		return snap.VerifyLazy, nil
+	case "eager":
+		return snap.VerifyEager, nil
+	default:
+		return 0, fmt.Errorf("unknown -verify %q (want lazy or eager)", s)
 	}
 }
 

@@ -1,0 +1,256 @@
+// HostExecutor: N co-hosted shard executors behind one shared proximity
+// iterator.
+//
+// A distributed worker process serving several shards of one set used to
+// run one own-iterator LocalExecutor per shard, each re-stepping an
+// identical exploration over the shared substrate — the compute
+// duplication that put cold distributed at a ~2.2-2.5× floor over
+// in-process. HostExecutor is the in-process sharing mechanism
+// (roundDriver, exactly as ShardedEngine wires it) packaged for a worker:
+// one Iterator.Step per round feeds every co-hosted shard's
+// admission/bounds/selection, and the per-shard work fans across cores
+// when GOMAXPROCS > 1.
+//
+// The floating-point operations are identical, in identical order, to
+// both the in-process sharded engine and the one-shard-per-process
+// deployment, so round responses — and the coordinated answer — stay
+// byte-identical regardless of how shards are grouped onto hosts.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"s3/internal/graph"
+	"s3/internal/obs"
+	"s3/internal/proxcache"
+)
+
+// HostExecutor drives the rounds of one search for a set of co-hosted
+// shards off a single shared proximity iterator. Unlike ShardedEngine it
+// may host a strict subset of the shard set's components: discoveries
+// belonging to shards served elsewhere are routed nowhere.
+type HostExecutor struct {
+	execs   []*LocalExecutor
+	engines []*Engine
+	in      *graph.Instance
+	// compShard maps component id → hosted executor ordinal, -1 for
+	// components owned by shards this host does not serve.
+	compShard []int32
+	workers   int
+
+	// pc, when non-nil, resumes the shared iterator from the deepest
+	// cached frontier at Begin and publishes the deepened frontier at End
+	// — ONE cache entry per (seeker, params) for the whole process, not
+	// one per hosted shard.
+	pc *proxcache.Cache
+	// steps, when non-nil, counts actual iterator steps: exactly one per
+	// round, however many shards are hosted.
+	steps *atomic.Uint64
+
+	drv      *roundDriver
+	ckey     proxcache.Key
+	resumedN int
+}
+
+// NewHostExecutor assembles a host-level executor over the engines of the
+// shards one process serves. Every engine must be a projection of the
+// same base instance; the hosted shards need not cover the full set. A
+// single unprojected engine (whole instance, no slicing) forms a valid
+// one-shard host.
+func NewHostExecutor(engines []*Engine, workers int) (*HostExecutor, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("core: host executor needs at least one shard engine")
+	}
+	base := engines[0].in
+	nComp := base.NumComponents()
+	compShard := make([]int32, nComp)
+	for i := range compShard {
+		compShard[i] = -1
+	}
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("core: hosted shard %d is nil", i)
+		}
+		if e.in.NumNodes() != base.NumNodes() || e.in.NumComponents() != nComp {
+			return nil, fmt.Errorf("core: hosted shard %d is not a projection of the same instance", i)
+		}
+		owned := e.in.OwnedComponents()
+		if owned == nil {
+			// An unprojected instance owns everything; that is only
+			// consistent when it is the sole hosted shard.
+			if len(engines) != 1 {
+				return nil, fmt.Errorf("core: hosted shard %d is unprojected in a %d-shard host", i, len(engines))
+			}
+			for c := range compShard {
+				compShard[c] = 0
+			}
+			break
+		}
+		for _, c := range owned {
+			if compShard[c] != -1 {
+				return nil, fmt.Errorf("core: component %d hosted by shards %d and %d", c, compShard[c], i)
+			}
+			compShard[c] = int32(i)
+		}
+	}
+	h := &HostExecutor{
+		engines:   engines,
+		in:        base,
+		compShard: compShard,
+		workers:   workers,
+		execs:     make([]*LocalExecutor, len(engines)),
+	}
+	for i, e := range engines {
+		// Shared-iterator children: the driver is installed at Begin, and
+		// shard i reads its own routed discovery list.
+		h.execs[i] = &LocalExecutor{e: e, workers: workers, shard: i}
+	}
+	return h, nil
+}
+
+// NumShards returns the number of co-hosted shards.
+func (h *HostExecutor) NumShards() int { return len(h.execs) }
+
+// WithProxCache wires the process-wide seeker-proximity checkpoint cache:
+// the shared iterator resumes from it at Begin and publishes back at End.
+// One budget covers every hosted shard, because there is only one
+// exploration to checkpoint.
+func (h *HostExecutor) WithProxCache(pc *proxcache.Cache) *HostExecutor {
+	h.pc = pc
+	return h
+}
+
+// WithStepCounter wires a counter incremented once per actual iterator
+// step — the /metrics proof that co-hosted shards share one exploration.
+func (h *HostExecutor) WithStepCounter(steps *atomic.Uint64) *HostExecutor {
+	h.steps = steps
+	return h
+}
+
+// WithCounters wires per-hosted-shard fan-out and round-work counters
+// (either slice may be nil; lengths must match the hosted shard count).
+func (h *HostExecutor) WithCounters(touched, rounds []*atomic.Uint64) *HostExecutor {
+	for i, x := range h.execs {
+		var t, r *atomic.Uint64
+		if touched != nil {
+			t = touched[i]
+		}
+		if rounds != nil {
+			r = rounds[i]
+		}
+		x.WithCounters(t, r)
+	}
+	return h
+}
+
+// WithTracing enables per-call span recording on every hosted shard's
+// executor; collect with TakeSpans after each protocol call.
+func (h *HostExecutor) WithTracing(on bool) *HostExecutor {
+	for _, x := range h.execs {
+		x.WithTracing(on)
+	}
+	return h
+}
+
+// TakeSpans returns, per hosted shard, the span subtree recorded by the
+// most recent protocol call (entries are nil when tracing is off).
+func (h *HostExecutor) TakeSpans() []*obs.Span {
+	out := make([]*obs.Span, len(h.execs))
+	for i, x := range h.execs {
+		out[i] = x.TakeSpan()
+	}
+	return out
+}
+
+// ResumedDepth reports how many exploration rounds the current search's
+// shared iterator replayed from a cached checkpoint.
+func (h *HostExecutor) ResumedDepth() int { return h.resumedN }
+
+// Begin opens the search on every hosted shard and returns their
+// BeginInfos in hosted order. The shared iterator is created (or resumed
+// from the process cache) exactly once.
+func (h *HostExecutor) Begin(spec SearchSpec) ([]BeginInfo, error) {
+	it, ckey, resumedN := openIterator(h.in, spec.Seeker, Options{Params: spec.Params, ProxCache: h.pc})
+	drv := newRoundDriver(it).withRouting(h.in, h.compShard, len(h.execs))
+	drv.steps = h.steps
+	h.drv, h.ckey, h.resumedN = drv, ckey, resumedN
+	infos := make([]BeginInfo, len(h.execs))
+	for i, x := range h.execs {
+		x.drv = drv
+		info, err := x.Begin(spec)
+		if err != nil {
+			h.End()
+			return nil, err
+		}
+		infos[i] = info
+	}
+	return infos, nil
+}
+
+// Round advances the search one lockstep round on every hosted shard —
+// one iterator step total, per-shard admission/bounds/selection fanned
+// across goroutines when more than one core is available.
+func (h *HostExecutor) Round() ([]RoundInfo, error) {
+	infos := make([]RoundInfo, len(h.execs))
+	if len(h.execs) > 1 && runtime.GOMAXPROCS(0) > 1 {
+		errs := make([]error, len(h.execs))
+		var wg sync.WaitGroup
+		for i := range h.execs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				infos[i], errs[i] = h.execs[i].Round()
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return infos, nil
+	}
+	for i, x := range h.execs {
+		info, err := x.Round()
+		if err != nil {
+			return nil, err
+		}
+		infos[i] = info
+	}
+	return infos, nil
+}
+
+// Finalize re-evaluates every hosted shard's selection at the current
+// exploration depth without stepping.
+func (h *HostExecutor) Finalize() ([]RoundInfo, error) {
+	infos := make([]RoundInfo, len(h.execs))
+	for i, x := range h.execs {
+		info, err := x.Finalize()
+		if err != nil {
+			return nil, err
+		}
+		infos[i] = info
+	}
+	return infos, nil
+}
+
+// End releases per-shard state and publishes the shared iterator's
+// deepened frontier back to the process cache.
+func (h *HostExecutor) End() {
+	for _, x := range h.execs {
+		x.End()
+		x.drv = nil
+	}
+	if h.drv != nil {
+		if h.pc != nil {
+			if it := h.drv.it; it.RecordedDepth() > h.resumedN {
+				h.pc.Put(h.ckey, it.Checkpoint())
+			}
+		}
+		h.drv = nil
+	}
+	h.resumedN = 0
+}

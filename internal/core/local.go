@@ -45,10 +45,17 @@ type roundDriver struct {
 	// Optional one-pass discovery routing for in-process fan-out: with
 	// many executors sharing the iterator, the step owner routes each
 	// discovered node to its owning shard once, instead of every
-	// executor scanning the whole list (O(shards × discovered)).
+	// executor scanning the whole list (O(shards × discovered)). A
+	// component mapped to a negative shard is hosted elsewhere (a host
+	// process serving a subset of the set) and is skipped.
 	in        *graph.Instance
 	compShard []int32
 	routed    [][]graph.NID
+
+	// steps, when non-nil, counts actual iterator steps — once per round
+	// regardless of how many executors share the driver, which is the
+	// observable proof that co-hosted shards share one exploration.
+	steps *atomic.Uint64
 }
 
 func newRoundDriver(it *score.Iterator) *roundDriver {
@@ -82,6 +89,9 @@ func (d *roundDriver) advance(target int) roundState {
 	defer d.mu.Unlock()
 	for d.round < target {
 		d.discovered = d.it.Step()
+		if d.steps != nil {
+			d.steps.Add(1)
+		}
 		d.reached += len(d.discovered)
 		d.round++
 		d.tail = d.it.TailBound()
@@ -94,7 +104,9 @@ func (d *roundDriver) advance(target int) roundState {
 			}
 			for _, nd := range d.discovered {
 				if c := d.in.CompOf(nd); c >= 0 {
-					d.routed[d.compShard[c]] = append(d.routed[d.compShard[c]], nd)
+					if s := d.compShard[c]; s >= 0 {
+						d.routed[s] = append(d.routed[s], nd)
+					}
 				}
 			}
 		}
@@ -162,6 +174,10 @@ type LocalExecutor struct {
 	ckey     proxcache.Key
 	resumedN int
 
+	// steps, when non-nil (own-iterator executors only), counts the
+	// iterator steps this executor's searches execute.
+	steps *atomic.Uint64
+
 	st    *shardState
 	round int
 }
@@ -200,6 +216,15 @@ func (x *LocalExecutor) WithProxCache(pc *proxcache.Cache) *LocalExecutor {
 // iterator replayed from a cached checkpoint (0 on a cold start, valid
 // from Begin until End).
 func (x *LocalExecutor) ResumedDepth() int { return x.resumedN }
+
+// WithStepCounter wires a counter incremented once per actual iterator
+// step (own-iterator executors only — a shared driver's owner counts).
+func (x *LocalExecutor) WithStepCounter(steps *atomic.Uint64) *LocalExecutor {
+	if x.ownIterator {
+		x.steps = steps
+	}
+	return x
+}
 
 // WithTracing enables per-call span recording: each Begin, Round and
 // Finalize builds a span subtree (with step/admit/bounds/select stage
@@ -263,6 +288,7 @@ func (x *LocalExecutor) Begin(spec SearchSpec) (BeginInfo, error) {
 	if x.ownIterator {
 		it, ckey, resumedN := openIterator(x.e.in, spec.Seeker, Options{Params: spec.Params, ProxCache: x.pc})
 		x.drv = newRoundDriver(it)
+		x.drv.steps = x.steps
 		x.ckey, x.resumedN = ckey, resumedN
 	}
 	info := BeginInfo{Matched: len(matched), GroupMasses: make([][]int32, len(spec.Groups))}

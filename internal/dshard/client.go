@@ -37,12 +37,13 @@ const (
 	epEnd
 	epRounds
 	epReplay
+	epBeginSet
 	epCount
 )
 
 var (
-	epPaths = [epCount]string{pathBegin, pathRound, pathFinalize, pathEnd, pathRounds, pathReplay}
-	epNames = [epCount]string{"begin", "round", "finalize", "end", "rounds", "replay"}
+	epPaths = [epCount]string{pathBegin, pathRound, pathFinalize, pathEnd, pathRounds, pathReplay, pathBeginSet}
+	epNames = [epCount]string{"begin", "round", "finalize", "end", "rounds", "replay", "beginset"}
 )
 
 // errNoRoundsEndpoint marks a 404/405 from a worker whose mux has no
@@ -55,6 +56,11 @@ var errNoRoundsEndpoint = errors.New("dshard: worker has no batched rounds endpo
 // (a pre-proto-3 binary): fast-forward falls back to fetching the rounds
 // and discarding the results.
 var errNoReplayEndpoint = errors.New("dshard: worker has no replay endpoint")
+
+// errNoBeginSetEndpoint is the capability signal for /shard/v1/beginset
+// (a pre-proto-4 binary): the coordinator latches the worker as
+// set-incapable and re-plans the cover with per-shard sessions.
+var errNoBeginSetEndpoint = errors.New("dshard: worker has no beginset endpoint")
 
 // defaultMaxRoundBatch is CoordinatorConfig.MaxRoundBatch's default; it
 // matches the coordinator loop's own adaptive cap (core's maxRoundBatch).
@@ -70,6 +76,13 @@ type rpcMetrics struct {
 	batchRounds *obs.Histogram
 	specIssued  *obs.Counter
 	specWasted  *obs.Counter
+
+	// Host-grouped session instruments: one rounds RPC per host advances
+	// every shard the host serves, so the fan-in histogram is the direct
+	// read on how much RPC amplification host grouping removed.
+	hostSessions *obs.Counter
+	hostSeconds  *obs.Histogram
+	hostShards   *obs.Histogram
 }
 
 // newRPCMetrics registers the wire instruments in r (idempotent).
@@ -91,6 +104,13 @@ func newRPCMetrics(r *obs.Registry) *rpcMetrics {
 		"Speculative round RPCs issued ahead of the coordinator's stop decision.")
 	m.specWasted = r.Counter("s3_coord_spec_wasted_total",
 		"Fetched rounds discarded unconsumed because the search stopped first.")
+	m.hostSessions = r.Counter("s3_coord_host_sessions_total",
+		"Multi-shard host sessions established (one beginset covering 2+ shards).")
+	m.hostSeconds = r.Histogram("s3_coord_host_rpc_seconds",
+		"Round-trip time of one host-grouped rounds RPC (all co-hosted shards advanced at once).", nil)
+	m.hostShards = r.Histogram("s3_coord_host_rpc_shards",
+		"Shards advanced by one host-grouped rounds RPC (per-host round fan-in).",
+		[]float64{1, 2, 4, 8, 16})
 	return m
 }
 
@@ -119,6 +139,19 @@ func (m *rpcMetrics) addSpecIssued() {
 func (m *rpcMetrics) addSpecWasted(rounds int) {
 	if m != nil && rounds > 0 {
 		m.specWasted.Add(uint64(rounds))
+	}
+}
+
+func (m *rpcMetrics) addHostSession() {
+	if m != nil {
+		m.hostSessions.Add(1)
+	}
+}
+
+func (m *rpcMetrics) observeHostRPC(start time.Time, shards int) {
+	if m != nil {
+		m.hostSeconds.ObserveSince(start)
+		m.hostShards.Observe(float64(shards))
 	}
 }
 
@@ -358,6 +391,8 @@ func (x *RemoteExecutor) postCtx(ctx context.Context, ep int, frame []byte) ([]b
 				return nil, fmt.Errorf("%w (%s)", errNoRoundsEndpoint, msg)
 			case epReplay:
 				return nil, fmt.Errorf("%w (%s)", errNoReplayEndpoint, msg)
+			case epBeginSet:
+				return nil, fmt.Errorf("%w (%s)", errNoBeginSetEndpoint, msg)
 			}
 		}
 		if resp.StatusCode == http.StatusBadRequest {
@@ -514,6 +549,13 @@ func (x *RemoteExecutor) Round() (core.RoundInfo, error) {
 func (x *RemoteExecutor) buffered() (ahead int, speculating bool) {
 	return len(x.ahead), x.pre != nil
 }
+
+// baseURL identifies the worker this connection talks to.
+func (x *RemoteExecutor) baseURL() string { return x.base }
+
+// hedgeable reports whether the failover layer may race this connection
+// against a hedge replica; a dedicated per-shard session always may.
+func (x *RemoteExecutor) hedgeable() bool { return true }
 
 // replayable reports whether the worker advertises the proto-3 replay
 // fast-forward.

@@ -116,13 +116,14 @@ const halfOpenProbes = 2
 type workerRef struct {
 	url string
 
-	// noBatch / noReplay latch "this worker does not speak the batched
-	// rounds endpoint / the replay fast-forward": seeded from the probed
-	// /healthz proto version, and re-latched by a live 404 (a worker
-	// rolled back mid-search). Atomic because executors and probes
-	// read/write them concurrently.
+	// noBatch / noReplay / noSet latch "this worker does not speak the
+	// batched rounds endpoint / the replay fast-forward / the multi-shard
+	// beginset": seeded from the probed /healthz proto version, and
+	// re-latched by a live 404 (a worker rolled back mid-search). Atomic
+	// because executors and probes read/write them concurrently.
 	noBatch  atomic.Bool
 	noReplay atomic.Bool
+	noSet    atomic.Bool
 
 	// lat feeds this worker's round-RPC RTTs into the hedge-delay
 	// estimate; probing guards against overlapping probes of one worker.
@@ -130,7 +131,8 @@ type workerRef struct {
 	probing atomic.Bool
 
 	mu      sync.Mutex
-	shard   int // -1 until probed
+	shard   int   // primary shard; -1 until probed
+	shards  []int // every shard the worker hosts (shards[0] == shard)
 	healthy bool
 	lastErr string
 	stats   *WorkerStats
@@ -154,6 +156,7 @@ type workerRef struct {
 type WorkerStatus struct {
 	URL     string       `json:"url"`
 	Shard   int          `json:"shard"`
+	Shards  []int        `json:"shards,omitempty"`
 	Healthy bool         `json:"healthy"`
 	Breaker string       `json:"breaker"`
 	Error   string       `json:"error,omitempty"`
@@ -278,6 +281,7 @@ func (c *Coordinator) probeWorker(ctx context.Context, w *workerRef) {
 	healthy := false
 	var lastErr string
 	shard := -1
+	var hosted []int
 	switch {
 	case err != nil:
 		lastErr = err.Error()
@@ -291,14 +295,34 @@ func (c *Coordinator) probeWorker(ctx context.Context, w *workerRef) {
 	case hb.Shard < 0 || hb.Shard >= c.cfg.ShardCount:
 		lastErr = fmt.Sprintf("worker reports shard %d of %d", hb.Shard, c.cfg.ShardCount)
 	default:
+		// Pre-proto-4 workers report a single shard; host workers list
+		// everything they serve (primary first).
+		hosted = hb.Shards
+		if len(hosted) == 0 {
+			hosted = []int{hb.Shard}
+		}
+		bad := -1
+		for _, hs := range hosted {
+			if hs < 0 || hs >= c.cfg.ShardCount {
+				bad = hs
+				break
+			}
+		}
+		if bad >= 0 {
+			lastErr = fmt.Sprintf("worker reports shard %d of %d", bad, c.cfg.ShardCount)
+			hosted = nil
+			break
+		}
 		healthy = true
 		shard = hb.Shard
 		// The probe is also the capability handshake (and, over the shared
 		// keep-alive transport, the connection pre-warm): a worker that
 		// does not advertise proto>=2 never sees a batched call or a
-		// deadline field, and one below proto 3 never sees a replay.
+		// deadline field, one below proto 3 never sees a replay, and one
+		// below proto 4 never sees a multi-shard beginset.
 		w.noBatch.Store(hb.Proto < protoBatch)
 		w.noReplay.Store(hb.Proto < protoReplay)
+		w.noSet.Store(hb.Proto < protoHost)
 	}
 	var st *WorkerStats
 	if healthy {
@@ -308,7 +332,7 @@ func (c *Coordinator) probeWorker(ctx context.Context, w *workerRef) {
 		}
 	}
 	w.mu.Lock()
-	w.shard, w.healthy, w.lastErr = shard, healthy, lastErr
+	w.shard, w.shards, w.healthy, w.lastErr = shard, hosted, healthy, lastErr
 	if st != nil {
 		w.stats = st
 	}
@@ -395,6 +419,15 @@ func (c *Coordinator) Probe(ctx context.Context) error {
 		w.mu.Lock()
 		if w.healthy && w.shard >= 0 {
 			covered[w.shard] = true
+			// A host-capable worker covers every shard it hosts; legacy
+			// sessions can only address the primary.
+			if c.hostCapable(w) {
+				for _, s := range w.shards {
+					if s >= 0 && s < len(covered) {
+						covered[s] = true
+					}
+				}
+			}
 		}
 		w.mu.Unlock()
 	}
@@ -462,11 +495,21 @@ func (c *Coordinator) Run(ctx context.Context) {
 	}
 }
 
+// hostCapable reports whether host-grouped (beginset) sessions may be
+// opened on w: the worker must speak proto 4 and the coordinator must
+// have the batched rounds endpoint enabled (host replies only exist in
+// batched framing).
+func (c *Coordinator) hostCapable(w *workerRef) bool {
+	return c.cfg.MaxRoundBatch > 0 && !w.noSet.Load()
+}
+
 // pickShard selects one admissible replica of a shard, skipping excluded
 // workers: closed-breaker replicas first (rotating), then a half-open one
 // whose trial token is free — the trial IS the probe request of the
 // half-open state, and its outcome (noteWorkerSuccess / Failure) decides
-// whether the breaker closes or re-opens.
+// whether the breaker closes or re-opens. A multi-shard worker serves
+// its whole hosted set when beginset is usable, but only its primary
+// shard otherwise — legacy begin cannot address the other members.
 func (c *Coordinator) pickShard(shard int, excluded map[*workerRef]bool) (*workerRef, error) {
 	var closed, half []*workerRef
 	for _, w := range c.workers {
@@ -475,6 +518,14 @@ func (c *Coordinator) pickShard(shard int, excluded map[*workerRef]bool) (*worke
 		}
 		w.mu.Lock()
 		ok := w.healthy && w.shard == shard
+		if !ok && w.healthy && c.hostCapable(w) {
+			for _, hs := range w.shards {
+				if hs == shard {
+					ok = true
+					break
+				}
+			}
+		}
 		state := w.brState
 		w.mu.Unlock()
 		if !ok {
@@ -606,12 +657,31 @@ func (c *Coordinator) search(spec core.SearchSpec, copts core.CoordOptions, part
 		var served []int
 		fxs := make([]*failoverExecutor, 0, len(refs))
 		execs := make([]core.ShardExecutor, 0, len(refs))
+		// Group the picked cover by worker: shards landing on the same
+		// proto-4 process share one host session — one beginset, one
+		// rounds RPC per batch for the whole group, one shared iterator
+		// worker-side — instead of one session (and one RPC stream) each.
+		groups := make(map[*workerRef][]int)
+		for s, ref := range refs {
+			if ref != nil {
+				groups[ref] = append(groups[ref], s)
+			}
+		}
+		traceID := copts.Trace.TraceID()
+		conns := make(map[int]shardConn, c.cfg.ShardCount)
+		cancels := make(map[int]context.CancelFunc, c.cfg.ShardCount)
+		for ref, group := range groups {
+			cs, cls := c.connect(ctx, ref, group, traceID, copts.Budget)
+			for i, s := range group {
+				conns[s], cancels[s] = cs[i], cls[i]
+			}
+		}
 		for s, ref := range refs {
 			if ref == nil {
 				continue
 			}
 			served = append(served, s)
-			fx := c.newFailoverExecutor(ctx, s, ref, copts, excluded)
+			fx := c.newFailoverExecutor(ctx, s, ref, conns[s], cancels[s], copts, excluded)
 			fxs = append(fxs, fx)
 			execs = append(execs, fx)
 		}
@@ -689,17 +759,22 @@ func (c *Coordinator) Stats() CoordinatorStats {
 	}
 	for _, w := range c.workers {
 		w.mu.Lock()
-		ws := WorkerStatus{URL: w.url, Shard: w.shard, Healthy: w.healthy,
+		ws := WorkerStatus{URL: w.url, Shard: w.shard, Shards: w.shards, Healthy: w.healthy,
 			Breaker: breakerName(w.brState), Error: w.lastErr, Stats: w.stats}
 		w.mu.Unlock()
 		out.Workers = append(out.Workers, ws)
-		if ws.Stats != nil && ws.Shard >= 0 && ws.Shard < len(rows) {
+		if ws.Stats != nil {
+			// A multi-shard worker reports one row per hosted shard; each
+			// row is keyed by its own shard, not the worker's primary.
 			for _, r := range ws.Stats.Shards {
-				rows[ws.Shard].Documents = r.Documents
-				rows[ws.Shard].Components = r.Components
-				rows[ws.Shard].Tags = r.Tags
-				rows[ws.Shard].Searches += r.Searches
-				rows[ws.Shard].Rounds += r.Rounds
+				if r.Shard < 0 || r.Shard >= len(rows) {
+					continue
+				}
+				rows[r.Shard].Documents = r.Documents
+				rows[r.Shard].Components = r.Components
+				rows[r.Shard].Tags = r.Tags
+				rows[r.Shard].Searches += r.Searches
+				rows[r.Shard].Rounds += r.Rounds
 			}
 		}
 	}

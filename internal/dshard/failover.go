@@ -103,7 +103,7 @@ type failoverExecutor struct {
 	begun     bool
 	consumed  uint32 // rounds the coordinator consumed from this shard
 
-	cur    *RemoteExecutor
+	cur    shardConn
 	cancel context.CancelFunc // cancels cur's RPC context
 	ref    *workerRef
 
@@ -115,6 +115,7 @@ type failoverExecutor struct {
 
 	planBatch int
 	planSpec  bool
+	relegated bool // one protocol downgrade per executor
 
 	hedging    bool
 	hedgeDelay time.Duration // fixed override; 0 derives from the worker's P99
@@ -126,9 +127,12 @@ var (
 )
 
 // newFailoverExecutor binds a shard's executor to its first replica.
-// excluded seeds the tried set (replicas earlier whole-search attempts
-// already benched).
+// conn/cancel, when non-nil, is the pre-built connection the search's
+// cover planning opened (possibly one view of a host-grouped session);
+// nil attaches a fresh one. excluded seeds the tried set (replicas
+// earlier whole-search attempts already benched).
 func (c *Coordinator) newFailoverExecutor(ctx context.Context, shard int, ref *workerRef,
+	conn shardConn, cancel context.CancelFunc,
 	copts core.CoordOptions, excluded map[*workerRef]bool) *failoverExecutor {
 	fx := &failoverExecutor{
 		c:          c,
@@ -146,20 +150,21 @@ func (c *Coordinator) newFailoverExecutor(ctx context.Context, shard int, ref *w
 		fx.tried[w] = true
 	}
 	fx.ref = ref
-	fx.cur, fx.cancel = fx.attach(ref)
+	if conn != nil {
+		fx.cur, fx.cancel = conn, cancel
+	} else {
+		fx.cur, fx.cancel = fx.attach(ref)
+	}
 	return fx
 }
 
-// attach builds a RemoteExecutor for one replica under its own cancelable
-// context (a hedge loser must be cancellable without killing the search).
-func (fx *failoverExecutor) attach(ref *workerRef) (*RemoteExecutor, context.CancelFunc) {
-	rctx, cancel := context.WithCancel(fx.ctx)
-	r := newRemoteExecutor(fx.c.client, ref.url, fx.c.nextSearchID()).
-		withTracing(fx.traceID).
-		withMetrics(fx.c.metrics).
-		withBatching(&ref.noBatch, fx.c.cfg.MaxRoundBatch, fx.budget).
-		withResilience(rctx, fx.c.cfg.RPCTimeout, &ref.noReplay, &ref.lat)
-	return r, cancel
+// attach builds a fresh single-shard connection to one replica under
+// its own cancelable context (a hedge loser must be cancellable without
+// killing the search). Against a proto-4 worker this is a one-view host
+// session — the only session kind that can address a non-primary shard.
+func (fx *failoverExecutor) attach(ref *workerRef) (shardConn, context.CancelFunc) {
+	conns, cancels := fx.c.connect(fx.ctx, ref, []int{fx.shard}, fx.traceID, fx.budget)
+	return conns[0], cancels[0]
 }
 
 // fatal reports errors failover cannot route around: deterministic
@@ -168,6 +173,31 @@ func (fx *failoverExecutor) attach(ref *workerRef) (*RemoteExecutor, context.Can
 func (fx *failoverExecutor) fatal(err error) bool {
 	var app *appError
 	return errors.As(err, &app) || fx.ctx.Err() != nil
+}
+
+// capabilityLost reports errors that mean the worker dropped a protocol
+// extension mid-flight (a rollback): the session has already flipped the
+// relevant latch, so re-attaching selects the downgraded protocol. Not a
+// failure — the worker must not be benched for it.
+func capabilityLost(err error) bool {
+	return errors.Is(err, errNoRoundsEndpoint) || errors.Is(err, errNoBeginSetEndpoint)
+}
+
+// relegate abandons the current session and re-establishes on the SAME
+// worker over whatever protocol its latches now select, fast-forwarded
+// through the consumed rounds. Used once per executor, after a
+// capability loss.
+func (fx *failoverExecutor) relegate() error {
+	fx.cancel()
+	fx.cur.End()
+	r, cancel := fx.attach(fx.ref)
+	if err := fx.establishOn(r, fx.consumed); err != nil {
+		cancel()
+		r.End()
+		return err
+	}
+	fx.cur, fx.cancel = r, cancel
+	return nil
 }
 
 // markFailed benches the current replica and abandons its session.
@@ -180,7 +210,7 @@ func (fx *failoverExecutor) markFailed(err error) {
 
 // establishOn opens a replacement session on r and fast-forwards it to
 // the consumed round. Read-only on fx (the hedge goroutine calls it).
-func (fx *failoverExecutor) establishOn(r *RemoteExecutor, consumed uint32) error {
+func (fx *failoverExecutor) establishOn(r shardConn, consumed uint32) error {
 	r.PlanRounds(fx.planBatch, false)
 	info, err := r.Begin(fx.spec)
 	if err != nil {
@@ -188,7 +218,7 @@ func (fx *failoverExecutor) establishOn(r *RemoteExecutor, consumed uint32) erro
 	}
 	if fx.begun && info.Matched != fx.beginInfo.Matched {
 		return fmt.Errorf("dshard: %s: replica diverges on begin (matched %d, had %d)",
-			r.base, info.Matched, fx.beginInfo.Matched)
+			r.baseURL(), info.Matched, fx.beginInfo.Matched)
 	}
 	if consumed > 0 {
 		return r.FastForward(consumed)
@@ -239,6 +269,15 @@ func (fx *failoverExecutor) Begin(spec core.SearchSpec) (core.BeginInfo, error) 
 		if fx.fatal(err) {
 			return core.BeginInfo{}, err
 		}
+		if capabilityLost(err) && !fx.relegated {
+			// Nothing consumed yet: re-attach (the latch now selects the
+			// downgraded protocol) and retry the begin on the same worker.
+			fx.relegated = true
+			fx.cancel()
+			fx.cur.End()
+			fx.cur, fx.cancel = fx.attach(fx.ref)
+			continue
+		}
 		fx.markFailed(err)
 		if err := fx.ctx.Err(); err != nil {
 			return core.BeginInfo{}, err
@@ -266,6 +305,12 @@ func (fx *failoverExecutor) Round() (core.RoundInfo, error) {
 		if fx.fatal(err) {
 			return core.RoundInfo{}, err
 		}
+		if capabilityLost(err) && !fx.relegated {
+			fx.relegated = true
+			if fx.relegate() == nil {
+				continue
+			}
+		}
 		fx.markFailed(err)
 		if ferr := fx.failover(); ferr != nil {
 			return core.RoundInfo{}, fmt.Errorf("%w (failover: %v)", err, ferr)
@@ -276,7 +321,7 @@ func (fx *failoverExecutor) Round() (core.RoundInfo, error) {
 // roundAttempt runs one Round on the current replica, racing a hedge
 // when the fetch is network-bound and the primary overstays its delay.
 func (fx *failoverExecutor) roundAttempt() (core.RoundInfo, error) {
-	if fx.hedging {
+	if fx.hedging && fx.cur.hedgeable() {
 		if ahead, speculating := fx.cur.buffered(); ahead == 0 && !speculating {
 			delay := fx.hedgeDelay
 			if delay <= 0 {
@@ -349,7 +394,7 @@ func (fx *failoverExecutor) hedgedRound(delay time.Duration) (core.RoundInfo, er
 		if hr.err != nil {
 			hcancel()
 			hrem.End()
-			if fx.fatal(hr.err) {
+			if fx.fatal(hr.err) || capabilityLost(hr.err) {
 				fx.c.noteWorkerReleased(href)
 			} else {
 				fx.c.noteWorkerFailure(href, hr.err)
@@ -381,6 +426,12 @@ func (fx *failoverExecutor) Finalize() (core.RoundInfo, error) {
 		}
 		if fx.fatal(err) {
 			return core.RoundInfo{}, err
+		}
+		if capabilityLost(err) && !fx.relegated {
+			fx.relegated = true
+			if fx.relegate() == nil {
+				continue
+			}
 		}
 		fx.markFailed(err)
 		if ferr := fx.failover(); ferr != nil {

@@ -1,0 +1,527 @@
+// Host-grouped sessions: the coordinator-side half of proto 4.
+//
+// When several shards of the picked cover land on the same worker
+// process, the coordinator opens ONE session covering all of them
+// (/shard/v1/beginset) instead of one per shard. The worker drives the
+// whole group off a single shared proximity iterator — one Step per
+// round feeds every co-hosted shard — and one /shard/v1/rounds RPC per
+// batch returns a RoundInfo per member per round. Coordinator-side, the
+// shared session is split back into per-shard views (hostShardView) so
+// core.Coordinate and the failover wrapper keep seeing one
+// ShardExecutor per shard: the views serialize on the session, the
+// first one to need a round fetches for all, and the others consume
+// from the shared buffer without touching the wire.
+//
+// Failover stays per shard: a view that fails (or whose whole host
+// dies) is abandoned individually and its failoverExecutor re-begins a
+// dedicated single-shard session on a replica, fast-forwarded through
+// the consumed rounds — answers stay byte-identical either way.
+package dshard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s3/internal/core"
+	"s3/internal/obs"
+)
+
+// shardConn is the connection-level contract the failover wrapper
+// drives: one shard's view of a worker session. RemoteExecutor (a
+// dedicated per-shard session) and hostShardView (one member of a
+// host-grouped session) both satisfy it.
+type shardConn interface {
+	Begin(spec core.SearchSpec) (core.BeginInfo, error)
+	Round() (core.RoundInfo, error)
+	Finalize() (core.RoundInfo, error)
+	End()
+	PlanRounds(batch int, speculate bool)
+	TakeSpan() *obs.Span
+	FastForward(upto uint32) error
+	buffered() (ahead int, speculating bool)
+	baseURL() string
+	hedgeable() bool
+}
+
+var (
+	_ shardConn = (*RemoteExecutor)(nil)
+	_ shardConn = (*hostShardView)(nil)
+)
+
+// hostRoundsResult is one host-grouped fetch's outcome: round-major
+// rows (one RoundInfo per member per executed round), the worker-side
+// span subtree for the batch, and the error.
+type hostRoundsResult struct {
+	rows [][]core.RoundInfo
+	span *obs.Span
+	err  error
+}
+
+// hostSession is one proto-4 worker session covering a group of
+// co-hosted shards. It reuses a RemoteExecutor purely for its post
+// plumbing (CRC framing, instruments, RPC timeout, the sticky
+// transport-error latch); the round buffer and collective begin /
+// finalize state live here, under one mutex the member views serialize
+// on. Lockstep guarantees every view consumes the same round sequence,
+// so whichever view first needs round r fetches the batch for all.
+type hostSession struct {
+	rx      *RemoteExecutor // post plumbing + sticky transport error
+	shards  []int           // the group, in reply order
+	noSet   *atomic.Bool    // worker's "no beginset" latch (live-404 relatch)
+	metrics *rpcMetrics
+	cancel  context.CancelFunc // cancels the session's RPC context
+
+	mu    sync.Mutex
+	begun bool
+
+	// Collective begin: the first view to call Begin posts the beginset
+	// frame; the others pick up the stored per-member infos (or the
+	// stored error — a failed beginset fails every member).
+	beginDone  bool
+	beginInfos []core.BeginInfo
+	beginErr   error
+	beginSpan  *obs.Span
+
+	// The shared round buffer. buf[i] is round pruned+1+i, one RoundInfo
+	// per member; rows are pruned once every live view has consumed them.
+	// pre, when non-nil, is the single outstanding speculative fetch.
+	fetched   uint32
+	pruned    uint32
+	buf       [][]core.RoundInfo
+	pre       chan hostRoundsResult
+	batchSpan *obs.Span
+
+	// Collective finalize, same shape as begin.
+	finDone  bool
+	finInfos []core.RoundInfo
+	finErr   error
+	finSpan  *obs.Span
+
+	views   []*hostShardView
+	ended   int
+	endSent bool
+}
+
+// hostShardView is one shard's executor-facing view of a hostSession.
+type hostShardView struct {
+	s        *hostSession
+	idx      int    // position in the session's shard list
+	consumed uint32 // rounds this view handed to its coordinator goroutine
+	dead     atomic.Bool
+	span     *obs.Span
+	endedF   bool // under s.mu
+}
+
+// newHostSession opens one worker session covering shards and returns a
+// per-shard view (ordered as shards) plus each view's cancel func. The
+// beginset frame is posted lazily by the first view's Begin.
+func (c *Coordinator) newHostSession(ctx context.Context, ref *workerRef, shards []int,
+	traceID uint64, budget time.Duration) ([]shardConn, []context.CancelFunc) {
+	rctx, cancel := context.WithCancel(ctx)
+	rx := newRemoteExecutor(c.client, ref.url, c.nextSearchID()).
+		withTracing(traceID).
+		withMetrics(c.metrics).
+		withBatching(&ref.noBatch, c.cfg.MaxRoundBatch, budget).
+		withResilience(rctx, c.cfg.RPCTimeout, &ref.noReplay, &ref.lat)
+	s := &hostSession{rx: rx, shards: shards, noSet: &ref.noSet, metrics: c.metrics, cancel: cancel}
+	conns := make([]shardConn, len(shards))
+	cancels := make([]context.CancelFunc, len(shards))
+	for i := range shards {
+		v := &hostShardView{s: s, idx: i}
+		s.views = append(s.views, v)
+		conns[i] = v
+		cancels[i] = v.cancelConn
+	}
+	if len(shards) > 1 {
+		c.metrics.addHostSession()
+	}
+	return conns, cancels
+}
+
+// cancelConn abandons this view's use of the session; the shared RPC
+// context is cancelled only once every member is dead, so one shard's
+// failover never kills its siblings' in-flight rounds.
+func (v *hostShardView) cancelConn() {
+	v.dead.Store(true)
+	s := v.s
+	for _, vv := range s.views {
+		if !vv.dead.Load() {
+			return
+		}
+	}
+	if s.cancel != nil {
+		s.cancel()
+	}
+}
+
+// Begin implements shardConn: the first arriving view posts the
+// beginset covering the whole group; every view returns its member's
+// BeginInfo (or the shared error).
+func (v *hostShardView) Begin(spec core.SearchSpec) (core.BeginInfo, error) {
+	s := v.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.beginDone {
+		s.beginDone = true
+		s.beginInfos, s.beginSpan, s.beginErr = s.doBeginLocked(spec)
+		s.begun = s.beginErr == nil
+	}
+	if s.beginErr != nil {
+		return core.BeginInfo{}, s.beginErr
+	}
+	if s.beginSpan != nil {
+		v.span, s.beginSpan = s.beginSpan, nil
+	}
+	return s.beginInfos[v.idx], nil
+}
+
+func (s *hostSession) doBeginLocked(spec core.SearchSpec) ([]core.BeginInfo, *obs.Span, error) {
+	start := time.Now()
+	br := beginSetRequest{searchID: s.rx.searchID, shards: s.shards, spec: spec, traceID: s.rx.traceID}
+	if s.rx.budget > 0 {
+		// Proto-4 workers always understand the trailing deadline field;
+		// the grace mirrors the per-shard path's.
+		br.deadlineMicros = uint64((s.rx.budget + 2*time.Second).Microseconds())
+	}
+	body, err := s.rx.post(epBeginSet, encodeBeginSetRequest(br))
+	if err != nil {
+		if errors.Is(err, errNoBeginSetEndpoint) && s.noSet != nil {
+			// The worker rolled back below proto 4 mid-flight: latch it so
+			// the next cover plans per-shard sessions, and fail over now.
+			s.noSet.Store(true)
+		}
+		return nil, nil, s.rx.setErr(err)
+	}
+	infos, sp, derr := decodeBeginSetReply(body, len(s.shards), start)
+	if derr != nil {
+		return nil, nil, s.rx.setErr(derr)
+	}
+	return infos, sp, nil
+}
+
+// fetchRounds runs one host-grouped batched fetch: up to batch rounds
+// starting at from, a RoundInfo per member per round. Mutex-free — the
+// speculative prefetch goroutine calls it too; it touches only
+// immutable session fields, the rx atomics and the wire.
+func (s *hostSession) fetchRounds(from uint32, batch int) hostRoundsResult {
+	n := batch
+	if n < 1 {
+		n = 1
+	}
+	if s.rx.batchCap > 0 && n > s.rx.batchCap {
+		n = s.rx.batchCap
+	}
+	if n > maxBatchRounds {
+		n = maxBatchRounds
+	}
+	start := time.Now()
+	body, err := s.rx.post(epRounds, encodeRoundsRequest(roundsRequest{searchID: s.rx.searchID, from: from, max: uint32(n)}))
+	if err != nil {
+		if errors.Is(err, errNoRoundsEndpoint) {
+			// The worker lost the batched endpoint mid-flight (rollback).
+			// Host sessions only exist in batched framing, so latch both
+			// capabilities off; the failover wrapper re-attaches over the
+			// per-round protocol without benching the worker.
+			if s.rx.noBatch != nil {
+				s.rx.noBatch.Store(true)
+			}
+			if s.noSet != nil {
+				s.noSet.Store(true)
+			}
+		}
+		return hostRoundsResult{err: err}
+	}
+	rows, sp, err := decodeHostRoundsReply(body, len(s.shards), start)
+	if err != nil {
+		return hostRoundsResult{err: err}
+	}
+	s.metrics.observeBatch(len(rows))
+	s.metrics.observeHostRPC(start, len(s.shards))
+	return hostRoundsResult{rows: rows, span: sp}
+}
+
+// fillLocked lands the next batch in the shared buffer: the outstanding
+// speculative fetch if one is in flight, a fresh fetch otherwise. The
+// session mutex stays held across the RPC on purpose — sibling views
+// blocking on it need exactly the rounds this fetch returns.
+func (s *hostSession) fillLocked() error {
+	var res hostRoundsResult
+	if ch := s.pre; ch != nil {
+		s.pre = nil
+		res = <-ch
+	} else {
+		res = s.fetchRounds(s.fetched+1, int(s.rx.batchHint.Load()))
+	}
+	if res.err != nil {
+		return s.rx.setErr(res.err)
+	}
+	if len(res.rows) == 0 {
+		return s.rx.setErr(fmt.Errorf("dshard: %s: empty host rounds reply", s.rx.base))
+	}
+	s.buf = append(s.buf, res.rows...)
+	s.fetched += uint32(len(res.rows))
+	s.batchSpan = res.span
+	return nil
+}
+
+// Round implements shardConn: this member's next round, fetched for the
+// whole group when the shared buffer is dry. Exactly one RoundInfo per
+// call, in round order — the grouping of shards into one RPC is as
+// invisible to the coordinator's stop logic as the grouping of rounds
+// into batches.
+func (v *hostShardView) Round() (core.RoundInfo, error) {
+	s := v.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.rx.Err(); err != nil {
+		return core.RoundInfo{}, err
+	}
+	target := v.consumed + 1
+	for target > s.pruned+uint32(len(s.buf)) {
+		if err := s.fillLocked(); err != nil {
+			return core.RoundInfo{}, err
+		}
+	}
+	row := s.buf[target-s.pruned-1]
+	v.consumed = target
+	if s.batchSpan != nil {
+		// The batch's span subtree surfaces with its first consumed round,
+		// on whichever member got there first.
+		v.span, s.batchSpan = s.batchSpan, nil
+	}
+	info := row[v.idx]
+	s.pruneLocked()
+	s.maybeSpeculateLocked(info)
+	return info, nil
+}
+
+// pruneLocked drops buffered rows every live view has consumed.
+func (s *hostSession) pruneLocked() {
+	minC := s.fetched
+	for _, v := range s.views {
+		if !v.dead.Load() && v.consumed < minC {
+			minC = v.consumed
+		}
+	}
+	if drop := minC - s.pruned; drop > 0 && int(drop) <= len(s.buf) {
+		s.buf = s.buf[drop:]
+		s.pruned = minC
+	}
+}
+
+// maybeSpeculateLocked issues the group's single speculative prefetch
+// once every live view has drained the buffer (lockstep means they all
+// arrive within one merge of each other) and the just-consumed round
+// still looks continuable — the same late-issue policy as the per-shard
+// path, so a search approaching its stop leaves no batch burning a
+// whole host's worth of shard CPU.
+func (s *hostSession) maybeSpeculateLocked(info core.RoundInfo) {
+	if s.pre != nil || !s.rx.wantSpec.Load() || info.Done || info.Tail < 1e-15 {
+		return
+	}
+	for _, v := range s.views {
+		if !v.dead.Load() && v.consumed < s.fetched {
+			return
+		}
+	}
+	from, batch := s.fetched+1, int(s.rx.batchHint.Load())
+	ch := make(chan hostRoundsResult, 1)
+	s.pre = ch
+	s.metrics.addSpecIssued()
+	go func() { ch <- s.fetchRounds(from, batch) }()
+}
+
+// Finalize implements shardConn: one finalize RPC per session, a
+// RoundInfo per member in the reply.
+func (v *hostShardView) Finalize() (core.RoundInfo, error) {
+	s := v.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.finDone {
+		s.finDone = true
+		s.finInfos, s.finSpan, s.finErr = s.doFinalizeLocked(v.consumed)
+	}
+	if s.finErr != nil {
+		return core.RoundInfo{}, s.finErr
+	}
+	if s.finSpan != nil {
+		v.span, s.finSpan = s.finSpan, nil
+	}
+	return s.finInfos[v.idx], nil
+}
+
+func (s *hostSession) doFinalizeLocked(round uint32) ([]core.RoundInfo, *obs.Span, error) {
+	start := time.Now()
+	body, err := s.rx.post(epFinalize, encodeRoundRequest(roundRequest{searchID: s.rx.searchID, round: round}))
+	if err != nil {
+		return nil, nil, s.rx.setErr(err)
+	}
+	infos, sp, derr := decodeHostInfosReply(body, len(s.shards), start)
+	if derr != nil {
+		return nil, nil, s.rx.setErr(derr)
+	}
+	return infos, sp, nil
+}
+
+// End implements shardConn: the session is released once, when its last
+// view ends; unconsumed buffered rounds and a drained in-flight
+// prefetch are priced as speculation waste per round (not per member —
+// the worker executed each round once).
+func (v *hostShardView) End() {
+	s := v.s
+	s.mu.Lock()
+	if v.endedF {
+		s.mu.Unlock()
+		return
+	}
+	v.endedF = true
+	v.dead.Store(true)
+	s.ended++
+	last := s.ended == len(s.views) && !s.endSent
+	var pre chan hostRoundsResult
+	var wasted int
+	var endRound uint32
+	begun := s.begun
+	if last {
+		s.endSent = true
+		pre, s.pre = s.pre, nil
+		for _, vv := range s.views {
+			if vv.consumed > endRound {
+				endRound = vv.consumed
+			}
+		}
+		wasted = int(s.fetched - endRound)
+		s.buf = nil
+	}
+	s.mu.Unlock()
+	if !last {
+		return
+	}
+	go func() {
+		if pre != nil {
+			if res := <-pre; res.err == nil {
+				wasted += len(res.rows)
+			}
+		}
+		s.metrics.addSpecWasted(wasted)
+		if begun {
+			// Released even when the search's context died: own bounded
+			// context, same as the per-shard path.
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_, _ = s.rx.postCtx(ctx, epEnd, encodeRoundRequest(roundRequest{searchID: s.rx.searchID, round: endRound}))
+		}
+		if s.cancel != nil {
+			s.cancel()
+		}
+	}()
+}
+
+// FastForward implements shardConn for the failover path. Only
+// single-view sessions are ever fast-forwarded (failover and hedging
+// attach dedicated singletons); a multi-view session cannot replay one
+// member independently, so that is a wiring bug, not a worker fault.
+func (v *hostShardView) FastForward(upto uint32) error {
+	s := v.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.views) > 1 {
+		return s.rx.setErr(fmt.Errorf("dshard: %s: fast-forward on a %d-view host session", s.rx.base, len(s.views)))
+	}
+	for v.consumed < upto {
+		body, err := s.rx.post(epReplay, encodeReplayRequest(replayRequest{
+			searchID: s.rx.searchID, from: v.consumed + 1, upto: upto,
+		}))
+		if err == nil {
+			rep, derr := decodeReplayReply(body)
+			if derr != nil {
+				return s.rx.setErr(derr)
+			}
+			if rep.round <= v.consumed || rep.round > upto {
+				return s.rx.setErr(fmt.Errorf("dshard: %s: replay moved session to round %d (was %d, want %d)",
+					s.rx.base, rep.round, v.consumed, upto))
+			}
+			v.consumed = rep.round
+			s.fetched, s.pruned, s.buf = rep.round, rep.round, nil
+			continue
+		}
+		if !errors.Is(err, errNoReplayEndpoint) {
+			return s.rx.setErr(err)
+		}
+		// A proto-4 worker always speaks replay; a live 404 means a
+		// mid-flight rollback. Fetch-and-discard still lands the state.
+		res := s.fetchRounds(v.consumed+1, int(upto-v.consumed))
+		if res.err != nil {
+			return s.rx.setErr(res.err)
+		}
+		n := uint32(len(res.rows))
+		if n == 0 || v.consumed+n > upto {
+			return s.rx.setErr(fmt.Errorf("dshard: %s: replay fallback returned %d rounds past target %d",
+				s.rx.base, n, upto))
+		}
+		v.consumed += n
+		s.fetched, s.pruned, s.buf = v.consumed, v.consumed, nil
+	}
+	return nil
+}
+
+// PlanRounds implements shardConn: lockstep hands every member the same
+// plan each scatter, so last-write-wins stores are exact.
+func (v *hostShardView) PlanRounds(batch int, speculate bool) {
+	if batch < 1 {
+		batch = 1
+	}
+	v.s.rx.batchHint.Store(int32(batch))
+	v.s.rx.wantSpec.Store(speculate)
+}
+
+// TakeSpan implements shardConn; only this view's own scatter goroutine
+// reads it, between its own Round calls.
+func (v *hostShardView) TakeSpan() *obs.Span {
+	sp := v.span
+	v.span = nil
+	return sp
+}
+
+// buffered reports rounds fetched but not yet consumed by THIS view.
+func (v *hostShardView) buffered() (ahead int, speculating bool) {
+	s := v.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.fetched - v.consumed), s.pre != nil
+}
+
+func (v *hostShardView) baseURL() string { return v.s.rx.base }
+
+// hedgeable: a hedge races the primary's Round from a helper goroutine,
+// which a multi-member session's shared mutex would deadlock against
+// its siblings; singletons hedge exactly like dedicated sessions.
+func (v *hostShardView) hedgeable() bool { return len(v.s.views) == 1 }
+
+// connect opens this search's connections to ref for the shards it was
+// picked to serve: views of one host-grouped session against a proto-4
+// worker, dedicated per-shard sessions otherwise. Proto-4 workers get
+// beginset even for a single shard — legacy begin cannot address a
+// non-primary member of a multi-shard worker.
+func (c *Coordinator) connect(ctx context.Context, ref *workerRef, shards []int,
+	traceID uint64, budget time.Duration) ([]shardConn, []context.CancelFunc) {
+	if c.hostCapable(ref) {
+		return c.newHostSession(ctx, ref, shards, traceID, budget)
+	}
+	conns := make([]shardConn, len(shards))
+	cancels := make([]context.CancelFunc, len(shards))
+	for i := range shards {
+		rctx, cancel := context.WithCancel(ctx)
+		conns[i] = newRemoteExecutor(c.client, ref.url, c.nextSearchID()).
+			withTracing(traceID).
+			withMetrics(c.metrics).
+			withBatching(&ref.noBatch, c.cfg.MaxRoundBatch, budget).
+			withResilience(rctx, c.cfg.RPCTimeout, &ref.noReplay, &ref.lat)
+		cancels[i] = cancel
+	}
+	return conns, cancels
+}

@@ -15,6 +15,7 @@
 // Endpoints (all POST, application/octet-stream bodies):
 //
 //	/shard/v1/begin     install a search              → BeginInfo
+//	/shard/v1/beginset  install a multi-shard search  → one BeginInfo per shard
 //	/shard/v1/round     advance one lockstep round    → RoundInfo
 //	/shard/v1/rounds    advance up to B rounds        → one RoundInfo per executed round
 //	/shard/v1/replay    fast-forward without results  → reached round ordinal
@@ -38,6 +39,15 @@
 // replayed state is bit-identical to the failed replica's). Coordinators
 // fall back to batched/per-round fetches with discarded results against
 // workers that do not speak it.
+//
+// /shard/v1/beginset is the protocol-4 host extension: one session covers
+// a LIST of the shards a worker process hosts, served off a single shared
+// proximity iterator (core.HostExecutor) — one Iterator.Step per round for
+// the whole host instead of one per shard — and the session's rounds and
+// finalize replies carry one RoundInfo block per member shard. The
+// coordinator groups its shard cover by worker and scatters one rounds RPC
+// per host; against proto<4 workers it falls back to one session per
+// shard. Either way the per-shard blocks are identical bytes.
 //
 // Every request and response frame additionally carries a CRC-32C of its
 // body in the X-S3-Frame-Crc header; receivers that find the header
@@ -78,6 +88,7 @@ const (
 // wire paths.
 const (
 	pathBegin    = "/shard/v1/begin"
+	pathBeginSet = "/shard/v1/beginset"
 	pathRound    = "/shard/v1/round"
 	pathRounds   = "/shard/v1/rounds"
 	pathReplay   = "/shard/v1/replay"
@@ -89,12 +100,20 @@ const (
 // Absent (old workers decode to 0) means per-round only. protoBatch added
 // the batched /shard/v1/rounds endpoint and the optional deadline field of
 // the begin frame; protoReplay added the /shard/v1/replay fast-forward
-// used by mid-search failover. protoVersion is what this build speaks.
+// used by mid-search failover; protoHost added multi-shard host sessions
+// (/shard/v1/beginset installs one session covering a shard list, and the
+// session's rounds/finalize replies carry one RoundInfo block per member
+// shard). protoVersion is what this build speaks.
 const (
 	protoBatch   = 2
 	protoReplay  = 3
-	protoVersion = protoReplay
+	protoHost    = 4
+	protoVersion = protoHost
 )
+
+// maxHostShards caps the shard list of one host session; a conforming
+// coordinator never exceeds the set's shard count.
+const maxHostShards = 256
 
 // frameCRCHeader carries the CRC-32C (Castagnoli) of the frame body, as
 // lowercase hex. Optional on both directions: a missing header means the
@@ -329,21 +348,51 @@ type beginRequest struct {
 	deadlineMicros uint64
 }
 
-func encodeBeginRequest(r beginRequest) []byte {
-	var e enc
-	e.u64(r.searchID)
-	e.u32(uint32(r.spec.Seeker))
-	e.u32(uint32(r.spec.K))
-	e.f64(r.spec.Params.Gamma)
-	e.f64(r.spec.Params.Eta)
-	e.f64(r.spec.Epsilon)
-	e.u32(uint32(len(r.spec.Groups)))
-	for _, g := range r.spec.Groups {
+// encodeSpecBody / decodeSpecBody read and write one SearchSpec — shared
+// between the legacy begin frame and the proto-4 beginset frame.
+func encodeSpecBody(e *enc, spec core.SearchSpec) {
+	e.u32(uint32(spec.Seeker))
+	e.u32(uint32(spec.K))
+	e.f64(spec.Params.Gamma)
+	e.f64(spec.Params.Eta)
+	e.f64(spec.Epsilon)
+	e.u32(uint32(len(spec.Groups)))
+	for _, g := range spec.Groups {
 		e.u32(uint32(len(g)))
 		for _, id := range g {
 			e.u32(uint32(id))
 		}
 	}
+}
+
+func decodeSpecBody(d *dec) core.SearchSpec {
+	var spec core.SearchSpec
+	spec.Seeker = graph.NID(d.u32())
+	spec.K = int(d.u32())
+	spec.Params = score.Params{Gamma: d.f64(), Eta: d.f64()}
+	spec.Epsilon = d.f64()
+	ng := int(d.u32())
+	if d.err == nil && (ng <= 0 || ng > maxGroups) {
+		d.fail("%d keyword groups", ng)
+	}
+	for gi := 0; gi < ng && d.err == nil; gi++ {
+		nk := int(d.u32())
+		if d.err == nil && (nk <= 0 || nk > maxGroupLen) {
+			d.fail("group of %d keywords", nk)
+		}
+		g := make([]dict.ID, 0, min(nk, 1024))
+		for j := 0; j < nk && d.err == nil; j++ {
+			g = append(g, dict.ID(d.u32()))
+		}
+		spec.Groups = append(spec.Groups, g)
+	}
+	return spec
+}
+
+func encodeBeginRequest(r beginRequest) []byte {
+	var e enc
+	e.u64(r.searchID)
+	encodeSpecBody(&e, r.spec)
 	// Optional trailing fields, in fixed order: trace id, then deadline.
 	// A frame with neither is byte-identical to the pre-trace protocol.
 	// The deadline implies the trace id (written even when zero) so the
@@ -363,25 +412,7 @@ func decodeBeginRequest(b []byte) (beginRequest, error) {
 	d := &dec{b: b}
 	var r beginRequest
 	r.searchID = d.u64()
-	r.spec.Seeker = graph.NID(d.u32())
-	r.spec.K = int(d.u32())
-	r.spec.Params = score.Params{Gamma: d.f64(), Eta: d.f64()}
-	r.spec.Epsilon = d.f64()
-	ng := int(d.u32())
-	if d.err == nil && (ng <= 0 || ng > maxGroups) {
-		d.fail("%d keyword groups", ng)
-	}
-	for gi := 0; gi < ng && d.err == nil; gi++ {
-		nk := int(d.u32())
-		if d.err == nil && (nk <= 0 || nk > maxGroupLen) {
-			d.fail("group of %d keywords", nk)
-		}
-		g := make([]dict.ID, 0, min(nk, 1024))
-		for j := 0; j < nk && d.err == nil; j++ {
-			g = append(g, dict.ID(d.u32()))
-		}
-		r.spec.Groups = append(r.spec.Groups, g)
-	}
+	r.spec = decodeSpecBody(d)
 	// Optional trailing trace id: absent on frames from pre-trace
 	// coordinators (and on untraced searches).
 	if d.err == nil && d.off < len(d.b) {
@@ -395,8 +426,10 @@ func decodeBeginRequest(b []byte) (beginRequest, error) {
 	return r, d.done()
 }
 
-func encodeBeginInfo(info core.BeginInfo) []byte {
-	var e enc
+// encodeBeginInfoBody / decodeBeginInfoBody read and write exactly one
+// BeginInfo's bytes — the unit both the single-shard reply and the
+// proto-4 beginset reply are built from.
+func encodeBeginInfoBody(e *enc, info core.BeginInfo) {
 	e.u32(uint32(info.Matched))
 	e.u32(uint32(len(info.GroupMasses)))
 	for _, g := range info.GroupMasses {
@@ -405,11 +438,9 @@ func encodeBeginInfo(info core.BeginInfo) []byte {
 			e.u32(uint32(m))
 		}
 	}
-	return e.b
 }
 
-func decodeBeginInfo(b []byte, base time.Time) (core.BeginInfo, *obs.Span, error) {
-	d := &dec{b: b}
+func decodeBeginInfoBody(d *dec) core.BeginInfo {
 	var info core.BeginInfo
 	info.Matched = int(d.u32())
 	ng := int(d.u32())
@@ -427,6 +458,18 @@ func decodeBeginInfo(b []byte, base time.Time) (core.BeginInfo, *obs.Span, error
 		}
 		info.GroupMasses = append(info.GroupMasses, g)
 	}
+	return info
+}
+
+func encodeBeginInfo(info core.BeginInfo) []byte {
+	var e enc
+	encodeBeginInfoBody(&e, info)
+	return e.b
+}
+
+func decodeBeginInfo(b []byte, base time.Time) (core.BeginInfo, *obs.Span, error) {
+	d := &dec{b: b}
+	info := decodeBeginInfoBody(d)
 	sp := decodeTrailingSpan(d, base)
 	return info, sp, d.done()
 }
@@ -637,6 +680,172 @@ func decodeReplayReply(b []byte) (replayReply, error) {
 	d := &dec{b: b}
 	r := replayReply{round: d.u32()}
 	return r, d.done()
+}
+
+// --- host sessions (proto 4) ---
+
+// beginSetRequest installs one session covering a LIST of the worker's
+// hosted shards: the worker serves them all off a single shared proximity
+// iterator (core.HostExecutor), and every subsequent rounds/finalize reply
+// for the session carries one RoundInfo block per member shard, in list
+// order. The round/replay/end request frames are unchanged — a host
+// session is addressed by its search id like any other.
+type beginSetRequest struct {
+	searchID       uint64
+	shards         []int
+	spec           core.SearchSpec
+	traceID        uint64
+	deadlineMicros uint64
+}
+
+func encodeBeginSetRequest(r beginSetRequest) []byte {
+	var e enc
+	e.u64(r.searchID)
+	e.u32(uint32(len(r.shards)))
+	for _, s := range r.shards {
+		e.u32(uint32(s))
+	}
+	encodeSpecBody(&e, r.spec)
+	// Optional trailing trace id / deadline, same count-disambiguated
+	// rules as the begin frame. beginset is proto-4 only, so the decoder
+	// always knows both fields.
+	switch {
+	case r.deadlineMicros != 0:
+		e.u64(r.traceID)
+		e.u64(r.deadlineMicros)
+	case r.traceID != 0:
+		e.u64(r.traceID)
+	}
+	return e.b
+}
+
+func decodeBeginSetRequest(b []byte) (beginSetRequest, error) {
+	d := &dec{b: b}
+	var r beginSetRequest
+	r.searchID = d.u64()
+	ns := int(d.u32())
+	if d.err == nil && (ns <= 0 || ns > maxHostShards) {
+		d.fail("%d shards in beginset", ns)
+	}
+	seen := make(map[int]struct{}, min(ns, 16))
+	for i := 0; i < ns && d.err == nil; i++ {
+		s := int(d.u32())
+		if _, dup := seen[s]; dup {
+			d.fail("shard %d listed twice in beginset", s)
+		}
+		seen[s] = struct{}{}
+		r.shards = append(r.shards, s)
+	}
+	r.spec = decodeSpecBody(d)
+	if d.err == nil && d.off < len(d.b) {
+		r.traceID = d.u64()
+	}
+	if d.err == nil && d.off < len(d.b) {
+		r.deadlineMicros = d.u64()
+	}
+	return r, d.done()
+}
+
+// encodeBeginSetReply carries one BeginInfo per member shard, in the
+// request's shard-list order, plus the optional trailing span block.
+func encodeBeginSetReply(infos []core.BeginInfo) []byte {
+	var e enc
+	e.u32(uint32(len(infos)))
+	for i := range infos {
+		encodeBeginInfoBody(&e, infos[i])
+	}
+	return e.b
+}
+
+func decodeBeginSetReply(b []byte, nShards int, base time.Time) ([]core.BeginInfo, *obs.Span, error) {
+	d := &dec{b: b}
+	n := int(d.u32())
+	if d.err == nil && n != nShards {
+		d.fail("beginset reply covers %d shards, session has %d", n, nShards)
+	}
+	infos := make([]core.BeginInfo, 0, min(n, maxHostShards))
+	for i := 0; i < n && d.err == nil; i++ {
+		infos = append(infos, decodeBeginInfoBody(d))
+	}
+	sp := decodeTrailingSpan(d, base)
+	if err := d.done(); err != nil {
+		return nil, nil, err
+	}
+	return infos, sp, nil
+}
+
+// encodeHostRoundsReply carries, per executed round, one RoundInfo per
+// member shard (round-major, shard-list order within a round): the
+// coordinator replays its per-round, per-shard stop decisions on each
+// block, so byte-identity does not depend on how shards were grouped onto
+// hosts or rounds into RPCs.
+func encodeHostRoundsReply(rows [][]core.RoundInfo) []byte {
+	var e enc
+	e.u32(uint32(len(rows)))
+	var nShards int
+	if len(rows) > 0 {
+		nShards = len(rows[0])
+	}
+	e.u32(uint32(nShards))
+	for _, row := range rows {
+		for i := range row {
+			encodeRoundInfoBody(&e, row[i])
+		}
+	}
+	return e.b
+}
+
+func decodeHostRoundsReply(b []byte, nShards int, base time.Time) ([][]core.RoundInfo, *obs.Span, error) {
+	d := &dec{b: b}
+	n := int(d.u32())
+	if d.err == nil && (n == 0 || n > maxBatchRounds) {
+		d.fail("%d rounds in host batched reply", n)
+	}
+	ns := int(d.u32())
+	if d.err == nil && ns != nShards {
+		d.fail("host rounds reply covers %d shards, session has %d", ns, nShards)
+	}
+	rows := make([][]core.RoundInfo, 0, min(n, 64))
+	for i := 0; i < n && d.err == nil; i++ {
+		row := make([]core.RoundInfo, 0, nShards)
+		for j := 0; j < ns && d.err == nil; j++ {
+			row = append(row, decodeRoundInfoBody(d))
+		}
+		rows = append(rows, row)
+	}
+	sp := decodeTrailingSpan(d, base)
+	if err := d.done(); err != nil {
+		return nil, nil, err
+	}
+	return rows, sp, nil
+}
+
+// encodeHostInfosReply carries one RoundInfo per member shard — the host
+// session's finalize reply.
+func encodeHostInfosReply(infos []core.RoundInfo) []byte {
+	var e enc
+	e.u32(uint32(len(infos)))
+	for i := range infos {
+		encodeRoundInfoBody(&e, infos[i])
+	}
+	return e.b
+}
+
+func decodeHostInfosReply(b []byte, nShards int, base time.Time) ([]core.RoundInfo, *obs.Span, error) {
+	d := &dec{b: b}
+	n := int(d.u32())
+	if d.err == nil && n != nShards {
+		d.fail("host reply covers %d shards, session has %d", n, nShards)
+	}
+	infos := make([]core.RoundInfo, 0, min(n, maxHostShards))
+	for i := 0; i < n && d.err == nil; i++ {
+		infos = append(infos, decodeRoundInfoBody(d))
+	}
+	sp := decodeTrailingSpan(d, base)
+	if err := d.done(); err != nil {
+		return nil, nil, err
+	}
+	return infos, sp, nil
 }
 
 // floatBits / floatFromBits round-trip float64s through their exact bit

@@ -1,6 +1,9 @@
-// The per-shard worker: one process serving one shard of a set through
-// the round protocol, plus the operational endpoints a coordinator and an
-// external router need (/healthz readiness, /stats counters, /reload).
+// The shard worker: one process serving one or more shards of a set
+// through the round protocol, plus the operational endpoints a
+// coordinator and an external router need (/healthz readiness, /stats
+// counters, /reload). A multi-shard worker (proto 4) serves host
+// sessions: all its shards of one search share a single proximity
+// iterator, stepped once per round.
 package dshard
 
 import (
@@ -49,6 +52,16 @@ type WorkerConfig struct {
 	ManifestPath string
 	Shard        int
 	Mode         snap.LoadMode
+	// Shards, when non-empty, lists ALL the shard ordinals this process
+	// hosts (Shard is ignored); the worker serves them off one substrate
+	// mapping, and host sessions (proto 4) share one proximity iterator
+	// across every hosted shard of a search. Empty means []int{Shard}.
+	Shards []int
+	// Verify selects when snapshot payload checksums run: snap.VerifyEager
+	// (default) fails the Load on corruption; snap.VerifyLazy starts
+	// serving as soon as the section tables parse and flips the worker
+	// unhealthy if the background pass finds corruption.
+	Verify snap.VerifyMode
 	// Workers bounds per-search candidate-bound parallelism (0 = serial).
 	Workers int
 	// SessionTTL evicts abandoned searches (a crashed coordinator never
@@ -81,7 +94,11 @@ const maxWorkerBatch = 64
 // reload unmaps the old snapshot only after its last in-flight search
 // ends (the same discipline the serving layer uses).
 type workerGen struct {
-	ws       *snap.WorkerSnapshot
+	ws *snap.WorkerSnapshot
+	// engines holds one engine per hosted shard, in cfg.Shards order;
+	// engine is the primary (engines[0]) — what legacy single-shard
+	// sessions run on.
+	engines  []*core.Engine
 	engine   *core.Engine
 	version  uint64
 	loadMS   int64
@@ -119,6 +136,12 @@ type session struct {
 	lastUsed time.Time
 	trace    *obs.Trace
 
+	// host is set instead of exec for a proto-4 host session: one
+	// executor set serving the shard list `shards` off a shared iterator.
+	// Rounds/finalize replies then carry one RoundInfo block per member.
+	host   *core.HostExecutor
+	shards []int
+
 	// deadline, when non-zero, is when the sweeper may abandon the
 	// session even before the TTL — the coordinator shipped its search
 	// budget in Begin, so anything past it is orphaned (a stopped
@@ -128,9 +151,12 @@ type session struct {
 	// lastSig / lastAdmitted track the shard-local selection across
 	// rounds, so a batched-rounds call can stop at the first round whose
 	// outcome the coordinator will want to react to (admission, kept-set
-	// or certainty change).
+	// or certainty change). Host sessions track one slot per member shard
+	// (lastSigs/lastAdmits) and stop when ANY member trips.
 	lastSig      roundSig
 	lastAdmitted int
+	lastSigs     []roundSig
+	lastAdmits   []int
 }
 
 // roundSig is the reaction-worthy summary of one round's shard-local
@@ -175,20 +201,24 @@ func (a roundSig) equal(b roundSig) bool {
 // NewWorker, then Load (or let the HTTP layer report "loading" while a
 // background Load runs).
 type Worker struct {
-	cfg   WorkerConfig
-	state atomic.Int32
-	cur   atomic.Pointer[workerGen]
+	cfg WorkerConfig
+	// shardIdx maps hosted shard ordinal → index in cfg.Shards (and in
+	// every per-shard slice below).
+	shardIdx map[int]int
+	state    atomic.Int32
+	cur      atomic.Pointer[workerGen]
 
 	reloadMu sync.Mutex
 	mu       sync.Mutex
 	sessions map[uint64]*session
 
 	start       time.Time
-	searches    atomic.Uint64 // Begin calls accepted
-	touched     atomic.Uint64 // searches that matched components here
-	rounds      atomic.Uint64 // lockstep rounds that carried candidates
-	rejected    atomic.Uint64 // begins refused (not serving / full)
-	warmResumes atomic.Uint64 // Begins that resumed a cached frontier
+	searches    atomic.Uint64   // Begin calls accepted
+	touched     []atomic.Uint64 // searches that matched components, per hosted shard
+	rounds      []atomic.Uint64 // rounds that carried candidates, per hosted shard
+	iterSteps   atomic.Uint64   // proximity-iterator steps actually executed
+	rejected    atomic.Uint64   // begins refused (not serving / full)
+	warmResumes atomic.Uint64   // Begins that resumed a cached frontier
 
 	// prox caches seeker-proximity checkpoints across this worker's
 	// searches (nil when disabled); bound to the served generation so a
@@ -211,12 +241,22 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{cfg.Shard}
+	}
+	cfg.Shard = cfg.Shards[0]
 	w := &Worker{
 		cfg:      cfg,
+		shardIdx: make(map[int]int, len(cfg.Shards)),
 		sessions: make(map[uint64]*session),
 		start:    time.Now(),
 		reg:      cfg.Registry,
 		traces:   obs.NewTraceRing(0),
+		touched:  make([]atomic.Uint64, len(cfg.Shards)),
+		rounds:   make([]atomic.Uint64, len(cfg.Shards)),
+	}
+	for i, s := range cfg.Shards {
+		w.shardIdx[s] = i
 	}
 	proxBytes := cfg.ProxCacheBytes
 	if proxBytes == 0 {
@@ -247,10 +287,25 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		func() float64 { return float64(w.searches.Load()) })
 	w.reg.CounterFunc("s3_worker_rejected_total", "Begin requests refused (not serving or session table full).",
 		func() float64 { return float64(w.rejected.Load()) })
-	w.reg.CounterFunc("s3_worker_shard_searches_total", "Searches that matched components on this shard.",
-		func() float64 { return float64(w.touched.Load()) })
-	w.reg.CounterFunc("s3_worker_shard_rounds_total", "Lockstep rounds that carried candidate work on this shard.",
-		func() float64 { return float64(w.rounds.Load()) })
+	w.reg.CounterFunc("s3_worker_shard_searches_total", "Searches that matched components on this worker's shards (summed over hosted shards).",
+		func() float64 {
+			var n uint64
+			for i := range w.touched {
+				n += w.touched[i].Load()
+			}
+			return float64(n)
+		})
+	w.reg.CounterFunc("s3_worker_shard_rounds_total", "Lockstep rounds that carried candidate work on this worker's shards (summed over hosted shards).",
+		func() float64 {
+			var n uint64
+			for i := range w.rounds {
+				n += w.rounds[i].Load()
+			}
+			return float64(n)
+		})
+	w.reg.CounterFunc("s3_worker_iter_steps_total",
+		"Proximity-iterator steps actually executed: one per round per search, however many hosted shards the search covers.",
+		func() float64 { return float64(w.iterSteps.Load()) })
 	w.reg.GaugeFunc("s3_worker_sessions", "Open search sessions.", func() float64 {
 		w.mu.Lock()
 		defer w.mu.Unlock()
@@ -279,7 +334,7 @@ func (w *Worker) Load() error {
 	w.reloadMu.Lock()
 	defer w.reloadMu.Unlock()
 	start := time.Now()
-	ws, err := snap.OpenShardWorker(w.cfg.ManifestPath, w.cfg.Shard, w.cfg.Mode)
+	ws, err := snap.OpenWorkerHost(w.cfg.ManifestPath, w.cfg.Shards, w.cfg.Mode, w.cfg.Verify)
 	if err != nil {
 		return err
 	}
@@ -288,9 +343,14 @@ func (w *Worker) Load() error {
 	if old != nil {
 		version = old.version + 1
 	}
+	engines := make([]*core.Engine, len(ws.Instances))
+	for i := range ws.Instances {
+		engines[i] = core.NewEngine(ws.Instances[i], ws.Indexes[i])
+	}
 	gen := &workerGen{
 		ws:       ws,
-		engine:   core.NewEngine(ws.Instance, ws.Index),
+		engines:  engines,
+		engine:   engines[0],
 		version:  version,
 		loadMS:   time.Since(start).Milliseconds(),
 		loadedAt: time.Now(),
@@ -364,6 +424,7 @@ func (w *Worker) acquire() *workerGen {
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+pathBegin, w.handleBegin)
+	mux.HandleFunc("POST "+pathBeginSet, w.handleBeginSet)
 	mux.HandleFunc("POST "+pathRound, w.handleRound)
 	mux.HandleFunc("POST "+pathRounds, w.handleRounds)
 	mux.HandleFunc("POST "+pathReplay, w.handleReplay)
@@ -418,7 +479,11 @@ func readFrame(rw http.ResponseWriter, req *http.Request) ([]byte, bool) {
 // its accumulated span tree (traced sessions) in the worker's ring.
 func (w *Worker) closeSession(s *session) {
 	s.mu.Lock()
-	s.exec.End()
+	if s.host != nil {
+		s.host.End()
+	} else {
+		s.exec.End()
+	}
 	if s.trace != nil {
 		s.trace.Finish()
 		w.traces.Add(&obs.TraceRecord{
@@ -470,11 +535,19 @@ func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
 		writeErr(rw, http.StatusServiceUnavailable, "worker is loading")
 		return
 	}
+	if err := gen.ws.VerifyErr(); err != nil {
+		gen.release()
+		w.rejected.Add(1)
+		writeErr(rw, http.StatusServiceUnavailable, "snapshot failed verification: %v", err)
+		return
+	}
+	// A legacy single-shard begin serves the worker's primary shard.
 	s := &session{
 		gen: gen,
 		exec: core.NewShardExecutor(gen.engine, w.cfg.Workers).
-			WithCounters(&w.touched, &w.rounds).
-			WithProxCache(w.prox),
+			WithCounters(&w.touched[0], &w.rounds[0]).
+			WithProxCache(w.prox).
+			WithStepCounter(&w.iterSteps),
 		lastUsed: time.Now(),
 		lastSig:  roundSig{unc: -1},
 	}
@@ -527,6 +600,133 @@ func (w *Worker) takeCallSpan(s *session) *obs.Span {
 	return sp
 }
 
+// takeHostSpan is takeCallSpan for a host session: the per-member span
+// subtrees of the just-finished call are gathered under one wrapper.
+func (w *Worker) takeHostSpan(s *session, name string) *obs.Span {
+	var wrap *obs.Span
+	for _, sp := range s.host.TakeSpans() {
+		if sp == nil {
+			continue
+		}
+		if wrap == nil {
+			wrap = obs.NewSpan(name)
+		}
+		wrap.Attach(sp)
+	}
+	if wrap != nil {
+		wrap.End()
+		if s.trace != nil {
+			s.trace.Span().Attach(wrap)
+		}
+	}
+	return wrap
+}
+
+// handleBeginSet installs a proto-4 host session: one search covering a
+// list of this worker's hosted shards, served off a single shared
+// proximity iterator. Every shard in the list must be hosted here; a
+// stale membership view gets 409 (a failover trigger), never a partial
+// session.
+func (w *Worker) handleBeginSet(rw http.ResponseWriter, req *http.Request) {
+	defer w.rpcSeconds[epBeginSet].ObserveSince(time.Now())
+	if w.state.Load() != StateServing {
+		w.rejected.Add(1)
+		writeErr(rw, http.StatusServiceUnavailable, "worker is %s", stateName(w.state.Load()))
+		return
+	}
+	body, ok := readFrame(rw, req)
+	if !ok {
+		return
+	}
+	r, err := decodeBeginSetRequest(body)
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	gen := w.acquire()
+	if gen == nil {
+		w.rejected.Add(1)
+		writeErr(rw, http.StatusServiceUnavailable, "worker is loading")
+		return
+	}
+	if err := gen.ws.VerifyErr(); err != nil {
+		gen.release()
+		w.rejected.Add(1)
+		writeErr(rw, http.StatusServiceUnavailable, "snapshot failed verification: %v", err)
+		return
+	}
+	engines := make([]*core.Engine, len(r.shards))
+	touched := make([]*atomic.Uint64, len(r.shards))
+	rounds := make([]*atomic.Uint64, len(r.shards))
+	for i, shard := range r.shards {
+		idx, hosted := w.shardIdx[shard]
+		if !hosted {
+			gen.release()
+			writeErr(rw, http.StatusConflict, "shard %d not hosted here (serving %v)", shard, w.cfg.Shards)
+			return
+		}
+		engines[i] = gen.engines[idx]
+		touched[i] = &w.touched[idx]
+		rounds[i] = &w.rounds[idx]
+	}
+	host, err := core.NewHostExecutor(engines, w.cfg.Workers)
+	if err != nil {
+		gen.release()
+		writeErr(rw, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	host.WithProxCache(w.prox).
+		WithStepCounter(&w.iterSteps).
+		WithCounters(touched, rounds)
+	s := &session{
+		gen:        gen,
+		host:       host,
+		shards:     r.shards,
+		lastUsed:   time.Now(),
+		lastSigs:   make([]roundSig, len(r.shards)),
+		lastAdmits: make([]int, len(r.shards)),
+	}
+	for i := range s.lastSigs {
+		s.lastSigs[i] = roundSig{unc: -1}
+	}
+	if r.traceID != 0 {
+		host.WithTracing(true)
+		s.trace = obs.NewTraceWithID(r.traceID, "worker.search")
+	}
+	if r.deadlineMicros != 0 {
+		s.deadline = s.lastUsed.Add(time.Duration(r.deadlineMicros) * time.Microsecond)
+	}
+	w.mu.Lock()
+	w.sweepSessions(s.lastUsed)
+	if len(w.sessions) >= w.cfg.MaxSessions {
+		w.mu.Unlock()
+		gen.release()
+		w.rejected.Add(1)
+		writeErr(rw, http.StatusServiceUnavailable, "worker session table full (%d)", w.cfg.MaxSessions)
+		return
+	}
+	if _, dup := w.sessions[r.searchID]; dup {
+		w.mu.Unlock()
+		gen.release()
+		writeErr(rw, http.StatusConflict, "search %d already begun", r.searchID)
+		return
+	}
+	w.sessions[r.searchID] = s
+	w.mu.Unlock()
+
+	infos, err := host.Begin(r.spec)
+	if err != nil {
+		w.dropSession(r.searchID)
+		writeErr(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if host.ResumedDepth() > 0 {
+		w.warmResumes.Add(1)
+	}
+	w.searches.Add(1)
+	writeFrame(rw, appendSpanBlock(encodeBeginSetReply(infos), w.takeHostSpan(s, "exec.beginset")))
+}
+
 // lookup fetches a session and bumps its liveness.
 func (w *Worker) lookup(id uint64) *session {
 	w.mu.Lock()
@@ -566,6 +766,13 @@ func (w *Worker) handleRound(rw http.ResponseWriter, req *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.host != nil {
+		// Host sessions reply with one block per member shard, which the
+		// single-round frame cannot carry; a proto-4 coordinator only ever
+		// drives them through /shard/v1/rounds.
+		writeErr(rw, http.StatusConflict, "search %d is a host session; use %s", r.searchID, pathRounds)
+		return
+	}
 	if r.round != s.round+1 {
 		// Out-of-lockstep: a lost or replayed frame must never silently
 		// double-step the exploration.
@@ -618,6 +825,10 @@ func (w *Worker) handleRounds(rw http.ResponseWriter, req *http.Request) {
 	if maxRounds > maxWorkerBatch {
 		maxRounds = maxWorkerBatch
 	}
+	if s.host != nil {
+		w.hostRounds(rw, s, maxRounds)
+		return
+	}
 	infos := make([]core.RoundInfo, 0, maxRounds)
 	var batchSpan *obs.Span
 	for len(infos) < maxRounds {
@@ -651,6 +862,64 @@ func (w *Worker) handleRounds(rw http.ResponseWriter, req *http.Request) {
 		}
 	}
 	writeFrame(rw, appendSpanBlock(encodeRoundsReply(infos), batchSpan))
+}
+
+// hostRounds is handleRounds for a host session: each executed round
+// advances every member shard off ONE iterator step, and the reply
+// carries one RoundInfo block per member per round. The batch stops when
+// ANY member's outcome is reaction-worthy — the coordinator replays each
+// member's stop decision independently, so an early stop is only ever a
+// latency/waste heuristic. The caller holds s.mu and verified lockstep.
+func (w *Worker) hostRounds(rw http.ResponseWriter, s *session, maxRounds int) {
+	rows := make([][]core.RoundInfo, 0, maxRounds)
+	var batchSpan *obs.Span
+	for len(rows) < maxRounds {
+		infos, err := s.host.Round()
+		if err != nil {
+			writeErr(rw, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.round++
+		var wrap *obs.Span
+		for _, sp := range s.host.TakeSpans() {
+			if sp == nil {
+				continue
+			}
+			if wrap == nil {
+				wrap = obs.NewSpan("exec.round")
+			}
+			wrap.Attach(sp)
+		}
+		if wrap != nil {
+			wrap.End()
+			if batchSpan == nil {
+				batchSpan = obs.NewSpan("exec.rounds")
+			}
+			batchSpan.Attach(wrap)
+		}
+		rows = append(rows, infos)
+		stop := false
+		for i, info := range infos {
+			sig := keptSig(info)
+			if info.Done || info.Tail < 1e-15 ||
+				info.Admitted > s.lastAdmits[i] || !sig.equal(s.lastSigs[i]) {
+				stop = true
+			}
+			s.lastSigs[i] = sig
+			s.lastAdmits[i] = info.Admitted
+		}
+		if stop {
+			break
+		}
+	}
+	if batchSpan != nil {
+		batchSpan.SetInt("rounds", int64(len(rows)))
+		batchSpan.End()
+		if s.trace != nil {
+			s.trace.Span().Attach(batchSpan)
+		}
+	}
+	writeFrame(rw, appendSpanBlock(encodeHostRoundsReply(rows), batchSpan))
 }
 
 // handleReplay is the proto-3 failover fast-forward: advance the session
@@ -687,6 +956,23 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, req *http.Request) {
 	}
 	executed := 0
 	for s.round < r.upto && executed < maxWorkerBatch {
+		if s.host != nil {
+			infos, err := s.host.Round()
+			if err != nil {
+				writeErr(rw, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			s.round++
+			executed++
+			for i, info := range infos {
+				s.lastSigs[i] = keptSig(info)
+				s.lastAdmits[i] = info.Admitted
+			}
+			if sp := w.takeHostSpan(s, "exec.round"); sp != nil {
+				_ = sp // retained in the session trace by takeHostSpan
+			}
+			continue
+		}
 		info, err := s.exec.Round()
 		if err != nil {
 			writeErr(rw, http.StatusInternalServerError, "%v", err)
@@ -723,6 +1009,15 @@ func (w *Worker) handleFinalize(rw http.ResponseWriter, req *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.host != nil {
+		infos, err := s.host.Finalize()
+		if err != nil {
+			writeErr(rw, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeFrame(rw, appendSpanBlock(encodeHostInfosReply(infos), w.takeHostSpan(s, "exec.finalize")))
+		return
+	}
 	info, err := s.exec.Finalize()
 	if err != nil {
 		writeErr(rw, http.StatusInternalServerError, "%v", err)
@@ -750,8 +1045,12 @@ func (w *Worker) handleEnd(rw http.ResponseWriter, req *http.Request) {
 // probe needs to place the worker (shard ordinal, set identity) and to
 // decide whether to route to it (status).
 type healthzBody struct {
-	Status     string `json:"status"`
-	Shard      int    `json:"shard"`
+	Status string `json:"status"`
+	Shard  int    `json:"shard"`
+	// Shards lists every shard ordinal this process hosts (proto 4
+	// multi-shard workers; absent means just Shard). Shard stays the
+	// primary — what a legacy single-shard begin is served against.
+	Shards     []int  `json:"shards,omitempty"`
 	ShardCount int    `json:"shard_count"`
 	SetID      string `json:"set_id"`
 	Version    uint64 `json:"version"`
@@ -772,16 +1071,24 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 	w.sweepSessions(time.Now())
 	w.mu.Unlock()
 	state := w.state.Load()
-	body := healthzBody{Status: stateName(state), Shard: w.cfg.Shard, Proto: protoVersion}
+	body := healthzBody{Status: stateName(state), Shard: w.cfg.Shard, Shards: w.cfg.Shards, Proto: protoVersion}
 	status := http.StatusServiceUnavailable
+	verified := true
 	if gen := w.acquire(); gen != nil {
 		body.ShardCount = len(gen.ws.Layout.Shards)
 		body.SetID = fmt.Sprintf("%016x", gen.ws.Layout.SetID)
 		body.Version = gen.version
 		body.Sliced = gen.ws.Sliced
+		if err := gen.ws.VerifyErr(); err != nil {
+			// Deferred verification found corruption: report unready so the
+			// coordinator routes away (open sessions keep answering — their
+			// replicas will win every future pick).
+			body.Status = "corrupt"
+			verified = false
+		}
 		gen.release()
 	}
-	if state == StateServing {
+	if state == StateServing && verified {
 		status = http.StatusOK
 	}
 	writeJSON(rw, status, &body)
@@ -832,21 +1139,24 @@ func (w *Worker) Stats() WorkerStats {
 	st.Sessions = len(w.sessions)
 	w.mu.Unlock()
 	if gen := w.acquire(); gen != nil {
-		is := gen.ws.Instance.Stats()
 		st.ShardCount = len(gen.ws.Layout.Shards)
 		st.SetID = fmt.Sprintf("%016x", gen.ws.Layout.SetID)
 		st.Version = gen.version
 		st.Sliced = gen.ws.Sliced
 		st.LoadMS = gen.loadMS
 		st.MappedBytes = gen.ws.MappedBytes()
-		st.Shards = []WorkerShardRow{{
-			Shard:      w.cfg.Shard,
-			Documents:  is.Documents,
-			Components: is.Components,
-			Tags:       is.Tags,
-			Searches:   w.touched.Load(),
-			Rounds:     w.rounds.Load(),
-		}}
+		st.Shards = make([]WorkerShardRow, len(w.cfg.Shards))
+		for i, shard := range w.cfg.Shards {
+			is := gen.ws.Instances[i].Stats()
+			st.Shards[i] = WorkerShardRow{
+				Shard:      shard,
+				Documents:  is.Documents,
+				Components: is.Components,
+				Tags:       is.Tags,
+				Searches:   w.touched[i].Load(),
+				Rounds:     w.rounds[i].Load(),
+			}
+		}
 		gen.release()
 	}
 	return st

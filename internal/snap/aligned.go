@@ -28,9 +28,6 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // castagnoli is the CRC-32C table: hardware-accelerated on amd64/arm64,
@@ -196,55 +193,37 @@ func parseAlignedTable(data []byte, magic string, what string) ([]secSpan, int64
 // is about to trim away. The second return locates the kept payloads for
 // range-based mapping maintenance (Trim, Advise).
 func readAlignedPick(data []byte, magic string, what string, keep func(id byte) bool) (map[byte][]byte, []secSpan, error) {
+	return readAlignedPickDeferred(data, magic, what, keep, nil)
+}
+
+// readAlignedPickDeferred is readAlignedPick with an optional deferred
+// verifier: when dv is non-nil the kept payloads' checksum pass runs in
+// the background (checksum-on-fault — see verify.go) instead of blocking
+// the open. Header and table validation stays synchronous either way.
+func readAlignedPickDeferred(data []byte, magic string, what string, keep func(id byte) bool, dv *DeferredVerify) (map[byte][]byte, []secSpan, error) {
 	entries, _, err := parseAlignedTable(data, magic, what)
 	if err != nil {
 		return nil, nil, err
 	}
 	payloads := make(map[byte][]byte, len(entries))
-	type span struct {
-		id      byte
-		payload []byte
-		sum     uint64
-	}
-	spans := make([]span, 0, len(entries))
 	kept := make([]secSpan, 0, len(entries))
 	for _, en := range entries {
 		if keep != nil && !keep(en.id) {
 			continue
 		}
 		payloads[en.id] = data[en.off : en.off+en.len]
-		spans = append(spans, span{id: en.id, payload: data[en.off : en.off+en.len], sum: en.sum})
 		kept = append(kept, en)
 	}
-	// Verify the checksums in parallel: the pass is memory-bandwidth
-	// bound and is the dominant cost of a mapped cold start, so spreading
-	// it over cores directly shortens time-to-first-search.
-	var bad atomic.Int32
-	bad.Store(-1)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(spans) {
-		workers = len(spans)
+	// The checksum pass is memory-bandwidth bound and is the dominant
+	// cost of a mapped cold start: run it inline (parallel) when eager,
+	// hand it to the background collector when deferred.
+	if dv != nil {
+		spans := append([]secSpan(nil), kept...)
+		dv.spawn(func() error { return verifyAlignedSpans(data, spans, what) })
+		return payloads, kept, nil
 	}
-	var next atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(spans) {
-					return
-				}
-				if uint64(crc32.Checksum(spans[i].payload, castagnoli)) != spans[i].sum {
-					bad.Store(int32(spans[i].id))
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if id := bad.Load(); id >= 0 {
-		return nil, nil, fmt.Errorf("snap: section %d of %s fails its checksum", id, what)
+	if err := verifyAlignedSpans(data, kept, what); err != nil {
+		return nil, nil, err
 	}
 	return payloads, kept, nil
 }

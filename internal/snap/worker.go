@@ -1,24 +1,30 @@
-// Single-shard worker loading: the memory footprint half of distributed
-// shard serving.
+// Worker-host loading: the memory footprint half of distributed shard
+// serving.
 //
-// A worker process serves exactly one shard of a set. What it needs from
-// the shared manifest is the substrate social proximity is defined over —
-// the whole-graph transition matrix and the node→component table — plus
-// the meta/layout bookkeeping; its own node rows (kind, parent, depth,
-// document ordinal) arrive sliced inside its shard file, alongside the
-// index slice it always had. OpenShardWorker therefore maps the manifest,
-// parses and checksums only the substrate sections, and *trims* the rest
-// of the mapping away (mman.Trim punches page holes), so the worker's
-// mapped bytes shrink from "whole manifest + shard" to "matrix + component
-// table + its own rows" — the per-process win the ROADMAP's
-// distributed-shards item calls for. Per-section madvise is applied to
-// what remains (random access for matrix and postings, prefetch for the
-// warm-path tables).
+// A worker process serves one or more co-hosted shards of a set. What it
+// needs from the shared manifest is the substrate social proximity is
+// defined over — the whole-graph transition matrix and the
+// node→component table — plus the meta/layout bookkeeping; each hosted
+// shard's own node rows (kind, parent, depth, document ordinal) arrive
+// sliced inside its shard file, alongside the index slice it always had.
+// OpenWorkerHost therefore maps the manifest ONCE, parses and checksums
+// only the substrate sections, builds every hosted shard's sliced
+// instance over that one substrate, and *trims* the rest of the mapping
+// away (mman.Trim punches page holes): hosting N shards costs one
+// substrate mapping plus N shard files, not N× the substrate. Per-section
+// madvise is applied to what remains (random access for matrix and
+// postings, prefetch for the warm-path tables).
+//
+// Integrity: VerifyEager checksums every payload during the open (the
+// historical behaviour, kept for all single-shard compatibility paths);
+// VerifyLazy defers the memory-bandwidth passes — manifest substrate
+// section CRCs, shard-file digests, shard section CRCs — to a background
+// collector surfaced through WaitVerify/VerifyErr (see verify.go).
 //
 // Compatibility: shard files written before the sliced sections existed
 // (or legacy v1 sets) fall back to the full open — map/decode the whole
-// manifest, project the shard's components — which answers identically
-// and simply maps more.
+// manifest, project each hosted shard's components — which answers
+// identically and simply maps more.
 package snap
 
 import (
@@ -33,25 +39,32 @@ import (
 	"s3/internal/mman"
 )
 
-// WorkerSnapshot is an opened single-shard worker view of a shard set:
-// the shard's engine inputs plus the mappings backing them.
+// WorkerSnapshot is an opened worker-host view of a shard set: the hosted
+// shards' engine inputs plus the mappings backing them.
 type WorkerSnapshot struct {
-	// Instance is the shard's substrate: a sliced instance (matrix +
-	// component table + own node rows) on the sliced path, or a component
-	// projection of the full base instance on the fallback path.
-	Instance *graph.Instance
-	// Index is the shard's connection-index slice.
-	Index *index.Index
-	// Layout is the manifest's shard table; Shard this worker's ordinal.
+	// Instance/Index are the first hosted shard's inputs (the whole view
+	// for a single-shard worker); Instances/Indexes hold every hosted
+	// shard in Shards order, sharing one substrate on the sliced path.
+	Instance  *graph.Instance
+	Index     *index.Index
+	Instances []*graph.Instance
+	Indexes   []*index.Index
+	// Layout is the manifest's shard table; Shard the first hosted
+	// ordinal, Shards every hosted ordinal in hosted order.
 	Layout *Layout
 	Shard  int
-	// Sliced reports whether the worker runs over the sliced substrate
+	Shards []int
+	// Sliced reports whether the host runs over the sliced substrate
 	// (manifest node tables trimmed away) rather than the full manifest.
 	Sliced bool
 	// Mappings holds the live mappings (manifest first); Mode is LoadMmap
 	// when at least one file stayed mapped.
 	Mappings []*mman.Mapping
 	Mode     LoadMode
+
+	// verify collects the integrity checks a VerifyLazy open deferred
+	// (nil after an eager open: everything already verified).
+	verify *DeferredVerify
 }
 
 // MappedBytes sums the effective sizes of the backing mappings (net of
@@ -64,8 +77,30 @@ func (s *WorkerSnapshot) MappedBytes() int64 {
 	return total
 }
 
-// Close releases every mapping reference held by the worker snapshot.
+// WaitVerify blocks until any deferred integrity checks complete and
+// returns the first failure (nil immediately after an eager open).
+func (s *WorkerSnapshot) WaitVerify() error {
+	if s.verify == nil {
+		return nil
+	}
+	return s.verify.Wait()
+}
+
+// VerifyErr reports, without blocking, any deferred-verification failure
+// found so far (always nil after an eager open).
+func (s *WorkerSnapshot) VerifyErr() error {
+	if s.verify == nil {
+		return nil
+	}
+	return s.verify.Err()
+}
+
+// Close releases every mapping reference held by the worker snapshot,
+// first waiting out any deferred verification still reading them.
 func (s *WorkerSnapshot) Close() error {
+	if s.verify != nil {
+		_ = s.verify.Wait()
+	}
 	var first error
 	for _, m := range s.Mappings {
 		if err := m.Release(); err != nil && first == nil {
@@ -78,12 +113,35 @@ func (s *WorkerSnapshot) Close() error {
 
 // OpenShardWorker opens the manifest plus one shard of a set, fully
 // validated (digest, set id, ordinal, counts), for a per-shard worker
-// process. With LoadMmap and a sliced shard file the manifest mapping is
-// trimmed to the substrate sections; see the package comment.
+// process. It is OpenWorkerHost for a single shard with eager
+// verification — the historical single-shard contract.
 func OpenShardWorker(manifestPath string, shard int, mode LoadMode) (*WorkerSnapshot, error) {
-	out := &WorkerSnapshot{Shard: shard, Mode: LoadCopy}
+	return OpenWorkerHost(manifestPath, []int{shard}, mode, VerifyEager)
+}
+
+// OpenWorkerHost opens the manifest plus a set of co-hosted shards for
+// one worker process: one substrate mapping shared by every hosted
+// shard's sliced instance. See the package comment for the trimming and
+// verification behaviour.
+func OpenWorkerHost(manifestPath string, shards []int, mode LoadMode, verify VerifyMode) (*WorkerSnapshot, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("snap: worker host needs at least one shard")
+	}
+	seen := make(map[int]bool, len(shards))
+	for _, s := range shards {
+		if seen[s] {
+			return nil, fmt.Errorf("snap: shard %d hosted twice", s)
+		}
+		seen[s] = true
+	}
+	out := &WorkerSnapshot{Shard: shards[0], Shards: append([]int(nil), shards...), Mode: LoadCopy}
+	var dv *DeferredVerify
+	if verify == VerifyLazy {
+		dv = &DeferredVerify{}
+		out.verify = dv
+	}
 	fail := func(err error) (*WorkerSnapshot, error) {
-		out.Close()
+		out.Close() // waits out deferred verification before unmapping
 		return nil, err
 	}
 	// loadFile maps or reads one file; zeroCopy reports whether the bytes
@@ -129,7 +187,7 @@ func OpenShardWorker(manifestPath string, shard int, mode LoadMode) (*WorkerSnap
 		for _, id := range manifestSubstrateSections {
 			keep[id] = true
 		}
-		payloads, _, err := readAlignedPick(mdata, ManifestMagic, "shard-set manifest", func(id byte) bool { return keep[id] })
+		payloads, _, err := readAlignedPickDeferred(mdata, ManifestMagic, "shard-set manifest", func(id byte) bool { return keep[id] }, dv)
 		if err != nil {
 			return fail(err)
 		}
@@ -153,86 +211,125 @@ func OpenShardWorker(manifestPath string, shard int, mode LoadMode) (*WorkerSnap
 		layout = lay
 		sub.base = base
 	}
-	if shard < 0 || shard >= len(layout.Shards) {
-		return fail(fmt.Errorf("snap: shard %d outside layout of %d shards", shard, len(layout.Shards)))
+	for _, s := range shards {
+		if s < 0 || s >= len(layout.Shards) {
+			return fail(fmt.Errorf("snap: shard %d outside layout of %d shards", s, len(layout.Shards)))
+		}
 	}
 	out.Layout = layout
-	desc := layout.Shards[shard]
 
-	sdata, smapping, err := loadFile(filepath.Join(filepath.Dir(manifestPath), desc.Name), ShardMagic)
-	if err != nil {
-		return fail(fmt.Errorf("snap: opening shard %d: %w", shard, err))
+	// Load and digest-check every hosted shard file before committing to
+	// the sliced or fallback build: mixing is not worth the complexity, so
+	// one unsliced (or legacy) shard sends the whole host down the
+	// full-manifest fallback.
+	type openedShard struct {
+		desc     ShardDesc
+		data     []byte
+		mapping  *mman.Mapping
+		payloads map[byte][]byte
 	}
-	sver, err := fileVersion(sdata, ShardMagic)
-	if err != nil {
-		return fail(fmt.Errorf("snap: not a shard snapshot (bad magic)"))
-	}
-	var sum uint64
-	if sver == ShardSetVersionVarint {
-		h := fnv.New64a()
-		h.Write(sdata)
-		sum = h.Sum64()
-	} else {
-		sum = uint64(crc32.Checksum(sdata, castagnoli))
-	}
-	if sum != desc.Sum {
-		return fail(fmt.Errorf("snap: shard %d (%s) digest mismatch: file does not match manifest", shard, desc.Name))
-	}
-
-	sliced := false
-	if sliceable && sver == ShardSetVersion {
-		spayloads, err := readAligned(sdata, ShardMagic, "shard snapshot")
+	opened := make([]openedShard, len(shards))
+	allSliced := sliceable
+	for i, shard := range shards {
+		desc := layout.Shards[shard]
+		sdata, smapping, err := loadFile(filepath.Join(filepath.Dir(manifestPath), desc.Name), ShardMagic)
 		if err != nil {
+			return fail(fmt.Errorf("snap: opening shard %d: %w", shard, err))
+		}
+		sver, err := fileVersion(sdata, ShardMagic)
+		if err != nil {
+			return fail(fmt.Errorf("snap: not a shard snapshot (bad magic)"))
+		}
+		digest := func() error {
+			var sum uint64
+			if sver == ShardSetVersionVarint {
+				h := fnv.New64a()
+				h.Write(sdata)
+				sum = h.Sum64()
+			} else {
+				sum = uint64(crc32.Checksum(sdata, castagnoli))
+			}
+			if sum != desc.Sum {
+				return fmt.Errorf("snap: shard %d (%s) digest mismatch: file does not match manifest", shard, desc.Name)
+			}
+			return nil
+		}
+		if dv != nil {
+			dv.spawn(digest)
+		} else if err := digest(); err != nil {
 			return fail(err)
 		}
-		sliced = true
-		for _, id := range slice3Sections {
-			if _, ok := spayloads[id]; !ok {
-				sliced = false
-				break
-			}
-		}
-		if sliced {
-			hdr, err := decodeShardHeader(spayloads[secShardHeader], layout, shard)
+		o := openedShard{desc: desc, data: sdata, mapping: smapping}
+		if sliceable && sver == ShardSetVersion {
+			spayloads, _, err := readAlignedPickDeferred(sdata, ShardMagic, "shard snapshot", nil, dv)
 			if err != nil {
 				return fail(err)
 			}
-			in, ix, err := buildSlicedShard(sub, spayloads, hdr, desc, smapping != nil)
-			if err != nil {
-				return fail(err)
+			o.payloads = spayloads
+			for _, id := range slice3Sections {
+				if _, ok := spayloads[id]; !ok {
+					allSliced = false
+					break
+				}
 			}
-			out.Instance, out.Index, out.Sliced = in, ix, true
-			// The manifest mapping now backs only the substrate sections:
-			// punch the rest out and advise what remains.
-			if mmapping != nil {
-				trimWorkerManifest(mmapping, mdata)
-			}
-			if smapping != nil {
-				adviseMapped(smapping, ShardMagic, "shard snapshot")
-			}
-			return out, nil
+		} else {
+			allSliced = false
 		}
+		opened[i] = o
 	}
 
-	// Fallback: unsliced shard file (or legacy container) — decode the
-	// whole manifest and project the shard's components, exactly as the
-	// all-shards open would.
+	if allSliced {
+		out.Instances = make([]*graph.Instance, len(shards))
+		out.Indexes = make([]*index.Index, len(shards))
+		for i, shard := range shards {
+			o := opened[i]
+			hdr, err := decodeShardHeader(o.payloads[secShardHeader], layout, shard)
+			if err != nil {
+				return fail(err)
+			}
+			in, ix, err := buildSlicedShard(sub, o.payloads, hdr, o.desc, o.mapping != nil)
+			if err != nil {
+				return fail(err)
+			}
+			out.Instances[i], out.Indexes[i] = in, ix
+			if o.mapping != nil {
+				adviseMapped(o.mapping, ShardMagic, "shard snapshot")
+			}
+		}
+		out.Instance, out.Index, out.Sliced = out.Instances[0], out.Indexes[0], true
+		// The manifest mapping now backs only the substrate sections:
+		// punch the rest out and advise what remains.
+		if mmapping != nil {
+			trimWorkerManifest(mmapping, mdata)
+		}
+		return out, nil
+	}
+
+	// Fallback: an unsliced shard file (or legacy container) — decode the
+	// whole manifest and project each hosted shard's components, exactly
+	// as the all-shards open would.
 	base := sub.base
 	if base == nil {
 		if base, _, err = decodeManifest(mdata, mmapping != nil); err != nil {
 			return fail(err)
 		}
 	}
-	proj, ix, err := decodeShard(sdata, base, layout, shard, smapping != nil)
-	if err != nil {
-		return fail(err)
+	out.Instances = make([]*graph.Instance, len(shards))
+	out.Indexes = make([]*index.Index, len(shards))
+	for i, shard := range shards {
+		o := opened[i]
+		proj, ix, err := decodeShard(o.data, base, layout, shard, o.mapping != nil)
+		if err != nil {
+			return fail(err)
+		}
+		out.Instances[i], out.Indexes[i] = proj, ix
+		if o.mapping != nil {
+			adviseMapped(o.mapping, ShardMagic, "shard snapshot")
+		}
 	}
-	out.Instance, out.Index = proj, ix
+	out.Instance, out.Index = out.Instances[0], out.Indexes[0]
 	if mmapping != nil {
 		adviseMapped(mmapping, ManifestMagic, "shard-set manifest")
-	}
-	if smapping != nil {
-		adviseMapped(smapping, ShardMagic, "shard snapshot")
 	}
 	return out, nil
 }

@@ -1,12 +1,13 @@
 #!/bin/sh
-# e2e-chaos-smoke: boot a replicated distributed topology (2 shards x 2
-# replica workers each) with one worker reachable only through a faultnet
-# TCP proxy, keep an uncached search load running against the
-# coordinator, then repeatedly sever the proxied worker's live
-# connections and finally SIGKILL the process mid-load. Every query must
-# keep answering from the surviving replica and the coordinator must
-# record mid-search failovers (s3_coord_failover_total > 0). Run by CI
-# next to the observability smoke.
+# e2e-chaos-smoke: boot a replicated host-grouped topology (2 worker
+# processes, each hosting BOTH shards of a 2-shard set) with one host
+# reachable only through a faultnet TCP proxy, keep an uncached search
+# load running against the coordinator, then repeatedly sever the
+# proxied host's live connections and finally SIGKILL the process
+# mid-load. Every query must keep answering from the surviving host —
+# every shard the dead host carried fails over — and the coordinator
+# must record mid-search failovers (s3_coord_failover_total > 0). Run by
+# CI next to the observability smoke.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,23 +29,20 @@ go build -o "$tmp/s3serve" ./cmd/s3serve
 go build -o "$tmp/s3faultproxy" ./cmd/s3faultproxy
 "$tmp/s3gen" -dataset twitter -scale 0.2 -snap "$tmp/i.set" -shards 2 >/dev/null
 
-# Workers: shard 0 on 18181 (behind the proxy) and 18183, shard 1 on
-# 18182 and 18184. The proxy adds a little per-write latency so that
+# Two host-grouped workers, replicas of each other: each hosts both
+# shards off one substrate mapping. Host A (18181) is only reachable
+# through the proxy, which adds a little per-write latency so that
 # connection kills land while rounds are in flight.
-"$tmp/s3serve" -shardset "$tmp/i.set" -shard-of 0 -addr 127.0.0.1:18181 2>"$tmp/w0.log" &
+"$tmp/s3serve" -shardset "$tmp/i.set" -shards-of 0,1 -addr 127.0.0.1:18181 2>"$tmp/w0.log" &
 W0=$!
 PIDS="$PIDS $W0"
-"$tmp/s3serve" -shardset "$tmp/i.set" -shard-of 1 -addr 127.0.0.1:18182 2>"$tmp/w1.log" &
-PIDS="$PIDS $!"
-"$tmp/s3serve" -shardset "$tmp/i.set" -shard-of 0 -addr 127.0.0.1:18183 2>"$tmp/w2.log" &
-PIDS="$PIDS $!"
-"$tmp/s3serve" -shardset "$tmp/i.set" -shard-of 1 -addr 127.0.0.1:18184 2>"$tmp/w3.log" &
+"$tmp/s3serve" -shardset "$tmp/i.set" -shards-of 0,1 -addr 127.0.0.1:18182 2>"$tmp/w1.log" &
 PIDS="$PIDS $!"
 "$tmp/s3faultproxy" -listen 127.0.0.1:18191 -target 127.0.0.1:18181 -latency-ms 2 2>"$tmp/p.log" &
 PROXY=$!
 PIDS="$PIDS $PROXY"
 "$tmp/s3serve" -shardset "$tmp/i.set" -coordinator \
-	-worker-urls http://127.0.0.1:18191,http://127.0.0.1:18182,http://127.0.0.1:18183,http://127.0.0.1:18184 \
+	-worker-urls http://127.0.0.1:18191,http://127.0.0.1:18182 \
 	-addr 127.0.0.1:18180 2>"$tmp/c.log" &
 PIDS="$PIDS $!"
 
@@ -61,9 +59,7 @@ wait_healthy() {
 	done
 }
 wait_healthy 18182
-wait_healthy 18183
-wait_healthy 18184
-wait_healthy 18191 # worker 0 through the proxy
+wait_healthy 18191 # host A through the proxy
 wait_healthy 18180
 
 # Find a query that answers; no_cache keeps every repetition on the
@@ -149,8 +145,8 @@ if [ -z "$failovers" ] || [ "$failovers" -eq 0 ]; then
 	exit 1
 fi
 
-# The fleet still answers with worker 0 gone for good.
+# The fleet still answers every shard with host A gone for good.
 curl -sf -X POST http://127.0.0.1:18180/search -d "$body" >/dev/null ||
-	{ echo "e2e-chaos-smoke: search failed after worker 0 was killed" >&2; exit 1; }
+	{ echo "e2e-chaos-smoke: search failed after host A was killed" >&2; exit 1; }
 
-echo "e2e-chaos-smoke: $count queries survived connection kills + worker SIGKILL ($failovers failovers)"
+echo "e2e-chaos-smoke: $count queries survived connection kills + multi-shard host SIGKILL ($failovers failovers)"

@@ -1,10 +1,10 @@
 #!/bin/sh
-# e2e-obs-smoke: boot the full distributed topology (2 workers + a
-# coordinator, plus a pprof debug listener) from the built binaries and
-# assert the observability surface actually serves: /metrics parses on
-# every process, POST /search?trace=1 returns a stitched trace,
-# /debug/traces retains it, and /debug/pprof answers on the debug
-# listener. Run by CI next to the benchmark smoke.
+# e2e-obs-smoke: boot the full distributed topology (2 host-grouped
+# workers serving 2 shards each + a coordinator, plus a pprof debug
+# listener) from the built binaries and assert the observability surface
+# actually serves: /metrics parses on every process, POST /search?trace=1
+# returns a stitched trace, /debug/traces retains it, and /debug/pprof
+# answers on the debug listener. Run by CI next to the benchmark smoke.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,11 +22,11 @@ trap cleanup EXIT
 
 go build -o "$tmp/s3gen" ./cmd/s3gen
 go build -o "$tmp/s3serve" ./cmd/s3serve
-"$tmp/s3gen" -dataset twitter -scale 0.2 -snap "$tmp/i.set" -shards 2 >/dev/null
+"$tmp/s3gen" -dataset twitter -scale 0.2 -snap "$tmp/i.set" -shards 4 >/dev/null
 
-"$tmp/s3serve" -shardset "$tmp/i.set" -shard-of 0 -addr 127.0.0.1:18081 2>"$tmp/w0.log" &
+"$tmp/s3serve" -shardset "$tmp/i.set" -shards-of 0,2 -addr 127.0.0.1:18081 2>"$tmp/w0.log" &
 W0=$!
-"$tmp/s3serve" -shardset "$tmp/i.set" -shard-of 1 -addr 127.0.0.1:18082 2>"$tmp/w1.log" &
+"$tmp/s3serve" -shardset "$tmp/i.set" -shards-of 1,3 -addr 127.0.0.1:18082 2>"$tmp/w1.log" &
 W1=$!
 "$tmp/s3serve" -shardset "$tmp/i.set" -coordinator \
 	-worker-urls http://127.0.0.1:18081,http://127.0.0.1:18082 \
@@ -108,6 +108,21 @@ curl -sf http://127.0.0.1:18081/metrics | grep -q '^s3_shard_rpc_seconds_count{e
 	{ echo "e2e-obs-smoke: worker /metrics missing shard RPC histogram" >&2; exit 1; }
 curl -sf http://127.0.0.1:18082/metrics | grep -q '^s3_worker_searches_total' ||
 	{ echo "e2e-obs-smoke: worker /metrics missing search counter" >&2; exit 1; }
+# Host grouping actually engaged: the coordinator opened host sessions
+# spanning both co-hosted shards, and the workers stepped one shared
+# iterator per round (steps > 0 proves the proto-4 path executed).
+sessions=$(curl -sf http://127.0.0.1:18080/metrics | sed -n 's/^s3_coord_host_sessions_total \([0-9]*\)$/\1/p')
+if [ -z "$sessions" ] || [ "$sessions" -eq 0 ]; then
+	echo "e2e-obs-smoke: no host-grouped sessions recorded (s3_coord_host_sessions_total=$sessions)" >&2
+	exit 1
+fi
+curl -sf http://127.0.0.1:18080/metrics | grep -q '^s3_coord_host_rpc_shards_bucket' ||
+	{ echo "e2e-obs-smoke: coordinator /metrics missing host fan-in histogram" >&2; exit 1; }
+steps=$(curl -sf http://127.0.0.1:18081/metrics | sed -n 's/^s3_worker_iter_steps_total \([0-9]*\)$/\1/p')
+if [ -z "$steps" ] || [ "$steps" -eq 0 ]; then
+	echo "e2e-obs-smoke: worker executed no shared-iterator steps (s3_worker_iter_steps_total=$steps)" >&2
+	exit 1
+fi
 
 # The slow-query log (threshold 1ms may or may not fire on loopback) must
 # at least leave the counter scrapeable, and pprof answers on the debug
