@@ -5,7 +5,13 @@
 # BENCHTIME=1x turns the bench target into the CI smoke run (compile and
 # execute every benchmark once, no timing fidelity).
 BENCHTIME ?= 200ms
-BENCH_OUT ?= BENCH_9.json
+
+# BENCH_TARGET is the committed benchmark snapshot this tree is expected
+# to produce. bench refuses to write anywhere else unless
+# BENCH_OUT_OVERRIDE=1 (scratch runs, the CI smoke), so a PR that bumps
+# the benchmarks can't silently forget to commit the matching snapshot.
+BENCH_TARGET := BENCH_10.json
+BENCH_OUT ?= $(BENCH_TARGET)
 
 .PHONY: build test race bench metrics-lint
 
@@ -19,8 +25,14 @@ race:
 	go test -race ./...
 
 # bench runs the engine + serving benchmark suite and writes the results
-# (name, ns/op, allocs/op per benchmark) to $(BENCH_OUT) as JSON.
+# (name, ns/op, allocs/op and custom metric columns per benchmark) to
+# $(BENCH_OUT) as JSON.
 bench:
+ifneq ($(BENCH_OUT),$(BENCH_TARGET))
+ifneq ($(BENCH_OUT_OVERRIDE),1)
+	$(error BENCH_OUT=$(BENCH_OUT) but this tree's snapshot is $(BENCH_TARGET); set BENCH_OUT_OVERRIDE=1 for a scratch run)
+endif
+endif
 	go run ./cmd/benchjson -out $(BENCH_OUT) -benchtime $(BENCHTIME) ./...
 
 # metrics-lint fails if any registered /metrics name is missing from the

@@ -10,7 +10,8 @@
 // It shells out to `go test -run ^$ -bench <pattern> -benchmem`, echoes
 // the raw output, and parses the standard benchmark result lines into
 // entries of the form {pkg, name, iterations, ns_per_op, bytes_per_op,
-// allocs_per_op}.
+// allocs_per_op}. Custom b.ReportMetric columns (e.g. `61.6 wireB/round`)
+// land in an `extra` map keyed by unit.
 package main
 
 import (
@@ -28,17 +29,19 @@ import (
 )
 
 type result struct {
-	Pkg         string  `json:"pkg"`
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Pkg         string             `json:"pkg"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// benchLine matches `BenchmarkName-8  123  4567 ns/op  89 B/op  2 allocs/op`
-// (the -benchmem columns are optional: a benchmark may not report allocs).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchLine matches the head of a result line: name and iteration count.
+// The tail is a sequence of `<value> <unit>` pairs (ns/op, the -benchmem
+// columns, and any custom b.ReportMetric units) parsed by metrics.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 
 func main() {
 	log.SetFlags(0)
@@ -96,12 +99,29 @@ func parse(r io.Reader) []result {
 		}
 		res := result{Pkg: pkg, Name: m[1]}
 		res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			res.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		seen := false
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp, seen = v, true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = v
+			}
 		}
-		if m[5] != "" {
-			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		if !seen {
+			continue
 		}
 		results = append(results, res)
 	}

@@ -95,6 +95,7 @@ func main() {
 		roundBatch = flag.Int("round-batch", 0, "coordinator mode: max lockstep rounds per worker RPC (0 = default, 1 = one round per RPC, negative = classic per-round protocol)")
 		noSpec     = flag.Bool("no-speculation", false, "coordinator mode: disable speculative round pipelining")
 		noHedge    = flag.Bool("no-hedging", false, "coordinator mode: disable hedged round RPCs against replica workers")
+		noDelta    = flag.Bool("no-delta", false, "coordinator mode: disable proto-5 delta round framing (full round replies, for A/B measurement)")
 		addr       = flag.String("addr", ":8080", "listen address")
 		cacheSize  = flag.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
 		proxMB     = flag.Int("proxcache-mb", int(server.DefaultProxCacheBytes>>20), "seeker-proximity checkpoint cache budget in MiB (<= 0 disables)")
@@ -134,7 +135,7 @@ func main() {
 		return
 	}
 
-	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang, mode, *coord, *workerURL, *roundBatch, *noSpec, *noHedge)
+	loader, err := makeLoader(*snapPath, *setPath, *specPath, *lang, mode, *coord, *workerURL, *roundBatch, *noSpec, *noHedge, *noDelta)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func logShardLayout(inst s3.Queryable) {
 // makeLoader builds the instance-loading closure used both for the
 // initial load and for POST /reload. Snapshot and shard-set loading need
 // no language: both embed the text-pipeline configuration.
-func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coord bool, workerURLs string, roundBatch int, noSpec, noHedge bool) (func() (s3.Queryable, error), error) {
+func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coord bool, workerURLs string, roundBatch int, noSpec, noHedge, noDelta bool) (func() (s3.Queryable, error), error) {
 	sources := 0
 	for _, p := range []string{snapPath, setPath, specPath} {
 		if p != "" {
@@ -318,6 +319,9 @@ func makeLoader(snapPath, setPath, specPath, lang string, mode s3.LoadMode, coor
 		}
 		if noHedge {
 			copts = append(copts, s3.WithoutHedging())
+		}
+		if noDelta {
+			copts = append(copts, s3.WithoutDelta())
 		}
 		return func() (s3.Queryable, error) {
 			return s3.OpenCoordinator(setPath, urls, mode, copts...)

@@ -63,6 +63,13 @@ func WithoutHedging() CoordinatorOption {
 	return func(cfg *dshard.CoordinatorConfig) { cfg.NoHedging = true }
 }
 
+// WithoutDelta disables proto-5 delta round framing: workers reply with
+// classic full blocks. Framing never changes answers — this is the A/B
+// knob for pricing the delta encoding's wire savings.
+func WithoutDelta() CoordinatorOption {
+	return func(cfg *dshard.CoordinatorConfig) { cfg.NoDelta = true }
+}
+
 // OpenCoordinator opens the shard-set manifest and wires a coordinator
 // over the worker URLs. Membership is probed immediately and refreshed
 // in the background; workers that are still loading join as soon as

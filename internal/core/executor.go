@@ -278,6 +278,7 @@ func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]C
 	}
 
 	infos := make([]RoundInfo, len(execs))
+	merge := newMergeScratch(len(execs))
 	finish := func(sel []CandMeta, reason StopReason) ([]CandMeta, Stats, error) {
 		stats.Reason = reason
 		stats.Candidates = 0
@@ -303,7 +304,7 @@ func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]C
 		}); err != nil {
 			return nil, err
 		}
-		sel, _ := mergedSelectMeta(infos, spec.K)
+		sel, _ := merge.mergedSelect(infos, spec.K)
 		fin.End()
 		return sel, nil
 	}
@@ -410,7 +411,7 @@ func Coordinate(execs []ShardExecutor, spec SearchSpec, copts CoordOptions) ([]C
 		if admitted < totalMatched {
 			thr = threshold(sourceTail)
 		}
-		selection, certain := mergedSelectMeta(infos, spec.K)
+		selection, certain := merge.mergedSelect(infos, spec.K)
 
 		// The round span covers the scatter and the merge; the stop
 		// decision below is a handful of comparisons.
@@ -641,24 +642,41 @@ func thresholdFromMasses(groups [][]dict.ID, begins []BeginInfo) (func(B float64
 	}, nil
 }
 
-// mergedSelectMeta combines the shard-local greedy selections into the
+// mergeScratch owns one search's merge-path allocations: the per-round
+// list headers and the top-k merger are reused round after round, so the
+// steady-state round loop performs the merge without touching the heap.
+type mergeScratch struct {
+	lists  [][]CandMeta
+	merger *topks.Merger[CandMeta]
+}
+
+func newMergeScratch(n int) *mergeScratch {
+	return &mergeScratch{
+		lists:  make([][]CandMeta, 0, n),
+		merger: topks.NewMerger(metaBefore),
+	}
+}
+
+// mergedSelect combines the shard-local greedy selections into the
 // global one — mergedSelect over wire candidates. The per-shard kept
 // lists are merged by score interval; the walk consumes merged candidates
 // until k are selected or the earliest shard-local uncertainty point is
 // reached, exactly where the single-engine walk over the union would
-// stop (vertical-neighbour interactions never cross shards).
-func mergedSelectMeta(infos []RoundInfo, k int) ([]CandMeta, bool) {
-	lists := make([][]CandMeta, 0, len(infos))
+// stop (vertical-neighbour interactions never cross shards). The
+// returned slice shares the scratch's backing: valid until the next
+// mergedSelect on the same scratch.
+func (m *mergeScratch) mergedSelect(infos []RoundInfo, k int) ([]CandMeta, bool) {
+	m.lists = m.lists[:0]
 	var uncertain *CandMeta
 	for i := range infos {
 		if len(infos[i].Kept) > 0 {
-			lists = append(lists, infos[i].Kept)
+			m.lists = append(m.lists, infos[i].Kept)
 		}
 		if u := infos[i].Uncertain; u != nil && (uncertain == nil || metaBefore(*u, *uncertain)) {
 			uncertain = u
 		}
 	}
-	merged := topks.MergeTopK(k, lists, metaBefore)
+	merged := m.merger.Merge(k, m.lists)
 	if uncertain == nil {
 		return merged, true
 	}
@@ -675,25 +693,37 @@ func mergedSelectMeta(infos []RoundInfo, k int) ([]CandMeta, bool) {
 	return merged, false
 }
 
+// mergedSelectMeta is mergedSelect over throwaway scratch, for callers
+// outside the round loop.
+func mergedSelectMeta(infos []RoundInfo, k int) ([]CandMeta, bool) {
+	return newMergeScratch(len(infos)).mergedSelect(infos, k)
+}
+
 // mergedMaxOtherMeta computes the §4 dominating bound over the whole
 // candidate set from the per-shard round responses: each shard's local
 // MaxOther, folded with the kept candidates the merge did not consume
 // (which are "others" globally). Documents belong to exactly one shard,
-// so doc-id membership in the merged selection is exact.
+// so doc-id membership in the merged selection is exact; sel is at most
+// k entries, so the membership check is a linear scan rather than a
+// per-round map allocation — and only runs for candidates that would
+// actually raise the bound.
 func mergedMaxOtherMeta(infos []RoundInfo, sel []CandMeta) float64 {
-	inSel := make(map[graph.NID]struct{}, len(sel))
-	for _, c := range sel {
-		inSel[c.Doc] = struct{}{}
-	}
 	maxOther := 0.0
 	for i := range infos {
 		if infos[i].MaxOther > maxOther {
 			maxOther = infos[i].MaxOther
 		}
+	kept:
 		for _, c := range infos[i].Kept {
-			if _, ok := inSel[c.Doc]; !ok && c.Upper > maxOther {
-				maxOther = c.Upper
+			if c.Upper <= maxOther {
+				continue
 			}
+			for j := range sel {
+				if sel[j].Doc == c.Doc {
+					continue kept
+				}
+			}
+			maxOther = c.Upper
 		}
 	}
 	return maxOther

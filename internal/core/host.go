@@ -53,6 +53,14 @@ type HostExecutor struct {
 	drv      *roundDriver
 	ckey     proxcache.Key
 	resumedN int
+
+	// Per-call scratch, reused round after round so the worker's steady
+	// state allocates nothing here. The slices returned by Round, Finalize
+	// and TakeSpans are overwritten by the next call of the same kind —
+	// callers that keep them must copy.
+	infoScratch []RoundInfo
+	errScratch  []error
+	spanScratch []*obs.Span
 }
 
 // NewHostExecutor assembles a host-level executor over the engines of the
@@ -156,9 +164,13 @@ func (h *HostExecutor) WithTracing(on bool) *HostExecutor {
 }
 
 // TakeSpans returns, per hosted shard, the span subtree recorded by the
-// most recent protocol call (entries are nil when tracing is off).
+// most recent protocol call (entries are nil when tracing is off). The
+// returned slice is reused by the next TakeSpans call.
 func (h *HostExecutor) TakeSpans() []*obs.Span {
-	out := make([]*obs.Span, len(h.execs))
+	if h.spanScratch == nil {
+		h.spanScratch = make([]*obs.Span, len(h.execs))
+	}
+	out := h.spanScratch
 	for i, x := range h.execs {
 		out[i] = x.TakeSpan()
 	}
@@ -190,13 +202,25 @@ func (h *HostExecutor) Begin(spec SearchSpec) ([]BeginInfo, error) {
 	return infos, nil
 }
 
+// scratchInfos hands out the reusable per-call RoundInfo slice.
+func (h *HostExecutor) scratchInfos() []RoundInfo {
+	if h.infoScratch == nil {
+		h.infoScratch = make([]RoundInfo, len(h.execs))
+	}
+	return h.infoScratch
+}
+
 // Round advances the search one lockstep round on every hosted shard —
 // one iterator step total, per-shard admission/bounds/selection fanned
-// across goroutines when more than one core is available.
+// across goroutines when more than one core is available. The returned
+// slice is scratch, overwritten by the next Round or Finalize.
 func (h *HostExecutor) Round() ([]RoundInfo, error) {
-	infos := make([]RoundInfo, len(h.execs))
+	infos := h.scratchInfos()
 	if len(h.execs) > 1 && runtime.GOMAXPROCS(0) > 1 {
-		errs := make([]error, len(h.execs))
+		if h.errScratch == nil {
+			h.errScratch = make([]error, len(h.execs))
+		}
+		errs := h.errScratch
 		var wg sync.WaitGroup
 		for i := range h.execs {
 			wg.Add(1)
@@ -224,9 +248,10 @@ func (h *HostExecutor) Round() ([]RoundInfo, error) {
 }
 
 // Finalize re-evaluates every hosted shard's selection at the current
-// exploration depth without stepping.
+// exploration depth without stepping. The returned slice is scratch,
+// overwritten by the next Round or Finalize.
 func (h *HostExecutor) Finalize() ([]RoundInfo, error) {
-	infos := make([]RoundInfo, len(h.execs))
+	infos := h.scratchInfos()
 	for i, x := range h.execs {
 		info, err := x.Finalize()
 		if err != nil {

@@ -1,0 +1,52 @@
+package core
+
+import "testing"
+
+// TestMergeScratchSteadyStateAllocs: Coordinate's per-round merge — the
+// top-k fan-in plus the max-other sweep — must not allocate once the
+// search's scratch is warm. Under -race the runtime allocates on its
+// own, so only the op runs.
+func TestMergeScratchSteadyStateAllocs(t *testing.T) {
+	infos := []RoundInfo{
+		{
+			MaxOther: 0.3,
+			Kept: []CandMeta{
+				{Doc: 1, Lower: 0.5, Upper: 0.9},
+				{Doc: 4, Lower: 0.3, Upper: 0.6},
+			},
+			Uncertain: &CandMeta{Doc: 11, Lower: 0.2, Upper: 0.55},
+		},
+		{
+			MaxOther: 0.4,
+			Kept: []CandMeta{
+				{Doc: 2, Lower: 0.45, Upper: 0.8},
+				{Doc: 7, Lower: 0.25, Upper: 0.5},
+			},
+		},
+		{
+			MaxOther: 0.1,
+			Kept:     []CandMeta{{Doc: 9, Lower: 0.35, Upper: 0.7}},
+		},
+	}
+	m := newMergeScratch(len(infos))
+	sel, _ := m.mergedSelect(infos, 3)
+	if len(sel) != 3 {
+		t.Fatalf("warmup select returned %d results, want 3", len(sel))
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		sel, _ := m.mergedSelect(infos, 3)
+		if len(sel) != 3 {
+			t.Fatal("merged selection shrank")
+		}
+		if mo := mergedMaxOtherMeta(infos, sel); mo <= 0 {
+			t.Fatal("max-other sweep lost the bound")
+		}
+	})
+	if raceEnabled {
+		t.Logf("merge: %.1f allocs/op under -race (not asserted)", avg)
+		return
+	}
+	if avg != 0 {
+		t.Errorf("merge: %.1f allocs/op in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled flags a -race build: the race runtime inserts allocations
+// of its own, so strict AllocsPerOp assertions only hold without it.
+const raceEnabled = true

@@ -1,0 +1,82 @@
+package dshard
+
+import (
+	"testing"
+	"time"
+
+	"s3/internal/core"
+)
+
+// checkAllocs asserts a steady-state hot path allocates nothing per op.
+// Under -race the runtime itself allocates, so the op still runs (for the
+// race detector's benefit) but the strict assertion is waived.
+func checkAllocs(t *testing.T, name string, op func()) {
+	t.Helper()
+	avg := testing.AllocsPerRun(200, op)
+	if raceEnabled {
+		t.Logf("%s: %.1f allocs/op under -race (not asserted)", name, avg)
+		return
+	}
+	if avg != 0 {
+		t.Errorf("%s: %.1f allocs/op in steady state, want 0", name, avg)
+	}
+}
+
+// TestDeltaSteadyStateAllocs is the CI allocation regression guard for
+// the proto-5 wire hot path: once a session is warm, encoding a round
+// reply against the shadows and decoding it through the codec arenas
+// must not allocate.
+func TestDeltaSteadyStateAllocs(t *testing.T) {
+	base := time.Now()
+	for _, ns := range []int{1, 3} {
+		rounds := deltaSeq(ns)
+		seedRow := rounds[0]
+		row := rounds[1]
+
+		// Encode: the worker re-frames the session's next round against
+		// shadows whose backing arrays are already sized.
+		shadows := make([]roundShadow, ns)
+		var buf []byte
+		for i := range seedRow {
+			shadows[i].set(seedRow[i])
+		}
+		buf = appendDeltaFrame(buf[:0], row, 1, ns, shadows, true)
+		checkAllocs(t, "encode", func() {
+			for i := range seedRow {
+				shadows[i].set(seedRow[i])
+			}
+			buf = appendDeltaFrame(buf[:0], row, 1, ns, shadows, true)
+		})
+
+		// Decode: the coordinator lands the reply in the codec's banked
+		// arenas. Warm both banks first.
+		codec := seededCodec(ns, seedRow)
+		frame := appendDeltaFrame(nil, flatten(rounds[1:]), len(rounds)-1, ns, mustShadows(seedRow), true)
+		decodeOnce := func() {
+			for i := range seedRow {
+				codec.shadows[i].set(seedRow[i])
+			}
+			var err error
+			if ns == 1 {
+				_, _, err = codec.decodeRounds(frame, base)
+			} else {
+				_, _, err = codec.decodeHostRounds(frame, base)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		decodeOnce()
+		decodeOnce()
+		checkAllocs(t, "decode", decodeOnce)
+	}
+}
+
+// mustShadows builds worker-side shadows holding row.
+func mustShadows(row []core.RoundInfo) []roundShadow {
+	sh := make([]roundShadow, len(row))
+	for i := range row {
+		sh[i].set(row[i])
+	}
+	return sh
+}

@@ -83,6 +83,12 @@ type rpcMetrics struct {
 	hostSessions *obs.Counter
 	hostSeconds  *obs.Histogram
 	hostShards   *obs.Histogram
+
+	// Proto-5 delta-framing instruments: the reply-size histogram prices
+	// the wire savings, the per-mode round counters the delta hit ratio.
+	replyBytes  *obs.Histogram
+	deltaRounds *obs.Counter
+	fullRounds  *obs.Counter
 }
 
 // newRPCMetrics registers the wire instruments in r (idempotent).
@@ -111,6 +117,13 @@ func newRPCMetrics(r *obs.Registry) *rpcMetrics {
 	m.hostShards = r.Histogram("s3_coord_host_rpc_shards",
 		"Shards advanced by one host-grouped rounds RPC (per-host round fan-in).",
 		[]float64{1, 2, 4, 8, 16})
+	m.replyBytes = r.Histogram("s3_coord_round_reply_bytes",
+		"Body bytes of one rounds/finalize reply frame.",
+		[]float64{64, 128, 256, 512, 1024, 4096, 16384, 65536})
+	m.deltaRounds = r.Counter("s3_coord_delta_rounds_total",
+		"Rounds decoded from worker replies, by framing mode.", obs.L("mode", "delta"))
+	m.fullRounds = r.Counter("s3_coord_delta_rounds_total",
+		"Rounds decoded from worker replies, by framing mode.", obs.L("mode", "full"))
 	return m
 }
 
@@ -127,6 +140,21 @@ func (m *rpcMetrics) observe(ep int, start time.Time, sent, recv int) {
 func (m *rpcMetrics) observeBatch(rounds int) {
 	if m != nil {
 		m.batchRounds.Observe(float64(rounds))
+	}
+}
+
+// observeReply records one decoded rounds/finalize reply: its wire size
+// and how many of its rounds were delta- vs. full-framed.
+func (m *rpcMetrics) observeReply(bytes, deltaRounds, fullRounds int) {
+	if m == nil {
+		return
+	}
+	m.replyBytes.Observe(float64(bytes))
+	if deltaRounds > 0 {
+		m.deltaRounds.Add(uint64(deltaRounds))
+	}
+	if fullRounds > 0 {
+		m.fullRounds.Add(uint64(fullRounds))
 	}
 }
 
@@ -236,6 +264,14 @@ type RemoteExecutor struct {
 	noReplay   *atomic.Bool
 	lat        *latRing
 
+	// noDelta, when non-nil, is the per-worker "proto < 5" latch; nil
+	// keeps requests flagless (full-block replies), which doubles as the
+	// coordinator's delta A/B switch. codec holds the decode-side delta
+	// shadow plus the reusable RoundInfo arenas; it also tracks full-block
+	// replies so a live downgrade never desynchronizes the shadow.
+	noDelta *atomic.Bool
+	codec   *deltaCodec
+
 	mu  sync.Mutex
 	err error
 }
@@ -246,6 +282,7 @@ var _ core.RoundPlanner = (*RemoteExecutor)(nil)
 func newRemoteExecutor(client *http.Client, baseURL string, searchID uint64) *RemoteExecutor {
 	x := &RemoteExecutor{client: client, base: baseURL, searchID: searchID}
 	x.batchHint.Store(1)
+	x.codec = newDeltaCodec(1)
 	return x
 }
 
@@ -282,6 +319,21 @@ func (x *RemoteExecutor) withResilience(ctx context.Context, rpcTimeout time.Dur
 	x.noReplay = noReplay
 	x.lat = lat
 	return x
+}
+
+// withDelta wires the proto-5 capability: noDelta is the worker's
+// "proto < 5" latch (probed from /healthz). Leaving it nil — the
+// default — keeps every request flagless, so the worker replies with
+// classic full blocks.
+func (x *RemoteExecutor) withDelta(noDelta *atomic.Bool) *RemoteExecutor {
+	x.noDelta = noDelta
+	return x
+}
+
+// deltaOK reports whether rounds/finalize requests should ask for
+// proto-5 delta framing.
+func (x *RemoteExecutor) deltaOK() bool {
+	return x.noDelta != nil && !x.noDelta.Load()
 }
 
 // batchable reports whether the batched endpoint is currently usable.
@@ -337,8 +389,11 @@ type appError struct{ msg string }
 func (e *appError) Error() string { return e.msg }
 
 // post sends one binary frame to an endpoint and returns the response
-// frame, recording RTT and wire bytes into the coordinator's instruments.
-func (x *RemoteExecutor) post(ep int, frame []byte) ([]byte, error) {
+// frame in a pooled buffer, recording RTT and wire bytes into the
+// coordinator's instruments. The caller owns the returned *frameBuf and
+// must putFrame it once the frame is decoded (every decoder copies what
+// it keeps).
+func (x *RemoteExecutor) post(ep int, frame []byte) (*frameBuf, error) {
 	ctx := x.ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -351,7 +406,7 @@ func (x *RemoteExecutor) post(ep int, frame []byte) ([]byte, error) {
 // frame body: a corrupted reply is a transport error here — never a
 // silently perturbed payload — so bit flips trigger failover instead of
 // breaking byte-identity.
-func (x *RemoteExecutor) postCtx(ctx context.Context, ep int, frame []byte) ([]byte, error) {
+func (x *RemoteExecutor) postCtx(ctx context.Context, ep int, frame []byte) (*frameBuf, error) {
 	path := epPaths[ep]
 	if x.rpcTimeout > 0 {
 		var cancel context.CancelFunc
@@ -371,12 +426,15 @@ func (x *RemoteExecutor) postCtx(ctx context.Context, ep int, frame []byte) ([]b
 		return nil, fmt.Errorf("dshard: %s%s: %w", x.base, path, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameSize+1))
+	fb := getFrame()
+	body, err := readAllFrame(io.LimitReader(resp.Body, maxFrameSize+1), fb)
 	x.metrics.observe(ep, start, len(frame), len(body))
 	if err != nil {
+		putFrame(fb)
 		return nil, fmt.Errorf("dshard: %s%s: reading response: %w", x.base, path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
+		defer putFrame(fb)
 		msg := fmt.Sprintf("dshard: %s%s: HTTP %d", x.base, path, resp.StatusCode)
 		var e struct {
 			Error string `json:"error"`
@@ -403,12 +461,14 @@ func (x *RemoteExecutor) postCtx(ctx context.Context, ep int, frame []byte) ([]b
 		return nil, fmt.Errorf("%s", msg)
 	}
 	if err := checkFrameCRC(body, resp.Header.Get(frameCRCHeader)); err != nil {
+		putFrame(fb)
 		return nil, fmt.Errorf("dshard: %s%s: %w", x.base, path, err)
 	}
 	if x.lat != nil && (ep == epRound || ep == epRounds) {
 		x.lat.add(time.Since(start))
 	}
-	return body, nil
+	fb.b = body
+	return fb, nil
 }
 
 // Begin implements core.ShardExecutor.
@@ -422,11 +482,12 @@ func (x *RemoteExecutor) Begin(spec core.SearchSpec) (core.BeginInfo, error) {
 		// budget-stop finalize.
 		br.deadlineMicros = uint64((x.budget + 2*time.Second).Microseconds())
 	}
-	body, err := x.post(epBegin, encodeBeginRequest(br))
+	fb, err := x.post(epBegin, encodeBeginRequest(br))
 	if err != nil {
 		return core.BeginInfo{}, x.setErr(err)
 	}
-	info, sp, err := decodeBeginInfo(body, callStart)
+	info, sp, err := decodeBeginInfo(fb.b, callStart)
+	putFrame(fb)
 	if err != nil {
 		return core.BeginInfo{}, x.setErr(err)
 	}
@@ -438,15 +499,25 @@ func (x *RemoteExecutor) Begin(spec core.SearchSpec) (core.BeginInfo, error) {
 // postRounds runs one batched fetch: up to n rounds starting at `from`.
 func (x *RemoteExecutor) postRounds(from uint32, n int) roundsResult {
 	start := time.Now()
-	body, err := x.post(epRounds, encodeRoundsRequest(roundsRequest{searchID: x.searchID, from: from, max: uint32(n)}))
+	rr := roundsRequest{searchID: x.searchID, from: from, max: uint32(n)}
+	if x.deltaOK() {
+		rr.flags = reqFlagDelta
+	}
+	req := getFrame()
+	req.b = appendRoundsRequest(req.b[:0], rr)
+	fb, err := x.post(epRounds, req.b)
+	putFrame(req)
 	if err != nil {
 		return roundsResult{err: err}
 	}
-	infos, sp, err := decodeRoundsReply(body, start)
+	infos, sp, err := x.codec.decodeRounds(fb.b, start)
+	nBytes := len(fb.b)
+	putFrame(fb)
 	if err != nil {
 		return roundsResult{err: err}
 	}
 	x.metrics.observeBatch(len(infos))
+	x.metrics.observeReply(nBytes, x.codec.lastDelta, x.codec.lastFull)
 	return roundsResult{infos: infos, span: sp}
 }
 
@@ -472,14 +543,18 @@ func (x *RemoteExecutor) fetch(from uint32, batch int) roundsResult {
 		}
 	}
 	start := time.Now()
-	body, err := x.post(epRound, encodeRoundRequest(roundRequest{searchID: x.searchID, round: from}))
+	fb, err := x.post(epRound, encodeRoundRequest(roundRequest{searchID: x.searchID, round: from}))
 	if err != nil {
 		return roundsResult{err: err}
 	}
-	info, sp, err := decodeRoundInfo(body, start)
+	info, sp, err := decodeRoundInfo(fb.b, start)
+	putFrame(fb)
 	if err != nil {
 		return roundsResult{err: err}
 	}
+	// Keep the delta shadow tracking the per-round fallback path too, so a
+	// later batched fetch may still delta against this round.
+	x.codec.noteLegacy(0, info)
 	return roundsResult{infos: []core.RoundInfo{info}, span: sp}
 }
 
@@ -574,11 +649,12 @@ func (x *RemoteExecutor) replayable() bool {
 func (x *RemoteExecutor) FastForward(upto uint32) error {
 	for x.round < upto {
 		if x.replayable() {
-			body, err := x.post(epReplay, encodeReplayRequest(replayRequest{
+			fb, err := x.post(epReplay, encodeReplayRequest(replayRequest{
 				searchID: x.searchID, from: x.round + 1, upto: upto,
 			}))
 			if err == nil {
-				rep, derr := decodeReplayReply(body)
+				rep, derr := decodeReplayReply(fb.b)
+				putFrame(fb)
 				if derr != nil {
 					return x.setErr(derr)
 				}
@@ -587,6 +663,10 @@ func (x *RemoteExecutor) FastForward(upto uint32) error {
 						x.base, rep.round, x.round, upto))
 				}
 				x.round, x.fetched = rep.round, rep.round
+				// Replay carries no round payload, so the worker resets its
+				// delta shadow after replaying; mirror that here or the next
+				// delta reply would reference state we never decoded.
+				x.codec.reset()
 				continue
 			}
 			if !errors.Is(err, errNoReplayEndpoint) {
@@ -617,14 +697,21 @@ func (x *RemoteExecutor) FastForward(upto uint32) error {
 // the precision floor — so the buffer is empty here by construction.
 func (x *RemoteExecutor) Finalize() (core.RoundInfo, error) {
 	callStart := time.Now()
-	body, err := x.post(epFinalize, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
+	rr := roundRequest{searchID: x.searchID, round: x.round}
+	if x.deltaOK() {
+		rr.flags = reqFlagDelta
+	}
+	fb, err := x.post(epFinalize, encodeRoundRequest(rr))
 	if err != nil {
 		return core.RoundInfo{}, x.setErr(err)
 	}
-	info, sp, err := decodeRoundInfo(body, callStart)
+	info, sp, err := x.codec.decodeFinalize(fb.b, callStart)
+	nBytes := len(fb.b)
+	putFrame(fb)
 	if err != nil {
 		return core.RoundInfo{}, x.setErr(err)
 	}
+	x.metrics.observeReply(nBytes, x.codec.lastDelta, x.codec.lastFull)
 	x.span = sp
 	return info, nil
 }
@@ -658,6 +745,7 @@ func (x *RemoteExecutor) End() {
 		// from this worker: End always runs on its own bounded context.
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		_, _ = x.postCtx(ctx, epEnd, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
+		fb, _ := x.postCtx(ctx, epEnd, encodeRoundRequest(roundRequest{searchID: x.searchID, round: x.round}))
+		putFrame(fb)
 	}()
 }

@@ -70,6 +70,11 @@ type CoordinatorConfig struct {
 	// without replication never hedge regardless.
 	NoHedging  bool
 	HedgeDelay time.Duration
+	// NoDelta disables proto-5 delta round framing: every rounds/finalize
+	// request goes out flagless and workers reply with classic full
+	// blocks. Framing never changes answers — this is the A/B switch for
+	// pricing the delta encoding's wire savings.
+	NoDelta bool
 	// Registry, when non-nil, receives the coordinator's wire instruments
 	// (per-endpoint RPC round-trip time and bytes) and search counters.
 	Registry *obs.Registry
@@ -124,6 +129,9 @@ type workerRef struct {
 	noBatch  atomic.Bool
 	noReplay atomic.Bool
 	noSet    atomic.Bool
+	// noDelta latches "this worker does not speak proto-5 delta round
+	// framing"; requests to it stay flagless, so it replies full blocks.
+	noDelta atomic.Bool
 
 	// lat feeds this worker's round-RPC RTTs into the hedge-delay
 	// estimate; probing guards against overlapping probes of one worker.
@@ -323,6 +331,7 @@ func (c *Coordinator) probeWorker(ctx context.Context, w *workerRef) {
 		w.noBatch.Store(hb.Proto < protoBatch)
 		w.noReplay.Store(hb.Proto < protoReplay)
 		w.noSet.Store(hb.Proto < protoHost)
+		w.noDelta.Store(hb.Proto < protoDelta)
 	}
 	var st *WorkerStats
 	if healthy {

@@ -1,0 +1,762 @@
+// Delta round framing (proto 5).
+//
+// Between lockstep rounds a shard's RoundInfo barely changes: the kept
+// top-k is usually the same docs with the same lower bounds and a few
+// tightened uppers, the cumulative counters advance by small amounts, and
+// every co-hosted shard shares the round's N/Reached/Tail/SourceTail/Done
+// scalars (they all derive from the host's single proximity iterator).
+// Full-block framing re-ships all of it as fixed-width u32/f64 fields
+// every round. The delta frame instead encodes each round against the
+// session's previous round:
+//
+//	u32 deltaMagic
+//	u32 rounds                  1..maxBatchRounds (exactly 1 on finalize)
+//	u32 nShards                 must equal the session's member count
+//	per round:
+//	  u8  mode                  0 = full (nShards legacy RoundInfo bodies)
+//	                            1 = delta:
+//	  u8  sharedFlags           bit0 Done, bit1 TailSame, bit2 SourceTailSame
+//	  uv  dN, dReached          diffs of the shared cumulative counters
+//	  xf64 Tail, SourceTail     each only when its Same bit is clear
+//	  per shard:
+//	    u8  blockFlags          bit0 UncPresent, bit1 UncSame,
+//	                            bit2 MaxOtherSame, bit3 KeptSame,
+//	                            bit4 UncDocSame
+//	    uv  dAdmitted, dCandidates
+//	    xf64 MaxOther           only when !MaxOtherSame
+//	    kept list               only when !KeptSame:
+//	      uv nKept
+//	      per entry: uv tag
+//	        tag 0:   sv docDelta (vs. running previous doc), f64 lower, upper
+//	        tag j+1: back-reference to previous round's kept[j];
+//	                 u8 refFlags (bit0 lower changed, bit1 upper changed),
+//	                 then the changed bounds as xf64 vs. that entry's
+//	    uncertain               only when UncPresent && !UncSame:
+//	      UncDocSame:           same doc as the previous round's uncertain,
+//	                            bounds moved — u8 refFlags, changed xf64s
+//	                            vs. the previous uncertain's
+//	      else:                 u32 doc, f64 lower, f64 upper
+//	optional trailing span block
+//
+// xf64 is a float64 XOR-delta against a base float the decoder's shadow
+// already holds bit-exactly: the 8 XOR bytes with leading and trailing
+// zero bytes trimmed, prefixed by one header byte packing the trailing
+// (low-order) zero-byte count T in the high nibble and the significant
+// byte count S in the low one (S >= 1, T+S <= 8). Successive bound
+// tightenings share sign, exponent and high mantissa bits, so the XOR's
+// value usually fits a few bytes; a fully-churned float costs at most one
+// byte over a raw f64. XOR of exact bit patterns reconstructs exact bit
+// patterns, so xf64 never perturbs a float.
+//
+// Both ends keep a shadow of the session's last round per member shard —
+// the worker updates its shadows as it encodes, the coordinator as it
+// decodes — so a back-reference always resolves to the exact bits the
+// peer already holds. Unchanged floats are copied from the shadow, never
+// re-derived, which is what keeps reconstructed RoundInfos byte-identical
+// to full framing. A round that cannot be delta-encoded (first round
+// after begin or replay, a counter that moved backwards, an implausibly
+// large diff) is framed full in place, per round, via the mode byte.
+//
+// The magic word makes the framing self-identifying inside the
+// CRC-protected body: a legacy rounds reply starts with a round count
+// <= maxBatchRounds, a legacy finalize reply with a flags byte <= 3, and
+// a legacy host reply with a shard count <= maxHostShards, so none of
+// them can start with 0xFFFFFFFF. The coordinator therefore decodes
+// whatever framing the worker actually used and a worker that stops
+// speaking deltas mid-search downgrades to full blocks in place.
+package dshard
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"time"
+
+	"s3/internal/core"
+	"s3/internal/graph"
+	"s3/internal/obs"
+)
+
+// deltaMagic leads every delta-framed reply body. All-ones is
+// unreachable as the leading u32 of any legacy reply framing (see the
+// package comment above), so the decoder can dispatch on it.
+const deltaMagic = ^uint32(0)
+
+// maxDocDelta bounds the zigzag doc-id delta of a literal kept entry:
+// doc ids are u32 on the wire, so a legitimate delta never exceeds
+// +-(2^32-1). It is wider than maxVarint, so literal deltas bypass sv's
+// general cap and validate the reconstructed doc instead.
+const maxDocDelta = int64(1) << 32
+
+const (
+	deltaRoundFull  = 0
+	deltaRoundDelta = 1
+
+	dShDone     = 1 << 0
+	dShTailSame = 1 << 1
+	dShSrcSame  = 1 << 2
+
+	dBlkUnc      = 1 << 0
+	dBlkUncSame  = 1 << 1
+	dBlkMaxOSame = 1 << 2
+	dBlkKeptSame = 1 << 3
+	dBlkUncDoc   = 1 << 4
+
+	dRefLower = 1 << 0
+	dRefUpper = 1 << 1
+)
+
+func isDeltaFrame(b []byte) bool {
+	return len(b) >= 4 && binary.LittleEndian.Uint32(b) == deltaMagic
+}
+
+// xf64 appends v as an XOR-delta against base (see the package comment's
+// xf64 grammar). Callers only reach here when v != base bit-wise — equal
+// floats ride a Same flag instead — so the XOR is never zero.
+func (e *enc) xf64(v, base float64) {
+	x := floatBits(v) ^ floatBits(base)
+	t := bits.TrailingZeros64(x) / 8
+	s := 8 - t - bits.LeadingZeros64(x)/8
+	e.u8(byte(t<<4 | s))
+	x >>= 8 * t
+	for i := 0; i < s; i++ {
+		e.u8(byte(x >> (8 * i)))
+	}
+}
+
+// xf64 reads an XOR-delta float against base.
+func (d *dec) xf64(base float64) float64 {
+	h := d.u8()
+	t, s := int(h>>4), int(h&0xf)
+	if d.err == nil && (s == 0 || t+s > 8) {
+		d.fail("bad xf64 header %#x", h)
+	}
+	var x uint64
+	for i := 0; i < s && d.err == nil; i++ {
+		x |= uint64(d.u8()) << (8 * i)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return math.Float64frombits(floatBits(base) ^ x<<(8*t))
+}
+
+// roundShadow is one member shard's copy of the session's last
+// round-reply RoundInfo — the base the next delta round is encoded
+// against (worker) or reconstructed from (coordinator). It owns its
+// backing storage: set copies, so the source may be a scratch or arena
+// slice that gets overwritten later.
+type roundShadow struct {
+	info   core.RoundInfo // Kept aliases kept; Uncertain aliases &unc
+	kept   []core.CandMeta
+	unc    core.CandMeta
+	hasUnc bool
+	ok     bool
+}
+
+func (s *roundShadow) set(info core.RoundInfo) {
+	s.kept = append(s.kept[:0], info.Kept...)
+	s.info = info
+	s.info.Kept = s.kept
+	if info.Uncertain != nil {
+		s.unc = *info.Uncertain
+		s.info.Uncertain = &s.unc
+		s.hasUnc = true
+	} else {
+		s.info.Uncertain = nil
+		s.hasUnc = false
+	}
+	s.ok = true
+}
+
+// reset invalidates the shadow: the next round must be framed full. Used
+// after begin and after replay fast-forwards (the peer never saw those
+// rounds' infos, so its shadows are stale).
+func (s *roundShadow) reset() { s.ok = false }
+
+func sameMeta(a, b core.CandMeta) bool {
+	return a.Doc == b.Doc &&
+		floatBits(a.Lower) == floatBits(b.Lower) &&
+		floatBits(a.Upper) == floatBits(b.Upper)
+}
+
+// deltaEncodable reports whether info can be delta-framed against sh:
+// the shadow must be valid and every varint-diffed counter must move
+// forward by less than the decoder's varint cap. Anything else — and any
+// future field semantics this predicate doesn't know about — falls back
+// to a full block, so the encoder can never emit a frame its own decoder
+// would reject.
+func deltaEncodable(sh *roundShadow, info core.RoundInfo) bool {
+	if !sh.ok {
+		return false
+	}
+	p := &sh.info
+	ok := func(cur, prev int) bool { return cur >= prev && cur-prev < maxVarint }
+	return ok(info.N, p.N) && ok(info.Reached, p.Reached) &&
+		ok(info.Admitted, p.Admitted) && ok(info.Candidates, p.Candidates)
+}
+
+// sharedScalarsMatch reports whether a's per-round shared scalars equal
+// b's. They do by construction for co-hosted shards (one roundState), but
+// the encoder verifies rather than assumes — a mismatch falls back to
+// full framing instead of silently normalizing shard blocks.
+func sharedScalarsMatch(a, b *core.RoundInfo) bool {
+	return a.N == b.N && a.Reached == b.Reached && a.Done == b.Done &&
+		floatBits(a.Tail) == floatBits(b.Tail) &&
+		floatBits(a.SourceTail) == floatBits(b.SourceTail)
+}
+
+// appendDeltaFrame encodes nRounds×ns RoundInfos (round-major flat
+// layout) as a proto-5 delta frame. When update is set the shadows are
+// advanced to each encoded round in turn, so round j diffs against round
+// j-1 of the same reply; finalize passes update=false (and nRounds==1) —
+// the finalize reply must not move the session's round base.
+func appendDeltaFrame(b []byte, flat []core.RoundInfo, nRounds, ns int, shadows []roundShadow, update bool) []byte {
+	e := enc{b: b}
+	e.u32(deltaMagic)
+	e.u32(uint32(nRounds))
+	e.u32(uint32(ns))
+	for r := 0; r < nRounds; r++ {
+		row := flat[r*ns : (r+1)*ns]
+		delta := true
+		for i := range row {
+			if !deltaEncodable(&shadows[i], row[i]) || !sharedScalarsMatch(&row[i], &row[0]) {
+				delta = false
+				break
+			}
+		}
+		if !delta {
+			e.u8(deltaRoundFull)
+			for i := range row {
+				encodeRoundInfoBody(&e, row[i])
+			}
+		} else {
+			e.u8(deltaRoundDelta)
+			prev := &shadows[0].info
+			var sf byte
+			if row[0].Done {
+				sf |= dShDone
+			}
+			if floatBits(row[0].Tail) == floatBits(prev.Tail) {
+				sf |= dShTailSame
+			}
+			if floatBits(row[0].SourceTail) == floatBits(prev.SourceTail) {
+				sf |= dShSrcSame
+			}
+			e.u8(sf)
+			e.uv(uint64(row[0].N - prev.N))
+			e.uv(uint64(row[0].Reached - prev.Reached))
+			if sf&dShTailSame == 0 {
+				e.xf64(row[0].Tail, prev.Tail)
+			}
+			if sf&dShSrcSame == 0 {
+				e.xf64(row[0].SourceTail, prev.SourceTail)
+			}
+			for i := range row {
+				appendDeltaBlock(&e, &shadows[i], row[i])
+			}
+		}
+		if update {
+			for i := range row {
+				shadows[i].set(row[i])
+			}
+		}
+	}
+	return e.b
+}
+
+func appendDeltaBlock(e *enc, sh *roundShadow, info core.RoundInfo) {
+	p := &sh.info
+	var bf byte
+	if info.Uncertain != nil {
+		bf |= dBlkUnc
+		if sh.hasUnc && sameMeta(*info.Uncertain, sh.unc) {
+			bf |= dBlkUncSame
+		} else if sh.hasUnc && info.Uncertain.Doc == sh.unc.Doc {
+			bf |= dBlkUncDoc
+		}
+	}
+	if floatBits(info.MaxOther) == floatBits(p.MaxOther) {
+		bf |= dBlkMaxOSame
+	}
+	keptSame := len(info.Kept) == len(p.Kept)
+	for i := 0; keptSame && i < len(info.Kept); i++ {
+		keptSame = sameMeta(info.Kept[i], p.Kept[i])
+	}
+	if keptSame {
+		bf |= dBlkKeptSame
+	}
+	e.u8(bf)
+	e.uv(uint64(info.Admitted - p.Admitted))
+	e.uv(uint64(info.Candidates - p.Candidates))
+	if bf&dBlkMaxOSame == 0 {
+		e.xf64(info.MaxOther, p.MaxOther)
+	}
+	if bf&dBlkKeptSame == 0 {
+		e.uv(uint64(len(info.Kept)))
+		prevDoc := int64(0)
+		for _, c := range info.Kept {
+			j := -1
+			for k := range p.Kept {
+				if p.Kept[k].Doc == c.Doc {
+					j = k
+					break
+				}
+			}
+			if j < 0 {
+				e.uv(0)
+				e.sv(int64(c.Doc) - prevDoc)
+				e.f64(c.Lower)
+				e.f64(c.Upper)
+			} else {
+				e.uv(uint64(j + 1))
+				var rf byte
+				if floatBits(c.Lower) != floatBits(p.Kept[j].Lower) {
+					rf |= dRefLower
+				}
+				if floatBits(c.Upper) != floatBits(p.Kept[j].Upper) {
+					rf |= dRefUpper
+				}
+				e.u8(rf)
+				if rf&dRefLower != 0 {
+					e.xf64(c.Lower, p.Kept[j].Lower)
+				}
+				if rf&dRefUpper != 0 {
+					e.xf64(c.Upper, p.Kept[j].Upper)
+				}
+			}
+			prevDoc = int64(c.Doc)
+		}
+	}
+	if bf&dBlkUnc != 0 && bf&dBlkUncSame == 0 {
+		if bf&dBlkUncDoc != 0 {
+			var rf byte
+			if floatBits(info.Uncertain.Lower) != floatBits(sh.unc.Lower) {
+				rf |= dRefLower
+			}
+			if floatBits(info.Uncertain.Upper) != floatBits(sh.unc.Upper) {
+				rf |= dRefUpper
+			}
+			e.u8(rf)
+			if rf&dRefLower != 0 {
+				e.xf64(info.Uncertain.Lower, sh.unc.Lower)
+			}
+			if rf&dRefUpper != 0 {
+				e.xf64(info.Uncertain.Upper, sh.unc.Upper)
+			}
+		} else {
+			e.u32(uint32(info.Uncertain.Doc))
+			e.f64(info.Uncertain.Lower)
+			e.f64(info.Uncertain.Upper)
+		}
+	}
+}
+
+// --- coordinator-side codec ---
+
+type keptRange struct{ start, n int }
+
+// deltaCodec decodes one worker connection's round/finalize replies —
+// delta-framed or legacy — keeping its per-shard shadows in sync either
+// way, and reconstructing delta rounds into reusable arenas so
+// steady-state decoding allocates nothing.
+//
+// The arenas are double-banked: decodes on one connection are serialized
+// (a session has at most one round fetch in flight, and finalize only
+// runs after the round buffer drains), but the previous reply's
+// RoundInfos may still be referenced by the coordinator's merge while the
+// next reply decodes. A third-oldest reply is dead by construction — a
+// new fetch is only issued once the coordinator has started consuming the
+// newest buffered reply — so two banks suffice.
+type deltaCodec struct {
+	shadows []roundShadow
+
+	bank  int
+	infos [2][]core.RoundInfo
+	kept  [2][]core.CandMeta
+	unc   [2][]core.CandMeta
+	rows  [2][][]core.RoundInfo
+
+	ranges []keptRange // per-decode scratch, parallel to the bank's infos
+	uncIdx []int32
+
+	// Round-mode tallies of the most recent decode, for the
+	// s3_coord_delta_rounds_total metric. Read under the same
+	// serialization as the decode itself.
+	lastDelta, lastFull int
+}
+
+func newDeltaCodec(nShards int) *deltaCodec {
+	return &deltaCodec{shadows: make([]roundShadow, nShards)}
+}
+
+// reset invalidates every shadow — called after a replay fast-forward,
+// whose rounds the codec never decodes (mirrors the worker's own reset in
+// handleReplay).
+func (c *deltaCodec) reset() {
+	for i := range c.shadows {
+		c.shadows[i].reset()
+	}
+}
+
+// noteLegacy records a legacy-framed round block so later delta rounds
+// diff against it, exactly as the worker's encoder does.
+func (c *deltaCodec) noteLegacy(shard int, info core.RoundInfo) {
+	c.shadows[shard].set(info)
+}
+
+// decodeRounds decodes a single-shard session's rounds reply in either
+// framing.
+func (c *deltaCodec) decodeRounds(b []byte, base time.Time) ([]core.RoundInfo, *obs.Span, error) {
+	if isDeltaFrame(b) {
+		flat, _, sp, err := c.decodeDeltaFrame(b, base, false)
+		return flat, sp, err
+	}
+	infos, sp, err := decodeRoundsReply(b, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range infos {
+		c.noteLegacy(0, infos[i])
+	}
+	c.lastDelta, c.lastFull = 0, len(infos)
+	return infos, sp, nil
+}
+
+// decodeHostRounds decodes a host session's rounds reply in either
+// framing, returning round-major rows like decodeHostRoundsReply.
+func (c *deltaCodec) decodeHostRounds(b []byte, base time.Time) ([][]core.RoundInfo, *obs.Span, error) {
+	ns := len(c.shadows)
+	if isDeltaFrame(b) {
+		flat, nRounds, sp, err := c.decodeDeltaFrame(b, base, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows := c.rows[c.bank][:0]
+		for r := 0; r < nRounds; r++ {
+			rows = append(rows, flat[r*ns:(r+1)*ns:(r+1)*ns])
+		}
+		c.rows[c.bank] = rows
+		return rows, sp, nil
+	}
+	rows, sp, err := decodeHostRoundsReply(b, ns, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
+		for i := range row {
+			c.noteLegacy(i, row[i])
+		}
+	}
+	c.lastDelta, c.lastFull = 0, len(rows)
+	return rows, sp, nil
+}
+
+// decodeFinalize decodes a single-shard finalize reply in either framing.
+// Finalize never advances the shadows on either end: the session's round
+// base stays the last executed round.
+func (c *deltaCodec) decodeFinalize(b []byte, base time.Time) (core.RoundInfo, *obs.Span, error) {
+	if isDeltaFrame(b) {
+		flat, _, sp, err := c.decodeDeltaFrame(b, base, true)
+		if err != nil {
+			return core.RoundInfo{}, nil, err
+		}
+		return flat[0], sp, nil
+	}
+	c.lastDelta, c.lastFull = 0, 1
+	return decodeRoundInfo(b, base)
+}
+
+// decodeHostFinalize decodes a host session's finalize reply in either
+// framing.
+func (c *deltaCodec) decodeHostFinalize(b []byte, base time.Time) ([]core.RoundInfo, *obs.Span, error) {
+	if isDeltaFrame(b) {
+		flat, _, sp, err := c.decodeDeltaFrame(b, base, true)
+		return flat, sp, err
+	}
+	c.lastDelta, c.lastFull = 0, 1
+	return decodeHostInfosReply(b, len(c.shadows), base)
+}
+
+// decodeDeltaFrame decodes one delta-framed reply into the next arena
+// bank, returning the round-major flat RoundInfos. final marks a finalize
+// reply: exactly one round, shadows left untouched.
+func (c *deltaCodec) decodeDeltaFrame(b []byte, base time.Time, final bool) ([]core.RoundInfo, int, *obs.Span, error) {
+	d := &dec{b: b}
+	if d.u32() != deltaMagic {
+		d.fail("delta frame without magic")
+	}
+	nRounds := int(d.u32())
+	switch {
+	case d.err != nil:
+	case final && nRounds != 1:
+		d.fail("%d rounds in delta finalize reply", nRounds)
+	case nRounds == 0 || nRounds > maxBatchRounds:
+		d.fail("%d rounds in delta reply", nRounds)
+	}
+	ns := int(d.u32())
+	if d.err == nil && ns != len(c.shadows) {
+		d.fail("delta reply covers %d shards, session has %d", ns, len(c.shadows))
+	}
+	if d.err != nil {
+		return nil, 0, nil, d.err
+	}
+
+	c.bank ^= 1
+	infos := c.infos[c.bank][:0]
+	keptA := c.kept[c.bank][:0]
+	uncA := c.unc[c.bank][:0]
+	ranges := c.ranges[:0]
+	uncIdx := c.uncIdx[:0]
+	c.lastDelta, c.lastFull = 0, 0
+
+	for r := 0; r < nRounds && d.err == nil; r++ {
+		mode := d.u8()
+		switch mode {
+		case deltaRoundFull:
+			c.lastFull++
+			for i := 0; i < ns && d.err == nil; i++ {
+				info, kr, ui := decodeFullBlockArena(d, &keptA, &uncA)
+				infos = append(infos, info)
+				ranges = append(ranges, kr)
+				uncIdx = append(uncIdx, ui)
+			}
+		case deltaRoundDelta:
+			c.lastDelta++
+			sf := d.u8()
+			if d.err == nil && sf&^byte(dShDone|dShTailSame|dShSrcSame) != 0 {
+				d.fail("unknown shared flags %#x in delta round", sf)
+			}
+			var shared core.RoundInfo
+			prev0 := &c.shadows[0].info
+			if d.err == nil && !c.shadows[0].ok {
+				d.fail("delta round without a shadow base")
+			}
+			shared.Done = sf&dShDone != 0
+			shared.N = prev0.N + int(d.uv())
+			shared.Reached = prev0.Reached + int(d.uv())
+			if sf&dShTailSame != 0 {
+				shared.Tail = prev0.Tail
+			} else {
+				shared.Tail = d.xf64(prev0.Tail)
+			}
+			if sf&dShSrcSame != 0 {
+				shared.SourceTail = prev0.SourceTail
+			} else {
+				shared.SourceTail = d.xf64(prev0.SourceTail)
+			}
+			if d.err == nil && (shared.N > math.MaxUint32 || shared.Reached > math.MaxUint32) {
+				d.fail("delta round counter out of u32 range")
+			}
+			for i := 0; i < ns && d.err == nil; i++ {
+				info, kr, ui := c.decodeDeltaBlockArena(d, i, shared, &keptA, &uncA)
+				infos = append(infos, info)
+				ranges = append(ranges, kr)
+				uncIdx = append(uncIdx, ui)
+			}
+		default:
+			d.fail("unknown round mode %d in delta reply", mode)
+		}
+		if d.err == nil && !final {
+			// Advance the shadows to this round so the next round of the
+			// same reply (and the next reply) diffs against it. set()
+			// copies, so later arena growth cannot invalidate a shadow.
+			base := r * ns
+			for i := 0; i < ns; i++ {
+				view := infos[base+i]
+				if kr := ranges[base+i]; kr.n > 0 {
+					view.Kept = keptA[kr.start : kr.start+kr.n]
+				}
+				if ui := uncIdx[base+i]; ui >= 0 {
+					view.Uncertain = &uncA[ui]
+				}
+				c.shadows[i].set(view)
+			}
+		}
+	}
+
+	sp := decodeTrailingSpan(d, base)
+	if err := d.done(); err != nil {
+		return nil, 0, nil, err
+	}
+
+	// Arena appends may have reallocated; point every RoundInfo at its
+	// final kept sub-slice and uncertain entry only now.
+	for idx := range infos {
+		if kr := ranges[idx]; kr.n > 0 {
+			infos[idx].Kept = keptA[kr.start : kr.start+kr.n : kr.start+kr.n]
+		} else {
+			infos[idx].Kept = nil
+		}
+		if ui := uncIdx[idx]; ui >= 0 {
+			infos[idx].Uncertain = &uncA[ui]
+		} else {
+			infos[idx].Uncertain = nil
+		}
+	}
+
+	c.infos[c.bank] = infos
+	c.kept[c.bank] = keptA
+	c.unc[c.bank] = uncA
+	c.ranges = ranges
+	c.uncIdx = uncIdx
+	return infos, nRounds, sp, nil
+}
+
+// decodeFullBlockArena is decodeRoundInfoBody with the kept list and
+// uncertain entry landed in the caller's arenas instead of fresh
+// allocations. Kept/Uncertain of the returned info are zero — the caller
+// wires them up from the returned range/index once the arenas stop
+// growing.
+func decodeFullBlockArena(d *dec, keptA, uncA *[]core.CandMeta) (core.RoundInfo, keptRange, int32) {
+	var info core.RoundInfo
+	flags := d.u8()
+	info.Done = flags&roundFlagDone != 0
+	info.N = int(d.u32())
+	info.Reached = int(d.u32())
+	info.Admitted = int(d.u32())
+	info.Candidates = int(d.u32())
+	info.Tail = d.f64()
+	info.SourceTail = d.f64()
+	info.MaxOther = d.f64()
+	nk := int(d.u32())
+	if d.err == nil && nk > maxKept {
+		d.fail("%d kept candidates", nk)
+	}
+	kr := keptRange{start: len(*keptA)}
+	for i := 0; i < nk && d.err == nil; i++ {
+		*keptA = append(*keptA, core.CandMeta{Doc: graph.NID(d.u32()), Lower: d.f64(), Upper: d.f64()})
+		kr.n++
+	}
+	ui := int32(-1)
+	if flags&roundFlagUncertain != 0 {
+		ui = int32(len(*uncA))
+		*uncA = append(*uncA, core.CandMeta{Doc: graph.NID(d.u32()), Lower: d.f64(), Upper: d.f64()})
+	}
+	return info, kr, ui
+}
+
+// decodeDeltaBlockArena reconstructs shard's block of one delta round
+// against its shadow. shared carries the round's hoisted scalars.
+func (c *deltaCodec) decodeDeltaBlockArena(d *dec, shard int, shared core.RoundInfo, keptA, uncA *[]core.CandMeta) (core.RoundInfo, keptRange, int32) {
+	sh := &c.shadows[shard]
+	if !sh.ok {
+		d.fail("delta block without a shadow base")
+		return core.RoundInfo{}, keptRange{}, -1
+	}
+	p := &sh.info
+	info := shared
+	bf := d.u8()
+	if d.err == nil && bf&^byte(dBlkUnc|dBlkUncSame|dBlkMaxOSame|dBlkKeptSame|dBlkUncDoc) != 0 {
+		d.fail("unknown block flags %#x in delta round", bf)
+	}
+	if d.err == nil && bf&(dBlkUncSame|dBlkUncDoc) != 0 && (bf&dBlkUnc == 0 || !sh.hasUnc) {
+		d.fail("uncertain back-reference without a shadow entry")
+	}
+	if d.err == nil && bf&dBlkUncSame != 0 && bf&dBlkUncDoc != 0 {
+		d.fail("conflicting uncertain back-references %#x", bf)
+	}
+	info.Admitted = p.Admitted + int(d.uv())
+	info.Candidates = p.Candidates + int(d.uv())
+	if d.err == nil && (info.Admitted > math.MaxUint32 || info.Candidates > math.MaxUint32) {
+		d.fail("delta block counter out of u32 range")
+	}
+	if bf&dBlkMaxOSame != 0 {
+		info.MaxOther = p.MaxOther
+	} else {
+		info.MaxOther = d.xf64(p.MaxOther)
+	}
+
+	kr := keptRange{start: len(*keptA)}
+	if bf&dBlkKeptSame != 0 {
+		*keptA = append(*keptA, p.Kept...)
+		kr.n = len(p.Kept)
+	} else {
+		nk := int(d.uv())
+		if d.err == nil && nk > maxKept {
+			d.fail("%d kept candidates", nk)
+		}
+		prevDoc := int64(0)
+		for i := 0; i < nk && d.err == nil; i++ {
+			tag := d.uv()
+			var cm core.CandMeta
+			if tag == 0 {
+				delta := d.docDelta()
+				doc := prevDoc + delta
+				if d.err == nil && (doc < 0 || doc > math.MaxUint32) {
+					d.fail("kept doc %d out of range", doc)
+				}
+				cm = core.CandMeta{Doc: graph.NID(doc), Lower: d.f64(), Upper: d.f64()}
+			} else {
+				j := int(tag - 1)
+				if j >= len(p.Kept) {
+					d.fail("kept back-reference %d past shadow of %d", j, len(p.Kept))
+					break
+				}
+				cm = p.Kept[j]
+				rf := d.u8()
+				if d.err == nil && rf&^byte(dRefLower|dRefUpper) != 0 {
+					d.fail("unknown ref flags %#x in delta round", rf)
+				}
+				if rf&dRefLower != 0 {
+					cm.Lower = d.xf64(p.Kept[j].Lower)
+				}
+				if rf&dRefUpper != 0 {
+					cm.Upper = d.xf64(p.Kept[j].Upper)
+				}
+			}
+			if d.err != nil {
+				break
+			}
+			prevDoc = int64(cm.Doc)
+			*keptA = append(*keptA, cm)
+			kr.n++
+		}
+	}
+
+	ui := int32(-1)
+	if bf&dBlkUnc != 0 {
+		ui = int32(len(*uncA))
+		switch {
+		case bf&dBlkUncSame != 0:
+			*uncA = append(*uncA, sh.unc)
+		case bf&dBlkUncDoc != 0:
+			cm := sh.unc
+			rf := d.u8()
+			if d.err == nil && rf&^byte(dRefLower|dRefUpper) != 0 {
+				d.fail("unknown ref flags %#x in delta round", rf)
+			}
+			if rf&dRefLower != 0 {
+				cm.Lower = d.xf64(sh.unc.Lower)
+			}
+			if rf&dRefUpper != 0 {
+				cm.Upper = d.xf64(sh.unc.Upper)
+			}
+			*uncA = append(*uncA, cm)
+		default:
+			*uncA = append(*uncA, core.CandMeta{Doc: graph.NID(d.u32()), Lower: d.f64(), Upper: d.f64()})
+		}
+	}
+	return info, kr, ui
+}
+
+// docDelta reads a literal kept entry's zigzag doc delta. It is the one
+// signed varint whose legitimate range exceeds the general sv cap (two
+// u32 doc ids can differ by almost 2^32), so it carries its own bound;
+// the caller still validates the reconstructed doc id.
+func (d *dec) docDelta() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated or overlong varint")
+		return 0
+	}
+	if v >= maxDocDelta || v <= -maxDocDelta {
+		d.fail("doc delta %d out of range", v)
+		return 0
+	}
+	d.off += n
+	return v
+}

@@ -1,0 +1,655 @@
+package dshard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s3/internal/core"
+	"s3/internal/graph"
+	"s3/internal/obs"
+	"s3/internal/score"
+	"s3/internal/snap"
+)
+
+// deltaSeq synthesizes a multi-round per-shard reply sequence that walks
+// every delta-frame shape: identical kept lists (KeptSame), back-refs
+// with one or both bounds tightened, literal new docs, dropped docs,
+// reordering, uncertain appearing / repeating / vanishing, Tail and
+// SourceTail both moving and frozen, and a final Done round. Returned
+// round-major: seq[r][i] is shard i's info in round r.
+func deltaSeq(ns int) [][]core.RoundInfo {
+	mk := func(r int, shard int) core.RoundInfo {
+		info := core.RoundInfo{
+			N: r + 1, Reached: 40 * (r + 1),
+			Admitted: 3*(r+1) + shard, Candidates: 7*(r+1) + shard,
+			Tail: 1.0 / float64(r+1), SourceTail: 0.5 / float64(r+1),
+			MaxOther: 0.75,
+		}
+		base := graph.NID(100*shard + 10)
+		switch r {
+		case 0:
+			info.Kept = []core.CandMeta{
+				{Doc: base, Lower: 0.50, Upper: 0.90},
+				{Doc: base + 5, Lower: 0.40, Upper: 0.80},
+			}
+			info.Uncertain = &core.CandMeta{Doc: base + 9, Lower: 0.30, Upper: 0.85}
+		case 1:
+			// Kept byte-identical to round 0, uncertain identical too:
+			// the shard block should collapse to flags + counter diffs.
+			info.Kept = []core.CandMeta{
+				{Doc: base, Lower: 0.50, Upper: 0.90},
+				{Doc: base + 5, Lower: 0.40, Upper: 0.80},
+			}
+			info.Uncertain = &core.CandMeta{Doc: base + 9, Lower: 0.30, Upper: 0.85}
+		case 2:
+			// Same docs, bounds tightened: back-refs with changed floats.
+			// The uncertain keeps its doc but moves a bound (UncDocSame).
+			info.Kept = []core.CandMeta{
+				{Doc: base, Lower: 0.55, Upper: 0.90},
+				{Doc: base + 5, Lower: 0.40, Upper: 0.74},
+			}
+			info.Uncertain = &core.CandMeta{Doc: base + 9, Lower: 0.32, Upper: 0.85}
+			info.MaxOther = 0.6
+		case 3:
+			// A new doc enters between the survivors (literal entry with a
+			// negative running delta), one old doc drops, order shifts.
+			info.Kept = []core.CandMeta{
+				{Doc: base + 5, Lower: 0.45, Upper: 0.74},
+				{Doc: base + 2, Lower: 0.42, Upper: 0.70},
+				{Doc: base, Lower: 0.55, Upper: 0.60},
+			}
+			info.Uncertain = &core.CandMeta{Doc: base + 13, Lower: 0.1, Upper: 0.5}
+			info.MaxOther = 0.6
+			info.Tail = 0.2 // shared across shards per round below
+		case 4:
+			// Everything frozen but the cumulative counters.
+			info.Kept = []core.CandMeta{
+				{Doc: base + 5, Lower: 0.45, Upper: 0.74},
+				{Doc: base + 2, Lower: 0.42, Upper: 0.70},
+				{Doc: base, Lower: 0.55, Upper: 0.60},
+			}
+			info.Uncertain = &core.CandMeta{Doc: base + 13, Lower: 0.1, Upper: 0.5}
+			info.MaxOther = 0.6
+			info.Tail = 0.2
+			info.SourceTail = 0.5 / 4 // same bits as round 3's
+		case 5:
+			info.Done = true
+			info.Kept = []core.CandMeta{{Doc: base + 5, Lower: 0.45, Upper: 0.74}}
+			info.MaxOther = 0.6
+			info.Tail = 0.1
+		}
+		return info
+	}
+	rounds := make([][]core.RoundInfo, 6)
+	for r := range rounds {
+		row := make([]core.RoundInfo, ns)
+		for i := 0; i < ns; i++ {
+			row[i] = mk(r, i)
+			// Shared scalars come from shard 0's values.
+			row[i].N, row[i].Reached = row[0].N, row[0].Reached
+			row[i].Tail, row[i].SourceTail, row[i].Done = row[0].Tail, row[0].SourceTail, row[0].Done
+		}
+		rounds[r] = row
+	}
+	return rounds
+}
+
+// flatten lays rounds out round-major as appendDeltaFrame expects.
+func flatten(rounds [][]core.RoundInfo) []core.RoundInfo {
+	var flat []core.RoundInfo
+	for _, row := range rounds {
+		flat = append(flat, row...)
+	}
+	return flat
+}
+
+// TestDeltaFrameRoundTrip is the codec property: a worker-side encode
+// against its shadows followed by a coordinator-side decode against an
+// independently maintained codec reconstructs every RoundInfo bit for
+// bit, whatever mix of delta shapes the rounds take — and the delta
+// frame is smaller than the equivalent full-block frame.
+func TestDeltaFrameRoundTrip(t *testing.T) {
+	base := time.Now()
+	for _, ns := range []int{1, 3} {
+		rounds := deltaSeq(ns)
+		flat := flatten(rounds)
+
+		// One batched frame carrying the whole sequence.
+		shadows := make([]roundShadow, ns)
+		frame := appendDeltaFrame(nil, flat, len(rounds), ns, shadows, true)
+		codec := newDeltaCodec(ns)
+		got, nRounds, _, err := codec.decodeDeltaFrame(frame, base, false)
+		if err != nil {
+			t.Fatalf("ns=%d: decode: %v", ns, err)
+		}
+		if nRounds != len(rounds) || len(got) != len(flat) {
+			t.Fatalf("ns=%d: decoded %d rounds / %d infos, want %d / %d", ns, nRounds, len(got), len(rounds), len(flat))
+		}
+		for idx := range flat {
+			if !bytes.Equal(encodeRoundInfo(flat[idx]), encodeRoundInfo(got[idx])) {
+				t.Fatalf("ns=%d: info %d diverged\nwant %+v\ngot  %+v", ns, idx, flat[idx], got[idx])
+			}
+		}
+		// Round 0 has no shadow base → full; every later round deltas.
+		if codec.lastFull != 1 || codec.lastDelta != len(rounds)-1 {
+			t.Fatalf("ns=%d: mode tally delta=%d full=%d, want %d/1", ns, codec.lastDelta, codec.lastFull, len(rounds)-1)
+		}
+
+		// The same rounds framed per-RPC (one round per frame) must decode
+		// identically too — that is how the per-round speculation path and
+		// short batches ship them.
+		shadows2 := make([]roundShadow, ns)
+		codec2 := newDeltaCodec(ns)
+		for r, row := range rounds {
+			f := appendDeltaFrame(nil, row, 1, ns, shadows2, true)
+			got, _, _, err := codec2.decodeDeltaFrame(f, base, false)
+			if err != nil {
+				t.Fatalf("ns=%d round %d: decode: %v", ns, r, err)
+			}
+			for i := range row {
+				if !bytes.Equal(encodeRoundInfo(row[i]), encodeRoundInfo(got[i])) {
+					t.Fatalf("ns=%d round %d shard %d diverged", ns, r, i)
+				}
+			}
+		}
+
+		// Finalize (update=false) must not move either side's shadows: the
+		// next round still diffs against the last executed round, and two
+		// finalize encodes are byte-identical.
+		fin := rounds[len(rounds)-1]
+		f1 := appendDeltaFrame(nil, fin, 1, ns, shadows2, false)
+		f2 := appendDeltaFrame(nil, fin, 1, ns, shadows2, false)
+		if !bytes.Equal(f1, f2) {
+			t.Fatalf("ns=%d: finalize encode moved the worker shadows", ns)
+		}
+		var gotFin []core.RoundInfo
+		if ns == 1 {
+			info, _, err := codec2.decodeFinalize(f1, base)
+			if err != nil {
+				t.Fatalf("ns=%d: finalize decode: %v", ns, err)
+			}
+			gotFin = []core.RoundInfo{info}
+		} else {
+			var err error
+			gotFin, _, err = codec2.decodeHostFinalize(f1, base)
+			if err != nil {
+				t.Fatalf("ns=%d: finalize decode: %v", ns, err)
+			}
+		}
+		for i := range fin {
+			if !bytes.Equal(encodeRoundInfo(fin[i]), encodeRoundInfo(gotFin[i])) {
+				t.Fatalf("ns=%d: finalize shard %d diverged", ns, i)
+			}
+		}
+		// Decoding the finalize twice works only if the codec shadows
+		// didn't advance either.
+		if _, _, _, err := codec2.decodeDeltaFrame(f1, base, true); err != nil {
+			t.Fatalf("ns=%d: second finalize decode failed (codec shadows moved): %v", ns, err)
+		}
+
+		// Wire savings: delta frame strictly smaller than full framing of
+		// the same rounds.
+		var full []byte
+		for _, row := range rounds {
+			for i := range row {
+				e := enc{b: full}
+				encodeRoundInfoBody(&e, row[i])
+				full = e.b
+			}
+		}
+		if len(frame) >= len(full) {
+			t.Fatalf("ns=%d: delta frame %dB not smaller than %dB of full bodies", ns, len(frame), len(full))
+		}
+	}
+}
+
+// TestDeltaFallbackRounds: rounds the encoder cannot (or must not) delta
+// — no shadow base, a counter that moved backwards, shared scalars that
+// disagree across the row — are framed full in place and still decode
+// bit-exactly, re-arming the shadows for the rounds after them.
+func TestDeltaFallbackRounds(t *testing.T) {
+	base := time.Now()
+	ns := 2
+	rounds := deltaSeq(ns)
+
+	// Regress shard 1's Admitted in round 2 → whole round falls back.
+	rounds[2][1].Admitted = rounds[1][1].Admitted - 1
+	// Desync round 4's shared scalars across the row → full as well.
+	rounds[4][1].N = rounds[4][0].N + 1
+
+	flat := flatten(rounds)
+	shadows := make([]roundShadow, ns)
+	frame := appendDeltaFrame(nil, flat, len(rounds), ns, shadows, true)
+	codec := newDeltaCodec(ns)
+	got, _, _, err := codec.decodeDeltaFrame(frame, base, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range flat {
+		if !bytes.Equal(encodeRoundInfo(flat[idx]), encodeRoundInfo(got[idx])) {
+			t.Fatalf("info %d diverged through full fallback", idx)
+		}
+	}
+	// Rounds 0 (no base), 2 (regressed counter) and 4 (shared mismatch)
+	// full; 1, 3, 5 delta.
+	if codec.lastFull != 3 || codec.lastDelta != 3 {
+		t.Fatalf("mode tally delta=%d full=%d, want 3/3", codec.lastDelta, codec.lastFull)
+	}
+}
+
+// seededCodec builds a codec whose shadows hold the given row — the
+// session state a mid-search delta frame decodes against.
+func seededCodec(ns int, row []core.RoundInfo) *deltaCodec {
+	c := newDeltaCodec(ns)
+	for i := range row {
+		c.noteLegacy(i, row[i])
+	}
+	return c
+}
+
+// TestDeltaFrameCorruption drives the delta decoder through every
+// truncation point and a deterministic bit-flip storm, decoding against
+// freshly seeded shadows each trial. Corruption must surface as an error
+// or a (possibly value-shifted) decode — never a panic, hang, or huge
+// allocation. Combined with the CRC-protected transport this is what
+// keeps a flipped bit from ever turning into a silently perturbed float.
+func TestDeltaFrameCorruption(t *testing.T) {
+	base := time.Now()
+	ns := 2
+	rounds := deltaSeq(ns)
+	seedRow := rounds[0]
+	tail := flatten(rounds[1:])
+
+	mkShadows := func() []roundShadow {
+		sh := make([]roundShadow, ns)
+		for i := range seedRow {
+			sh[i].set(seedRow[i])
+		}
+		return sh
+	}
+	frame := appendDeltaFrame(nil, tail, len(rounds)-1, ns, mkShadows(), true)
+
+	// All-delta frame, no optional interior: every strict prefix must be
+	// rejected.
+	for cut := 0; cut < len(frame); cut++ {
+		c := seededCodec(ns, seedRow)
+		if _, _, _, err := c.decodeDeltaFrame(frame[:cut], base, false); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(frame))
+		}
+	}
+	if _, _, _, err := seededCodec(ns, seedRow).decodeDeltaFrame(frame, base, false); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20000; trial++ {
+		mut := append([]byte(nil), frame...)
+		for flips := 1 + rng.Intn(4); flips > 0; flips-- {
+			i := rng.Intn(len(mut))
+			mut[i] ^= 1 << uint(rng.Intn(8))
+		}
+		c := seededCodec(ns, seedRow)
+		infos, _, err := c.decodeRounds(mut, base)
+		if err == nil && len(infos) == 0 {
+			t.Fatal("corrupted delta frame decoded to zero rounds without error")
+		}
+	}
+}
+
+// FuzzDecodeDeltaFrame fuzzes the delta decoder through the dispatching
+// entry point (so legacy framings are covered too) against seeded
+// shadows: any input must decode or error, never panic.
+func FuzzDecodeDeltaFrame(f *testing.F) {
+	ns := 2
+	rounds := deltaSeq(ns)
+	seedRow := rounds[0]
+	sh := make([]roundShadow, ns)
+	for i := range seedRow {
+		sh[i].set(seedRow[i])
+	}
+	f.Add(appendDeltaFrame(nil, flatten(rounds[1:]), len(rounds)-1, ns, sh, true))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(encodeRoundsReply(sampleRoundInfos()))
+	base := time.Now()
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c := seededCodec(ns, seedRow)
+		if infos, _, err := c.decodeHostRounds(b, base); err == nil {
+			for _, row := range infos {
+				if len(row) != ns {
+					t.Fatalf("decoded row of %d infos, want %d", len(row), ns)
+				}
+			}
+		}
+		// Single-shard sessions route through decodeRounds.
+		c1 := seededCodec(1, seedRow[:1])
+		_, _, _ = c1.decodeRounds(b, base)
+		_, _, _ = c1.decodeFinalize(b, base)
+	})
+}
+
+// deltaCounters reads the per-mode round counters out of a registry.
+func deltaCounters(r *obs.Registry) (delta, full uint64) {
+	d := r.Counter("s3_coord_delta_rounds_total",
+		"Rounds decoded from worker replies, by framing mode.", obs.L("mode", "delta"))
+	f := r.Counter("s3_coord_delta_rounds_total",
+		"Rounds decoded from worker replies, by framing mode.", obs.L("mode", "full"))
+	return d.Value(), f.Value()
+}
+
+// roundsRecvBytes reads the rounds-endpoint receive byte counter.
+func roundsRecvBytes(r *obs.Registry) uint64 {
+	return r.Counter("s3_coord_rpc_bytes_total",
+		"Wire bytes exchanged with workers, by endpoint and direction.",
+		obs.L("endpoint", "rounds"), obs.L("direction", "recv")).Value()
+}
+
+// runBattery runs the standard query battery through a coordinator and
+// returns the transcripts in query order.
+func runBattery(t *testing.T, c *Coordinator, in *graph.Instance) []string {
+	t.Helper()
+	seekers, kwSets := queries(in)
+	var out []string
+	for _, seeker := range seekers {
+		for _, kws := range kwSets {
+			groups, possible, err := core.ResolveKeywordGroups(in, kws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !possible {
+				continue
+			}
+			spec := core.SearchSpec{Seeker: seeker, Groups: groups, K: 5,
+				Params: score.Params{Gamma: 1.5, Eta: 0.8}, Epsilon: 1e-12}
+			sel, stats, err := c.Search(spec, core.CoordOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, metaTranscript(sel, stats))
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no queries ran")
+	}
+	return out
+}
+
+// TestDeltaByteIdentityAndWireSavings: a delta-framing coordinator and a
+// WithoutDelta one answer byte-identically to the in-process sharded
+// engine, the delta one actually decodes delta rounds (metric > 0), and
+// it receives meaningfully fewer rounds-reply bytes for the same battery.
+func TestDeltaByteIdentityAndWireSavings(t *testing.T) {
+	in, ix := buildInstance(t, datasets(t)["twitter"])
+	manifestPath := writeSet(t, in, ix, 2)
+	set, err := snap.OpenShardSet(manifestPath, snap.LoadCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	engines := make([]*core.Engine, 2)
+	for i := range engines {
+		engines[i] = core.NewEngine(set.Set.Shards[i], set.Set.Indexes[i])
+	}
+	se, err := core.NewShardedEngine(engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	urls, stop := startWorkers(t, manifestPath, 2, snap.LoadMmap)
+	defer stop()
+
+	mkCoord := func(noDelta bool) (*Coordinator, *obs.Registry) {
+		reg := obs.NewRegistry()
+		c, err := NewCoordinator(CoordinatorConfig{
+			WorkerURLs: urls,
+			ShardCount: 2,
+			SetID:      set.Set.Layout.SetID,
+			Client:     &http.Client{Timeout: 10 * time.Second},
+			NoDelta:    noDelta,
+			Registry:   reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Probe(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return c, reg
+	}
+	deltaCoord, deltaReg := mkCoord(false)
+	fullCoord, fullReg := mkCoord(true)
+
+	seekers, kwSets := queries(in)
+	var want []string
+	for _, seeker := range seekers {
+		for _, kws := range kwSets {
+			rs, sstats, err := se.Search(seeker, kws, core.Options{K: 5, Params: score.Params{Gamma: 1.5, Eta: 0.8}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, possible, err := core.ResolveKeywordGroups(in, kws); err != nil {
+				t.Fatal(err)
+			} else if !possible {
+				continue
+			}
+			want = append(want, engineTranscript(rs, sstats))
+		}
+	}
+	gotDelta := runBattery(t, deltaCoord, in)
+	gotFull := runBattery(t, fullCoord, in)
+	for i := range want {
+		if gotDelta[i] != want[i] {
+			t.Fatalf("query %d: delta coordinator diverged from sharded engine\nwant:\n%s\ngot:\n%s", i, want[i], gotDelta[i])
+		}
+		if gotFull[i] != want[i] {
+			t.Fatalf("query %d: WithoutDelta coordinator diverged from sharded engine\nwant:\n%s\ngot:\n%s", i, want[i], gotFull[i])
+		}
+	}
+
+	dRounds, _ := deltaCounters(deltaReg)
+	if dRounds == 0 {
+		t.Fatal("delta coordinator decoded no delta-framed rounds")
+	}
+	if d, _ := deltaCounters(fullReg); d != 0 {
+		t.Fatalf("WithoutDelta coordinator decoded %d delta rounds", d)
+	}
+	dBytes, fBytes := roundsRecvBytes(deltaReg), roundsRecvBytes(fullReg)
+	if dBytes == 0 || fBytes == 0 {
+		t.Fatalf("rounds byte counters empty: delta=%d full=%d", dBytes, fBytes)
+	}
+	// This battery's searches stop after a couple dozen rounds, so most
+	// rounds are churn phase — bounds genuinely moving, where the delta
+	// body is floored by the changed float payload. Steady-state rounds
+	// compress far harder (see BenchmarkDeltaRounds); here just require a
+	// solid battery-wide saving.
+	if dBytes*5 > fBytes*4 {
+		t.Fatalf("delta framing saved too little: %dB delta vs %dB full", dBytes, fBytes)
+	}
+	t.Logf("rounds reply bytes: delta=%d full=%d (%.2fx smaller)", dBytes, fBytes, float64(fBytes)/float64(dBytes))
+}
+
+// proto4Proxy rewrites a worker's /healthz to advertise proto 4, so the
+// coordinator latches delta framing off for it while still using every
+// other modern capability.
+func proto4Proxy(t *testing.T, inner http.Handler) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/healthz" {
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, req)
+			var hb map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &hb); err != nil {
+				t.Errorf("healthz body: %v", err)
+				rw.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+			hb["proto"] = protoDelta - 1
+			body, _ := json.Marshal(hb)
+			rw.Header().Set("Content-Type", "application/json")
+			rw.WriteHeader(rec.Code)
+			rw.Write(body)
+			return
+		}
+		inner.ServeHTTP(rw, req)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestDeltaMixedFleet: one proto-4 worker (delta latched off) and one
+// proto-5 worker in the same search — answers stay byte-identical to the
+// all-proto-5 fleet, and the proto-5 member still deltas.
+func TestDeltaMixedFleet(t *testing.T) {
+	_, set, workers, servers := smallTopology(t)
+	old := proto4Proxy(t, workers[0].Handler())
+	urls := []string{old.URL, servers[1].URL}
+
+	reg := obs.NewRegistry()
+	mixed, err := NewCoordinator(CoordinatorConfig{
+		WorkerURLs: urls,
+		ShardCount: 2,
+		SetID:      set.Set.Layout.SetID,
+		Client:     &http.Client{Timeout: 10 * time.Second},
+		Registry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mixed.Probe(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	modern := newCoordinator(t, set.Set.Layout, []string{servers[0].URL, servers[1].URL})
+
+	in := set.Set.Base
+	gotMixed := runBattery(t, mixed, in)
+	gotModern := runBattery(t, modern, in)
+	for i := range gotModern {
+		if gotMixed[i] != gotModern[i] {
+			t.Fatalf("query %d: mixed proto-4/5 fleet diverged from all-proto-5 fleet", i)
+		}
+	}
+	d, full := deltaCounters(reg)
+	if d == 0 {
+		t.Fatal("proto-5 member of the mixed fleet never delta-framed")
+	}
+	if full == 0 {
+		t.Fatal("proto-4 member of the mixed fleet never full-framed")
+	}
+}
+
+// TestDeltaLiveDowngrade flips a worker's delta framing off and back on
+// between rounds RPCs of live searches: every reply self-identifies its
+// framing, so the coordinator tracks the mix without desynchronizing and
+// answers stay byte-identical throughout.
+func TestDeltaLiveDowngrade(t *testing.T) {
+	_, set, workers, servers := smallTopology(t)
+	var roundsRPCs atomic.Int64
+	flipper := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == pathRounds {
+			// Alternate framing in 3-RPC stretches, flipping mid-session.
+			n := roundsRPCs.Add(1)
+			workers[0].deltaOff.Store((n/3)%2 == 1)
+		}
+		workers[0].Handler().ServeHTTP(rw, req)
+	}))
+	t.Cleanup(flipper.Close)
+
+	reg := obs.NewRegistry()
+	flipped, err := NewCoordinator(CoordinatorConfig{
+		WorkerURLs: []string{flipper.URL, servers[1].URL},
+		ShardCount: 2,
+		SetID:      set.Set.Layout.SetID,
+		Client:     &http.Client{Timeout: 10 * time.Second},
+		Registry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flipped.Probe(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	steady := newCoordinator(t, set.Set.Layout, []string{servers[0].URL, servers[1].URL})
+
+	in := set.Set.Base
+	gotFlipped := runBattery(t, flipped, in)
+	workers[0].deltaOff.Store(false)
+	gotSteady := runBattery(t, steady, in)
+	for i := range gotSteady {
+		if gotFlipped[i] != gotSteady[i] {
+			t.Fatalf("query %d: mid-search framing flips changed the answer", i)
+		}
+	}
+	d, full := deltaCounters(reg)
+	if d == 0 || full == 0 {
+		t.Fatalf("framing flips not exercised: delta=%d full=%d rounds", d, full)
+	}
+}
+
+// TestDeltaFailoverReplay is replayIdentity with delta framing live on
+// both executors: the replica's fast-forward resets the codec shadows
+// (the worker resets its own after replay), so post-recovery delta
+// rounds re-arm from a full round and stay bit-identical to the
+// uninterrupted session, at every consumed-round count.
+func TestDeltaFailoverReplay(t *testing.T) {
+	_, set, _, servers := smallTopology(t)
+	srv := servers[0]
+	spec := deepQuery(t, set, srv, 5)
+
+	var on atomic.Bool // stays false: delta enabled
+	for consumed := 1; consumed <= 4; consumed++ {
+		primary := newRemoteExecutor(http.DefaultClient, srv.URL, uint64(9900+2*consumed)).withDelta(&on)
+		if _, err := primary.Begin(spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < consumed; i++ {
+			if _, err := primary.Round(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		replica := newRemoteExecutor(http.DefaultClient, srv.URL, uint64(9901+2*consumed)).
+			withDelta(&on).
+			withResilience(context.Background(), 5*time.Second, new(atomic.Bool), nil)
+		if _, err := replica.Begin(spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := replica.FastForward(uint32(consumed)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			a, err := primary.Round()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := replica.Round()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encodeRoundInfo(a), encodeRoundInfo(b)) {
+				t.Fatalf("consumed=%d: round %d diverged after delta fast-forward", consumed, consumed+i+1)
+			}
+			if a.Done {
+				break
+			}
+		}
+		fa, err := primary.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := replica.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeRoundInfo(fa), encodeRoundInfo(fb)) {
+			t.Fatalf("consumed=%d: finalize diverged after delta fast-forward", consumed)
+		}
+		primary.End()
+		replica.End()
+	}
+}

@@ -74,6 +74,7 @@ type hostSession struct {
 	noSet   *atomic.Bool    // worker's "no beginset" latch (live-404 relatch)
 	metrics *rpcMetrics
 	cancel  context.CancelFunc // cancels the session's RPC context
+	codec   *deltaCodec        // proto-5 decode shadow, one slot per member
 
 	mu    sync.Mutex
 	begun bool
@@ -127,7 +128,11 @@ func (c *Coordinator) newHostSession(ctx context.Context, ref *workerRef, shards
 		withMetrics(c.metrics).
 		withBatching(&ref.noBatch, c.cfg.MaxRoundBatch, budget).
 		withResilience(rctx, c.cfg.RPCTimeout, &ref.noReplay, &ref.lat)
-	s := &hostSession{rx: rx, shards: shards, noSet: &ref.noSet, metrics: c.metrics, cancel: cancel}
+	if !c.cfg.NoDelta {
+		rx.withDelta(&ref.noDelta)
+	}
+	s := &hostSession{rx: rx, shards: shards, noSet: &ref.noSet, metrics: c.metrics, cancel: cancel,
+		codec: newDeltaCodec(len(shards))}
 	conns := make([]shardConn, len(shards))
 	cancels := make([]context.CancelFunc, len(shards))
 	for i := range shards {
@@ -187,7 +192,7 @@ func (s *hostSession) doBeginLocked(spec core.SearchSpec) ([]core.BeginInfo, *ob
 		// the grace mirrors the per-shard path's.
 		br.deadlineMicros = uint64((s.rx.budget + 2*time.Second).Microseconds())
 	}
-	body, err := s.rx.post(epBeginSet, encodeBeginSetRequest(br))
+	fb, err := s.rx.post(epBeginSet, encodeBeginSetRequest(br))
 	if err != nil {
 		if errors.Is(err, errNoBeginSetEndpoint) && s.noSet != nil {
 			// The worker rolled back below proto 4 mid-flight: latch it so
@@ -196,7 +201,8 @@ func (s *hostSession) doBeginLocked(spec core.SearchSpec) ([]core.BeginInfo, *ob
 		}
 		return nil, nil, s.rx.setErr(err)
 	}
-	infos, sp, derr := decodeBeginSetReply(body, len(s.shards), start)
+	infos, sp, derr := decodeBeginSetReply(fb.b, len(s.shards), start)
+	putFrame(fb)
 	if derr != nil {
 		return nil, nil, s.rx.setErr(derr)
 	}
@@ -219,7 +225,14 @@ func (s *hostSession) fetchRounds(from uint32, batch int) hostRoundsResult {
 		n = maxBatchRounds
 	}
 	start := time.Now()
-	body, err := s.rx.post(epRounds, encodeRoundsRequest(roundsRequest{searchID: s.rx.searchID, from: from, max: uint32(n)}))
+	rr := roundsRequest{searchID: s.rx.searchID, from: from, max: uint32(n)}
+	if s.rx.deltaOK() {
+		rr.flags = reqFlagDelta
+	}
+	req := getFrame()
+	req.b = appendRoundsRequest(req.b[:0], rr)
+	fb, err := s.rx.post(epRounds, req.b)
+	putFrame(req)
 	if err != nil {
 		if errors.Is(err, errNoRoundsEndpoint) {
 			// The worker lost the batched endpoint mid-flight (rollback).
@@ -235,12 +248,15 @@ func (s *hostSession) fetchRounds(from uint32, batch int) hostRoundsResult {
 		}
 		return hostRoundsResult{err: err}
 	}
-	rows, sp, err := decodeHostRoundsReply(body, len(s.shards), start)
+	rows, sp, err := s.codec.decodeHostRounds(fb.b, start)
+	nBytes := len(fb.b)
+	putFrame(fb)
 	if err != nil {
 		return hostRoundsResult{err: err}
 	}
 	s.metrics.observeBatch(len(rows))
 	s.metrics.observeHostRPC(start, len(s.shards))
+	s.metrics.observeReply(nBytes, s.codec.lastDelta, s.codec.lastFull)
 	return hostRoundsResult{rows: rows, span: sp}
 }
 
@@ -356,14 +372,21 @@ func (v *hostShardView) Finalize() (core.RoundInfo, error) {
 
 func (s *hostSession) doFinalizeLocked(round uint32) ([]core.RoundInfo, *obs.Span, error) {
 	start := time.Now()
-	body, err := s.rx.post(epFinalize, encodeRoundRequest(roundRequest{searchID: s.rx.searchID, round: round}))
+	rr := roundRequest{searchID: s.rx.searchID, round: round}
+	if s.rx.deltaOK() {
+		rr.flags = reqFlagDelta
+	}
+	fb, err := s.rx.post(epFinalize, encodeRoundRequest(rr))
 	if err != nil {
 		return nil, nil, s.rx.setErr(err)
 	}
-	infos, sp, derr := decodeHostInfosReply(body, len(s.shards), start)
+	infos, sp, derr := s.codec.decodeHostFinalize(fb.b, start)
+	nBytes := len(fb.b)
+	putFrame(fb)
 	if derr != nil {
 		return nil, nil, s.rx.setErr(derr)
 	}
+	s.metrics.observeReply(nBytes, s.codec.lastDelta, s.codec.lastFull)
 	return infos, sp, nil
 }
 
@@ -413,7 +436,8 @@ func (v *hostShardView) End() {
 			// context, same as the per-shard path.
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
-			_, _ = s.rx.postCtx(ctx, epEnd, encodeRoundRequest(roundRequest{searchID: s.rx.searchID, round: endRound}))
+			fb, _ := s.rx.postCtx(ctx, epEnd, encodeRoundRequest(roundRequest{searchID: s.rx.searchID, round: endRound}))
+			putFrame(fb)
 		}
 		if s.cancel != nil {
 			s.cancel()
@@ -433,11 +457,12 @@ func (v *hostShardView) FastForward(upto uint32) error {
 		return s.rx.setErr(fmt.Errorf("dshard: %s: fast-forward on a %d-view host session", s.rx.base, len(s.views)))
 	}
 	for v.consumed < upto {
-		body, err := s.rx.post(epReplay, encodeReplayRequest(replayRequest{
+		fb, err := s.rx.post(epReplay, encodeReplayRequest(replayRequest{
 			searchID: s.rx.searchID, from: v.consumed + 1, upto: upto,
 		}))
 		if err == nil {
-			rep, derr := decodeReplayReply(body)
+			rep, derr := decodeReplayReply(fb.b)
+			putFrame(fb)
 			if derr != nil {
 				return s.rx.setErr(derr)
 			}
@@ -447,6 +472,8 @@ func (v *hostShardView) FastForward(upto uint32) error {
 			}
 			v.consumed = rep.round
 			s.fetched, s.pruned, s.buf = rep.round, rep.round, nil
+			// Replay resets the worker's delta shadow; mirror that here.
+			s.codec.reset()
 			continue
 		}
 		if !errors.Is(err, errNoReplayEndpoint) {
@@ -516,11 +543,15 @@ func (c *Coordinator) connect(ctx context.Context, ref *workerRef, shards []int,
 	cancels := make([]context.CancelFunc, len(shards))
 	for i := range shards {
 		rctx, cancel := context.WithCancel(ctx)
-		conns[i] = newRemoteExecutor(c.client, ref.url, c.nextSearchID()).
+		rx := newRemoteExecutor(c.client, ref.url, c.nextSearchID()).
 			withTracing(traceID).
 			withMetrics(c.metrics).
 			withBatching(&ref.noBatch, c.cfg.MaxRoundBatch, budget).
 			withResilience(rctx, c.cfg.RPCTimeout, &ref.noReplay, &ref.lat)
+		if !c.cfg.NoDelta {
+			rx.withDelta(&ref.noDelta)
+		}
+		conns[i] = rx
 		cancels[i] = cancel
 	}
 	return conns, cancels

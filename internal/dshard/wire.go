@@ -49,6 +49,23 @@
 // per host; against proto<4 workers it falls back to one session per
 // shard. Either way the per-shard blocks are identical bytes.
 //
+// Proto 5 adds delta round framing: a rounds/finalize reply may encode
+// each shard block as a delta against the session's previous round —
+// unchanged kept entries become varint back-references into the peer's
+// shadow of that round, changed or new entries carry zigzag-varint doc-id
+// deltas plus bound updates, cumulative counters become varint diffs, and
+// per-round scalars shared by every co-hosted shard (N, Reached, Tail,
+// SourceTail, Done) are hoisted into one header. Floats are never
+// re-derived: a back-reference copies the exact bits of the previous
+// round's value, so reconstructed RoundInfos are byte-identical to
+// full-block framing by construction. The coordinator requests deltas
+// with a trailing flags byte on the rounds/finalize request (sent only to
+// proto>=5 workers); a delta-framed reply self-identifies with a leading
+// magic word inside the CRC-protected body, so the coordinator decodes
+// whichever framing the worker actually used and a worker that stops
+// speaking deltas mid-search relegates to full blocks in place. See
+// delta.go for the frame layout and the shadow discipline.
+//
 // Every request and response frame additionally carries a CRC-32C of its
 // body in the X-S3-Frame-Crc header; receivers that find the header
 // verify it before decoding, so a fault that flips bits in transit is a
@@ -60,8 +77,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"strconv"
+	"sync"
 	"time"
 
 	"s3/internal/core"
@@ -103,12 +122,16 @@ const (
 // used by mid-search failover; protoHost added multi-shard host sessions
 // (/shard/v1/beginset installs one session covering a shard list, and the
 // session's rounds/finalize replies carry one RoundInfo block per member
-// shard). protoVersion is what this build speaks.
+// shard); protoDelta added delta round framing (rounds/finalize replies
+// encode shard blocks as deltas against the session's previous round when
+// the request's flags byte asks for them — see delta.go). protoVersion is
+// what this build speaks.
 const (
 	protoBatch   = 2
 	protoReplay  = 3
 	protoHost    = 4
-	protoVersion = protoHost
+	protoDelta   = 5
+	protoVersion = protoDelta
 )
 
 // maxHostShards caps the shard list of one host session; a conforming
@@ -190,6 +213,49 @@ func (d *dec) u64() uint64 {
 }
 
 func (d *dec) f64() float64 { return floatFromBits(d.u64()) }
+
+// uv / sv are the varint fields of the proto-5 delta framing. Decoded
+// values are capped well under 2^32 so a malformed frame can neither
+// size a huge allocation nor overflow the int arithmetic that
+// reconstructs cumulative counters from diffs.
+const maxVarint = 1 << 31
+
+func (e *enc) uv(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) sv(v int64)  { e.b = binary.AppendVarint(e.b, v) }
+
+func (d *dec) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated or overlong varint")
+		return 0
+	}
+	if v > maxVarint {
+		d.fail("varint %d out of range", v)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) sv() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated or overlong varint")
+		return 0
+	}
+	if v > maxVarint || v < -maxVarint {
+		d.fail("varint %d out of range", v)
+		return 0
+	}
+	d.off += n
+	return v
+}
 
 func (e *enc) str(s string) {
 	e.u32(uint32(len(s)))
@@ -478,22 +544,49 @@ func decodeBeginInfo(b []byte, base time.Time) (core.BeginInfo, *obs.Span, error
 
 // roundRequest names a search and the round the coordinator expects to
 // run next; the worker rejects out-of-lockstep ordinals, so a replayed or
-// lost frame can never silently double-step an exploration.
+// lost frame can never silently double-step an exploration. The optional
+// trailing flags byte (proto 5, written only when nonzero, only ever sent
+// to proto>=5 workers) asks for delta reply framing on finalize; round
+// and end requests never carry it, so their frames stay byte-identical to
+// every earlier protocol.
 type roundRequest struct {
 	searchID uint64
 	round    uint32
+	flags    byte
+}
+
+// reqFlagDelta asks the worker to frame the reply as deltas against the
+// session's previous round (proto 5). The worker may still reply with
+// full-block framing — the reply self-identifies — so the flag is a
+// capability hint, never a decode contract.
+const reqFlagDelta = 1 << 0
+
+func appendRoundRequest(b []byte, r roundRequest) []byte {
+	e := enc{b: b}
+	e.u64(r.searchID)
+	e.u32(r.round)
+	if r.flags != 0 {
+		e.u8(r.flags)
+	}
+	return e.b
 }
 
 func encodeRoundRequest(r roundRequest) []byte {
-	var e enc
-	e.u64(r.searchID)
-	e.u32(r.round)
-	return e.b
+	return appendRoundRequest(nil, r)
 }
 
 func decodeRoundRequest(b []byte) (roundRequest, error) {
 	d := &dec{b: b}
 	r := roundRequest{searchID: d.u64(), round: d.u32()}
+	if d.err == nil && d.off < len(d.b) {
+		r.flags = d.u8()
+		if d.err == nil && (r.flags == 0 || r.flags&^reqFlagDelta != 0) {
+			// Canonical encoding: the flags byte is written only when
+			// nonzero, and only known bits may be set — anything else is
+			// trailing garbage, not a future extension.
+			d.fail("bad request flags 0x%02x", r.flags)
+		}
+	}
 	return r, d.done()
 }
 
@@ -578,18 +671,29 @@ func decodeRoundInfo(b []byte, base time.Time) (core.RoundInfo, *obs.Span, error
 // exactly like roundRequest). The worker may execute fewer — it returns
 // early on the first admission, kept-set change, exhaustion or the
 // precision floor — but always at least one.
+// The optional trailing flags byte follows the same rules as
+// roundRequest's: written only when nonzero, only sent to proto>=5
+// workers, so flagless frames stay byte-identical to proto 2.
 type roundsRequest struct {
 	searchID uint64
 	from     uint32
 	max      uint32
+	flags    byte
 }
 
-func encodeRoundsRequest(r roundsRequest) []byte {
-	var e enc
+func appendRoundsRequest(b []byte, r roundsRequest) []byte {
+	e := enc{b: b}
 	e.u64(r.searchID)
 	e.u32(r.from)
 	e.u32(r.max)
+	if r.flags != 0 {
+		e.u8(r.flags)
+	}
 	return e.b
+}
+
+func encodeRoundsRequest(r roundsRequest) []byte {
+	return appendRoundsRequest(nil, r)
 }
 
 func decodeRoundsRequest(b []byte) (roundsRequest, error) {
@@ -597,6 +701,13 @@ func decodeRoundsRequest(b []byte) (roundsRequest, error) {
 	r := roundsRequest{searchID: d.u64(), from: d.u32(), max: d.u32()}
 	if d.err == nil && (r.max == 0 || r.max > maxBatchRounds) {
 		d.fail("batch of %d rounds (cap %d)", r.max, maxBatchRounds)
+	}
+	if d.err == nil && d.off < len(d.b) {
+		r.flags = d.u8()
+		if d.err == nil && (r.flags == 0 || r.flags&^reqFlagDelta != 0) {
+			// Canonical encoding, as in decodeRoundRequest.
+			d.fail("bad request flags 0x%02x", r.flags)
+		}
 	}
 	return r, d.done()
 }
@@ -606,7 +717,11 @@ func decodeRoundsRequest(b []byte) (roundsRequest, error) {
 // each — byte-identity does not depend on how the rounds were grouped
 // into RPCs.
 func encodeRoundsReply(infos []core.RoundInfo) []byte {
-	var e enc
+	return appendRoundsReply(nil, infos)
+}
+
+func appendRoundsReply(b []byte, infos []core.RoundInfo) []byte {
+	e := enc{b: b}
 	e.u32(uint32(len(infos)))
 	for i := range infos {
 		encodeRoundInfoBody(&e, infos[i])
@@ -780,7 +895,11 @@ func decodeBeginSetReply(b []byte, nShards int, base time.Time) ([]core.BeginInf
 // block, so byte-identity does not depend on how shards were grouped onto
 // hosts or rounds into RPCs.
 func encodeHostRoundsReply(rows [][]core.RoundInfo) []byte {
-	var e enc
+	return appendHostRoundsReply(nil, rows)
+}
+
+func appendHostRoundsReply(b []byte, rows [][]core.RoundInfo) []byte {
+	e := enc{b: b}
 	e.u32(uint32(len(rows)))
 	var nShards int
 	if len(rows) > 0 {
@@ -823,7 +942,11 @@ func decodeHostRoundsReply(b []byte, nShards int, base time.Time) ([][]core.Roun
 // encodeHostInfosReply carries one RoundInfo per member shard — the host
 // session's finalize reply.
 func encodeHostInfosReply(infos []core.RoundInfo) []byte {
-	var e enc
+	return appendHostInfosReply(nil, infos)
+}
+
+func appendHostInfosReply(b []byte, infos []core.RoundInfo) []byte {
+	e := enc{b: b}
 	e.u32(uint32(len(infos)))
 	for i := range infos {
 		encodeRoundInfoBody(&e, infos[i])
@@ -854,3 +977,52 @@ func decodeHostInfosReply(b []byte, nShards int, base time.Time) ([]core.RoundIn
 func floatBits(v float64) uint64 { return math.Float64bits(v) }
 
 func floatFromBits(v uint64) float64 { return math.Float64frombits(v) }
+
+// --- frame buffer pool ---
+
+// frameBuf is a pooled byte buffer for encoding request/reply frames and
+// for reading HTTP bodies: the round hot path builds and consumes every
+// frame within one call, so the backing arrays recycle instead of
+// pressuring the GC once per round.
+type frameBuf struct{ b []byte }
+
+// maxPooledFrame bounds what a returned buffer may retain: a frame that
+// ballooned past it (a giant traced reply, say) is dropped rather than
+// pinned in the pool forever.
+const maxPooledFrame = 1 << 20
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+func getFrame() *frameBuf { return framePool.Get().(*frameBuf) }
+
+func putFrame(f *frameBuf) {
+	if f == nil || cap(f.b) > maxPooledFrame {
+		return
+	}
+	f.b = f.b[:0]
+	framePool.Put(f)
+}
+
+// readAllFrame reads r to EOF into fb's backing array (growing it as
+// needed), returning the body. It is io.ReadAll with a caller-owned
+// buffer, so steady-state frame reads allocate nothing.
+func readAllFrame(r io.Reader, fb *frameBuf) ([]byte, error) {
+	b := fb.b[:0]
+	if cap(b) == 0 {
+		b = make([]byte, 0, 4096)
+	}
+	for {
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		fb.b = b
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			return b, err
+		}
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+	}
+}

@@ -157,6 +157,25 @@ type session struct {
 	lastAdmitted int
 	lastSigs     []roundSig
 	lastAdmits   []int
+
+	// shadows is the proto-5 delta base: the last round's RoundInfo per
+	// member shard, exactly as the coordinator last decoded it. Updated on
+	// every executed round (whatever framing the reply used), reset by
+	// replay (the coordinator never decoded those rounds), and never
+	// advanced by finalize.
+	shadows []roundShadow
+
+	// Reply-encode scratch, reused across the session's batched-rounds
+	// calls: infos accumulates a single-shard batch, rowArena a host
+	// session's round-major blocks (HostExecutor.Round reuses its own
+	// scratch, so rows must be copied out per round), rows the row
+	// headers for legacy host framing. sigScratch/sigScratches recycle
+	// roundSig backing arrays.
+	infos        []core.RoundInfo
+	rowArena     []core.RoundInfo
+	rows         [][]core.RoundInfo
+	sigScratch   []graph.NID
+	sigScratches [][]graph.NID
 }
 
 // roundSig is the reaction-worthy summary of one round's shard-local
@@ -168,9 +187,15 @@ type roundSig struct {
 }
 
 func keptSig(info core.RoundInfo) roundSig {
-	sig := roundSig{kept: make([]graph.NID, len(info.Kept)), unc: -1}
-	for i, c := range info.Kept {
-		sig.kept[i] = c.Doc
+	return keptSigInto(nil, info)
+}
+
+// keptSigInto builds the signature into buf's backing array (which may be
+// nil, or a previous signature's backing being recycled).
+func keptSigInto(buf []graph.NID, info core.RoundInfo) roundSig {
+	sig := roundSig{kept: buf[:0], unc: -1}
+	for _, c := range info.Kept {
+		sig.kept = append(sig.kept, c.Doc)
 	}
 	// Kept arrives best-first by upper bound; order shifts as bounds
 	// tighten without the membership changing, so compare as a set.
@@ -224,6 +249,12 @@ type Worker struct {
 	// searches (nil when disabled); bound to the served generation so a
 	// reload purges and re-binds it.
 	prox *proxcache.Cache
+
+	// deltaOff disables proto-5 delta reply framing: full blocks even
+	// when the request asks for deltas. The reply framing is
+	// self-identifying, so flipping it mid-search never desynchronizes a
+	// session — tests use it to prove the coordinator's live downgrade.
+	deltaOff atomic.Bool
 
 	reg        *obs.Registry
 	rpcSeconds [epCount]*obs.Histogram
@@ -455,13 +486,19 @@ func writeFrame(rw http.ResponseWriter, frame []byte) {
 	_, _ = rw.Write(frame)
 }
 
-func readFrame(rw http.ResponseWriter, req *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(io.LimitReader(req.Body, maxFrameSize+1))
+// readFrame reads the request body into a pooled buffer; the caller owns
+// the returned frameBuf (its request decode copies everything it keeps)
+// and must putFrame it when done.
+func readFrame(rw http.ResponseWriter, req *http.Request) (*frameBuf, bool) {
+	fb := getFrame()
+	body, err := readAllFrame(io.LimitReader(req.Body, maxFrameSize+1), fb)
 	if err != nil {
+		putFrame(fb)
 		writeErr(rw, http.StatusBadRequest, "reading frame: %v", err)
 		return nil, false
 	}
 	if len(body) > maxFrameSize {
+		putFrame(fb)
 		writeErr(rw, http.StatusBadRequest, "frame exceeds %d bytes", maxFrameSize)
 		return nil, false
 	}
@@ -469,10 +506,11 @@ func readFrame(rw http.ResponseWriter, req *http.Request) ([]byte, bool) {
 	// (not 400, which the client treats as a deterministic rejection every
 	// replica would repeat) so the coordinator retries/fails over.
 	if err := checkFrameCRC(body, req.Header.Get(frameCRCHeader)); err != nil {
+		putFrame(fb)
 		writeErr(rw, http.StatusUnprocessableEntity, "%v", err)
 		return nil, false
 	}
-	return body, true
+	return fb, true
 }
 
 // closeSession releases a session's executor and generation, retaining
@@ -520,11 +558,12 @@ func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
 		writeErr(rw, http.StatusServiceUnavailable, "worker is %s", stateName(w.state.Load()))
 		return
 	}
-	body, ok := readFrame(rw, req)
+	fb, ok := readFrame(rw, req)
 	if !ok {
 		return
 	}
-	r, err := decodeBeginRequest(body)
+	r, err := decodeBeginRequest(fb.b)
+	putFrame(fb)
 	if err != nil {
 		writeErr(rw, http.StatusBadRequest, "%v", err)
 		return
@@ -550,6 +589,7 @@ func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
 			WithStepCounter(&w.iterSteps),
 		lastUsed: time.Now(),
 		lastSig:  roundSig{unc: -1},
+		shadows:  make([]roundShadow, 1),
 	}
 	if r.traceID != 0 {
 		s.exec.WithTracing(true)
@@ -634,11 +674,12 @@ func (w *Worker) handleBeginSet(rw http.ResponseWriter, req *http.Request) {
 		writeErr(rw, http.StatusServiceUnavailable, "worker is %s", stateName(w.state.Load()))
 		return
 	}
-	body, ok := readFrame(rw, req)
+	fb, ok := readFrame(rw, req)
 	if !ok {
 		return
 	}
-	r, err := decodeBeginSetRequest(body)
+	r, err := decodeBeginSetRequest(fb.b)
+	putFrame(fb)
 	if err != nil {
 		writeErr(rw, http.StatusBadRequest, "%v", err)
 		return
@@ -679,12 +720,14 @@ func (w *Worker) handleBeginSet(rw http.ResponseWriter, req *http.Request) {
 		WithStepCounter(&w.iterSteps).
 		WithCounters(touched, rounds)
 	s := &session{
-		gen:        gen,
-		host:       host,
-		shards:     r.shards,
-		lastUsed:   time.Now(),
-		lastSigs:   make([]roundSig, len(r.shards)),
-		lastAdmits: make([]int, len(r.shards)),
+		gen:          gen,
+		host:         host,
+		shards:       r.shards,
+		lastUsed:     time.Now(),
+		lastSigs:     make([]roundSig, len(r.shards)),
+		lastAdmits:   make([]int, len(r.shards)),
+		shadows:      make([]roundShadow, len(r.shards)),
+		sigScratches: make([][]graph.NID, len(r.shards)),
 	}
 	for i := range s.lastSigs {
 		s.lastSigs[i] = roundSig{unc: -1}
@@ -750,11 +793,12 @@ func (w *Worker) dropSession(id uint64) {
 
 func (w *Worker) handleRound(rw http.ResponseWriter, req *http.Request) {
 	defer w.rpcSeconds[epRound].ObserveSince(time.Now())
-	body, ok := readFrame(rw, req)
+	fb, ok := readFrame(rw, req)
 	if !ok {
 		return
 	}
-	r, err := decodeRoundRequest(body)
+	r, err := decodeRoundRequest(fb.b)
+	putFrame(fb)
 	if err != nil {
 		writeErr(rw, http.StatusBadRequest, "%v", err)
 		return
@@ -787,8 +831,11 @@ func (w *Worker) handleRound(rw http.ResponseWriter, req *http.Request) {
 	s.round++
 	// Keep the batch-stop state coherent even under per-round calls, so
 	// a coordinator may mix the two endpoints freely.
-	s.lastSig = keptSig(info)
+	recycled := s.lastSig.kept
+	s.lastSig = keptSigInto(s.sigScratch, info)
+	s.sigScratch = recycled
 	s.lastAdmitted = info.Admitted
+	s.shadows[0].set(info)
 	writeFrame(rw, appendSpanBlock(encodeRoundInfo(info), w.takeCallSpan(s)))
 }
 
@@ -801,11 +848,12 @@ func (w *Worker) handleRound(rw http.ResponseWriter, req *http.Request) {
 // latency/waste heuristic, never a correctness requirement.
 func (w *Worker) handleRounds(rw http.ResponseWriter, req *http.Request) {
 	defer w.rpcSeconds[epRounds].ObserveSince(time.Now())
-	body, ok := readFrame(rw, req)
+	fb, ok := readFrame(rw, req)
 	if !ok {
 		return
 	}
-	r, err := decodeRoundsRequest(body)
+	r, err := decodeRoundsRequest(fb.b)
+	putFrame(fb)
 	if err != nil {
 		writeErr(rw, http.StatusBadRequest, "%v", err)
 		return
@@ -825,11 +873,12 @@ func (w *Worker) handleRounds(rw http.ResponseWriter, req *http.Request) {
 	if maxRounds > maxWorkerBatch {
 		maxRounds = maxWorkerBatch
 	}
+	delta := r.flags&reqFlagDelta != 0 && !w.deltaOff.Load()
 	if s.host != nil {
-		w.hostRounds(rw, s, maxRounds)
+		w.hostRounds(rw, s, maxRounds, delta)
 		return
 	}
-	infos := make([]core.RoundInfo, 0, maxRounds)
+	infos := s.infos[:0]
 	var batchSpan *obs.Span
 	for len(infos) < maxRounds {
 		info, err := s.exec.Round()
@@ -845,15 +894,17 @@ func (w *Worker) handleRounds(rw http.ResponseWriter, req *http.Request) {
 			batchSpan.Attach(sp)
 		}
 		infos = append(infos, info)
-		sig := keptSig(info)
+		sig := keptSigInto(s.sigScratch, info)
 		stop := info.Done || info.Tail < 1e-15 ||
 			info.Admitted > s.lastAdmitted || !sig.equal(s.lastSig)
+		s.sigScratch = s.lastSig.kept
 		s.lastSig = sig
 		s.lastAdmitted = info.Admitted
 		if stop {
 			break
 		}
 	}
+	s.infos = infos
 	if batchSpan != nil {
 		batchSpan.SetInt("rounds", int64(len(infos)))
 		batchSpan.End()
@@ -861,7 +912,18 @@ func (w *Worker) handleRounds(rw http.ResponseWriter, req *http.Request) {
 			s.trace.Span().Attach(batchSpan)
 		}
 	}
-	writeFrame(rw, appendSpanBlock(encodeRoundsReply(infos), batchSpan))
+	out := getFrame()
+	var frame []byte
+	if delta {
+		frame = appendDeltaFrame(out.b[:0], infos, len(infos), 1, s.shadows, true)
+	} else {
+		frame = appendRoundsReply(out.b[:0], infos)
+		s.shadows[0].set(infos[len(infos)-1])
+	}
+	frame = appendSpanBlock(frame, batchSpan)
+	writeFrame(rw, frame)
+	out.b = frame
+	putFrame(out)
 }
 
 // hostRounds is handleRounds for a host session: each executed round
@@ -870,12 +932,18 @@ func (w *Worker) handleRounds(rw http.ResponseWriter, req *http.Request) {
 // ANY member's outcome is reaction-worthy — the coordinator replays each
 // member's stop decision independently, so an early stop is only ever a
 // latency/waste heuristic. The caller holds s.mu and verified lockstep.
-func (w *Worker) hostRounds(rw http.ResponseWriter, s *session, maxRounds int) {
-	rows := make([][]core.RoundInfo, 0, maxRounds)
+func (w *Worker) hostRounds(rw http.ResponseWriter, s *session, maxRounds int, delta bool) {
+	ns := len(s.shards)
+	// HostExecutor.Round reuses its own infos scratch, so each round's
+	// blocks are copied into the session's round-major arena before the
+	// next round overwrites them.
+	arena := s.rowArena[:0]
+	nRounds := 0
 	var batchSpan *obs.Span
-	for len(rows) < maxRounds {
+	for nRounds < maxRounds {
 		infos, err := s.host.Round()
 		if err != nil {
+			s.rowArena = arena
 			writeErr(rw, http.StatusInternalServerError, "%v", err)
 			return
 		}
@@ -897,14 +965,16 @@ func (w *Worker) hostRounds(rw http.ResponseWriter, s *session, maxRounds int) {
 			}
 			batchSpan.Attach(wrap)
 		}
-		rows = append(rows, infos)
+		arena = append(arena, infos...)
+		nRounds++
 		stop := false
 		for i, info := range infos {
-			sig := keptSig(info)
+			sig := keptSigInto(s.sigScratches[i], info)
 			if info.Done || info.Tail < 1e-15 ||
 				info.Admitted > s.lastAdmits[i] || !sig.equal(s.lastSigs[i]) {
 				stop = true
 			}
+			s.sigScratches[i] = s.lastSigs[i].kept
 			s.lastSigs[i] = sig
 			s.lastAdmits[i] = info.Admitted
 		}
@@ -912,14 +982,33 @@ func (w *Worker) hostRounds(rw http.ResponseWriter, s *session, maxRounds int) {
 			break
 		}
 	}
+	s.rowArena = arena
 	if batchSpan != nil {
-		batchSpan.SetInt("rounds", int64(len(rows)))
+		batchSpan.SetInt("rounds", int64(nRounds))
 		batchSpan.End()
 		if s.trace != nil {
 			s.trace.Span().Attach(batchSpan)
 		}
 	}
-	writeFrame(rw, appendSpanBlock(encodeHostRoundsReply(rows), batchSpan))
+	out := getFrame()
+	var frame []byte
+	if delta {
+		frame = appendDeltaFrame(out.b[:0], arena, nRounds, ns, s.shadows, true)
+	} else {
+		rows := s.rows[:0]
+		for r := 0; r < nRounds; r++ {
+			rows = append(rows, arena[r*ns:(r+1)*ns])
+		}
+		s.rows = rows
+		frame = appendHostRoundsReply(out.b[:0], rows)
+		for i := 0; i < ns; i++ {
+			s.shadows[i].set(arena[(nRounds-1)*ns+i])
+		}
+	}
+	frame = appendSpanBlock(frame, batchSpan)
+	writeFrame(rw, frame)
+	out.b = frame
+	putFrame(out)
 }
 
 // handleReplay is the proto-3 failover fast-forward: advance the session
@@ -934,11 +1023,12 @@ func (w *Worker) hostRounds(rw http.ResponseWriter, s *session, maxRounds int) {
 // coordinator loops.
 func (w *Worker) handleReplay(rw http.ResponseWriter, req *http.Request) {
 	defer w.rpcSeconds[epReplay].ObserveSince(time.Now())
-	body, ok := readFrame(rw, req)
+	fb, ok := readFrame(rw, req)
 	if !ok {
 		return
 	}
-	r, err := decodeReplayRequest(body)
+	r, err := decodeReplayRequest(fb.b)
+	putFrame(fb)
 	if err != nil {
 		writeErr(rw, http.StatusBadRequest, "%v", err)
 		return
@@ -988,16 +1078,23 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, req *http.Request) {
 			s.trace.Span().Attach(sp)
 		}
 	}
+	// The coordinator never decodes replayed rounds, so its delta shadows
+	// stay at the pre-failover state: invalidate ours to match — the next
+	// rounds reply opens with a full-framed round.
+	for i := range s.shadows {
+		s.shadows[i].reset()
+	}
 	writeFrame(rw, encodeReplayReply(replayReply{round: s.round}))
 }
 
 func (w *Worker) handleFinalize(rw http.ResponseWriter, req *http.Request) {
 	defer w.rpcSeconds[epFinalize].ObserveSince(time.Now())
-	body, ok := readFrame(rw, req)
+	fb, ok := readFrame(rw, req)
 	if !ok {
 		return
 	}
-	r, err := decodeRoundRequest(body)
+	r, err := decodeRoundRequest(fb.b)
+	putFrame(fb)
 	if err != nil {
 		writeErr(rw, http.StatusBadRequest, "%v", err)
 		return
@@ -1009,13 +1106,27 @@ func (w *Worker) handleFinalize(rw http.ResponseWriter, req *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Finalize replies may delta against the session's last round but
+	// never advance the shadows (update=false): the round base on both
+	// ends stays the last executed round.
+	delta := r.flags&reqFlagDelta != 0 && !w.deltaOff.Load()
 	if s.host != nil {
 		infos, err := s.host.Finalize()
 		if err != nil {
 			writeErr(rw, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		writeFrame(rw, appendSpanBlock(encodeHostInfosReply(infos), w.takeHostSpan(s, "exec.finalize")))
+		out := getFrame()
+		var frame []byte
+		if delta {
+			frame = appendDeltaFrame(out.b[:0], infos, 1, len(infos), s.shadows, false)
+		} else {
+			frame = appendHostInfosReply(out.b[:0], infos)
+		}
+		frame = appendSpanBlock(frame, w.takeHostSpan(s, "exec.finalize"))
+		writeFrame(rw, frame)
+		out.b = frame
+		putFrame(out)
 		return
 	}
 	info, err := s.exec.Finalize()
@@ -1023,16 +1134,31 @@ func (w *Worker) handleFinalize(rw http.ResponseWriter, req *http.Request) {
 		writeErr(rw, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeFrame(rw, appendSpanBlock(encodeRoundInfo(info), w.takeCallSpan(s)))
+	out := getFrame()
+	var frame []byte
+	if delta {
+		flat := append(s.infos[:0], info)
+		s.infos = flat
+		frame = appendDeltaFrame(out.b[:0], flat, 1, 1, s.shadows, false)
+	} else {
+		e := enc{b: out.b[:0]}
+		encodeRoundInfoBody(&e, info)
+		frame = e.b
+	}
+	frame = appendSpanBlock(frame, w.takeCallSpan(s))
+	writeFrame(rw, frame)
+	out.b = frame
+	putFrame(out)
 }
 
 func (w *Worker) handleEnd(rw http.ResponseWriter, req *http.Request) {
 	defer w.rpcSeconds[epEnd].ObserveSince(time.Now())
-	body, ok := readFrame(rw, req)
+	fb, ok := readFrame(rw, req)
 	if !ok {
 		return
 	}
-	r, err := decodeRoundRequest(body)
+	r, err := decodeRoundRequest(fb.b)
+	putFrame(fb)
 	if err != nil {
 		writeErr(rw, http.StatusBadRequest, "%v", err)
 		return

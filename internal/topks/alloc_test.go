@@ -1,0 +1,30 @@
+package topks
+
+import "testing"
+
+// TestMergerSteadyStateAllocs: a warm Merger (the per-search scratch the
+// coordinator's round loop reuses) must not allocate per merge. Under
+// -race the runtime allocates on its own, so only the op runs.
+func TestMergerSteadyStateAllocs(t *testing.T) {
+	lists := [][]Result{
+		{{Item: 1, Upper: 0.9}, {Item: 4, Upper: 0.6}, {Item: 9, Upper: 0.2}},
+		{{Item: 2, Upper: 0.8}, {Item: 3, Upper: 0.5}},
+		{{Item: 7, Upper: 0.7}, {Item: 8, Upper: 0.4}, {Item: 5, Upper: 0.3}},
+	}
+	m := NewMerger(ResultBefore)
+	if got := m.Merge(5, lists); len(got) != 5 {
+		t.Fatalf("warmup merge returned %d results, want 5", len(got))
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if got := m.Merge(5, lists); len(got) != 5 {
+			t.Fatal("merge shrank")
+		}
+	})
+	if raceEnabled {
+		t.Logf("merge: %.1f allocs/op under -race (not asserted)", avg)
+		return
+	}
+	if avg != 0 {
+		t.Errorf("merge: %.1f allocs/op in steady state, want 0", avg)
+	}
+}

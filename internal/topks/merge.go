@@ -15,26 +15,64 @@ import "container/heap"
 // over the unpartitioned collection (given the same per-item scores and
 // the same tie-breaking order).
 func MergeTopK[T any](k int, lists [][]T, less func(a, b T) bool) []T {
+	m := Merger[T]{less: less}
+	return m.Merge(k, lists)
+}
+
+// Merger is a reusable MergeTopK: one instance amortizes the cursor-heap
+// and output allocations across merges, so a steady-state caller (one
+// merge per lockstep round) allocates nothing. The slice returned by
+// Merge is valid only until the next Merge on the same Merger — callers
+// that keep it longer must copy. A Merger is not safe for concurrent
+// use.
+type Merger[T any] struct {
+	less func(a, b T) bool
+	h    mergeHeap[T]
+	out  []T
+}
+
+// NewMerger returns a Merger ordering elements by less (the same
+// contract as MergeTopK's).
+func NewMerger[T any](less func(a, b T) bool) *Merger[T] {
+	return &Merger[T]{less: less}
+}
+
+// Merge is MergeTopK over the Merger's scratch. List exhaustion pops the
+// cursor manually (swap-to-end plus sift-down) rather than through
+// heap.Pop, whose interface return would box the cursor on every
+// exhausted list.
+func (m *Merger[T]) Merge(k int, lists [][]T) []T {
 	if k <= 0 {
 		return nil
 	}
-	h := &mergeHeap[T]{less: less}
+	h := &m.h
+	h.less = m.less
+	h.entries = h.entries[:0]
 	for _, l := range lists {
 		if len(l) > 0 {
 			h.entries = append(h.entries, mergeCursor[T]{list: l})
 		}
 	}
 	heap.Init(h)
-	var out []T
-	for h.Len() > 0 && len(out) < k {
+	out := m.out[:0]
+	for len(h.entries) > 0 && len(out) < k {
 		c := &h.entries[0]
 		out = append(out, c.list[c.pos])
 		c.pos++
 		if c.pos == len(c.list) {
-			heap.Pop(h)
+			n := len(h.entries) - 1
+			h.Swap(0, n)
+			h.entries = h.entries[:n]
+			if n > 0 {
+				heap.Fix(h, 0)
+			}
 		} else {
 			heap.Fix(h, 0)
 		}
+	}
+	m.out = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
